@@ -1,0 +1,29 @@
+//! Baseline OMS search tools, reimplemented from scratch.
+//!
+//! The paper compares its accelerator against two state-of-the-art open
+//! modification search tools (§5.1.2):
+//!
+//! * **ANN-SoLo** (Arab et al. 2023; Bittremieux et al.) — a cascade open
+//!   search on sparse float spectrum vectors with a *shifted dot product*
+//!   that credits fragments displaced by the precursor mass delta.
+//!   Reimplemented in [`annsolo`].
+//! * **HyperOMS** (Kang et al., PACT 2022) — GPU open search with binary
+//!   hyperdimensional encoding and Hamming scoring. Reimplemented in
+//!   [`hyperoms`] on top of the exact HD backend (binary IDs, bit-serial
+//!   level vectors — the configuration HyperOMS uses).
+//!
+//! Both plug into the [`hdoms_oms::search::SimilarityBackend`] trait so
+//! the Fig. 10 agreement study and the Fig. 12 performance model can run
+//! all tools through the same pipeline. A full-precision [`bruteforce`]
+//! cosine oracle rounds out the set for sanity checks.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod annsolo;
+pub mod bruteforce;
+pub mod hyperoms;
+
+pub use annsolo::{AnnSoloBackend, AnnSoloConfig};
+pub use bruteforce::BruteForceBackend;
+pub use hyperoms::{HyperOmsBackend, HyperOmsConfig};

@@ -1,0 +1,56 @@
+//! Criterion bench: baseline scoring kernels vs the HD kernel — the
+//! software-side cost asymmetry behind Fig. 12.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hdoms_baselines::annsolo::{AnnSoloBackend, AnnSoloConfig};
+use hdoms_baselines::bruteforce::BruteForceBackend;
+use hdoms_baselines::hyperoms::{HyperOmsBackend, HyperOmsConfig};
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_ms::preprocess::Preprocessor;
+use hdoms_oms::candidates::CandidateIndex;
+use hdoms_oms::search::{candidate_lists, SimilarityBackend};
+use hdoms_oms::window::PrecursorWindow;
+use std::hint::black_box;
+
+fn backend_comparison(c: &mut Criterion) {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 9);
+    let pre = Preprocessor::default();
+    let (queries, _) = pre.run_batch(&workload.queries);
+    let index = CandidateIndex::build(&workload.library);
+    let cands = candidate_lists(&index, &PrecursorWindow::open_default(), &queries);
+    let total_pairs: u64 = cands.iter().map(|c| c.len() as u64).sum();
+
+    let annsolo = AnnSoloBackend::build(
+        &workload.library,
+        AnnSoloConfig {
+            threads: 1,
+            ..AnnSoloConfig::default()
+        },
+    );
+    let hyperoms = HyperOmsBackend::build(
+        &workload.library,
+        HyperOmsConfig {
+            dim: 2048,
+            threads: 1,
+            ..HyperOmsConfig::default()
+        },
+    );
+    let brute = BruteForceBackend::build(&workload.library, Default::default(), 1);
+
+    let mut group = c.benchmark_group("baseline_search_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_pairs));
+    group.bench_function("annsolo_shifted_dot", |b| {
+        b.iter(|| black_box(annsolo.search_batch(&queries, &cands)))
+    });
+    group.bench_function("hyperoms_hamming_2048", |b| {
+        b.iter(|| black_box(hyperoms.search_batch(&queries, &cands)))
+    });
+    group.bench_function("brute_cosine", |b| {
+        b.iter(|| black_box(brute.search_batch(&queries, &cands)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, backend_comparison);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion bench: ID-Level encoding — software and in-memory, by
+//! dimension, ID precision and level-vector style.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdoms_core::encode::InMemoryEncoder;
+use hdoms_hdc::encoder::{EncoderConfig, IdLevelEncoder};
+use hdoms_hdc::item_memory::LevelStyle;
+use hdoms_hdc::multibit::IdPrecision;
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_ms::preprocess::{BinnedSpectrum, Preprocessor};
+use hdoms_rram::array::CrossbarConfig;
+use std::hint::black_box;
+
+fn sample_spectra(n: usize) -> Vec<BinnedSpectrum> {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 7);
+    let pre = Preprocessor::default();
+    let (binned, _) = pre.run_batch(&workload.queries);
+    binned.into_iter().cycle().take(n).collect()
+}
+
+fn software_encoding(c: &mut Criterion) {
+    let spectra = sample_spectra(8);
+    let mut group = c.benchmark_group("encode_software");
+    for dim in [1024usize, 2048, 4096, 8192] {
+        let encoder = IdLevelEncoder::new(EncoderConfig {
+            dim,
+            ..EncoderConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("dim", dim), &spectra, |b, spectra| {
+            b.iter(|| {
+                for s in spectra {
+                    black_box(encoder.encode(s));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn encoding_by_precision(c: &mut Criterion) {
+    let spectra = sample_spectra(8);
+    let mut group = c.benchmark_group("encode_precision");
+    for precision in IdPrecision::ALL {
+        let encoder = IdLevelEncoder::new(EncoderConfig {
+            dim: 2048,
+            id_precision: precision,
+            ..EncoderConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bits", precision.bits()),
+            &spectra,
+            |b, spectra| {
+                b.iter(|| {
+                    for s in spectra {
+                        black_box(encoder.encode(s));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn in_memory_encoding(c: &mut Criterion) {
+    let spectra = sample_spectra(4);
+    let mut group = c.benchmark_group("encode_in_memory");
+    group.sample_size(10);
+    for (label, style) in [
+        ("chunked128", LevelStyle::Chunked { num_chunks: 128 }),
+        ("bit_serial", LevelStyle::Random),
+    ] {
+        let encoder = InMemoryEncoder::new(
+            EncoderConfig {
+                dim: 2048,
+                level_style: style,
+                ..EncoderConfig::default()
+            },
+            CrossbarConfig::default(),
+            11,
+        );
+        group.bench_with_input(BenchmarkId::new("style", label), &spectra, |b, spectra| {
+            b.iter(|| {
+                for s in spectra {
+                    black_box(encoder.encode(s));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    software_encoding,
+    encoding_by_precision,
+    in_memory_encoding
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench: end-to-end pipeline stages — preprocessing, candidate
+//! indexing, FDR filtering, and a full exact-backend run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_ms::preprocess::Preprocessor;
+use hdoms_oms::candidates::CandidateIndex;
+use hdoms_oms::fdr::filter_fdr;
+use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
+use hdoms_oms::psm::Psm;
+use hdoms_oms::window::PrecursorWindow;
+use std::hint::black_box;
+
+fn preprocessing(c: &mut Criterion) {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 5);
+    let pre = Preprocessor::default();
+    c.bench_function("preprocess_batch_50", |b| {
+        b.iter(|| black_box(pre.run_batch(&workload.queries)))
+    });
+}
+
+fn candidate_indexing(c: &mut Criterion) {
+    let mut spec = WorkloadSpec::tiny();
+    spec.reference_peptides = 2_000;
+    let workload = SyntheticWorkload::generate(&spec, 6);
+    c.bench_function("candidate_index_build_4k", |b| {
+        b.iter(|| black_box(CandidateIndex::build(&workload.library)))
+    });
+    let index = CandidateIndex::build(&workload.library);
+    let window = PrecursorWindow::open_default();
+    c.bench_function("candidate_lookup_open", |b| {
+        b.iter(|| black_box(index.candidates(&window, 1500.0)))
+    });
+}
+
+fn fdr_filtering(c: &mut Criterion) {
+    let psms: Vec<Psm> = (0..10_000)
+        .map(|i| Psm {
+            query_id: i,
+            reference_id: i,
+            score: 1.0 - f64::from(i) * 1e-4,
+            is_decoy: i % 9 == 4,
+            precursor_delta: 0.0,
+        })
+        .collect();
+    c.bench_function("fdr_filter_10k", |b| {
+        b.iter(|| black_box(filter_fdr(&psms, 0.01)))
+    });
+}
+
+fn full_pipeline(c: &mut Criterion) {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 7);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("run_exact_tiny_2048", |b| {
+        let pipeline = OmsPipeline::new(PipelineConfig::fast_test());
+        b.iter(|| black_box(pipeline.run_exact(&workload)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    preprocessing,
+    candidate_indexing,
+    fdr_filtering,
+    full_pipeline
+);
+criterion_main!(benches);

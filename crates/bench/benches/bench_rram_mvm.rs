@@ -1,0 +1,65 @@
+//! Criterion bench: crossbar programming and analog MVM by cell precision
+//! and activated-row count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdoms_rram::array::{CrossbarArray, CrossbarConfig};
+use hdoms_rram::config::MlcConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn weights(cols: usize, pairs: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..cols)
+        .map(|_| (0..pairs).map(|_| rng.gen_range(-1.0..=1.0)).collect())
+        .collect()
+}
+
+fn program_array(c: &mut Criterion) {
+    let w = weights(256, 128);
+    let mut group = c.benchmark_group("crossbar_program");
+    group.sample_size(10);
+    for bits in 1..=3u8 {
+        let config = CrossbarConfig {
+            mlc: MlcConfig::with_bits(bits),
+            ..CrossbarConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("bits", bits), &w, |b, w| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                black_box(CrossbarArray::program(config, w, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn mvm(c: &mut Criterion) {
+    let w = weights(256, 128);
+    let mut rng = StdRng::seed_from_u64(3);
+    let inputs: Vec<f64> = (0..128)
+        .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+        .collect();
+    let mut group = c.benchmark_group("crossbar_mvm");
+    for activated in [20usize, 64, 120] {
+        let config = CrossbarConfig {
+            activated_rows: activated,
+            ..CrossbarConfig::default()
+        };
+        let array = CrossbarArray::program(config, &w, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("activated_rows", activated),
+            &inputs,
+            |b, inputs| {
+                b.iter(|| {
+                    let mut noise_rng = StdRng::seed_from_u64(4);
+                    black_box(array.mvm(inputs, &mut noise_rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, program_array, mvm);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench: Hamming similarity search — raw distance, exact
+//! top-1 over candidate sets, and the simulated in-memory search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdoms_core::search::InMemorySearch;
+use hdoms_hdc::search::search_best;
+use hdoms_hdc::similarity::hamming_distance;
+use hdoms_hdc::BinaryHypervector;
+use hdoms_rram::array::CrossbarConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn refs(n: usize, dim: usize) -> Vec<BinaryHypervector> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n)
+        .map(|_| BinaryHypervector::random(&mut rng, dim))
+        .collect()
+}
+
+fn raw_hamming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamming_distance");
+    for dim in [1024usize, 8192, 65_536] {
+        let r = refs(2, dim);
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::new("dim", dim), &r, |b, r| {
+            b.iter(|| black_box(hamming_distance(&r[0], &r[1])))
+        });
+    }
+    group.finish();
+}
+
+fn exact_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_search_top1");
+    for n in [1_000usize, 10_000] {
+        let r = refs(n, 8192);
+        let q = r[n / 2].clone();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("refs", n), &r, |b, r| {
+            b.iter(|| black_box(search_best(&q, r, 0..r.len() as u32)))
+        });
+    }
+    group.finish();
+}
+
+fn in_memory_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("in_memory_search");
+    group.sample_size(20);
+    let stored: Vec<Option<BinaryHypervector>> = refs(512, 8192).into_iter().map(Some).collect();
+    let q = stored[7].clone().unwrap();
+    for activated in [32usize, 64, 128] {
+        let search = InMemorySearch::new(
+            CrossbarConfig {
+                activated_rows: activated,
+                ..CrossbarConfig::default()
+            },
+            stored.clone(),
+            9,
+            1,
+        );
+        let candidates: Vec<u32> = (0..512).collect();
+        group.bench_with_input(
+            BenchmarkId::new("activated_rows", activated),
+            &candidates,
+            |b, candidates| b.iter(|| black_box(search.search_best(&q, 0, candidates))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, raw_hamming, exact_search, in_memory_search);
+criterion_main!(benches);

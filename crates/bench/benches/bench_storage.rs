@@ -1,0 +1,35 @@
+//! Criterion bench: MLC hypervector storage — packing/programming and
+//! relaxed read-back by cell precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdoms_hdc::BinaryHypervector;
+use hdoms_rram::config::MlcConfig;
+use hdoms_rram::storage::HypervectorStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn storage_roundtrip(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let hvs: Vec<BinaryHypervector> = (0..16)
+        .map(|_| BinaryHypervector::random(&mut rng, 8192))
+        .collect();
+
+    let mut group = c.benchmark_group("storage");
+    for bits in 1..=3u8 {
+        group.bench_with_input(BenchmarkId::new("program_bits", bits), &hvs, |b, hvs| {
+            b.iter(|| black_box(HypervectorStore::program(MlcConfig::with_bits(bits), hvs)))
+        });
+        let store = HypervectorStore::program(MlcConfig::with_bits(bits), &hvs);
+        group.bench_with_input(BenchmarkId::new("read_all_bits", bits), &store, |b, store| {
+            b.iter(|| {
+                let mut read_rng = StdRng::seed_from_u64(14);
+                black_box(store.read_all(7200.0, &mut read_rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, storage_roundtrip);
+criterion_main!(benches);

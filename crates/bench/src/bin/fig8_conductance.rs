@@ -1,0 +1,57 @@
+//! Figure 8 — conductance relaxation of 2/4/8-level cells.
+//!
+//! Samples the simulated device's conductance distribution for every
+//! level of 1/2/3-bit cells at the four measurement times of the paper
+//! and renders ASCII histograms (the paper's panels show the same data as
+//! smoothed distributions over 0–50 µS).
+//!
+//! Run: `cargo run --release -p hdoms-bench --bin fig8_conductance`
+
+use hdoms_bench::{ascii_histogram, FigureOptions};
+use hdoms_rram::config::MlcConfig;
+use hdoms_rram::device::DeviceModel;
+use hdoms_rram::levels::LevelMap;
+use hdoms_rram::times;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let options = FigureOptions::parse(1.0, 8192);
+    let samples_per_level = 400;
+    let time_points = [
+        ("during programming", 0.0),
+        ("after 30 min", times::AFTER_30MIN),
+        ("after 60 min", times::AFTER_60MIN),
+        ("after 1 day", times::AFTER_1DAY),
+    ];
+
+    for bits in 1..=3u8 {
+        let config = MlcConfig::with_bits(bits);
+        let device = DeviceModel::new(config);
+        let levels = LevelMap::new(&config);
+        println!(
+            "\n================ {} levels ({} bit(s)/cell) ================",
+            config.levels(),
+            bits
+        );
+        for (label, age) in time_points {
+            let mut rng = StdRng::seed_from_u64(options.seed ^ (age as u64) ^ u64::from(bits));
+            let mut pooled = Vec::with_capacity(config.levels() * samples_per_level);
+            for level in 0..config.levels() {
+                let target = levels.target(level);
+                for _ in 0..samples_per_level {
+                    pooled.push(device.sample_conductance(&mut rng, target, age));
+                }
+            }
+            println!("\n-- {label} --");
+            print!("{}", ascii_histogram(&pooled, 0.0, 55.0, 22, 48));
+        }
+    }
+    println!(
+        "\nShape checks vs the paper's Fig. 8: levels are crisply separated \
+         during programming, spread with time (most within the first hour), \
+         intermediate levels smear more than the extremes, and the 8-level \
+         cell's distributions overlap visibly after one day while the 2-level \
+         cell's remain well separated."
+    );
+}

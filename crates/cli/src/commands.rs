@@ -1,0 +1,296 @@
+//! The four subcommands.
+
+use crate::library_io::{read_library, write_library};
+use crate::opts::Flags;
+use hdoms_baselines::annsolo::{AnnSoloBackend, AnnSoloConfig};
+use hdoms_baselines::hyperoms::{HyperOmsBackend, HyperOmsConfig};
+use hdoms_ms::dataset::{QueryTruth, SyntheticWorkload, WorkloadSpec};
+use hdoms_ms::mgf::{read_mgf, write_mgf};
+use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig, PipelineOutcome};
+use hdoms_oms::profile::{common_catalogue, DeltaMassProfile};
+use hdoms_oms::psm::Psm;
+use hdoms_oms::window::PrecursorWindow;
+use hdoms_rram::chip::ChipSpec;
+use hdoms_rram::config::MlcConfig;
+use std::fs;
+
+/// `hdoms generate`: synthesise a workload, export query + library MGF.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.check_known(&["out-queries", "out-library", "preset", "scale", "seed"])?;
+    let out_queries = flags.require("out-queries")?;
+    let out_library = flags.require("out-library")?;
+    let scale: f64 = flags.get_or("scale", 0.01)?;
+    let seed: u64 = flags.get_or("seed", 0xF1605)?;
+    let spec = match flags.get("preset").unwrap_or("iprg2012") {
+        "iprg2012" => WorkloadSpec::iprg2012(scale),
+        "hek293" => WorkloadSpec::hek293(scale),
+        "tiny" => WorkloadSpec::tiny(),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    let workload = SyntheticWorkload::generate(&spec, seed);
+
+    let mut queries_file = Vec::new();
+    write_mgf(&mut queries_file, &workload.queries).map_err(|e| e.to_string())?;
+    fs::write(out_queries, queries_file).map_err(|e| e.to_string())?;
+
+    let mut library_file = Vec::new();
+    write_library(&mut library_file, &workload.library).map_err(|e| e.to_string())?;
+    fs::write(out_library, library_file).map_err(|e| e.to_string())?;
+
+    println!(
+        "wrote {} query spectra to {out_queries} and {} library spectra \
+         ({} decoys) to {out_library}  [{}]",
+        workload.queries.len(),
+        workload.library.len(),
+        workload.library.decoy_count(),
+        spec.name,
+    );
+    Ok(())
+}
+
+/// `hdoms search`: MGF queries vs annotated-MGF library → PSM table.
+pub fn search(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.check_known(&[
+        "queries", "library", "out", "backend", "window", "fdr", "dim", "seed",
+    ])?;
+    let queries_path = flags.require("queries")?;
+    let library_path = flags.require("library")?;
+    let out_path = flags.require("out")?;
+    let fdr: f64 = flags.get_or("fdr", 0.01)?;
+    let dim: usize = flags.get_or("dim", 8192)?;
+    let backend_name = flags.get("backend").unwrap_or("exact").to_owned();
+    let window = match flags.get("window").unwrap_or("open") {
+        "open" => PrecursorWindow::open_default(),
+        "standard" => PrecursorWindow::standard_default(),
+        other => return Err(format!("unknown window {other:?} (open|standard)")),
+    };
+
+    let query_bytes = fs::read(queries_path).map_err(|e| e.to_string())?;
+    let queries: Vec<_> = read_mgf(query_bytes.as_slice())
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|m| m.spectrum)
+        .collect();
+    let library_bytes = fs::read(library_path).map_err(|e| e.to_string())?;
+    let library = read_library(&library_bytes)?;
+    if queries.is_empty() || library.is_empty() {
+        return Err("empty queries or library".to_owned());
+    }
+
+    // Wrap the parsed data as a workload; truth is unknown for real data.
+    let truth = vec![QueryTruth::Unmatchable; queries.len()];
+    let spec = WorkloadSpec {
+        name: format!("cli:{queries_path}"),
+        reference_peptides: library.len() / 2,
+        queries: queries.len(),
+        modified_fraction: 0.0,
+        unmatchable_fraction: 0.0,
+        peptide_len: (0, 0),
+        library_charge: 2,
+        noise: hdoms_ms::noise::NoiseModel::none(),
+        fragment: hdoms_ms::fragment::FragmentConfig::default(),
+    };
+    let workload = SyntheticWorkload {
+        spec,
+        library,
+        queries,
+        truth,
+    };
+
+    let mut config = PipelineConfig::default();
+    config.window = window;
+    config.fdr_level = fdr;
+    config.exact.encoder.dim = dim;
+    let pipeline = OmsPipeline::new(config);
+    let outcome = match backend_name.as_str() {
+        "exact" => pipeline.run_exact(&workload),
+        "annsolo" => {
+            let backend = AnnSoloBackend::build(&workload.library, AnnSoloConfig::default());
+            pipeline.run(&workload, &backend)
+        }
+        "hyperoms" => {
+            let backend = HyperOmsBackend::build(
+                &workload.library,
+                HyperOmsConfig {
+                    dim,
+                    ..HyperOmsConfig::default()
+                },
+            );
+            pipeline.run(&workload, &backend)
+        }
+        other => return Err(format!("unknown backend {other:?} (exact|annsolo|hyperoms)")),
+    };
+
+    fs::write(out_path, render_psm_table(&workload, &outcome)).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} of {} queries identified at {:.1}% FDR (threshold score {:.4}); \
+         table written to {out_path}",
+        outcome.backend_name,
+        outcome.identifications(),
+        outcome.total_queries,
+        fdr * 100.0,
+        outcome.threshold_score,
+    );
+    Ok(())
+}
+
+/// Render the PSM table (all best hits, with an `accepted` column).
+fn render_psm_table(workload: &SyntheticWorkload, outcome: &PipelineOutcome) -> String {
+    let accepted = outcome.accepted_query_ids();
+    let mut out = String::from(
+        "query_id\treference_id\tpeptide\tscore\tis_decoy\tprecursor_delta_da\taccepted\n",
+    );
+    for psm in &outcome.psms {
+        let peptide = workload
+            .library
+            .get(psm.reference_id)
+            .map(|e| e.peptide.to_string())
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{:.6}\t{}\t{:.4}\t{}\n",
+            psm.query_id,
+            psm.reference_id,
+            peptide,
+            psm.score,
+            u8::from(psm.is_decoy),
+            psm.precursor_delta,
+            u8::from(accepted.contains(&psm.query_id) && psm.is_target()),
+        ));
+    }
+    out
+}
+
+/// `hdoms profile`: delta-mass profile of an accepted-PSM table.
+pub fn profile(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.check_known(&["psms", "bin-width", "min-count"])?;
+    let path = flags.require("psms")?;
+    let bin_width: f64 = flags.get_or("bin-width", 0.01)?;
+    let min_count: usize = flags.get_or("min-count", 3)?;
+    let table = fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let psms = parse_psm_table(&table)?;
+    let accepted: Vec<Psm> = psms.into_iter().filter(|(_, acc)| *acc).map(|(p, _)| p).collect();
+    if accepted.is_empty() {
+        return Err("no accepted PSMs in the table".to_owned());
+    }
+    let profile = DeltaMassProfile::from_psms(&accepted, bin_width);
+    let catalogue = common_catalogue();
+    println!("{} accepted PSMs; delta-mass peaks (≥{min_count}):", profile.total());
+    println!("{:>12}  {:>6}  annotation", "delta (Da)", "PSMs");
+    for (peak, name) in profile.annotate(min_count, &catalogue, 3.0 * bin_width) {
+        println!(
+            "{:>12.4}  {:>6}  {}",
+            peak.delta_da,
+            peak.count,
+            name.unwrap_or("(unexplained)")
+        );
+    }
+    Ok(())
+}
+
+/// Parse the PSM table written by [`search`]; returns (psm, accepted).
+fn parse_psm_table(table: &str) -> Result<Vec<(Psm, bool)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in table.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 7 {
+            return Err(format!("line {}: expected 7 columns, got {}", i + 1, fields.len()));
+        }
+        let parse = |f: &str, what: &str| -> Result<f64, String> {
+            f.parse()
+                .map_err(|_| format!("line {}: bad {what} {f:?}", i + 1))
+        };
+        out.push((
+            Psm {
+                query_id: parse(fields[0], "query id")? as u32,
+                reference_id: parse(fields[1], "reference id")? as u32,
+                score: parse(fields[3], "score")?,
+                is_decoy: fields[4] == "1",
+                precursor_delta: parse(fields[5], "delta")?,
+            },
+            fields[6] == "1",
+        ));
+    }
+    Ok(out)
+}
+
+/// `hdoms chip`: capacity/latency planning for a library on MLC RRAM.
+pub fn chip(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.check_known(&["bits", "dim", "refs", "activated-rows"])?;
+    let bits: u8 = flags.get_or("bits", 3)?;
+    let dim: u64 = flags.get_or("dim", 8192)?;
+    let refs: u64 = flags.get_or("refs", 1_000_000)?;
+    let activated: u64 = flags.get_or("activated-rows", 64)?;
+    if !(1..=3).contains(&bits) {
+        return Err("--bits must be 1, 2 or 3".to_owned());
+    }
+
+    let chip = ChipSpec::paper_chip(MlcConfig::with_bits(bits));
+    let mapping = hdoms_core::mapping::LibraryMapping::plan_on_chip(&chip, refs, dim, activated);
+    println!("chip: {} tiles of {}x{} cells, {} bits/cell", chip.tiles, chip.rows, chip.cols, bits);
+    println!(
+        "dense storage: {} hypervectors of {dim} bits ({}x the 1-bit capacity)",
+        chip.hypervector_capacity(dim as usize),
+        chip.density_vs_slc(),
+    );
+    println!(
+        "search fabric for {refs} references: {} tiles ({} chips), utilisation {:.1}%",
+        mapping.tiles(),
+        mapping.chips_needed(chip.tiles as u64),
+        mapping.utilisation() * 100.0,
+    );
+    println!(
+        "one query scores the whole resident library in {} sensing cycles \
+         ({} activated rows/cycle) — independent of library size",
+        mapping.cycles_per_query(),
+        activated,
+    );
+    let model = hdoms_core::perf::RramModel {
+        activated_rows: activated as f64,
+        parallel_tiles: mapping.tiles() as f64,
+        ..hdoms_core::perf::RramModel::default()
+    };
+    let shape = hdoms_core::perf::WorkloadShape {
+        queries: 16_000.0,
+        references: refs as f64,
+        mean_candidates: refs as f64 * 0.1,
+        mean_peaks: 100.0,
+        dim: dim as f64,
+        chunks: 128.0,
+    };
+    println!(
+        "16k-query open search on this fabric: {:.3} ms, {:.2} J (model of §5.3.3)",
+        model.time_s(&shape) * 1e3,
+        model.energy_j(&shape),
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psm_table_roundtrip() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 8);
+        let pipeline = OmsPipeline::new(PipelineConfig::fast_test());
+        let outcome = pipeline.run_exact(&workload);
+        let table = render_psm_table(&workload, &outcome);
+        let parsed = parse_psm_table(&table).unwrap();
+        assert_eq!(parsed.len(), outcome.psms.len());
+        let accepted = parsed.iter().filter(|(_, a)| *a).count();
+        assert_eq!(accepted, outcome.identifications());
+    }
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        let table = "header\n1\t2\t3\n";
+        assert!(parse_psm_table(table).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! `hdoms` — command-line open modification search.
+//!
+//! Subcommands:
+//!
+//! * `generate` — build a synthetic workload and export it as MGF files
+//!   (queries + library with peptide/decoy annotations in the titles).
+//! * `search` — run an open (or standard) search of query MGF against a
+//!   library MGF with a chosen backend, writing a PSM table.
+//! * `profile` — delta-mass profile of a PSM table.
+//! * `chip` — plan a library deployment on MLC RRAM tiles and print the
+//!   capacity/latency/energy summary.
+//!
+//! Run `hdoms help` (or any subcommand with `--help`) for usage.
+
+mod commands;
+mod library_io;
+mod opts;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", opts::USAGE);
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate(rest),
+        "search" => commands::search(rest),
+        "profile" => commands::profile(rest),
+        "chip" => commands::chip(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", opts::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{}", opts::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal flag parsing (the sanctioned dependency set has no clap).
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+hdoms — open modification spectral library search (DAC 2024 reproduction)
+
+USAGE:
+  hdoms generate --out-queries <q.mgf> --out-library <lib.mgf>
+                 [--preset iprg2012|hek293|tiny] [--scale <f64>] [--seed <u64>]
+  hdoms search   --queries <q.mgf> --library <lib.mgf> --out <psms.tsv>
+                 [--backend exact|annsolo|hyperoms] [--window open|standard]
+                 [--fdr <f64>] [--dim <usize>] [--seed <u64>]
+  hdoms profile  --psms <psms.tsv> [--bin-width <f64>] [--min-count <usize>]
+  hdoms chip     [--bits 1|2|3] [--dim <usize>] [--refs <u64>]
+                 [--activated-rows <usize>]
+  hdoms help";
+
+/// A parsed `--key value` flag list.
+#[derive(Debug, Default)]
+pub struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    /// Parse `--key value` pairs; rejects stray positionals and dangling
+    /// flags.
+    pub fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = &args[i];
+            if !key.starts_with("--") {
+                return Err(format!("unexpected argument {key:?}"));
+            }
+            let Some(value) = args.get(i + 1) else {
+                return Err(format!("flag {key} needs a value"));
+            };
+            pairs.push((key[2..].to_owned(), value.clone()));
+            i += 2;
+        }
+        Ok(Flags { pairs })
+    }
+
+    /// The raw string value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A required flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value {raw:?} for --{key}")),
+        }
+    }
+
+    /// Reject flags outside the allowed set (typos must not silently run
+    /// a default configuration).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for (key, _) in &self.pairs {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("unknown flag --{key}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let flags = Flags::parse(&args(&["--scale", "0.5", "--seed", "9"])).unwrap();
+        assert_eq!(flags.get("scale"), Some("0.5"));
+        assert_eq!(flags.get_or("seed", 0u64).unwrap(), 9);
+        assert_eq!(flags.get_or("dim", 8192usize).unwrap(), 8192);
+    }
+
+    #[test]
+    fn rejects_positionals_and_dangling() {
+        assert!(Flags::parse(&args(&["stray"])).is_err());
+        assert!(Flags::parse(&args(&["--scale"])).is_err());
+    }
+
+    #[test]
+    fn require_and_unknown() {
+        let flags = Flags::parse(&args(&["--a", "1"])).unwrap();
+        assert!(flags.require("a").is_ok());
+        assert!(flags.require("b").is_err());
+        assert!(flags.check_known(&["a"]).is_ok());
+        assert!(flags.check_known(&["b"]).is_err());
+    }
+
+    #[test]
+    fn typed_parse_errors_are_reported() {
+        let flags = Flags::parse(&args(&["--seed", "banana"])).unwrap();
+        assert!(flags.get_or("seed", 0u64).is_err());
+    }
+}

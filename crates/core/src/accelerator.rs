@@ -1,0 +1,272 @@
+//! The complete MLC-RRAM OMS accelerator.
+//!
+//! Data flow (§4 of the paper): spectra are preprocessed offline, encoded
+//! *in memory* (the ID item memory lives in RRAM), the encoded reference
+//! hypervectors are stored as differential binary weights, and Hamming
+//! search runs *in memory* against them. The accelerator implements
+//! [`SimilarityBackend`], so the standard OMS pipeline — candidate
+//! windowing and FDR filtering — drives it exactly like the software
+//! baselines, which is what the Fig. 10/11/13 quality comparisons need.
+
+use crate::encode::InMemoryEncoder;
+use crate::search::InMemorySearch;
+use hdoms_hdc::encoder::EncoderConfig;
+use hdoms_hdc::parallel::par_map;
+use hdoms_ms::library::SpectralLibrary;
+use hdoms_ms::preprocess::{BinnedSpectrum, PreprocessConfig, Preprocessor};
+use hdoms_oms::search::{SearchHit, SimilarityBackend};
+use hdoms_rram::array::CrossbarConfig;
+use serde::{Deserialize, Serialize};
+
+/// Full accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Offline preprocessing (§3.1).
+    pub preprocess: PreprocessConfig,
+    /// HD encoding parameters (§3.2, §4.2). The ID precision must match
+    /// the MLC cell precision.
+    pub encoder: EncoderConfig,
+    /// Crossbar geometry and device model (§4.1).
+    pub crossbar: CrossbarConfig,
+    /// Worker threads for the simulation (the real chip parallelises in
+    /// the analog domain).
+    pub threads: usize,
+    /// Master seed for programming noise and per-operation analog noise.
+    pub seed: u64,
+}
+
+impl Default for AcceleratorConfig {
+    /// The paper's headline configuration: D = 8192, 3-bit IDs on 8-level
+    /// cells, 64 activated rows, chunked level hypervectors.
+    fn default() -> AcceleratorConfig {
+        AcceleratorConfig {
+            preprocess: PreprocessConfig::default(),
+            encoder: EncoderConfig::default(),
+            crossbar: CrossbarConfig::default(),
+            threads: hdoms_hdc::parallel::default_threads(),
+            seed: 0xacce1,
+        }
+    }
+}
+
+/// Statistics gathered while building the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuildStats {
+    /// Library entries successfully encoded and stored.
+    pub references_stored: usize,
+    /// Library entries dropped by preprocessing.
+    pub references_rejected: usize,
+    /// Mean in-memory encoding bit-error rate over the stored references
+    /// (vs the software ground truth).
+    pub mean_encode_ber: f64,
+}
+
+/// The accelerator: in-memory encoder + in-memory search over the encoded
+/// library.
+#[derive(Debug, Clone)]
+pub struct OmsAccelerator {
+    config: AcceleratorConfig,
+    encoder: InMemoryEncoder,
+    search: InMemorySearch,
+    build_stats: BuildStats,
+}
+
+impl OmsAccelerator {
+    /// Build the accelerator: program the ID memory, preprocess and encode
+    /// the whole library in memory, and store the results as search
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (see [`InMemoryEncoder::new`]) or
+    /// an empty library.
+    pub fn build(library: &SpectralLibrary, config: AcceleratorConfig) -> OmsAccelerator {
+        assert!(!library.is_empty(), "cannot build over an empty library");
+        let encoder = InMemoryEncoder::new(config.encoder, config.crossbar, config.seed);
+        let pre = Preprocessor::new(config.preprocess);
+        let entries: Vec<_> = library.iter().collect();
+        let encoded: Vec<Option<(hdoms_hdc::BinaryHypervector, f64)>> =
+            par_map(&entries, config.threads, |entry| {
+                pre.run(&entry.spectrum).ok().map(|binned| {
+                    let (hv, stats) = encoder.encode_with_stats(&binned);
+                    (hv, stats.bit_error_rate())
+                })
+            });
+        let references_stored = encoded.iter().flatten().count();
+        let references_rejected = encoded.len() - references_stored;
+        let mean_encode_ber = if references_stored == 0 {
+            0.0
+        } else {
+            encoded.iter().flatten().map(|(_, ber)| ber).sum::<f64>() / references_stored as f64
+        };
+        let references: Vec<Option<hdoms_hdc::BinaryHypervector>> = encoded
+            .into_iter()
+            .map(|slot| slot.map(|(hv, _)| hv))
+            .collect();
+        let search = InMemorySearch::new(
+            config.crossbar,
+            references,
+            config.seed ^ 0x5ea4c4,
+            config.threads,
+        );
+        OmsAccelerator {
+            config,
+            encoder,
+            search,
+            build_stats: BuildStats {
+                references_stored,
+                references_rejected,
+                mean_encode_ber,
+            },
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Build-time statistics (library encoding error etc.).
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build_stats
+    }
+
+    /// The in-memory encoder.
+    pub fn encoder(&self) -> &InMemoryEncoder {
+        &self.encoder
+    }
+
+    /// The in-memory search engine.
+    pub fn search_engine(&self) -> &InMemorySearch {
+        &self.search
+    }
+}
+
+impl SimilarityBackend for OmsAccelerator {
+    fn name(&self) -> String {
+        format!(
+            "rram-accelerator({}b/cell,{}rows)",
+            self.config.crossbar.mlc.bits_per_cell, self.config.crossbar.activated_rows
+        )
+    }
+
+    fn search_batch(
+        &self,
+        queries: &[BinnedSpectrum],
+        candidates: &[Vec<u32>],
+    ) -> Vec<Option<SearchHit>> {
+        assert_eq!(
+            queries.len(),
+            candidates.len(),
+            "queries and candidate lists must pair up"
+        );
+        let jobs: Vec<usize> = (0..queries.len()).collect();
+        par_map(&jobs, self.config.threads, |&i| {
+            let binned = &queries[i];
+            let query_hv = self.encoder.encode(binned);
+            self.search
+                .search_best(&query_hv, binned.id, &candidates[i])
+                .map(|(reference, score)| SearchHit { reference, score })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdoms_hdc::item_memory::LevelStyle;
+    use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+    use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
+    use hdoms_rram::config::MlcConfig;
+
+    fn test_config() -> AcceleratorConfig {
+        let mut config = AcceleratorConfig::default();
+        config.encoder.dim = 2048;
+        config.encoder.q_levels = 16;
+        config.encoder.level_style = LevelStyle::Chunked { num_chunks: 64 };
+        config.threads = 4;
+        config
+    }
+
+    #[test]
+    fn accelerator_identifies_like_software() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 808);
+        let accel = OmsAccelerator::build(&workload.library, test_config());
+        let pipeline = OmsPipeline::new(PipelineConfig::fast_test());
+        let hw = pipeline.run(&workload, &accel);
+        let sw = pipeline.run_exact(&workload);
+        let hw_eval = hw.evaluate(&workload);
+        let sw_eval = sw.evaluate(&workload);
+        // The paper's claim: comparable accuracy to software HD.
+        assert!(
+            hw_eval.correct as f64 >= 0.8 * sw_eval.correct as f64,
+            "hardware correct {} vs software correct {}",
+            hw_eval.correct,
+            sw_eval.correct
+        );
+    }
+
+    #[test]
+    fn build_stats_reflect_device_noise() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 809);
+        let accel = OmsAccelerator::build(&workload.library, test_config());
+        let stats = accel.build_stats();
+        assert_eq!(
+            stats.references_stored + stats.references_rejected,
+            workload.library.len()
+        );
+        assert!(stats.references_stored > 0);
+        // 3-bit cells at 2 h age: a few to tens of percent encoding error.
+        assert!(
+            stats.mean_encode_ber > 0.0 && stats.mean_encode_ber < 0.45,
+            "mean encode BER {}",
+            stats.mean_encode_ber
+        );
+    }
+
+    #[test]
+    fn one_bit_cells_encode_cleaner_than_three() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 810);
+        let ber_for = |bits: u8| {
+            let mut config = test_config();
+            config.crossbar.mlc = MlcConfig::with_bits(bits);
+            config.encoder.id_precision = match bits {
+                1 => hdoms_hdc::multibit::IdPrecision::Bits1,
+                2 => hdoms_hdc::multibit::IdPrecision::Bits2,
+                _ => hdoms_hdc::multibit::IdPrecision::Bits3,
+            };
+            OmsAccelerator::build(&workload.library, config)
+                .build_stats()
+                .mean_encode_ber
+        };
+        assert!(ber_for(1) < ber_for(3), "Fig. 9a ordering");
+    }
+
+    #[test]
+    fn backend_name_describes_hardware() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 811);
+        let accel = OmsAccelerator::build(&workload.library, test_config());
+        assert_eq!(accel.name(), "rram-accelerator(3b/cell,64rows)");
+    }
+
+    #[test]
+    fn deterministic_build_and_search() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 812);
+        let pipeline = OmsPipeline::new(PipelineConfig::fast_test());
+        let a = pipeline.run(
+            &workload,
+            &OmsAccelerator::build(&workload.library, test_config()),
+        );
+        let b = pipeline.run(
+            &workload,
+            &OmsAccelerator::build(&workload.library, test_config()),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty library")]
+    fn rejects_empty_library() {
+        let _ = OmsAccelerator::build(&SpectralLibrary::new(), test_config());
+    }
+}

@@ -1,0 +1,414 @@
+//! Encoding in memory (§4.2 of the paper).
+//!
+//! The position-ID item memory is programmed *once* into RRAM: row `b`
+//! holds the multi-bit ID hypervector of m/z bin `b` as differential
+//! pairs. Encoding a spectrum then activates the rows of its peak bins and
+//! streams the level-hypervector values in as bit-line inputs. Thanks to
+//! the chunked level vectors of §4.2.1, all dimensions within one chunk
+//! share their input value, so a whole chunk's element-wise MACs complete
+//! in a single MVM-style cycle instead of bit-serially.
+//!
+//! The multi-bit ID components (§4.2.2) map one-to-one onto the `2^n`
+//! differential values an n-bit cell pair can represent: the alphabet
+//! `{-4,…,-1,+1,…,+4}` lands on `{-1, -5/7, …, +5/7, +1}` in normalised
+//! conductance terms. The mapping is monotone, so sign information is
+//! exact and magnitude information only mildly warped — the final
+//! `Sign()` quantisation (§4.2.3) is what makes the scheme robust.
+
+use hdoms_hdc::encoder::{EncoderConfig, IdLevelEncoder};
+use hdoms_hdc::item_memory::LevelStyle;
+use hdoms_hdc::similarity::hamming_distance;
+use hdoms_hdc::BinaryHypervector;
+use hdoms_ms::preprocess::BinnedSpectrum;
+use hdoms_rram::array::CrossbarConfig;
+use hdoms_rram::device::DeviceModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Error statistics for one in-memory encoding, measured against the
+/// noise-free software encoding of the same spectrum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodeStats {
+    /// Output bits that differ from the software ground truth.
+    pub bit_errors: u32,
+    /// Hypervector dimension.
+    pub dim: u32,
+    /// Sensing cycles the encoding consumed.
+    pub cycles: u32,
+}
+
+impl EncodeStats {
+    /// Fraction of output bits in error — the y-axis of Fig. 9a.
+    pub fn bit_error_rate(&self) -> f64 {
+        f64::from(self.bit_errors) / f64::from(self.dim)
+    }
+}
+
+/// The in-memory ID-Level encoder.
+#[derive(Debug, Clone)]
+pub struct InMemoryEncoder {
+    software: IdLevelEncoder,
+    crossbar: CrossbarConfig,
+    /// Effective differential weights `(g⁺−g⁻)/g_max` of the programmed ID
+    /// memory after relaxation, flattened `[bin][dim]`.
+    w_eff: Vec<f32>,
+    /// RMS normalised per-pair conductance deviation of the programmed ID
+    /// memory — scales the IR-drop error term.
+    sigma_delta: f64,
+    dim: usize,
+    num_bins: usize,
+    seed: u64,
+}
+
+impl InMemoryEncoder {
+    /// Program the ID item memory into (simulated) RRAM.
+    ///
+    /// The ID component precision must equal the cell precision — that is
+    /// the paper's point in §4.2.2: the multi-bit scheme is free *because*
+    /// the MLC cell already stores that many bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoder.id_precision.bits() != crossbar.mlc.bits_per_cell`
+    /// or either configuration is invalid.
+    pub fn new(encoder: EncoderConfig, crossbar: CrossbarConfig, seed: u64) -> InMemoryEncoder {
+        crossbar.validate();
+        assert_eq!(
+            encoder.id_precision.bits(),
+            crossbar.mlc.bits_per_cell,
+            "ID precision ({} bits) must match the cell precision ({} bits); \
+             the multi-bit ID scheme is defined by the MLC cell",
+            encoder.id_precision.bits(),
+            crossbar.mlc.bits_per_cell
+        );
+        let software = IdLevelEncoder::new(encoder);
+        let device = DeviceModel::new(crossbar.mlc);
+        let g_max = crossbar.mlc.g_max_us;
+        let levels = crossbar.mlc.levels();
+        let alphabet = encoder.id_precision.alphabet();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1dc0de);
+        let dim = encoder.dim;
+        let num_bins = encoder.num_bins;
+        let mut w_eff = Vec::with_capacity(num_bins * dim);
+        let mut dev_sq = 0.0f64;
+        for bin in 0..num_bins {
+            let id = software.id_memory().id(bin);
+            for &component in id {
+                // Monotone map: alphabet rank → differential grid point.
+                let rank = alphabet
+                    .iter()
+                    .position(|&a| a == component)
+                    .expect("component drawn from alphabet");
+                let v = rank as f64 / (levels - 1) as f64 * 2.0 - 1.0;
+                let target_plus = 0.5 * (1.0 + v) * g_max;
+                let target_minus = 0.5 * (1.0 - v) * g_max;
+                let gp = device.sample_conductance(&mut rng, target_plus, crossbar.age_s);
+                let gm = device.sample_conductance(&mut rng, target_minus, crossbar.age_s);
+                let delta = ((gp - target_plus) - (gm - target_minus)) / g_max;
+                dev_sq += delta * delta;
+                w_eff.push(((gp - gm) / g_max) as f32);
+            }
+        }
+        let sigma_delta = (dev_sq / (num_bins * dim) as f64).sqrt();
+        InMemoryEncoder {
+            software,
+            crossbar,
+            w_eff,
+            sigma_delta,
+            dim,
+            num_bins,
+            seed,
+        }
+    }
+
+    /// The software encoder sharing this hardware's item memories (the
+    /// ground truth for error measurements).
+    pub fn software(&self) -> &IdLevelEncoder {
+        &self.software
+    }
+
+    /// Chunk boundaries implied by the level style: `Chunked` streams one
+    /// input per chunk, `Random` degrades to bit-serial (one dimension per
+    /// "chunk" — the §4.2.1 comparison case).
+    fn chunk_size(&self) -> usize {
+        match self.software.config().level_style {
+            LevelStyle::Chunked { num_chunks } => self.dim.div_ceil(num_chunks),
+            LevelStyle::Random => 1,
+        }
+    }
+
+    /// Sensing cycles to encode a spectrum with `peaks` peaks:
+    /// `chunks × ceil(peaks / pairs_per_cycle)`.
+    pub fn cycles_for(&self, peaks: usize) -> usize {
+        let chunks = self.dim.div_ceil(self.chunk_size());
+        chunks * peaks.div_ceil(self.crossbar.pairs_per_cycle())
+    }
+
+    /// Encode `spectrum` in memory, returning the hypervector and the
+    /// error statistics vs the software ground truth.
+    ///
+    /// Deterministic per `(construction seed, spectrum id)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a peak bin exceeds the programmed ID memory.
+    pub fn encode_with_stats(&self, spectrum: &BinnedSpectrum) -> (BinaryHypervector, EncodeStats) {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0xa076_1d64_78bd_642f)
+                .wrapping_add(u64::from(spectrum.id)),
+        );
+        let group = self.crossbar.pairs_per_cycle();
+        let adc_levels = (1usize << self.crossbar.adc_bits) as f64;
+        let chunk_size = self.chunk_size();
+        let lm = self.software.level_memory();
+
+        // Peak rows: (bin, level) pairs.
+        let peaks: Vec<(usize, usize)> = spectrum
+            .peaks()
+            .iter()
+            .map(|p| {
+                let bin = p.bin as usize;
+                assert!(
+                    bin < self.num_bins,
+                    "bin {bin} outside the programmed ID memory ({} bins)",
+                    self.num_bins
+                );
+                (bin, lm.quantize(p.intensity))
+            })
+            .collect();
+
+        let mut acc = vec![0.0f64; self.dim];
+        let mut cycles = 0u32;
+        let mut chunk_start = 0usize;
+        while chunk_start < self.dim {
+            let chunk_end = (chunk_start + chunk_size).min(self.dim);
+            // Inputs for this chunk: the level value of each peak. For
+            // chunked level memories every dimension of the chunk shares
+            // it; bit-serial mode has chunk_size == 1.
+            let inputs: Vec<f64> = peaks
+                .iter()
+                .map(|&(_, level)| f64::from(lm.level(level).component(chunk_start)))
+                .collect();
+            let mut start = 0usize;
+            while start < peaks.len() {
+                let end = (start + group).min(peaks.len());
+                let n = (end - start) as f64;
+                cycles += 1;
+                for d in chunk_start..chunk_end {
+                    let mut v = 0.0f64;
+                    for (row, &(bin, _)) in peaks[start..end].iter().enumerate() {
+                        v += inputs[start + row] * f64::from(self.w_eff[bin * self.dim + d]);
+                    }
+                    v /= n;
+                    if self.crossbar.sense_sigma > 0.0 {
+                        v += sample_normal(&mut rng, self.crossbar.sense_sigma);
+                    }
+                    let ir_sigma = self.crossbar.ir_drop_factor * self.sigma_delta;
+                    if ir_sigma > 0.0 {
+                        v += sample_normal(&mut rng, ir_sigma);
+                    }
+                    let clamped = v.clamp(-1.0, 1.0);
+                    let code = ((clamped + 1.0) / 2.0 * (adc_levels - 1.0)).round();
+                    let v_hat = code / (adc_levels - 1.0) * 2.0 - 1.0;
+                    acc[d] += v_hat * n;
+                }
+                start = end;
+            }
+            chunk_start = chunk_end;
+        }
+
+        // Sign quantisation with the software tie-break (§4.2.3). The
+        // accumulation across row groups happens in digital logic after
+        // the ADC, and the true MAC is integer-valued, so the digital
+        // comparator treats |acc| < ½ as the zero tie rather than trusting
+        // the sign of a sub-LSB analog residue.
+        let mut hv = BinaryHypervector::zeros(self.dim);
+        let tie = self.software.quantize_accumulator(&vec![0i32; self.dim]);
+        for (d, &v) in acc.iter().enumerate() {
+            let bit = if v > 0.5 {
+                true
+            } else if v < -0.5 {
+                false
+            } else {
+                tie.bit(d)
+            };
+            hv.set(d, bit);
+        }
+
+        let truth = self.software.encode(spectrum);
+        let stats = EncodeStats {
+            bit_errors: hamming_distance(&hv, &truth),
+            dim: self.dim as u32,
+            cycles,
+        };
+        (hv, stats)
+    }
+
+    /// Encode without statistics.
+    pub fn encode(&self, spectrum: &BinnedSpectrum) -> BinaryHypervector {
+        self.encode_with_stats(spectrum).0
+    }
+}
+
+fn sample_normal<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let v: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    sigma * (-2.0 * u.ln()).sqrt() * v.cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdoms_hdc::multibit::IdPrecision;
+    use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+    use hdoms_ms::preprocess::Preprocessor;
+    use hdoms_rram::config::MlcConfig;
+
+    fn small_encoder(bits: u8) -> EncoderConfig {
+        EncoderConfig {
+            dim: 1024,
+            q_levels: 16,
+            id_precision: match bits {
+                1 => IdPrecision::Bits1,
+                2 => IdPrecision::Bits2,
+                _ => IdPrecision::Bits3,
+            },
+            level_style: LevelStyle::Chunked { num_chunks: 64 },
+            ..EncoderConfig::default()
+        }
+    }
+
+    fn crossbar(bits: u8) -> CrossbarConfig {
+        CrossbarConfig {
+            mlc: MlcConfig::with_bits(bits),
+            ..CrossbarConfig::default()
+        }
+    }
+
+    fn ideal_crossbar(bits: u8) -> CrossbarConfig {
+        CrossbarConfig {
+            mlc: MlcConfig::ideal(bits),
+            adc_bits: 12,
+            sense_sigma: 0.0,
+            age_s: 0.0,
+            ..CrossbarConfig::default()
+        }
+    }
+
+    fn binned_query() -> BinnedSpectrum {
+        let w = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 42);
+        Preprocessor::default().run(&w.queries[0]).unwrap()
+    }
+
+    #[test]
+    fn ideal_hardware_matches_software_closely() {
+        // With a noiseless device the only divergence is the monotone
+        // magnitude warp of the ID alphabet plus ADC rounding — a few
+        // bits near sign boundaries at most.
+        let enc = InMemoryEncoder::new(small_encoder(3), ideal_crossbar(3), 1);
+        let (_, stats) = enc.encode_with_stats(&binned_query());
+        assert!(
+            stats.bit_error_rate() < 0.05,
+            "ideal-hardware error {} too high",
+            stats.bit_error_rate()
+        );
+    }
+
+    #[test]
+    fn one_bit_ideal_hardware_is_exact() {
+        // Binary IDs map to extreme conductances with no warp at all.
+        let enc = InMemoryEncoder::new(small_encoder(1), ideal_crossbar(1), 1);
+        let (hv, stats) = enc.encode_with_stats(&binned_query());
+        assert_eq!(stats.bit_errors, 0, "ideal binary encoding must be exact");
+        assert_eq!(hv, enc.software().encode(&binned_query()));
+    }
+
+    #[test]
+    fn noisy_hardware_error_in_measured_range() {
+        // Fig. 9a at 64 activated rows: errors in the few-to-tens percent
+        // range, ordered by bits per cell.
+        let q = binned_query();
+        let mut rates = Vec::new();
+        for bits in 1..=3u8 {
+            let enc = InMemoryEncoder::new(small_encoder(bits), crossbar(bits), 2);
+            let (_, stats) = enc.encode_with_stats(&q);
+            rates.push(stats.bit_error_rate());
+        }
+        assert!(
+            rates[0] < rates[2],
+            "3-bit cells should err more than 1-bit: {rates:?}"
+        );
+        assert!(rates[2] < 0.45, "error should stay below random: {rates:?}");
+    }
+
+    #[test]
+    fn errors_grow_with_activated_rows() {
+        let q = binned_query();
+        let rate_at = |activated: usize| {
+            let cb = CrossbarConfig {
+                activated_rows: activated,
+                ..crossbar(3)
+            };
+            let enc = InMemoryEncoder::new(small_encoder(3), cb, 3);
+            enc.encode_with_stats(&q).1.bit_error_rate()
+        };
+        // Average direction over the Fig. 9 sweep range.
+        assert!(
+            rate_at(120) > rate_at(20) * 0.8,
+            "row trend violated: {} vs {}",
+            rate_at(20),
+            rate_at(120)
+        );
+    }
+
+    #[test]
+    fn chunked_encoding_cheaper_than_bit_serial() {
+        let chunked = InMemoryEncoder::new(small_encoder(3), crossbar(3), 4);
+        let serial_cfg = EncoderConfig {
+            level_style: LevelStyle::Random,
+            ..small_encoder(3)
+        };
+        let serial = InMemoryEncoder::new(serial_cfg, crossbar(3), 4);
+        // 64 chunks vs 1024 bit-serial steps: 16× fewer cycles.
+        assert_eq!(serial.cycles_for(100), 16 * chunked.cycles_for(100));
+        let q = binned_query();
+        let (_, s1) = chunked.encode_with_stats(&q);
+        let (_, s2) = serial.encode_with_stats(&q);
+        assert!(s1.cycles < s2.cycles);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let enc = InMemoryEncoder::new(small_encoder(3), crossbar(3), 5);
+        let q = binned_query();
+        assert_eq!(enc.encode(&q), enc.encode(&q));
+    }
+
+    #[test]
+    fn different_spectra_get_independent_noise() {
+        let w = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 43);
+        let pre = Preprocessor::default();
+        let a = pre.run(&w.queries[0]).unwrap();
+        let b = pre.run(&w.queries[1]).unwrap();
+        let enc = InMemoryEncoder::new(small_encoder(3), crossbar(3), 6);
+        assert_ne!(enc.encode(&a), enc.encode(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the cell precision")]
+    fn precision_mismatch_rejected() {
+        let _ = InMemoryEncoder::new(small_encoder(3), crossbar(1), 7);
+    }
+
+    #[test]
+    fn cycles_formula() {
+        let enc = InMemoryEncoder::new(small_encoder(3), crossbar(3), 8);
+        // 64 chunks × ceil(100 / 32) = 64 × 4 = 256.
+        assert_eq!(enc.cycles_for(100), 256);
+        let q = binned_query();
+        let (_, stats) = enc.encode_with_stats(&q);
+        assert_eq!(stats.cycles as usize, enc.cycles_for(q.peaks().len()));
+    }
+}

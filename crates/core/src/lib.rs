@@ -1,0 +1,50 @@
+//! The paper's contribution: an OMS accelerator on multi-level-cell RRAM.
+//!
+//! This crate assembles the substrates — mass-spec preprocessing
+//! (`hdoms-ms`), hyperdimensional encoding (`hdoms-hdc`), the behavioural
+//! MLC RRAM chip (`hdoms-rram`) and the OMS pipeline (`hdoms-oms`) — into
+//! the accelerator the paper proposes:
+//!
+//! * [`encode`] — **encoding in memory** (§4.2): the position-ID item
+//!   memory lives in RRAM as differential multi-bit weights; level
+//!   hypervectors stream in chunk-by-chunk (the §4.2.1 co-design that
+//!   turns an element-wise MAC into an MVM), and the analog outputs are
+//!   sign-quantised into the final binary hypervector (§4.2.3).
+//! * [`search`] — **Hamming search in memory** (§4.1): reference
+//!   hypervectors stand vertically as differential binary weights; query
+//!   bits drive the bit lines and open-circuit voltage sensing digitises
+//!   one activated-row group per cycle.
+//! * [`accelerator`] — the full backend: encode references in memory,
+//!   store, encode queries in memory, search in memory; plugs into the
+//!   `hdoms-oms` pipeline as a [`hdoms_oms::search::SimilarityBackend`].
+//! * [`perf`] — the latency/energy model behind Fig. 12 and the §5.2.2
+//!   throughput ablation.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hdoms_core::accelerator::{AcceleratorConfig, OmsAccelerator};
+//! use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+//! use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
+//!
+//! let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 7);
+//! let accel = OmsAccelerator::build(&workload.library, AcceleratorConfig::default());
+//! let pipeline = OmsPipeline::new(PipelineConfig::default());
+//! let outcome = pipeline.run(&workload, &accel);
+//! println!("{} identifications on RRAM", outcome.identifications());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod accelerator;
+pub mod encode;
+pub mod mapping;
+pub mod perf;
+pub mod search;
+
+pub use accelerator::{AcceleratorConfig, OmsAccelerator};
+pub use encode::InMemoryEncoder;
+pub use mapping::LibraryMapping;
+pub use perf::{PerfReport, WorkloadShape};
+pub use search::InMemorySearch;

@@ -1,0 +1,385 @@
+//! Hamming similarity search in memory (§4.1 of the paper).
+//!
+//! Encoded reference hypervectors stand **vertically** in the crossbar:
+//! each reference occupies one column, each dimension one differential
+//! row pair (Fig. 4a). A query hypervector drives the bit lines as
+//! differential voltages (`V_ref ± V_pulse`), `activated_rows` rows fire
+//! per cycle, and the source-line voltage of every column digitises one
+//! partial MAC (Eq. 5). Partial sums accumulate digitally across row
+//! groups; libraries wider than one array tile simply occupy more tiles,
+//! all computing in parallel — the property that lets in-memory search
+//! scale with data volume.
+//!
+//! ## Noise model
+//!
+//! Binary weights use only the two extreme conductance states, the most
+//! stable ones, with a static per-cell deviation after relaxation. Within
+//! one sensing cycle the deviations of the `activated_rows/2` pairs sum;
+//! with ≥ 8 pairs per cycle the sum is well-approximated as Gaussian with
+//! variance `n · σ_δ²` (central limit theorem over the independent Laplace
+//! per-cell terms — the approximation is documented in `EXPERIMENTS.md`),
+//! on top of sensing noise and ADC quantisation exactly as in
+//! [`hdoms_rram::array`].
+
+use hdoms_hdc::parallel::par_map;
+use hdoms_hdc::BinaryHypervector;
+use hdoms_rram::array::CrossbarConfig;
+use hdoms_rram::device::DeviceModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one in-memory similarity evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// The analog MAC estimate (bipolar dot product units).
+    pub estimated_dot: f64,
+    /// The exact bipolar dot product.
+    pub exact_dot: i64,
+    /// Sensing cycles consumed.
+    pub cycles: u32,
+}
+
+/// In-memory Hamming search over a stored reference set.
+#[derive(Debug, Clone)]
+pub struct InMemorySearch {
+    crossbar: CrossbarConfig,
+    /// Stored reference hypervectors by library id (binary weights are
+    /// representable exactly at any cell precision, so the stored bits
+    /// equal the encoded bits; analog error enters at evaluation time).
+    references: Vec<Option<BinaryHypervector>>,
+    /// Static per-pair conductance deviation (σ of `(δ⁺−δ⁻)/g_max`).
+    sigma_delta: f64,
+    dim: usize,
+    seed: u64,
+    threads: usize,
+}
+
+impl InMemorySearch {
+    /// Store `references` (one slot per library id; `None` marks entries
+    /// that failed preprocessing) in the simulated crossbars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crossbar` is invalid or reference dimensions disagree.
+    pub fn new(
+        crossbar: CrossbarConfig,
+        references: Vec<Option<BinaryHypervector>>,
+        seed: u64,
+        threads: usize,
+    ) -> InMemorySearch {
+        crossbar.validate();
+        let dim = references
+            .iter()
+            .flatten()
+            .map(BinaryHypervector::dim)
+            .next()
+            .expect("at least one stored reference");
+        assert!(
+            references.iter().flatten().all(|hv| hv.dim() == dim),
+            "all references must share a dimension"
+        );
+        // σ of one Laplace(λ) is λ√2; the differential pair subtracts two
+        // independent extreme-level cells.
+        let device = DeviceModel::new(crossbar.mlc);
+        let lambda = device.lambda(0.0, crossbar.age_s);
+        let sigma_cell = lambda * std::f64::consts::SQRT_2;
+        let sigma_delta = (2.0 * sigma_cell * sigma_cell).sqrt() / crossbar.mlc.g_max_us;
+        InMemorySearch {
+            crossbar,
+            references,
+            sigma_delta,
+            dim,
+            seed,
+            threads,
+        }
+    }
+
+    /// The stored references.
+    pub fn references(&self) -> &[Option<BinaryHypervector>] {
+        &self.references
+    }
+
+    /// Hypervector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Sensing cycles per query-column evaluation
+    /// (`ceil(dim / pairs_per_cycle)` — all columns digitise in parallel).
+    pub fn cycles_per_query(&self) -> usize {
+        self.dim.div_ceil(self.crossbar.pairs_per_cycle())
+    }
+
+    /// Evaluate the analog similarity between `query` and stored reference
+    /// `reference_id`, deterministic in `(seed, query id, reference id)`.
+    ///
+    /// Returns `None` if the reference slot is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or an out-of-range id.
+    pub fn evaluate(&self, query: &BinaryHypervector, query_id: u32, reference_id: u32) -> Option<SearchStats> {
+        let reference = self.references[reference_id as usize].as_ref()?;
+        assert_eq!(query.dim(), self.dim, "query dimension mismatch");
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ (u64::from(query_id) << 32 | u64::from(reference_id))
+                    .wrapping_mul(0x2545_f491_4f6c_dd1d),
+        );
+        let group = self.crossbar.pairs_per_cycle();
+        let adc_levels = (1usize << self.crossbar.adc_bits) as f64;
+        let mut acc = 0.0f64;
+        let mut cycles = 0u32;
+        let mut exact = 0i64;
+        let mut start = 0usize;
+        while start < self.dim {
+            let end = (start + group).min(self.dim);
+            let n = (end - start) as f64;
+            cycles += 1;
+            // Exact partial MAC over this group via masked XOR popcount.
+            let same = matching_bits(query, reference, start, end);
+            let mac = 2.0 * same as f64 - n; // matches − mismatches
+            exact += mac as i64;
+            // Analog path: normalised voltage + weight deviation (CLT over
+            // the group) + sensing noise → ADC.
+            let mut v = mac / n;
+            let sigma_group = self.sigma_delta / n.sqrt();
+            if sigma_group > 0.0 {
+                v += sample_normal(&mut rng, sigma_group);
+            }
+            if self.crossbar.sense_sigma > 0.0 {
+                v += sample_normal(&mut rng, self.crossbar.sense_sigma);
+            }
+            // IR-drop / settling error: conductance deviations aggregate
+            // coherently across the driven rows (see CrossbarConfig).
+            let ir_sigma = self.crossbar.ir_drop_factor * self.sigma_delta;
+            if ir_sigma > 0.0 {
+                v += sample_normal(&mut rng, ir_sigma);
+            }
+            let clamped = v.clamp(-1.0, 1.0);
+            let code = ((clamped + 1.0) / 2.0 * (adc_levels - 1.0)).round();
+            let v_hat = code / (adc_levels - 1.0) * 2.0 - 1.0;
+            acc += v_hat * n;
+            start = end;
+        }
+        Some(SearchStats {
+            estimated_dot: acc,
+            exact_dot: exact,
+            cycles,
+        })
+    }
+
+    /// Find the best reference for `query` among `candidates` using the
+    /// analog scores.
+    pub fn search_best(
+        &self,
+        query: &BinaryHypervector,
+        query_id: u32,
+        candidates: &[u32],
+    ) -> Option<(u32, f64)> {
+        let mut best: Option<(u32, f64)> = None;
+        for &cand in candidates {
+            let Some(stats) = self.evaluate(query, query_id, cand) else {
+                continue;
+            };
+            let score = stats.estimated_dot / self.dim as f64;
+            let better = match best {
+                None => true,
+                Some((b_ref, b_score)) => {
+                    score > b_score || (score == b_score && cand < b_ref)
+                }
+            };
+            if better {
+                best = Some((cand, score));
+            }
+        }
+        best
+    }
+
+    /// Batched best-match search, parallel over queries.
+    pub fn search_batch(
+        &self,
+        queries: &[(u32, BinaryHypervector)],
+        candidates: &[Vec<u32>],
+    ) -> Vec<Option<(u32, f64)>> {
+        assert_eq!(queries.len(), candidates.len(), "queries and candidates must pair up");
+        let jobs: Vec<usize> = (0..queries.len()).collect();
+        par_map(&jobs, self.threads, |&i| {
+            let (qid, hv) = &queries[i];
+            self.search_best(hv, *qid, &candidates[i])
+        })
+    }
+}
+
+/// Number of equal bits between `a` and `b` within dimensions
+/// `[start, end)`, computed with masked XOR popcounts.
+fn matching_bits(a: &BinaryHypervector, b: &BinaryHypervector, start: usize, end: usize) -> u32 {
+    debug_assert!(start < end && end <= a.dim());
+    let mut mismatches = 0u32;
+    let first_word = start / 64;
+    let last_word = (end - 1) / 64;
+    for w in first_word..=last_word {
+        let mut mask = u64::MAX;
+        if w == first_word {
+            mask &= u64::MAX << (start % 64);
+        }
+        if w == last_word {
+            let top = end - w * 64;
+            if top < 64 {
+                mask &= (1u64 << top) - 1;
+            }
+        }
+        mismatches += ((a.words()[w] ^ b.words()[w]) & mask).count_ones();
+    }
+    (end - start) as u32 - mismatches
+}
+
+fn sample_normal<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let v: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    sigma * (-2.0 * u.ln()).sqrt() * v.cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdoms_hdc::similarity::dot;
+    use hdoms_rram::config::MlcConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_refs(n: usize, dim: usize, seed: u64) -> Vec<Option<BinaryHypervector>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Some(BinaryHypervector::random(&mut rng, dim)))
+            .collect()
+    }
+
+    fn ideal_crossbar() -> CrossbarConfig {
+        CrossbarConfig {
+            mlc: MlcConfig::ideal(1),
+            adc_bits: 12,
+            sense_sigma: 0.0,
+            age_s: 0.0,
+            ..CrossbarConfig::default()
+        }
+    }
+
+    #[test]
+    fn matching_bits_agrees_with_naive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = BinaryHypervector::random(&mut rng, 300);
+        let b = BinaryHypervector::random(&mut rng, 300);
+        for &(s, e) in &[(0usize, 300usize), (0, 64), (63, 65), (100, 131), (250, 300), (5, 6)] {
+            let naive = (s..e).filter(|&i| a.bit(i) == b.bit(i)).count() as u32;
+            assert_eq!(matching_bits(&a, &b, s, e), naive, "range {s}..{e}");
+        }
+    }
+
+    #[test]
+    fn ideal_hardware_recovers_exact_dot() {
+        let refs = random_refs(10, 1024, 2);
+        let search = InMemorySearch::new(ideal_crossbar(), refs.clone(), 3, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = BinaryHypervector::random(&mut rng, 1024);
+        for id in 0..10u32 {
+            let stats = search.evaluate(&q, 0, id).unwrap();
+            let exact = dot(&q, refs[id as usize].as_ref().unwrap());
+            assert_eq!(stats.exact_dot, exact);
+            assert!(
+                (stats.estimated_dot - exact as f64).abs() <= 16.0,
+                "ideal estimate {} vs exact {exact}",
+                stats.estimated_dot
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_hardware_rmse_small_relative_to_match_gap() {
+        let refs = random_refs(50, 2048, 5);
+        let search = InMemorySearch::new(CrossbarConfig::default(), refs.clone(), 6, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = BinaryHypervector::random(&mut rng, 2048);
+        let mut se = 0.0f64;
+        for id in 0..50u32 {
+            let stats = search.evaluate(&q, 0, id).unwrap();
+            se += (stats.estimated_dot - stats.exact_dot as f64).powi(2);
+        }
+        let rmse = (se / 50.0).sqrt();
+        // Matched pairs differ from random ones by thousands of dot units
+        // at D = 2048; hardware noise must stay well below that.
+        assert!(rmse < 150.0, "search RMSE {rmse} too high");
+        assert!(rmse > 0.0, "noisy hardware should not be exact");
+    }
+
+    #[test]
+    fn best_match_survives_hardware_noise() {
+        let dim = 2048;
+        let mut refs = random_refs(100, dim, 8);
+        // Plant a near-duplicate of the query at id 37.
+        let mut rng = StdRng::seed_from_u64(9);
+        let q = BinaryHypervector::random(&mut rng, dim);
+        let mut near = q.clone();
+        for i in 0..dim / 10 {
+            near.flip(i * 10); // 10 % corrupted copy
+        }
+        refs[37] = Some(near);
+        let search = InMemorySearch::new(CrossbarConfig::default(), refs, 10, 1);
+        let candidates: Vec<u32> = (0..100).collect();
+        let (best, score) = search.search_best(&q, 0, &candidates).unwrap();
+        assert_eq!(best, 37, "true match must win despite analog noise");
+        assert!(score > 0.5);
+    }
+
+    #[test]
+    fn empty_slots_are_skipped() {
+        let mut refs = random_refs(5, 512, 11);
+        refs[2] = None;
+        let search = InMemorySearch::new(CrossbarConfig::default(), refs, 12, 1);
+        let mut rng = StdRng::seed_from_u64(13);
+        let q = BinaryHypervector::random(&mut rng, 512);
+        assert!(search.evaluate(&q, 0, 2).is_none());
+        let best = search.search_best(&q, 0, &[2]);
+        assert!(best.is_none());
+    }
+
+    #[test]
+    fn deterministic_per_ids() {
+        let refs = random_refs(5, 512, 14);
+        let search = InMemorySearch::new(CrossbarConfig::default(), refs, 15, 1);
+        let mut rng = StdRng::seed_from_u64(16);
+        let q = BinaryHypervector::random(&mut rng, 512);
+        let a = search.evaluate(&q, 3, 1).unwrap();
+        let b = search.evaluate(&q, 3, 1).unwrap();
+        assert_eq!(a, b);
+        // Different query id → different noise draw.
+        let c = search.evaluate(&q, 4, 1).unwrap();
+        assert_ne!(a.estimated_dot, c.estimated_dot);
+        assert_eq!(a.exact_dot, c.exact_dot);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_parallel() {
+        let refs = random_refs(30, 512, 17);
+        let mut rng = StdRng::seed_from_u64(18);
+        let queries: Vec<(u32, BinaryHypervector)> = (0..8)
+            .map(|i| (i, BinaryHypervector::random(&mut rng, 512)))
+            .collect();
+        let candidates: Vec<Vec<u32>> = (0..8).map(|_| (0..30).collect()).collect();
+        let s1 = InMemorySearch::new(CrossbarConfig::default(), refs.clone(), 19, 1);
+        let s8 = InMemorySearch::new(CrossbarConfig::default(), refs, 19, 8);
+        assert_eq!(
+            s1.search_batch(&queries, &candidates),
+            s8.search_batch(&queries, &candidates)
+        );
+    }
+
+    #[test]
+    fn cycles_per_query_formula() {
+        let refs = random_refs(2, 8192, 20);
+        let search = InMemorySearch::new(CrossbarConfig::default(), refs, 21, 1);
+        // 8192 dims / 32 pairs per cycle = 256.
+        assert_eq!(search.cycles_per_query(), 256);
+    }
+}

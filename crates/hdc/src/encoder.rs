@@ -1,0 +1,324 @@
+//! The ID-Level encoder (Eq. (1) of the paper).
+//!
+//! A preprocessed spectrum — a sparse set of (m/z bin, intensity) pairs —
+//! is encoded into a binary hypervector:
+//!
+//! ```text
+//! h = Sign( Σ_{i ∈ S} ID_i ⊗ LV_i )
+//! ```
+//!
+//! where `ID_i` is the position hypervector of the peak's m/z bin and
+//! `LV_i` the level hypervector of its quantised intensity. The encoder
+//! exposes the raw accumulator alongside the signed result because the
+//! RRAM backend needs to inject analog error *before* the sign
+//! quantisation (§4.2.3).
+
+use crate::hv::BinaryHypervector;
+use crate::item_memory::{IdMemory, LevelMemory, LevelStyle};
+use crate::multibit::IdPrecision;
+use crate::parallel::par_map;
+use hdoms_ms::preprocess::{BinnedSpectrum, PreprocessConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Encoder parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Hypervector dimension `D`. The paper uses 8192 for its quality
+    /// results and sweeps 1024–8192 in Fig. 13.
+    pub dim: usize,
+    /// Number of intensity quantisation levels `Q` (16–32 in the paper;
+    /// the choice "does not significantly impact the results").
+    pub q_levels: usize,
+    /// ID component precision (§4.2.2); the paper's headline setting is
+    /// 3-bit.
+    pub id_precision: IdPrecision,
+    /// Level hypervector style; `Chunked` enables the MVM-style in-memory
+    /// encoding of §4.2.1.
+    pub level_style: LevelStyle,
+    /// Number of m/z bins (the ID memory size). Must cover every bin the
+    /// preprocessor can emit.
+    pub num_bins: usize,
+    /// Seed for the item memories and the sign tie-break vector.
+    pub seed: u64,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> EncoderConfig {
+        EncoderConfig {
+            dim: 8192,
+            q_levels: 32,
+            id_precision: IdPrecision::Bits3,
+            level_style: LevelStyle::Chunked { num_chunks: 128 },
+            num_bins: PreprocessConfig::default().num_bins(),
+            seed: 0x0d5e_ed00,
+        }
+    }
+}
+
+/// ID-Level encoder: owns the item memories and turns binned spectra into
+/// binary hypervectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdLevelEncoder {
+    config: EncoderConfig,
+    id_memory: IdMemory,
+    level_memory: LevelMemory,
+    /// Bipolar (±1 as i8) expansion of each level hypervector, precomputed
+    /// so the accumulation loop is a branch-free multiply-add.
+    level_bipolar: Vec<Vec<i8>>,
+    /// Resolves `Sign(0)` deterministically: a random but fixed ±1 per
+    /// dimension.
+    tie_break: BinaryHypervector,
+}
+
+impl IdLevelEncoder {
+    /// Build an encoder (generates both item memories deterministically
+    /// from `config.seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero dim, fewer than two
+    /// levels, chunk constraints) — see [`LevelMemory::generate`].
+    pub fn new(config: EncoderConfig) -> IdLevelEncoder {
+        let id_memory = IdMemory::generate(
+            config.seed ^ 0x1d,
+            config.num_bins,
+            config.dim,
+            config.id_precision,
+        );
+        let level_memory =
+            LevelMemory::generate(config.seed ^ 0x7e, config.dim, config.q_levels, config.level_style);
+        let level_bipolar = (0..config.q_levels)
+            .map(|q| level_memory.level(q).to_bipolar())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x71e);
+        let tie_break = BinaryHypervector::random(&mut rng, config.dim);
+        IdLevelEncoder {
+            config,
+            id_memory,
+            level_memory,
+            level_bipolar,
+            tie_break,
+        }
+    }
+
+    /// The configuration this encoder was built with.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// The position-ID item memory.
+    pub fn id_memory(&self) -> &IdMemory {
+        &self.id_memory
+    }
+
+    /// The level item memory.
+    pub fn level_memory(&self) -> &LevelMemory {
+        &self.level_memory
+    }
+
+    /// The raw encoding accumulator `Σ ID_i ⊗ LV_i` (before `Sign`).
+    ///
+    /// The in-memory encoding path perturbs this accumulator with the
+    /// analog error model before quantising, so it is public API
+    /// (C-INTERMEDIATE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a peak's bin index is outside `0..num_bins` — that means
+    /// the preprocessor and encoder configurations disagree.
+    pub fn accumulate(&self, spectrum: &BinnedSpectrum) -> Vec<i32> {
+        let dim = self.config.dim;
+        let mut acc = vec![0i32; dim];
+        for peak in spectrum.peaks() {
+            let bin = peak.bin as usize;
+            assert!(
+                bin < self.config.num_bins,
+                "bin {bin} outside ID memory ({} bins) — preprocessor/encoder mismatch",
+                self.config.num_bins
+            );
+            let level = self.level_memory.quantize(peak.intensity);
+            let id = self.id_memory.id(bin);
+            let lv = &self.level_bipolar[level];
+            for d in 0..dim {
+                acc[d] += i32::from(id[d]) * i32::from(lv[d]);
+            }
+        }
+        acc
+    }
+
+    /// Quantise an accumulator to a binary hypervector with `Sign`,
+    /// breaking `0` ties with the encoder's fixed tie-break vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len()` differs from the configured dimension.
+    pub fn quantize_accumulator(&self, acc: &[i32]) -> BinaryHypervector {
+        assert_eq!(acc.len(), self.config.dim, "accumulator length mismatch");
+        let mut hv = BinaryHypervector::zeros(self.config.dim);
+        for (d, &v) in acc.iter().enumerate() {
+            let bit = match v.cmp(&0) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => self.tie_break.bit(d),
+            };
+            hv.set(d, bit);
+        }
+        hv
+    }
+
+    /// Encode one spectrum: [`IdLevelEncoder::accumulate`] then
+    /// [`IdLevelEncoder::quantize_accumulator`].
+    pub fn encode(&self, spectrum: &BinnedSpectrum) -> BinaryHypervector {
+        self.quantize_accumulator(&self.accumulate(spectrum))
+    }
+
+    /// Encode a batch on `threads` threads, preserving order.
+    pub fn encode_batch(&self, spectra: &[BinnedSpectrum], threads: usize) -> Vec<BinaryHypervector> {
+        par_map(spectra, threads, |s| self.encode(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::normalized_similarity;
+    use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+    use hdoms_ms::noise::NoiseModel;
+    use hdoms_ms::preprocess::Preprocessor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> EncoderConfig {
+        EncoderConfig {
+            dim: 2048,
+            q_levels: 16,
+            id_precision: IdPrecision::Bits3,
+            level_style: LevelStyle::Random,
+            ..EncoderConfig::default()
+        }
+    }
+
+    fn encoded_pair(style: LevelStyle) -> (f64, f64) {
+        // Returns (similarity of noisy re-measurement, similarity of
+        // unrelated spectra) under the given level style.
+        let w = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 77);
+        let pre = Preprocessor::default();
+        let enc = IdLevelEncoder::new(EncoderConfig {
+            level_style: style,
+            ..small_config()
+        });
+        let clean = &w.library.entries()[0].spectrum;
+        let noisy = NoiseModel::default().apply(&mut StdRng::seed_from_u64(1), clean);
+        let other = &w.library.entries()[1].spectrum;
+        let h_clean = enc.encode(&pre.run(clean).unwrap());
+        let h_noisy = enc.encode(&pre.run(&noisy).unwrap());
+        let h_other = enc.encode(&pre.run(other).unwrap());
+        (
+            normalized_similarity(&h_clean, &h_noisy),
+            normalized_similarity(&h_clean, &h_other),
+        )
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let w = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 5);
+        let pre = Preprocessor::default();
+        let b = pre.run(&w.queries[0]).unwrap();
+        let enc1 = IdLevelEncoder::new(small_config());
+        let enc2 = IdLevelEncoder::new(small_config());
+        assert_eq!(enc1.encode(&b), enc2.encode(&b));
+    }
+
+    #[test]
+    fn noisy_remeasurement_stays_similar() {
+        let (sim_noisy, sim_other) = encoded_pair(LevelStyle::Random);
+        assert!(
+            sim_noisy > 0.25,
+            "noisy re-measurement similarity too low: {sim_noisy}"
+        );
+        assert!(
+            sim_other < sim_noisy / 2.0,
+            "unrelated spectrum too similar: {sim_other} vs {sim_noisy}"
+        );
+    }
+
+    #[test]
+    fn chunked_levels_preserve_quality() {
+        let (sim_noisy, sim_other) = encoded_pair(LevelStyle::Chunked { num_chunks: 128 });
+        assert!(
+            sim_noisy > 0.25,
+            "chunked: noisy similarity too low: {sim_noisy}"
+        );
+        assert!(sim_other < sim_noisy / 2.0);
+    }
+
+    #[test]
+    fn accumulator_bounds() {
+        // |acc[d]| can never exceed peaks * max_abs(ID).
+        let w = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 6);
+        let pre = Preprocessor::default();
+        let enc = IdLevelEncoder::new(small_config());
+        let b = pre.run(&w.queries[0]).unwrap();
+        let acc = enc.accumulate(&b);
+        let bound = (b.peaks().len() as i32) * 4;
+        assert!(acc.iter().all(|&v| v.abs() <= bound));
+        // And the accumulator is not trivially zero.
+        assert!(acc.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn quantize_ties_use_tie_break() {
+        let enc = IdLevelEncoder::new(small_config());
+        let zeros = vec![0i32; 2048];
+        let hv = enc.quantize_accumulator(&zeros);
+        // Sign(0) must equal the tie-break vector — check determinism and
+        // rough balance.
+        assert_eq!(hv, enc.quantize_accumulator(&zeros));
+        let ones = hv.count_ones() as f64;
+        assert!((ones - 1024.0).abs() < 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator length mismatch")]
+    fn quantize_checks_length() {
+        let enc = IdLevelEncoder::new(small_config());
+        let _ = enc.quantize_accumulator(&[0i32; 7]);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let w = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 8);
+        let pre = Preprocessor::default();
+        let (batch, _) = pre.run_batch(&w.queries);
+        let enc = IdLevelEncoder::new(small_config());
+        let seq: Vec<_> = batch.iter().map(|b| enc.encode(b)).collect();
+        let par = enc.encode_batch(&batch, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn binary_ids_also_work() {
+        let enc = IdLevelEncoder::new(EncoderConfig {
+            id_precision: IdPrecision::Bits1,
+            ..small_config()
+        });
+        let w = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 9);
+        let pre = Preprocessor::default();
+        let b = pre.run(&w.queries[0]).unwrap();
+        let hv = enc.encode(&b);
+        assert_eq!(hv.dim(), 2048);
+    }
+
+    #[test]
+    fn encodings_use_full_dimensionality() {
+        let w = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 10);
+        let pre = Preprocessor::default();
+        let enc = IdLevelEncoder::new(small_config());
+        let hv = enc.encode(&pre.run(&w.queries[0]).unwrap());
+        let ones = hv.count_ones() as f64;
+        // A healthy encoding is near-balanced.
+        assert!((ones - 1024.0).abs() < 250.0, "ones = {ones}");
+    }
+}

@@ -1,0 +1,369 @@
+//! Item memories for ID-Level encoding (§3.2, §4.2.1).
+//!
+//! * The **ID memory** maps each m/z bin position to a quasi-orthogonal
+//!   *position hypervector* (`ID_i`). Following §4.2.2 these may carry
+//!   multi-bit components.
+//! * The **level memory** maps each of `Q` quantised intensity levels to a
+//!   binary *level hypervector* (`l_j`). `l_0` is random and each
+//!   subsequent level flips `D/(2Q)` previously-unflipped bits of its
+//!   predecessor, so similarity between levels falls off linearly with
+//!   their distance — nearby intensities stay similar in hyperspace.
+//! * The **chunked** level memory style implements the paper's co-design
+//!   (§4.2.1): the `D` dimensions are split into equal chunks and all bits
+//!   in a chunk share one value, letting the in-memory encoder feed level
+//!   inputs chunk-by-chunk (MVM-style) instead of bit-serially.
+
+use crate::hv::BinaryHypervector;
+use crate::multibit::IdPrecision;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How level hypervectors are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LevelStyle {
+    /// Fully random base vector with bit-granular flips (the conventional
+    /// scheme; requires bit-serial input feeding in hardware).
+    Random,
+    /// Chunked level hypervectors (§4.2.1): all bits within one of
+    /// `num_chunks` equal chunks share a value, enabling chunk-parallel
+    /// (MVM-style) in-memory encoding.
+    Chunked {
+        /// Number of chunks `D` is divided into. Must satisfy
+        /// `num_chunks >= 2 * q_levels` so each level can flip at least one
+        /// whole chunk.
+        num_chunks: usize,
+    },
+}
+
+/// The position-ID item memory: one multi-bit hypervector per m/z bin.
+///
+/// Stored flattened (`num_positions × dim` components) for cache-friendly
+/// sequential encoding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdMemory {
+    num_positions: usize,
+    dim: usize,
+    precision: IdPrecision,
+    data: Vec<i8>,
+}
+
+impl IdMemory {
+    /// Generate deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_positions` or `dim` is zero.
+    pub fn generate(
+        seed: u64,
+        num_positions: usize,
+        dim: usize,
+        precision: IdPrecision,
+    ) -> IdMemory {
+        assert!(num_positions > 0, "need at least one position");
+        assert!(dim > 0, "hypervector dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..num_positions * dim)
+            .map(|_| precision.sample(&mut rng))
+            .collect();
+        IdMemory {
+            num_positions,
+            dim,
+            precision,
+            data,
+        }
+    }
+
+    /// The ID hypervector components for `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= num_positions`.
+    #[inline]
+    pub fn id(&self, position: usize) -> &[i8] {
+        assert!(
+            position < self.num_positions,
+            "position {position} out of bounds ({} positions)",
+            self.num_positions
+        );
+        &self.data[position * self.dim..(position + 1) * self.dim]
+    }
+
+    /// Number of positions (m/z bins).
+    pub fn num_positions(&self) -> usize {
+        self.num_positions
+    }
+
+    /// Hypervector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Component precision.
+    pub fn precision(&self) -> IdPrecision {
+        self.precision
+    }
+}
+
+/// The level item memory: `q` binary hypervectors with linearly decaying
+/// mutual similarity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelMemory {
+    dim: usize,
+    q: usize,
+    style: LevelStyle,
+    levels: Vec<BinaryHypervector>,
+    /// For [`LevelStyle::Chunked`]: per-level chunk values (`±1` per chunk),
+    /// the form the in-memory encoder feeds into the array.
+    chunk_values: Vec<Vec<i8>>,
+}
+
+impl LevelMemory {
+    /// Generate deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2`, if `dim / (2q) == 0` for the random style, or if
+    /// `num_chunks < 2q` / `num_chunks > dim` for the chunked style.
+    pub fn generate(seed: u64, dim: usize, q: usize, style: LevelStyle) -> LevelMemory {
+        assert!(q >= 2, "need at least two quantisation levels");
+        assert!(dim > 0, "hypervector dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1e7e_11);
+        match style {
+            LevelStyle::Random => {
+                let flips_per_level = dim / (2 * q);
+                assert!(
+                    flips_per_level >= 1,
+                    "dim {dim} too small for {q} levels (dim/(2q) must be ≥ 1)"
+                );
+                let mut perm: Vec<usize> = (0..dim).collect();
+                perm.shuffle(&mut rng);
+                let mut levels = Vec::with_capacity(q);
+                let mut current = BinaryHypervector::random(&mut rng, dim);
+                levels.push(current.clone());
+                for j in 1..q {
+                    for &d in &perm[(j - 1) * flips_per_level..j * flips_per_level] {
+                        current.flip(d);
+                    }
+                    levels.push(current.clone());
+                }
+                LevelMemory {
+                    dim,
+                    q,
+                    style,
+                    levels,
+                    chunk_values: Vec::new(),
+                }
+            }
+            LevelStyle::Chunked { num_chunks } => {
+                assert!(
+                    num_chunks >= 2 * q,
+                    "num_chunks {num_chunks} must be at least 2q = {}",
+                    2 * q
+                );
+                assert!(
+                    num_chunks <= dim,
+                    "num_chunks {num_chunks} cannot exceed dim {dim}"
+                );
+                let chunk_flips = num_chunks / (2 * q);
+                let mut perm: Vec<usize> = (0..num_chunks).collect();
+                perm.shuffle(&mut rng);
+                let mut current: Vec<i8> = (0..num_chunks)
+                    .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+                    .collect();
+                let mut chunk_values = Vec::with_capacity(q);
+                chunk_values.push(current.clone());
+                for j in 1..q {
+                    for &c in &perm[(j - 1) * chunk_flips..j * chunk_flips] {
+                        current[c] = -current[c];
+                    }
+                    chunk_values.push(current.clone());
+                }
+                let levels = chunk_values
+                    .iter()
+                    .map(|cv| expand_chunks(cv, dim))
+                    .collect();
+                LevelMemory {
+                    dim,
+                    q,
+                    style,
+                    levels,
+                    chunk_values,
+                }
+            }
+        }
+    }
+
+    /// The level hypervector for `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= q`.
+    #[inline]
+    pub fn level(&self, level: usize) -> &BinaryHypervector {
+        &self.levels[level]
+    }
+
+    /// For chunked memories, the per-chunk values (`±1`) of `level`; empty
+    /// slice family for the random style.
+    pub fn chunk_values(&self, level: usize) -> Option<&[i8]> {
+        self.chunk_values.get(level).map(Vec::as_slice)
+    }
+
+    /// Quantise a normalised intensity in `[0, 1]` to a level index in
+    /// `0..q`.
+    ///
+    /// Values outside `[0, 1]` are clamped — preprocessing normalises to
+    /// that range, but defensive clamping keeps corrupt inputs from
+    /// panicking deep inside encoding.
+    #[inline]
+    pub fn quantize(&self, intensity: f32) -> usize {
+        let clamped = intensity.clamp(0.0, 1.0);
+        ((f64::from(clamped) * (self.q as f64 - 1.0)).round()) as usize
+    }
+
+    /// Number of levels `Q`.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Hypervector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The generation style.
+    pub fn style(&self) -> LevelStyle {
+        self.style
+    }
+}
+
+/// Expand per-chunk values into a full binary hypervector. Chunks are the
+/// contiguous ranges `[c*ceil(dim/n), (c+1)*ceil(dim/n))` clipped to `dim`.
+fn expand_chunks(chunk_values: &[i8], dim: usize) -> BinaryHypervector {
+    let n = chunk_values.len();
+    let chunk_size = dim.div_ceil(n);
+    let mut hv = BinaryHypervector::zeros(dim);
+    for (c, &v) in chunk_values.iter().enumerate() {
+        if v > 0 {
+            let start = c * chunk_size;
+            let end = ((c + 1) * chunk_size).min(dim);
+            for d in start..end {
+                hv.set(d, true);
+            }
+        }
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::hamming_distance;
+
+    #[test]
+    fn id_memory_deterministic_and_distinct() {
+        let a = IdMemory::generate(5, 100, 256, IdPrecision::Bits3);
+        let b = IdMemory::generate(5, 100, 256, IdPrecision::Bits3);
+        assert_eq!(a, b);
+        assert_ne!(a.id(0), a.id(1));
+    }
+
+    #[test]
+    fn id_memory_respects_precision() {
+        for p in IdPrecision::ALL {
+            let m = IdMemory::generate(1, 10, 128, p);
+            for pos in 0..10 {
+                for &c in m.id(pos) {
+                    assert!(c != 0 && c.abs() <= p.max_abs());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn id_memory_bounds() {
+        let m = IdMemory::generate(1, 4, 64, IdPrecision::Bits1);
+        let _ = m.id(4);
+    }
+
+    #[test]
+    fn level_memory_linear_similarity_decay() {
+        let q = 16;
+        let dim = 2048;
+        let lm = LevelMemory::generate(3, dim, q, LevelStyle::Random);
+        let f = dim / (2 * q);
+        for i in 0..q {
+            for j in i..q {
+                let hd = hamming_distance(lm.level(i), lm.level(j)) as usize;
+                assert_eq!(hd, (j - i) * f, "levels {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_levels_not_too_similar() {
+        let lm = LevelMemory::generate(3, 4096, 32, LevelStyle::Random);
+        let hd = hamming_distance(lm.level(0), lm.level(31));
+        // 31 * 4096/64 = 1984 ≈ half the dimensions
+        assert!(hd as usize >= 4096 / 2 - 4096 / 16);
+    }
+
+    #[test]
+    fn quantize_boundaries() {
+        let lm = LevelMemory::generate(1, 512, 16, LevelStyle::Random);
+        assert_eq!(lm.quantize(0.0), 0);
+        assert_eq!(lm.quantize(1.0), 15);
+        assert_eq!(lm.quantize(0.5), 8); // round(7.5) = 8 (ties away from zero)
+        assert_eq!(lm.quantize(-3.0), 0);
+        assert_eq!(lm.quantize(7.0), 15);
+    }
+
+    #[test]
+    fn chunked_levels_have_constant_chunks() {
+        let dim = 1024;
+        let n = 128;
+        let lm = LevelMemory::generate(9, dim, 16, LevelStyle::Chunked { num_chunks: n });
+        let chunk_size = dim.div_ceil(n);
+        for level in 0..16 {
+            let hv = lm.level(level);
+            let cv = lm.chunk_values(level).unwrap();
+            assert_eq!(cv.len(), n);
+            for c in 0..n {
+                let expect = cv[c] > 0;
+                for d in c * chunk_size..((c + 1) * chunk_size).min(dim) {
+                    assert_eq!(hv.bit(d), expect, "level {level} chunk {c} dim {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_similarity_still_decays() {
+        let lm = LevelMemory::generate(9, 2048, 16, LevelStyle::Chunked { num_chunks: 256 });
+        let d01 = hamming_distance(lm.level(0), lm.level(1));
+        let d07 = hamming_distance(lm.level(0), lm.level(7));
+        let d015 = hamming_distance(lm.level(0), lm.level(15));
+        assert!(d01 < d07 && d07 < d015);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least 2q")]
+    fn chunked_rejects_too_few_chunks() {
+        let _ = LevelMemory::generate(1, 1024, 32, LevelStyle::Chunked { num_chunks: 32 });
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn random_rejects_tiny_dim() {
+        let _ = LevelMemory::generate(1, 16, 32, LevelStyle::Random);
+    }
+
+    #[test]
+    fn random_style_has_no_chunk_values() {
+        let lm = LevelMemory::generate(1, 512, 8, LevelStyle::Random);
+        assert_eq!(lm.chunk_values(0), None);
+    }
+}

@@ -1,0 +1,186 @@
+//! Core hyperdimensional operators: binding, bundling and permutation.
+//!
+//! ID-Level encoding (Eq. 1 of the paper) is one composition of the three
+//! classical HD operators — bind (element-wise multiply), bundle
+//! (majority sum) and permute (rotation). They are exposed here as
+//! standalone operations so downstream users can build other encoders
+//! (n-gram, positional, associative memories) on the same bit-packed
+//! representation the accelerator consumes.
+
+use crate::hv::BinaryHypervector;
+
+/// Bind two binary hypervectors: element-wise bipolar multiplication,
+/// which for the bit representation is XNOR. Binding is its own inverse
+/// (`bind(bind(a, b), b) = a`) and preserves distances.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+///
+/// ```
+/// use hdoms_hdc::hv::BinaryHypervector;
+/// use hdoms_hdc::ops::bind;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let a = BinaryHypervector::random(&mut rng, 256);
+/// let b = BinaryHypervector::random(&mut rng, 256);
+/// assert_eq!(bind(&bind(&a, &b), &b), a);
+/// ```
+pub fn bind(a: &BinaryHypervector, b: &BinaryHypervector) -> BinaryHypervector {
+    assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+    let mut out = BinaryHypervector::zeros(a.dim());
+    for (o, (&x, &y)) in out
+        .words_mut()
+        .iter_mut()
+        .zip(a.words().iter().zip(b.words()))
+    {
+        *o = !(x ^ y);
+    }
+    out.mask_tail();
+    out
+}
+
+/// Bundle hypervectors by majority vote per dimension; ties (even counts)
+/// resolve with `tie_break`.
+///
+/// The bundle is similar to each input (similarity ≈ `1/√n` for random
+/// inputs), which is what makes it the HD superposition operator.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or dimensions disagree.
+pub fn bundle(inputs: &[&BinaryHypervector], tie_break: &BinaryHypervector) -> BinaryHypervector {
+    assert!(!inputs.is_empty(), "bundle of nothing");
+    let dim = inputs[0].dim();
+    assert!(
+        inputs.iter().all(|hv| hv.dim() == dim) && tie_break.dim() == dim,
+        "dimension mismatch"
+    );
+    let mut out = BinaryHypervector::zeros(dim);
+    let half = inputs.len();
+    for d in 0..dim {
+        // count in {-n..n} with ±1 per input.
+        let ones = inputs.iter().filter(|hv| hv.bit(d)).count();
+        let bit = match (2 * ones).cmp(&half) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => tie_break.bit(d),
+        };
+        out.set(d, bit);
+    }
+    out
+}
+
+/// Cyclically permute (rotate) the dimensions by `shift` — the HD
+/// sequence/position operator. `permute(hv, 0)` is the identity and a
+/// shift of `dim` wraps back to the identity.
+pub fn permute(hv: &BinaryHypervector, shift: usize) -> BinaryHypervector {
+    let dim = hv.dim();
+    let shift = shift % dim;
+    let mut out = BinaryHypervector::zeros(dim);
+    for d in 0..dim {
+        out.set((d + shift) % dim, hv.bit(d));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{hamming_distance, normalized_similarity};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn bind_is_involutive_and_distance_preserving() {
+        let mut rng = rng();
+        let a = BinaryHypervector::random(&mut rng, 300);
+        let b = BinaryHypervector::random(&mut rng, 300);
+        let c = BinaryHypervector::random(&mut rng, 300);
+        assert_eq!(bind(&bind(&a, &c), &c), a);
+        assert_eq!(
+            hamming_distance(&a, &b),
+            hamming_distance(&bind(&a, &c), &bind(&b, &c)),
+            "binding preserves distances"
+        );
+    }
+
+    #[test]
+    fn bind_randomises_similarity() {
+        let mut rng = rng();
+        let a = BinaryHypervector::random(&mut rng, 4096);
+        let b = BinaryHypervector::random(&mut rng, 4096);
+        let bound = bind(&a, &b);
+        assert!(normalized_similarity(&a, &bound).abs() < 0.1);
+    }
+
+    #[test]
+    fn bind_masks_tail() {
+        let mut rng = rng();
+        let a = BinaryHypervector::random(&mut rng, 70);
+        let b = BinaryHypervector::random(&mut rng, 70);
+        let bound = bind(&a, &b); // XNOR sets tail bits without masking
+        assert_eq!(bound.words()[1] >> 6, 0, "tail must stay masked");
+    }
+
+    #[test]
+    fn bundle_resembles_members() {
+        let mut rng = rng();
+        let members: Vec<BinaryHypervector> = (0..5)
+            .map(|_| BinaryHypervector::random(&mut rng, 4096))
+            .collect();
+        let tie = BinaryHypervector::random(&mut rng, 4096);
+        let refs: Vec<&BinaryHypervector> = members.iter().collect();
+        let bundled = bundle(&refs, &tie);
+        let outsider = BinaryHypervector::random(&mut rng, 4096);
+        for m in &members {
+            assert!(
+                normalized_similarity(&bundled, m) > 0.25,
+                "bundle must stay similar to members"
+            );
+        }
+        assert!(normalized_similarity(&bundled, &outsider).abs() < 0.1);
+    }
+
+    #[test]
+    fn bundle_of_one_is_identity() {
+        let mut rng = rng();
+        let a = BinaryHypervector::random(&mut rng, 128);
+        let tie = BinaryHypervector::random(&mut rng, 128);
+        assert_eq!(bundle(&[&a], &tie), a);
+    }
+
+    #[test]
+    fn bundle_ties_use_tie_break() {
+        let mut rng = rng();
+        let a = BinaryHypervector::random(&mut rng, 128);
+        let mut not_a = a.clone();
+        for d in 0..128 {
+            not_a.flip(d);
+        }
+        let tie = BinaryHypervector::random(&mut rng, 128);
+        assert_eq!(bundle(&[&a, &not_a], &tie), tie);
+    }
+
+    #[test]
+    fn permute_wraps_and_inverts() {
+        let mut rng = rng();
+        let a = BinaryHypervector::random(&mut rng, 100);
+        assert_eq!(permute(&a, 0), a);
+        assert_eq!(permute(&a, 100), a);
+        let shifted = permute(&a, 37);
+        assert_eq!(permute(&shifted, 63), a, "complementary shifts invert");
+        assert!(normalized_similarity(&a, &shifted).abs() < 0.35);
+    }
+
+    #[test]
+    #[should_panic(expected = "bundle of nothing")]
+    fn empty_bundle_rejected() {
+        let tie = BinaryHypervector::zeros(8);
+        let _ = bundle(&[], &tie);
+    }
+}

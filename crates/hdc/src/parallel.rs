@@ -1,0 +1,102 @@
+//! Scoped-thread parallel map.
+//!
+//! The sanctioned dependency set has no rayon, so this module provides the
+//! one parallel primitive the search stacks need: map a function over a
+//! slice on several threads, preserving order. Built on
+//! `crossbeam::thread::scope`, so borrowed inputs work without `'static`
+//! bounds.
+
+/// Map `f` over `items` using up to `threads` OS threads, preserving input
+/// order in the output.
+///
+/// With `threads <= 1` (or a single chunk) the map runs inline on the
+/// calling thread — callers can pass `1` to disable parallelism without a
+/// separate code path.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope join panics on worker panic).
+///
+/// ```
+/// let squares = hdoms_hdc::parallel::par_map(&[1, 2, 3, 4], 2, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(items.len());
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move |_| chunk.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("parallel map worker panicked"));
+        }
+        out
+    })
+    .expect("crossbeam scope failed")
+}
+
+/// A sensible default thread count: the machine's available parallelism,
+/// capped at 16 (the search stacks are memory-bound well before that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(&[] as &[u32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_inline() {
+        let out = par_map(&[1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map(&[5], 64, |&x| x);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn borrows_environment() {
+        let offset = 10;
+        let out = par_map(&[1, 2], 2, |&x| x + offset);
+        assert_eq!(out, vec![11, 12]);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Exact Hamming similarity search over collections of hypervectors.
+//!
+//! This is the software ground truth the in-memory (RRAM) search
+//! approximates: given a query hypervector and a candidate subset of
+//! reference hypervectors, return the best (or top-k) matches by bipolar
+//! dot product.
+
+use crate::hv::BinaryHypervector;
+use crate::parallel::par_map;
+use crate::similarity::dot;
+use serde::{Deserialize, Serialize};
+
+/// One search hit: a reference index and its bipolar dot-product score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hit {
+    /// Index of the reference hypervector (library entry id).
+    pub reference: u32,
+    /// Bipolar dot product `D - 2·hamming` (higher is more similar).
+    pub score: i64,
+}
+
+/// Find the best-scoring reference among `candidates`.
+///
+/// Returns `None` when `candidates` is empty. Ties resolve to the lowest
+/// reference index, making results independent of candidate order.
+///
+/// # Panics
+///
+/// Panics if a candidate index is out of bounds for `references`.
+pub fn search_best(
+    query: &BinaryHypervector,
+    references: &[BinaryHypervector],
+    candidates: impl IntoIterator<Item = u32>,
+) -> Option<Hit> {
+    let mut best: Option<Hit> = None;
+    for reference in candidates {
+        let score = dot(query, &references[reference as usize]);
+        let better = match best {
+            None => true,
+            Some(b) => score > b.score || (score == b.score && reference < b.reference),
+        };
+        if better {
+            best = Some(Hit { reference, score });
+        }
+    }
+    best
+}
+
+/// Find the `k` best-scoring references among `candidates`, sorted by
+/// descending score (ties by ascending reference index).
+///
+/// # Panics
+///
+/// Panics if a candidate index is out of bounds for `references`.
+pub fn search_top_k(
+    query: &BinaryHypervector,
+    references: &[BinaryHypervector],
+    candidates: impl IntoIterator<Item = u32>,
+    k: usize,
+) -> Vec<Hit> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut hits: Vec<Hit> = candidates
+        .into_iter()
+        .map(|reference| Hit {
+            reference,
+            score: dot(query, &references[reference as usize]),
+        })
+        .collect();
+    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.reference.cmp(&b.reference)));
+    hits.truncate(k);
+    hits
+}
+
+/// Batched best-match search: for each query (paired with its candidate
+/// list), find the best hit, in parallel on `threads` threads.
+pub fn search_batch(
+    queries: &[(BinaryHypervector, Vec<u32>)],
+    references: &[BinaryHypervector],
+    threads: usize,
+) -> Vec<Option<Hit>> {
+    par_map(queries, threads, |(query, candidates)| {
+        search_best(query, references, candidates.iter().copied())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn refs(n: usize, dim: usize, seed: u64) -> Vec<BinaryHypervector> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| BinaryHypervector::random(&mut rng, dim)).collect()
+    }
+
+    #[test]
+    fn finds_exact_copy() {
+        let references = refs(50, 512, 1);
+        for (i, q) in references.iter().enumerate().step_by(7) {
+            let hit = search_best(q, &references, 0..50).unwrap();
+            assert_eq!(hit.reference, i as u32);
+            assert_eq!(hit.score, 512);
+        }
+    }
+
+    #[test]
+    fn respects_candidate_subset() {
+        let references = refs(20, 256, 2);
+        let q = references[3].clone();
+        // Exclude the true match from candidates.
+        let hit = search_best(&q, &references, (0..20).filter(|&c| c != 3)).unwrap();
+        assert_ne!(hit.reference, 3);
+        assert!(hit.score < 256);
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let references = refs(5, 128, 3);
+        assert_eq!(search_best(&references[0], &references, []), None);
+    }
+
+    #[test]
+    fn top_k_sorted_and_truncated() {
+        let references = refs(30, 256, 4);
+        let q = references[10].clone();
+        let hits = search_top_k(&q, &references, 0..30, 5);
+        assert_eq!(hits.len(), 5);
+        assert_eq!(hits[0].reference, 10);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn top_k_zero() {
+        let references = refs(5, 128, 5);
+        assert!(search_top_k(&references[0], &references, 0..5, 0).is_empty());
+    }
+
+    #[test]
+    fn tie_breaks_to_lowest_index() {
+        let a = BinaryHypervector::zeros(64);
+        let references = vec![a.clone(), a.clone(), a.clone()];
+        let hit = search_best(&a, &references, [2u32, 0, 1]).unwrap();
+        assert_eq!(hit.reference, 0);
+        let hits = search_top_k(&a, &references, [2u32, 0, 1], 3);
+        assert_eq!(
+            hits.iter().map(|h| h.reference).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let references = refs(40, 256, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let queries: Vec<(BinaryHypervector, Vec<u32>)> = (0..10)
+            .map(|_| {
+                (
+                    BinaryHypervector::random(&mut rng, 256),
+                    (0..40).collect::<Vec<u32>>(),
+                )
+            })
+            .collect();
+        let seq: Vec<Option<Hit>> = queries
+            .iter()
+            .map(|(q, c)| search_best(q, &references, c.iter().copied()))
+            .collect();
+        assert_eq!(search_batch(&queries, &references, 4), seq);
+    }
+}

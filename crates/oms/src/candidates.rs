@@ -1,0 +1,158 @@
+//! Mass-sorted candidate index.
+//!
+//! Open search must find, for every query, all reference spectra whose
+//! neutral mass lies in the window's reach. Sorting the library by mass
+//! once makes each lookup two binary searches.
+
+use crate::window::PrecursorWindow;
+use hdoms_ms::library::SpectralLibrary;
+use serde::{Deserialize, Serialize};
+
+/// An index over reference neutral masses supporting range queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateIndex {
+    /// (neutral mass, library id), sorted by mass.
+    by_mass: Vec<(f64, u32)>,
+}
+
+impl CandidateIndex {
+    /// Build from a spectral library (targets and decoys alike — decoys
+    /// must compete in the same candidate pools for FDR to be meaningful).
+    pub fn build(library: &SpectralLibrary) -> CandidateIndex {
+        let mut by_mass: Vec<(f64, u32)> = library
+            .iter()
+            .map(|e| (e.spectrum.neutral_mass(), e.spectrum.id))
+            .collect();
+        by_mass.sort_by(|a, b| a.0.total_cmp(&b.0));
+        CandidateIndex { by_mass }
+    }
+
+    /// Build from raw (mass, id) pairs.
+    pub fn from_masses(masses: impl IntoIterator<Item = (f64, u32)>) -> CandidateIndex {
+        let mut by_mass: Vec<(f64, u32)> = masses.into_iter().collect();
+        by_mass.sort_by(|a, b| a.0.total_cmp(&b.0));
+        CandidateIndex { by_mass }
+    }
+
+    /// Number of indexed references.
+    pub fn len(&self) -> usize {
+        self.by_mass.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_mass.is_empty()
+    }
+
+    /// Library ids of all references reachable from a query of neutral
+    /// mass `query_mass` under `window`, in ascending mass order.
+    pub fn candidates(&self, window: &PrecursorWindow, query_mass: f64) -> Vec<u32> {
+        let (lo, hi) = window.reference_mass_range(query_mass);
+        let start = self.by_mass.partition_point(|&(m, _)| m < lo);
+        let end = self.by_mass.partition_point(|&(m, _)| m <= hi);
+        self.by_mass[start..end].iter().map(|&(_, id)| id).collect()
+    }
+
+    /// Like [`CandidateIndex::candidates`] but only counting, for workload
+    /// statistics (the open-search blow-up factor).
+    pub fn candidate_count(&self, window: &PrecursorWindow, query_mass: f64) -> usize {
+        let (lo, hi) = window.reference_mass_range(query_mass);
+        let start = self.by_mass.partition_point(|&(m, _)| m < lo);
+        let end = self.by_mass.partition_point(|&(m, _)| m <= hi);
+        end - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+
+    fn index_of(masses: &[f64]) -> CandidateIndex {
+        CandidateIndex::from_masses(masses.iter().enumerate().map(|(i, &m)| (m, i as u32)))
+    }
+
+    #[test]
+    fn finds_in_range_inclusive() {
+        let idx = index_of(&[100.0, 200.0, 300.0, 400.0]);
+        let w = PrecursorWindow::OpenDa {
+            lower: -50.0,
+            upper: 50.0,
+        };
+        // query 250 → references in [200, 300]
+        assert_eq!(idx.candidates(&w, 250.0), vec![1, 2]);
+        assert_eq!(idx.candidate_count(&w, 250.0), 2);
+    }
+
+    #[test]
+    fn empty_when_nothing_reachable() {
+        let idx = index_of(&[100.0, 200.0]);
+        let w = PrecursorWindow::StandardPpm(10.0);
+        assert!(idx.candidates(&w, 500.0).is_empty());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let idx = CandidateIndex::from_masses([(300.0, 0u32), (100.0, 1), (200.0, 2)]);
+        let w = PrecursorWindow::OpenDa {
+            lower: -1000.0,
+            upper: 1000.0,
+        };
+        assert_eq!(idx.candidates(&w, 200.0), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn open_window_returns_more_candidates_than_standard() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 31);
+        let idx = CandidateIndex::build(&workload.library);
+        assert_eq!(idx.len(), workload.library.len());
+        let standard = PrecursorWindow::standard_default();
+        let open = PrecursorWindow::open_default();
+        let mut open_total = 0usize;
+        let mut std_total = 0usize;
+        for q in &workload.queries {
+            open_total += idx.candidate_count(&open, q.neutral_mass());
+            std_total += idx.candidate_count(&standard, q.neutral_mass());
+        }
+        assert!(
+            open_total > 10 * std_total.max(1),
+            "open search must blow up the candidate set ({std_total} → {open_total})"
+        );
+    }
+
+    #[test]
+    fn modified_query_reaches_true_reference_only_in_open_mode() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 32);
+        let idx = CandidateIndex::build(&workload.library);
+        let standard = PrecursorWindow::standard_default();
+        let open = PrecursorWindow::open_default();
+        let mut checked = 0;
+        for (q, t) in workload.queries.iter().zip(&workload.truth) {
+            if let hdoms_ms::dataset::QueryTruth::Modified { library_id, .. } = t {
+                let open_cands = idx.candidates(&open, q.neutral_mass());
+                assert!(
+                    open_cands.contains(library_id),
+                    "open search must reach the true reference"
+                );
+                let std_cands = idx.candidates(&standard, q.neutral_mass());
+                assert!(
+                    !std_cands.contains(library_id),
+                    "standard search must miss a modified query's reference"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn boundary_masses_included() {
+        let idx = index_of(&[100.0, 150.0, 200.0]);
+        let w = PrecursorWindow::OpenDa {
+            lower: 0.0,
+            upper: 50.0,
+        };
+        // query 150: reference range [100, 150]
+        assert_eq!(idx.candidates(&w, 150.0), vec![0, 1]);
+    }
+}

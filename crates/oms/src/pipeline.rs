@@ -1,0 +1,379 @@
+//! End-to-end OMS orchestration: preprocess → candidates → search → FDR.
+
+use crate::candidates::CandidateIndex;
+use crate::fdr::{filter_fdr, FdrOutcome};
+use crate::psm::Psm;
+use crate::search::{candidate_lists, ExactBackend, ExactBackendConfig, SimilarityBackend};
+use crate::window::PrecursorWindow;
+use hdoms_ms::dataset::SyntheticWorkload;
+use hdoms_ms::library::SpectralLibrary;
+use hdoms_ms::preprocess::{PreprocessConfig, Preprocessor};
+use serde::Serialize;
+use std::collections::{BTreeSet, HashSet};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PipelineConfig {
+    /// Preprocessing applied to query spectra (must match the backend's
+    /// library preprocessing for scores to be meaningful).
+    pub preprocess: PreprocessConfig,
+    /// The precursor window; open by default — this *is* open modification
+    /// search.
+    pub window: PrecursorWindow,
+    /// FDR acceptance level (the paper filters at the conventional 1 %).
+    pub fdr_level: f64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Configuration for the built-in exact backend used by
+    /// [`OmsPipeline::run_exact`].
+    pub exact: ExactBackendConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            preprocess: PreprocessConfig::default(),
+            window: PrecursorWindow::open_default(),
+            fdr_level: 0.01,
+            threads: hdoms_hdc::parallel::default_threads(),
+            exact: ExactBackendConfig::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A configuration sized for unit tests and doctests: 2048-dim
+    /// hypervectors, few threads. Quality is slightly below the 8192-dim
+    /// default but runs in milliseconds on tiny workloads.
+    pub fn fast_test() -> PipelineConfig {
+        let mut config = PipelineConfig::default();
+        config.exact.encoder.dim = 2048;
+        config.exact.threads = 4;
+        config.threads = 4;
+        config
+    }
+}
+
+/// The result of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PipelineOutcome {
+    /// Name of the backend that produced the scores.
+    pub backend_name: String,
+    /// Best-hit PSMs for every query that survived preprocessing and had
+    /// candidates.
+    pub psms: Vec<Psm>,
+    /// Target PSMs accepted at the configured FDR, descending score.
+    pub accepted: Vec<Psm>,
+    /// Score of the weakest accepted PSM.
+    pub threshold_score: f64,
+    /// Decoy PSMs above the threshold.
+    pub decoys_above: usize,
+    /// Queries dropped by preprocessing (too few peaks).
+    pub rejected_queries: usize,
+    /// Total queries in the workload.
+    pub total_queries: usize,
+    /// Mean open-window candidate count per query (the search blow-up the
+    /// accelerator has to cope with).
+    pub mean_candidates: f64,
+}
+
+impl PipelineOutcome {
+    /// Number of accepted identifications (the paper's headline quality
+    /// metric, Figs. 11/13).
+    pub fn identifications(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// Ids of the queries with an accepted identification.
+    pub fn accepted_query_ids(&self) -> HashSet<u32> {
+        self.accepted.iter().map(|p| p.query_id).collect()
+    }
+
+    /// The set of identified peptide sequences — what the Fig. 10 Venn
+    /// diagram compares across tools.
+    pub fn identified_peptides(&self, library: &SpectralLibrary) -> BTreeSet<String> {
+        self.accepted
+            .iter()
+            .filter_map(|p| library.get(p.reference_id))
+            .map(|e| e.peptide.to_string())
+            .collect()
+    }
+
+    /// Compare accepted PSMs against the synthetic ground truth.
+    pub fn evaluate(&self, workload: &SyntheticWorkload) -> EvalStats {
+        let mut correct = 0usize;
+        let mut wrong_reference = 0usize;
+        let mut unmatchable_accepted = 0usize;
+        for psm in &self.accepted {
+            match workload.truth[psm.query_id as usize].library_id() {
+                Some(true_id) if true_id == psm.reference_id => correct += 1,
+                Some(_) => wrong_reference += 1,
+                None => unmatchable_accepted += 1,
+            }
+        }
+        let matchable = workload.matchable_queries();
+        EvalStats {
+            accepted: self.accepted.len(),
+            correct,
+            wrong_reference,
+            unmatchable_accepted,
+            recall: if matchable == 0 {
+                0.0
+            } else {
+                correct as f64 / matchable as f64
+            },
+            observed_false_rate: if self.accepted.is_empty() {
+                0.0
+            } else {
+                (wrong_reference + unmatchable_accepted) as f64 / self.accepted.len() as f64
+            },
+        }
+    }
+}
+
+/// Ground-truth evaluation of a pipeline run (synthetic workloads only —
+/// real data has no ground truth, which is why the paper compares tool
+/// agreement instead, Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EvalStats {
+    /// Accepted identifications.
+    pub accepted: usize,
+    /// Accepted PSMs pointing at the query's true library entry.
+    pub correct: usize,
+    /// Accepted PSMs pointing at some other target entry.
+    pub wrong_reference: usize,
+    /// Accepted PSMs for queries with no true match in the library.
+    pub unmatchable_accepted: usize,
+    /// `correct / matchable queries`.
+    pub recall: f64,
+    /// Fraction of accepted PSMs that are wrong — should track the FDR
+    /// level.
+    pub observed_false_rate: f64,
+}
+
+/// The OMS pipeline: owns the stage configuration, runs any backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OmsPipeline {
+    config: PipelineConfig,
+}
+
+impl OmsPipeline {
+    /// Create a pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is invalid or the FDR level is outside (0, 1).
+    pub fn new(config: PipelineConfig) -> OmsPipeline {
+        config.window.validate();
+        assert!(
+            config.fdr_level > 0.0 && config.fdr_level < 1.0,
+            "FDR level must be in (0, 1)"
+        );
+        OmsPipeline { config }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Run the full pipeline over `workload` with `backend`.
+    pub fn run<B: SimilarityBackend + ?Sized>(
+        &self,
+        workload: &SyntheticWorkload,
+        backend: &B,
+    ) -> PipelineOutcome {
+        let pre = Preprocessor::new(self.config.preprocess);
+        let (queries, rejected) = pre.run_batch(&workload.queries);
+        let index = CandidateIndex::build(&workload.library);
+        let cands = candidate_lists(&index, &self.config.window, &queries);
+        let mean_candidates = if queries.is_empty() {
+            0.0
+        } else {
+            cands.iter().map(Vec::len).sum::<usize>() as f64 / queries.len() as f64
+        };
+        let hits = backend.search_batch(&queries, &cands);
+
+        let psms: Vec<Psm> = queries
+            .iter()
+            .zip(&hits)
+            .filter_map(|(binned, hit)| {
+                hit.map(|h| {
+                    let entry = workload
+                        .library
+                        .get(h.reference)
+                        .expect("backend returned a valid library id");
+                    Psm {
+                        query_id: binned.id,
+                        reference_id: h.reference,
+                        score: h.score,
+                        is_decoy: entry.is_decoy,
+                        precursor_delta: binned.neutral_mass - entry.spectrum.neutral_mass(),
+                    }
+                })
+            })
+            .collect();
+
+        let FdrOutcome {
+            accepted,
+            threshold_score,
+            decoys_above,
+            ..
+        } = filter_fdr(&psms, self.config.fdr_level);
+
+        PipelineOutcome {
+            backend_name: backend.name(),
+            psms,
+            accepted,
+            threshold_score,
+            decoys_above,
+            rejected_queries: rejected,
+            total_queries: workload.queries.len(),
+            mean_candidates,
+        }
+    }
+
+    /// Convenience: build the exact HD backend from
+    /// `config.exact` and run it.
+    pub fn run_exact(&self, workload: &SyntheticWorkload) -> PipelineOutcome {
+        let mut exact = self.config.exact;
+        // The backend must preprocess the library exactly like the
+        // pipeline preprocesses queries.
+        exact.preprocess = self.config.preprocess;
+        let backend = ExactBackend::build(&workload.library, exact);
+        self.run(workload, &backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdoms_ms::dataset::WorkloadSpec;
+
+    fn run_tiny(seed: u64) -> (SyntheticWorkload, PipelineOutcome) {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), seed);
+        let pipeline = OmsPipeline::new(PipelineConfig::fast_test());
+        let outcome = pipeline.run_exact(&workload);
+        (workload, outcome)
+    }
+
+    #[test]
+    fn identifies_most_matchable_queries() {
+        let (workload, outcome) = run_tiny(100);
+        let eval = outcome.evaluate(&workload);
+        assert!(
+            eval.recall > 0.6,
+            "recall {} too low (accepted {}, correct {})",
+            eval.recall,
+            eval.accepted,
+            eval.correct
+        );
+    }
+
+    #[test]
+    fn observed_false_rate_tracks_fdr_level() {
+        // Average over seeds: each tiny workload is small, so pool.
+        let mut wrong = 0usize;
+        let mut total = 0usize;
+        for seed in 200..206 {
+            let (workload, outcome) = run_tiny(seed);
+            let eval = outcome.evaluate(&workload);
+            wrong += eval.wrong_reference + eval.unmatchable_accepted;
+            total += eval.accepted;
+        }
+        assert!(total > 50);
+        let rate = wrong as f64 / total as f64;
+        assert!(rate < 0.08, "pooled false rate {rate} too far above 1 %");
+    }
+
+    #[test]
+    fn open_window_finds_modified_peptides() {
+        let (workload, outcome) = run_tiny(300);
+        // Count accepted modified queries.
+        let accepted = outcome.accepted_query_ids();
+        let modified_found = workload
+            .truth
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| t.is_modified() && accepted.contains(&(*i as u32)))
+            .count();
+        assert!(
+            modified_found > 5,
+            "open search should identify modified peptides, found {modified_found}"
+        );
+    }
+
+    #[test]
+    fn standard_window_misses_modified_peptides() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 301);
+        let mut config = PipelineConfig::fast_test();
+        config.window = PrecursorWindow::standard_default();
+        let outcome = OmsPipeline::new(config).run_exact(&workload);
+        let accepted = outcome.accepted_query_ids();
+        let modified_found = workload
+            .truth
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| t.is_modified() && accepted.contains(&(*i as u32)))
+            .count();
+        assert_eq!(
+            modified_found, 0,
+            "standard search must not reach modified peptides"
+        );
+    }
+
+    #[test]
+    fn outcome_bookkeeping_consistent() {
+        let (workload, outcome) = run_tiny(400);
+        assert_eq!(outcome.total_queries, workload.queries.len());
+        assert!(outcome.accepted.len() <= outcome.psms.len());
+        assert!(outcome.accepted.iter().all(Psm::is_target));
+        assert!(outcome.mean_candidates > 1.0);
+        for psm in &outcome.accepted {
+            assert!(psm.score >= outcome.threshold_score);
+        }
+    }
+
+    #[test]
+    fn identified_peptides_nonempty_and_valid() {
+        let (workload, outcome) = run_tiny(500);
+        let peptides = outcome.identified_peptides(&workload.library);
+        assert!(!peptides.is_empty());
+        assert_eq!(peptides.len() <= outcome.identifications(), true);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 600);
+        let pipeline = OmsPipeline::new(PipelineConfig::fast_test());
+        let a = pipeline.run_exact(&workload);
+        let b = pipeline.run_exact(&workload);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "FDR level")]
+    fn rejects_bad_fdr() {
+        let mut config = PipelineConfig::fast_test();
+        config.fdr_level = 0.0;
+        let _ = OmsPipeline::new(config);
+    }
+
+    #[test]
+    fn higher_dimension_does_not_hurt() {
+        // Fig. 13 direction: more dimensions → at least as many
+        // identifications (on tiny workloads the difference may be small).
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 700);
+        let run_with_dim = |dim: usize| {
+            let mut config = PipelineConfig::fast_test();
+            config.exact.encoder.dim = dim;
+            OmsPipeline::new(config).run_exact(&workload).identifications()
+        };
+        let low = run_with_dim(512);
+        let high = run_with_dim(4096);
+        assert!(
+            high + 2 >= low,
+            "4096-dim ids ({high}) should not trail 512-dim ids ({low})"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Peptide-spectrum matches (PSMs).
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of searching one query spectrum: its best-scoring library
+/// entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Psm {
+    /// Query spectrum id.
+    pub query_id: u32,
+    /// Library entry id of the best match.
+    pub reference_id: u32,
+    /// Backend-specific similarity score; only the ordering within one
+    /// backend is meaningful (the FDR filter consumes ranks, not values).
+    pub score: f64,
+    /// Whether the matched library entry is a decoy.
+    pub is_decoy: bool,
+    /// `query − reference` neutral-mass delta in daltons; for a correctly
+    /// matched modified peptide this approximates the modification mass.
+    pub precursor_delta: f64,
+}
+
+impl Psm {
+    /// Whether this PSM hits a target (non-decoy) entry.
+    pub fn is_target(&self) -> bool {
+        !self.is_decoy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_is_not_decoy() {
+        let psm = Psm {
+            query_id: 0,
+            reference_id: 1,
+            score: 0.5,
+            is_decoy: false,
+            precursor_delta: 15.99,
+        };
+        assert!(psm.is_target());
+        let decoy = Psm {
+            is_decoy: true,
+            ..psm
+        };
+        assert!(!decoy.is_target());
+    }
+}

@@ -1,0 +1,405 @@
+//! Search backends: the pluggable scoring stage of the pipeline.
+//!
+//! A [`SimilarityBackend`] receives preprocessed query spectra plus their
+//! candidate lists and returns each query's best match. The pipeline is
+//! agnostic to *how* scoring happens — exact Hamming on CPU (here), the
+//! baselines crate's cosine scoring, or the core crate's simulated
+//! in-RRAM search all implement this trait.
+
+use crate::window::PrecursorWindow;
+use hdoms_hdc::corrupt::{flip_bits, flip_bits_in_place};
+use hdoms_hdc::encoder::{EncoderConfig, IdLevelEncoder};
+use hdoms_hdc::parallel::par_map;
+use hdoms_hdc::similarity::dot;
+use hdoms_hdc::BinaryHypervector;
+use hdoms_ms::library::SpectralLibrary;
+use hdoms_ms::preprocess::{BinnedSpectrum, PreprocessConfig, Preprocessor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One best-match result from a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// Library entry id of the best match.
+    pub reference: u32,
+    /// Backend-specific similarity score (higher is better).
+    pub score: f64,
+}
+
+/// A pluggable scoring backend for the OMS pipeline.
+pub trait SimilarityBackend {
+    /// A short human-readable name ("exact-hd", "ann-solo", …) used in
+    /// reports.
+    fn name(&self) -> String;
+
+    /// For each query, score it against its candidate references and
+    /// return the best hit (or `None` for an empty candidate list).
+    ///
+    /// `queries[i]` pairs with `candidates[i]`; implementations must
+    /// preserve order.
+    fn search_batch(
+        &self,
+        queries: &[BinnedSpectrum],
+        candidates: &[Vec<u32>],
+    ) -> Vec<Option<SearchHit>>;
+}
+
+/// Configuration for [`ExactBackend`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExactBackendConfig {
+    /// Preprocessing applied to the reference library (queries are
+    /// preprocessed by the pipeline with its own config; keep them equal).
+    pub preprocess: PreprocessConfig,
+    /// HD encoder settings.
+    pub encoder: EncoderConfig,
+    /// Worker threads for encoding and search.
+    pub threads: usize,
+    /// Bit-error rate injected into each *query* hypervector after
+    /// encoding (models in-memory encoding errors, Fig. 11). Zero for the
+    /// ideal backend.
+    pub encode_ber: f64,
+    /// Bit-error rate injected into each *reference* hypervector once at
+    /// build time (models storage errors, Fig. 11). Zero for ideal.
+    pub storage_ber: f64,
+    /// Seed for the error injection (errors are deterministic per query /
+    /// reference id).
+    pub noise_seed: u64,
+}
+
+impl Default for ExactBackendConfig {
+    fn default() -> ExactBackendConfig {
+        ExactBackendConfig {
+            preprocess: PreprocessConfig::default(),
+            encoder: EncoderConfig::default(),
+            threads: hdoms_hdc::parallel::default_threads(),
+            encode_ber: 0.0,
+            storage_ber: 0.0,
+            noise_seed: 0xbe44,
+        }
+    }
+}
+
+/// Exact HD backend: ID-Level encoding + exact Hamming scoring, optionally
+/// with injected bit errors (the software equivalent of HyperOMS, and the
+/// reference point the RRAM backend is compared against).
+#[derive(Debug, Clone)]
+pub struct ExactBackend {
+    config: ExactBackendConfig,
+    encoder: IdLevelEncoder,
+    /// Encoded reference hypervectors, indexed by library id; `None` when
+    /// the reference failed preprocessing (too few peaks).
+    reference_hvs: Vec<Option<BinaryHypervector>>,
+}
+
+impl ExactBackend {
+    /// Build the backend: preprocess and encode the whole library, then
+    /// apply storage errors if configured.
+    pub fn build(library: &SpectralLibrary, config: ExactBackendConfig) -> ExactBackend {
+        let encoder = IdLevelEncoder::new(config.encoder);
+        let pre = Preprocessor::new(config.preprocess);
+        let entries: Vec<_> = library.iter().collect();
+        let reference_hvs = par_map(&entries, config.threads, |entry| {
+            pre.run(&entry.spectrum).ok().map(|binned| {
+                let mut hv = encoder.encode(&binned);
+                if config.storage_ber > 0.0 {
+                    let mut rng = StdRng::seed_from_u64(
+                        config
+                            .noise_seed
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            .wrapping_add(u64::from(entry.spectrum.id)),
+                    );
+                    flip_bits_in_place(&mut rng, &mut hv, config.storage_ber);
+                }
+                hv
+            })
+        });
+        ExactBackend {
+            config,
+            encoder,
+            reference_hvs,
+        }
+    }
+
+    /// The encoder (shared configuration with the pipeline's quality
+    /// studies).
+    pub fn encoder(&self) -> &IdLevelEncoder {
+        &self.encoder
+    }
+
+    /// The encoded reference hypervectors (by library id; `None` when the
+    /// entry failed preprocessing).
+    pub fn reference_hvs(&self) -> &[Option<BinaryHypervector>] {
+        &self.reference_hvs
+    }
+
+    /// Derive a backend with different injected error rates *without*
+    /// re-encoding the library — the Fig. 11 sweep builds one clean
+    /// backend per ID precision and derives every BER point from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` already carries storage errors (its references are
+    /// corrupted and cannot serve as the clean source), or if a rate is
+    /// outside `[0, 1]`.
+    pub fn with_error_rates(
+        &self,
+        encode_ber: f64,
+        storage_ber: f64,
+        noise_seed: u64,
+    ) -> ExactBackend {
+        assert_eq!(
+            self.config.storage_ber, 0.0,
+            "derive error variants from a clean backend"
+        );
+        let config = ExactBackendConfig {
+            encode_ber,
+            storage_ber,
+            noise_seed,
+            ..self.config
+        };
+        let reference_hvs = self
+            .reference_hvs
+            .iter()
+            .enumerate()
+            .map(|(id, slot)| {
+                slot.as_ref().map(|hv| {
+                    if storage_ber > 0.0 {
+                        let mut rng = StdRng::seed_from_u64(
+                            noise_seed
+                                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                                .wrapping_add(id as u64),
+                        );
+                        flip_bits(&mut rng, hv, storage_ber)
+                    } else {
+                        hv.clone()
+                    }
+                })
+            })
+            .collect();
+        ExactBackend {
+            config,
+            encoder: self.encoder.clone(),
+            reference_hvs,
+        }
+    }
+
+    /// Encode one query, applying the configured encode-path bit errors.
+    pub fn encode_query(&self, binned: &BinnedSpectrum) -> BinaryHypervector {
+        let hv = self.encoder.encode(binned);
+        if self.config.encode_ber > 0.0 {
+            let mut rng = StdRng::seed_from_u64(
+                self.config
+                    .noise_seed
+                    .wrapping_mul(0xd134_2543_de82_ef95)
+                    .wrapping_add(u64::from(binned.id)),
+            );
+            flip_bits(&mut rng, &hv, self.config.encode_ber)
+        } else {
+            hv
+        }
+    }
+}
+
+impl SimilarityBackend for ExactBackend {
+    fn name(&self) -> String {
+        if self.config.encode_ber > 0.0 || self.config.storage_ber > 0.0 {
+            format!(
+                "exact-hd(ber={:.4}/{:.4})",
+                self.config.encode_ber, self.config.storage_ber
+            )
+        } else {
+            "exact-hd".to_owned()
+        }
+    }
+
+    fn search_batch(
+        &self,
+        queries: &[BinnedSpectrum],
+        candidates: &[Vec<u32>],
+    ) -> Vec<Option<SearchHit>> {
+        assert_eq!(
+            queries.len(),
+            candidates.len(),
+            "queries and candidate lists must pair up"
+        );
+        let dim = self.encoder.config().dim as f64;
+        let jobs: Vec<(usize, &BinnedSpectrum)> = queries.iter().enumerate().collect();
+        par_map(&jobs, self.config.threads, |&(i, binned)| {
+            let query_hv = self.encode_query(binned);
+            let mut best: Option<SearchHit> = None;
+            for &cand in &candidates[i] {
+                let Some(ref_hv) = &self.reference_hvs[cand as usize] else {
+                    continue;
+                };
+                let score = dot(&query_hv, ref_hv) as f64 / dim;
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        score > b.score || (score == b.score && cand < b.reference)
+                    }
+                };
+                if better {
+                    best = Some(SearchHit {
+                        reference: cand,
+                        score,
+                    });
+                }
+            }
+            best
+        })
+    }
+}
+
+/// Convenience: compute per-query candidate lists for a batch (used by
+/// pipelines and benches alike).
+pub fn candidate_lists(
+    index: &crate::candidates::CandidateIndex,
+    window: &PrecursorWindow,
+    queries: &[BinnedSpectrum],
+) -> Vec<Vec<u32>> {
+    queries
+        .iter()
+        .map(|q| index.candidates(window, q.neutral_mass))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::CandidateIndex;
+    use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+
+    fn small_backend_config() -> ExactBackendConfig {
+        ExactBackendConfig {
+            encoder: EncoderConfig {
+                dim: 2048,
+                ..EncoderConfig::default()
+            },
+            threads: 2,
+            ..ExactBackendConfig::default()
+        }
+    }
+
+    fn setup() -> (SyntheticWorkload, ExactBackend, Vec<BinnedSpectrum>, Vec<Vec<u32>>) {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 55);
+        let backend = ExactBackend::build(&workload.library, small_backend_config());
+        let pre = Preprocessor::default();
+        let (queries, _) = pre.run_batch(&workload.queries);
+        let index = CandidateIndex::build(&workload.library);
+        let cands = candidate_lists(&index, &PrecursorWindow::open_default(), &queries);
+        (workload, backend, queries, cands)
+    }
+
+    #[test]
+    fn finds_mostly_true_references() {
+        let (workload, backend, queries, cands) = setup();
+        let hits = backend.search_batch(&queries, &cands);
+        let mut correct = 0usize;
+        let mut matchable = 0usize;
+        for (binned, hit) in queries.iter().zip(&hits) {
+            let truth = &workload.truth[binned.id as usize];
+            if let Some(true_id) = truth.library_id() {
+                matchable += 1;
+                if let Some(h) = hit {
+                    if h.reference == true_id {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        assert!(matchable > 20);
+        let rate = correct as f64 / matchable as f64;
+        assert!(rate > 0.7, "true-reference hit rate {rate} too low");
+    }
+
+    #[test]
+    fn empty_candidates_give_none() {
+        let (_, backend, queries, _) = setup();
+        let empty: Vec<Vec<u32>> = queries.iter().map(|_| Vec::new()).collect();
+        let hits = backend.search_batch(&queries, &empty);
+        assert!(hits.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 56);
+        let pre = Preprocessor::default();
+        let (queries, _) = pre.run_batch(&workload.queries);
+        let index = CandidateIndex::build(&workload.library);
+        let cands = candidate_lists(&index, &PrecursorWindow::open_default(), &queries);
+        let run = |threads: usize| {
+            let backend = ExactBackend::build(
+                &workload.library,
+                ExactBackendConfig {
+                    threads,
+                    ..small_backend_config()
+                },
+            );
+            backend.search_batch(&queries, &cands)
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn bit_errors_degrade_scores_but_not_catastrophically() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 57);
+        let pre = Preprocessor::default();
+        let (queries, _) = pre.run_batch(&workload.queries);
+        let index = CandidateIndex::build(&workload.library);
+        let cands = candidate_lists(&index, &PrecursorWindow::open_default(), &queries);
+
+        let clean = ExactBackend::build(&workload.library, small_backend_config());
+        let noisy = ExactBackend::build(
+            &workload.library,
+            ExactBackendConfig {
+                encode_ber: 0.05,
+                storage_ber: 0.05,
+                ..small_backend_config()
+            },
+        );
+        let clean_hits = clean.search_batch(&queries, &cands);
+        let noisy_hits = noisy.search_batch(&queries, &cands);
+        // At 5 % BER the HD representation tolerates the noise: most best
+        // references should be unchanged (the paper's robustness claim).
+        let agree = clean_hits
+            .iter()
+            .zip(&noisy_hits)
+            .filter(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => x.reference == y.reference,
+                (None, None) => true,
+                _ => false,
+            })
+            .count();
+        let rate = agree as f64 / clean_hits.len() as f64;
+        assert!(rate > 0.75, "agreement {rate} too low at 5 % BER");
+        // And the noisy scores are lower on average.
+        let mean = |hits: &[Option<SearchHit>]| {
+            let scores: Vec<f64> = hits.iter().flatten().map(|h| h.score).collect();
+            scores.iter().sum::<f64>() / scores.len() as f64
+        };
+        assert!(mean(&noisy_hits) < mean(&clean_hits));
+    }
+
+    #[test]
+    fn name_reflects_noise() {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 58);
+        let clean = ExactBackend::build(&workload.library, small_backend_config());
+        assert_eq!(clean.name(), "exact-hd");
+        let noisy = ExactBackend::build(
+            &workload.library,
+            ExactBackendConfig {
+                encode_ber: 0.01,
+                ..small_backend_config()
+            },
+        );
+        assert!(noisy.name().contains("ber"));
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn search_batch_checks_lengths() {
+        let (_, backend, queries, _) = setup();
+        let _ = backend.search_batch(&queries, &[]);
+    }
+}

@@ -1,0 +1,518 @@
+//! Crossbar in-memory MVM with differential weights and voltage sensing.
+//!
+//! Weights are stored as *differential pairs* (two cells in adjacent rows
+//! of one column, Eq. 2/3 of the paper):
+//!
+//! ```text
+//! g⁺ = ½ (1 + W/W_max) g_max        g⁻ = ½ (1 − W/W_max) g_max
+//! ```
+//!
+//! Inputs arrive as differential bit-line voltages `V_ref ± V_pulse·Xᵢ` and
+//! the source-line settles to (Eq. 5):
+//!
+//! ```text
+//! V_SL = V_ref + Σᵢ Xᵢ (g⁺ᵢ − g⁻ᵢ) / (N g_max) · V_pulse
+//! ```
+//!
+//! which is linear in the MAC value. The simulator reproduces the error
+//! sources the paper measures in Fig. 9:
+//!
+//! * conductance deviations from programming noise + relaxation
+//!   ([`crate::device`]), whose impact grows with the number of levels the
+//!   cells use (1/2/3-bit curves);
+//! * ADC quantisation: each sensing cycle digitises the *normalised* MAC of
+//!   one activated-row group, so driving more rows per cycle widens the
+//!   per-LSB span and loses low-order MAC bits (error grows with activated
+//!   rows — the x-axis of Fig. 9);
+//! * a fixed sensing noise on `V_SL` (kT/C and comparator offset).
+
+use crate::config::MlcConfig;
+use crate::device::DeviceModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Crossbar geometry and analog front-end parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarConfig {
+    /// Device model for the cells.
+    pub mlc: MlcConfig,
+    /// Physical rows (two rows form one differential weight pair).
+    pub rows: usize,
+    /// Columns (one independent MAC output per column per cycle).
+    pub cols: usize,
+    /// Physical rows driven concurrently per sensing cycle (the paper's
+    /// chip sustains up to 64 with 8-level cells, §5.2.2). Must be even.
+    pub activated_rows: usize,
+    /// ADC resolution in bits.
+    pub adc_bits: u8,
+    /// Std-dev of the sensing noise on the normalised source-line voltage
+    /// (in units where the full MAC range is `[-1, 1]`).
+    pub sense_sigma: f64,
+    /// IR-drop / settling error coefficient. Driving more rows pushes more
+    /// current through the shared source line, so conductance deviations
+    /// aggregate *coherently* across the activated rows instead of
+    /// averaging out: the per-cycle error contributes
+    /// `ir_drop_factor × σ_δ` to the normalised voltage (σ_δ being the
+    /// array's per-pair conductance deviation), i.e. linearly in the
+    /// activated-row count once de-normalised — the dominant
+    /// error-vs-rows slope of Fig. 9.
+    pub ir_drop_factor: f64,
+    /// Cell age at compute time, seconds after programming. The paper
+    /// waits at least two hours (§5.2.1).
+    pub age_s: f64,
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> CrossbarConfig {
+        CrossbarConfig {
+            mlc: MlcConfig::default(),
+            rows: 256,
+            cols: 256,
+            activated_rows: 64,
+            adc_bits: 6,
+            sense_sigma: 0.006,
+            ir_drop_factor: 0.9,
+            age_s: crate::times::COMPUTE_AGE,
+        }
+    }
+}
+
+impl CrossbarConfig {
+    /// Weight pairs addressable per column (`rows / 2`).
+    pub fn pair_capacity(&self) -> usize {
+        self.rows / 2
+    }
+
+    /// Weight pairs driven per sensing cycle (`activated_rows / 2`).
+    pub fn pairs_per_cycle(&self) -> usize {
+        self.activated_rows / 2
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an odd/zero row count, `activated_rows` not in
+    /// `2..=rows` or odd, zero columns, or an ADC outside 1–12 bits.
+    pub fn validate(&self) {
+        self.mlc.validate();
+        assert!(self.rows >= 2 && self.rows % 2 == 0, "rows must be even and ≥ 2");
+        assert!(self.cols >= 1, "need at least one column");
+        assert!(
+            self.activated_rows >= 2
+                && self.activated_rows % 2 == 0
+                && self.activated_rows <= self.rows,
+            "activated_rows must be even and in 2..=rows"
+        );
+        assert!(
+            (1..=12).contains(&self.adc_bits),
+            "ADC resolution must be 1..=12 bits"
+        );
+        assert!(self.sense_sigma >= 0.0, "sense noise must be non-negative");
+        assert!(
+            self.ir_drop_factor >= 0.0,
+            "IR-drop factor must be non-negative"
+        );
+        assert!(self.age_s >= 0.0, "age must be non-negative");
+    }
+}
+
+/// A programmed crossbar tile: `pairs × cols` differential weights with
+/// their relaxed (observed) conductances frozen at programming+settling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarArray {
+    config: CrossbarConfig,
+    pairs: usize,
+    cols: usize,
+    /// Quantised ideal weights in `[-1, 1]`, flattened `[col][pair]`.
+    quantized: Vec<f64>,
+    /// Observed conductances after relaxation, flattened `[col][pair]`.
+    g_plus: Vec<f64>,
+    g_minus: Vec<f64>,
+    /// RMS normalised per-pair conductance deviation of this array — the
+    /// σ_δ that scales the IR-drop error term.
+    sigma_delta: f64,
+}
+
+impl CrossbarArray {
+    /// Quantise a normalised weight `w ∈ [-1, 1]` to the `2^n` values a
+    /// differential pair of n-bit cells can represent exactly.
+    ///
+    /// With 1-bit cells this is the sign function — binary reference
+    /// hypervectors are stored losslessly at any precision.
+    pub fn quantize_weight(mlc: &MlcConfig, w: f64) -> f64 {
+        let levels = mlc.levels() as f64;
+        let clamped = w.clamp(-1.0, 1.0);
+        let code = ((clamped + 1.0) / 2.0 * (levels - 1.0)).round();
+        code / (levels - 1.0) * 2.0 - 1.0
+    }
+
+    /// Program `weights[col][pair]` (normalised to `[-1, 1]`) into the
+    /// array: quantise, map to differential conductances, and sample the
+    /// relaxed conductances at `config.age_s` through `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid, `weights` is empty or ragged, has
+    /// more columns than the array, or more pairs than `rows / 2`.
+    pub fn program<R: Rng>(
+        config: CrossbarConfig,
+        weights: &[Vec<f64>],
+        rng: &mut R,
+    ) -> CrossbarArray {
+        config.validate();
+        assert!(!weights.is_empty(), "no weights to program");
+        assert!(
+            weights.len() <= config.cols,
+            "{} weight columns exceed array width {}",
+            weights.len(),
+            config.cols
+        );
+        let pairs = weights[0].len();
+        assert!(pairs >= 1, "weight columns must be non-empty");
+        assert!(
+            weights.iter().all(|c| c.len() == pairs),
+            "all weight columns must have equal length"
+        );
+        assert!(
+            pairs <= config.pair_capacity(),
+            "{} weight pairs exceed row capacity {}",
+            pairs,
+            config.pair_capacity()
+        );
+
+        let device = DeviceModel::new(config.mlc);
+        let g_max = config.mlc.g_max_us;
+        let cols = weights.len();
+        let mut quantized = Vec::with_capacity(cols * pairs);
+        let mut g_plus = Vec::with_capacity(cols * pairs);
+        let mut g_minus = Vec::with_capacity(cols * pairs);
+        let mut dev_sq = 0.0f64;
+        for col in weights {
+            for &w in col {
+                assert!(
+                    (-1.0..=1.0).contains(&w),
+                    "weight {w} outside the normalised range [-1, 1]"
+                );
+                let q = Self::quantize_weight(&config.mlc, w);
+                let target_plus = 0.5 * (1.0 + q) * g_max;
+                let target_minus = 0.5 * (1.0 - q) * g_max;
+                quantized.push(q);
+                let gp = device.sample_conductance(rng, target_plus, config.age_s);
+                let gm = device.sample_conductance(rng, target_minus, config.age_s);
+                let delta = ((gp - target_plus) - (gm - target_minus)) / g_max;
+                dev_sq += delta * delta;
+                g_plus.push(gp);
+                g_minus.push(gm);
+            }
+        }
+        let sigma_delta = (dev_sq / (cols * pairs) as f64).sqrt();
+        CrossbarArray {
+            config,
+            pairs,
+            cols,
+            quantized,
+            g_plus,
+            g_minus,
+            sigma_delta,
+        }
+    }
+
+    /// RMS normalised per-pair conductance deviation of the programmed
+    /// array (0 on an ideal device).
+    pub fn sigma_delta(&self) -> f64 {
+        self.sigma_delta
+    }
+
+    /// The array configuration.
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.config
+    }
+
+    /// Number of weight pairs per column.
+    pub fn pairs(&self) -> usize {
+        self.pairs
+    }
+
+    /// Number of programmed columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sensing cycles needed for one full MVM
+    /// (`ceil(pairs / pairs_per_cycle)`).
+    pub fn cycles_per_mvm(&self) -> usize {
+        self.pairs.div_ceil(self.config.pairs_per_cycle())
+    }
+
+    /// Analog MVM: `inputs` (one value in `[-1, 1]` per weight pair, ±1
+    /// for binary hypervectors) against every programmed column.
+    ///
+    /// Returns per-column MAC estimates in normalised weight units — the
+    /// ideal output would be `Σᵢ xᵢ·wᵢ` with `wᵢ ∈ [-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != pairs` or any input is outside
+    /// `[-1, 1]`.
+    pub fn mvm<R: Rng>(&self, inputs: &[f64], rng: &mut R) -> Vec<f64> {
+        assert_eq!(self.pairs, inputs.len(), "input length must equal pair count");
+        assert!(
+            inputs.iter().all(|x| (-1.0..=1.0).contains(x)),
+            "inputs must be normalised to [-1, 1]"
+        );
+        let group = self.config.pairs_per_cycle();
+        let g_max = self.config.mlc.g_max_us;
+        let adc_levels = (1usize << self.config.adc_bits) as f64;
+        let mut out = vec![0.0f64; self.cols];
+        for (col, acc) in out.iter_mut().enumerate() {
+            let base = col * self.pairs;
+            let mut start = 0;
+            while start < self.pairs {
+                let end = (start + group).min(self.pairs);
+                let n = (end - start) as f64;
+                // Eq. 5: normalised source-line voltage for this group.
+                let mut v = 0.0;
+                for i in start..end {
+                    let idx = base + i;
+                    v += inputs[i] * (self.g_plus[idx] - self.g_minus[idx]);
+                }
+                v /= n * g_max;
+                if self.config.sense_sigma > 0.0 {
+                    v += sample_normal(rng, self.config.sense_sigma);
+                }
+                let ir_sigma = self.config.ir_drop_factor * self.sigma_delta;
+                if ir_sigma > 0.0 {
+                    v += sample_normal(rng, ir_sigma);
+                }
+                // ADC over the full-scale normalised range [-1, 1].
+                let clamped = v.clamp(-1.0, 1.0);
+                let code = ((clamped + 1.0) / 2.0 * (adc_levels - 1.0)).round();
+                let v_hat = code / (adc_levels - 1.0) * 2.0 - 1.0;
+                *acc += v_hat * n;
+                start = end;
+            }
+        }
+        out
+    }
+
+    /// The MVM the hardware is approximating, computed on the *quantised*
+    /// weights with no analog noise. Comparing `mvm` against this isolates
+    /// analog error from weight-quantisation error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != pairs`.
+    pub fn ideal_mvm(&self, inputs: &[f64]) -> Vec<f64> {
+        assert_eq!(self.pairs, inputs.len(), "input length must equal pair count");
+        (0..self.cols)
+            .map(|col| {
+                let base = col * self.pairs;
+                inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| x * self.quantized[base + i])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Box–Muller standard normal scaled by `sigma`.
+fn sample_normal<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let v: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    sigma * (-2.0 * u.ln()).sqrt() * v.cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ideal_config(activated_rows: usize) -> CrossbarConfig {
+        CrossbarConfig {
+            mlc: MlcConfig::ideal(1),
+            rows: 256,
+            cols: 16,
+            activated_rows,
+            adc_bits: 12,
+            sense_sigma: 0.0,
+            ir_drop_factor: 0.0,
+            age_s: 0.0,
+        }
+    }
+
+    fn random_binary_weights(cols: usize, pairs: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..cols)
+            .map(|_| {
+                (0..pairs)
+                    .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ideal_array_recovers_exact_binary_mac() {
+        let weights = random_binary_weights(8, 128, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let array = CrossbarArray::program(ideal_config(64), &weights, &mut rng);
+        let inputs: Vec<f64> = random_binary_weights(1, 128, 3).remove(0);
+        let got = array.mvm(&inputs, &mut rng);
+        let want = array.ideal_mvm(&inputs);
+        for (g, w) in got.iter().zip(&want) {
+            // With a 12-bit ADC over 32-pair groups the residual is far
+            // below 1 MAC unit, so rounding recovers the exact integer.
+            assert_eq!(g.round(), w.round(), "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn quantize_weight_binary_is_sign() {
+        let mlc = MlcConfig::with_bits(1);
+        assert_eq!(CrossbarArray::quantize_weight(&mlc, 0.7), 1.0);
+        assert_eq!(CrossbarArray::quantize_weight(&mlc, -0.2), -1.0);
+        assert_eq!(CrossbarArray::quantize_weight(&mlc, 1.0), 1.0);
+    }
+
+    #[test]
+    fn quantize_weight_3bit_grid() {
+        let mlc = MlcConfig::with_bits(3);
+        // Representable values are k/7*2-1 for k = 0..7.
+        let q = CrossbarArray::quantize_weight(&mlc, 0.0);
+        assert!((q - 1.0 / 7.0).abs() < 1e-12 || (q + 1.0 / 7.0).abs() < 1e-12);
+        assert_eq!(CrossbarArray::quantize_weight(&mlc, 1.0), 1.0);
+        assert_eq!(CrossbarArray::quantize_weight(&mlc, -1.0), -1.0);
+    }
+
+    #[test]
+    fn cycles_per_mvm_counts_groups() {
+        let weights = random_binary_weights(4, 100, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let array = CrossbarArray::program(ideal_config(64), &weights, &mut rng);
+        // 100 pairs, 32 pairs per cycle → 4 cycles.
+        assert_eq!(array.cycles_per_mvm(), 4);
+    }
+
+    #[test]
+    fn error_grows_with_activated_rows() {
+        // Fig. 9 trend: more activated rows per sensing cycle → coarser
+        // ADC resolution per MAC unit → larger error.
+        let weights = random_binary_weights(16, 128, 6);
+        let inputs: Vec<f64> = random_binary_weights(1, 128, 7).remove(0);
+        let rmse_at = |activated: usize| {
+            let config = CrossbarConfig {
+                mlc: MlcConfig::with_bits(3),
+                rows: 256,
+                cols: 16,
+                activated_rows: activated,
+                adc_bits: 6,
+                sense_sigma: 0.006,
+                ir_drop_factor: 0.9,
+                age_s: crate::times::COMPUTE_AGE,
+            };
+            let mut rng = StdRng::seed_from_u64(8);
+            let array = CrossbarArray::program(config, &weights, &mut rng);
+            let got = array.mvm(&inputs, &mut rng);
+            let want = array.ideal_mvm(&inputs);
+            let mse: f64 = got
+                .iter()
+                .zip(&want)
+                .map(|(g, w)| (g - w).powi(2))
+                .sum::<f64>()
+                / got.len() as f64;
+            mse.sqrt()
+        };
+        let low = rmse_at(20);
+        let high = rmse_at(120);
+        assert!(
+            high > low,
+            "RMSE must grow with activated rows: {low} vs {high}"
+        );
+    }
+
+    #[test]
+    fn noisier_cells_with_more_levels() {
+        // Fig. 9 trend: at the same geometry, 3-bit cells err more than
+        // 1-bit cells when the weights exercise intermediate levels.
+        let mut rng_w = StdRng::seed_from_u64(9);
+        let weights: Vec<Vec<f64>> = (0..16)
+            .map(|_| (0..128).map(|_| rng_w.gen_range(-1.0..=1.0)).collect())
+            .collect();
+        let inputs: Vec<f64> = random_binary_weights(1, 128, 10).remove(0);
+        let rmse_for = |bits: u8| {
+            let config = CrossbarConfig {
+                mlc: MlcConfig::with_bits(bits),
+                rows: 256,
+                cols: 16,
+                activated_rows: 64,
+                adc_bits: 6,
+                sense_sigma: 0.006,
+                ir_drop_factor: 0.9,
+                age_s: crate::times::COMPUTE_AGE,
+            };
+            let mut rng = StdRng::seed_from_u64(11);
+            let array = CrossbarArray::program(config, &weights, &mut rng);
+            let got = array.mvm(&inputs, &mut rng);
+            let want = array.ideal_mvm(&inputs);
+            (got.iter()
+                .zip(&want)
+                .map(|(g, w)| (g - w).powi(2))
+                .sum::<f64>()
+                / got.len() as f64)
+                .sqrt()
+        };
+        assert!(rmse_for(3) > rmse_for(1), "3-bit cells should be noisier");
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn mvm_checks_input_length() {
+        let weights = random_binary_weights(2, 16, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let array = CrossbarArray::program(ideal_config(32), &weights, &mut rng);
+        let _ = array.mvm(&[1.0; 8], &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed row capacity")]
+    fn program_checks_capacity() {
+        let weights = random_binary_weights(1, 200, 14);
+        let mut rng = StdRng::seed_from_u64(15);
+        let _ = CrossbarArray::program(ideal_config(64), &weights, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn program_rejects_ragged_weights() {
+        let weights = vec![vec![1.0; 8], vec![1.0; 9]];
+        let mut rng = StdRng::seed_from_u64(16);
+        let _ = CrossbarArray::program(ideal_config(8), &weights, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "activated_rows")]
+    fn config_rejects_odd_activation() {
+        let config = CrossbarConfig {
+            activated_rows: 63,
+            ..CrossbarConfig::default()
+        };
+        config.validate();
+    }
+
+    #[test]
+    fn mvm_deterministic_per_seed() {
+        let weights = random_binary_weights(4, 64, 17);
+        let config = CrossbarConfig::default();
+        let inputs: Vec<f64> = random_binary_weights(1, 64, 18).remove(0);
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(19);
+            let array = CrossbarArray::program(config, &weights, &mut rng);
+            array.mvm(&inputs, &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+}

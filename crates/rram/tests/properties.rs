@@ -1,0 +1,105 @@
+//! Property-based tests for the MLC RRAM simulator.
+
+use hdoms_hdc::BinaryHypervector;
+use hdoms_rram::array::{CrossbarArray, CrossbarConfig};
+use hdoms_rram::config::MlcConfig;
+use hdoms_rram::levels::LevelMap;
+use hdoms_rram::storage::HypervectorStore;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Weight quantisation is idempotent, sign-preserving, range-bounded
+    /// and monotone.
+    #[test]
+    fn quantize_weight_properties(w1 in -1.0f64..=1.0, w2 in -1.0f64..=1.0, bits in 1u8..=3) {
+        let mlc = MlcConfig::with_bits(bits);
+        let q1 = CrossbarArray::quantize_weight(&mlc, w1);
+        prop_assert!((-1.0..=1.0).contains(&q1));
+        prop_assert_eq!(CrossbarArray::quantize_weight(&mlc, q1), q1, "idempotent");
+        // Monotone: order of quantised values follows order of inputs.
+        let q2 = CrossbarArray::quantize_weight(&mlc, w2);
+        if w1 < w2 {
+            prop_assert!(q1 <= q2);
+        }
+    }
+
+    /// Level decode inverts encode under any deviation smaller than half
+    /// a level spacing.
+    #[test]
+    fn decode_tolerates_half_spacing(bits in 1u8..=3, level_seed in any::<u64>(), frac in -0.49f64..0.49) {
+        let config = MlcConfig::with_bits(bits);
+        let map = LevelMap::new(&config);
+        let level = (level_seed % map.levels() as u64) as usize;
+        let spacing = map.target(1) - map.target(0);
+        let g = map.target(level) + frac * spacing;
+        prop_assert_eq!(map.decode(g), level);
+    }
+
+    /// Ideal storage round-trips arbitrary hypervector dimensions,
+    /// including ones not divisible by the symbol width.
+    #[test]
+    fn ideal_storage_roundtrip(dim in 1usize..300, bits in 1u8..=3, seed in any::<u64>()) {
+        let hv = BinaryHypervector::random(&mut StdRng::seed_from_u64(seed), dim);
+        let store = HypervectorStore::program(MlcConfig::ideal(bits), &[hv.clone()]);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let (read, stats) = store.read_all(86_400.0, &mut rng);
+        prop_assert_eq!(&read[0], &hv);
+        prop_assert_eq!(stats.bit_errors, 0);
+        prop_assert_eq!(stats.bits_total, dim as u64);
+    }
+
+    /// An ideal crossbar recovers the exact integer MAC for arbitrary
+    /// binary weights and inputs at any legal activation count.
+    #[test]
+    fn ideal_crossbar_exact(
+        seed in any::<u64>(),
+        pairs_pow in 3u32..7, // 8..64 pairs
+        activated_pairs_pow in 1u32..6,
+    ) {
+        let pairs = 1usize << pairs_pow;
+        let activated = 2 * (1usize << activated_pairs_pow.min(pairs_pow));
+        let config = CrossbarConfig {
+            mlc: MlcConfig::ideal(1),
+            rows: 2 * pairs.max(64),
+            cols: 4,
+            activated_rows: activated,
+            adc_bits: 12,
+            sense_sigma: 0.0,
+            ir_drop_factor: 0.0,
+            age_s: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let weights: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..pairs).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect())
+            .collect();
+        let inputs: Vec<f64> = (0..pairs)
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        let array = CrossbarArray::program(config, &weights, &mut rng);
+        prop_assert_eq!(array.sigma_delta(), 0.0);
+        let got = array.mvm(&inputs, &mut rng);
+        let want = array.ideal_mvm(&inputs);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.round() as i64, w.round() as i64);
+        }
+    }
+
+    /// Storage error statistics are internally consistent for noisy
+    /// devices: bit errors bounded by bits stored, symbol errors by cells.
+    #[test]
+    fn storage_stats_consistent(seed in any::<u64>(), bits in 1u8..=3) {
+        let hv = BinaryHypervector::random(&mut StdRng::seed_from_u64(seed), 512);
+        let store = HypervectorStore::program(MlcConfig::with_bits(bits), &[hv]);
+        let mut rng = StdRng::seed_from_u64(seed ^ 2);
+        let (_, stats) = store.read_all(86_400.0, &mut rng);
+        prop_assert!(stats.bit_errors <= stats.bits_total);
+        prop_assert!(stats.symbol_errors <= stats.cells_used);
+        prop_assert!(stats.bit_errors <= stats.symbol_errors * u64::from(bits));
+        prop_assert!(stats.symbol_errors <= stats.bit_errors, "a symbol error flips ≥1 bit");
+    }
+}

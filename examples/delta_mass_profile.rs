@@ -1,0 +1,54 @@
+//! Recover the modification catalogue from open-search results.
+//!
+//! Runs the two-pass cascade search (ANN-SoLo's strategy, §2.1) and
+//! histograms the precursor mass deltas of the accepted identifications.
+//! Each post-translational modification in the sample shows up as a peak
+//! at its characteristic mass shift — demonstrating that open search
+//! doesn't just match more spectra, it *discovers* which modifications
+//! are present.
+//!
+//! Run: `cargo run --release --example delta_mass_profile`
+
+use hdoms::ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms::oms::cascade::{run_cascade, single_pass_pairs, CascadeConfig};
+use hdoms::oms::pipeline::{OmsPipeline, PipelineConfig};
+use hdoms::oms::profile::{common_catalogue, DeltaMassProfile};
+use hdoms::oms::search::ExactBackend;
+
+fn main() {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::iprg2012(0.01), 99);
+    let pipeline = OmsPipeline::new(PipelineConfig::default());
+    let mut backend_config = pipeline.config().exact;
+    backend_config.preprocess = pipeline.config().preprocess;
+    let backend = ExactBackend::build(&workload.library, backend_config);
+
+    // Two-pass cascade: narrow window first, open window on the rest.
+    let cascade = run_cascade(&pipeline, &CascadeConfig::default(), &workload, &backend);
+    let single = pipeline.run(&workload, &backend);
+    println!(
+        "cascade: {} identifications ({} standard + {} open), \
+         {:.1}x less scoring work than one open pass over everything",
+        cascade.identifications(),
+        cascade.standard_accepted.len(),
+        cascade.open_accepted.len(),
+        cascade.work_saving(single_pass_pairs(&single)),
+    );
+
+    // Profile the accepted mass deltas and annotate the peaks.
+    let profile = DeltaMassProfile::from_psms(&cascade.all_accepted(), 0.01);
+    let catalogue = common_catalogue();
+    println!("\ndelta-mass peaks (≥3 PSMs):");
+    println!("{:>12}  {:>6}  {}", "delta (Da)", "PSMs", "annotation");
+    for (peak, name) in profile.annotate(3, &catalogue, 0.03) {
+        println!(
+            "{:>12.4}  {:>6}  {}",
+            peak.delta_da,
+            peak.count,
+            name.unwrap_or("(unexplained)")
+        );
+    }
+    println!(
+        "\nthe zero peak is the unmodified population; every other peak is a \
+         modification the open search recovered without being told it existed."
+    );
+}

@@ -1,0 +1,47 @@
+//! HD robustness sweep: identifications vs injected bit error rate.
+//!
+//! A compact version of the Fig. 11 experiment: inject memory errors into
+//! the encoding and storage paths and watch the identification count —
+//! the HD representation tolerates roughly 10 % corrupted bits before
+//! quality collapses, and multi-bit ID hypervectors (§4.2.2) consistently
+//! beat binary ones.
+//!
+//! Run: `cargo run --release --example robustness_sweep`
+
+use hdoms::hdc::multibit::IdPrecision;
+use hdoms::ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms::oms::pipeline::{OmsPipeline, PipelineConfig};
+use hdoms::oms::search::ExactBackend;
+
+fn main() {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::iprg2012(0.005), 31);
+    let pipeline = OmsPipeline::new(PipelineConfig::default());
+    let bers = [0.0f64, 0.01, 0.05, 0.10, 0.20];
+
+    println!(
+        "workload: {} queries vs {} library spectra; sweeping encode+storage BER\n",
+        workload.queries.len(),
+        workload.library.len()
+    );
+    print!("{:>22}", "ID precision \\ BER");
+    for ber in bers {
+        print!("{:>8}", format!("{}%", ber * 100.0));
+    }
+    println!();
+    for precision in IdPrecision::ALL {
+        let mut config = pipeline.config().exact;
+        config.encoder.id_precision = precision;
+        let clean = ExactBackend::build(&workload.library, config);
+        print!("{:>22}", format!("{} bit(s)", precision.bits()));
+        for ber in bers {
+            let backend = clean.with_error_rates(ber, ber, 0x5eed);
+            let outcome = pipeline.run(&workload, &backend);
+            print!("{:>8}", outcome.identifications());
+        }
+        println!();
+    }
+    println!(
+        "\nidentifications stay near-flat to ~10% BER and drop at 20% — the \
+         robustness that lets the accelerator run on error-prone MLC RRAM."
+    );
+}

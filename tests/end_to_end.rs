@@ -1,0 +1,76 @@
+//! Cross-crate integration tests: the full paper pipeline from raw
+//! synthetic spectra to FDR-filtered identifications, on software and on
+//! the simulated RRAM accelerator.
+
+use hdoms::core::accelerator::{AcceleratorConfig, OmsAccelerator};
+use hdoms::hdc::item_memory::LevelStyle;
+use hdoms::ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms::oms::pipeline::{OmsPipeline, PipelineConfig};
+use hdoms::oms::window::PrecursorWindow;
+
+fn small_accelerator_config() -> AcceleratorConfig {
+    let mut config = AcceleratorConfig::default();
+    config.encoder.dim = 2048;
+    config.encoder.q_levels = 16;
+    config.encoder.level_style = LevelStyle::Chunked { num_chunks: 64 };
+    config.threads = 4;
+    config
+}
+
+#[test]
+fn software_pipeline_identifies_and_controls_fdr() {
+    // Pool several tiny workloads: each has only ~45 matchable queries, so
+    // per-run false rates are quantised in steps of ~2.5 %.
+    let mut correct = 0usize;
+    let mut wrong = 0usize;
+    let mut matchable = 0usize;
+    for seed in 1001..1005 {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), seed);
+        let outcome = OmsPipeline::new(PipelineConfig::fast_test()).run_exact(&workload);
+        let eval = outcome.evaluate(&workload);
+        correct += eval.correct;
+        wrong += eval.wrong_reference + eval.unmatchable_accepted;
+        matchable += workload.matchable_queries();
+    }
+    let recall = correct as f64 / matchable as f64;
+    let false_rate = wrong as f64 / (correct + wrong) as f64;
+    assert!(recall > 0.55, "pooled recall {recall}");
+    assert!(false_rate < 0.10, "pooled false rate {false_rate}");
+}
+
+#[test]
+fn accelerator_matches_software_quality() {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 1002);
+    let pipeline = OmsPipeline::new(PipelineConfig::fast_test());
+    let software = pipeline.run_exact(&workload);
+    let accel = OmsAccelerator::build(&workload.library, small_accelerator_config());
+    let hardware = pipeline.run(&workload, &accel);
+    let sw = software.evaluate(&workload).correct as f64;
+    let hw = hardware.evaluate(&workload).correct as f64;
+    assert!(
+        hw >= 0.8 * sw,
+        "RRAM accelerator correct ids {hw} vs software {sw}"
+    );
+}
+
+#[test]
+fn open_window_strictly_beats_standard_on_modified_workload() {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 1003);
+    let open = OmsPipeline::new(PipelineConfig::fast_test()).run_exact(&workload);
+    let mut config = PipelineConfig::fast_test();
+    config.window = PrecursorWindow::standard_default();
+    let standard = OmsPipeline::new(config).run_exact(&workload);
+    assert!(
+        open.identifications() > standard.identifications(),
+        "open {} vs standard {}",
+        open.identifications(),
+        standard.identifications()
+    );
+}
+
+#[test]
+fn pipeline_deterministic_end_to_end() {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 1004);
+    let pipeline = OmsPipeline::new(PipelineConfig::fast_test());
+    assert_eq!(pipeline.run_exact(&workload), pipeline.run_exact(&workload));
+}
