@@ -85,7 +85,12 @@ impl AnnSoloBackend {
     /// charge; each peak contributes its best pairing (no double
     /// counting). The result is normalised by the vector norms, yielding a
     /// score in roughly `[0, 1]`.
-    pub fn shifted_cosine(&self, query: &BinnedSpectrum, reference: &BinnedSpectrum, reference_norm: f64) -> f64 {
+    pub fn shifted_cosine(
+        &self,
+        query: &BinnedSpectrum,
+        reference: &BinnedSpectrum,
+        reference_norm: f64,
+    ) -> f64 {
         let delta = query.neutral_mass - reference.neutral_mass;
         // Candidate bin displacements: 0 (unmodified fragments) and
         // delta / (z · bin_width) for each fragment charge z.

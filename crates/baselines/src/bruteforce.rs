@@ -133,11 +133,7 @@ mod tests {
     #[test]
     fn good_on_unmodified_weak_on_modified() {
         let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 45);
-        let backend = BruteForceBackend::build(
-            &workload.library,
-            PreprocessConfig::default(),
-            4,
-        );
+        let backend = BruteForceBackend::build(&workload.library, PreprocessConfig::default(), 4);
         let pre = Preprocessor::default();
         let (queries, _) = pre.run_batch(&workload.queries);
         let index = CandidateIndex::build(&workload.library);

@@ -80,6 +80,13 @@ impl HyperOmsBackend {
         HyperOmsBackend { inner }
     }
 
+    /// Wrap an already-built exact backend (the warm-load path used by
+    /// `hdoms-index`): the caller guarantees `inner` was configured the
+    /// HyperOMS way (binary IDs, bit-serial level vectors).
+    pub fn from_exact(inner: ExactBackend) -> HyperOmsBackend {
+        HyperOmsBackend { inner }
+    }
+
     /// Access the underlying exact backend (e.g. for encoded reference
     /// hypervectors in benches).
     pub fn inner(&self) -> &ExactBackend {

@@ -1,0 +1,79 @@
+//! Index lifecycle benchmarks: cold library encoding vs warm index load,
+//! and unsharded vs sharded open search over the loaded index.
+//!
+//! The machine-readable counterpart (JSON summary, speedup assertions)
+//! lives in `src/bin/index_bench.rs`; this harness tracks the same
+//! quantities under criterion for local iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind, LibraryIndex};
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_ms::preprocess::Preprocessor;
+use hdoms_oms::candidates::CandidateIndex;
+use hdoms_oms::search::{candidate_lists, ExactBackendConfig, SimilarityBackend};
+use hdoms_oms::window::PrecursorWindow;
+use std::hint::black_box;
+
+const DIM: usize = 2048;
+const THREADS: usize = 4;
+
+fn config() -> IndexConfig {
+    let mut exact = ExactBackendConfig::default();
+    exact.encoder.dim = DIM;
+    IndexConfig {
+        kind: IndexedBackendKind::Exact(exact),
+        entries_per_shard: 256,
+        threads: THREADS,
+    }
+}
+
+fn index_lifecycle(c: &mut Criterion) {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::iprg2012(0.005), 5);
+    let builder = IndexBuilder::new(config());
+    let bytes = builder.from_library(&workload.library).to_bytes();
+
+    let mut group = c.benchmark_group("index_lifecycle");
+    group.sample_size(10);
+    group.bench_function("cold_build", |b| {
+        b.iter(|| black_box(builder.from_library(&workload.library)))
+    });
+    group.bench_function("warm_load", |b| {
+        b.iter(|| black_box(LibraryIndex::from_bytes(&bytes, THREADS).expect("valid")))
+    });
+    group.finish();
+}
+
+fn index_search(c: &mut Criterion) {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::iprg2012(0.005), 5);
+    let index = IndexBuilder::new(config()).from_library(&workload.library);
+    let flat = index.to_exact_backend(THREADS).expect("exact kind");
+    let sharded = index.sharded_backend(THREADS).expect("exact kind");
+
+    let pre = Preprocessor::default();
+    let (queries, _) = pre.run_batch(&workload.queries);
+    let cand_index = CandidateIndex::from_masses(index.entries().map(|e| (e.neutral_mass, e.id)));
+    let cands = candidate_lists(&cand_index, &PrecursorWindow::open_default(), &queries);
+
+    let mut group = c.benchmark_group("index_search");
+    group.sample_size(10);
+    group.bench_function("unsharded", |b| {
+        b.iter(|| black_box(flat.search_batch(&queries, &cands)))
+    });
+    group.bench_function("sharded", |b| {
+        b.iter(|| black_box(sharded.search_batch(&queries, &cands)))
+    });
+    // The interactive case: one query at a time, where shard-parallelism
+    // is the only parallelism available.
+    let one_query = &queries[..1];
+    let one_cands = &cands[..1];
+    group.bench_function("unsharded_single_query", |b| {
+        b.iter(|| black_box(flat.search_batch(one_query, one_cands)))
+    });
+    group.bench_function("sharded_single_query", |b| {
+        b.iter(|| black_box(sharded.search_batch(one_query, one_cands)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, index_lifecycle, index_search);
+criterion_main!(benches);

@@ -21,12 +21,16 @@ fn storage_roundtrip(c: &mut Criterion) {
             b.iter(|| black_box(HypervectorStore::program(MlcConfig::with_bits(bits), hvs)))
         });
         let store = HypervectorStore::program(MlcConfig::with_bits(bits), &hvs);
-        group.bench_with_input(BenchmarkId::new("read_all_bits", bits), &store, |b, store| {
-            b.iter(|| {
-                let mut read_rng = StdRng::seed_from_u64(14);
-                black_box(store.read_all(7200.0, &mut read_rng))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("read_all_bits", bits),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    let mut read_rng = StdRng::seed_from_u64(14);
+                    black_box(store.read_all(7200.0, &mut read_rng))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -36,7 +36,11 @@ fn main() {
     }
     print_table(
         "Ablation: per-array throughput vs activated rows (256 columns)",
-        &["activated rows", "MACs per cycle", "vs Li et al. 2022 (4 rows)"],
+        &[
+            "activated rows",
+            "MACs per cycle",
+            "vs Li et al. 2022 (4 rows)",
+        ],
         &rows,
     );
     println!(
@@ -50,9 +54,18 @@ fn main() {
     let mut rows = Vec::new();
     for (label, style) in [
         ("bit-serial (conventional)", LevelStyle::Random),
-        ("chunked, 512 chunks", LevelStyle::Chunked { num_chunks: 512 }),
-        ("chunked, 256 chunks", LevelStyle::Chunked { num_chunks: 256 }),
-        ("chunked, 128 chunks (paper)", LevelStyle::Chunked { num_chunks: 128 }),
+        (
+            "chunked, 512 chunks",
+            LevelStyle::Chunked { num_chunks: 512 },
+        ),
+        (
+            "chunked, 256 chunks",
+            LevelStyle::Chunked { num_chunks: 256 },
+        ),
+        (
+            "chunked, 128 chunks (paper)",
+            LevelStyle::Chunked { num_chunks: 128 },
+        ),
         ("chunked, 64 chunks", LevelStyle::Chunked { num_chunks: 64 }),
     ] {
         let encoder = InMemoryEncoder::new(
@@ -68,7 +81,13 @@ fn main() {
         rows.push(vec![
             label.to_owned(),
             cycles.to_string(),
-            format!("{}x", fmt(options.dim as f64 / cycles as f64 * (peaks as f64 / 32.0).ceil(), 1)),
+            format!(
+                "{}x",
+                fmt(
+                    options.dim as f64 / cycles as f64 * (peaks as f64 / 32.0).ceil(),
+                    1
+                )
+            ),
         ]);
     }
     print_table(
@@ -76,7 +95,11 @@ fn main() {
             "Ablation: encoding cycles per spectrum (D={}, {peaks} peaks, 64 activated rows)",
             options.dim
         ),
-        &["level-hypervector scheme", "cycles", "speedup vs bit-serial"],
+        &[
+            "level-hypervector scheme",
+            "cycles",
+            "speedup vs bit-serial",
+        ],
         &rows,
     );
     println!(

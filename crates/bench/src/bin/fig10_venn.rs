@@ -9,9 +9,9 @@
 //! Run: `cargo run --release -p hdoms-bench --bin fig10_venn`
 //! (add `--scale 0.02` for a bigger workload)
 
-use hdoms_bench::{fmt, print_table, FigureOptions};
 use hdoms_baselines::annsolo::{AnnSoloBackend, AnnSoloConfig};
 use hdoms_baselines::hyperoms::{HyperOmsBackend, HyperOmsConfig};
+use hdoms_bench::{fmt, print_table, FigureOptions};
 use hdoms_core::accelerator::{AcceleratorConfig, OmsAccelerator};
 use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
 use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
@@ -53,13 +53,26 @@ fn main() {
         let b = ann_out.identified_peptides(&workload.library);
         let c = hyp_out.identified_peptides(&workload.library);
 
-        let abc: BTreeSet<_> = a.intersection(&b).filter(|p| c.contains(*p)).cloned().collect();
+        let abc: BTreeSet<_> = a
+            .intersection(&b)
+            .filter(|p| c.contains(*p))
+            .cloned()
+            .collect();
         let ab = a.intersection(&b).filter(|p| !c.contains(*p)).count();
         let ac = a.intersection(&c).filter(|p| !b.contains(*p)).count();
         let bc = b.intersection(&c).filter(|p| !a.contains(*p)).count();
-        let only_a = a.iter().filter(|p| !b.contains(*p) && !c.contains(*p)).count();
-        let only_b = b.iter().filter(|p| !a.contains(*p) && !c.contains(*p)).count();
-        let only_c = c.iter().filter(|p| !a.contains(*p) && !b.contains(*p)).count();
+        let only_a = a
+            .iter()
+            .filter(|p| !b.contains(*p) && !c.contains(*p))
+            .count();
+        let only_b = b
+            .iter()
+            .filter(|p| !a.contains(*p) && !c.contains(*p))
+            .count();
+        let only_c = c
+            .iter()
+            .filter(|p| !a.contains(*p) && !b.contains(*p))
+            .count();
 
         print_table(
             &format!("Figure 10 ({}): identified peptides per tool", spec.name),
@@ -95,7 +108,12 @@ fn main() {
                 vec!["HyperOMS only".into(), only_c.to_string()],
             ],
         );
-        let union = a.union(&b).cloned().collect::<BTreeSet<_>>().union(&c).count();
+        let union = a
+            .union(&b)
+            .cloned()
+            .collect::<BTreeSet<_>>()
+            .union(&c)
+            .count();
         println!(
             "core agreement: {} of {} peptides ({}%) identified by all three — \
              the paper's validity argument (\"the majority of the identified \

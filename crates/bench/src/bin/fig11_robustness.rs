@@ -43,8 +43,7 @@ fn main() {
                 let trials = 3u64;
                 let total: usize = (0..trials)
                     .map(|t| {
-                        let backend =
-                            clean.with_error_rates(ber, ber, options.seed ^ (0xbe4 + t));
+                        let backend = clean.with_error_rates(ber, ber, options.seed ^ (0xbe4 + t));
                         pipeline.run(&workload, &backend).identifications()
                     })
                     .sum();

@@ -35,7 +35,13 @@ fn main() {
             .collect();
         print_table(
             &format!("Figure 12 model ({name})"),
-            &["tool", "time (s)", "energy (J)", "our speedup over it", "energy eff. vs ANN-SoLo CPU"],
+            &[
+                "tool",
+                "time (s)",
+                "energy (J)",
+                "our speedup over it",
+                "energy eff. vs ANN-SoLo CPU",
+            ],
             &rows,
         );
     }

@@ -56,9 +56,27 @@ fn main() {
         "Paper (Fig. 7, approximate read-off)",
         &["cell config", "after 1s", "30 min", "60 min", "1 day"],
         &[
-            vec!["1 bit(s)/cell".into(), "~0%".into(), "~0.2%".into(), "~0.3%".into(), "~0.5%".into()],
-            vec!["2 bit(s)/cell".into(), "~1%".into(), "~2.5%".into(), "~3%".into(), "~4%".into()],
-            vec!["3 bit(s)/cell".into(), "~5%".into(), "~9%".into(), "~10%".into(), "~12.5%".into()],
+            vec![
+                "1 bit(s)/cell".into(),
+                "~0%".into(),
+                "~0.2%".into(),
+                "~0.3%".into(),
+                "~0.5%".into(),
+            ],
+            vec![
+                "2 bit(s)/cell".into(),
+                "~1%".into(),
+                "~2.5%".into(),
+                "~3%".into(),
+                "~4%".into(),
+            ],
+            vec![
+                "3 bit(s)/cell".into(),
+                "~5%".into(),
+                "~9%".into(),
+                "~10%".into(),
+                "~12.5%".into(),
+            ],
         ],
     );
     println!(

@@ -40,7 +40,7 @@ fn main() {
     // Spectra to encode for panel (a).
     let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), options.seed);
     let pre = Preprocessor::default();
-    let (binned, _) = pre.run_batch(&workload.queries[..24.min(workload.queries.len())].to_vec());
+    let (binned, _) = pre.run_batch(&workload.queries[..24.min(workload.queries.len())]);
 
     // Panel (a): encoding bit error rate.
     let mut rows_a = Vec::new();
@@ -121,7 +121,9 @@ fn main() {
         rows_b.push(row);
     }
     print_table(
-        &format!("Figure 9b: in-memory search normalised RMSE vs activated rows ({pairs}-pair columns)"),
+        &format!(
+            "Figure 9b: in-memory search normalised RMSE vs activated rows ({pairs}-pair columns)"
+        ),
         &header_refs,
         &rows_b,
     );

@@ -1,0 +1,113 @@
+//! Index lifecycle benchmark with a machine-readable JSON summary.
+//!
+//! Measures, on an iPRG2012-shaped workload:
+//!
+//! * `cold_build_s` — one-time library encoding (what every search paid
+//!   before the persistent index existed),
+//! * `warm_load_s` — decoding + checksum-verifying the serialised index,
+//! * `load_speedup` — the ratio (the PR's acceptance bar is ≥ 5×),
+//! * `qps_unsharded` / `qps_sharded` — open-search throughput through the
+//!   flat backend vs the shard-parallel backend,
+//! * `psms_identical` — whether the three paths (cold, warm flat, warm
+//!   sharded) produced byte-identical PSMs.
+//!
+//! The JSON object is printed as the **last line** of stdout so future
+//! PRs can track the perf trajectory with `... | tail -1 | <tool>`.
+//!
+//! Usage: `index_bench [--scale <f64>] [--seed <u64>] [--dim <usize>]`
+
+use hdoms_bench::FigureOptions;
+use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind, LibraryIndex};
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_ms::preprocess::Preprocessor;
+use hdoms_oms::candidates::CandidateIndex;
+use hdoms_oms::search::{candidate_lists, ExactBackendConfig, SimilarityBackend};
+use hdoms_oms::window::PrecursorWindow;
+use std::time::Instant;
+
+const THREADS: usize = 8;
+
+fn main() {
+    let options = FigureOptions::parse(0.01, 2048);
+    let workload =
+        SyntheticWorkload::generate(&WorkloadSpec::iprg2012(options.scale), options.seed);
+    let mut exact = ExactBackendConfig::default();
+    exact.encoder.dim = options.dim;
+    let builder = IndexBuilder::new(IndexConfig {
+        kind: IndexedBackendKind::Exact(exact),
+        entries_per_shard: 512,
+        threads: THREADS,
+    });
+
+    // Cold build: the one-time library encoding.
+    let start = Instant::now();
+    let index = builder.from_library(&workload.library);
+    let cold_build_s = start.elapsed().as_secs_f64();
+    let bytes = index.to_bytes();
+
+    // Warm load: decode + verify.
+    let start = Instant::now();
+    let loaded = LibraryIndex::from_bytes(&bytes, THREADS).expect("index bytes are valid");
+    let warm_load_s = start.elapsed().as_secs_f64();
+    let load_speedup = cold_build_s / warm_load_s.max(1e-9);
+
+    // Search throughput, flat vs sharded, over identical candidates.
+    let pre = Preprocessor::default();
+    let (queries, _) = pre.run_batch(&workload.queries);
+    let cand_index = CandidateIndex::from_masses(loaded.entries().map(|e| (e.neutral_mass, e.id)));
+    let cands = candidate_lists(&cand_index, &PrecursorWindow::open_default(), &queries);
+
+    let flat = loaded.to_exact_backend(THREADS).expect("exact kind");
+    let sharded = loaded.sharded_backend(THREADS).expect("exact kind");
+
+    let time_search = |backend: &dyn SimilarityBackend| {
+        // One warm-up pass, then the timed pass.
+        let _ = backend.search_batch(&queries, &cands);
+        let start = Instant::now();
+        let hits = backend.search_batch(&queries, &cands);
+        (start.elapsed().as_secs_f64(), hits)
+    };
+    let (flat_s, flat_hits) = time_search(&flat);
+    let (sharded_s, sharded_hits) = time_search(&sharded);
+    let qps_unsharded = queries.len() as f64 / flat_s.max(1e-9);
+    let qps_sharded = queries.len() as f64 / sharded_s.max(1e-9);
+    let psms_identical = flat_hits == sharded_hits;
+
+    println!(
+        "== index bench ({}, dim {}) ==",
+        workload.spec.name, options.dim
+    );
+    println!("references        {:>10}", loaded.entry_count());
+    println!("shards            {:>10}", loaded.shards().len());
+    println!("index size        {:>10} bytes", bytes.len());
+    println!("cold build        {cold_build_s:>10.3} s");
+    println!("warm load         {warm_load_s:>10.3} s   ({load_speedup:.1}x faster)");
+    println!("search unsharded  {:>10.1} queries/s", qps_unsharded);
+    println!("search sharded    {:>10.1} queries/s", qps_sharded);
+    println!("identical PSMs    {psms_identical:>10}");
+    if load_speedup < 5.0 {
+        eprintln!("WARNING: warm load is below the 5x acceptance bar");
+    }
+
+    // Machine-readable trailer (hand-rolled: the workspace serde is a
+    // no-op shim).
+    println!(
+        "{{\"bench\":\"index\",\"workload\":\"{}\",\"dim\":{},\"scale\":{},\"seed\":{},\
+         \"references\":{},\"shards\":{},\"index_bytes\":{},\
+         \"cold_build_s\":{:.6},\"warm_load_s\":{:.6},\"load_speedup\":{:.3},\
+         \"qps_unsharded\":{:.3},\"qps_sharded\":{:.3},\"psms_identical\":{}}}",
+        workload.spec.name,
+        options.dim,
+        options.scale,
+        options.seed,
+        loaded.entry_count(),
+        loaded.shards().len(),
+        bytes.len(),
+        cold_build_s,
+        warm_load_s,
+        load_speedup,
+        qps_unsharded,
+        qps_sharded,
+        psms_identical,
+    );
+}

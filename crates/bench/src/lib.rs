@@ -94,7 +94,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", line(header.iter().map(|s| s.to_string()).collect()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", line(row.clone()));
     }

@@ -1,18 +1,24 @@
-//! The four subcommands.
+//! The subcommands.
 
 use crate::library_io::{read_library, write_library};
 use crate::opts::Flags;
 use hdoms_baselines::annsolo::{AnnSoloBackend, AnnSoloConfig};
 use hdoms_baselines::hyperoms::{HyperOmsBackend, HyperOmsConfig};
-use hdoms_ms::dataset::{QueryTruth, SyntheticWorkload, WorkloadSpec};
+use hdoms_core::accelerator::AcceleratorConfig;
+use hdoms_index::{IndexBuilder, IndexConfig, IndexReader, IndexedBackendKind, LibraryIndex};
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_ms::library::SpectralLibrary;
 use hdoms_ms::mgf::{read_mgf, write_mgf};
+use hdoms_ms::spectrum::Spectrum;
 use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig, PipelineOutcome};
 use hdoms_oms::profile::{common_catalogue, DeltaMassProfile};
 use hdoms_oms::psm::Psm;
+use hdoms_oms::search::{ExactBackend, ExactBackendConfig};
 use hdoms_oms::window::PrecursorWindow;
 use hdoms_rram::chip::ChipSpec;
 use hdoms_rram::config::MlcConfig;
 use std::fs;
+use std::path::Path;
 
 /// `hdoms generate`: synthesise a workload, export query + library MGF.
 pub fn generate(args: &[String]) -> Result<(), String> {
@@ -49,81 +55,211 @@ pub fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `hdoms search`: MGF queries vs annotated-MGF library → PSM table.
-pub fn search(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args)?;
-    flags.check_known(&[
-        "queries", "library", "out", "backend", "window", "fdr", "dim", "seed",
-    ])?;
-    let queries_path = flags.require("queries")?;
-    let library_path = flags.require("library")?;
-    let out_path = flags.require("out")?;
-    let fdr: f64 = flags.get_or("fdr", 0.01)?;
-    let dim: usize = flags.get_or("dim", 8192)?;
-    let backend_name = flags.get("backend").unwrap_or("exact").to_owned();
-    let window = match flags.get("window").unwrap_or("open") {
-        "open" => PrecursorWindow::open_default(),
-        "standard" => PrecursorWindow::standard_default(),
-        other => return Err(format!("unknown window {other:?} (open|standard)")),
-    };
-
-    let query_bytes = fs::read(queries_path).map_err(|e| e.to_string())?;
-    let queries: Vec<_> = read_mgf(query_bytes.as_slice())
+/// Read query spectra from an MGF file.
+fn read_queries(path: &str) -> Result<Vec<Spectrum>, String> {
+    let bytes = fs::read(path).map_err(|e| e.to_string())?;
+    let queries: Vec<Spectrum> = read_mgf(bytes.as_slice())
         .map_err(|e| e.to_string())?
         .into_iter()
         .map(|m| m.spectrum)
         .collect();
-    let library_bytes = fs::read(library_path).map_err(|e| e.to_string())?;
-    let library = read_library(&library_bytes)?;
-    if queries.is_empty() || library.is_empty() {
-        return Err("empty queries or library".to_owned());
+    if queries.is_empty() {
+        return Err(format!("no query spectra in {path}"));
     }
+    Ok(queries)
+}
 
-    // Wrap the parsed data as a workload; truth is unknown for real data.
-    let truth = vec![QueryTruth::Unmatchable; queries.len()];
-    let spec = WorkloadSpec {
-        name: format!("cli:{queries_path}"),
-        reference_peptides: library.len() / 2,
-        queries: queries.len(),
-        modified_fraction: 0.0,
-        unmatchable_fraction: 0.0,
-        peptide_len: (0, 0),
-        library_charge: 2,
-        noise: hdoms_ms::noise::NoiseModel::none(),
-        fragment: hdoms_ms::fragment::FragmentConfig::default(),
-    };
-    let workload = SyntheticWorkload {
-        spec,
-        library,
-        queries,
-        truth,
-    };
+/// Read an annotated library MGF.
+fn read_library_file(path: &str) -> Result<SpectralLibrary, String> {
+    let bytes = fs::read(path).map_err(|e| e.to_string())?;
+    let library = read_library(&bytes)?;
+    if library.is_empty() {
+        return Err(format!("no library spectra in {path}"));
+    }
+    Ok(library)
+}
 
-    let mut config = PipelineConfig::default();
-    config.window = window;
-    config.fdr_level = fdr;
+/// What `search`/`compare` run a query batch against.
+enum SearchTarget<'a> {
+    /// A raw library: the backend is built cold before searching.
+    Cold(&'a SpectralLibrary),
+    /// A prebuilt index: the backend is reconstructed warm.
+    Warm(&'a LibraryIndex),
+}
+
+/// One configured backend run; returns the outcome plus a peptide lookup
+/// for the PSM table.
+fn run_backend(
+    spec: &str,
+    target: &SearchTarget<'_>,
+    queries: &[Spectrum],
+    pipeline: &OmsPipeline,
+    dim: usize,
+    sharded: bool,
+    threads: usize,
+) -> Result<(PipelineOutcome, Vec<String>), String> {
+    match target {
+        SearchTarget::Cold(library) => {
+            let library: &SpectralLibrary = library;
+            let peptides: Vec<String> = library.iter().map(|e| e.peptide.to_string()).collect();
+            let outcome = match spec {
+                "exact" => {
+                    let mut config = ExactBackendConfig::default();
+                    config.preprocess = pipeline.config().preprocess;
+                    config.encoder.dim = dim;
+                    config.threads = threads;
+                    let backend = ExactBackend::build(library, config);
+                    pipeline.run_catalog(queries, library, &backend)
+                }
+                "annsolo" => {
+                    let backend = AnnSoloBackend::build(
+                        library,
+                        AnnSoloConfig {
+                            threads,
+                            ..AnnSoloConfig::default()
+                        },
+                    );
+                    pipeline.run_catalog(queries, library, &backend)
+                }
+                "hyperoms" => {
+                    let backend = HyperOmsBackend::build(
+                        library,
+                        HyperOmsConfig {
+                            dim,
+                            threads,
+                            ..HyperOmsConfig::default()
+                        },
+                    );
+                    pipeline.run_catalog(queries, library, &backend)
+                }
+                "rram" => {
+                    let mut config = AcceleratorConfig::default();
+                    config.preprocess = pipeline.config().preprocess;
+                    config.encoder.dim = dim;
+                    config.threads = threads;
+                    let backend = hdoms_core::accelerator::OmsAccelerator::build(library, config);
+                    pipeline.run_catalog(queries, library, &backend)
+                }
+                other => {
+                    return Err(format!(
+                        "backend {other:?} needs a prebuilt index \
+                         (exact|annsolo|hyperoms|rram run cold)"
+                    ))
+                }
+            };
+            Ok((outcome, peptides))
+        }
+        SearchTarget::Warm(index) => {
+            let index: &LibraryIndex = index;
+            let peptides = index.peptides_by_id();
+            let outcome = if sharded {
+                let backend = index.sharded_backend(threads).map_err(|e| e.to_string())?;
+                pipeline.run_catalog(queries, index, &backend)
+            } else {
+                match index.kind() {
+                    IndexedBackendKind::Exact(_) => {
+                        let backend = index.to_exact_backend(threads).map_err(|e| e.to_string())?;
+                        pipeline.run_catalog(queries, index, &backend)
+                    }
+                    IndexedBackendKind::HyperOms(_) => {
+                        let backend = index
+                            .to_hyperoms_backend(threads)
+                            .map_err(|e| e.to_string())?;
+                        pipeline.run_catalog(queries, index, &backend)
+                    }
+                    IndexedBackendKind::Rram(_) => {
+                        let backend = index.to_accelerator(threads).map_err(|e| e.to_string())?;
+                        pipeline.run_catalog(queries, index, &backend)
+                    }
+                }
+            };
+            Ok((outcome, peptides))
+        }
+    }
+}
+
+/// Pipeline configuration shared by `search` and `compare`. For warm
+/// targets the preprocessing is taken from the index (queries must be
+/// preprocessed exactly like the indexed library was).
+fn pipeline_for(
+    target: &SearchTarget<'_>,
+    window: PrecursorWindow,
+    fdr: f64,
+    dim: usize,
+) -> OmsPipeline {
+    let mut config = PipelineConfig {
+        window,
+        fdr_level: fdr,
+        ..PipelineConfig::default()
+    };
     config.exact.encoder.dim = dim;
-    let pipeline = OmsPipeline::new(config);
-    let outcome = match backend_name.as_str() {
-        "exact" => pipeline.run_exact(&workload),
-        "annsolo" => {
-            let backend = AnnSoloBackend::build(&workload.library, AnnSoloConfig::default());
-            pipeline.run(&workload, &backend)
+    if let SearchTarget::Warm(index) = target {
+        config.preprocess = index.kind().preprocess();
+    }
+    OmsPipeline::new(config)
+}
+
+fn parse_window(flags: &Flags) -> Result<PrecursorWindow, String> {
+    match flags.get("window").unwrap_or("open") {
+        "open" => Ok(PrecursorWindow::open_default()),
+        "standard" => Ok(PrecursorWindow::standard_default()),
+        other => Err(format!("unknown window {other:?} (open|standard)")),
+    }
+}
+
+/// `hdoms search`: MGF queries vs an annotated-MGF library (cold build)
+/// or a prebuilt `.hdx` index (warm load) → PSM table.
+pub fn search(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.check_known(&[
+        "queries", "library", "index", "out", "backend", "window", "fdr", "dim", "seed", "sharded",
+        "threads",
+    ])?;
+    let queries_path = flags.require("queries")?;
+    let out_path = flags.require("out")?;
+    let fdr: f64 = flags.get_or("fdr", 0.01)?;
+    let dim: usize = flags.get_or("dim", 8192)?;
+    let sharded: bool = flags.get_or("sharded", true)?;
+    let threads: usize = flags.get_or("threads", hdoms_hdc::parallel::default_threads())?;
+    let window = parse_window(&flags)?;
+    let backend_name = flags.get("backend").unwrap_or("exact").to_owned();
+
+    let queries = read_queries(queries_path)?;
+    let loaded_index;
+    let loaded_library;
+    let target = match (flags.get("index"), flags.get("library")) {
+        (Some(_), _) if flags.get("backend").is_some() => {
+            return Err(
+                "--backend applies to cold searches; a prebuilt --index already fixes \
+                 its backend (use --sharded true|false to pick the search mode)"
+                    .to_owned(),
+            )
         }
-        "hyperoms" => {
-            let backend = HyperOmsBackend::build(
-                &workload.library,
-                HyperOmsConfig {
-                    dim,
-                    ..HyperOmsConfig::default()
-                },
-            );
-            pipeline.run(&workload, &backend)
+        (Some(index_path), _) => {
+            loaded_index = IndexReader::with_threads(threads)
+                .open_with(Path::new(index_path))
+                .map_err(|e| e.to_string())?;
+            SearchTarget::Warm(&loaded_index)
         }
-        other => return Err(format!("unknown backend {other:?} (exact|annsolo|hyperoms)")),
+        (None, Some(library_path)) => {
+            loaded_library = read_library_file(library_path)?;
+            SearchTarget::Cold(&loaded_library)
+        }
+        (None, None) => return Err("search needs --library or --index".to_owned()),
     };
 
-    fs::write(out_path, render_psm_table(&workload, &outcome)).map_err(|e| e.to_string())?;
+    let pipeline = pipeline_for(&target, window, fdr, dim);
+    let (outcome, peptides) = run_backend(
+        &backend_name,
+        &target,
+        &queries,
+        &pipeline,
+        dim,
+        sharded,
+        threads,
+    )?;
+
+    fs::write(out_path, render_psm_table(&peptides, &outcome)).map_err(|e| e.to_string())?;
     println!(
         "{}: {} of {} queries identified at {:.1}% FDR (threshold score {:.4}); \
          table written to {out_path}",
@@ -137,16 +273,15 @@ pub fn search(args: &[String]) -> Result<(), String> {
 }
 
 /// Render the PSM table (all best hits, with an `accepted` column).
-fn render_psm_table(workload: &SyntheticWorkload, outcome: &PipelineOutcome) -> String {
+fn render_psm_table(peptides_by_id: &[String], outcome: &PipelineOutcome) -> String {
     let accepted = outcome.accepted_query_ids();
     let mut out = String::from(
         "query_id\treference_id\tpeptide\tscore\tis_decoy\tprecursor_delta_da\taccepted\n",
     );
     for psm in &outcome.psms {
-        let peptide = workload
-            .library
-            .get(psm.reference_id)
-            .map(|e| e.peptide.to_string())
+        let peptide = peptides_by_id
+            .get(psm.reference_id as usize)
+            .cloned()
             .unwrap_or_default();
         out.push_str(&format!(
             "{}\t{}\t{}\t{:.6}\t{}\t{:.4}\t{}\n",
@@ -162,6 +297,237 @@ fn render_psm_table(workload: &SyntheticWorkload, outcome: &PipelineOutcome) -> 
     out
 }
 
+/// `hdoms index`: build / info / append on persistent library indexes.
+pub fn index(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("index needs a subcommand: build | info | append".to_owned());
+    };
+    match sub.as_str() {
+        "build" => index_build(rest),
+        "info" => index_info(rest),
+        "append" => index_append(rest),
+        other => Err(format!(
+            "unknown index subcommand {other:?} (build|info|append)"
+        )),
+    }
+}
+
+fn index_build(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.check_known(&["library", "out", "backend", "dim", "shard-size", "threads"])?;
+    let library_path = flags.require("library")?;
+    let out_path = flags.require("out")?;
+    let dim: usize = flags.get_or("dim", 8192)?;
+    let shard_size: usize = flags.get_or("shard-size", 1024)?;
+    let threads: usize = flags.get_or("threads", hdoms_hdc::parallel::default_threads())?;
+    if shard_size == 0 {
+        return Err("--shard-size must be positive".to_owned());
+    }
+
+    let kind = match flags.get("backend").unwrap_or("exact") {
+        "exact" => {
+            let mut config = ExactBackendConfig::default();
+            config.encoder.dim = dim;
+            IndexedBackendKind::Exact(config)
+        }
+        "hyperoms" => IndexedBackendKind::HyperOms(HyperOmsConfig {
+            dim,
+            ..HyperOmsConfig::default()
+        }),
+        "rram" => {
+            let mut config = AcceleratorConfig::default();
+            config.encoder.dim = dim;
+            IndexedBackendKind::Rram(config)
+        }
+        other => return Err(format!("unknown backend {other:?} (exact|hyperoms|rram)")),
+    };
+
+    let library = read_library_file(library_path)?;
+    let start = std::time::Instant::now();
+    let index = IndexBuilder::new(IndexConfig {
+        kind,
+        entries_per_shard: shard_size,
+        threads,
+    })
+    .from_library(&library);
+    let build_s = start.elapsed().as_secs_f64();
+    index
+        .write(Path::new(out_path))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "indexed {} references ({} rejected) into {} shards in {:.2} s → {out_path}",
+        index.build_stats().references_stored,
+        index.build_stats().references_rejected,
+        index.shards().len(),
+        build_s,
+    );
+    Ok(())
+}
+
+fn index_info(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.check_known(&["index"])?;
+    let index_path = flags.require("index")?;
+    let bytes = fs::metadata(index_path).map_err(|e| e.to_string())?.len();
+    let index = IndexReader::open(Path::new(index_path)).map_err(|e| e.to_string())?;
+    let stats = index.build_stats();
+    println!("index {index_path} ({bytes} bytes)");
+    println!(
+        "  backend {}  dim {}  entries {}  shards {}",
+        index.kind().name(),
+        index.dim(),
+        index.entry_count(),
+        index.shards().len(),
+    );
+    println!(
+        "  stored {}  rejected {}  mean encode BER {:.4}",
+        stats.references_stored, stats.references_rejected, stats.mean_encode_ber,
+    );
+    if let Some(mlc) = index.mlc_state() {
+        println!(
+            "  MLC state: {} differential weight pairs, σ_δ {:.4}",
+            mlc.w_eff.len(),
+            mlc.sigma_delta,
+        );
+    }
+    for (i, shard) in index.shards().iter().enumerate() {
+        let (lo, hi) = match (shard.mass_lo(), shard.mass_hi()) {
+            (Some(lo), Some(hi)) => (lo, hi),
+            _ => (f64::NAN, f64::NAN),
+        };
+        println!(
+            "  shard {i:>3}: {:>6} entries, {lo:>9.2} – {hi:>9.2} Da",
+            shard.entries.len(),
+        );
+    }
+    Ok(())
+}
+
+fn index_append(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.check_known(&["index", "library", "out", "threads"])?;
+    let index_path = flags.require("index")?;
+    let library_path = flags.require("library")?;
+    let out_path = flags.get("out").unwrap_or(index_path).to_owned();
+    let threads: usize = flags.get_or("threads", hdoms_hdc::parallel::default_threads())?;
+
+    let mut index = IndexReader::with_threads(threads)
+        .open_with(Path::new(index_path))
+        .map_err(|e| e.to_string())?;
+    let extra = read_library_file(library_path)?;
+    let before = index.entry_count();
+    index.append_entries(extra.entries(), threads);
+    index
+        .write(Path::new(&out_path))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "appended {} references ({} → {}) across {} shards → {out_path}",
+        extra.len(),
+        before,
+        index.entry_count(),
+        index.shards().len(),
+    );
+    Ok(())
+}
+
+/// `hdoms compare`: run two backends over the same queries and report
+/// agreement — e.g. a cold `exact` build vs a warm `index` load.
+pub fn compare(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.check_known(&[
+        "queries",
+        "library",
+        "index",
+        "backend-a",
+        "backend-b",
+        "window",
+        "fdr",
+        "dim",
+        "threads",
+    ])?;
+    let queries_path = flags.require("queries")?;
+    let spec_a = flags.require("backend-a")?.to_owned();
+    let spec_b = flags.require("backend-b")?.to_owned();
+    let fdr: f64 = flags.get_or("fdr", 0.01)?;
+    let dim: usize = flags.get_or("dim", 8192)?;
+    let threads: usize = flags.get_or("threads", hdoms_hdc::parallel::default_threads())?;
+    let window = parse_window(&flags)?;
+
+    let queries = read_queries(queries_path)?;
+    let library = flags.get("library").map(read_library_file).transpose()?;
+    let loaded_index = flags
+        .get("index")
+        .map(|p| {
+            IndexReader::with_threads(threads)
+                .open_with(Path::new(p))
+                .map_err(|e| e.to_string())
+        })
+        .transpose()?;
+
+    let run_spec = |spec: &str| -> Result<PipelineOutcome, String> {
+        let (target, backend_name, sharded) = match spec {
+            "index" | "index-sharded" => {
+                let Some(index) = &loaded_index else {
+                    return Err(format!("backend spec {spec:?} needs --index"));
+                };
+                (
+                    SearchTarget::Warm(index),
+                    index.kind().name().to_owned(),
+                    spec == "index-sharded",
+                )
+            }
+            cold => {
+                let Some(library) = &library else {
+                    return Err(format!("backend spec {cold:?} needs --library"));
+                };
+                (SearchTarget::Cold(library), cold.to_owned(), false)
+            }
+        };
+        let pipeline = pipeline_for(&target, window, fdr, dim);
+        let (outcome, _) = run_backend(
+            &backend_name,
+            &target,
+            &queries,
+            &pipeline,
+            dim,
+            sharded,
+            threads,
+        )?;
+        Ok(outcome)
+    };
+
+    let a = run_spec(&spec_a)?;
+    let b = run_spec(&spec_b)?;
+
+    let accepted_a = a.accepted_query_ids();
+    let accepted_b = b.accepted_query_ids();
+    let both = accepted_a.intersection(&accepted_b).count();
+    let union = accepted_a.union(&accepted_b).count();
+    let identical_psms = a.psms == b.psms;
+    println!(
+        "A [{}] {} identifications",
+        a.backend_name,
+        a.identifications()
+    );
+    println!(
+        "B [{}] {} identifications",
+        b.backend_name,
+        b.identifications()
+    );
+    println!(
+        "agreement: {both} accepted by both, {} only A, {} only B (Jaccard {:.3})",
+        accepted_a.len() - both,
+        accepted_b.len() - both,
+        if union == 0 {
+            1.0
+        } else {
+            both as f64 / union as f64
+        },
+    );
+    println!("psm tables identical: {identical_psms}");
+    Ok(())
+}
+
 /// `hdoms profile`: delta-mass profile of an accepted-PSM table.
 pub fn profile(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
@@ -171,13 +537,20 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     let min_count: usize = flags.get_or("min-count", 3)?;
     let table = fs::read_to_string(path).map_err(|e| e.to_string())?;
     let psms = parse_psm_table(&table)?;
-    let accepted: Vec<Psm> = psms.into_iter().filter(|(_, acc)| *acc).map(|(p, _)| p).collect();
+    let accepted: Vec<Psm> = psms
+        .into_iter()
+        .filter(|(_, acc)| *acc)
+        .map(|(p, _)| p)
+        .collect();
     if accepted.is_empty() {
         return Err("no accepted PSMs in the table".to_owned());
     }
     let profile = DeltaMassProfile::from_psms(&accepted, bin_width);
     let catalogue = common_catalogue();
-    println!("{} accepted PSMs; delta-mass peaks (≥{min_count}):", profile.total());
+    println!(
+        "{} accepted PSMs; delta-mass peaks (≥{min_count}):",
+        profile.total()
+    );
     println!("{:>12}  {:>6}  annotation", "delta (Da)", "PSMs");
     for (peak, name) in profile.annotate(min_count, &catalogue, 3.0 * bin_width) {
         println!(
@@ -199,7 +572,11 @@ fn parse_psm_table(table: &str) -> Result<Vec<(Psm, bool)>, String> {
         }
         let fields: Vec<&str> = line.split('\t').collect();
         if fields.len() != 7 {
-            return Err(format!("line {}: expected 7 columns, got {}", i + 1, fields.len()));
+            return Err(format!(
+                "line {}: expected 7 columns, got {}",
+                i + 1,
+                fields.len()
+            ));
         }
         let parse = |f: &str, what: &str| -> Result<f64, String> {
             f.parse()
@@ -233,7 +610,10 @@ pub fn chip(args: &[String]) -> Result<(), String> {
 
     let chip = ChipSpec::paper_chip(MlcConfig::with_bits(bits));
     let mapping = hdoms_core::mapping::LibraryMapping::plan_on_chip(&chip, refs, dim, activated);
-    println!("chip: {} tiles of {}x{} cells, {} bits/cell", chip.tiles, chip.rows, chip.cols, bits);
+    println!(
+        "chip: {} tiles of {}x{} cells, {} bits/cell",
+        chip.tiles, chip.rows, chip.cols, bits
+    );
     println!(
         "dense storage: {} hypervectors of {dim} bits ({}x the 1-bit capacity)",
         chip.hypervector_capacity(dim as usize),
@@ -281,7 +661,12 @@ mod tests {
         let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 8);
         let pipeline = OmsPipeline::new(PipelineConfig::fast_test());
         let outcome = pipeline.run_exact(&workload);
-        let table = render_psm_table(&workload, &outcome);
+        let peptides: Vec<String> = workload
+            .library
+            .iter()
+            .map(|e| e.peptide.to_string())
+            .collect();
+        let table = render_psm_table(&peptides, &outcome);
         let parsed = parse_psm_table(&table).unwrap();
         assert_eq!(parsed.len(), outcome.psms.len());
         let accepted = parsed.iter().filter(|(_, a)| *a).count();

@@ -67,18 +67,17 @@ pub fn read_library(bytes: &[u8]) -> Result<SpectralLibrary, String> {
                         })
                         .collect()
                 };
-                peptide =
-                    Some(Peptide::parse(&clean).map_err(|e| {
-                        format!("library block {index}: bad peptide {seq:?}: {e}")
-                    })?);
+                peptide = Some(
+                    Peptide::parse(&clean)
+                        .map_err(|e| format!("library block {index}: bad peptide {seq:?}: {e}"))?,
+                );
             } else if let Some(flag) = token.strip_prefix("decoy=") {
                 decoy = Some(flag == "1");
             }
         }
         let peptide =
             peptide.ok_or_else(|| format!("library block {index} title lacks peptide="))?;
-        let is_decoy =
-            decoy.ok_or_else(|| format!("library block {index} title lacks decoy="))?;
+        let is_decoy = decoy.ok_or_else(|| format!("library block {index} title lacks decoy="))?;
         let origin = if is_decoy {
             SpectrumOrigin::Decoy
         } else {

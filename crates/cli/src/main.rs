@@ -4,8 +4,13 @@
 //!
 //! * `generate` — build a synthetic workload and export it as MGF files
 //!   (queries + library with peptide/decoy annotations in the titles).
+//! * `index` — build, inspect or append to a persistent encoded library
+//!   index (`.hdx`), so searches skip the one-time library encoding.
 //! * `search` — run an open (or standard) search of query MGF against a
-//!   library MGF with a chosen backend, writing a PSM table.
+//!   library MGF — or a prebuilt `--index` — with a chosen backend,
+//!   writing a PSM table.
+//! * `compare` — run two backends over the same queries and report how
+//!   their identifications agree (e.g. cold build vs warm index).
 //! * `profile` — delta-mass profile of a PSM table.
 //! * `chip` — plan a library deployment on MLC RRAM tiles and print the
 //!   capacity/latency/energy summary.
@@ -26,7 +31,9 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "generate" => commands::generate(rest),
+        "index" => commands::index(rest),
         "search" => commands::search(rest),
+        "compare" => commands::compare(rest),
         "profile" => commands::profile(rest),
         "chip" => commands::chip(rest),
         "help" | "--help" | "-h" => {

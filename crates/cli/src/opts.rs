@@ -7,9 +7,21 @@ hdoms — open modification spectral library search (DAC 2024 reproduction)
 USAGE:
   hdoms generate --out-queries <q.mgf> --out-library <lib.mgf>
                  [--preset iprg2012|hek293|tiny] [--scale <f64>] [--seed <u64>]
-  hdoms search   --queries <q.mgf> --library <lib.mgf> --out <psms.tsv>
-                 [--backend exact|annsolo|hyperoms] [--window open|standard]
+  hdoms index build  --library <lib.mgf> --out <lib.hdx>
+                     [--backend exact|hyperoms|rram] [--dim <usize>]
+                     [--shard-size <usize>] [--threads <usize>]
+  hdoms index info   --index <lib.hdx>
+  hdoms index append --index <lib.hdx> --library <more.mgf> [--out <new.hdx>]
+                     [--threads <usize>]
+  hdoms search   --queries <q.mgf> (--library <lib.mgf> | --index <lib.hdx>)
+                 --out <psms.tsv>
+                 [--backend exact|annsolo|hyperoms|rram] [--window open|standard]
                  [--fdr <f64>] [--dim <usize>] [--seed <u64>]
+                 [--sharded true|false] [--threads <usize>]
+  hdoms compare  --queries <q.mgf> --backend-a <spec> --backend-b <spec>
+                 [--library <lib.mgf>] [--index <lib.hdx>]
+                 [--window open|standard] [--fdr <f64>] [--dim <usize>]
+                 (spec: exact|annsolo|hyperoms|rram|index|index-sharded)
   hdoms profile  --psms <psms.tsv> [--bin-width <f64>] [--min-count <usize>]
   hdoms chip     [--bits 1|2|3] [--dim <usize>] [--refs <u64>]
                  [--activated-rows <usize>]
@@ -51,7 +63,8 @@ impl Flags {
 
     /// A required flag.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
     /// An optional typed flag with a default.

@@ -121,6 +121,41 @@ impl OmsAccelerator {
         }
     }
 
+    /// Reassemble an accelerator from previously-built parts without
+    /// re-encoding the library — the warm-load path behind
+    /// `hdoms-index`'s `OmsAccelerator::from_index`.
+    ///
+    /// `references` must be the encoded library hypervectors by dense id
+    /// (`None` marks entries preprocessing rejected), exactly as a cold
+    /// [`OmsAccelerator::build`] would have produced with `config`; the
+    /// search weights are re-derived deterministically from `config.seed`,
+    /// so searches through the reassembled accelerator score identically
+    /// to the cold-built one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoder/crossbar configurations disagree or no
+    /// reference survived preprocessing.
+    pub fn from_parts(
+        config: AcceleratorConfig,
+        encoder: InMemoryEncoder,
+        references: Vec<Option<hdoms_hdc::BinaryHypervector>>,
+        build_stats: BuildStats,
+    ) -> OmsAccelerator {
+        let search = InMemorySearch::new(
+            config.crossbar,
+            references,
+            config.seed ^ 0x5ea4c4,
+            config.threads,
+        );
+        OmsAccelerator {
+            config,
+            encoder,
+            search,
+            build_stats,
+        }
+    }
+
     /// The configuration.
     pub fn config(&self) -> &AcceleratorConfig {
         &self.config

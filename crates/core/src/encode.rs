@@ -122,6 +122,68 @@ impl InMemoryEncoder {
         }
     }
 
+    /// Reconstruct an encoder from previously-programmed MLC state (the
+    /// warm-load path used by `hdoms-index`): the differential weight
+    /// pairs `w_eff` and their RMS deviation are restored verbatim instead
+    /// of re-sampling the device model, so the rebuilt encoder produces
+    /// bit-identical encodings to the one that was persisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configurations are invalid, mismatched, or `w_eff`
+    /// does not hold exactly `num_bins × dim` weights.
+    pub fn from_programmed(
+        encoder: EncoderConfig,
+        crossbar: CrossbarConfig,
+        w_eff: Vec<f32>,
+        sigma_delta: f64,
+        seed: u64,
+    ) -> InMemoryEncoder {
+        crossbar.validate();
+        assert_eq!(
+            encoder.id_precision.bits(),
+            crossbar.mlc.bits_per_cell,
+            "ID precision must match the cell precision"
+        );
+        assert_eq!(
+            w_eff.len(),
+            encoder.num_bins * encoder.dim,
+            "programmed weight count must equal num_bins × dim"
+        );
+        assert!(
+            sigma_delta.is_finite() && sigma_delta >= 0.0,
+            "sigma_delta must be finite and non-negative"
+        );
+        let software = IdLevelEncoder::new(encoder);
+        InMemoryEncoder {
+            software,
+            crossbar,
+            w_eff,
+            sigma_delta,
+            dim: encoder.dim,
+            num_bins: encoder.num_bins,
+            seed,
+        }
+    }
+
+    /// The effective differential weights `(g⁺−g⁻)/g_max` of the
+    /// programmed ID memory, flattened `[bin][dim]` — the MLC programming
+    /// state a persistent index stores for warm reloads.
+    pub fn programmed_weights(&self) -> &[f32] {
+        &self.w_eff
+    }
+
+    /// RMS normalised per-pair conductance deviation of the programmed ID
+    /// memory.
+    pub fn sigma_delta(&self) -> f64 {
+        self.sigma_delta
+    }
+
+    /// The construction seed (per-spectrum analog noise derives from it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The software encoder sharing this hardware's item memories (the
     /// ground truth for error measurements).
     pub fn software(&self) -> &IdLevelEncoder {
@@ -196,6 +258,7 @@ impl InMemoryEncoder {
                 let end = (start + group).min(peaks.len());
                 let n = (end - start) as f64;
                 cycles += 1;
+                #[allow(clippy::needless_range_loop)] // d indexes both acc and w_eff
                 for d in chunk_start..chunk_end {
                     let mut v = 0.0f64;
                     for (row, &(bin, _)) in peaks[start..end].iter().enumerate() {

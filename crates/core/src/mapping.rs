@@ -48,11 +48,11 @@ impl LibraryMapping {
     ) -> LibraryMapping {
         assert!(references > 0 && dim > 0, "need data to map");
         assert!(
-            tile_rows >= 2 && tile_rows % 2 == 0 && tile_cols > 0,
+            tile_rows >= 2 && tile_rows.is_multiple_of(2) && tile_cols > 0,
             "tile geometry must be positive with even rows"
         );
         assert!(
-            activated_rows >= 2 && activated_rows % 2 == 0 && activated_rows <= tile_rows,
+            activated_rows >= 2 && activated_rows.is_multiple_of(2) && activated_rows <= tile_rows,
             "activated rows must be even and within the tile"
         );
         let rows_needed = 2 * dim; // differential pairs
@@ -68,7 +68,12 @@ impl LibraryMapping {
     }
 
     /// Plan onto the tiles of a [`ChipSpec`].
-    pub fn plan_on_chip(chip: &ChipSpec, references: u64, dim: u64, activated_rows: u64) -> LibraryMapping {
+    pub fn plan_on_chip(
+        chip: &ChipSpec,
+        references: u64,
+        dim: u64,
+        activated_rows: u64,
+    ) -> LibraryMapping {
         LibraryMapping::plan(
             references,
             dim,

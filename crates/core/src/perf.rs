@@ -168,9 +168,8 @@ impl RramModel {
     /// Dynamic + controller energy for `shape`.
     pub fn energy_j(&self, shape: &WorkloadShape) -> f64 {
         let tile_cycles = (shape.search_macs() + shape.encode_macs()) / self.macs_per_tile_cycle();
-        let e_cycle_pj = self.cols * self.e_adc_pj
-            + self.activated_rows * self.e_row_pj
-            + self.e_periphery_pj;
+        let e_cycle_pj =
+            self.cols * self.e_adc_pj + self.activated_rows * self.e_row_pj + self.e_periphery_pj;
         tile_cycles * e_cycle_pj * 1e-12 + self.controller_w * self.time_s(shape)
     }
 

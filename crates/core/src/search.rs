@@ -119,7 +119,12 @@ impl InMemorySearch {
     /// # Panics
     ///
     /// Panics on dimension mismatch or an out-of-range id.
-    pub fn evaluate(&self, query: &BinaryHypervector, query_id: u32, reference_id: u32) -> Option<SearchStats> {
+    pub fn evaluate(
+        &self,
+        query: &BinaryHypervector,
+        query_id: u32,
+        reference_id: u32,
+    ) -> Option<SearchStats> {
         let reference = self.references[reference_id as usize].as_ref()?;
         assert_eq!(query.dim(), self.dim, "query dimension mismatch");
         let mut rng = StdRng::seed_from_u64(
@@ -186,9 +191,7 @@ impl InMemorySearch {
             let score = stats.estimated_dot / self.dim as f64;
             let better = match best {
                 None => true,
-                Some((b_ref, b_score)) => {
-                    score > b_score || (score == b_score && cand < b_ref)
-                }
+                Some((b_ref, b_score)) => score > b_score || (score == b_score && cand < b_ref),
             };
             if better {
                 best = Some((cand, score));
@@ -203,7 +206,11 @@ impl InMemorySearch {
         queries: &[(u32, BinaryHypervector)],
         candidates: &[Vec<u32>],
     ) -> Vec<Option<(u32, f64)>> {
-        assert_eq!(queries.len(), candidates.len(), "queries and candidates must pair up");
+        assert_eq!(
+            queries.len(),
+            candidates.len(),
+            "queries and candidates must pair up"
+        );
         let jobs: Vec<usize> = (0..queries.len()).collect();
         par_map(&jobs, self.threads, |&i| {
             let (qid, hv) = &queries[i];
@@ -271,7 +278,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let a = BinaryHypervector::random(&mut rng, 300);
         let b = BinaryHypervector::random(&mut rng, 300);
-        for &(s, e) in &[(0usize, 300usize), (0, 64), (63, 65), (100, 131), (250, 300), (5, 6)] {
+        for &(s, e) in &[
+            (0usize, 300usize),
+            (0, 64),
+            (63, 65),
+            (100, 131),
+            (250, 300),
+            (5, 6),
+        ] {
             let naive = (s..e).filter(|&i| a.bit(i) == b.bit(i)).count() as u32;
             assert_eq!(matching_bits(&a, &b, s, e), naive, "range {s}..{e}");
         }

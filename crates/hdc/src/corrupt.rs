@@ -18,7 +18,10 @@ use rand::Rng;
 ///
 /// Panics unless `0.0 <= ber <= 1.0`.
 pub fn flip_bits_in_place<R: Rng>(rng: &mut R, hv: &mut BinaryHypervector, ber: f64) {
-    assert!((0.0..=1.0).contains(&ber), "bit error rate must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&ber),
+        "bit error rate must be in [0, 1]"
+    );
     if ber == 0.0 {
         return;
     }

@@ -87,8 +87,12 @@ impl IdLevelEncoder {
             config.dim,
             config.id_precision,
         );
-        let level_memory =
-            LevelMemory::generate(config.seed ^ 0x7e, config.dim, config.q_levels, config.level_style);
+        let level_memory = LevelMemory::generate(
+            config.seed ^ 0x7e,
+            config.dim,
+            config.q_levels,
+            config.level_style,
+        );
         let level_bipolar = (0..config.q_levels)
             .map(|q| level_memory.level(q).to_bipolar())
             .collect();
@@ -175,7 +179,11 @@ impl IdLevelEncoder {
     }
 
     /// Encode a batch on `threads` threads, preserving order.
-    pub fn encode_batch(&self, spectra: &[BinnedSpectrum], threads: usize) -> Vec<BinaryHypervector> {
+    pub fn encode_batch(
+        &self,
+        spectra: &[BinnedSpectrum],
+        threads: usize,
+    ) -> Vec<BinaryHypervector> {
         par_map(spectra, threads, |s| self.encode(s))
     }
 }

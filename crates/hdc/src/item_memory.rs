@@ -129,7 +129,7 @@ impl LevelMemory {
     pub fn generate(seed: u64, dim: usize, q: usize, style: LevelStyle) -> LevelMemory {
         assert!(q >= 2, "need at least two quantisation levels");
         assert!(dim > 0, "hypervector dimension must be positive");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x1e7e_11);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x001e_7e11);
         match style {
             LevelStyle::Random => {
                 let flips_per_level = dim / (2 * q);
@@ -331,8 +331,8 @@ mod tests {
             let hv = lm.level(level);
             let cv = lm.chunk_values(level).unwrap();
             assert_eq!(cv.len(), n);
-            for c in 0..n {
-                let expect = cv[c] > 0;
+            for (c, &chunk_value) in cv.iter().enumerate() {
+                let expect = chunk_value > 0;
                 for d in c * chunk_size..((c + 1) * chunk_size).min(dim) {
                     assert_eq!(hv.bit(d), expect, "level {level} chunk {c} dim {d}");
                 }

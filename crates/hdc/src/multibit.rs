@@ -92,7 +92,10 @@ impl MultiBitHypervector {
     /// Panics if any component is zero or exceeds the precision's range, or
     /// if `components` is empty.
     pub fn from_components(components: Vec<i8>, precision: IdPrecision) -> MultiBitHypervector {
-        assert!(!components.is_empty(), "hypervector dimension must be positive");
+        assert!(
+            !components.is_empty(),
+            "hypervector dimension must be positive"
+        );
         let m = precision.max_abs();
         for &c in &components {
             assert!(
@@ -189,7 +192,9 @@ mod tests {
         let n = 16_000;
         let mut counts = std::collections::HashMap::new();
         for _ in 0..n {
-            *counts.entry(IdPrecision::Bits3.sample(&mut rng)).or_insert(0usize) += 1;
+            *counts
+                .entry(IdPrecision::Bits3.sample(&mut rng))
+                .or_insert(0usize) += 1;
         }
         let expect = n as f64 / 8.0;
         for (v, c) in counts {

@@ -3,7 +3,7 @@
 //! The sanctioned dependency set has no rayon, so this module provides the
 //! one parallel primitive the search stacks need: map a function over a
 //! slice on several threads, preserving order. Built on
-//! `crossbeam::thread::scope`, so borrowed inputs work without `'static`
+//! [`std::thread::scope`], so borrowed inputs work without `'static`
 //! bounds.
 
 /// Map `f` over `items` using up to `threads` OS threads, preserving input
@@ -35,11 +35,11 @@ where
         return items.iter().map(f).collect();
     }
     let chunk_size = items.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = items
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(move |_| chunk.iter().map(f).collect::<Vec<U>>()))
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<U>>()))
             .collect();
         let mut out = Vec::with_capacity(items.len());
         for h in handles {
@@ -47,7 +47,6 @@ where
         }
         out
     })
-    .expect("crossbeam scope failed")
 }
 
 /// A sensible default thread count: the machine's available parallelism,

@@ -93,7 +93,9 @@ mod tests {
 
     fn refs(n: usize, dim: usize, seed: u64) -> Vec<BinaryHypervector> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| BinaryHypervector::random(&mut rng, dim)).collect()
+        (0..n)
+            .map(|_| BinaryHypervector::random(&mut rng, dim))
+            .collect()
     }
 
     #[test]

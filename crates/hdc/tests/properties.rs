@@ -13,9 +13,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arb_hv(dim: usize) -> impl Strategy<Value = BinaryHypervector> {
-    any::<u64>().prop_map(move |seed| {
-        BinaryHypervector::random(&mut StdRng::seed_from_u64(seed), dim)
-    })
+    any::<u64>()
+        .prop_map(move |seed| BinaryHypervector::random(&mut StdRng::seed_from_u64(seed), dim))
 }
 
 proptest! {

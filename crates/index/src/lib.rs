@@ -1,0 +1,71 @@
+//! # hdoms-index — persistent sharded library index
+//!
+//! The paper's accelerator amortises a one-time library encoding (§4.2)
+//! across millions of query searches — but an encoding that only lives in
+//! RAM is re-paid on every process start. This crate makes the encoded
+//! library *persistent*: a versioned binary on-disk format (`HDX`) that
+//! stores
+//!
+//! * the encoded reference hypervectors of a chosen search backend
+//!   (software-exact, HyperOMS-style, or the MLC-RRAM accelerator),
+//! * per-reference metadata — neutral mass, precursor m/z and charge,
+//!   decoy flag, peptide sequence — so searches and PSM reports need no
+//!   library file,
+//! * precursor-mass **shard** boundaries, so open-modification searches
+//!   fan out only to the shards a query's precursor window overlaps and
+//!   run shard-parallel ([`ShardedBackend`]),
+//! * for the RRAM kind, the **MLC programming state** — the differential
+//!   weight pairs of the position-ID item memory — so a warm load
+//!   restores the simulated chip without re-sampling the device model,
+//! * and an XXH64 checksum per section, so truncation and bit rot are
+//!   rejected at load time.
+//!
+//! ## Workflow
+//!
+//! ```
+//! use hdoms_index::{IndexBuilder, IndexConfig, IndexReader};
+//! use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+//! use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
+//!
+//! let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 42);
+//!
+//! // Build once (encodes the library in parallel) and persist.
+//! let mut config = IndexConfig::default();
+//! config.threads = 4;
+//! if let hdoms_index::IndexedBackendKind::Exact(exact) = &mut config.kind {
+//!     exact.encoder.dim = 2048;
+//! }
+//! let index = IndexBuilder::new(config).from_library(&workload.library);
+//! let dir = std::env::temp_dir().join(format!("hdoms-doc-index-{}.hdx", std::process::id()));
+//! index.write(&dir).unwrap();
+//!
+//! // Warm load: no re-encoding, and searches produce identical PSMs.
+//! let loaded = IndexReader::open(&dir).unwrap();
+//! let backend = loaded.sharded_backend(4).unwrap();
+//! let mut pipeline_config = PipelineConfig::fast_test();
+//! pipeline_config.exact.encoder.dim = 2048;
+//! let pipeline = OmsPipeline::new(pipeline_config);
+//! let outcome = pipeline.run_catalog(&workload.queries, &loaded, &backend);
+//! assert!(!outcome.accepted.is_empty());
+//! # std::fs::remove_file(&dir).ok();
+//! ```
+//!
+//! The `hdoms` CLI exposes this as `hdoms index build` / `hdoms index
+//! info` / `hdoms index append` plus `--index` flags on `search` and
+//! `compare`; `crates/bench` measures the cold-build vs warm-load gap and
+//! the sharded vs unsharded search throughput.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod format;
+mod library_index;
+mod sharded;
+pub mod wire;
+pub mod xxhash;
+
+pub use format::{IndexEntry, IndexError, IndexedBackendKind, MlcState, Shard};
+pub use library_index::{
+    AcceleratorFromIndex, IndexBuilder, IndexConfig, IndexReader, LibraryIndex,
+};
+pub use sharded::ShardedBackend;

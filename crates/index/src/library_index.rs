@@ -1,0 +1,843 @@
+//! The in-memory index, its builder, its reader, and incremental append.
+
+use crate::format::{
+    self, IndexEntry, IndexError, IndexedBackendKind, MlcState, Shard, CHECKSUM_SEED,
+    FORMAT_VERSION, MAGIC,
+};
+use crate::sharded::ShardedBackend;
+use crate::wire::{Reader, Writer};
+use crate::xxhash::xxh64;
+use hdoms_baselines::hyperoms::{HyperOmsBackend, HyperOmsConfig};
+use hdoms_core::accelerator::{BuildStats, OmsAccelerator};
+use hdoms_core::encode::InMemoryEncoder;
+use hdoms_hdc::encoder::{EncoderConfig, IdLevelEncoder};
+use hdoms_hdc::item_memory::LevelStyle;
+use hdoms_hdc::multibit::IdPrecision;
+use hdoms_hdc::parallel::par_map;
+use hdoms_hdc::BinaryHypervector;
+use hdoms_ms::library::{LibraryEntry, SpectralLibrary};
+use hdoms_ms::preprocess::Preprocessor;
+use hdoms_oms::candidates::CandidateIndex;
+use hdoms_oms::pipeline::ReferenceCatalog;
+use hdoms_oms::search::{ExactBackend, ExactBackendConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+/// How an index is built.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexConfig {
+    /// Which backend the stored hypervectors are encoded for.
+    pub kind: IndexedBackendKind,
+    /// Target entries per precursor-mass shard. Shards are cut at mass
+    /// quantiles so every shard holds about this many references.
+    pub entries_per_shard: usize,
+    /// Worker threads for the build (encoding parallelises over library
+    /// chunks).
+    pub threads: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> IndexConfig {
+        IndexConfig {
+            kind: IndexedBackendKind::Exact(ExactBackendConfig::default()),
+            entries_per_shard: 1024,
+            threads: hdoms_hdc::parallel::default_threads(),
+        }
+    }
+}
+
+/// Builds a [`LibraryIndex`] from a spectral library.
+#[derive(Debug, Clone)]
+pub struct IndexBuilder {
+    config: IndexConfig,
+}
+
+impl IndexBuilder {
+    /// A builder with `config`.
+    pub fn new(config: IndexConfig) -> IndexBuilder {
+        assert!(
+            config.entries_per_shard > 0,
+            "entries_per_shard must be positive"
+        );
+        IndexBuilder { config }
+    }
+
+    /// Encode the whole library once (in parallel, chunked over worker
+    /// threads) and lay the result out as precursor-mass shards.
+    ///
+    /// The encoding path is byte-identical to a cold backend build: the
+    /// builder literally runs the corresponding backend constructor and
+    /// persists its reference hypervectors, so a warm-loaded search
+    /// produces the same PSMs as a cold one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty library or invalid configuration (same
+    /// contracts as the underlying backend constructors).
+    pub fn from_library(&self, library: &SpectralLibrary) -> LibraryIndex {
+        assert!(!library.is_empty(), "cannot index an empty library");
+        let threads = self.config.threads;
+        let (references, build_stats, mlc) = match &self.config.kind {
+            IndexedBackendKind::Exact(config) => {
+                let mut config = *config;
+                config.threads = threads;
+                let backend = ExactBackend::build(library, config);
+                let refs = backend.reference_hvs().to_vec();
+                let stats = stats_from_refs(&refs);
+                (refs, stats, None)
+            }
+            IndexedBackendKind::HyperOms(config) => {
+                let mut config = *config;
+                config.threads = threads;
+                let backend = HyperOmsBackend::build(library, config);
+                let refs = backend.inner().reference_hvs().to_vec();
+                let stats = stats_from_refs(&refs);
+                (refs, stats, None)
+            }
+            IndexedBackendKind::Rram(config) => {
+                let mut config = *config;
+                config.threads = threads;
+                let accel = OmsAccelerator::build(library, config);
+                let refs = accel.search_engine().references().to_vec();
+                let stats = *accel.build_stats();
+                let mlc = MlcState {
+                    w_eff: accel.encoder().programmed_weights().to_vec(),
+                    sigma_delta: accel.encoder().sigma_delta(),
+                };
+                (refs, stats, Some(mlc))
+            }
+        };
+
+        let mut entries: Vec<IndexEntry> = library
+            .iter()
+            .zip(references)
+            .map(|(e, hv)| IndexEntry {
+                id: e.spectrum.id,
+                neutral_mass: e.spectrum.neutral_mass(),
+                precursor_mz: e.spectrum.precursor_mz,
+                precursor_charge: e.spectrum.precursor_charge,
+                is_decoy: e.is_decoy,
+                peptide: e.peptide.to_string(),
+                hv,
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            a.neutral_mass
+                .total_cmp(&b.neutral_mass)
+                .then(a.id.cmp(&b.id))
+        });
+
+        let per_shard = self.config.entries_per_shard;
+        let shards: Vec<Shard> = entries
+            .chunks(per_shard)
+            .map(|chunk| Shard {
+                entries: chunk.to_vec(),
+            })
+            .collect();
+
+        let mut index = LibraryIndex {
+            kind: self.config.kind.clone(),
+            entries_per_shard: per_shard,
+            entry_count: library.len(),
+            build_stats,
+            mlc,
+            shards,
+            by_id: Vec::new(),
+        };
+        index.rebuild_by_id();
+        index
+    }
+}
+
+fn stats_from_refs(refs: &[Option<BinaryHypervector>]) -> BuildStats {
+    let stored = refs.iter().flatten().count();
+    BuildStats {
+        references_stored: stored,
+        references_rejected: refs.len() - stored,
+        mean_encode_ber: 0.0,
+    }
+}
+
+/// A persistent, sharded, encoded spectral library.
+///
+/// Holds everything a search needs — encoded reference hypervectors,
+/// per-reference metadata (mass, charge, decoy flag, peptide), precursor
+/// mass shard boundaries, and for the RRAM kind the MLC programming state
+/// — so queries run **without re-encoding the library** and without the
+/// raw library file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryIndex {
+    kind: IndexedBackendKind,
+    entries_per_shard: usize,
+    entry_count: usize,
+    build_stats: BuildStats,
+    mlc: Option<MlcState>,
+    shards: Vec<Shard>,
+    /// Dense `id → (neutral mass, is_decoy)` side table, derived from the
+    /// shards, so per-PSM catalog lookups are O(1) instead of scanning
+    /// every shard (rebuilt on construction and append).
+    by_id: Vec<(f64, bool)>,
+}
+
+impl LibraryIndex {
+    /// The backend kind the index was built for.
+    pub fn kind(&self) -> &IndexedBackendKind {
+        &self.kind
+    }
+
+    /// Library-encoding statistics captured at build time.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build_stats
+    }
+
+    /// Number of indexed references.
+    pub fn entry_count(&self) -> usize {
+        self.entry_count
+    }
+
+    /// The precursor-mass shards, ascending in mass.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The persisted MLC programming state (RRAM kind only).
+    pub fn mlc_state(&self) -> Option<&MlcState> {
+        self.mlc.as_ref()
+    }
+
+    /// Hypervector dimension of the stored references.
+    pub fn dim(&self) -> usize {
+        self.kind.dim()
+    }
+
+    /// Iterate all entries in shard order (ascending mass).
+    pub fn entries(&self) -> impl Iterator<Item = &IndexEntry> {
+        self.shards.iter().flat_map(|s| s.entries.iter())
+    }
+
+    /// Peptide sequence of reference `id` (for PSM tables without the
+    /// library file).
+    pub fn peptides_by_id(&self) -> Vec<String> {
+        let mut peptides = vec![String::new(); self.entry_count];
+        for e in self.entries() {
+            peptides[e.id as usize] = e.peptide.clone();
+        }
+        peptides
+    }
+
+    /// The encoded reference hypervectors laid out flat by dense id, as
+    /// the unsharded backends expect.
+    pub fn flat_references(&self) -> Vec<Option<BinaryHypervector>> {
+        let mut refs = vec![None; self.entry_count];
+        for e in self.entries() {
+            refs[e.id as usize] = e.hv.clone();
+        }
+        refs
+    }
+
+    /// Shard assignment by dense id (`shard_of[id]` = shard position).
+    pub fn shard_assignment(&self) -> Vec<u32> {
+        let mut assignment = vec![0u32; self.entry_count];
+        for (s, shard) in self.shards.iter().enumerate() {
+            for e in &shard.entries {
+                assignment[e.id as usize] = s as u32;
+            }
+        }
+        assignment
+    }
+
+    // -- backend reconstruction ------------------------------------------
+
+    /// Reconstruct the software-exact backend without re-encoding.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`IndexError::Invalid`] when the index was built for a
+    /// different backend kind.
+    pub fn to_exact_backend(&self, threads: usize) -> Result<ExactBackend, IndexError> {
+        let IndexedBackendKind::Exact(config) = &self.kind else {
+            return Err(IndexError::Invalid(format!(
+                "index was built for the {:?} backend, not exact",
+                self.kind.name()
+            )));
+        };
+        let mut config = *config;
+        config.threads = threads;
+        Ok(ExactBackend::from_parts(config, self.flat_references()))
+    }
+
+    /// Reconstruct the HyperOMS-style backend without re-encoding.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`IndexError::Invalid`] when the index was built for a
+    /// different backend kind.
+    pub fn to_hyperoms_backend(&self, threads: usize) -> Result<HyperOmsBackend, IndexError> {
+        let IndexedBackendKind::HyperOms(config) = &self.kind else {
+            return Err(IndexError::Invalid(format!(
+                "index was built for the {:?} backend, not hyperoms",
+                self.kind.name()
+            )));
+        };
+        let inner = ExactBackend::from_parts(
+            hyperoms_exact_config(config, threads),
+            self.flat_references(),
+        );
+        Ok(HyperOmsBackend::from_exact(inner))
+    }
+
+    /// Reconstruct the MLC-RRAM accelerator without re-encoding the
+    /// library: the ID item memory is restored from the persisted
+    /// differential weight pairs and the stored reference hypervectors
+    /// become the search weights directly.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`IndexError::Invalid`] when the index was built for a
+    /// different backend kind or the MLC section is missing.
+    pub fn to_accelerator(&self, threads: usize) -> Result<OmsAccelerator, IndexError> {
+        let IndexedBackendKind::Rram(config) = &self.kind else {
+            return Err(IndexError::Invalid(format!(
+                "index was built for the {:?} backend, not rram",
+                self.kind.name()
+            )));
+        };
+        let Some(mlc) = &self.mlc else {
+            return Err(IndexError::Invalid(
+                "rram index is missing its MLC programming state".to_owned(),
+            ));
+        };
+        let mut config = *config;
+        config.threads = threads;
+        let encoder = InMemoryEncoder::from_programmed(
+            config.encoder,
+            config.crossbar,
+            mlc.w_eff.clone(),
+            mlc.sigma_delta,
+            config.seed,
+        );
+        Ok(OmsAccelerator::from_parts(
+            config,
+            encoder,
+            self.flat_references(),
+            self.build_stats,
+        ))
+    }
+
+    /// The sharded, shard-parallel search backend for this index's kind.
+    ///
+    /// Scores are identical to the corresponding flat backend — sharding
+    /// only changes iteration order and parallel granularity, and every
+    /// per-(query, reference) evaluation is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kind mismatch errors of the reconstruction methods.
+    pub fn sharded_backend(&self, threads: usize) -> Result<ShardedBackend, IndexError> {
+        let assignment = self.shard_assignment();
+        let shard_count = self.shards.len();
+        match &self.kind {
+            IndexedBackendKind::Exact(_) => Ok(ShardedBackend::over_exact(
+                self.to_exact_backend(threads)?,
+                assignment,
+                shard_count,
+                threads,
+            )),
+            IndexedBackendKind::HyperOms(_) => Ok(ShardedBackend::over_hyperoms(
+                self.to_hyperoms_backend(threads)?,
+                assignment,
+                shard_count,
+                threads,
+            )),
+            IndexedBackendKind::Rram(_) => Ok(ShardedBackend::over_accelerator(
+                self.to_accelerator(threads)?,
+                assignment,
+                shard_count,
+                threads,
+            )),
+        }
+    }
+
+    // -- incremental append ----------------------------------------------
+
+    /// Append new library spectra to the index, encoding **only** the new
+    /// entries. New entries receive the next dense ids (`entry_count..`),
+    /// exactly as if the library had contained them at build time, so an
+    /// appended index searches identically to a cold rebuild over the
+    /// concatenated library.
+    ///
+    /// Entries land in the shard whose mass range covers them; a shard
+    /// grown past twice the configured target splits in half.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid spectra (same contracts as the build path).
+    pub fn append_entries(&mut self, new_entries: &[LibraryEntry], threads: usize) {
+        if new_entries.is_empty() {
+            return;
+        }
+        let first_id = self.entry_count as u32;
+        let encoded: Vec<(Option<BinaryHypervector>, f64)> = match &self.kind {
+            IndexedBackendKind::Exact(config) => {
+                let encoder = IdLevelEncoder::new(config.encoder);
+                let pre = Preprocessor::new(config.preprocess);
+                let config = *config;
+                let jobs: Vec<(usize, &LibraryEntry)> = new_entries.iter().enumerate().collect();
+                par_map(&jobs, threads, |&(offset, entry)| {
+                    let id = first_id + offset as u32;
+                    (encode_exact_entry(&encoder, &pre, &config, entry, id), 0.0)
+                })
+            }
+            IndexedBackendKind::HyperOms(config) => {
+                let exact = hyperoms_exact_config(config, threads);
+                let encoder = IdLevelEncoder::new(exact.encoder);
+                let pre = Preprocessor::new(exact.preprocess);
+                let jobs: Vec<(usize, &LibraryEntry)> = new_entries.iter().enumerate().collect();
+                par_map(&jobs, threads, |&(offset, entry)| {
+                    let id = first_id + offset as u32;
+                    (encode_exact_entry(&encoder, &pre, &exact, entry, id), 0.0)
+                })
+            }
+            IndexedBackendKind::Rram(config) => {
+                let mlc = self
+                    .mlc
+                    .as_ref()
+                    .expect("rram index carries MLC state by construction");
+                let encoder = InMemoryEncoder::from_programmed(
+                    config.encoder,
+                    config.crossbar,
+                    mlc.w_eff.clone(),
+                    mlc.sigma_delta,
+                    config.seed,
+                );
+                let pre = Preprocessor::new(config.preprocess);
+                let jobs: Vec<(usize, &LibraryEntry)> = new_entries.iter().enumerate().collect();
+                par_map(&jobs, threads, |&(offset, entry)| {
+                    let id = first_id + offset as u32;
+                    let mut spectrum = entry.spectrum.clone();
+                    spectrum.id = id;
+                    match pre.run(&spectrum) {
+                        Err(_) => (None, 0.0),
+                        Ok(binned) => {
+                            let (hv, stats) = encoder.encode_with_stats(&binned);
+                            (Some(hv), stats.bit_error_rate())
+                        }
+                    }
+                })
+            }
+        };
+
+        // Fold the new encodings into the build statistics (exact update:
+        // the stored mean is re-weighted by the stored counts).
+        let new_stored = encoded.iter().filter(|(hv, _)| hv.is_some()).count();
+        let new_ber_sum: f64 = encoded
+            .iter()
+            .filter(|(hv, _)| hv.is_some())
+            .map(|&(_, ber)| ber)
+            .sum();
+        let old_stored = self.build_stats.references_stored;
+        let total_stored = old_stored + new_stored;
+        self.build_stats.mean_encode_ber = if total_stored == 0 {
+            0.0
+        } else {
+            (self.build_stats.mean_encode_ber * old_stored as f64 + new_ber_sum)
+                / total_stored as f64
+        };
+        self.build_stats.references_stored = total_stored;
+        self.build_stats.references_rejected += new_entries.len() - new_stored;
+
+        for (offset, (entry, (hv, _))) in new_entries.iter().zip(encoded).enumerate() {
+            let id = first_id + offset as u32;
+            let indexed = IndexEntry {
+                id,
+                neutral_mass: entry.spectrum.neutral_mass(),
+                precursor_mz: entry.spectrum.precursor_mz,
+                precursor_charge: entry.spectrum.precursor_charge,
+                is_decoy: entry.is_decoy,
+                peptide: entry.peptide.to_string(),
+                hv,
+            };
+            self.insert_entry(indexed);
+        }
+        self.entry_count += new_entries.len();
+        self.rebuild_by_id();
+    }
+
+    /// Recompute the dense `id → (mass, decoy)` side table from the
+    /// shards.
+    fn rebuild_by_id(&mut self) {
+        let mut by_id = vec![(f64::NAN, false); self.entry_count];
+        for shard in &self.shards {
+            for e in &shard.entries {
+                by_id[e.id as usize] = (e.neutral_mass, e.is_decoy);
+            }
+        }
+        self.by_id = by_id;
+    }
+
+    /// Place one entry into the shard covering its mass, splitting the
+    /// shard if it has grown past twice the target size.
+    fn insert_entry(&mut self, entry: IndexEntry) {
+        // The shard whose upper bound is the first ≥ the entry's mass;
+        // masses above every shard land in the last shard.
+        let position = self
+            .shards
+            .partition_point(|s| s.mass_hi().is_some_and(|hi| hi < entry.neutral_mass))
+            .min(self.shards.len().saturating_sub(1));
+        let shard = &mut self.shards[position];
+        let at = shard
+            .entries
+            .partition_point(|e| (e.neutral_mass, e.id) < (entry.neutral_mass, entry.id));
+        shard.entries.insert(at, entry);
+        if shard.entries.len() > 2 * self.entries_per_shard {
+            let tail = shard.entries.split_off(shard.entries.len() / 2);
+            self.shards.insert(position + 1, Shard { entries: tail });
+        }
+    }
+
+    // -- persistence -----------------------------------------------------
+
+    /// Serialise to the `HDX` byte format (see [`crate::format`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let dim = self.dim();
+        let mlc_bytes = self.mlc.as_ref().map(format::put_mlc_state);
+        let shard_bytes: Vec<Vec<u8>> = self
+            .shards
+            .iter()
+            .map(|s| format::put_shard(s, dim))
+            .collect();
+
+        let mut header = Writer::new();
+        format::put_kind(&mut header, &self.kind);
+        format::put_build_stats(&mut header, &self.build_stats);
+        header.usize(self.entries_per_shard);
+        header.usize(self.entry_count);
+        header.usize(mlc_bytes.as_ref().map_or(0, Vec::len));
+        header.usize(shard_bytes.len());
+        for bytes in &shard_bytes {
+            header.usize(bytes.len());
+        }
+        let header = header.into_bytes();
+
+        let mut out = Writer::new();
+        out.raw(&MAGIC);
+        out.u32(FORMAT_VERSION);
+        out.usize(header.len());
+        out.raw(&header);
+        out.u64(xxh64(&header, CHECKSUM_SEED));
+        if let Some(bytes) = &mlc_bytes {
+            out.raw(bytes);
+            out.u64(xxh64(bytes, CHECKSUM_SEED));
+        }
+        for bytes in &shard_bytes {
+            out.raw(bytes);
+            out.u64(xxh64(bytes, CHECKSUM_SEED));
+        }
+        out.into_bytes()
+    }
+
+    /// Write the index to `path` (atomically: a temp file is renamed into
+    /// place so a crashed write never leaves a half-index behind).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &Path) -> Result<(), IndexError> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("hdx.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Decode from bytes, verifying magic, version and every section
+    /// checksum; shards decode in parallel over `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Any structural, checksum or semantic problem aborts the load with
+    /// a descriptive [`IndexError`] — a corrupted index never half-loads.
+    pub fn from_bytes(bytes: &[u8], threads: usize) -> Result<LibraryIndex, IndexError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.raw(8, "magic")?;
+        if magic != MAGIC {
+            return Err(IndexError::BadMagic);
+        }
+        let version = r.u32("format_version")?;
+        if version != FORMAT_VERSION {
+            return Err(IndexError::UnsupportedVersion { found: version });
+        }
+        let header_len = r.checked_len("header_len", 1)?;
+        let header_bytes = r.raw(header_len, "header")?;
+        let header_hash = r.u64("header_checksum")?;
+        if xxh64(header_bytes, CHECKSUM_SEED) != header_hash {
+            return Err(IndexError::ChecksumMismatch {
+                section: "header".to_owned(),
+            });
+        }
+
+        let mut h = Reader::new(header_bytes);
+        let kind = format::get_kind(&mut h)?;
+        let build_stats = format::get_build_stats(&mut h)?;
+        let entries_per_shard = h.u64("header.entries_per_shard")? as usize;
+        let entry_count = h.u64("header.entry_count")? as usize;
+        // Every entry costs well over one byte on disk, so a declared
+        // count beyond the file size is corruption — reject it before any
+        // count-sized allocation (validate/rebuild_by_id) can run.
+        if entry_count > bytes.len() {
+            return Err(IndexError::Invalid(format!(
+                "declared entry count {entry_count} exceeds the file size ({} bytes)",
+                bytes.len()
+            )));
+        }
+        let mlc_len = h.u64("header.mlc_len")? as usize;
+        let shard_count = h.checked_len("header.shard_count", 8)?;
+        let mut shard_lens = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            shard_lens.push(h.u64("header.shard_len")? as usize);
+        }
+        h.expect_end("header")?;
+        if entries_per_shard == 0 {
+            return Err(IndexError::Invalid("entries_per_shard is zero".to_owned()));
+        }
+
+        let mlc = if mlc_len == 0 {
+            None
+        } else {
+            let payload = r.raw(mlc_len, "mlc_section")?;
+            let hash = r.u64("mlc_checksum")?;
+            if xxh64(payload, CHECKSUM_SEED) != hash {
+                return Err(IndexError::ChecksumMismatch {
+                    section: "mlc".to_owned(),
+                });
+            }
+            Some(format::get_mlc_state(payload)?)
+        };
+
+        let mut shard_slices = Vec::with_capacity(shard_count);
+        for (i, &len) in shard_lens.iter().enumerate() {
+            let payload = r.raw(len, "shard_section")?;
+            let hash = r.u64("shard_checksum")?;
+            if xxh64(payload, CHECKSUM_SEED) != hash {
+                return Err(IndexError::ChecksumMismatch {
+                    section: format!("shard {i}"),
+                });
+            }
+            shard_slices.push(payload);
+        }
+        r.expect_end("index file")?;
+
+        let dim = kind.dim();
+        let decoded = par_map(&shard_slices, threads, |payload| {
+            format::get_shard(payload, dim)
+        });
+        let mut shards = Vec::with_capacity(decoded.len());
+        for shard in decoded {
+            shards.push(shard?);
+        }
+
+        let mut index = LibraryIndex {
+            kind,
+            entries_per_shard,
+            entry_count,
+            build_stats,
+            mlc,
+            shards,
+            by_id: Vec::new(),
+        };
+        index.validate()?;
+        index.rebuild_by_id();
+        Ok(index)
+    }
+
+    /// Structural sanity: dense unique ids, mass-sorted shards, monotone
+    /// shard ranges, MLC state present exactly for the RRAM kind.
+    fn validate(&self) -> Result<(), IndexError> {
+        if self.entry_count == 0 || self.shards.is_empty() {
+            return Err(IndexError::Invalid(
+                "index holds no entries (the builder never produces one)".to_owned(),
+            ));
+        }
+        let mut seen = vec![false; self.entry_count];
+        let mut previous_hi = f64::NEG_INFINITY;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let mut previous = (f64::NEG_INFINITY, 0u32);
+            for e in &shard.entries {
+                let slot = seen.get_mut(e.id as usize).ok_or_else(|| {
+                    IndexError::Invalid(format!(
+                        "entry id {} outside the declared count {}",
+                        e.id, self.entry_count
+                    ))
+                })?;
+                if std::mem::replace(slot, true) {
+                    return Err(IndexError::Invalid(format!("duplicate entry id {}", e.id)));
+                }
+                if (e.neutral_mass, e.id) < previous {
+                    return Err(IndexError::Invalid(format!(
+                        "shard {s} is not sorted by (mass, id) at entry {}",
+                        e.id
+                    )));
+                }
+                previous = (e.neutral_mass, e.id);
+            }
+            if let (Some(lo), Some(hi)) = (shard.mass_lo(), shard.mass_hi()) {
+                if lo < previous_hi {
+                    return Err(IndexError::Invalid(format!(
+                        "shard {s} mass range overlaps its predecessor"
+                    )));
+                }
+                previous_hi = hi;
+            }
+        }
+        if seen.iter().any(|&present| !present) {
+            return Err(IndexError::Invalid(
+                "entry ids are not dense over the declared count".to_owned(),
+            ));
+        }
+        match (&self.kind, &self.mlc) {
+            (IndexedBackendKind::Rram(_), None) => Err(IndexError::Invalid(
+                "rram index is missing its MLC section".to_owned(),
+            )),
+            (IndexedBackendKind::Exact(_) | IndexedBackendKind::HyperOms(_), Some(_)) => Err(
+                IndexError::Invalid("software index carries an MLC section".to_owned()),
+            ),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Reads `HDX` index files.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexReader {
+    threads: usize,
+}
+
+impl Default for IndexReader {
+    fn default() -> IndexReader {
+        IndexReader {
+            threads: hdoms_hdc::parallel::default_threads(),
+        }
+    }
+}
+
+impl IndexReader {
+    /// A reader decoding shards over `threads` workers.
+    pub fn with_threads(threads: usize) -> IndexReader {
+        IndexReader {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Load and validate an index from `path`.
+    ///
+    /// The file is read in one streamed pass and shard sections are
+    /// checksum-verified and decoded in parallel; hypervector bit words
+    /// are filled straight from the file buffer into each hypervector,
+    /// with no intermediate per-entry buffers.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem, format, checksum and semantic failures all surface as
+    /// [`IndexError`].
+    pub fn open(path: &Path) -> Result<LibraryIndex, IndexError> {
+        IndexReader::default().open_with(path)
+    }
+
+    /// Like [`IndexReader::open`] with this reader's thread setting.
+    ///
+    /// # Errors
+    ///
+    /// See [`IndexReader::open`].
+    pub fn open_with(&self, path: &Path) -> Result<LibraryIndex, IndexError> {
+        let bytes = std::fs::read(path)?;
+        LibraryIndex::from_bytes(&bytes, self.threads)
+    }
+}
+
+impl ReferenceCatalog for LibraryIndex {
+    fn reference_count(&self) -> usize {
+        self.entry_count
+    }
+
+    fn reference_mass(&self, id: u32) -> Option<f64> {
+        self.by_id.get(id as usize).map(|&(mass, _)| mass)
+    }
+
+    fn reference_is_decoy(&self, id: u32) -> Option<bool> {
+        self.by_id.get(id as usize).map(|&(_, decoy)| decoy)
+    }
+
+    fn candidate_index(&self) -> CandidateIndex {
+        CandidateIndex::from_masses(self.entries().map(|e| (e.neutral_mass, e.id)))
+    }
+}
+
+/// Extension trait putting the warm-load constructor on the accelerator
+/// type itself: with this trait in scope,
+/// `OmsAccelerator::from_index(&index, threads)` reconstructs the paper's
+/// accelerator from a persistent index without re-encoding the library.
+///
+/// (The constructor lives here rather than in `hdoms-core` because the
+/// index format is layered above the accelerator crate.)
+pub trait AcceleratorFromIndex: Sized {
+    /// Reconstruct from a loaded index.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the index was not built for the RRAM backend.
+    fn from_index(index: &LibraryIndex, threads: usize) -> Result<Self, IndexError>;
+}
+
+impl AcceleratorFromIndex for OmsAccelerator {
+    fn from_index(index: &LibraryIndex, threads: usize) -> Result<OmsAccelerator, IndexError> {
+        index.to_accelerator(threads)
+    }
+}
+
+/// The exact-backend configuration HyperOMS uses (mirrors
+/// `HyperOmsBackend::build`).
+fn hyperoms_exact_config(config: &HyperOmsConfig, threads: usize) -> ExactBackendConfig {
+    ExactBackendConfig {
+        preprocess: config.preprocess,
+        encoder: EncoderConfig {
+            dim: config.dim,
+            q_levels: config.q_levels,
+            id_precision: IdPrecision::Bits1,
+            level_style: LevelStyle::Random,
+            num_bins: config.preprocess.num_bins(),
+            seed: config.seed,
+        },
+        threads,
+        encode_ber: 0.0,
+        storage_ber: 0.0,
+        noise_seed: 0,
+    }
+}
+
+/// Encode one appended entry exactly as `ExactBackend::build` would have
+/// with the entry at dense id `id` (including the deterministic storage
+/// bit-error injection).
+fn encode_exact_entry(
+    encoder: &IdLevelEncoder,
+    pre: &Preprocessor,
+    config: &ExactBackendConfig,
+    entry: &LibraryEntry,
+    id: u32,
+) -> Option<BinaryHypervector> {
+    let mut spectrum = entry.spectrum.clone();
+    spectrum.id = id;
+    pre.run(&spectrum).ok().map(|binned| {
+        let mut hv = encoder.encode(&binned);
+        if config.storage_ber > 0.0 {
+            let mut rng = StdRng::seed_from_u64(
+                config
+                    .noise_seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(u64::from(id)),
+            );
+            hdoms_hdc::corrupt::flip_bits_in_place(&mut rng, &mut hv, config.storage_ber);
+        }
+        hv
+    })
+}

@@ -1,0 +1,264 @@
+//! Shard-parallel open-modification search over an indexed library.
+//!
+//! An open precursor window reaches only a contiguous band of reference
+//! masses, so a query's candidates fall into a handful of consecutive
+//! precursor-mass shards. [`ShardedBackend`] exploits that twice:
+//!
+//! * **fan-out** — each query's candidate list is partitioned into its
+//!   shard runs (one linear pass: candidates arrive mass-sorted, shards
+//!   are mass-contiguous, so shard ids form non-decreasing runs), and
+//!   only shards overlapping the precursor window are ever touched;
+//! * **parallelism** — with many queries in flight the batch parallelises
+//!   over queries; with few queries each query parallelises over its
+//!   shard runs, so even a single interactive query saturates the
+//!   workers.
+//!
+//! Scores are bit-identical to the flat backends: every per-(query,
+//! reference) evaluation is deterministic and the merge applies the same
+//! `(score desc, id asc)` tie-break the flat scan applies.
+
+use hdoms_baselines::hyperoms::HyperOmsBackend;
+use hdoms_core::accelerator::OmsAccelerator;
+use hdoms_hdc::parallel::par_map;
+use hdoms_hdc::similarity::dot;
+use hdoms_hdc::BinaryHypervector;
+use hdoms_ms::preprocess::BinnedSpectrum;
+use hdoms_oms::search::{ExactBackend, SearchHit, SimilarityBackend};
+
+/// A backend whose per-query evaluation splits into "encode once" and
+/// "score a candidate subset", which is what shard fan-out needs (the flat
+/// [`SimilarityBackend`] entry point re-encodes per call).
+#[allow(clippy::large_enum_variant)] // one instance per backend, never collected
+enum Scorer {
+    Exact(ExactBackend),
+    HyperOms(HyperOmsBackend),
+    Rram(OmsAccelerator),
+}
+
+impl Scorer {
+    fn name(&self) -> String {
+        match self {
+            Scorer::Exact(b) => b.name(),
+            Scorer::HyperOms(b) => b.name(),
+            Scorer::Rram(b) => b.name(),
+        }
+    }
+
+    /// Encode one query (with the backend's configured error injection).
+    fn prepare(&self, binned: &BinnedSpectrum) -> BinaryHypervector {
+        match self {
+            Scorer::Exact(b) => b.encode_query(binned),
+            Scorer::HyperOms(b) => b.inner().encode_query(binned),
+            Scorer::Rram(b) => b.encoder().encode(binned),
+        }
+    }
+
+    /// Best hit among `candidates` for an already-encoded query.
+    fn best(
+        &self,
+        query_hv: &BinaryHypervector,
+        query_id: u32,
+        candidates: &[u32],
+    ) -> Option<SearchHit> {
+        match self {
+            Scorer::Exact(b) => exact_best(b, query_hv, candidates),
+            Scorer::HyperOms(b) => exact_best(b.inner(), query_hv, candidates),
+            Scorer::Rram(b) => b
+                .search_engine()
+                .search_best(query_hv, query_id, candidates)
+                .map(|(reference, score)| SearchHit { reference, score }),
+        }
+    }
+}
+
+/// The flat exact scan over a candidate subset (same scoring and
+/// tie-break as `ExactBackend::search_batch`).
+fn exact_best(
+    backend: &ExactBackend,
+    query_hv: &BinaryHypervector,
+    candidates: &[u32],
+) -> Option<SearchHit> {
+    let dim = backend.encoder().config().dim as f64;
+    let mut best: Option<SearchHit> = None;
+    for &cand in candidates {
+        let Some(ref_hv) = &backend.reference_hvs()[cand as usize] else {
+            continue;
+        };
+        let score = dot(query_hv, ref_hv) as f64 / dim;
+        let better = match &best {
+            None => true,
+            Some(b) => score > b.score || (score == b.score && cand < b.reference),
+        };
+        if better {
+            best = Some(SearchHit {
+                reference: cand,
+                score,
+            });
+        }
+    }
+    best
+}
+
+/// Merge per-shard best hits with the flat scan's tie-break.
+fn merge_hits(hits: impl IntoIterator<Item = Option<SearchHit>>) -> Option<SearchHit> {
+    let mut best: Option<SearchHit> = None;
+    for hit in hits.into_iter().flatten() {
+        let better = match &best {
+            None => true,
+            Some(b) => hit.score > b.score || (hit.score == b.score && hit.reference < b.reference),
+        };
+        if better {
+            best = Some(hit);
+        }
+    }
+    best
+}
+
+/// Sharded, shard-parallel search backend over an indexed library.
+///
+/// Construct through
+/// [`LibraryIndex::sharded_backend`](crate::LibraryIndex::sharded_backend).
+pub struct ShardedBackend {
+    scorer: Scorer,
+    /// Dense id → shard position.
+    shard_of: Vec<u32>,
+    shard_count: usize,
+    threads: usize,
+}
+
+impl ShardedBackend {
+    pub(crate) fn over_exact(
+        backend: ExactBackend,
+        shard_of: Vec<u32>,
+        shard_count: usize,
+        threads: usize,
+    ) -> ShardedBackend {
+        ShardedBackend {
+            scorer: Scorer::Exact(backend),
+            shard_of,
+            shard_count,
+            threads: threads.max(1),
+        }
+    }
+
+    pub(crate) fn over_hyperoms(
+        backend: HyperOmsBackend,
+        shard_of: Vec<u32>,
+        shard_count: usize,
+        threads: usize,
+    ) -> ShardedBackend {
+        ShardedBackend {
+            scorer: Scorer::HyperOms(backend),
+            shard_of,
+            shard_count,
+            threads: threads.max(1),
+        }
+    }
+
+    pub(crate) fn over_accelerator(
+        backend: OmsAccelerator,
+        shard_of: Vec<u32>,
+        shard_count: usize,
+        threads: usize,
+    ) -> ShardedBackend {
+        ShardedBackend {
+            scorer: Scorer::Rram(backend),
+            shard_of,
+            shard_count,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of shards the library is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Partition a mass-sorted candidate list into its shard runs.
+    ///
+    /// Candidates belonging to shards the precursor window does not reach
+    /// simply do not occur in the list, so the returned runs are exactly
+    /// the overlapping shards.
+    fn shard_runs<'c>(&self, candidates: &'c [u32]) -> Vec<&'c [u32]> {
+        let mut runs = Vec::new();
+        let mut start = 0usize;
+        while start < candidates.len() {
+            let shard = self.shard_of[candidates[start] as usize];
+            let mut end = start + 1;
+            while end < candidates.len() && self.shard_of[candidates[end] as usize] == shard {
+                end += 1;
+            }
+            runs.push(&candidates[start..end]);
+            start = end;
+        }
+        runs
+    }
+
+    /// Evaluate one query: encode once, score each shard run, merge.
+    ///
+    /// `parallel_shards` switches the per-shard scoring onto worker
+    /// threads (used when the batch itself is too small to parallelise
+    /// over queries).
+    fn search_one(
+        &self,
+        binned: &BinnedSpectrum,
+        candidates: &[u32],
+        parallel_shards: bool,
+    ) -> Option<SearchHit> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let query_hv = self.scorer.prepare(binned);
+        let runs = self.shard_runs(candidates);
+        if parallel_shards && runs.len() > 1 {
+            let hits = par_map(&runs, self.threads, |run| {
+                self.scorer.best(&query_hv, binned.id, run)
+            });
+            merge_hits(hits)
+        } else {
+            merge_hits(
+                runs.into_iter()
+                    .map(|run| self.scorer.best(&query_hv, binned.id, run)),
+            )
+        }
+    }
+}
+
+impl SimilarityBackend for ShardedBackend {
+    fn name(&self) -> String {
+        format!(
+            "sharded({}, {} shards)",
+            self.scorer.name(),
+            self.shard_count
+        )
+    }
+
+    fn search_batch(
+        &self,
+        queries: &[BinnedSpectrum],
+        candidates: &[Vec<u32>],
+    ) -> Vec<Option<SearchHit>> {
+        assert_eq!(
+            queries.len(),
+            candidates.len(),
+            "queries and candidate lists must pair up"
+        );
+        if queries.len() >= self.threads {
+            // Enough queries to keep every worker busy: parallelise over
+            // queries, keep each query's shard walk sequential (better
+            // locality, no nested parallelism).
+            let jobs: Vec<usize> = (0..queries.len()).collect();
+            par_map(&jobs, self.threads, |&i| {
+                self.search_one(&queries[i], &candidates[i], false)
+            })
+        } else {
+            // Few queries (interactive / tail of a batch): go wide over
+            // each query's shards instead.
+            queries
+                .iter()
+                .zip(candidates)
+                .map(|(q, c)| self.search_one(q, c, true))
+                .collect()
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! XXH64 content checksums for the on-disk index format.
+//!
+//! The index guards every section with an [xxHash64] digest so truncated
+//! writes, torn copies and bit rot are detected at load time instead of
+//! surfacing as corrupt search results. The algorithm is implemented from
+//! the public specification; no external crate is needed.
+//!
+//! [xxHash64]: https://github.com/Cyan4973/xxHash/blob/dev/doc/xxhash_spec.md
+
+const PRIME_1: u64 = 0x9e37_79b1_85eb_ca87;
+const PRIME_2: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const PRIME_3: u64 = 0x1656_67b1_9e37_79f9;
+const PRIME_4: u64 = 0x85eb_ca77_c2b2_ae63;
+const PRIME_5: u64 = 0x27d4_eb2f_1656_67c5;
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME_2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME_1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME_1)
+        .wrapping_add(PRIME_4)
+}
+
+#[inline]
+fn read_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[..8].try_into().expect("8-byte slice"))
+}
+
+#[inline]
+fn read_u32(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[..4].try_into().expect("4-byte slice"))
+}
+
+/// XXH64 of `data` under `seed`.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len() as u64;
+    let mut rest = data;
+
+    let mut h64 = if rest.len() >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME_1).wrapping_add(PRIME_2);
+        let mut v2 = seed.wrapping_add(PRIME_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME_1);
+        while rest.len() >= 32 {
+            v1 = round(v1, read_u64(&rest[0..]));
+            v2 = round(v2, read_u64(&rest[8..]));
+            v3 = round(v3, read_u64(&rest[16..]));
+            v4 = round(v4, read_u64(&rest[24..]));
+            rest = &rest[32..];
+        }
+        let mut acc = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        acc = merge_round(acc, v1);
+        acc = merge_round(acc, v2);
+        acc = merge_round(acc, v3);
+        merge_round(acc, v4)
+    } else {
+        seed.wrapping_add(PRIME_5)
+    };
+
+    h64 = h64.wrapping_add(len);
+
+    while rest.len() >= 8 {
+        h64 = (h64 ^ round(0, read_u64(rest)))
+            .rotate_left(27)
+            .wrapping_mul(PRIME_1)
+            .wrapping_add(PRIME_4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h64 = (h64 ^ u64::from(read_u32(rest)).wrapping_mul(PRIME_1))
+            .rotate_left(23)
+            .wrapping_mul(PRIME_2)
+            .wrapping_add(PRIME_3);
+        rest = &rest[4..];
+    }
+    for &byte in rest {
+        h64 = (h64 ^ u64::from(byte).wrapping_mul(PRIME_5))
+            .rotate_left(11)
+            .wrapping_mul(PRIME_1);
+    }
+
+    h64 ^= h64 >> 33;
+    h64 = h64.wrapping_mul(PRIME_2);
+    h64 ^= h64 >> 29;
+    h64 = h64.wrapping_mul(PRIME_3);
+    h64 ^ (h64 >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical empty-input vector from the xxHash specification.
+    #[test]
+    fn specification_empty_vector() {
+        assert_eq!(xxh64(b"", 0), 0xef46_db37_51d8_e999);
+    }
+
+    #[test]
+    fn deterministic() {
+        let data: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        assert_eq!(xxh64(&data, 42), xxh64(&data, 42));
+    }
+
+    #[test]
+    fn sensitive_to_every_byte_and_seed() {
+        let data: Vec<u8> = (0..=255).collect();
+        let base = xxh64(&data, 1);
+        for i in [0usize, 31, 32, 100, 255] {
+            let mut flipped = data.clone();
+            flipped[i] ^= 0x01;
+            assert_ne!(xxh64(&flipped, 1), base, "flip at byte {i} undetected");
+        }
+        assert_ne!(xxh64(&data, 2), base);
+    }
+
+    #[test]
+    fn stable_across_lengths() {
+        // Exercise all tail paths: <4, <8, <32, >=32 with remainders.
+        let data: Vec<u8> = (0..100).map(|i| (i * 37) as u8).collect();
+        let hashes: Vec<u64> = (0..data.len()).map(|n| xxh64(&data[..n], 7)).collect();
+        let mut unique = hashes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), hashes.len(), "prefix hashes must differ");
+    }
+}

@@ -203,9 +203,9 @@ impl SyntheticWorkload {
             Unmatch,
         }
         let mut roles = Vec::with_capacity(spec.queries);
-        roles.extend(std::iter::repeat(Role::Modified).take(n_modified));
-        roles.extend(std::iter::repeat(Role::Unmod).take(n_match - n_modified));
-        roles.extend(std::iter::repeat(Role::Unmatch).take(n_unmatch));
+        roles.extend(std::iter::repeat_n(Role::Modified, n_modified));
+        roles.extend(std::iter::repeat_n(Role::Unmod, n_match - n_modified));
+        roles.extend(std::iter::repeat_n(Role::Unmatch, n_unmatch));
         roles.shuffle(&mut rng);
 
         let mut queries = Vec::with_capacity(spec.queries);
@@ -292,7 +292,10 @@ impl SyntheticWorkload {
 
     /// Number of queries whose true peptide is in the library.
     pub fn matchable_queries(&self) -> usize {
-        self.truth.iter().filter(|t| t.library_id().is_some()).count()
+        self.truth
+            .iter()
+            .filter(|t| t.library_id().is_some())
+            .count()
     }
 }
 

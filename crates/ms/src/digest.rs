@@ -100,9 +100,7 @@ pub fn digest(protein: &Protein, config: &DigestConfig) -> Vec<Peptide> {
     let mut start = 0usize;
     for i in 0..seq.len() {
         let cleave = seq[i].is_tryptic_site()
-            && (i + 1 == seq.len()
-                || !config.proline_rule
-                || seq[i + 1] != AminoAcid::Pro);
+            && (i + 1 == seq.len() || !config.proline_rule || seq[i + 1] != AminoAcid::Pro);
         if cleave {
             fragments.push((start, i + 1));
             start = i + 1;
@@ -227,7 +225,10 @@ mod tests {
     #[test]
     fn terminal_fragment_without_kr_is_kept() {
         let p = Protein::parse("t", "AAKCCC").unwrap();
-        let seqs: Vec<String> = digest(&p, &config(0)).iter().map(|p| p.to_string()).collect();
+        let seqs: Vec<String> = digest(&p, &config(0))
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
         assert!(seqs.contains(&"CCC".to_owned()));
     }
 
@@ -251,8 +252,7 @@ mod tests {
         }
         // Determinism.
         let mut rng2 = StdRng::seed_from_u64(5);
-        let again =
-            synthetic_proteome_peptides(&mut rng2, 50, 200..=400, &DigestConfig::default());
+        let again = synthetic_proteome_peptides(&mut rng2, 50, 200..=400, &DigestConfig::default());
         assert_eq!(peptides, again);
     }
 
@@ -270,8 +270,7 @@ mod tests {
                 proline_rule: true,
             },
         );
-        let protein_residue_mass: f64 =
-            p.sequence.iter().map(|aa| aa.monoisotopic_mass()).sum();
+        let protein_residue_mass: f64 = p.sequence.iter().map(|aa| aa.monoisotopic_mass()).sum();
         let fragment_residue_mass: f64 = peptides
             .iter()
             .map(|pep| pep.monoisotopic_mass() - crate::WATER_MASS)

@@ -142,7 +142,11 @@ fn fragment_intensity(peptide_hash: u64, ion: &FragmentIon) -> f64 {
     // spectra and multiply-charged fragments are damped.
     let unit = ((h >> 11) as f64 + 1.0) / (u64::MAX >> 11) as f64;
     let skewed = unit * unit * unit;
-    let series_boost = if matches!(ion.kind, IonKind::Y) { 1.6 } else { 1.0 };
+    let series_boost = if matches!(ion.kind, IonKind::Y) {
+        1.6
+    } else {
+        1.0
+    };
     let charge_damp = if ion.charge > 1 { 0.45 } else { 1.0 };
     (0.02 + 0.98 * skewed) * series_boost * charge_damp
 }
@@ -259,7 +263,10 @@ mod tests {
             max_mz: f64::INFINITY,
         };
         let pos = 2; // on D
-        let shifted = p.with_modification(Modification::custom("T", 100.0, crate::modification::Target::Any), pos);
+        let shifted = p.with_modification(
+            Modification::custom("T", 100.0, crate::modification::Target::Any),
+            pos,
+        );
         let base_ions = fragment_ions(&p, &cfg);
         let mod_ions = fragment_ions(&shifted, &cfg);
         let n = p.len();
@@ -272,9 +279,19 @@ mod tests {
             };
             let delta = mi.mz - bi.mz;
             if contains {
-                assert!((delta - 100.0).abs() < 1e-9, "{:?}{} should shift", bi.kind, bi.ordinal);
+                assert!(
+                    (delta - 100.0).abs() < 1e-9,
+                    "{:?}{} should shift",
+                    bi.kind,
+                    bi.ordinal
+                );
             } else {
-                assert!(delta.abs() < 1e-9, "{:?}{} should not shift", bi.kind, bi.ordinal);
+                assert!(
+                    delta.abs() < 1e-9,
+                    "{:?}{} should not shift",
+                    bi.kind,
+                    bi.ordinal
+                );
             }
         }
     }
@@ -298,8 +315,20 @@ mod tests {
     fn different_peptides_get_different_patterns() {
         let p1 = Peptide::parse("LMNPQSTVWK").unwrap();
         let p2 = Peptide::parse("AAAAAAAAAK").unwrap();
-        let s1 = theoretical_spectrum(0, &p1, 2, &FragmentConfig::default(), SpectrumOrigin::Target);
-        let s2 = theoretical_spectrum(0, &p2, 2, &FragmentConfig::default(), SpectrumOrigin::Target);
+        let s1 = theoretical_spectrum(
+            0,
+            &p1,
+            2,
+            &FragmentConfig::default(),
+            SpectrumOrigin::Target,
+        );
+        let s2 = theoretical_spectrum(
+            0,
+            &p2,
+            2,
+            &FragmentConfig::default(),
+            SpectrumOrigin::Target,
+        );
         assert_ne!(s1.peaks(), s2.peaks());
     }
 
@@ -321,7 +350,13 @@ mod tests {
         let p = Peptide::parse("ACDEFGHIK").unwrap();
         let modified = p.with_modification(Modification::CARBAMIDOMETHYL, 1);
         let s = theoretical_spectrum(0, &p, 2, &FragmentConfig::default(), SpectrumOrigin::Target);
-        let sm = theoretical_spectrum(0, &modified, 2, &FragmentConfig::default(), SpectrumOrigin::Query);
+        let sm = theoretical_spectrum(
+            0,
+            &modified,
+            2,
+            &FragmentConfig::default(),
+            SpectrumOrigin::Query,
+        );
         // y1..y7 do not contain position 1, so their m/z (and intensity
         // ranking) must be identical across the two spectra.
         let shared: Vec<&Peak> = s

@@ -239,7 +239,10 @@ mod tests {
             assert_eq!(got.spectrum.peak_count(), orig.peak_count());
             assert_eq!(got.spectrum.precursor_charge, orig.precursor_charge);
             assert!((got.spectrum.precursor_mz - orig.precursor_mz).abs() < 1e-5);
-            assert_eq!(got.title.as_deref(), Some(format!("spectrum_{}", orig.id).as_str()));
+            assert_eq!(
+                got.title.as_deref(),
+                Some(format!("spectrum_{}", orig.id).as_str())
+            );
             for (a, b) in orig.peaks().iter().zip(got.spectrum.peaks()) {
                 assert!((a.mz - b.mz).abs() < 1e-4);
                 assert!((a.intensity - b.intensity).abs() < 1e-2);
@@ -313,7 +316,8 @@ mod tests {
 
     #[test]
     fn text_outside_blocks_is_ignored() {
-        let mgf = "random garbage that is not a header\nBEGIN IONS\nPEPMASS=400.0\n100.0 1.0\nEND IONS\n";
+        let mgf =
+            "random garbage that is not a header\nBEGIN IONS\nPEPMASS=400.0\n100.0 1.0\nEND IONS\n";
         assert_eq!(read_mgf(mgf.as_bytes()).unwrap().len(), 1);
     }
 }

@@ -131,7 +131,8 @@ impl NoiseModel {
         }
         for _ in 0..self.noise_peaks {
             let mz = rng.gen_range(self.min_mz..self.max_mz);
-            let intensity = rng.gen_range(f64::EPSILON..=self.noise_intensity_frac.max(f64::EPSILON)) * base;
+            let intensity =
+                rng.gen_range(f64::EPSILON..=self.noise_intensity_frac.max(f64::EPSILON)) * base;
             peaks.push(Peak::new(mz, intensity));
         }
         let precursor_mz = if self.mz_sigma > 0.0 {

@@ -58,7 +58,10 @@ impl Peptide {
     ///
     /// Panics if `residues` is empty; a peptide has at least one residue.
     pub fn new(residues: Vec<AminoAcid>) -> Peptide {
-        assert!(!residues.is_empty(), "peptide must have at least one residue");
+        assert!(
+            !residues.is_empty(),
+            "peptide must have at least one residue"
+        );
         Peptide {
             residues,
             modification: None,

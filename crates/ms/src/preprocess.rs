@@ -288,7 +288,7 @@ mod tests {
     #[test]
     fn mz_range_respected() {
         let s = spectrum(vec![
-            Peak::new(50.0, 500.0),   // below min_mz
+            Peak::new(50.0, 500.0), // below min_mz
             Peak::new(200.0, 400.0),
             Peak::new(1600.0, 900.0), // above max_mz
         ]);

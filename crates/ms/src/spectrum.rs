@@ -20,7 +20,10 @@ impl Peak {
     /// Panics if `mz` is not finite/positive or `intensity` is negative/NaN
     /// — malformed peaks would silently corrupt binning downstream.
     pub fn new(mz: f64, intensity: f64) -> Peak {
-        assert!(mz.is_finite() && mz > 0.0, "peak m/z must be finite and positive");
+        assert!(
+            mz.is_finite() && mz > 0.0,
+            "peak m/z must be finite and positive"
+        );
         assert!(
             intensity.is_finite() && intensity >= 0.0,
             "peak intensity must be finite and non-negative"
@@ -110,10 +113,7 @@ impl Spectrum {
 
     /// The largest peak intensity, or 0.0 for an empty spectrum.
     pub fn base_peak_intensity(&self) -> f64 {
-        self.peaks
-            .iter()
-            .map(|p| p.intensity)
-            .fold(0.0, f64::max)
+        self.peaks.iter().map(|p| p.intensity).fold(0.0, f64::max)
     }
 
     /// Total ion current: the sum of all peak intensities.

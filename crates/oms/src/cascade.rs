@@ -224,7 +224,11 @@ mod tests {
         // No query may be accepted twice.
         let mut seen = std::collections::HashSet::new();
         for psm in cascade.all_accepted() {
-            assert!(seen.insert(psm.query_id), "query {} accepted twice", psm.query_id);
+            assert!(
+                seen.insert(psm.query_id),
+                "query {} accepted twice",
+                psm.query_id
+            );
         }
     }
 
@@ -248,7 +252,10 @@ mod tests {
                 truth.is_modified() && truth.library_id() == Some(p.reference_id)
             })
             .count();
-        assert!(modified_in_open > 0, "open pass must find modified peptides");
+        assert!(
+            modified_in_open > 0,
+            "open pass must find modified peptides"
+        );
         assert_eq!(
             true_modified_in_standard, 0,
             "standard pass cannot reach a modified query's true reference"

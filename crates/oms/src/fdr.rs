@@ -54,7 +54,11 @@ impl FdrOutcome {
 pub fn filter_fdr(psms: &[Psm], alpha: f64) -> FdrOutcome {
     assert!(alpha > 0.0 && alpha < 1.0, "FDR level must be in (0, 1)");
     let mut sorted: Vec<Psm> = psms.to_vec();
-    sorted.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.query_id.cmp(&b.query_id)));
+    sorted.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then(a.query_id.cmp(&b.query_id))
+    });
 
     // Walk down the ranking computing the running FDR estimate, then
     // monotonise from the bottom to obtain q-values.

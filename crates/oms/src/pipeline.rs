@@ -8,8 +8,47 @@ use crate::window::PrecursorWindow;
 use hdoms_ms::dataset::SyntheticWorkload;
 use hdoms_ms::library::SpectralLibrary;
 use hdoms_ms::preprocess::{PreprocessConfig, Preprocessor};
+use hdoms_ms::spectrum::Spectrum;
 use serde::Serialize;
 use std::collections::{BTreeSet, HashSet};
+
+/// The reference-side metadata the pipeline needs to turn backend hits
+/// into PSMs: masses for the precursor delta, decoy flags for FDR.
+///
+/// A [`SpectralLibrary`] is the obvious catalog; a prebuilt persistent
+/// index (`hdoms-index`) implements this too, which is how a search runs
+/// without the raw library ever being loaded.
+pub trait ReferenceCatalog {
+    /// Number of references (dense ids `0..len`).
+    fn reference_count(&self) -> usize;
+
+    /// Neutral mass of reference `id`, or `None` for an unknown id.
+    fn reference_mass(&self, id: u32) -> Option<f64>;
+
+    /// Whether reference `id` is a decoy, or `None` for an unknown id.
+    fn reference_is_decoy(&self, id: u32) -> Option<bool>;
+
+    /// A mass-sorted candidate index over all references.
+    fn candidate_index(&self) -> CandidateIndex;
+}
+
+impl ReferenceCatalog for SpectralLibrary {
+    fn reference_count(&self) -> usize {
+        self.len()
+    }
+
+    fn reference_mass(&self, id: u32) -> Option<f64> {
+        self.get(id).map(|e| e.spectrum.neutral_mass())
+    }
+
+    fn reference_is_decoy(&self, id: u32) -> Option<bool> {
+        self.get(id).map(|e| e.is_decoy)
+    }
+
+    fn candidate_index(&self) -> CandidateIndex {
+        CandidateIndex::build(self)
+    }
+}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -183,32 +222,53 @@ impl OmsPipeline {
         workload: &SyntheticWorkload,
         backend: &B,
     ) -> PipelineOutcome {
+        self.run_catalog(&workload.queries, &workload.library, backend)
+    }
+
+    /// Run the pipeline over raw query spectra against any reference
+    /// catalog with a *prebuilt* backend.
+    ///
+    /// This is the entry point for index-backed searches: the catalog may
+    /// be a [`SpectralLibrary`] or a loaded `hdoms-index`, and the backend
+    /// is whatever was reconstructed (or built) over the same references.
+    pub fn run_catalog<B, C>(
+        &self,
+        queries: &[Spectrum],
+        catalog: &C,
+        backend: &B,
+    ) -> PipelineOutcome
+    where
+        B: SimilarityBackend + ?Sized,
+        C: ReferenceCatalog + ?Sized,
+    {
         let pre = Preprocessor::new(self.config.preprocess);
-        let (queries, rejected) = pre.run_batch(&workload.queries);
-        let index = CandidateIndex::build(&workload.library);
-        let cands = candidate_lists(&index, &self.config.window, &queries);
-        let mean_candidates = if queries.is_empty() {
+        let (binned_queries, rejected) = pre.run_batch(queries);
+        let index = catalog.candidate_index();
+        let cands = candidate_lists(&index, &self.config.window, &binned_queries);
+        let mean_candidates = if binned_queries.is_empty() {
             0.0
         } else {
-            cands.iter().map(Vec::len).sum::<usize>() as f64 / queries.len() as f64
+            cands.iter().map(Vec::len).sum::<usize>() as f64 / binned_queries.len() as f64
         };
-        let hits = backend.search_batch(&queries, &cands);
+        let hits = backend.search_batch(&binned_queries, &cands);
 
-        let psms: Vec<Psm> = queries
+        let psms: Vec<Psm> = binned_queries
             .iter()
             .zip(&hits)
             .filter_map(|(binned, hit)| {
                 hit.map(|h| {
-                    let entry = workload
-                        .library
-                        .get(h.reference)
-                        .expect("backend returned a valid library id");
+                    let reference_mass = catalog
+                        .reference_mass(h.reference)
+                        .expect("backend returned a valid reference id");
+                    let is_decoy = catalog
+                        .reference_is_decoy(h.reference)
+                        .expect("backend returned a valid reference id");
                     Psm {
                         query_id: binned.id,
                         reference_id: h.reference,
                         score: h.score,
-                        is_decoy: entry.is_decoy,
-                        precursor_delta: binned.neutral_mass - entry.spectrum.neutral_mass(),
+                        is_decoy,
+                        precursor_delta: binned.neutral_mass - reference_mass,
                     }
                 })
             })
@@ -228,7 +288,7 @@ impl OmsPipeline {
             threshold_score,
             decoys_above,
             rejected_queries: rejected,
-            total_queries: workload.queries.len(),
+            total_queries: queries.len(),
             mean_candidates,
         }
     }
@@ -305,7 +365,7 @@ mod tests {
 
     #[test]
     fn standard_window_misses_modified_peptides() {
-        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 301);
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 302);
         let mut config = PipelineConfig::fast_test();
         config.window = PrecursorWindow::standard_default();
         let outcome = OmsPipeline::new(config).run_exact(&workload);
@@ -339,7 +399,7 @@ mod tests {
         let (workload, outcome) = run_tiny(500);
         let peptides = outcome.identified_peptides(&workload.library);
         assert!(!peptides.is_empty());
-        assert_eq!(peptides.len() <= outcome.identifications(), true);
+        assert!(peptides.len() <= outcome.identifications());
     }
 
     #[test]
@@ -363,11 +423,13 @@ mod tests {
     fn higher_dimension_does_not_hurt() {
         // Fig. 13 direction: more dimensions → at least as many
         // identifications (on tiny workloads the difference may be small).
-        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 700);
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 701);
         let run_with_dim = |dim: usize| {
             let mut config = PipelineConfig::fast_test();
             config.exact.encoder.dim = dim;
-            OmsPipeline::new(config).run_exact(&workload).identifications()
+            OmsPipeline::new(config)
+                .run_exact(&workload)
+                .identifications()
         };
         let low = run_with_dim(512);
         let high = run_with_dim(4096);

@@ -94,7 +94,11 @@ impl DeltaMassProfile {
             run.push((edge, count));
         }
         flush(&mut run, &mut peaks);
-        peaks.sort_by(|a, b| b.count.cmp(&a.count).then(a.delta_da.total_cmp(&b.delta_da)));
+        peaks.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then(a.delta_da.total_cmp(&b.delta_da))
+        });
         peaks
     }
 

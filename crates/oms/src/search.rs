@@ -121,6 +121,30 @@ impl ExactBackend {
         }
     }
 
+    /// Reassemble a backend from already-encoded reference hypervectors
+    /// without touching the library — the warm-load path used by
+    /// `hdoms-index`. `reference_hvs[id]` must be exactly what a cold
+    /// [`ExactBackend::build`] with `config` would have produced (encoding
+    /// is deterministic in the config, so persisted hypervectors qualify).
+    pub fn from_parts(
+        config: ExactBackendConfig,
+        reference_hvs: Vec<Option<BinaryHypervector>>,
+    ) -> ExactBackend {
+        let encoder = IdLevelEncoder::new(config.encoder);
+        assert!(
+            reference_hvs
+                .iter()
+                .flatten()
+                .all(|hv| hv.dim() == config.encoder.dim),
+            "reference hypervector dimensions must match the encoder"
+        );
+        ExactBackend {
+            config,
+            encoder,
+            reference_hvs,
+        }
+    }
+
     /// The encoder (shared configuration with the pipeline's quality
     /// studies).
     pub fn encoder(&self) -> &IdLevelEncoder {
@@ -235,9 +259,7 @@ impl SimilarityBackend for ExactBackend {
                 let score = dot(&query_hv, ref_hv) as f64 / dim;
                 let better = match &best {
                     None => true,
-                    Some(b) => {
-                        score > b.score || (score == b.score && cand < b.reference)
-                    }
+                    Some(b) => score > b.score || (score == b.score && cand < b.reference),
                 };
                 if better {
                     best = Some(SearchHit {
@@ -281,7 +303,12 @@ mod tests {
         }
     }
 
-    fn setup() -> (SyntheticWorkload, ExactBackend, Vec<BinnedSpectrum>, Vec<Vec<u32>>) {
+    fn setup() -> (
+        SyntheticWorkload,
+        ExactBackend,
+        Vec<BinnedSpectrum>,
+        Vec<Vec<u32>>,
+    ) {
         let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 55);
         let backend = ExactBackend::build(&workload.library, small_backend_config());
         let pre = Preprocessor::default();

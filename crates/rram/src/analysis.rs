@@ -35,7 +35,11 @@ pub fn predict_storage_error(config: &MlcConfig, age_s: f64) -> StorageErrorPred
     let device = DeviceModel::new(*config);
     let map = LevelMap::new(config);
     let n = map.levels();
-    let spacing = if n > 1 { map.target(1) - map.target(0) } else { config.g_max_us };
+    let spacing = if n > 1 {
+        map.target(1) - map.target(0)
+    } else {
+        config.g_max_us
+    };
     let half = spacing / 2.0;
 
     let mut symbol_error = 0.0f64;
@@ -62,7 +66,11 @@ pub fn predict_storage_error(config: &MlcConfig, age_s: f64) -> StorageErrorPred
             }
         };
         let p_down = if level > 0 { tail(half - drift) } else { 0.0 };
-        let p_up = if level + 1 < n { tail(half + drift) } else { 0.0 };
+        let p_up = if level + 1 < n {
+            tail(half + drift)
+        } else {
+            0.0
+        };
         let p_sym = (p_down + p_up).min(1.0);
         symbol_error += p_sym / n as f64;
         // Adjacent-level errors flip the bits where the two codes differ.
@@ -83,8 +91,7 @@ pub fn predict_storage_error(config: &MlcConfig, age_s: f64) -> StorageErrorPred
     // probability (n-1)/n, and each code bit is then uniform, flipping
     // with probability ½.
     let defect = config.defect_rate;
-    let symbol_error_rate =
-        (1.0 - defect) * symbol_error + defect * (n as f64 - 1.0) / n as f64;
+    let symbol_error_rate = (1.0 - defect) * symbol_error + defect * (n as f64 - 1.0) / n as f64;
     let bit_error_rate = ((1.0 - defect) * bit_error_bits / bits + defect * 0.5).min(1.0);
 
     StorageErrorPrediction {
@@ -128,7 +135,9 @@ mod tests {
 
     #[test]
     fn prediction_monotone_in_age_and_bits() {
-        let p = |bits: u8, age: f64| predict_storage_error(&MlcConfig::with_bits(bits), age).bit_error_rate;
+        let p = |bits: u8, age: f64| {
+            predict_storage_error(&MlcConfig::with_bits(bits), age).bit_error_rate
+        };
         assert!(p(3, 86_400.0) > p(3, 1.0));
         assert!(p(3, 3_600.0) > p(2, 3_600.0));
         assert!(p(2, 3_600.0) > p(1, 3_600.0));

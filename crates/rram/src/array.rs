@@ -96,11 +96,14 @@ impl CrossbarConfig {
     /// `2..=rows` or odd, zero columns, or an ADC outside 1–12 bits.
     pub fn validate(&self) {
         self.mlc.validate();
-        assert!(self.rows >= 2 && self.rows % 2 == 0, "rows must be even and ≥ 2");
+        assert!(
+            self.rows >= 2 && self.rows.is_multiple_of(2),
+            "rows must be even and ≥ 2"
+        );
         assert!(self.cols >= 1, "need at least one column");
         assert!(
             self.activated_rows >= 2
-                && self.activated_rows % 2 == 0
+                && self.activated_rows.is_multiple_of(2)
                 && self.activated_rows <= self.rows,
             "activated_rows must be even and in 2..=rows"
         );
@@ -256,7 +259,11 @@ impl CrossbarArray {
     /// Panics if `inputs.len() != pairs` or any input is outside
     /// `[-1, 1]`.
     pub fn mvm<R: Rng>(&self, inputs: &[f64], rng: &mut R) -> Vec<f64> {
-        assert_eq!(self.pairs, inputs.len(), "input length must equal pair count");
+        assert_eq!(
+            self.pairs,
+            inputs.len(),
+            "input length must equal pair count"
+        );
         assert!(
             inputs.iter().all(|x| (-1.0..=1.0).contains(x)),
             "inputs must be normalised to [-1, 1]"
@@ -273,9 +280,8 @@ impl CrossbarArray {
                 let n = (end - start) as f64;
                 // Eq. 5: normalised source-line voltage for this group.
                 let mut v = 0.0;
-                for i in start..end {
-                    let idx = base + i;
-                    v += inputs[i] * (self.g_plus[idx] - self.g_minus[idx]);
+                for (input, idx) in inputs[start..end].iter().zip(base + start..base + end) {
+                    v += input * (self.g_plus[idx] - self.g_minus[idx]);
                 }
                 v /= n * g_max;
                 if self.config.sense_sigma > 0.0 {
@@ -304,7 +310,11 @@ impl CrossbarArray {
     ///
     /// Panics if `inputs.len() != pairs`.
     pub fn ideal_mvm(&self, inputs: &[f64]) -> Vec<f64> {
-        assert_eq!(self.pairs, inputs.len(), "input length must equal pair count");
+        assert_eq!(
+            self.pairs,
+            inputs.len(),
+            "input length must equal pair count"
+        );
         (0..self.cols)
             .map(|col| {
                 let base = col * self.pairs;

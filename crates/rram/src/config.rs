@@ -95,9 +95,7 @@ impl MlcConfig {
         );
         assert!(self.g_max_us > 0.0, "g_max must be positive");
         assert!(
-            self.lambda_program_us >= 0.0
-                && self.lambda_relax_us >= 0.0
-                && self.drift_us >= 0.0,
+            self.lambda_program_us >= 0.0 && self.lambda_relax_us >= 0.0 && self.drift_us >= 0.0,
             "noise scales must be non-negative"
         );
         assert!(self.relax_tau_s > 0.0, "relaxation tau must be positive");

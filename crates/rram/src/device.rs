@@ -180,8 +180,7 @@ mod tests {
                 .map(|_| m.sample_conductance(&mut rng, 25.0, age))
                 .collect();
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64)
-                .sqrt()
+            (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt()
         };
         let early = spread(1.0, 3);
         let late = spread(86_400.0, 3);
@@ -200,8 +199,7 @@ mod tests {
                 .map(|_| m.sample_conductance(&mut rng, target, 3600.0))
                 .collect();
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64)
-                .sqrt()
+            (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt()
         };
         // The SET extreme is clamped from above which also tightens it, so
         // compare the RESET extreme.

@@ -80,7 +80,8 @@ impl LevelMap {
     /// Panics if `bits.len() != bits_per_cell`.
     pub fn bits_to_symbol(&self, bits: &[bool]) -> usize {
         assert_eq!(bits.len(), self.bits as usize, "wrong number of bits");
-        bits.iter().fold(0usize, |acc, &b| (acc << 1) | usize::from(b))
+        bits.iter()
+            .fold(0usize, |acc, &b| (acc << 1) | usize::from(b))
     }
 
     /// Number of differing bits between two symbols' natural-binary codes

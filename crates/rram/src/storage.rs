@@ -131,7 +131,8 @@ impl HypervectorStore {
     /// Panics if `index` is out of bounds.
     pub fn read_one<R: Rng>(&self, index: usize, age_s: f64, rng: &mut R) -> BinaryHypervector {
         let device = DeviceModel::new(self.config);
-        self.read_symbols(&device, &self.symbols[index], age_s, rng).0
+        self.read_symbols(&device, &self.symbols[index], age_s, rng)
+            .0
     }
 
     /// Read every stored hypervector back `age_s` seconds after
@@ -248,11 +249,18 @@ mod tests {
             let (_, stats) = store.read_all(86_400.0, &mut rng);
             rates.push(stats.bit_error_rate());
         }
-        assert!(rates[0] < rates[1] && rates[1] < rates[2], "rates {rates:?}");
+        assert!(
+            rates[0] < rates[1] && rates[1] < rates[2],
+            "rates {rates:?}"
+        );
         // Magnitudes in the measured ballpark (Fig. 7 at one day:
         // ≈0.2 % / 3–5 % / 11–14 %).
         assert!(rates[0] < 0.01, "1 bit/cell rate {}", rates[0]);
-        assert!((0.005..0.08).contains(&rates[1]), "2 bits rate {}", rates[1]);
+        assert!(
+            (0.005..0.08).contains(&rates[1]),
+            "2 bits rate {}",
+            rates[1]
+        );
         assert!((0.05..0.20).contains(&rates[2]), "3 bits rate {}", rates[2]);
     }
 

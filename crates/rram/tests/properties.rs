@@ -44,7 +44,7 @@ proptest! {
     #[test]
     fn ideal_storage_roundtrip(dim in 1usize..300, bits in 1u8..=3, seed in any::<u64>()) {
         let hv = BinaryHypervector::random(&mut StdRng::seed_from_u64(seed), dim);
-        let store = HypervectorStore::program(MlcConfig::ideal(bits), &[hv.clone()]);
+        let store = HypervectorStore::program(MlcConfig::ideal(bits), std::slice::from_ref(&hv));
         let mut rng = StdRng::seed_from_u64(seed ^ 1);
         let (read, stats) = store.read_all(86_400.0, &mut rng);
         prop_assert_eq!(&read[0], &hv);

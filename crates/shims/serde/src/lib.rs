@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde's *derive* position (`#[derive(Serialize,
+//! Deserialize)]`) for forward compatibility — nothing serialises through
+//! serde at runtime (the on-disk index format in `hdoms-index` hand-rolls
+//! its bytes). With no network access to fetch the real crate, these
+//! derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -38,7 +38,7 @@ fn main() {
     let profile = DeltaMassProfile::from_psms(&cascade.all_accepted(), 0.01);
     let catalogue = common_catalogue();
     println!("\ndelta-mass peaks (≥3 PSMs):");
-    println!("{:>12}  {:>6}  {}", "delta (Da)", "PSMs", "annotation");
+    println!("{:>12}  {:>6}  annotation", "delta (Da)", "PSMs");
     for (peak, name) in profile.annotate(3, &catalogue, 0.03) {
         println!(
             "{:>12.4}  {:>6}  {}",

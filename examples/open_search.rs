@@ -23,8 +23,10 @@ fn main() {
     let workload = SyntheticWorkload::generate(&spec, 2024);
 
     // Standard search: tight precursor window.
-    let mut standard_config = PipelineConfig::default();
-    standard_config.window = PrecursorWindow::standard_default();
+    let standard_config = PipelineConfig {
+        window: PrecursorWindow::standard_default(),
+        ..PipelineConfig::default()
+    };
     let standard = OmsPipeline::new(standard_config).run_exact(&workload);
 
     // Open search: wide window reaching modified peptides.

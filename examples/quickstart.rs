@@ -21,11 +21,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let other = Peptide::parse("ACDEFGHILMNPQSTVWYR")?;
 
     // A "library" spectrum and a noisy re-measurement of the same peptide.
-    let clean = theoretical_spectrum(0, &peptide, 2, &FragmentConfig::default(), SpectrumOrigin::Target);
+    let clean = theoretical_spectrum(
+        0,
+        &peptide,
+        2,
+        &FragmentConfig::default(),
+        SpectrumOrigin::Target,
+    );
     let mut rng = StdRng::seed_from_u64(42);
     let measured = NoiseModel::default().apply(&mut rng, &clean);
-    let unrelated =
-        theoretical_spectrum(1, &other, 2, &FragmentConfig::default(), SpectrumOrigin::Target);
+    let unrelated = theoretical_spectrum(
+        1,
+        &other,
+        2,
+        &FragmentConfig::default(),
+        SpectrumOrigin::Target,
+    );
 
     // Preprocess: 1 % base-peak filter, top-150 peaks, 1.0005-Da bins.
     let pre = Preprocessor::default();

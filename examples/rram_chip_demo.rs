@@ -30,7 +30,11 @@ fn main() {
             "  {bits} bit(s)/cell: {} cells/HV;  BER:",
             store.cells_per_hypervector()
         );
-        for (label, age) in [("1s", times::AFTER_1S), ("1h", times::AFTER_60MIN), ("1d", times::AFTER_1DAY)] {
+        for (label, age) in [
+            ("1s", times::AFTER_1S),
+            ("1h", times::AFTER_60MIN),
+            ("1d", times::AFTER_1DAY),
+        ] {
             let mut read_rng = StdRng::seed_from_u64(100 + age as u64);
             let (_, stats) = store.read_all(age, &mut read_rng);
             print!("  {label} {:.2}%", stats.bit_error_rate() * 100.0);
@@ -52,7 +56,11 @@ fn main() {
     // --- compute: analog MVM vs digital ground truth (Fig. 9) ---
     let pairs = 128;
     let weights: Vec<Vec<f64>> = (0..8)
-        .map(|_| (0..pairs).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect())
+        .map(|_| {
+            (0..pairs)
+                .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+                .collect()
+        })
         .collect();
     println!("\nanalog MVM on a 256x256 crossbar (binary weights, 128 pairs, 32 input vectors):");
     for activated in [20usize, 64, 120] {
@@ -69,7 +77,11 @@ fn main() {
                 .collect();
             let got = array.mvm(&inputs, &mut rng);
             let want = array.ideal_mvm(&inputs);
-            se += got.iter().zip(&want).map(|(g, w)| (g - w).powi(2)).sum::<f64>();
+            se += got
+                .iter()
+                .zip(&want)
+                .map(|(g, w)| (g - w).powi(2))
+                .sum::<f64>();
             n += got.len();
         }
         let rmse = (se / n as f64).sqrt();
@@ -78,5 +90,7 @@ fn main() {
             array.cycles_per_mvm(),
         );
     }
-    println!("more activated rows = fewer cycles but coarser ADC resolution — the Fig. 9 trade-off.");
+    println!(
+        "more activated rows = fewer cycles but coarser ADC resolution — the Fig. 9 trade-off."
+    );
 }

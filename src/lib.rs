@@ -20,6 +20,10 @@
 //! * [`core`] — the paper's contribution: the MLC-RRAM OMS accelerator
 //!   with in-memory encoding (§4.2), in-memory search (§4.1), MLC
 //!   hypervector storage (§4.3) and the latency/energy model (§5.3.3).
+//! * [`index`] — the persistent sharded library index: encode a library
+//!   once, persist it (hypervectors, shard boundaries, MLC programming
+//!   state, checksums), and reload search backends warm — with
+//!   shard-parallel open search.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +46,7 @@
 pub use hdoms_baselines as baselines;
 pub use hdoms_core as core;
 pub use hdoms_hdc as hdc;
+pub use hdoms_index as index;
 pub use hdoms_ms as ms;
 pub use hdoms_oms as oms;
 pub use hdoms_rram as rram;

@@ -18,9 +18,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arb_hv(dim: usize) -> impl Strategy<Value = BinaryHypervector> {
-    any::<u64>().prop_map(move |seed| {
-        BinaryHypervector::random(&mut StdRng::seed_from_u64(seed), dim)
-    })
+    any::<u64>()
+        .prop_map(move |seed| BinaryHypervector::random(&mut StdRng::seed_from_u64(seed), dim))
 }
 
 proptest! {
@@ -54,7 +53,7 @@ proptest! {
     /// Ideal MLC storage round-trips any hypervector at any precision.
     #[test]
     fn ideal_storage_roundtrip(a in arb_hv(500), bits in 1u8..=3) {
-        let store = HypervectorStore::program(MlcConfig::ideal(bits), &[a.clone()]);
+        let store = HypervectorStore::program(MlcConfig::ideal(bits), std::slice::from_ref(&a));
         let mut rng = StdRng::seed_from_u64(1);
         let (read, stats) = store.read_all(86_400.0, &mut rng);
         prop_assert_eq!(&read[0], &a);
