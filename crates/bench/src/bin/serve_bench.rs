@@ -1,0 +1,159 @@
+//! Serve-path throughput benchmark with a machine-readable JSON summary.
+//!
+//! Measures, on an iPRG2012-shaped workload, what the serving layer
+//! actually buys:
+//!
+//! * `residency_s` — one-time cost of making an index resident
+//!   (load-from-bytes + warm backend reconstruction), paid per *process*
+//!   instead of per *search*,
+//! * `qps_batch_full` / `qps_batch_16` / `qps_batch_1` — served queries
+//!   per second with the whole query set as one batch, 16-query batches,
+//!   and single-query (interactive) batches, all against the same warm
+//!   resident index,
+//! * `mean_latency_ms_batch_1` — mean per-request latency in the
+//!   interactive regime,
+//! * `shards_touched` / `candidates_scored` — the per-batch stats the
+//!   server reports, summed over the full-batch run,
+//! * `psms_identical` — whether the served full-batch rows render to the
+//!   exact table a local `search --index` produces.
+//!
+//! The JSON object is printed as the **last line** of stdout so the perf
+//! trajectory can be tracked with `... | tail -1 | <tool>`.
+//!
+//! Usage: `serve_bench [--scale <f64>] [--seed <u64>] [--dim <usize>]`
+
+use hdoms_bench::FigureOptions;
+use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind, LibraryIndex};
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
+use hdoms_oms::psm::{render_table, render_table_rows};
+use hdoms_oms::search::ExactBackendConfig;
+use hdoms_oms::window::PrecursorWindow;
+use hdoms_serve::protocol::{QueryRequest, QuerySpectrum, WindowKind};
+use hdoms_serve::server::Server;
+use std::time::Instant;
+
+const THREADS: usize = 8;
+
+fn main() {
+    let options = FigureOptions::parse(0.01, 2048);
+    let workload =
+        SyntheticWorkload::generate(&WorkloadSpec::iprg2012(options.scale), options.seed);
+    let mut exact = ExactBackendConfig::default();
+    exact.encoder.dim = options.dim;
+    let index = IndexBuilder::new(IndexConfig {
+        kind: IndexedBackendKind::Exact(exact),
+        entries_per_shard: 512,
+        threads: THREADS,
+    })
+    .from_library(&workload.library);
+    let bytes = index.to_bytes();
+
+    // Residency: what one process start costs before the first answer.
+    let start = Instant::now();
+    let loaded = LibraryIndex::from_bytes(&bytes, THREADS).expect("index bytes are valid");
+    let mut server = Server::new(THREADS);
+    server.add_index("bench", loaded).expect("servable index");
+    let residency_s = start.elapsed().as_secs_f64();
+
+    let spectra: Vec<QuerySpectrum> = workload
+        .queries
+        .iter()
+        .map(QuerySpectrum::from_spectrum)
+        .collect();
+    let request_for = |batch: &[QuerySpectrum]| QueryRequest {
+        index: "bench".to_owned(),
+        window: WindowKind::Open,
+        fdr: 0.01,
+        spectra: batch.to_vec(),
+    };
+
+    // One warm-up pass, then timed passes per batching regime.
+    let _ = server.query_batch(&request_for(&spectra)).expect("warm-up");
+    let timed = |batch_size: usize| {
+        let batches: Vec<&[QuerySpectrum]> = if batch_size == 0 {
+            vec![&spectra[..]]
+        } else {
+            spectra.chunks(batch_size).collect()
+        };
+        let start = Instant::now();
+        let mut latency_ms = 0.0;
+        let mut shards = 0usize;
+        let mut candidates = 0usize;
+        let mut rows = Vec::new();
+        for batch in &batches {
+            let result = server.query_batch(&request_for(batch)).expect("batch");
+            latency_ms += result.stats.latency_ms;
+            shards += result.stats.shards_touched;
+            candidates += result.stats.candidates_scored;
+            rows.extend(result.rows);
+        }
+        let wall_s = start.elapsed().as_secs_f64();
+        (
+            spectra.len() as f64 / wall_s.max(1e-9),
+            latency_ms / batches.len() as f64,
+            shards,
+            candidates,
+            rows,
+        )
+    };
+    let (qps_full, _, shards_touched, candidates_scored, served_rows) = timed(0);
+    let (qps_16, _, _, _, _) = timed(16);
+    let (qps_1, latency_1, _, _, _) = timed(1);
+
+    // Fidelity: the served full batch must render the local table.
+    let mut config = PipelineConfig {
+        window: PrecursorWindow::open_default(),
+        fdr_level: 0.01,
+        ..PipelineConfig::default()
+    };
+    let resident = &server.indexes()[0];
+    config.preprocess = resident.index().kind().preprocess();
+    let pipeline = OmsPipeline::new(config);
+    let outcome = pipeline.run_catalog(&workload.queries, resident.index(), resident.backend());
+    let local_table = render_table(&resident.index().peptides_by_id(), &outcome);
+    let psms_identical = render_table_rows(&served_rows) == local_table;
+
+    println!(
+        "== serve bench ({}, dim {}) ==",
+        workload.spec.name, options.dim
+    );
+    println!("references          {:>10}", resident.index().entry_count());
+    println!(
+        "shards              {:>10}",
+        resident.index().shards().len()
+    );
+    println!("queries             {:>10}", spectra.len());
+    println!("residency           {residency_s:>10.3} s (load + warm backend, once per process)");
+    println!("served, one batch   {qps_full:>10.1} queries/s");
+    println!("served, batch=16    {qps_16:>10.1} queries/s");
+    println!("served, batch=1     {qps_1:>10.1} queries/s   ({latency_1:.2} ms/request)");
+    println!("shards touched      {shards_touched:>10}");
+    println!("candidates scored   {candidates_scored:>10}");
+    println!("identical PSMs      {psms_identical:>10}");
+
+    // Machine-readable trailer (hand-rolled: the workspace serde is a
+    // no-op shim).
+    println!(
+        "{{\"bench\":\"serve\",\"workload\":\"{}\",\"dim\":{},\"scale\":{},\"seed\":{},\
+         \"references\":{},\"shards\":{},\"queries\":{},\"residency_s\":{:.6},\
+         \"qps_batch_full\":{:.3},\"qps_batch_16\":{:.3},\"qps_batch_1\":{:.3},\
+         \"mean_latency_ms_batch_1\":{:.4},\"shards_touched\":{},\
+         \"candidates_scored\":{},\"psms_identical\":{}}}",
+        workload.spec.name,
+        options.dim,
+        options.scale,
+        options.seed,
+        resident.index().entry_count(),
+        resident.index().shards().len(),
+        spectra.len(),
+        residency_s,
+        qps_full,
+        qps_16,
+        qps_1,
+        latency_1,
+        shards_touched,
+        candidates_scored,
+        psms_identical,
+    );
+}

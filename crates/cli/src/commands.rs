@@ -12,13 +12,17 @@ use hdoms_ms::mgf::{read_mgf, write_mgf};
 use hdoms_ms::spectrum::Spectrum;
 use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig, PipelineOutcome};
 use hdoms_oms::profile::{common_catalogue, DeltaMassProfile};
-use hdoms_oms::psm::Psm;
+use hdoms_oms::psm::{parse_table, render_table, Psm};
 use hdoms_oms::search::{ExactBackend, ExactBackendConfig};
 use hdoms_oms::window::PrecursorWindow;
 use hdoms_rram::chip::ChipSpec;
 use hdoms_rram::config::MlcConfig;
+use hdoms_serve::net::{serve_listener, serve_stdio, Client};
+use hdoms_serve::protocol::{QueryRequest, QuerySpectrum, Request, Response, WindowKind};
+use hdoms_serve::server::Server;
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
 
 /// `hdoms generate`: synthesise a workload, export query + library MGF.
 pub fn generate(args: &[String]) -> Result<(), String> {
@@ -259,7 +263,7 @@ pub fn search(args: &[String]) -> Result<(), String> {
         threads,
     )?;
 
-    fs::write(out_path, render_psm_table(&peptides, &outcome)).map_err(|e| e.to_string())?;
+    fs::write(out_path, render_table(&peptides, &outcome)).map_err(|e| e.to_string())?;
     println!(
         "{}: {} of {} queries identified at {:.1}% FDR (threshold score {:.4}); \
          table written to {out_path}",
@@ -270,31 +274,6 @@ pub fn search(args: &[String]) -> Result<(), String> {
         outcome.threshold_score,
     );
     Ok(())
-}
-
-/// Render the PSM table (all best hits, with an `accepted` column).
-fn render_psm_table(peptides_by_id: &[String], outcome: &PipelineOutcome) -> String {
-    let accepted = outcome.accepted_query_ids();
-    let mut out = String::from(
-        "query_id\treference_id\tpeptide\tscore\tis_decoy\tprecursor_delta_da\taccepted\n",
-    );
-    for psm in &outcome.psms {
-        let peptide = peptides_by_id
-            .get(psm.reference_id as usize)
-            .cloned()
-            .unwrap_or_default();
-        out.push_str(&format!(
-            "{}\t{}\t{}\t{:.6}\t{}\t{:.4}\t{}\n",
-            psm.query_id,
-            psm.reference_id,
-            peptide,
-            psm.score,
-            u8::from(psm.is_decoy),
-            psm.precursor_delta,
-            u8::from(accepted.contains(&psm.query_id) && psm.is_target()),
-        ));
-    }
-    out
 }
 
 /// `hdoms index`: build / info / append on persistent library indexes.
@@ -536,7 +515,7 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     let bin_width: f64 = flags.get_or("bin-width", 0.01)?;
     let min_count: usize = flags.get_or("min-count", 3)?;
     let table = fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let psms = parse_psm_table(&table)?;
+    let psms = parse_table(&table)?;
     let accepted: Vec<Psm> = psms
         .into_iter()
         .filter(|(_, acc)| *acc)
@@ -563,37 +542,130 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Parse the PSM table written by [`search`]; returns (psm, accepted).
-fn parse_psm_table(table: &str) -> Result<Vec<(Psm, bool)>, String> {
-    let mut out = Vec::new();
-    for (i, line) in table.lines().enumerate().skip(1) {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = line.split('\t').collect();
-        if fields.len() != 7 {
-            return Err(format!(
-                "line {}: expected 7 columns, got {}",
-                i + 1,
-                fields.len()
-            ));
-        }
-        let parse = |f: &str, what: &str| -> Result<f64, String> {
-            f.parse()
-                .map_err(|_| format!("line {}: bad {what} {f:?}", i + 1))
-        };
-        out.push((
-            Psm {
-                query_id: parse(fields[0], "query id")? as u32,
-                reference_id: parse(fields[1], "reference id")? as u32,
-                score: parse(fields[3], "score")?,
-                is_decoy: fields[4] == "1",
-                precursor_delta: parse(fields[5], "delta")?,
-            },
-            fields[6] == "1",
-        ));
+/// `hdoms serve`: load `.hdx` indexes once, keep their backends resident,
+/// and answer query batches over TCP or stdio until killed.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.check_known(&["index", "listen", "stdio", "threads"])?;
+    let threads: usize = flags.get_or("threads", hdoms_hdc::parallel::default_threads())?;
+    let stdio: bool = flags.get_or("stdio", false)?;
+    let listen = flags.get("listen");
+    let specs = flags.get_all("index");
+    if specs.is_empty() {
+        return Err("serve needs at least one --index <name>=<path.hdx>".to_owned());
     }
-    Ok(out)
+    match (listen, stdio) {
+        (Some(_), true) => return Err("--listen and --stdio are exclusive".to_owned()),
+        (None, false) => return Err("serve needs --listen <host:port> or --stdio true".to_owned()),
+        _ => {}
+    }
+
+    let mut server = Server::new(threads);
+    for spec in specs {
+        let Some((name, path)) = spec.split_once('=') else {
+            return Err(format!("--index takes <name>=<path.hdx>, got {spec:?}"));
+        };
+        let index = IndexReader::with_threads(threads)
+            .open_with(Path::new(path))
+            .map_err(|e| format!("loading {path}: {e}"))?;
+        server.add_index(name, index).map_err(|e| e.to_string())?;
+        let resident = server.indexes().last().expect("just added");
+        eprintln!(
+            "resident: {name} ({} backend, {} entries, {} shards, dim {})",
+            resident.index().kind().name(),
+            resident.index().entry_count(),
+            resident.index().shards().len(),
+            resident.index().dim(),
+        );
+    }
+
+    if stdio {
+        eprintln!("serving on stdio ({} indexes)", server.indexes().len());
+        return serve_stdio(&server).map_err(|e| e.to_string());
+    }
+    let addr = listen.expect("checked above");
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    eprintln!(
+        "serving on {} ({} indexes)",
+        listener.local_addr().map_err(|e| e.to_string())?,
+        server.indexes().len()
+    );
+    serve_listener(Arc::new(server), listener).map_err(|e| e.to_string())
+}
+
+/// `hdoms query`: send MGF queries to a running `hdoms serve` and write
+/// the returned PSM table (byte-identical to a local `search --index`).
+pub fn query(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.check_known(&[
+        "addr",
+        "queries",
+        "index",
+        "out",
+        "window",
+        "fdr",
+        "batch-size",
+    ])?;
+    let addr = flags.require("addr")?;
+    let queries_path = flags.require("queries")?;
+    let index_name = flags.require("index")?;
+    let out_path = flags.require("out")?;
+    let fdr: f64 = flags.get_or("fdr", 0.01)?;
+    let batch_size: usize = flags.get_or("batch-size", 0)?;
+    let window = WindowKind::parse(flags.get("window").unwrap_or("open"))?;
+
+    let queries = read_queries(queries_path)?;
+    let spectra: Vec<QuerySpectrum> = queries.iter().map(QuerySpectrum::from_spectrum).collect();
+    let batches: Vec<&[QuerySpectrum]> = if batch_size == 0 {
+        vec![&spectra[..]]
+    } else {
+        spectra.chunks(batch_size).collect()
+    };
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut rows = Vec::new();
+    let mut latency_ms = 0.0f64;
+    let mut identifications = 0usize;
+    let mut shards_touched = 0usize;
+    let mut candidates_scored = 0usize;
+    let mut backend = String::new();
+    for batch in &batches {
+        let response = client.request(&Request::Query(QueryRequest {
+            index: index_name.to_owned(),
+            window,
+            fdr,
+            spectra: batch.to_vec(),
+        }))?;
+        let result = match response {
+            Response::Result(result) => result,
+            Response::Error { message } => return Err(format!("server: {message}")),
+            other => return Err(format!("unexpected response {other:?}")),
+        };
+        latency_ms += result.stats.latency_ms;
+        identifications += result.stats.identifications;
+        shards_touched += result.stats.shards_touched;
+        candidates_scored += result.stats.candidates_scored;
+        backend = result.stats.backend.clone();
+        rows.extend(result.rows);
+    }
+
+    fs::write(out_path, hdoms_oms::psm::render_table_rows(&rows)).map_err(|e| e.to_string())?;
+    println!(
+        "{backend} @ {addr} [{index_name}]: {identifications} of {} queries identified \
+         at {:.1}% FDR in {} batch(es); {latency_ms:.1} ms server time, \
+         {shards_touched} shard visits, {candidates_scored} candidates scored; \
+         table written to {out_path}",
+        queries.len(),
+        fdr * 100.0,
+        batches.len(),
+    );
+    if batches.len() > 1 {
+        eprintln!(
+            "note: FDR filtering is per batch; for a table identical to a local \
+             `search --index`, send one batch (--batch-size 0)"
+        );
+    }
+    Ok(())
 }
 
 /// `hdoms chip`: capacity/latency planning for a library on MLC RRAM.
@@ -666,8 +738,8 @@ mod tests {
             .iter()
             .map(|e| e.peptide.to_string())
             .collect();
-        let table = render_psm_table(&peptides, &outcome);
-        let parsed = parse_psm_table(&table).unwrap();
+        let table = render_table(&peptides, &outcome);
+        let parsed = parse_table(&table).unwrap();
         assert_eq!(parsed.len(), outcome.psms.len());
         let accepted = parsed.iter().filter(|(_, a)| *a).count();
         assert_eq!(accepted, outcome.identifications());
@@ -676,6 +748,6 @@ mod tests {
     #[test]
     fn parse_rejects_ragged_rows() {
         let table = "header\n1\t2\t3\n";
-        assert!(parse_psm_table(table).is_err());
+        assert!(parse_table(table).is_err());
     }
 }

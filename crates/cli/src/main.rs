@@ -11,6 +11,10 @@
 //!   writing a PSM table.
 //! * `compare` — run two backends over the same queries and report how
 //!   their identifications agree (e.g. cold build vs warm index).
+//! * `serve` — long-lived server: load `.hdx` indexes once, keep their
+//!   backends resident, answer query batches over TCP or stdio.
+//! * `query` — client for `serve`: send MGF queries to a running server
+//!   and write the returned PSM table.
 //! * `profile` — delta-mass profile of a PSM table.
 //! * `chip` — plan a library deployment on MLC RRAM tiles and print the
 //!   capacity/latency/energy summary.
@@ -34,6 +38,8 @@ fn main() -> ExitCode {
         "index" => commands::index(rest),
         "search" => commands::search(rest),
         "compare" => commands::compare(rest),
+        "serve" => commands::serve(rest),
+        "query" => commands::query(rest),
         "profile" => commands::profile(rest),
         "chip" => commands::chip(rest),
         "help" | "--help" | "-h" => {

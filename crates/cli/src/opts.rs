@@ -22,6 +22,11 @@ USAGE:
                  [--library <lib.mgf>] [--index <lib.hdx>]
                  [--window open|standard] [--fdr <f64>] [--dim <usize>]
                  (spec: exact|annsolo|hyperoms|rram|index|index-sharded)
+  hdoms serve    --index <name>=<lib.hdx> [--index <name2>=<more.hdx> ...]
+                 (--listen <host:port> | --stdio true) [--threads <usize>]
+  hdoms query    --addr <host:port> --queries <q.mgf> --index <name>
+                 --out <psms.tsv> [--window open|standard] [--fdr <f64>]
+                 [--batch-size <usize>]
   hdoms profile  --psms <psms.tsv> [--bin-width <f64>] [--min-count <usize>]
   hdoms chip     [--bits 1|2|3] [--dim <usize>] [--refs <u64>]
                  [--activated-rows <usize>]
@@ -59,6 +64,16 @@ impl Flags {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value given for a repeatable `key`, in order (e.g. `serve`
+    /// takes `--index name=path` once per resident index).
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     /// A required flag.
@@ -109,6 +124,14 @@ mod tests {
     fn rejects_positionals_and_dangling() {
         assert!(Flags::parse(&args(&["stray"])).is_err());
         assert!(Flags::parse(&args(&["--scale"])).is_err());
+    }
+
+    #[test]
+    fn repeated_flags_collect_in_order() {
+        let flags = Flags::parse(&args(&["--index", "a=1.hdx", "--index", "b=2.hdx"])).unwrap();
+        assert_eq!(flags.get_all("index"), vec!["a=1.hdx", "b=2.hdx"]);
+        assert_eq!(flags.get("index"), Some("a=1.hdx"));
+        assert!(flags.get_all("missing").is_empty());
     }
 
     #[test]

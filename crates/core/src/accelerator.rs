@@ -14,7 +14,7 @@ use hdoms_hdc::encoder::EncoderConfig;
 use hdoms_hdc::parallel::par_map;
 use hdoms_ms::library::SpectralLibrary;
 use hdoms_ms::preprocess::{BinnedSpectrum, PreprocessConfig, Preprocessor};
-use hdoms_oms::search::{SearchHit, SimilarityBackend};
+use hdoms_oms::search::{SearchHit, SharedReferences, SimilarityBackend};
 use hdoms_rram::array::CrossbarConfig;
 use serde::{Deserialize, Serialize};
 
@@ -132,6 +132,11 @@ impl OmsAccelerator {
     /// so searches through the reassembled accelerator score identically
     /// to the cold-built one.
     ///
+    /// Accepts either an owned `Vec` or a [`SharedReferences`] handle; the
+    /// latter shares the caller's hypervector words instead of copying,
+    /// which is how an index-resident accelerator avoids holding a second
+    /// copy of the encoded library.
+    ///
     /// # Panics
     ///
     /// Panics if the encoder/crossbar configurations disagree or no
@@ -139,7 +144,7 @@ impl OmsAccelerator {
     pub fn from_parts(
         config: AcceleratorConfig,
         encoder: InMemoryEncoder,
-        references: Vec<Option<hdoms_hdc::BinaryHypervector>>,
+        references: impl Into<SharedReferences>,
         build_stats: BuildStats,
     ) -> OmsAccelerator {
         let search = InMemorySearch::new(

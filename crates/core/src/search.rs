@@ -23,6 +23,7 @@
 
 use hdoms_hdc::parallel::par_map;
 use hdoms_hdc::BinaryHypervector;
+use hdoms_oms::search::SharedReferences;
 use hdoms_rram::array::CrossbarConfig;
 use hdoms_rram::device::DeviceModel;
 use rand::rngs::StdRng;
@@ -47,7 +48,8 @@ pub struct InMemorySearch {
     /// Stored reference hypervectors by library id (binary weights are
     /// representable exactly at any cell precision, so the stored bits
     /// equal the encoded bits; analog error enters at evaluation time).
-    references: Vec<Option<BinaryHypervector>>,
+    /// Shared, so a warm load from a persistent index keeps one copy.
+    references: SharedReferences,
     /// Static per-pair conductance deviation (σ of `(δ⁺−δ⁻)/g_max`).
     sigma_delta: f64,
     dim: usize,
@@ -59,15 +61,20 @@ impl InMemorySearch {
     /// Store `references` (one slot per library id; `None` marks entries
     /// that failed preprocessing) in the simulated crossbars.
     ///
+    /// Accepts either an owned `Vec` (cold build) or an existing
+    /// [`SharedReferences`] handle (warm load from `hdoms-index`) — the
+    /// latter shares the caller's hypervector words instead of copying.
+    ///
     /// # Panics
     ///
     /// Panics if `crossbar` is invalid or reference dimensions disagree.
     pub fn new(
         crossbar: CrossbarConfig,
-        references: Vec<Option<BinaryHypervector>>,
+        references: impl Into<SharedReferences>,
         seed: u64,
         threads: usize,
     ) -> InMemorySearch {
+        let references = references.into();
         crossbar.validate();
         let dim = references
             .iter()
@@ -97,6 +104,11 @@ impl InMemorySearch {
 
     /// The stored references.
     pub fn references(&self) -> &[Option<BinaryHypervector>] {
+        &self.references
+    }
+
+    /// The shared handle to the stored reference table.
+    pub fn shared_references(&self) -> &SharedReferences {
         &self.references
     }
 

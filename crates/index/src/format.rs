@@ -140,10 +140,16 @@ impl IndexedBackendKind {
     }
 }
 
-/// One indexed reference: search metadata plus the encoded hypervector.
+/// One indexed reference: the search metadata.
+///
+/// The encoded hypervector itself lives in the index's flat shared
+/// reference table (keyed by [`IndexEntry::id`]), not in the entry — that
+/// is what lets a loaded index and every warm backend reconstructed from
+/// it share a single copy of the encoded library. On disk the hypervector
+/// is still serialised inline with its entry (see [`put_shard`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexEntry {
-    /// Dense library id.
+    /// Dense library id (also the slot in the flat reference table).
     pub id: u32,
     /// Neutral precursor mass in daltons (the sharding and windowing key).
     pub neutral_mass: f64,
@@ -155,9 +161,6 @@ pub struct IndexEntry {
     pub is_decoy: bool,
     /// The peptide sequence string (for PSM reports without the library).
     pub peptide: String,
-    /// Encoded hypervector; `None` when preprocessing rejected the
-    /// spectrum (too few peaks).
-    pub hv: Option<BinaryHypervector>,
 }
 
 /// A contiguous precursor-mass bucket of entries, sorted by mass.
@@ -451,8 +454,14 @@ pub fn get_build_stats(r: &mut Reader<'_>) -> Result<BuildStats, IndexError> {
     })
 }
 
-/// Encode one shard's entries into a standalone section payload.
-pub fn put_shard(shard: &Shard, dim: usize) -> Vec<u8> {
+/// Encode one shard's entries into a standalone section payload, pulling
+/// each entry's hypervector from the flat `references` table by id.
+///
+/// # Panics
+///
+/// Panics if an entry id falls outside `references` or a stored
+/// hypervector's dimension disagrees with `dim`.
+pub fn put_shard(shard: &Shard, dim: usize, references: &[Option<BinaryHypervector>]) -> Vec<u8> {
     let mut w = Writer::new();
     w.usize(shard.entries.len());
     for e in &shard.entries {
@@ -462,7 +471,7 @@ pub fn put_shard(shard: &Shard, dim: usize) -> Vec<u8> {
         w.u8(e.precursor_charge);
         w.u8(u8::from(e.is_decoy));
         w.str(&e.peptide);
-        match &e.hv {
+        match &references[e.id as usize] {
             None => w.u8(0),
             Some(hv) => {
                 assert_eq!(hv.dim(), dim, "stored hypervector dimension mismatch");
@@ -474,11 +483,16 @@ pub fn put_shard(shard: &Shard, dim: usize) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Decode one shard section payload.
-pub fn get_shard(bytes: &[u8], dim: usize) -> Result<Shard, IndexError> {
+/// Decode one shard section payload into its metadata entries plus the
+/// present `(id, hypervector)` pairs (destined for the flat table).
+pub fn get_shard(
+    bytes: &[u8],
+    dim: usize,
+) -> Result<(Shard, Vec<(u32, BinaryHypervector)>), IndexError> {
     let mut r = Reader::new(bytes);
     let count = r.checked_len("shard.entry_count", 1)?;
     let mut entries = Vec::with_capacity(count);
+    let mut hvs = Vec::with_capacity(count);
     for _ in 0..count {
         let id = r.u32("entry.id")?;
         let neutral_mass = r.f64("entry.neutral_mass")?;
@@ -496,8 +510,8 @@ pub fn get_shard(bytes: &[u8], dim: usize) -> Result<Shard, IndexError> {
             }
         };
         let peptide = r.str("entry.peptide")?;
-        let hv = match r.u8("entry.hv_present")? {
-            0 => None,
+        match r.u8("entry.hv_present")? {
+            0 => {}
             1 => {
                 let words = r.checked_len("entry.hv_words", 8)?;
                 let expected = dim.div_ceil(64);
@@ -507,7 +521,7 @@ pub fn get_shard(bytes: &[u8], dim: usize) -> Result<Shard, IndexError> {
                     )));
                 }
                 let bytes = r.raw(words * 8, "entry.hv_words")?;
-                Some(hypervector_from_bytes(dim, bytes))
+                hvs.push((id, hypervector_from_bytes(dim, bytes)));
             }
             other => {
                 return Err(WireError::InvalidValue {
@@ -516,7 +530,7 @@ pub fn get_shard(bytes: &[u8], dim: usize) -> Result<Shard, IndexError> {
                 }
                 .into())
             }
-        };
+        }
         entries.push(IndexEntry {
             id,
             neutral_mass,
@@ -524,11 +538,10 @@ pub fn get_shard(bytes: &[u8], dim: usize) -> Result<Shard, IndexError> {
             precursor_charge,
             is_decoy,
             peptide,
-            hv,
         });
     }
     r.expect_end("shard")?;
-    Ok(Shard { entries })
+    Ok((Shard { entries }, hvs))
 }
 
 /// Rebuild a bit-packed hypervector by filling its words straight from

@@ -20,6 +20,13 @@
 //! * and an XXH64 checksum per section, so truncation and bit rot are
 //!   rejected at load time.
 //!
+//! A loaded index keeps its hypervectors in one flat shared table
+//! ([`LibraryIndex::shared_references`]); every warm backend constructor
+//! **shares** that table instead of cloning it, so a resident index plus
+//! its backends hold a single copy of the encoded library — which is
+//! what makes the long-lived `hdoms-serve` layer affordable. The full
+//! byte-level format is specified in `docs/FORMAT.md`.
+//!
 //! ## Workflow
 //!
 //! ```

@@ -19,10 +19,11 @@ use hdoms_ms::library::{LibraryEntry, SpectralLibrary};
 use hdoms_ms::preprocess::Preprocessor;
 use hdoms_oms::candidates::CandidateIndex;
 use hdoms_oms::pipeline::ReferenceCatalog;
-use hdoms_oms::search::{ExactBackend, ExactBackendConfig};
+use hdoms_oms::search::{ExactBackend, ExactBackendConfig, SharedReferences};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
+use std::sync::Arc;
 
 /// How an index is built.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +49,27 @@ impl Default for IndexConfig {
 }
 
 /// Builds a [`LibraryIndex`] from a spectral library.
+///
+/// The builder runs the configured backend's own constructor, so the
+/// persisted hypervectors are byte-identical to a cold build:
+///
+/// ```
+/// use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind};
+/// use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+///
+/// let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 7);
+/// let mut config = IndexConfig {
+///     entries_per_shard: 64,
+///     threads: 2,
+///     ..IndexConfig::default()
+/// };
+/// if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+///     exact.encoder.dim = 512;
+/// }
+/// let index = IndexBuilder::new(config).from_library(&workload.library);
+/// assert_eq!(index.entry_count(), workload.library.len());
+/// assert!(index.shards().len() > 1);
+/// ```
 #[derive(Debug, Clone)]
 pub struct IndexBuilder {
     config: IndexConfig,
@@ -78,48 +100,47 @@ impl IndexBuilder {
     pub fn from_library(&self, library: &SpectralLibrary) -> LibraryIndex {
         assert!(!library.is_empty(), "cannot index an empty library");
         let threads = self.config.threads;
-        let (references, build_stats, mlc) = match &self.config.kind {
+        let (references, build_stats, mlc): (SharedReferences, _, _) = match &self.config.kind {
             IndexedBackendKind::Exact(config) => {
                 let mut config = *config;
                 config.threads = threads;
                 let backend = ExactBackend::build(library, config);
-                let refs = backend.reference_hvs().to_vec();
-                let stats = stats_from_refs(&refs);
-                (refs, stats, None)
+                let stats = stats_from_refs(backend.reference_hvs());
+                (Arc::clone(backend.shared_references()), stats, None)
             }
             IndexedBackendKind::HyperOms(config) => {
                 let mut config = *config;
                 config.threads = threads;
                 let backend = HyperOmsBackend::build(library, config);
-                let refs = backend.inner().reference_hvs().to_vec();
-                let stats = stats_from_refs(&refs);
-                (refs, stats, None)
+                let stats = stats_from_refs(backend.inner().reference_hvs());
+                (Arc::clone(backend.inner().shared_references()), stats, None)
             }
             IndexedBackendKind::Rram(config) => {
                 let mut config = *config;
                 config.threads = threads;
                 let accel = OmsAccelerator::build(library, config);
-                let refs = accel.search_engine().references().to_vec();
                 let stats = *accel.build_stats();
                 let mlc = MlcState {
                     w_eff: accel.encoder().programmed_weights().to_vec(),
                     sigma_delta: accel.encoder().sigma_delta(),
                 };
-                (refs, stats, Some(mlc))
+                (
+                    Arc::clone(accel.search_engine().shared_references()),
+                    stats,
+                    Some(mlc),
+                )
             }
         };
 
         let mut entries: Vec<IndexEntry> = library
             .iter()
-            .zip(references)
-            .map(|(e, hv)| IndexEntry {
+            .map(|e| IndexEntry {
                 id: e.spectrum.id,
                 neutral_mass: e.spectrum.neutral_mass(),
                 precursor_mz: e.spectrum.precursor_mz,
                 precursor_charge: e.spectrum.precursor_charge,
                 is_decoy: e.is_decoy,
                 peptide: e.peptide.to_string(),
-                hv,
             })
             .collect();
         entries.sort_by(|a, b| {
@@ -143,6 +164,7 @@ impl IndexBuilder {
             build_stats,
             mlc,
             shards,
+            references,
             by_id: Vec::new(),
         };
         index.rebuild_by_id();
@@ -166,6 +188,13 @@ fn stats_from_refs(refs: &[Option<BinaryHypervector>]) -> BuildStats {
 /// mass shard boundaries, and for the RRAM kind the MLC programming state
 /// — so queries run **without re-encoding the library** and without the
 /// raw library file.
+///
+/// The hypervectors live in one flat reference-counted table
+/// ([`LibraryIndex::shared_references`]); the warm backend constructors
+/// ([`LibraryIndex::to_exact_backend`] and friends) share that table
+/// instead of cloning it, so a resident index plus any number of
+/// backends reconstructed from it hold exactly **one** copy of the
+/// encoded library. Cloning a `LibraryIndex` likewise shares the table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LibraryIndex {
     kind: IndexedBackendKind,
@@ -174,6 +203,8 @@ pub struct LibraryIndex {
     build_stats: BuildStats,
     mlc: Option<MlcState>,
     shards: Vec<Shard>,
+    /// The flat `id → hypervector` table shared with warm backends.
+    references: SharedReferences,
     /// Dense `id → (neutral mass, is_decoy)` side table, derived from the
     /// shards, so per-PSM catalog lookups are O(1) instead of scanning
     /// every shard (rebuilt on construction and append).
@@ -226,14 +257,17 @@ impl LibraryIndex {
         peptides
     }
 
-    /// The encoded reference hypervectors laid out flat by dense id, as
-    /// the unsharded backends expect.
-    pub fn flat_references(&self) -> Vec<Option<BinaryHypervector>> {
-        let mut refs = vec![None; self.entry_count];
-        for e in self.entries() {
-            refs[e.id as usize] = e.hv.clone();
-        }
-        refs
+    /// The encoded reference hypervectors laid out flat by dense id
+    /// (`None` where preprocessing rejected the entry).
+    pub fn references(&self) -> &[Option<BinaryHypervector>] {
+        &self.references
+    }
+
+    /// The shared handle to the flat reference table. Warm backends built
+    /// from this index hold clones of this `Arc` — compare with
+    /// [`Arc::ptr_eq`] to verify storage is shared rather than copied.
+    pub fn shared_references(&self) -> &SharedReferences {
+        &self.references
     }
 
     /// Shard assignment by dense id (`shard_of[id]` = shard position).
@@ -251,6 +285,10 @@ impl LibraryIndex {
 
     /// Reconstruct the software-exact backend without re-encoding.
     ///
+    /// The returned backend **shares** this index's reference table — no
+    /// hypervector words are copied, so index + backend together hold one
+    /// copy of the encoded library.
+    ///
     /// # Errors
     ///
     /// Fails with [`IndexError::Invalid`] when the index was built for a
@@ -264,10 +302,14 @@ impl LibraryIndex {
         };
         let mut config = *config;
         config.threads = threads;
-        Ok(ExactBackend::from_parts(config, self.flat_references()))
+        Ok(ExactBackend::from_shared(
+            config,
+            Arc::clone(&self.references),
+        ))
     }
 
-    /// Reconstruct the HyperOMS-style backend without re-encoding.
+    /// Reconstruct the HyperOMS-style backend without re-encoding (the
+    /// reference table is shared, not cloned).
     ///
     /// # Errors
     ///
@@ -280,9 +322,9 @@ impl LibraryIndex {
                 self.kind.name()
             )));
         };
-        let inner = ExactBackend::from_parts(
+        let inner = ExactBackend::from_shared(
             hyperoms_exact_config(config, threads),
-            self.flat_references(),
+            Arc::clone(&self.references),
         );
         Ok(HyperOmsBackend::from_exact(inner))
     }
@@ -290,7 +332,8 @@ impl LibraryIndex {
     /// Reconstruct the MLC-RRAM accelerator without re-encoding the
     /// library: the ID item memory is restored from the persisted
     /// differential weight pairs and the stored reference hypervectors
-    /// become the search weights directly.
+    /// become the search weights directly (shared with this index, not
+    /// cloned).
     ///
     /// # Errors
     ///
@@ -320,7 +363,7 @@ impl LibraryIndex {
         Ok(OmsAccelerator::from_parts(
             config,
             encoder,
-            self.flat_references(),
+            Arc::clone(&self.references),
             self.build_stats,
         ))
     }
@@ -447,7 +490,12 @@ impl LibraryIndex {
         self.build_stats.references_stored = total_stored;
         self.build_stats.references_rejected += new_entries.len() - new_stored;
 
-        for (offset, (entry, (hv, _))) in new_entries.iter().zip(encoded).enumerate() {
+        // New ids are `entry_count..`, so the flat table simply extends.
+        // `Arc::make_mut` is copy-on-write: appending while warm backends
+        // still share the table pays a one-time copy; the common case
+        // (append offline, then serve) stays zero-copy.
+        Arc::make_mut(&mut self.references).extend(encoded.into_iter().map(|(hv, _)| hv));
+        for (offset, entry) in new_entries.iter().enumerate() {
             let id = first_id + offset as u32;
             let indexed = IndexEntry {
                 id,
@@ -456,7 +504,6 @@ impl LibraryIndex {
                 precursor_charge: entry.spectrum.precursor_charge,
                 is_decoy: entry.is_decoy,
                 peptide: entry.peptide.to_string(),
-                hv,
             };
             self.insert_entry(indexed);
         }
@@ -505,7 +552,7 @@ impl LibraryIndex {
         let shard_bytes: Vec<Vec<u8>> = self
             .shards
             .iter()
-            .map(|s| format::put_shard(s, dim))
+            .map(|s| format::put_shard(s, dim, &self.references))
             .collect();
 
         let mut header = Writer::new();
@@ -633,8 +680,18 @@ impl LibraryIndex {
             format::get_shard(payload, dim)
         });
         let mut shards = Vec::with_capacity(decoded.len());
+        let mut references = vec![None; entry_count];
         for shard in decoded {
-            shards.push(shard?);
+            let (shard, hvs) = shard?;
+            for (id, hv) in hvs {
+                let slot = references.get_mut(id as usize).ok_or_else(|| {
+                    IndexError::Invalid(format!(
+                        "entry id {id} outside the declared count {entry_count}"
+                    ))
+                })?;
+                *slot = Some(hv);
+            }
+            shards.push(shard);
         }
 
         let mut index = LibraryIndex {
@@ -644,6 +701,7 @@ impl LibraryIndex {
             build_stats,
             mlc,
             shards,
+            references: Arc::new(references),
             by_id: Vec::new(),
         };
         index.validate()?;
@@ -652,12 +710,20 @@ impl LibraryIndex {
     }
 
     /// Structural sanity: dense unique ids, mass-sorted shards, monotone
-    /// shard ranges, MLC state present exactly for the RRAM kind.
+    /// shard ranges, MLC state present exactly for the RRAM kind, and a
+    /// reference table the size of the declared entry count.
     fn validate(&self) -> Result<(), IndexError> {
         if self.entry_count == 0 || self.shards.is_empty() {
             return Err(IndexError::Invalid(
                 "index holds no entries (the builder never produces one)".to_owned(),
             ));
+        }
+        if self.references.len() != self.entry_count {
+            return Err(IndexError::Invalid(format!(
+                "reference table holds {} slots for {} declared entries",
+                self.references.len(),
+                self.entry_count
+            )));
         }
         let mut seen = vec![false; self.entry_count];
         let mut previous_hi = f64::NEG_INFINITY;
@@ -708,6 +774,24 @@ impl LibraryIndex {
 }
 
 /// Reads `HDX` index files.
+///
+/// ```
+/// use hdoms_index::{IndexBuilder, IndexConfig, IndexReader, IndexedBackendKind};
+/// use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+///
+/// let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 8);
+/// let mut config = IndexConfig { threads: 2, ..IndexConfig::default() };
+/// if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+///     exact.encoder.dim = 512;
+/// }
+/// let index = IndexBuilder::new(config).from_library(&workload.library);
+///
+/// let path = std::env::temp_dir().join(format!("hdoms-reader-doc-{}.hdx", std::process::id()));
+/// index.write(&path).unwrap();
+/// let loaded = IndexReader::with_threads(2).open_with(&path).unwrap();
+/// assert_eq!(loaded, index);
+/// # std::fs::remove_file(&path).ok();
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct IndexReader {
     threads: usize,

@@ -117,7 +117,36 @@ fn merge_hits(hits: impl IntoIterator<Item = Option<SearchHit>>) -> Option<Searc
 /// Sharded, shard-parallel search backend over an indexed library.
 ///
 /// Construct through
-/// [`LibraryIndex::sharded_backend`](crate::LibraryIndex::sharded_backend).
+/// [`LibraryIndex::sharded_backend`](crate::LibraryIndex::sharded_backend);
+/// the backend shares the index's reference-hypervector table rather
+/// than cloning it, so index + backend hold one copy of the encoded
+/// library.
+///
+/// ```
+/// use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind};
+/// use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+/// use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
+///
+/// let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 5);
+/// let mut config = IndexConfig {
+///     entries_per_shard: 64,
+///     threads: 2,
+///     ..IndexConfig::default()
+/// };
+/// if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+///     exact.encoder.dim = 512;
+/// }
+/// let index = IndexBuilder::new(config).from_library(&workload.library);
+///
+/// let backend = index.sharded_backend(2).unwrap();
+/// assert_eq!(backend.shard_count(), index.shards().len());
+///
+/// let mut pipeline_config = PipelineConfig::fast_test();
+/// pipeline_config.exact.encoder.dim = 512;
+/// let outcome = OmsPipeline::new(pipeline_config)
+///     .run_catalog(&workload.queries, &index, &backend);
+/// assert!(!outcome.psms.is_empty());
+/// ```
 pub struct ShardedBackend {
     scorer: Scorer,
     /// Dense id → shard position.
@@ -172,6 +201,15 @@ impl ShardedBackend {
     /// Number of shards the library is split into.
     pub fn shard_count(&self) -> usize {
         self.shard_count
+    }
+
+    /// How many shard visits a batch of candidate lists costs: the sum
+    /// over queries of the number of shard runs each query's (mass-sorted)
+    /// candidate list spans. This is the "shards touched" figure the serve
+    /// layer reports per batch — it is a pure accounting walk and performs
+    /// no scoring.
+    pub fn shards_touched(&self, candidates: &[Vec<u32>]) -> usize {
+        candidates.iter().map(|c| self.shard_runs(c).len()).sum()
     }
 
     /// Partition a mass-sorted candidate list into its shard runs.

@@ -242,8 +242,8 @@ fn append_then_search_equals_cold_rebuild() {
 
     assert_eq!(appended.entry_count(), rebuilt.entry_count());
     assert_eq!(
-        appended.flat_references(),
-        rebuilt.flat_references(),
+        appended.references().to_vec(),
+        rebuilt.references().to_vec(),
         "appended encodings must match a cold rebuild"
     );
 
@@ -275,7 +275,10 @@ fn append_is_incremental_for_rram_too() {
         .collect();
     let rebuilt = build_index(rram_kind(), &combined, 64);
 
-    assert_eq!(appended.flat_references(), rebuilt.flat_references());
+    assert_eq!(
+        appended.references().to_vec(),
+        rebuilt.references().to_vec()
+    );
     let stats_a = appended.build_stats();
     let stats_b = rebuilt.build_stats();
     assert_eq!(stats_a.references_stored, stats_b.references_stored);

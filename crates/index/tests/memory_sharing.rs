@@ -1,0 +1,151 @@
+//! Memory regression test for the ROADMAP "share reference hypervectors
+//! between index and warm backends" item: reconstructing a warm backend
+//! from a loaded index must **share** the encoded library, not clone it.
+//!
+//! Two independent checks:
+//!
+//! 1. identity — the backend's reference table is the *same allocation*
+//!    as the index's (`Arc::ptr_eq`), for every backend kind;
+//! 2. accounting — a counting global allocator bounds the bytes
+//!    allocated during warm construction to a small fraction of the
+//!    hypervector payload (the old cloning path allocated at least one
+//!    full payload).
+//!
+//! The allocator counter is process-global, so everything that measures
+//! it runs inside a single `#[test]` (sibling tests in this binary would
+//! otherwise race the counter).
+
+use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind, LibraryIndex};
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_oms::search::ExactBackendConfig;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Counts every byte ever requested from the allocator (frees are not
+/// subtracted — the measurement below wants gross allocation traffic,
+/// which is what a clone would add to).
+struct CountingAllocator;
+
+static ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size.saturating_sub(layout.size()), Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+/// Bytes of hypervector words an index stores (the payload a clone would
+/// duplicate).
+fn payload_bytes(index: &LibraryIndex) -> usize {
+    index
+        .references()
+        .iter()
+        .flatten()
+        .map(|hv| hv.words().len() * 8)
+        .sum()
+}
+
+#[test]
+fn warm_backends_share_not_clone_the_reference_table() {
+    // Large enough that the hypervector payload (~2.5 MB at dim 2048 ×
+    // 10k entries) dwarfs every fixed cost of backend construction (the
+    // encoder item memories are ~0.4 MB).
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::iprg2012(0.01), 99);
+    let mut exact = ExactBackendConfig::default();
+    exact.encoder.dim = 2048;
+    let index = IndexBuilder::new(IndexConfig {
+        kind: IndexedBackendKind::Exact(exact),
+        entries_per_shard: 512,
+        threads: 8,
+    })
+    .from_library(&workload.library);
+    let payload = payload_bytes(&index);
+    assert!(payload > 2_000_000, "workload too small to be meaningful");
+
+    // Baseline: every warm constructor must build its query encoder, and
+    // the encoder's item memories cost real allocation traffic. Measure
+    // that once so the assertions below bound the *marginal* cost of
+    // backend construction.
+    let IndexedBackendKind::Exact(exact_config) = index.kind() else {
+        panic!("built as exact");
+    };
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    let baseline_encoder = hdoms_hdc::encoder::IdLevelEncoder::new(exact_config.encoder);
+    let encoder_alloc = ALLOCATED.load(Ordering::Relaxed) - before;
+    drop(baseline_encoder);
+
+    // -- accounting: warm construction must not re-allocate the payload.
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    let backend = index.to_exact_backend(1).expect("exact kind");
+    let allocated = (ALLOCATED.load(Ordering::Relaxed) - before).saturating_sub(encoder_alloc);
+    assert!(
+        allocated < payload / 4,
+        "to_exact_backend allocated {allocated} bytes beyond its encoder \
+         against a {payload}-byte payload — the reference table is being \
+         cloned again"
+    );
+
+    // -- identity: same allocation, and the handle count adds up.
+    assert!(
+        Arc::ptr_eq(index.shared_references(), backend.shared_references()),
+        "backend holds a different reference table than the index"
+    );
+    assert_eq!(Arc::strong_count(index.shared_references()), 2);
+
+    // The sharded serving backend shares the same single copy (its extra
+    // state is the id→shard assignment, 4 bytes per entry).
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    let sharded = index.sharded_backend(1).expect("exact kind");
+    let allocated = (ALLOCATED.load(Ordering::Relaxed) - before).saturating_sub(encoder_alloc);
+    assert!(
+        allocated < payload / 4,
+        "sharded_backend allocated {allocated} bytes beyond its encoder \
+         against a {payload}-byte payload"
+    );
+    assert_eq!(Arc::strong_count(index.shared_references()), 3);
+    drop(sharded);
+    drop(backend);
+    assert_eq!(Arc::strong_count(index.shared_references()), 1);
+
+    // A serialise→load round-trip still shares with its own backends.
+    let restored = LibraryIndex::from_bytes(&index.to_bytes(), 4).expect("roundtrip");
+    let warm = restored.to_exact_backend(1).expect("exact kind");
+    assert!(Arc::ptr_eq(
+        restored.shared_references(),
+        warm.shared_references()
+    ));
+
+    // The RRAM accelerator path shares too (identity check on a small
+    // workload; this lives in the same #[test] so nothing races the
+    // allocator windows above).
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 100);
+    let mut config = hdoms_core::accelerator::AcceleratorConfig::default();
+    config.encoder.dim = 2048;
+    config.encoder.q_levels = 16;
+    config.encoder.level_style = hdoms_hdc::item_memory::LevelStyle::Chunked { num_chunks: 64 };
+    let index = IndexBuilder::new(IndexConfig {
+        kind: IndexedBackendKind::Rram(config),
+        entries_per_shard: 64,
+        threads: 4,
+    })
+    .from_library(&workload.library);
+    let accel = index.to_accelerator(2).expect("rram kind");
+    assert!(Arc::ptr_eq(
+        index.shared_references(),
+        accel.search_engine().shared_references()
+    ));
+}

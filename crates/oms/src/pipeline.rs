@@ -241,16 +241,69 @@ impl OmsPipeline {
         B: SimilarityBackend + ?Sized,
         C: ReferenceCatalog + ?Sized,
     {
+        self.run_catalog_with(queries, catalog, backend, &catalog.candidate_index())
+    }
+
+    /// Like [`OmsPipeline::run_catalog`] with a **prebuilt** candidate
+    /// index. Building the index costs a sort over all references; a
+    /// long-lived server builds it once per resident index and reuses it
+    /// across batches, so per-batch work scales with the batch, not the
+    /// library. `index` must cover the same references as `catalog`.
+    pub fn run_catalog_with<B, C>(
+        &self,
+        queries: &[Spectrum],
+        catalog: &C,
+        backend: &B,
+        index: &CandidateIndex,
+    ) -> PipelineOutcome
+    where
+        B: SimilarityBackend + ?Sized,
+        C: ReferenceCatalog + ?Sized,
+    {
         let pre = Preprocessor::new(self.config.preprocess);
         let (binned_queries, rejected) = pre.run_batch(queries);
-        let index = catalog.candidate_index();
-        let cands = candidate_lists(&index, &self.config.window, &binned_queries);
+        let cands = candidate_lists(index, &self.config.window, &binned_queries);
+        self.run_prepared(
+            queries.len(),
+            &binned_queries,
+            rejected,
+            &cands,
+            catalog,
+            backend,
+        )
+    }
+
+    /// The scoring and FDR stages over **already prepared** inputs:
+    /// preprocessed queries plus their candidate lists. This is the tail
+    /// every `run_*` entry point funnels through; callers that need the
+    /// intermediate products for their own accounting (the serve layer
+    /// counts candidates and shard visits per batch) prepare once and
+    /// call this, instead of paying preprocessing twice.
+    ///
+    /// `total_queries` is the pre-preprocessing batch size and
+    /// `rejected_queries` how many of those preprocessing dropped;
+    /// `binned_queries[i]` must pair with `candidates[i]`.
+    pub fn run_prepared<B, C>(
+        &self,
+        total_queries: usize,
+        binned_queries: &[hdoms_ms::preprocess::BinnedSpectrum],
+        rejected_queries: usize,
+        candidates: &[Vec<u32>],
+        catalog: &C,
+        backend: &B,
+    ) -> PipelineOutcome
+    where
+        B: SimilarityBackend + ?Sized,
+        C: ReferenceCatalog + ?Sized,
+    {
+        let cands = candidates;
+        let rejected = rejected_queries;
         let mean_candidates = if binned_queries.is_empty() {
             0.0
         } else {
             cands.iter().map(Vec::len).sum::<usize>() as f64 / binned_queries.len() as f64
         };
-        let hits = backend.search_batch(&binned_queries, &cands);
+        let hits = backend.search_batch(binned_queries, cands);
 
         let psms: Vec<Psm> = binned_queries
             .iter()
@@ -288,7 +341,7 @@ impl OmsPipeline {
             threshold_score,
             decoys_above,
             rejected_queries: rejected,
-            total_queries: queries.len(),
+            total_queries,
             mean_candidates,
         }
     }

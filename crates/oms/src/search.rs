@@ -17,6 +17,16 @@ use hdoms_ms::preprocess::{BinnedSpectrum, PreprocessConfig, Preprocessor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A dense reference-hypervector table, indexed by library id (`None`
+/// marks entries preprocessing rejected).
+///
+/// The table is reference-counted so one encoded library can back many
+/// consumers at once — a loaded `hdoms-index`, a flat [`ExactBackend`],
+/// and a sharded backend all share the same words instead of each holding
+/// a private copy.
+pub type SharedReferences = Arc<Vec<Option<BinaryHypervector>>>;
 
 /// One best-match result from a backend.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,8 +98,9 @@ pub struct ExactBackend {
     config: ExactBackendConfig,
     encoder: IdLevelEncoder,
     /// Encoded reference hypervectors, indexed by library id; `None` when
-    /// the reference failed preprocessing (too few peaks).
-    reference_hvs: Vec<Option<BinaryHypervector>>,
+    /// the reference failed preprocessing (too few peaks). Shared, so a
+    /// warm load from a persistent index does not duplicate the words.
+    reference_hvs: SharedReferences,
 }
 
 impl ExactBackend {
@@ -117,7 +128,7 @@ impl ExactBackend {
         ExactBackend {
             config,
             encoder,
-            reference_hvs,
+            reference_hvs: Arc::new(reference_hvs),
         }
     }
 
@@ -129,6 +140,23 @@ impl ExactBackend {
     pub fn from_parts(
         config: ExactBackendConfig,
         reference_hvs: Vec<Option<BinaryHypervector>>,
+    ) -> ExactBackend {
+        ExactBackend::from_shared(config, Arc::new(reference_hvs))
+    }
+
+    /// Like [`ExactBackend::from_parts`] but *sharing* the reference
+    /// table: the backend holds another `Arc` handle to the caller's
+    /// hypervectors instead of a private copy, so a resident index and
+    /// every backend reconstructed from it keep exactly one copy of the
+    /// encoded library in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stored hypervector's dimension disagrees with the
+    /// encoder configuration.
+    pub fn from_shared(
+        config: ExactBackendConfig,
+        reference_hvs: SharedReferences,
     ) -> ExactBackend {
         let encoder = IdLevelEncoder::new(config.encoder);
         assert!(
@@ -157,6 +185,12 @@ impl ExactBackend {
         &self.reference_hvs
     }
 
+    /// The shared handle to the reference table (use [`Arc::ptr_eq`] on
+    /// two handles to verify that storage really is shared, not cloned).
+    pub fn shared_references(&self) -> &SharedReferences {
+        &self.reference_hvs
+    }
+
     /// Derive a backend with different injected error rates *without*
     /// re-encoding the library — the Fig. 11 sweep builds one clean
     /// backend per ID precision and derives every BER point from it.
@@ -182,25 +216,27 @@ impl ExactBackend {
             noise_seed,
             ..self.config
         };
-        let reference_hvs = self
-            .reference_hvs
-            .iter()
-            .enumerate()
-            .map(|(id, slot)| {
-                slot.as_ref().map(|hv| {
-                    if storage_ber > 0.0 {
-                        let mut rng = StdRng::seed_from_u64(
-                            noise_seed
-                                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                                .wrapping_add(id as u64),
-                        );
-                        flip_bits(&mut rng, hv, storage_ber)
-                    } else {
-                        hv.clone()
-                    }
-                })
-            })
-            .collect();
+        let reference_hvs = if storage_ber > 0.0 {
+            Arc::new(
+                self.reference_hvs
+                    .iter()
+                    .enumerate()
+                    .map(|(id, slot)| {
+                        slot.as_ref().map(|hv| {
+                            let mut rng = StdRng::seed_from_u64(
+                                noise_seed
+                                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                                    .wrapping_add(id as u64),
+                            );
+                            flip_bits(&mut rng, hv, storage_ber)
+                        })
+                    })
+                    .collect(),
+            )
+        } else {
+            // Clean references stay clean: share instead of cloning.
+            Arc::clone(&self.reference_hvs)
+        };
         ExactBackend {
             config,
             encoder: self.encoder.clone(),

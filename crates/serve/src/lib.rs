@@ -1,0 +1,65 @@
+//! # hdoms-serve — long-lived batch query serving over warm `.hdx` indexes
+//!
+//! The paper's economics hinge on amortisation: the library is encoded
+//! (programmed into MLC RRAM) **once**, then millions of open-modification
+//! queries stream against the resident state. `hdoms-index` made the
+//! programmed state persistent; this crate makes it *resident*: a
+//! [`server::Server`] loads one or more `.hdx` indexes at startup, keeps
+//! their shard-parallel backends warm in memory — sharing a single copy of
+//! the encoded library between index and backend — and answers query
+//! batches for as long as the process lives, reporting per-batch
+//! statistics (latency, shards touched, candidates scored).
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`server`] — the in-process API: [`server::Server::add_index`], then
+//!   [`server::Server::query_batch`] (or [`server::Server::handle`] for
+//!   protocol messages). Answers are [`hdoms_oms::psm::PsmTableRow`]s,
+//!   byte-identical to a local `hdoms search --index` run.
+//! * [`protocol`] — the wire messages: line-framed canonical JSON,
+//!   specified in `docs/PROTOCOL.md` (whose examples are asserted
+//!   verbatim by this crate's tests).
+//! * [`net`] — transports: [`net::serve_listener`] (TCP, one thread per
+//!   connection), [`net::serve_stdio`], and a blocking [`net::Client`].
+//!
+//! [`json`] is the hand-rolled canonical JSON underneath (the workspace's
+//! `serde` is a no-op offline shim).
+//!
+//! The `hdoms` CLI exposes this as `hdoms serve` (daemon) and
+//! `hdoms query` (remote batch search); `crates/bench`'s `serve_bench`
+//! measures resident-index batch throughput.
+//!
+//! ```
+//! use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind};
+//! use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+//! use hdoms_serve::protocol::{Request, Response};
+//! use hdoms_serve::server::Server;
+//!
+//! // Encode once (normally: `hdoms index build`, then IndexReader::open).
+//! let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 9);
+//! let mut config = IndexConfig::default();
+//! config.threads = 2;
+//! if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+//!     exact.encoder.dim = 2048;
+//! }
+//! let index = IndexBuilder::new(config).from_library(&workload.library);
+//!
+//! // Serve forever (here: one protocol round-trip in process).
+//! let mut server = Server::new(2);
+//! server.add_index("tiny", index).unwrap();
+//! let request = Request::decode(r#"{"type":"list_indexes"}"#).unwrap();
+//! let Response::Indexes(list) = server.handle(&request) else { panic!() };
+//! assert_eq!(list[0].name, "tiny");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod json;
+pub mod net;
+pub mod protocol;
+pub mod server;
+
+pub use net::Client;
+pub use protocol::{Request, Response};
+pub use server::Server;

@@ -1,0 +1,726 @@
+//! The line-framed JSON wire protocol.
+//!
+//! One request or response per line, each a single canonical JSON object
+//! with a `"type"` tag (see `docs/PROTOCOL.md` for the full specification
+//! — its example payloads are asserted byte-for-byte by this crate's
+//! `protocol_docs` test). Version [`PROTOCOL_VERSION`] is reported by the
+//! `pong` response.
+//!
+//! ```
+//! use hdoms_serve::protocol::{Request, Response};
+//!
+//! let req = Request::decode(r#"{"type":"ping"}"#).unwrap();
+//! assert_eq!(req.encode(), r#"{"type":"ping"}"#);
+//! let resp = Response::Pong { protocol: 1 };
+//! assert_eq!(resp.encode(), r#"{"type":"pong","protocol":1}"#);
+//! ```
+
+use crate::json::Json;
+use hdoms_ms::spectrum::{Peak, Spectrum, SpectrumOrigin};
+use hdoms_oms::psm::{Psm, PsmTableRow};
+use hdoms_oms::window::PrecursorWindow;
+
+/// Wire protocol version, reported by `pong`. Bumped on any incompatible
+/// message change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default FDR level applied when a query request omits `"fdr"`.
+pub const DEFAULT_FDR: f64 = 0.01;
+
+/// Which precursor window a query batch searches under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Open-modification window (the wide window that *is* OMS).
+    Open,
+    /// Standard (narrow) window.
+    Standard,
+}
+
+impl WindowKind {
+    /// The wire name (`"open"` / `"standard"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            WindowKind::Open => "open",
+            WindowKind::Standard => "standard",
+        }
+    }
+
+    /// The pipeline window this kind stands for.
+    pub fn window(self) -> PrecursorWindow {
+        match self {
+            WindowKind::Open => PrecursorWindow::open_default(),
+            WindowKind::Standard => PrecursorWindow::standard_default(),
+        }
+    }
+
+    /// Parse a wire name back into a kind (the single source of truth
+    /// for the `"open"` / `"standard"` mapping — the CLI uses it too).
+    ///
+    /// # Errors
+    ///
+    /// Describes the unknown name.
+    pub fn parse(name: &str) -> Result<WindowKind, String> {
+        match name {
+            "open" => Ok(WindowKind::Open),
+            "standard" => Ok(WindowKind::Standard),
+            other => Err(format!("unknown window {other:?} (open|standard)")),
+        }
+    }
+}
+
+/// One query spectrum on the wire: precursor information plus the peak
+/// list as `[mz, intensity]` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpectrum {
+    /// Client-chosen id, echoed back in the PSM rows.
+    pub id: u32,
+    /// Precursor m/z.
+    pub precursor_mz: f64,
+    /// Precursor charge state.
+    pub precursor_charge: u8,
+    /// Fragment peaks as `(mz, intensity)` pairs.
+    pub peaks: Vec<(f64, f64)>,
+}
+
+impl QuerySpectrum {
+    /// Capture a [`Spectrum`] for the wire.
+    pub fn from_spectrum(spectrum: &Spectrum) -> QuerySpectrum {
+        QuerySpectrum {
+            id: spectrum.id,
+            precursor_mz: spectrum.precursor_mz,
+            precursor_charge: spectrum.precursor_charge,
+            peaks: spectrum
+                .peaks()
+                .iter()
+                .map(|p| (p.mz, p.intensity))
+                .collect(),
+        }
+    }
+
+    /// Validate and convert back into a [`Spectrum`] (origin `Query`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or non-positive precursor m/z, a zero charge,
+    /// and malformed peaks — the server must never panic on wire input.
+    pub fn to_spectrum(&self) -> Result<Spectrum, String> {
+        if !(self.precursor_mz.is_finite() && self.precursor_mz > 0.0) {
+            return Err(format!(
+                "spectrum {}: precursor_mz must be finite and positive",
+                self.id
+            ));
+        }
+        if self.precursor_charge == 0 {
+            return Err(format!(
+                "spectrum {}: precursor_charge must be ≥ 1",
+                self.id
+            ));
+        }
+        let mut peaks = Vec::with_capacity(self.peaks.len());
+        for &(mz, intensity) in &self.peaks {
+            if !(mz.is_finite() && mz > 0.0 && intensity.is_finite() && intensity >= 0.0) {
+                return Err(format!(
+                    "spectrum {}: malformed peak [{mz}, {intensity}]",
+                    self.id
+                ));
+            }
+            peaks.push(Peak::new(mz, intensity));
+        }
+        Ok(Spectrum::new(
+            self.id,
+            self.precursor_mz,
+            self.precursor_charge,
+            peaks,
+            SpectrumOrigin::Query,
+        ))
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::Num(f64::from(self.id))),
+            ("precursor_mz".into(), Json::Num(self.precursor_mz)),
+            (
+                "precursor_charge".into(),
+                Json::Num(f64::from(self.precursor_charge)),
+            ),
+            (
+                "peaks".into(),
+                Json::Arr(
+                    self.peaks
+                        .iter()
+                        .map(|&(mz, i)| Json::Arr(vec![Json::Num(mz), Json::Num(i)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<QuerySpectrum, String> {
+        let peaks = req_field(v, "peaks")?
+            .as_arr()
+            .ok_or("spectrum peaks must be an array")?
+            .iter()
+            .map(|p| {
+                let pair = p
+                    .as_arr()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| "each peak must be a [mz, intensity] pair".to_owned())?;
+                Ok((num(&pair[0], "peak mz")?, num(&pair[1], "peak intensity")?))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(QuerySpectrum {
+            id: u32_field(v, "id")?,
+            precursor_mz: num(req_field(v, "precursor_mz")?, "precursor_mz")?,
+            precursor_charge: uint_in(
+                req_field(v, "precursor_charge")?,
+                "precursor_charge",
+                u64::from(u8::MAX),
+            )? as u8,
+            peaks,
+        })
+    }
+}
+
+/// A `query` request: search a batch of spectra against one resident
+/// index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Name of the resident index to search.
+    pub index: String,
+    /// Precursor window (defaults to open when omitted on the wire).
+    pub window: WindowKind,
+    /// FDR acceptance level in (0, 1) (defaults to [`DEFAULT_FDR`]).
+    pub fdr: f64,
+    /// The query batch. FDR filtering is per batch: splitting a query set
+    /// across batches changes the acceptance threshold.
+    pub spectra: Vec<QuerySpectrum>,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / version probe.
+    Ping,
+    /// List the resident indexes.
+    ListIndexes,
+    /// Search a query batch.
+    Query(QueryRequest),
+}
+
+impl Request {
+    /// Encode as one canonical JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let v = match self {
+            Request::Ping => Json::Obj(vec![("type".into(), Json::str("ping"))]),
+            Request::ListIndexes => Json::Obj(vec![("type".into(), Json::str("list_indexes"))]),
+            Request::Query(q) => Json::Obj(vec![
+                ("type".into(), Json::str("query")),
+                ("index".into(), Json::str(q.index.clone())),
+                ("window".into(), Json::str(q.window.name())),
+                ("fdr".into(), Json::Num(q.fdr)),
+                (
+                    "spectra".into(),
+                    Json::Arr(q.spectra.iter().map(QuerySpectrum::to_json).collect()),
+                ),
+            ]),
+        };
+        v.encode()
+    }
+
+    /// Decode one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first structural
+    /// problem (malformed JSON, unknown type, missing/mistyped field).
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        match req_field(&v, "type")?.as_str() {
+            Some("ping") => Ok(Request::Ping),
+            Some("list_indexes") => Ok(Request::ListIndexes),
+            Some("query") => {
+                let spectra = req_field(&v, "spectra")?
+                    .as_arr()
+                    .ok_or("spectra must be an array")?
+                    .iter()
+                    .map(QuerySpectrum::from_json)
+                    .collect::<Result<Vec<_>, String>>()?;
+                let window = match v.get("window") {
+                    None => WindowKind::Open,
+                    Some(w) => WindowKind::parse(w.as_str().ok_or("window must be a string")?)?,
+                };
+                let fdr = match v.get("fdr") {
+                    None => DEFAULT_FDR,
+                    Some(f) => num(f, "fdr")?,
+                };
+                Ok(Request::Query(QueryRequest {
+                    index: req_field(&v, "index")?
+                        .as_str()
+                        .ok_or("index must be a string")?
+                        .to_owned(),
+                    window,
+                    fdr,
+                    spectra,
+                }))
+            }
+            Some(other) => Err(format!("unknown request type {other:?}")),
+            None => Err("request type must be a string".to_owned()),
+        }
+    }
+}
+
+/// A one-line summary of a resident index (the `indexes` response).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexSummary {
+    /// Name the index was registered under.
+    pub name: String,
+    /// Backend kind ("exact" | "hyperoms" | "rram").
+    pub backend: String,
+    /// Hypervector dimension.
+    pub dim: usize,
+    /// Number of indexed references.
+    pub entries: usize,
+    /// Number of precursor-mass shards.
+    pub shards: usize,
+}
+
+/// Per-batch serving statistics, reported with every `result` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStats {
+    /// Wall-clock time spent answering the batch, milliseconds.
+    pub latency_ms: f64,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Queries dropped by preprocessing (too few peaks).
+    pub rejected_queries: usize,
+    /// Best-hit PSMs produced.
+    pub psms: usize,
+    /// PSMs accepted at the requested FDR.
+    pub identifications: usize,
+    /// Score of the weakest accepted PSM (`null` on the wire when no PSM
+    /// was accepted).
+    pub threshold_score: f64,
+    /// Total shard visits across the batch (see
+    /// [`ShardedBackend::shards_touched`](hdoms_index::ShardedBackend::shards_touched)).
+    pub shards_touched: usize,
+    /// Total candidate references scored across the batch.
+    pub candidates_scored: usize,
+    /// Name of the backend that served the batch.
+    pub backend: String,
+}
+
+/// The result of one `query` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Which index answered.
+    pub index: String,
+    /// One row per best-hit PSM, in pipeline order — rendering these with
+    /// [`hdoms_oms::psm::render_table_rows`] reproduces the local
+    /// `search --index` table byte-for-byte.
+    pub rows: Vec<PsmTableRow>,
+    /// Batch statistics.
+    pub stats: BatchStats,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to `ping`.
+    Pong {
+        /// The server's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// Any request-level failure (the connection stays open).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Answer to `list_indexes`.
+    Indexes(Vec<IndexSummary>),
+    /// Answer to `query`.
+    Result(QueryResult),
+}
+
+impl Response {
+    /// Encode as one canonical JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let v = match self {
+            Response::Pong { protocol } => Json::Obj(vec![
+                ("type".into(), Json::str("pong")),
+                ("protocol".into(), Json::Num(f64::from(*protocol))),
+            ]),
+            Response::Error { message } => Json::Obj(vec![
+                ("type".into(), Json::str("error")),
+                ("message".into(), Json::str(message.clone())),
+            ]),
+            Response::Indexes(indexes) => Json::Obj(vec![
+                ("type".into(), Json::str("indexes")),
+                (
+                    "indexes".into(),
+                    Json::Arr(
+                        indexes
+                            .iter()
+                            .map(|s| {
+                                Json::Obj(vec![
+                                    ("name".into(), Json::str(s.name.clone())),
+                                    ("backend".into(), Json::str(s.backend.clone())),
+                                    ("dim".into(), Json::Num(s.dim as f64)),
+                                    ("entries".into(), Json::Num(s.entries as f64)),
+                                    ("shards".into(), Json::Num(s.shards as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Result(r) => Json::Obj(vec![
+                ("type".into(), Json::str("result")),
+                ("index".into(), Json::str(r.index.clone())),
+                (
+                    "psms".into(),
+                    Json::Arr(r.rows.iter().map(row_to_json).collect()),
+                ),
+                ("stats".into(), stats_to_json(&r.stats)),
+            ]),
+        };
+        v.encode()
+    }
+
+    /// Decode one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first structural
+    /// problem.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        match req_field(&v, "type")?.as_str() {
+            Some("pong") => Ok(Response::Pong {
+                protocol: uint_in(req_field(&v, "protocol")?, "protocol", u64::from(u32::MAX))?
+                    as u32,
+            }),
+            Some("error") => Ok(Response::Error {
+                message: req_field(&v, "message")?
+                    .as_str()
+                    .ok_or("message must be a string")?
+                    .to_owned(),
+            }),
+            Some("indexes") => {
+                let indexes = req_field(&v, "indexes")?
+                    .as_arr()
+                    .ok_or("indexes must be an array")?
+                    .iter()
+                    .map(|s| {
+                        Ok(IndexSummary {
+                            name: string(s, "name")?,
+                            backend: string(s, "backend")?,
+                            dim: uint(req_field(s, "dim")?, "dim")? as usize,
+                            entries: uint(req_field(s, "entries")?, "entries")? as usize,
+                            shards: uint(req_field(s, "shards")?, "shards")? as usize,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::Indexes(indexes))
+            }
+            Some("result") => {
+                let rows = req_field(&v, "psms")?
+                    .as_arr()
+                    .ok_or("psms must be an array")?
+                    .iter()
+                    .map(row_from_json)
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::Result(QueryResult {
+                    index: string(&v, "index")?,
+                    rows,
+                    stats: stats_from_json(req_field(&v, "stats")?)?,
+                }))
+            }
+            Some(other) => Err(format!("unknown response type {other:?}")),
+            None => Err("response type must be a string".to_owned()),
+        }
+    }
+}
+
+fn row_to_json(row: &PsmTableRow) -> Json {
+    Json::Obj(vec![
+        ("query_id".into(), Json::Num(f64::from(row.psm.query_id))),
+        (
+            "reference_id".into(),
+            Json::Num(f64::from(row.psm.reference_id)),
+        ),
+        ("peptide".into(), Json::str(row.peptide.clone())),
+        ("score".into(), Json::Num(row.psm.score)),
+        ("is_decoy".into(), Json::Bool(row.psm.is_decoy)),
+        ("precursor_delta".into(), Json::Num(row.psm.precursor_delta)),
+        ("accepted".into(), Json::Bool(row.accepted)),
+    ])
+}
+
+fn row_from_json(v: &Json) -> Result<PsmTableRow, String> {
+    Ok(PsmTableRow {
+        psm: Psm {
+            query_id: u32_field(v, "query_id")?,
+            reference_id: u32_field(v, "reference_id")?,
+            score: num(req_field(v, "score")?, "score")?,
+            is_decoy: req_field(v, "is_decoy")?
+                .as_bool()
+                .ok_or("is_decoy must be a boolean")?,
+            precursor_delta: num(req_field(v, "precursor_delta")?, "precursor_delta")?,
+        },
+        peptide: string(v, "peptide")?,
+        accepted: req_field(v, "accepted")?
+            .as_bool()
+            .ok_or("accepted must be a boolean")?,
+    })
+}
+
+fn stats_to_json(s: &BatchStats) -> Json {
+    Json::Obj(vec![
+        ("latency_ms".into(), Json::Num(s.latency_ms)),
+        ("queries".into(), Json::Num(s.queries as f64)),
+        (
+            "rejected_queries".into(),
+            Json::Num(s.rejected_queries as f64),
+        ),
+        ("psms".into(), Json::Num(s.psms as f64)),
+        (
+            "identifications".into(),
+            Json::Num(s.identifications as f64),
+        ),
+        ("threshold_score".into(), Json::Num(s.threshold_score)),
+        ("shards_touched".into(), Json::Num(s.shards_touched as f64)),
+        (
+            "candidates_scored".into(),
+            Json::Num(s.candidates_scored as f64),
+        ),
+        ("backend".into(), Json::str(s.backend.clone())),
+    ])
+}
+
+fn stats_from_json(v: &Json) -> Result<BatchStats, String> {
+    Ok(BatchStats {
+        latency_ms: num(req_field(v, "latency_ms")?, "latency_ms")?,
+        queries: uint(req_field(v, "queries")?, "queries")? as usize,
+        rejected_queries: uint(req_field(v, "rejected_queries")?, "rejected_queries")? as usize,
+        psms: uint(req_field(v, "psms")?, "psms")? as usize,
+        identifications: uint(req_field(v, "identifications")?, "identifications")? as usize,
+        threshold_score: threshold_from_json(req_field(v, "threshold_score")?)?,
+        shards_touched: uint(req_field(v, "shards_touched")?, "shards_touched")? as usize,
+        candidates_scored: uint(req_field(v, "candidates_scored")?, "candidates_scored")? as usize,
+        backend: string(v, "backend")?,
+    })
+}
+
+fn req_field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn num(v: &Json, what: &str) -> Result<f64, String> {
+    v.as_f64().ok_or_else(|| format!("{what} must be a number"))
+}
+
+/// The acceptance threshold is `+∞` when a batch accepted nothing
+/// ([`hdoms_oms::fdr::filter_fdr`]); JSON cannot express that, so the
+/// wire uses `null` and the decoder restores `+∞`.
+fn threshold_from_json(v: &Json) -> Result<f64, String> {
+    match v {
+        Json::Null => Ok(f64::INFINITY),
+        _ => num(v, "threshold_score"),
+    }
+}
+
+fn uint(v: &Json, what: &str) -> Result<u64, String> {
+    v.as_u64()
+        .ok_or_else(|| format!("{what} must be a non-negative integer"))
+}
+
+/// Like [`uint`] with an inclusive upper bound — values beyond the target
+/// type are **rejected**, never wrapped (a charge of 257 must error, not
+/// silently search as charge 1).
+fn uint_in(v: &Json, what: &str, max: u64) -> Result<u64, String> {
+    let n = uint(v, what)?;
+    if n > max {
+        return Err(format!("{what} {n} out of range (max {max})"));
+    }
+    Ok(n)
+}
+
+/// A required `u32` object field, range-checked.
+fn u32_field(v: &Json, key: &'static str) -> Result<u32, String> {
+    Ok(uint_in(req_field(v, key)?, key, u64::from(u32::MAX))? as u32)
+}
+
+fn string(v: &Json, key: &str) -> Result<String, String> {
+    req_field(v, key)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{key} must be a string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> Request {
+        Request::Query(QueryRequest {
+            index: "iprg".to_owned(),
+            window: WindowKind::Open,
+            fdr: 0.01,
+            spectra: vec![QuerySpectrum {
+                id: 0,
+                precursor_mz: 421.76,
+                precursor_charge: 2,
+                peaks: vec![(100.1, 0.5), (200.25, 1.0)],
+            }],
+        })
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [Request::Ping, Request::ListIndexes, sample_query()] {
+            let line = req.encode();
+            assert!(!line.contains('\n'), "one line per message");
+            assert_eq!(Request::decode(&line).unwrap(), req, "line {line}");
+            // Canonical: decode → encode is the identity on the text too.
+            assert_eq!(Request::decode(&line).unwrap().encode(), line);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let responses = [
+            Response::Pong { protocol: 1 },
+            Response::Error {
+                message: "unknown index \"x\"".to_owned(),
+            },
+            Response::Indexes(vec![IndexSummary {
+                name: "iprg".to_owned(),
+                backend: "exact".to_owned(),
+                dim: 8192,
+                entries: 10000,
+                shards: 10,
+            }]),
+            Response::Result(QueryResult {
+                index: "iprg".to_owned(),
+                rows: vec![PsmTableRow {
+                    psm: Psm {
+                        query_id: 0,
+                        reference_id: 412,
+                        score: 0.8123,
+                        is_decoy: false,
+                        precursor_delta: 15.9949,
+                    },
+                    peptide: "PEPTIDEK".to_owned(),
+                    accepted: true,
+                }],
+                stats: BatchStats {
+                    latency_ms: 12.5,
+                    queries: 1,
+                    rejected_queries: 0,
+                    psms: 1,
+                    identifications: 1,
+                    threshold_score: 0.75,
+                    shards_touched: 3,
+                    candidates_scored: 154,
+                    backend: "sharded(exact-hd, 10 shards)".to_owned(),
+                },
+            }),
+        ];
+        for resp in responses {
+            let line = resp.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::decode(&line).unwrap(), resp, "line {line}");
+            assert_eq!(Response::decode(&line).unwrap().encode(), line);
+        }
+    }
+
+    #[test]
+    fn query_defaults_apply() {
+        let line = r#"{"type":"query","index":"a","spectra":[]}"#;
+        let Request::Query(q) = Request::decode(line).unwrap() else {
+            panic!("expected query");
+        };
+        assert_eq!(q.window, WindowKind::Open);
+        assert_eq!(q.fdr, DEFAULT_FDR);
+    }
+
+    #[test]
+    fn infinite_threshold_survives_the_wire_as_null() {
+        let resp = Response::Result(QueryResult {
+            index: "a".to_owned(),
+            rows: Vec::new(),
+            stats: BatchStats {
+                latency_ms: 0.5,
+                queries: 0,
+                rejected_queries: 0,
+                psms: 0,
+                identifications: 0,
+                threshold_score: f64::INFINITY,
+                shards_touched: 0,
+                candidates_scored: 0,
+                backend: "b".to_owned(),
+            },
+        });
+        let line = resp.encode();
+        assert!(line.contains("\"threshold_score\":null"));
+        let Response::Result(r) = Response::decode(&line).unwrap() else {
+            panic!("expected result");
+        };
+        assert_eq!(r.stats.threshold_score, f64::INFINITY);
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        for (line, needle) in [
+            ("{", "JSON error"),
+            (r#"{"type":"nope"}"#, "unknown request type"),
+            (
+                r#"{"type":"query","spectra":[]}"#,
+                "missing field \"index\"",
+            ),
+            (
+                r#"{"type":"query","index":"a","window":"wide","spectra":[]}"#,
+                "unknown window",
+            ),
+            // Out-of-range integers must be rejected, never wrapped: a
+            // charge of 257 silently becoming 1 would search the wrong
+            // precursor window.
+            (
+                r#"{"type":"query","index":"a","spectra":[{"id":0,"precursor_mz":400,"precursor_charge":257,"peaks":[]}]}"#,
+                "out of range",
+            ),
+            (
+                r#"{"type":"query","index":"a","spectra":[{"id":4294967296,"precursor_mz":400,"precursor_charge":2,"peaks":[]}]}"#,
+                "out of range",
+            ),
+        ] {
+            let err = Request::decode(line).unwrap_err();
+            assert!(err.contains(needle), "line {line}: error {err:?}");
+        }
+    }
+
+    #[test]
+    fn spectrum_validation_rejects_garbage() {
+        let bad_mz = QuerySpectrum {
+            id: 1,
+            precursor_mz: -5.0,
+            precursor_charge: 2,
+            peaks: vec![],
+        };
+        assert!(bad_mz.to_spectrum().is_err());
+        let bad_peak = QuerySpectrum {
+            id: 2,
+            precursor_mz: 500.0,
+            precursor_charge: 2,
+            peaks: vec![(0.0, 1.0)],
+        };
+        assert!(bad_peak.to_spectrum().is_err());
+        let zero_charge = QuerySpectrum {
+            id: 3,
+            precursor_mz: 500.0,
+            precursor_charge: 0,
+            peaks: vec![],
+        };
+        assert!(zero_charge.to_spectrum().is_err());
+    }
+}

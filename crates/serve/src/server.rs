@@ -1,0 +1,374 @@
+//! The in-process batch query server: resident indexes, warm backends,
+//! per-batch statistics.
+
+use crate::protocol::{
+    BatchStats, IndexSummary, QueryRequest, QueryResult, Request, Response, PROTOCOL_VERSION,
+};
+use hdoms_index::{IndexError, LibraryIndex, ShardedBackend};
+use hdoms_ms::preprocess::Preprocessor;
+use hdoms_ms::spectrum::Spectrum;
+use hdoms_oms::candidates::CandidateIndex;
+use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig, ReferenceCatalog};
+use hdoms_oms::psm::table_rows;
+use hdoms_oms::search::candidate_lists;
+use std::time::Instant;
+
+/// One index held resident in a [`Server`]: the loaded [`LibraryIndex`]
+/// (the reference catalog) plus the shard-parallel backend reconstructed
+/// from it.
+///
+/// Backend and index **share** one reference-hypervector table (see
+/// [`LibraryIndex::shared_references`]), so residency costs one copy of
+/// the encoded library, not two.
+pub struct ResidentIndex {
+    name: String,
+    index: LibraryIndex,
+    backend: ShardedBackend,
+    peptides: Vec<String>,
+    /// Mass-sorted candidate index, built once at registration so each
+    /// batch pays candidate *lookup*, not candidate-index construction.
+    candidates: CandidateIndex,
+}
+
+impl ResidentIndex {
+    /// The name the index was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loaded index.
+    pub fn index(&self) -> &LibraryIndex {
+        &self.index
+    }
+
+    /// The resident shard-parallel backend.
+    pub fn backend(&self) -> &ShardedBackend {
+        &self.backend
+    }
+
+    /// The one-line summary reported by `list_indexes`.
+    pub fn summary(&self) -> IndexSummary {
+        IndexSummary {
+            name: self.name.clone(),
+            backend: self.index.kind().name().to_owned(),
+            dim: self.index.dim(),
+            entries: self.index.entry_count(),
+            shards: self.index.shards().len(),
+        }
+    }
+}
+
+/// A long-lived batch query server over one or more warm `.hdx` indexes.
+///
+/// Load indexes once at startup ([`Server::add_index`]), then answer any
+/// number of query batches ([`Server::handle`] /
+/// [`Server::query_batch`]) without re-encoding, re-loading, or
+/// duplicating the encoded library. The server is `Sync`: wrap it in an
+/// [`std::sync::Arc`] and every connection thread can serve batches
+/// concurrently (see [`crate::net`]).
+///
+/// ```
+/// use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind};
+/// use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+/// use hdoms_serve::protocol::{QuerySpectrum, QueryRequest, WindowKind};
+/// use hdoms_serve::server::Server;
+///
+/// let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 42);
+/// let mut config = IndexConfig::default();
+/// config.threads = 2;
+/// if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+///     exact.encoder.dim = 2048;
+/// }
+/// let index = IndexBuilder::new(config).from_library(&workload.library);
+///
+/// let mut server = Server::new(2);
+/// server.add_index("tiny", index).unwrap();
+///
+/// let result = server
+///     .query_batch(&QueryRequest {
+///         index: "tiny".to_owned(),
+///         window: WindowKind::Open,
+///         fdr: 0.01,
+///         spectra: workload.queries.iter().map(QuerySpectrum::from_spectrum).collect(),
+///     })
+///     .unwrap();
+/// assert_eq!(result.stats.queries, workload.queries.len());
+/// assert!(result.stats.identifications > 0);
+/// ```
+pub struct Server {
+    indexes: Vec<ResidentIndex>,
+    threads: usize,
+}
+
+impl Server {
+    /// A server whose backends search over `threads` worker threads.
+    pub fn new(threads: usize) -> Server {
+        Server {
+            indexes: Vec::new(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// Register `index` under `name` and make it resident: the
+    /// shard-parallel backend is reconstructed once, sharing the index's
+    /// reference table.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a duplicate name or an index whose backend cannot be
+    /// reconstructed (see [`LibraryIndex::sharded_backend`]).
+    pub fn add_index(&mut self, name: &str, index: LibraryIndex) -> Result<(), IndexError> {
+        if name.is_empty() {
+            return Err(IndexError::Invalid("index name must be non-empty".into()));
+        }
+        if self.indexes.iter().any(|r| r.name == name) {
+            return Err(IndexError::Invalid(format!(
+                "an index named {name:?} is already resident"
+            )));
+        }
+        let backend = index.sharded_backend(self.threads)?;
+        let peptides = index.peptides_by_id();
+        let candidates = index.candidate_index();
+        self.indexes.push(ResidentIndex {
+            name: name.to_owned(),
+            index,
+            backend,
+            peptides,
+            candidates,
+        });
+        Ok(())
+    }
+
+    /// The resident indexes, in registration order.
+    pub fn indexes(&self) -> &[ResidentIndex] {
+        &self.indexes
+    }
+
+    /// Answer one protocol request. Failures become
+    /// [`Response::Error`] — this never panics on wire input.
+    pub fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong {
+                protocol: PROTOCOL_VERSION,
+            },
+            Request::ListIndexes => {
+                Response::Indexes(self.indexes.iter().map(ResidentIndex::summary).collect())
+            }
+            Request::Query(q) => match self.query_batch(q) {
+                Ok(result) => Response::Result(result),
+                Err(message) => Response::Error { message },
+            },
+        }
+    }
+
+    /// Run one query batch against a resident index and report the PSM
+    /// rows plus batch statistics.
+    ///
+    /// The search path is exactly the `search --index --sharded` path of
+    /// the CLI (same pipeline, same backend), so the returned rows render
+    /// to a byte-identical PSM table.
+    ///
+    /// # Errors
+    ///
+    /// Unknown index name, invalid FDR level, or malformed spectra.
+    pub fn query_batch(&self, request: &QueryRequest) -> Result<QueryResult, String> {
+        let resident = self
+            .indexes
+            .iter()
+            .find(|r| r.name == request.index)
+            .ok_or_else(|| format!("unknown index {:?}", request.index))?;
+        if !(request.fdr > 0.0 && request.fdr < 1.0) {
+            return Err(format!("fdr {} outside (0, 1)", request.fdr));
+        }
+        let spectra: Vec<Spectrum> = request
+            .spectra
+            .iter()
+            .map(|s| s.to_spectrum())
+            .collect::<Result<_, String>>()?;
+
+        let start = Instant::now();
+        let window = request.window.window();
+        let mut config = PipelineConfig {
+            window,
+            fdr_level: request.fdr,
+            threads: self.threads,
+            ..PipelineConfig::default()
+        };
+        // Queries must be preprocessed exactly like the indexed library.
+        config.preprocess = resident.index.kind().preprocess();
+        let pipeline = OmsPipeline::new(config);
+        // Prepare once — preprocessing and candidate lookup against the
+        // resident candidate index — then both the search and the batch
+        // stats consume the same intermediates (no duplicated work, and
+        // per-batch cost scales with the batch, not the library).
+        let pre = Preprocessor::new(config.preprocess);
+        let (binned, rejected) = pre.run_batch(&spectra);
+        let cands = candidate_lists(&resident.candidates, &window, &binned);
+        let outcome = pipeline.run_prepared(
+            spectra.len(),
+            &binned,
+            rejected,
+            &cands,
+            &resident.index,
+            &resident.backend,
+        );
+        let candidates_scored = cands.iter().map(Vec::len).sum();
+        let shards_touched = resident.backend.shards_touched(&cands);
+        let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let rows = table_rows(&resident.peptides, &outcome);
+        Ok(QueryResult {
+            index: resident.name.clone(),
+            stats: BatchStats {
+                latency_ms,
+                queries: outcome.total_queries,
+                rejected_queries: outcome.rejected_queries,
+                psms: outcome.psms.len(),
+                identifications: outcome.identifications(),
+                threshold_score: outcome.threshold_score,
+                shards_touched,
+                candidates_scored,
+                backend: outcome.backend_name.clone(),
+            },
+            rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{QuerySpectrum, WindowKind};
+    use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind};
+    use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+
+    fn tiny_server() -> (SyntheticWorkload, Server) {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 77);
+        let mut config = IndexConfig {
+            entries_per_shard: 64,
+            threads: 4,
+            ..IndexConfig::default()
+        };
+        if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+            exact.encoder.dim = 2048;
+        }
+        let index = IndexBuilder::new(config).from_library(&workload.library);
+        let mut server = Server::new(4);
+        server.add_index("tiny", index).unwrap();
+        (workload, server)
+    }
+
+    fn batch_of(workload: &SyntheticWorkload) -> Vec<QuerySpectrum> {
+        workload
+            .queries
+            .iter()
+            .map(QuerySpectrum::from_spectrum)
+            .collect()
+    }
+
+    #[test]
+    fn ping_and_listing() {
+        let (_, server) = tiny_server();
+        assert_eq!(
+            server.handle(&Request::Ping),
+            Response::Pong {
+                protocol: PROTOCOL_VERSION
+            }
+        );
+        let Response::Indexes(list) = server.handle(&Request::ListIndexes) else {
+            panic!("expected index listing");
+        };
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].name, "tiny");
+        assert_eq!(list[0].backend, "exact");
+        assert_eq!(list[0].dim, 2048);
+        assert!(list[0].shards >= 2);
+    }
+
+    #[test]
+    fn query_batch_reports_stats_and_rows() {
+        let (workload, server) = tiny_server();
+        let result = server
+            .query_batch(&QueryRequest {
+                index: "tiny".to_owned(),
+                window: WindowKind::Open,
+                fdr: 0.01,
+                spectra: batch_of(&workload),
+            })
+            .unwrap();
+        assert_eq!(result.stats.queries, workload.queries.len());
+        assert!(result.stats.identifications > 10);
+        assert!(result.stats.candidates_scored > 0);
+        assert!(result.stats.shards_touched >= result.rows.len());
+        assert!(result.stats.latency_ms > 0.0);
+        assert_eq!(
+            result.rows.iter().filter(|r| r.accepted).count(),
+            result.stats.identifications
+        );
+        // Every accepted row carries a peptide (the catalog side works).
+        assert!(result
+            .rows
+            .iter()
+            .filter(|r| r.accepted)
+            .all(|r| !r.peptide.is_empty()));
+    }
+
+    #[test]
+    fn served_batches_are_deterministic() {
+        let (workload, server) = tiny_server();
+        let request = QueryRequest {
+            index: "tiny".to_owned(),
+            window: WindowKind::Open,
+            fdr: 0.01,
+            spectra: batch_of(&workload),
+        };
+        let a = server.query_batch(&request).unwrap();
+        let b = server.query_batch(&request).unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn unknown_index_and_bad_fdr_are_errors_not_panics() {
+        let (workload, server) = tiny_server();
+        let mut request = QueryRequest {
+            index: "nope".to_owned(),
+            window: WindowKind::Open,
+            fdr: 0.01,
+            spectra: batch_of(&workload),
+        };
+        assert!(matches!(
+            server.handle(&Request::Query(request.clone())),
+            Response::Error { .. }
+        ));
+        request.index = "tiny".to_owned();
+        request.fdr = 0.0;
+        assert!(server.query_batch(&request).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (workload, mut server) = tiny_server();
+        let mut config = IndexConfig {
+            threads: 2,
+            ..IndexConfig::default()
+        };
+        if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+            exact.encoder.dim = 2048;
+        }
+        let index = IndexBuilder::new(config).from_library(&workload.library);
+        assert!(server.add_index("tiny", index).is_err());
+    }
+
+    #[test]
+    fn resident_backend_shares_index_storage() {
+        let (_, server) = tiny_server();
+        let resident = &server.indexes()[0];
+        // The resident pair holds ONE copy of the encoded library: the
+        // index's shared table has exactly two handles (index + backend's
+        // scorer), and no hypervector words were cloned.
+        assert_eq!(
+            std::sync::Arc::strong_count(resident.index().shared_references()),
+            2
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end acceptance: a `serve` + `query` round-trip over real TCP
+//! must produce a PSM table **byte-identical** to the local
+//! `search --index` path, on both the tiny and iPRG2012(0.01) presets.
+
+use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind, LibraryIndex};
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
+use hdoms_oms::psm::{render_table, render_table_rows};
+use hdoms_oms::window::PrecursorWindow;
+use hdoms_serve::net::{serve_listener, Client};
+use hdoms_serve::protocol::{
+    QueryRequest, QuerySpectrum, Request, Response, WindowKind, PROTOCOL_VERSION,
+};
+use hdoms_serve::server::Server;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+const THREADS: usize = 4;
+const DIM: usize = 2048;
+
+fn build_index(library: &hdoms_ms::library::SpectralLibrary) -> LibraryIndex {
+    let mut config = IndexConfig {
+        entries_per_shard: 512,
+        threads: THREADS,
+        ..IndexConfig::default()
+    };
+    if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+        exact.encoder.dim = DIM;
+    }
+    IndexBuilder::new(config).from_library(library)
+}
+
+/// The CLI `search --index --sharded` path, in process: same pipeline
+/// configuration `pipeline_for` builds, same sharded backend.
+fn local_search_table(index: &LibraryIndex, workload: &SyntheticWorkload) -> String {
+    let mut config = PipelineConfig {
+        window: PrecursorWindow::open_default(),
+        fdr_level: 0.01,
+        ..PipelineConfig::default()
+    };
+    config.preprocess = index.kind().preprocess();
+    let pipeline = OmsPipeline::new(config);
+    let backend = index.sharded_backend(THREADS).expect("exact kind");
+    let outcome = pipeline.run_catalog(&workload.queries, index, &backend);
+    render_table(&index.peptides_by_id(), &outcome)
+}
+
+/// Serve `index` on an ephemeral port and run one query batch through a
+/// real TCP client; return the rendered table and the reported stats.
+fn served_table(
+    index: LibraryIndex,
+    workload: &SyntheticWorkload,
+) -> (String, hdoms_serve::protocol::BatchStats) {
+    let mut server = Server::new(THREADS);
+    server.add_index("w", index).expect("index is servable");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().expect("bound");
+    std::thread::spawn(move || {
+        let _ = serve_listener(Arc::new(server), listener);
+    });
+
+    let mut client = Client::connect(addr).expect("connect");
+    // The server is up (we connected); exercise ping and listing too.
+    assert_eq!(
+        client.request(&Request::Ping).expect("ping"),
+        Response::Pong {
+            protocol: PROTOCOL_VERSION
+        }
+    );
+    let Response::Indexes(list) = client.request(&Request::ListIndexes).expect("list") else {
+        panic!("expected an index listing");
+    };
+    assert_eq!(list.len(), 1);
+    assert_eq!(list[0].name, "w");
+
+    let response = client
+        .request(&Request::Query(QueryRequest {
+            index: "w".to_owned(),
+            window: WindowKind::Open,
+            fdr: 0.01,
+            spectra: workload
+                .queries
+                .iter()
+                .map(QuerySpectrum::from_spectrum)
+                .collect(),
+        }))
+        .expect("query round-trip");
+    let Response::Result(result) = response else {
+        panic!("expected a result, got {response:?}");
+    };
+    (render_table_rows(&result.rows), result.stats)
+}
+
+fn roundtrip_is_byte_identical(spec: &WorkloadSpec, seed: u64) {
+    let workload = SyntheticWorkload::generate(spec, seed);
+    let index = build_index(&workload.library);
+    let local = local_search_table(&index, &workload);
+    let (served, stats) = served_table(index, &workload);
+    assert_eq!(
+        local, served,
+        "served PSM table differs from local search --index on {}",
+        spec.name
+    );
+    // The batch stats must describe real work.
+    assert_eq!(stats.queries, workload.queries.len());
+    assert!(
+        stats.identifications > 0,
+        "no identifications on {}",
+        spec.name
+    );
+    assert!(stats.candidates_scored > 0);
+    assert!(stats.shards_touched > 0);
+    assert!(stats.backend.starts_with("sharded("));
+}
+
+#[test]
+fn tiny_preset_roundtrips_byte_identical() {
+    roundtrip_is_byte_identical(&WorkloadSpec::tiny(), 4321);
+}
+
+#[test]
+fn iprg2012_preset_roundtrips_byte_identical() {
+    roundtrip_is_byte_identical(&WorkloadSpec::iprg2012(0.01), 4322);
+}
+
+#[test]
+fn one_connection_serves_many_batches() {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 4323);
+    let mut server = Server::new(THREADS);
+    server
+        .add_index("w", build_index(&workload.library))
+        .expect("servable");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("port");
+    let addr = listener.local_addr().expect("bound");
+    std::thread::spawn(move || {
+        let _ = serve_listener(Arc::new(server), listener);
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let request = Request::Query(QueryRequest {
+        index: "w".to_owned(),
+        window: WindowKind::Open,
+        fdr: 0.01,
+        spectra: workload
+            .queries
+            .iter()
+            .map(QuerySpectrum::from_spectrum)
+            .collect(),
+    });
+    let mut tables = Vec::new();
+    for _ in 0..3 {
+        let Response::Result(result) = client.request(&request).expect("query") else {
+            panic!("expected result");
+        };
+        tables.push(render_table_rows(&result.rows));
+    }
+    assert_eq!(tables[0], tables[1]);
+    assert_eq!(tables[1], tables[2]);
+}

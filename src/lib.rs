@@ -24,6 +24,9 @@
 //!   once, persist it (hypervectors, shard boundaries, MLC programming
 //!   state, checksums), and reload search backends warm — with
 //!   shard-parallel open search.
+//! * [`serve`] — the long-lived batch query server: resident `.hdx`
+//!   indexes, a line-framed JSON wire protocol, and per-batch serving
+//!   statistics.
 //!
 //! ## Quickstart
 //!
@@ -50,3 +53,4 @@ pub use hdoms_index as index;
 pub use hdoms_ms as ms;
 pub use hdoms_oms as oms;
 pub use hdoms_rram as rram;
+pub use hdoms_serve as serve;
