@@ -12,10 +12,14 @@
 use hdoms_baselines::annsolo::{AnnSoloBackend, AnnSoloConfig};
 use hdoms_baselines::hyperoms::{HyperOmsBackend, HyperOmsConfig};
 use hdoms_bench::{fmt, print_table, FigureOptions};
-use hdoms_core::accelerator::{AcceleratorConfig, OmsAccelerator};
+use hdoms_core::accelerator::AcceleratorConfig;
+use hdoms_engine::Engine;
+use hdoms_index::{IndexConfig, IndexedBackendKind};
 use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
 use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
+use hdoms_oms::window::PrecursorWindow;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 fn main() {
     let options = FigureOptions::parse(0.01, 8192);
@@ -30,7 +34,13 @@ fn main() {
         eprintln!("[{}] building this-work accelerator…", spec.name);
         let mut accel_cfg = AcceleratorConfig::default();
         accel_cfg.encoder.dim = options.dim;
-        let ours = OmsAccelerator::build(&workload.library, accel_cfg);
+        let ours = Arc::new(Engine::from_library(
+            &workload.library,
+            IndexConfig {
+                kind: IndexedBackendKind::Rram(accel_cfg),
+                ..IndexConfig::default()
+            },
+        ));
 
         eprintln!("[{}] building ANN-SoLo…", spec.name);
         let annsolo = AnnSoloBackend::build(&workload.library, AnnSoloConfig::default());
@@ -45,7 +55,7 @@ fn main() {
         );
 
         eprintln!("[{}] searching…", spec.name);
-        let ours_out = pipeline.run(&workload, &ours);
+        let (ours_out, _) = ours.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
         let ann_out = pipeline.run(&workload, &annsolo);
         let hyp_out = pipeline.run(&workload, &hyperoms);
 

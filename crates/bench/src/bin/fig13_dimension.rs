@@ -10,9 +10,13 @@
 //! Run: `cargo run --release -p hdoms-bench --bin fig13_dimension`
 
 use hdoms_bench::{print_table, FigureOptions};
-use hdoms_core::accelerator::{AcceleratorConfig, OmsAccelerator};
+use hdoms_core::accelerator::AcceleratorConfig;
+use hdoms_engine::Engine;
+use hdoms_index::{IndexConfig, IndexedBackendKind};
 use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
 use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
+use hdoms_oms::window::PrecursorWindow;
+use std::sync::Arc;
 
 fn main() {
     let options = FigureOptions::parse(0.02, 8192);
@@ -20,7 +24,6 @@ fn main() {
 
     let spec = WorkloadSpec::iprg2012(options.scale);
     let workload = SyntheticWorkload::generate(&spec, options.seed);
-    let pipeline = OmsPipeline::new(PipelineConfig::default());
 
     let mut ideal_row = vec!["ideal (software)".to_owned()];
     let mut rram_row = vec!["in RRAM (3 bits/cell)".to_owned()];
@@ -34,8 +37,14 @@ fn main() {
         eprintln!("dimension {dim}: RRAM accelerator…");
         let mut accel_cfg = AcceleratorConfig::default();
         accel_cfg.encoder.dim = dim;
-        let accel = OmsAccelerator::build(&workload.library, accel_cfg);
-        let hw = pipeline.run(&workload, &accel);
+        let accel = Arc::new(Engine::from_library(
+            &workload.library,
+            IndexConfig {
+                kind: IndexedBackendKind::Rram(accel_cfg),
+                ..IndexConfig::default()
+            },
+        ));
+        let (hw, _) = accel.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
         rram_row.push(hw.identifications().to_string());
     }
 

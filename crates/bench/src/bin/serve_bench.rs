@@ -12,10 +12,16 @@
 //!   resident index,
 //! * `mean_latency_ms_batch_1` — mean per-request latency in the
 //!   interactive regime,
+//! * `qps_session_16` — streaming-session throughput: 16-query batches
+//!   submitted through one session and FDR-finalized once at the end
+//!   (the cross-batch FDR mode),
 //! * `shards_touched` / `candidates_scored` — the per-batch stats the
 //!   server reports, summed over the full-batch run,
 //! * `psms_identical` — whether the served full-batch rows render to the
-//!   exact table a local `search --index` produces.
+//!   exact table a local `search --index` produces,
+//! * `session_identical` — whether the 16-batch streamed session's
+//!   finalized rows render to that same single-run table (they must:
+//!   that is the session contract).
 //!
 //! The JSON object is printed as the **last line** of stdout so the perf
 //! trajectory can be tracked with `... | tail -1 | <tool>`.
@@ -25,7 +31,6 @@
 use hdoms_bench::FigureOptions;
 use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind, LibraryIndex};
 use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
-use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
 use hdoms_oms::psm::{render_table, render_table_rows};
 use hdoms_oms::search::ExactBackendConfig;
 use hdoms_oms::window::PrecursorWindow;
@@ -52,7 +57,7 @@ fn main() {
     // Residency: what one process start costs before the first answer.
     let start = Instant::now();
     let loaded = LibraryIndex::from_bytes(&bytes, THREADS).expect("index bytes are valid");
-    let mut server = Server::new(THREADS);
+    let server = Server::new(THREADS);
     server.add_index("bench", loaded).expect("servable index");
     let residency_s = start.elapsed().as_secs_f64();
 
@@ -101,36 +106,47 @@ fn main() {
     let (qps_16, _, _, _, _) = timed(16);
     let (qps_1, latency_1, _, _, _) = timed(1);
 
-    // Fidelity: the served full batch must render the local table.
-    let mut config = PipelineConfig {
-        window: PrecursorWindow::open_default(),
-        fdr_level: 0.01,
-        ..PipelineConfig::default()
-    };
-    let resident = &server.indexes()[0];
-    config.preprocess = resident.index().kind().preprocess();
-    let pipeline = OmsPipeline::new(config);
-    let outcome = pipeline.run_catalog(&workload.queries, resident.index(), resident.backend());
-    let local_table = render_table(&resident.index().peptides_by_id(), &outcome);
+    // Streaming session: 16-query batches through one session, FDR
+    // finalized once over everything (the cross-batch FDR mode).
+    let session_start = Instant::now();
+    let session = server
+        .open_session("bench", WindowKind::Open.window())
+        .expect("session opens");
+    for batch in spectra.chunks(16) {
+        server
+            .submit_session(session, batch)
+            .expect("session batch");
+    }
+    let session_result = server
+        .finalize_session(session, 0.01)
+        .expect("session finalize");
+    let qps_session_16 = spectra.len() as f64 / session_start.elapsed().as_secs_f64().max(1e-9);
+
+    // Fidelity: the served full batch and the streamed session must
+    // both render the local engine's table.
+    let engine = server.engine("bench").expect("resident engine");
+    let (outcome, _) = engine.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
+    let local_table = render_table(engine.peptides(), &outcome);
     let psms_identical = render_table_rows(&served_rows) == local_table;
+    let session_identical = render_table_rows(&session_result.rows) == local_table;
+    let resident = engine.index().expect("index-backed engine");
 
     println!(
         "== serve bench ({}, dim {}) ==",
         workload.spec.name, options.dim
     );
-    println!("references          {:>10}", resident.index().entry_count());
-    println!(
-        "shards              {:>10}",
-        resident.index().shards().len()
-    );
+    println!("references          {:>10}", resident.entry_count());
+    println!("shards              {:>10}", resident.shards().len());
     println!("queries             {:>10}", spectra.len());
     println!("residency           {residency_s:>10.3} s (load + warm backend, once per process)");
     println!("served, one batch   {qps_full:>10.1} queries/s");
     println!("served, batch=16    {qps_16:>10.1} queries/s");
     println!("served, batch=1     {qps_1:>10.1} queries/s   ({latency_1:.2} ms/request)");
+    println!("session, batch=16   {qps_session_16:>10.1} queries/s (cross-batch FDR)");
     println!("shards touched      {shards_touched:>10}");
     println!("candidates scored   {candidates_scored:>10}");
     println!("identical PSMs      {psms_identical:>10}");
+    println!("session identical   {session_identical:>10}");
 
     // Machine-readable trailer (hand-rolled: the workspace serde is a
     // no-op shim).
@@ -138,22 +154,24 @@ fn main() {
         "{{\"bench\":\"serve\",\"workload\":\"{}\",\"dim\":{},\"scale\":{},\"seed\":{},\
          \"references\":{},\"shards\":{},\"queries\":{},\"residency_s\":{:.6},\
          \"qps_batch_full\":{:.3},\"qps_batch_16\":{:.3},\"qps_batch_1\":{:.3},\
-         \"mean_latency_ms_batch_1\":{:.4},\"shards_touched\":{},\
-         \"candidates_scored\":{},\"psms_identical\":{}}}",
+         \"mean_latency_ms_batch_1\":{:.4},\"qps_session_16\":{:.3},\"shards_touched\":{},\
+         \"candidates_scored\":{},\"psms_identical\":{},\"session_identical\":{}}}",
         workload.spec.name,
         options.dim,
         options.scale,
         options.seed,
-        resident.index().entry_count(),
-        resident.index().shards().len(),
+        resident.entry_count(),
+        resident.shards().len(),
         spectra.len(),
         residency_s,
         qps_full,
         qps_16,
         qps_1,
         latency_1,
+        qps_session_16,
         shards_touched,
         candidates_scored,
         psms_identical,
+        session_identical,
     );
 }

@@ -3,17 +3,18 @@
 use crate::library_io::{read_library, write_library};
 use crate::opts::Flags;
 use hdoms_baselines::annsolo::{AnnSoloBackend, AnnSoloConfig};
-use hdoms_baselines::hyperoms::{HyperOmsBackend, HyperOmsConfig};
+use hdoms_baselines::hyperoms::HyperOmsConfig;
 use hdoms_core::accelerator::AcceleratorConfig;
+use hdoms_engine::{Engine, ReferenceMeta};
 use hdoms_index::{IndexBuilder, IndexConfig, IndexReader, IndexedBackendKind, LibraryIndex};
 use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
 use hdoms_ms::library::SpectralLibrary;
 use hdoms_ms::mgf::{read_mgf, write_mgf};
 use hdoms_ms::spectrum::Spectrum;
-use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig, PipelineOutcome};
+use hdoms_oms::pipeline::PipelineOutcome;
 use hdoms_oms::profile::{common_catalogue, DeltaMassProfile};
 use hdoms_oms::psm::{parse_table, render_table, Psm};
-use hdoms_oms::search::{ExactBackend, ExactBackendConfig};
+use hdoms_oms::search::ExactBackendConfig;
 use hdoms_oms::window::PrecursorWindow;
 use hdoms_rram::chip::ChipSpec;
 use hdoms_rram::config::MlcConfig;
@@ -84,65 +85,54 @@ fn read_library_file(path: &str) -> Result<SpectralLibrary, String> {
 }
 
 /// What `search`/`compare` run a query batch against.
+#[allow(clippy::large_enum_variant)] // one instance per invocation
 enum SearchTarget<'a> {
-    /// A raw library: the backend is built cold before searching.
+    /// A raw library: the engine is built cold before searching.
     Cold(&'a SpectralLibrary),
-    /// A prebuilt index: the backend is reconstructed warm.
-    Warm(&'a LibraryIndex),
+    /// A prebuilt index, moved into the engine (no metadata copy).
+    Warm(LibraryIndex),
 }
 
-/// One configured backend run; returns the outcome plus a peptide lookup
-/// for the PSM table.
-fn run_backend(
+/// Wire the one engine every search path runs through: cold builds
+/// (`exact`/`hyperoms`/`rram` encode the library and shard it;
+/// `annsolo` plugs its backend in directly) and warm index loads
+/// (sharded by default, flat with `--sharded false`).
+fn engine_for(
     spec: &str,
-    target: &SearchTarget<'_>,
-    queries: &[Spectrum],
-    pipeline: &OmsPipeline,
+    target: SearchTarget<'_>,
     dim: usize,
     sharded: bool,
     threads: usize,
-) -> Result<(PipelineOutcome, Vec<String>), String> {
-    match target {
+) -> Result<Arc<Engine>, String> {
+    let engine = match target {
         SearchTarget::Cold(library) => {
-            let library: &SpectralLibrary = library;
-            let peptides: Vec<String> = library.iter().map(|e| e.peptide.to_string()).collect();
-            let outcome = match spec {
+            let kind = match spec {
                 "exact" => {
                     let mut config = ExactBackendConfig::default();
-                    config.preprocess = pipeline.config().preprocess;
                     config.encoder.dim = dim;
-                    config.threads = threads;
-                    let backend = ExactBackend::build(library, config);
-                    pipeline.run_catalog(queries, library, &backend)
+                    IndexedBackendKind::Exact(config)
                 }
-                "annsolo" => {
-                    let backend = AnnSoloBackend::build(
-                        library,
-                        AnnSoloConfig {
-                            threads,
-                            ..AnnSoloConfig::default()
-                        },
-                    );
-                    pipeline.run_catalog(queries, library, &backend)
-                }
-                "hyperoms" => {
-                    let backend = HyperOmsBackend::build(
-                        library,
-                        HyperOmsConfig {
-                            dim,
-                            threads,
-                            ..HyperOmsConfig::default()
-                        },
-                    );
-                    pipeline.run_catalog(queries, library, &backend)
-                }
+                "hyperoms" => IndexedBackendKind::HyperOms(HyperOmsConfig {
+                    dim,
+                    ..HyperOmsConfig::default()
+                }),
                 "rram" => {
                     let mut config = AcceleratorConfig::default();
-                    config.preprocess = pipeline.config().preprocess;
                     config.encoder.dim = dim;
-                    config.threads = threads;
-                    let backend = hdoms_core::accelerator::OmsAccelerator::build(library, config);
-                    pipeline.run_catalog(queries, library, &backend)
+                    IndexedBackendKind::Rram(config)
+                }
+                "annsolo" => {
+                    let config = AnnSoloConfig {
+                        threads,
+                        ..AnnSoloConfig::default()
+                    };
+                    let backend = AnnSoloBackend::build(library, config);
+                    return Ok(Arc::new(Engine::from_backend(
+                        Box::new(backend),
+                        config.preprocess,
+                        ReferenceMeta::from_library(library),
+                        threads,
+                    )));
                 }
                 other => {
                     return Err(format!(
@@ -151,56 +141,24 @@ fn run_backend(
                     ))
                 }
             };
-            Ok((outcome, peptides))
+            Engine::from_library(
+                library,
+                IndexConfig {
+                    kind,
+                    threads,
+                    ..IndexConfig::default()
+                },
+            )
         }
         SearchTarget::Warm(index) => {
-            let index: &LibraryIndex = index;
-            let peptides = index.peptides_by_id();
-            let outcome = if sharded {
-                let backend = index.sharded_backend(threads).map_err(|e| e.to_string())?;
-                pipeline.run_catalog(queries, index, &backend)
+            if sharded {
+                Engine::from_index(index, threads).map_err(|e| e.to_string())?
             } else {
-                match index.kind() {
-                    IndexedBackendKind::Exact(_) => {
-                        let backend = index.to_exact_backend(threads).map_err(|e| e.to_string())?;
-                        pipeline.run_catalog(queries, index, &backend)
-                    }
-                    IndexedBackendKind::HyperOms(_) => {
-                        let backend = index
-                            .to_hyperoms_backend(threads)
-                            .map_err(|e| e.to_string())?;
-                        pipeline.run_catalog(queries, index, &backend)
-                    }
-                    IndexedBackendKind::Rram(_) => {
-                        let backend = index.to_accelerator(threads).map_err(|e| e.to_string())?;
-                        pipeline.run_catalog(queries, index, &backend)
-                    }
-                }
-            };
-            Ok((outcome, peptides))
+                Engine::from_index_flat(index, threads).map_err(|e| e.to_string())?
+            }
         }
-    }
-}
-
-/// Pipeline configuration shared by `search` and `compare`. For warm
-/// targets the preprocessing is taken from the index (queries must be
-/// preprocessed exactly like the indexed library was).
-fn pipeline_for(
-    target: &SearchTarget<'_>,
-    window: PrecursorWindow,
-    fdr: f64,
-    dim: usize,
-) -> OmsPipeline {
-    let mut config = PipelineConfig {
-        window,
-        fdr_level: fdr,
-        ..PipelineConfig::default()
     };
-    config.exact.encoder.dim = dim;
-    if let SearchTarget::Warm(index) = target {
-        config.preprocess = index.kind().preprocess();
-    }
-    OmsPipeline::new(config)
+    Ok(Arc::new(engine))
 }
 
 fn parse_window(flags: &Flags) -> Result<PrecursorWindow, String> {
@@ -229,7 +187,6 @@ pub fn search(args: &[String]) -> Result<(), String> {
     let backend_name = flags.get("backend").unwrap_or("exact").to_owned();
 
     let queries = read_queries(queries_path)?;
-    let loaded_index;
     let loaded_library;
     let target = match (flags.get("index"), flags.get("library")) {
         (Some(_), _) if flags.get("backend").is_some() => {
@@ -240,10 +197,10 @@ pub fn search(args: &[String]) -> Result<(), String> {
             )
         }
         (Some(index_path), _) => {
-            loaded_index = IndexReader::with_threads(threads)
+            let loaded_index = IndexReader::with_threads(threads)
                 .open_with(Path::new(index_path))
                 .map_err(|e| e.to_string())?;
-            SearchTarget::Warm(&loaded_index)
+            SearchTarget::Warm(loaded_index)
         }
         (None, Some(library_path)) => {
             loaded_library = read_library_file(library_path)?;
@@ -252,18 +209,10 @@ pub fn search(args: &[String]) -> Result<(), String> {
         (None, None) => return Err("search needs --library or --index".to_owned()),
     };
 
-    let pipeline = pipeline_for(&target, window, fdr, dim);
-    let (outcome, peptides) = run_backend(
-        &backend_name,
-        &target,
-        &queries,
-        &pipeline,
-        dim,
-        sharded,
-        threads,
-    )?;
+    let engine = engine_for(&backend_name, target, dim, sharded, threads)?;
+    let (outcome, _) = engine.search(&queries, window, fdr);
 
-    fs::write(out_path, render_table(&peptides, &outcome)).map_err(|e| e.to_string())?;
+    fs::write(out_path, render_table(engine.peptides(), &outcome)).map_err(|e| e.to_string())?;
     println!(
         "{}: {} of {} queries identified at {:.1}% FDR (threshold score {:.4}); \
          table written to {out_path}",
@@ -449,8 +398,10 @@ pub fn compare(args: &[String]) -> Result<(), String> {
                 let Some(index) = &loaded_index else {
                     return Err(format!("backend spec {spec:?} needs --index"));
                 };
+                // Clone here (not in engine_for): both compare specs may
+                // target the same loaded index.
                 (
-                    SearchTarget::Warm(index),
+                    SearchTarget::Warm(index.clone()),
                     index.kind().name().to_owned(),
                     spec == "index-sharded",
                 )
@@ -462,16 +413,8 @@ pub fn compare(args: &[String]) -> Result<(), String> {
                 (SearchTarget::Cold(library), cold.to_owned(), false)
             }
         };
-        let pipeline = pipeline_for(&target, window, fdr, dim);
-        let (outcome, _) = run_backend(
-            &backend_name,
-            &target,
-            &queries,
-            &pipeline,
-            dim,
-            sharded,
-            threads,
-        )?;
+        let engine = engine_for(&backend_name, target, dim, sharded, threads)?;
+        let (outcome, _) = engine.search(&queries, window, fdr);
         Ok(outcome)
     };
 
@@ -560,7 +503,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         _ => {}
     }
 
-    let mut server = Server::new(threads);
+    let server = Server::new(threads);
     for spec in specs {
         let Some((name, path)) = spec.split_once('=') else {
             return Err(format!("--index takes <name>=<path.hdx>, got {spec:?}"));
@@ -569,18 +512,15 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             .open_with(Path::new(path))
             .map_err(|e| format!("loading {path}: {e}"))?;
         server.add_index(name, index).map_err(|e| e.to_string())?;
-        let resident = server.indexes().last().expect("just added");
+        let resident = server.summaries().pop().expect("just added");
         eprintln!(
             "resident: {name} ({} backend, {} entries, {} shards, dim {})",
-            resident.index().kind().name(),
-            resident.index().entry_count(),
-            resident.index().shards().len(),
-            resident.index().dim(),
+            resident.backend, resident.entries, resident.shards, resident.dim,
         );
     }
 
     if stdio {
-        eprintln!("serving on stdio ({} indexes)", server.indexes().len());
+        eprintln!("serving on stdio ({} indexes)", server.summaries().len());
         return serve_stdio(&server).map_err(|e| e.to_string());
     }
     let addr = listen.expect("checked above");
@@ -588,13 +528,18 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     eprintln!(
         "serving on {} ({} indexes)",
         listener.local_addr().map_err(|e| e.to_string())?,
-        server.indexes().len()
+        server.summaries().len()
     );
     serve_listener(Arc::new(server), listener).map_err(|e| e.to_string())
 }
 
 /// `hdoms query`: send MGF queries to a running `hdoms serve` and write
 /// the returned PSM table (byte-identical to a local `search --index`).
+///
+/// With `--session true` the batches stream through one server-side
+/// session and FDR is filtered **once over all of them** at finalize —
+/// so any `--batch-size` reproduces the local single-run table. Without
+/// it each batch is filtered alone (the per-batch compatibility mode).
 pub fn query(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.check_known(&[
@@ -605,6 +550,7 @@ pub fn query(args: &[String]) -> Result<(), String> {
         "window",
         "fdr",
         "batch-size",
+        "session",
     ])?;
     let addr = flags.require("addr")?;
     let queries_path = flags.require("queries")?;
@@ -612,6 +558,7 @@ pub fn query(args: &[String]) -> Result<(), String> {
     let out_path = flags.require("out")?;
     let fdr: f64 = flags.get_or("fdr", 0.01)?;
     let batch_size: usize = flags.get_or("batch-size", 0)?;
+    let use_session: bool = flags.get_or("session", false)?;
     let window = WindowKind::parse(flags.get("window").unwrap_or("open"))?;
 
     let queries = read_queries(queries_path)?;
@@ -623,46 +570,97 @@ pub fn query(args: &[String]) -> Result<(), String> {
     };
 
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut rows = Vec::new();
-    let mut latency_ms = 0.0f64;
-    let mut identifications = 0usize;
-    let mut shards_touched = 0usize;
-    let mut candidates_scored = 0usize;
-    let mut backend = String::new();
-    for batch in &batches {
-        let response = client.request(&Request::Query(QueryRequest {
+    let fail = |response: Response| -> String {
+        match response {
+            Response::Error { message } => format!("server: {message}"),
+            other => format!("unexpected response {other:?}"),
+        }
+    };
+
+    let (rows, latency_ms, identifications, shards_touched, candidates_scored, backend);
+    if use_session {
+        // One server-side session: submit every batch, filter once.
+        let session = match client.request(&Request::SessionOpen {
             index: index_name.to_owned(),
             window,
-            fdr,
-            spectra: batch.to_vec(),
-        }))?;
-        let result = match response {
-            Response::Result(result) => result,
-            Response::Error { message } => return Err(format!("server: {message}")),
-            other => return Err(format!("unexpected response {other:?}")),
+        })? {
+            Response::SessionOpened { session, .. } => session,
+            other => return Err(fail(other)),
         };
-        latency_ms += result.stats.latency_ms;
-        identifications += result.stats.identifications;
-        shards_touched += result.stats.shards_touched;
-        candidates_scored += result.stats.candidates_scored;
-        backend = result.stats.backend.clone();
-        rows.extend(result.rows);
+        // On any mid-stream failure, close the session (best effort) so
+        // the server's session slot is not leaked before propagating.
+        let abort = |client: &mut Client, message: String| {
+            let _ = client.request(&Request::SessionClose { session });
+            message
+        };
+        for batch in &batches {
+            match client.request(&Request::SessionSubmit {
+                session,
+                spectra: batch.to_vec(),
+            }) {
+                Ok(Response::Receipt(_)) => {}
+                Ok(other) => return Err(abort(&mut client, fail(other))),
+                Err(message) => return Err(abort(&mut client, message)),
+            }
+        }
+        let result = match client.request(&Request::SessionFinalize { session, fdr }) {
+            Ok(Response::Result(result)) => result,
+            Ok(other) => return Err(abort(&mut client, fail(other))),
+            Err(message) => return Err(abort(&mut client, message)),
+        };
+        rows = result.rows;
+        latency_ms = result.stats.latency_ms;
+        identifications = result.stats.identifications;
+        shards_touched = result.stats.shards_touched;
+        candidates_scored = result.stats.candidates_scored;
+        backend = result.stats.backend;
+    } else {
+        // Per-batch mode: each batch answered (and FDR-filtered) alone.
+        let mut all_rows = Vec::new();
+        let mut totals = (0.0f64, 0usize, 0usize, 0usize, String::new());
+        for batch in &batches {
+            let result = match client.request(&Request::Query(QueryRequest {
+                index: index_name.to_owned(),
+                window,
+                fdr,
+                spectra: batch.to_vec(),
+            }))? {
+                Response::Result(result) => result,
+                other => return Err(fail(other)),
+            };
+            totals.0 += result.stats.latency_ms;
+            totals.1 += result.stats.identifications;
+            totals.2 += result.stats.shards_touched;
+            totals.3 += result.stats.candidates_scored;
+            totals.4 = result.stats.backend.clone();
+            all_rows.extend(result.rows);
+        }
+        (
+            rows,
+            latency_ms,
+            identifications,
+            shards_touched,
+            candidates_scored,
+            backend,
+        ) = (all_rows, totals.0, totals.1, totals.2, totals.3, totals.4);
     }
 
     fs::write(out_path, hdoms_oms::psm::render_table_rows(&rows)).map_err(|e| e.to_string())?;
     println!(
         "{backend} @ {addr} [{index_name}]: {identifications} of {} queries identified \
-         at {:.1}% FDR in {} batch(es); {latency_ms:.1} ms server time, \
+         at {:.1}% FDR in {} batch(es){}; {latency_ms:.1} ms server time, \
          {shards_touched} shard visits, {candidates_scored} candidates scored; \
          table written to {out_path}",
         queries.len(),
         fdr * 100.0,
         batches.len(),
+        if use_session { " [one session]" } else { "" },
     );
-    if batches.len() > 1 {
+    if batches.len() > 1 && !use_session {
         eprintln!(
             "note: FDR filtering is per batch; for a table identical to a local \
-             `search --index`, send one batch (--batch-size 0)"
+             `search --index`, send one batch (--batch-size 0) or stream them \
+             through one session (--session true)"
         );
     }
     Ok(())
@@ -727,6 +725,7 @@ pub fn chip(args: &[String]) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
 
     #[test]
     fn psm_table_roundtrip() {

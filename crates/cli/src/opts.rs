@@ -26,7 +26,9 @@ USAGE:
                  (--listen <host:port> | --stdio true) [--threads <usize>]
   hdoms query    --addr <host:port> --queries <q.mgf> --index <name>
                  --out <psms.tsv> [--window open|standard] [--fdr <f64>]
-                 [--batch-size <usize>]
+                 [--batch-size <usize>] [--session true]
+                 (--session streams batches through one server-side
+                  session: FDR is filtered once across all of them)
   hdoms profile  --psms <psms.tsv> [--bin-width <f64>] [--min-count <usize>]
   hdoms chip     [--bits 1|2|3] [--dim <usize>] [--refs <u64>]
                  [--activated-rows <usize>]

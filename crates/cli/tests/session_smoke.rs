@@ -1,0 +1,156 @@
+//! End-to-end smoke of the served session protocol, exactly as CI runs
+//! it: build a tiny index, spawn the real `hdoms` binary serving it
+//! over **stdio**, open a session, submit two batches, finalize, and
+//! diff the returned PSM table against the local engine run. Also
+//! exercises the per-batch `query` verb (one batch must equal the local
+//! run too) so the compatibility path stays guarded.
+
+use hdoms_engine::Engine;
+use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind};
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_oms::psm::{render_table, render_table_rows};
+use hdoms_oms::window::PrecursorWindow;
+use hdoms_serve::protocol::{QuerySpectrum, Request, Response, WindowKind};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::Arc;
+
+const THREADS: usize = 4;
+const DIM: usize = 2048;
+
+struct StdioServer {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl StdioServer {
+    fn spawn(index_path: &std::path::Path) -> StdioServer {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_hdoms"))
+            .args([
+                "serve",
+                "--stdio",
+                "true",
+                "--threads",
+                &THREADS.to_string(),
+                "--index",
+                &format!("smoke={}", index_path.display()),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn hdoms serve --stdio");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        StdioServer {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    fn request(&mut self, request: &Request) -> Response {
+        let line = request.encode();
+        self.stdin
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stdin.write_all(b"\n"))
+            .and_then(|()| self.stdin.flush())
+            .expect("write request to server stdin");
+        let mut answer = String::new();
+        let n = self
+            .stdout
+            .read_line(&mut answer)
+            .expect("read response from server stdout");
+        assert!(n > 0, "server closed stdout while answering {line}");
+        Response::decode(answer.trim_end()).expect("decodable response")
+    }
+}
+
+impl Drop for StdioServer {
+    fn drop(&mut self) {
+        // Closing stdin ends the stdio session; reap the child.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn served_stdio_session_matches_local_run() {
+    // 1. A tiny workload and its persisted index.
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 31337);
+    let mut config = IndexConfig {
+        entries_per_shard: 64,
+        threads: THREADS,
+        ..IndexConfig::default()
+    };
+    if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+        exact.encoder.dim = DIM;
+    }
+    let index = IndexBuilder::new(config).from_library(&workload.library);
+    let index_path =
+        std::env::temp_dir().join(format!("hdoms-session-smoke-{}.hdx", std::process::id()));
+    index.write(&index_path).expect("persist smoke index");
+
+    // 2. The local ground truth: one engine run over all queries.
+    let engine = Arc::new(Engine::from_index(index, THREADS).expect("warm engine"));
+    let (outcome, _) = engine.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
+    let local_table = render_table(engine.peptides(), &outcome);
+
+    // 3. A real served process over stdio.
+    let mut server = StdioServer::spawn(&index_path);
+    let spectra: Vec<QuerySpectrum> = workload
+        .queries
+        .iter()
+        .map(QuerySpectrum::from_spectrum)
+        .collect();
+
+    // 4. Open a session, submit two batches, finalize.
+    let Response::SessionOpened { session, .. } = server.request(&Request::SessionOpen {
+        index: "smoke".to_owned(),
+        window: WindowKind::Open,
+    }) else {
+        panic!("expected a session id");
+    };
+    let half = spectra.len() / 2;
+    for (i, batch) in [&spectra[..half], &spectra[half..]].into_iter().enumerate() {
+        let Response::Receipt(receipt) = server.request(&Request::SessionSubmit {
+            session,
+            spectra: batch.to_vec(),
+        }) else {
+            panic!("expected a receipt");
+        };
+        assert_eq!(receipt.batch, i + 1);
+        assert_eq!(receipt.queries, batch.len());
+    }
+    let Response::Result(pooled) = server.request(&Request::SessionFinalize { session, fdr: 0.01 })
+    else {
+        panic!("expected the pooled result");
+    };
+
+    // 5. The diff that matters: two served batches + one finalize must
+    //    reproduce the local single-run table byte-for-byte.
+    assert_eq!(
+        render_table_rows(&pooled.rows),
+        local_table,
+        "served 2-batch session table differs from the local run"
+    );
+    assert_eq!(pooled.stats.queries, workload.queries.len());
+    assert!(pooled.stats.identifications > 0);
+
+    // 6. The per-batch `query` verb (old behaviour) still matches the
+    //    local run when everything goes in one batch.
+    let Response::Result(single) =
+        server.request(&Request::Query(hdoms_serve::protocol::QueryRequest {
+            index: "smoke".to_owned(),
+            window: WindowKind::Open,
+            fdr: 0.01,
+            spectra,
+        }))
+    else {
+        panic!("expected a query result");
+    };
+    assert_eq!(render_table_rows(&single.rows), local_table);
+
+    std::fs::remove_file(&index_path).ok();
+}

@@ -123,7 +123,7 @@ impl OmsAccelerator {
 
     /// Reassemble an accelerator from previously-built parts without
     /// re-encoding the library — the warm-load path behind
-    /// `hdoms-index`'s `OmsAccelerator::from_index`.
+    /// `hdoms-index`'s `LibraryIndex::to_accelerator`.
     ///
     /// `references` must be the encoded library hypervectors by dense id
     /// (`None` marks entries preprocessing rejected), exactly as a cold

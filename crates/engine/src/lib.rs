@@ -1,0 +1,690 @@
+//! # hdoms-engine — unified query execution over one resident engine
+//!
+//! Between PR 1 and PR 2 the repo grew ~10 overlapping ways to construct
+//! and run a search (cold backend builds, warm index reconstruction,
+//! shared-table reassembly, four `OmsPipeline::run*` variants, the serve
+//! layer's resident wiring). This crate collapses them into two types:
+//!
+//! * [`Engine`] — **one builder for every construction path**. Cold
+//!   ([`Engine::from_library`]), warm ([`Engine::open`] /
+//!   [`Engine::from_index`] / [`Engine::from_index_flat`]),
+//!   shared-table ([`Engine::from_shared`]), or bring-your-own backend
+//!   ([`Engine::from_backend`]). An engine owns everything a search
+//!   needs — the scoring backend, the mass-sorted candidate index, and
+//!   the per-reference metadata (mass, decoy flag, peptide) — so callers
+//!   never wire those pieces by hand again.
+//! * [`Session`] — a **stateful query stream** over an engine.
+//!   [`Session::submit`] encodes and searches one batch and accumulates
+//!   its raw PSMs; [`Session::finalize`] runs target–decoy FDR once over
+//!   *everything submitted*, so a client streaming K small batches gets
+//!   exactly the identifications a single run over the union would
+//!   produce (accumulate-then-filter, the cross-batch FDR mode the
+//!   per-batch serve protocol could not express).
+//!
+//! Byte-for-byte equivalence with the classic
+//! [`OmsPipeline`](hdoms_oms::pipeline::OmsPipeline) paths is structural,
+//! not accidental: `Session` calls the same [`assemble_psms`] /
+//! [`filter_fdr`] stages the pipeline calls, in the same order
+//! (`crates/engine/tests/equivalence.rs` asserts the rendered PSM
+//! tables are identical).
+//!
+//! ```
+//! use hdoms_engine::{Engine, Session};
+//! use hdoms_index::{IndexConfig, IndexedBackendKind};
+//! use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+//! use hdoms_oms::window::PrecursorWindow;
+//! use std::sync::Arc;
+//!
+//! let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 11);
+//! let mut config = IndexConfig {
+//!     entries_per_shard: 64,
+//!     threads: 2,
+//!     ..IndexConfig::default()
+//! };
+//! if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+//!     exact.encoder.dim = 512;
+//! }
+//! let engine = Arc::new(Engine::from_library(&workload.library, config));
+//!
+//! // Stream the queries in two batches, filter FDR once at the end.
+//! let mut session = Session::new(Arc::clone(&engine), PrecursorWindow::open_default());
+//! let half = workload.queries.len() / 2;
+//! session.submit(&workload.queries[..half]);
+//! session.submit(&workload.queries[half..]);
+//! let outcome = session.finalize(0.01);
+//! assert_eq!(outcome.total_queries, workload.queries.len());
+//! assert!(outcome.identifications() > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use hdoms_index::{
+    IndexBuilder, IndexConfig, IndexError, IndexReader, IndexedBackendKind, LibraryIndex,
+    ShardedBackend,
+};
+use hdoms_ms::library::SpectralLibrary;
+use hdoms_ms::preprocess::{BinnedSpectrum, PreprocessConfig, Preprocessor};
+use hdoms_ms::spectrum::Spectrum;
+use hdoms_oms::candidates::CandidateIndex;
+use hdoms_oms::fdr::{filter_fdr, FdrOutcome};
+use hdoms_oms::pipeline::{assemble_psms, PipelineOutcome, ReferenceCatalog};
+use hdoms_oms::psm::Psm;
+use hdoms_oms::search::{
+    ExactBackend, ExactBackendConfig, SearchHit, SharedReferences, SimilarityBackend,
+};
+use hdoms_oms::window::PrecursorWindow;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The per-reference metadata an engine needs to turn backend hits into
+/// PSMs and table rows: neutral mass (precursor delta), decoy flag
+/// (FDR), and peptide sequence (reports). Dense by reference id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReferenceMeta {
+    masses: Vec<f64>,
+    decoys: Vec<bool>,
+    peptides: Vec<String>,
+}
+
+impl ReferenceMeta {
+    /// Capture the metadata of a raw spectral library.
+    pub fn from_library(library: &SpectralLibrary) -> ReferenceMeta {
+        let mut meta = ReferenceMeta::default();
+        for entry in library.iter() {
+            meta.masses.push(entry.spectrum.neutral_mass());
+            meta.decoys.push(entry.is_decoy);
+            meta.peptides.push(entry.peptide.to_string());
+        }
+        meta
+    }
+
+    /// Capture the metadata of a loaded persistent index.
+    pub fn from_index(index: &LibraryIndex) -> ReferenceMeta {
+        let n = index.entry_count();
+        let mut meta = ReferenceMeta {
+            masses: vec![f64::NAN; n],
+            decoys: vec![false; n],
+            peptides: vec![String::new(); n],
+        };
+        for e in index.entries() {
+            meta.masses[e.id as usize] = e.neutral_mass;
+            meta.decoys[e.id as usize] = e.is_decoy;
+            meta.peptides[e.id as usize] = e.peptide.clone();
+        }
+        meta
+    }
+
+    /// Number of references described.
+    pub fn len(&self) -> usize {
+        self.masses.len()
+    }
+
+    /// Whether the metadata is empty.
+    pub fn is_empty(&self) -> bool {
+        self.masses.is_empty()
+    }
+
+    /// Peptide sequences by dense reference id.
+    pub fn peptides(&self) -> &[String] {
+        &self.peptides
+    }
+}
+
+impl ReferenceCatalog for ReferenceMeta {
+    fn reference_count(&self) -> usize {
+        self.masses.len()
+    }
+
+    fn reference_mass(&self, id: u32) -> Option<f64> {
+        self.masses.get(id as usize).copied()
+    }
+
+    fn reference_is_decoy(&self, id: u32) -> Option<bool> {
+        self.decoys.get(id as usize).copied()
+    }
+
+    fn candidate_index(&self) -> CandidateIndex {
+        CandidateIndex::from_masses(
+            self.masses
+                .iter()
+                .enumerate()
+                .map(|(id, &mass)| (mass, id as u32)),
+        )
+    }
+}
+
+/// The scoring stage an engine drives: the shard-parallel backend for
+/// index-backed engines, or any boxed [`SimilarityBackend`] otherwise.
+#[allow(clippy::large_enum_variant)] // one instance per engine, never collected
+enum EngineBackend {
+    Sharded(ShardedBackend),
+    Flat(Box<dyn SimilarityBackend + Send + Sync>),
+}
+
+impl EngineBackend {
+    fn name(&self) -> String {
+        match self {
+            EngineBackend::Sharded(b) => b.name(),
+            EngineBackend::Flat(b) => b.name(),
+        }
+    }
+
+    fn search_batch(
+        &self,
+        queries: &[BinnedSpectrum],
+        candidates: &[Vec<u32>],
+    ) -> Vec<Option<SearchHit>> {
+        match self {
+            EngineBackend::Sharded(b) => b.search_batch(queries, candidates),
+            EngineBackend::Flat(b) => b.search_batch(queries, candidates),
+        }
+    }
+
+    /// Shard visits a batch of candidate lists costs (0 for flat
+    /// backends, which have no shards to visit).
+    fn shards_touched(&self, candidates: &[Vec<u32>]) -> usize {
+        match self {
+            EngineBackend::Sharded(b) => b.shards_touched(candidates),
+            EngineBackend::Flat(_) => 0,
+        }
+    }
+}
+
+/// A fully wired, resident query engine: scoring backend + candidate
+/// index + reference metadata, constructed once and queried for the
+/// lifetime of the process.
+///
+/// Construction subsumes every path that previously required hand
+/// wiring:
+///
+/// | constructor | replaces |
+/// |---|---|
+/// | [`Engine::from_library`] | cold `ExactBackend::build` / `OmsAccelerator::build` / `HyperOmsBackend::build` + manual candidate index |
+/// | [`Engine::open`] / [`Engine::from_index`] | `IndexReader::open` + `LibraryIndex::sharded_backend` + `peptides_by_id` + `candidate_index` |
+/// | [`Engine::from_index_flat`] | `LibraryIndex::to_exact_backend` / `to_hyperoms_backend` / `to_accelerator` |
+/// | [`Engine::from_shared`] | `ExactBackend::from_shared` over an existing reference table |
+/// | [`Engine::from_backend`] | any custom [`SimilarityBackend`] (e.g. the baselines crate) |
+///
+/// Queries run through a [`Session`] (streaming, cross-batch FDR) or the
+/// one-shot [`Engine::search`] convenience (per-batch FDR, the classic
+/// behaviour).
+pub struct Engine {
+    backend: EngineBackend,
+    meta: ReferenceMeta,
+    candidates: CandidateIndex,
+    preprocess: PreprocessConfig,
+    index: Option<LibraryIndex>,
+    threads: usize,
+}
+
+impl Engine {
+    /// **Cold** construction: encode `library` with the configured
+    /// backend kind, shard it by precursor mass, and wire the
+    /// shard-parallel engine. The built [`LibraryIndex`] is kept (see
+    /// [`Engine::index`]) so the one-time encoding can be persisted with
+    /// `engine.index().unwrap().write(path)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty library or invalid configuration (same
+    /// contracts as [`IndexBuilder`]).
+    pub fn from_library(library: &SpectralLibrary, config: IndexConfig) -> Engine {
+        let threads = config.threads;
+        let index = IndexBuilder::new(config).from_library(library);
+        Engine::from_index(index, threads)
+            .expect("an index built here always reconstructs its own kind")
+    }
+
+    /// **Warm** construction from a `.hdx` file: load, validate, and wire
+    /// the shard-parallel engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load failures ([`IndexError`]).
+    pub fn open(path: &Path, threads: usize) -> Result<Engine, IndexError> {
+        let index = IndexReader::with_threads(threads).open_with(path)?;
+        Engine::from_index(index, threads)
+    }
+
+    /// **Warm** construction from an already-loaded index, with the
+    /// shard-parallel backend. The engine and the index share one copy
+    /// of the encoded library (see [`LibraryIndex::shared_references`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the index cannot reconstruct its backend kind.
+    pub fn from_index(index: LibraryIndex, threads: usize) -> Result<Engine, IndexError> {
+        let backend = index.sharded_backend(threads)?;
+        let meta = ReferenceMeta::from_index(&index);
+        let candidates = index.candidate_index();
+        Ok(Engine {
+            backend: EngineBackend::Sharded(backend),
+            meta,
+            candidates,
+            preprocess: index.kind().preprocess(),
+            index: Some(index),
+            threads: threads.max(1),
+        })
+    }
+
+    /// Like [`Engine::from_index`] but with the **flat** (unsharded)
+    /// backend of the index's kind — the `search --sharded false` mode,
+    /// kept for apples-to-apples comparisons against the sharded walk.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the index cannot reconstruct its backend kind.
+    pub fn from_index_flat(index: LibraryIndex, threads: usize) -> Result<Engine, IndexError> {
+        let backend: Box<dyn SimilarityBackend + Send + Sync> = match index.kind() {
+            IndexedBackendKind::Exact(_) => Box::new(index.to_exact_backend(threads)?),
+            IndexedBackendKind::HyperOms(_) => Box::new(index.to_hyperoms_backend(threads)?),
+            IndexedBackendKind::Rram(_) => Box::new(index.to_accelerator(threads)?),
+        };
+        let meta = ReferenceMeta::from_index(&index);
+        let candidates = index.candidate_index();
+        Ok(Engine {
+            backend: EngineBackend::Flat(backend),
+            meta,
+            candidates,
+            preprocess: index.kind().preprocess(),
+            index: Some(index),
+            threads: threads.max(1),
+        })
+    }
+
+    /// Construction over an **existing shared reference table**: the
+    /// engine holds another `Arc` handle to `references` instead of a
+    /// copy (the `ExactBackend::from_shared` path, with the candidate
+    /// index and catalog wiring done here instead of by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `references` and `meta` disagree in length or a stored
+    /// hypervector's dimension disagrees with the encoder configuration.
+    pub fn from_shared(
+        config: ExactBackendConfig,
+        references: SharedReferences,
+        meta: ReferenceMeta,
+        threads: usize,
+    ) -> Engine {
+        assert_eq!(
+            references.len(),
+            meta.len(),
+            "reference table and metadata must describe the same references"
+        );
+        let preprocess = config.preprocess;
+        let backend = ExactBackend::from_shared(config, references);
+        let candidates = meta.candidate_index();
+        Engine {
+            backend: EngineBackend::Flat(Box::new(backend)),
+            meta,
+            candidates,
+            preprocess,
+            index: None,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Construction over **any** scoring backend (the escape hatch for
+    /// backends without an index kind, e.g. the ANN-SoLo baseline).
+    /// `preprocess` must match the configuration the backend's references
+    /// were preprocessed with.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty metadata.
+    pub fn from_backend(
+        backend: Box<dyn SimilarityBackend + Send + Sync>,
+        preprocess: PreprocessConfig,
+        meta: ReferenceMeta,
+        threads: usize,
+    ) -> Engine {
+        assert!(!meta.is_empty(), "an engine needs at least one reference");
+        let candidates = meta.candidate_index();
+        Engine {
+            backend: EngineBackend::Flat(backend),
+            meta,
+            candidates,
+            preprocess,
+            index: None,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The loaded/built persistent index, for engines that have one
+    /// (cold and warm constructions; `None` for [`Engine::from_shared`]
+    /// and [`Engine::from_backend`]).
+    pub fn index(&self) -> Option<&LibraryIndex> {
+        self.index.as_ref()
+    }
+
+    /// The scoring backend's report name.
+    pub fn backend_name(&self) -> String {
+        self.backend.name()
+    }
+
+    /// The preprocessing configuration queries are run through (always
+    /// equal to what the references were encoded with).
+    pub fn preprocess(&self) -> PreprocessConfig {
+        self.preprocess
+    }
+
+    /// Number of references the engine searches over.
+    pub fn reference_count(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Peptide sequences by dense reference id (for PSM tables).
+    pub fn peptides(&self) -> &[String] {
+        self.meta.peptides()
+    }
+
+    /// The reference metadata (a [`ReferenceCatalog`]).
+    pub fn meta(&self) -> &ReferenceMeta {
+        &self.meta
+    }
+
+    /// Worker threads the engine was wired for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Open a query session (shorthand for [`Session::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid window.
+    pub fn session(self: &Arc<Self>, window: PrecursorWindow) -> Session {
+        Session::new(Arc::clone(self), window)
+    }
+
+    /// One-shot search with **per-batch** FDR — the classic
+    /// `OmsPipeline::run_catalog` behaviour (and what keeps the serve
+    /// protocol's `query` verb byte-identical to a local
+    /// `search --index`). Equivalent to one [`Session::submit`] followed
+    /// by [`Session::finalize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid window or FDR level.
+    pub fn search(
+        self: &Arc<Self>,
+        spectra: &[Spectrum],
+        window: PrecursorWindow,
+        alpha: f64,
+    ) -> (PipelineOutcome, BatchReceipt) {
+        let mut session = self.session(window);
+        let receipt = session.submit(spectra);
+        (session.finalize(alpha), receipt)
+    }
+}
+
+/// What one [`Session::submit`] did: per-batch counts plus the session's
+/// running totals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchReceipt {
+    /// 1-based ordinal of this batch within the session.
+    pub batch: usize,
+    /// Queries in this batch.
+    pub queries: usize,
+    /// Queries of this batch dropped by preprocessing (too few peaks).
+    pub rejected_queries: usize,
+    /// Best-hit PSMs this batch produced.
+    pub psms: usize,
+    /// Raw PSMs accumulated across the whole session so far.
+    pub total_psms: usize,
+    /// Candidate references scored in this batch.
+    pub candidates_scored: usize,
+    /// Shard visits this batch cost (0 on unsharded engines).
+    pub shards_touched: usize,
+    /// Wall-clock time spent on this batch, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// A stateful query stream over an [`Engine`]: submit any number of
+/// batches, then filter FDR **once** over everything submitted.
+///
+/// Submitting the same spectra in one batch or many and finalizing
+/// yields identical outcomes — the receipt-by-receipt accumulation feeds
+/// the exact inputs a single concatenated run would feed to
+/// [`filter_fdr`]. Query ids should be unique across the session's
+/// batches (duplicate ids make the `accepted` table flag ambiguous,
+/// exactly as they would inside one batch).
+pub struct Session {
+    engine: Arc<Engine>,
+    window: PrecursorWindow,
+    psms: Vec<Psm>,
+    batches: usize,
+    total_queries: usize,
+    rejected_queries: usize,
+    binned_queries: usize,
+    candidates_scored: usize,
+    shards_touched: usize,
+    latency_ms: f64,
+}
+
+impl Session {
+    /// Open a session searching under `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid window.
+    pub fn new(engine: Arc<Engine>, window: PrecursorWindow) -> Session {
+        window.validate();
+        Session {
+            engine,
+            window,
+            psms: Vec::new(),
+            batches: 0,
+            total_queries: 0,
+            rejected_queries: 0,
+            binned_queries: 0,
+            candidates_scored: 0,
+            shards_touched: 0,
+            latency_ms: 0.0,
+        }
+    }
+
+    /// The engine this session queries.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The session's precursor window.
+    pub fn window(&self) -> &PrecursorWindow {
+        &self.window
+    }
+
+    /// Batches submitted so far.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Queries submitted so far (before preprocessing).
+    pub fn total_queries(&self) -> usize {
+        self.total_queries
+    }
+
+    /// Raw PSMs accumulated so far.
+    pub fn psm_count(&self) -> usize {
+        self.psms.len()
+    }
+
+    /// Candidate references scored so far.
+    pub fn candidates_scored(&self) -> usize {
+        self.candidates_scored
+    }
+
+    /// Shard visits so far (0 on unsharded engines).
+    pub fn shards_touched(&self) -> usize {
+        self.shards_touched
+    }
+
+    /// Wall-clock milliseconds spent in [`Session::submit`] so far.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_ms
+    }
+
+    /// Encode, search, and accumulate one batch of query spectra. No FDR
+    /// filtering happens here — raw PSMs collect until
+    /// [`Session::finalize`].
+    pub fn submit(&mut self, spectra: &[Spectrum]) -> BatchReceipt {
+        let start = Instant::now();
+        let pre = Preprocessor::new(self.engine.preprocess);
+        let (binned, rejected) = pre.run_batch(spectra);
+        let cands =
+            hdoms_oms::search::candidate_lists(&self.engine.candidates, &self.window, &binned);
+        let hits = self.engine.backend.search_batch(&binned, &cands);
+        let psms = assemble_psms(&binned, &hits, &self.engine.meta);
+        let candidates_scored: usize = cands.iter().map(Vec::len).sum();
+        let shards_touched = self.engine.backend.shards_touched(&cands);
+        let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        self.batches += 1;
+        self.total_queries += spectra.len();
+        self.rejected_queries += rejected;
+        self.binned_queries += binned.len();
+        self.candidates_scored += candidates_scored;
+        self.shards_touched += shards_touched;
+        self.latency_ms += latency_ms;
+        let batch_psms = psms.len();
+        self.psms.extend(psms);
+
+        BatchReceipt {
+            batch: self.batches,
+            queries: spectra.len(),
+            rejected_queries: rejected,
+            psms: batch_psms,
+            total_psms: self.psms.len(),
+            candidates_scored,
+            shards_touched,
+            latency_ms,
+        }
+    }
+
+    /// Filter FDR at `alpha` over **all** PSMs submitted so far and close
+    /// the session. The outcome's totals cover the whole session; its
+    /// PSM list is the concatenation of every batch's PSMs in submission
+    /// order — identical to what one submit of the concatenated spectra
+    /// would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    pub fn finalize(self, alpha: f64) -> PipelineOutcome {
+        assert!(alpha > 0.0 && alpha < 1.0, "FDR level must be in (0, 1)");
+        let FdrOutcome {
+            accepted,
+            threshold_score,
+            decoys_above,
+            ..
+        } = filter_fdr(&self.psms, alpha);
+        let mean_candidates = if self.binned_queries == 0 {
+            0.0
+        } else {
+            self.candidates_scored as f64 / self.binned_queries as f64
+        };
+        PipelineOutcome {
+            backend_name: self.engine.backend.name(),
+            psms: self.psms,
+            accepted,
+            threshold_score,
+            decoys_above,
+            rejected_queries: self.rejected_queries,
+            total_queries: self.total_queries,
+            mean_candidates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+
+    fn tiny_engine(seed: u64) -> (SyntheticWorkload, Arc<Engine>) {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), seed);
+        let mut config = IndexConfig {
+            entries_per_shard: 64,
+            threads: 4,
+            ..IndexConfig::default()
+        };
+        if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+            exact.encoder.dim = 2048;
+        }
+        let engine = Arc::new(Engine::from_library(&workload.library, config));
+        (workload, engine)
+    }
+
+    #[test]
+    fn engine_keeps_its_index_and_metadata() {
+        let (workload, engine) = tiny_engine(21);
+        assert_eq!(engine.reference_count(), workload.library.len());
+        assert_eq!(engine.peptides().len(), workload.library.len());
+        let index = engine.index().expect("cold build keeps the index");
+        assert_eq!(index.entry_count(), workload.library.len());
+        assert!(engine.backend_name().starts_with("sharded("));
+    }
+
+    #[test]
+    fn receipts_account_for_every_batch() {
+        let (workload, engine) = tiny_engine(22);
+        let mut session = engine.session(PrecursorWindow::open_default());
+        let half = workload.queries.len() / 2;
+        let first = session.submit(&workload.queries[..half]);
+        let second = session.submit(&workload.queries[half..]);
+        assert_eq!(first.batch, 1);
+        assert_eq!(second.batch, 2);
+        assert_eq!(first.queries + second.queries, workload.queries.len());
+        assert_eq!(second.total_psms, first.psms + second.psms);
+        assert!(first.candidates_scored > 0);
+        assert!(first.shards_touched > 0);
+        assert_eq!(session.batches(), 2);
+        let outcome = session.finalize(0.01);
+        assert_eq!(outcome.total_queries, workload.queries.len());
+        assert_eq!(outcome.psms.len(), first.psms + second.psms);
+    }
+
+    #[test]
+    fn empty_session_finalizes_cleanly() {
+        let (_, engine) = tiny_engine(23);
+        let session = engine.session(PrecursorWindow::open_default());
+        let outcome = session.finalize(0.01);
+        assert_eq!(outcome.total_queries, 0);
+        assert_eq!(outcome.identifications(), 0);
+        assert_eq!(outcome.threshold_score, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "FDR level")]
+    fn finalize_rejects_bad_alpha() {
+        let (_, engine) = tiny_engine(24);
+        let session = engine.session(PrecursorWindow::open_default());
+        let _ = session.finalize(1.0);
+    }
+
+    #[test]
+    fn from_shared_reuses_the_reference_table() {
+        let (workload, engine) = tiny_engine(25);
+        let index = engine.index().expect("index-backed");
+        let IndexedBackendKind::Exact(config) = index.kind() else {
+            panic!("tiny engine is exact")
+        };
+        let shared = Engine::from_shared(
+            *config,
+            Arc::clone(index.shared_references()),
+            ReferenceMeta::from_index(index),
+            2,
+        );
+        assert_eq!(shared.reference_count(), workload.library.len());
+        let shared = Arc::new(shared);
+        let (outcome, _) = shared.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
+        let (sharded_outcome, _) =
+            engine.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
+        // Same scores through the flat shared-table engine as through the
+        // sharded one (sharding never changes scores).
+        assert_eq!(outcome.psms, sharded_outcome.psms);
+    }
+}

@@ -1,0 +1,175 @@
+//! The acceptance contract of the session layer: submitting a query set
+//! in K batches and finalizing yields **byte-identical** PSM tables to a
+//! single run over the concatenated workload — and the one-shot
+//! per-batch path (the old `query` behaviour) stays reachable and stays
+//! equal to the classic `OmsPipeline` paths.
+
+use hdoms_baselines::annsolo::{AnnSoloBackend, AnnSoloConfig};
+use hdoms_engine::{Engine, ReferenceMeta, Session};
+use hdoms_index::{IndexConfig, IndexedBackendKind};
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig};
+use hdoms_oms::psm::render_table;
+use hdoms_oms::window::PrecursorWindow;
+use std::sync::Arc;
+
+const THREADS: usize = 4;
+const DIM: usize = 2048;
+
+fn tiny_engine(seed: u64) -> (SyntheticWorkload, Arc<Engine>) {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), seed);
+    let mut config = IndexConfig {
+        entries_per_shard: 64,
+        threads: THREADS,
+        ..IndexConfig::default()
+    };
+    if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+        exact.encoder.dim = DIM;
+    }
+    let engine = Arc::new(Engine::from_library(&workload.library, config));
+    (workload, engine)
+}
+
+/// The classic path: `OmsPipeline::run_catalog` over the same index and
+/// sharded backend the engine wired (what `search --index` ran before
+/// the engine existed).
+fn classic_outcome(
+    engine: &Engine,
+    workload: &SyntheticWorkload,
+) -> hdoms_oms::pipeline::PipelineOutcome {
+    let index = engine.index().expect("index-backed engine");
+    let mut config = PipelineConfig {
+        window: PrecursorWindow::open_default(),
+        fdr_level: 0.01,
+        ..PipelineConfig::default()
+    };
+    config.preprocess = index.kind().preprocess();
+    let backend = index.sharded_backend(THREADS).expect("same kind");
+    OmsPipeline::new(config).run_catalog(&workload.queries, index, &backend)
+}
+
+#[test]
+fn streamed_batches_finalize_byte_identical_to_one_run() {
+    let (workload, engine) = tiny_engine(9001);
+
+    // One run over the whole workload.
+    let (single, _) = engine.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
+
+    // The same workload in 5 uneven batches through one session.
+    for batch_count in [2usize, 5] {
+        let mut session = Session::new(Arc::clone(&engine), PrecursorWindow::open_default());
+        let chunk = workload.queries.len().div_ceil(batch_count);
+        for batch in workload.queries.chunks(chunk) {
+            session.submit(batch);
+        }
+        let streamed = session.finalize(0.01);
+
+        // Full structural equality (PSMs, accepted set, thresholds,
+        // totals) — and the rendered tables are byte-identical.
+        assert_eq!(streamed, single, "{batch_count}-batch session diverged");
+        assert_eq!(
+            render_table(engine.peptides(), &streamed),
+            render_table(engine.peptides(), &single),
+        );
+    }
+}
+
+#[test]
+fn session_matches_the_classic_pipeline_path() {
+    let (workload, engine) = tiny_engine(9002);
+    let classic = classic_outcome(&engine, &workload);
+    let (engine_outcome, receipt) =
+        engine.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
+    assert_eq!(engine_outcome, classic);
+    assert_eq!(receipt.queries, workload.queries.len());
+    assert!(receipt.shards_touched > 0);
+}
+
+#[test]
+fn per_batch_filtering_stays_reachable() {
+    // The old `query` behaviour: each batch filtered alone. One-shot
+    // searches per batch must equal a per-batch classic run — and the
+    // union of per-batch acceptances generally differs from the pooled
+    // session acceptance (that difference is the whole point of
+    // cross-batch FDR; on a workload this small the thresholds can
+    // coincide, so assert equality of the per-batch paths, not
+    // divergence of the pooled one).
+    let (workload, engine) = tiny_engine(9003);
+    let chunk = workload.queries.len().div_ceil(3);
+    for (i, batch) in workload.queries.chunks(chunk).enumerate() {
+        let (one_shot, _) = engine.search(batch, PrecursorWindow::open_default(), 0.01);
+        let index = engine.index().expect("index-backed");
+        let mut config = PipelineConfig {
+            window: PrecursorWindow::open_default(),
+            fdr_level: 0.01,
+            ..PipelineConfig::default()
+        };
+        config.preprocess = index.kind().preprocess();
+        let backend = index.sharded_backend(THREADS).expect("same kind");
+        let classic = OmsPipeline::new(config).run_catalog(batch, index, &backend);
+        assert_eq!(
+            one_shot, classic,
+            "batch {i} diverged from the classic path"
+        );
+    }
+}
+
+#[test]
+fn custom_backend_engines_match_the_pipeline() {
+    // The escape hatch: a baseline backend without an index kind routed
+    // through the engine must score exactly like the classic pipeline.
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 9004);
+    let config = AnnSoloConfig {
+        threads: THREADS,
+        ..AnnSoloConfig::default()
+    };
+    let backend = AnnSoloBackend::build(&workload.library, config);
+    let pipeline_config = PipelineConfig {
+        window: PrecursorWindow::open_default(),
+        fdr_level: 0.01,
+        ..PipelineConfig::default()
+    };
+    let classic = OmsPipeline::new(pipeline_config).run_catalog(
+        &workload.queries,
+        &workload.library,
+        &backend,
+    );
+
+    let engine = Arc::new(Engine::from_backend(
+        Box::new(backend),
+        config.preprocess,
+        ReferenceMeta::from_library(&workload.library),
+        THREADS,
+    ));
+    let (outcome, _) = engine.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
+    assert_eq!(outcome, classic);
+}
+
+#[test]
+fn warm_engine_over_persisted_index_matches_cold() {
+    let (workload, cold) = tiny_engine(9005);
+    let path = std::env::temp_dir().join(format!("hdoms-engine-equiv-{}.hdx", std::process::id()));
+    cold.index()
+        .expect("cold keeps index")
+        .write(&path)
+        .unwrap();
+    let warm = Arc::new(Engine::open(&path, THREADS).expect("persisted engine loads"));
+    std::fs::remove_file(&path).ok();
+
+    let (cold_outcome, _) = cold.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
+    let (warm_outcome, _) = warm.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
+    assert_eq!(cold_outcome, warm_outcome);
+
+    // The flat (unsharded) warm mode scores identically too.
+    let flat = Arc::new(
+        Engine::from_index_flat(warm.index().expect("warm keeps index").clone(), THREADS)
+            .expect("same kind"),
+    );
+    let (flat_outcome, flat_receipt) =
+        flat.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
+    assert_eq!(flat_outcome.psms, warm_outcome.psms);
+    assert_eq!(
+        flat_receipt.shards_touched, 0,
+        "flat engines have no shards"
+    );
+}

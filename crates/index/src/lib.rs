@@ -72,7 +72,5 @@ pub mod wire;
 pub mod xxhash;
 
 pub use format::{IndexEntry, IndexError, IndexedBackendKind, MlcState, Shard};
-pub use library_index::{
-    AcceleratorFromIndex, IndexBuilder, IndexConfig, IndexReader, LibraryIndex,
-};
+pub use library_index::{IndexBuilder, IndexConfig, IndexReader, LibraryIndex};
 pub use sharded::ShardedBackend;

@@ -857,28 +857,6 @@ impl ReferenceCatalog for LibraryIndex {
     }
 }
 
-/// Extension trait putting the warm-load constructor on the accelerator
-/// type itself: with this trait in scope,
-/// `OmsAccelerator::from_index(&index, threads)` reconstructs the paper's
-/// accelerator from a persistent index without re-encoding the library.
-///
-/// (The constructor lives here rather than in `hdoms-core` because the
-/// index format is layered above the accelerator crate.)
-pub trait AcceleratorFromIndex: Sized {
-    /// Reconstruct from a loaded index.
-    ///
-    /// # Errors
-    ///
-    /// Fails when the index was not built for the RRAM backend.
-    fn from_index(index: &LibraryIndex, threads: usize) -> Result<Self, IndexError>;
-}
-
-impl AcceleratorFromIndex for OmsAccelerator {
-    fn from_index(index: &LibraryIndex, threads: usize) -> Result<OmsAccelerator, IndexError> {
-        index.to_accelerator(threads)
-    }
-}
-
 /// The exact-backend configuration HyperOMS uses (mirrors
 /// `HyperOmsBackend::build`).
 fn hyperoms_exact_config(config: &HyperOmsConfig, threads: usize) -> ExactBackendConfig {

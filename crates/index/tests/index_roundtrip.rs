@@ -4,8 +4,7 @@
 
 use hdoms_core::accelerator::{AcceleratorConfig, OmsAccelerator};
 use hdoms_index::{
-    AcceleratorFromIndex, IndexBuilder, IndexConfig, IndexError, IndexReader, IndexedBackendKind,
-    LibraryIndex,
+    IndexBuilder, IndexConfig, IndexError, IndexReader, IndexedBackendKind, LibraryIndex,
 };
 use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
 use hdoms_ms::library::SpectralLibrary;
@@ -208,8 +207,8 @@ fn warm_load_searches_like_cold_build_rram() {
     let built = build_index(IndexedBackendKind::Rram(kind_config), &workload.library, 48);
     let restored = LibraryIndex::from_bytes(&built.to_bytes(), THREADS).expect("roundtrip");
 
-    // The extension trait puts the warm constructor on the type itself.
-    let warm_accel = OmsAccelerator::from_index(&restored, THREADS).expect("rram kind");
+    // Warm reconstruction straight off the loaded index.
+    let warm_accel = restored.to_accelerator(THREADS).expect("rram kind");
     let warm = pipeline_handle.run_catalog(&workload.queries, &restored, &warm_accel);
     assert_eq!(
         cold.psms, warm.psms,

@@ -43,7 +43,7 @@ pub mod window;
 
 pub use candidates::CandidateIndex;
 pub use fdr::{filter_fdr, FdrOutcome};
-pub use pipeline::{OmsPipeline, PipelineConfig, PipelineOutcome, ReferenceCatalog};
+pub use pipeline::{assemble_psms, OmsPipeline, PipelineConfig, PipelineOutcome, ReferenceCatalog};
 pub use psm::Psm;
 pub use search::{ExactBackend, ExactBackendConfig, SearchHit, SimilarityBackend};
 pub use window::PrecursorWindow;

@@ -137,18 +137,12 @@ impl ExactBackend {
     /// `hdoms-index`. `reference_hvs[id]` must be exactly what a cold
     /// [`ExactBackend::build`] with `config` would have produced (encoding
     /// is deterministic in the config, so persisted hypervectors qualify).
-    pub fn from_parts(
-        config: ExactBackendConfig,
-        reference_hvs: Vec<Option<BinaryHypervector>>,
-    ) -> ExactBackend {
-        ExactBackend::from_shared(config, Arc::new(reference_hvs))
-    }
-
-    /// Like [`ExactBackend::from_parts`] but *sharing* the reference
-    /// table: the backend holds another `Arc` handle to the caller's
+    ///
+    /// The backend holds another `Arc` handle to the caller's
     /// hypervectors instead of a private copy, so a resident index and
     /// every backend reconstructed from it keep exactly one copy of the
-    /// encoded library in memory.
+    /// encoded library in memory (an owned `Vec` converts with
+    /// `Arc::new`).
     ///
     /// # Panics
     ///

@@ -12,10 +12,14 @@
 //!
 //! Three layers, each usable on its own:
 //!
-//! * [`server`] — the in-process API: [`server::Server::add_index`], then
-//!   [`server::Server::query_batch`] (or [`server::Server::handle`] for
-//!   protocol messages). Answers are [`hdoms_oms::psm::PsmTableRow`]s,
-//!   byte-identical to a local `hdoms search --index` run.
+//! * [`server`] — the in-process API over `hdoms-engine`:
+//!   [`server::Server::add_index`] (or the runtime `index.load` /
+//!   `index.unload` verbs), then [`server::Server::query_batch`] for
+//!   one-shot batches or `session.open` / `session.submit` /
+//!   `session.finalize` for streaming clients whose FDR is filtered
+//!   **once across every submitted batch**. Answers are
+//!   [`hdoms_oms::psm::PsmTableRow`]s, byte-identical to a local
+//!   `hdoms search --index` run.
 //! * [`protocol`] — the wire messages: line-framed canonical JSON,
 //!   specified in `docs/PROTOCOL.md` (whose examples are asserted
 //!   verbatim by this crate's tests).
@@ -45,7 +49,7 @@
 //! let index = IndexBuilder::new(config).from_library(&workload.library);
 //!
 //! // Serve forever (here: one protocol round-trip in process).
-//! let mut server = Server::new(2);
+//! let server = Server::new(2);
 //! server.add_index("tiny", index).unwrap();
 //! let request = Request::decode(r#"{"type":"list_indexes"}"#).unwrap();
 //! let Response::Indexes(list) = server.handle(&request) else { panic!() };

@@ -203,8 +203,52 @@ pub enum Request {
     Ping,
     /// List the resident indexes.
     ListIndexes,
-    /// Search a query batch.
+    /// Search a query batch (FDR filtered per batch).
     Query(QueryRequest),
+    /// Open a streaming session against one resident index.
+    SessionOpen {
+        /// Name of the resident index to search.
+        index: String,
+        /// Precursor window for the whole session (defaults to open).
+        window: WindowKind,
+    },
+    /// Submit one batch to an open session (accumulates raw PSMs; no
+    /// FDR filtering until `session.finalize`).
+    SessionSubmit {
+        /// Session id returned by `session.open`.
+        session: u64,
+        /// The query batch.
+        spectra: Vec<QuerySpectrum>,
+    },
+    /// Filter FDR once over everything the session accumulated, return
+    /// the full PSM table, and close the session.
+    SessionFinalize {
+        /// Session id returned by `session.open`.
+        session: u64,
+        /// FDR acceptance level in (0, 1) (defaults to [`DEFAULT_FDR`]).
+        fdr: f64,
+    },
+    /// Discard an open session without producing a result (the abort
+    /// path — clients that fail mid-stream should close what they
+    /// opened so the server's session slots are not leaked).
+    SessionClose {
+        /// Session id returned by `session.open`.
+        session: u64,
+    },
+    /// Load a `.hdx` index from the server's filesystem and make it
+    /// resident under `name`.
+    IndexLoad {
+        /// Name to register the index under.
+        name: String,
+        /// Path to the `.hdx` file on the server.
+        path: String,
+    },
+    /// Drop a resident index. Open sessions keep their engine alive
+    /// until they finalize; new requests against the name fail.
+    IndexUnload {
+        /// Name the index was registered under.
+        name: String,
+    },
 }
 
 impl Request {
@@ -222,6 +266,37 @@ impl Request {
                     "spectra".into(),
                     Json::Arr(q.spectra.iter().map(QuerySpectrum::to_json).collect()),
                 ),
+            ]),
+            Request::SessionOpen { index, window } => Json::Obj(vec![
+                ("type".into(), Json::str("session.open")),
+                ("index".into(), Json::str(index.clone())),
+                ("window".into(), Json::str(window.name())),
+            ]),
+            Request::SessionSubmit { session, spectra } => Json::Obj(vec![
+                ("type".into(), Json::str("session.submit")),
+                ("session".into(), Json::Num(*session as f64)),
+                (
+                    "spectra".into(),
+                    Json::Arr(spectra.iter().map(QuerySpectrum::to_json).collect()),
+                ),
+            ]),
+            Request::SessionFinalize { session, fdr } => Json::Obj(vec![
+                ("type".into(), Json::str("session.finalize")),
+                ("session".into(), Json::Num(*session as f64)),
+                ("fdr".into(), Json::Num(*fdr)),
+            ]),
+            Request::SessionClose { session } => Json::Obj(vec![
+                ("type".into(), Json::str("session.close")),
+                ("session".into(), Json::Num(*session as f64)),
+            ]),
+            Request::IndexLoad { name, path } => Json::Obj(vec![
+                ("type".into(), Json::str("index.load")),
+                ("name".into(), Json::str(name.clone())),
+                ("path".into(), Json::str(path.clone())),
+            ]),
+            Request::IndexUnload { name } => Json::Obj(vec![
+                ("type".into(), Json::str("index.unload")),
+                ("name".into(), Json::str(name.clone())),
             ]),
         };
         v.encode()
@@ -263,6 +338,39 @@ impl Request {
                     spectra,
                 }))
             }
+            Some("session.open") => Ok(Request::SessionOpen {
+                index: string(&v, "index")?,
+                window: match v.get("window") {
+                    None => WindowKind::Open,
+                    Some(w) => WindowKind::parse(w.as_str().ok_or("window must be a string")?)?,
+                },
+            }),
+            Some("session.submit") => Ok(Request::SessionSubmit {
+                session: uint(req_field(&v, "session")?, "session")?,
+                spectra: req_field(&v, "spectra")?
+                    .as_arr()
+                    .ok_or("spectra must be an array")?
+                    .iter()
+                    .map(QuerySpectrum::from_json)
+                    .collect::<Result<Vec<_>, String>>()?,
+            }),
+            Some("session.finalize") => Ok(Request::SessionFinalize {
+                session: uint(req_field(&v, "session")?, "session")?,
+                fdr: match v.get("fdr") {
+                    None => DEFAULT_FDR,
+                    Some(f) => num(f, "fdr")?,
+                },
+            }),
+            Some("session.close") => Ok(Request::SessionClose {
+                session: uint(req_field(&v, "session")?, "session")?,
+            }),
+            Some("index.load") => Ok(Request::IndexLoad {
+                name: string(&v, "name")?,
+                path: string(&v, "path")?,
+            }),
+            Some("index.unload") => Ok(Request::IndexUnload {
+                name: string(&v, "name")?,
+            }),
             Some(other) => Err(format!("unknown request type {other:?}")),
             None => Err("request type must be a string".to_owned()),
         }
@@ -322,6 +430,31 @@ pub struct QueryResult {
     pub stats: BatchStats,
 }
 
+/// Per-submit accounting, reported by the `receipt` response: what the
+/// batch itself cost plus the session's running PSM total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubmitReceipt {
+    /// Session the batch was submitted to.
+    pub session: u64,
+    /// 1-based ordinal of the batch within the session.
+    pub batch: usize,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Queries dropped by preprocessing (too few peaks).
+    pub rejected_queries: usize,
+    /// Best-hit PSMs the batch produced (unfiltered — FDR runs at
+    /// finalize).
+    pub psms: usize,
+    /// Raw PSMs accumulated across the session so far.
+    pub total_psms: usize,
+    /// Candidate references scored in the batch.
+    pub candidates_scored: usize,
+    /// Shard visits the batch cost.
+    pub shards_touched: usize,
+    /// Wall-clock time spent searching the batch, milliseconds.
+    pub latency_ms: f64,
+}
+
 /// A server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -337,8 +470,30 @@ pub enum Response {
     },
     /// Answer to `list_indexes`.
     Indexes(Vec<IndexSummary>),
-    /// Answer to `query`.
+    /// Answer to `query` and `session.finalize`.
     Result(QueryResult),
+    /// Answer to `session.open`.
+    SessionOpened {
+        /// The new session's id (quote it in `session.submit` /
+        /// `session.finalize`).
+        session: u64,
+        /// The resident index the session searches.
+        index: String,
+    },
+    /// Answer to `session.submit`.
+    Receipt(SubmitReceipt),
+    /// Answer to `session.close`.
+    SessionClosed {
+        /// The discarded session's id.
+        session: u64,
+    },
+    /// Answer to `index.load`.
+    Loaded(IndexSummary),
+    /// Answer to `index.unload`.
+    Unloaded {
+        /// Name the dropped index was registered under.
+        name: String,
+    },
 }
 
 impl Response {
@@ -357,20 +512,7 @@ impl Response {
                 ("type".into(), Json::str("indexes")),
                 (
                     "indexes".into(),
-                    Json::Arr(
-                        indexes
-                            .iter()
-                            .map(|s| {
-                                Json::Obj(vec![
-                                    ("name".into(), Json::str(s.name.clone())),
-                                    ("backend".into(), Json::str(s.backend.clone())),
-                                    ("dim".into(), Json::Num(s.dim as f64)),
-                                    ("entries".into(), Json::Num(s.entries as f64)),
-                                    ("shards".into(), Json::Num(s.shards as f64)),
-                                ])
-                            })
-                            .collect(),
-                    ),
+                    Json::Arr(indexes.iter().map(summary_to_json).collect()),
                 ),
             ]),
             Response::Result(r) => Json::Obj(vec![
@@ -381,6 +523,41 @@ impl Response {
                     Json::Arr(r.rows.iter().map(row_to_json).collect()),
                 ),
                 ("stats".into(), stats_to_json(&r.stats)),
+            ]),
+            Response::SessionOpened { session, index } => Json::Obj(vec![
+                ("type".into(), Json::str("session")),
+                ("session".into(), Json::Num(*session as f64)),
+                ("index".into(), Json::str(index.clone())),
+            ]),
+            Response::Receipt(r) => Json::Obj(vec![
+                ("type".into(), Json::str("receipt")),
+                ("session".into(), Json::Num(r.session as f64)),
+                ("batch".into(), Json::Num(r.batch as f64)),
+                ("queries".into(), Json::Num(r.queries as f64)),
+                (
+                    "rejected_queries".into(),
+                    Json::Num(r.rejected_queries as f64),
+                ),
+                ("psms".into(), Json::Num(r.psms as f64)),
+                ("total_psms".into(), Json::Num(r.total_psms as f64)),
+                (
+                    "candidates_scored".into(),
+                    Json::Num(r.candidates_scored as f64),
+                ),
+                ("shards_touched".into(), Json::Num(r.shards_touched as f64)),
+                ("latency_ms".into(), Json::Num(r.latency_ms)),
+            ]),
+            Response::SessionClosed { session } => Json::Obj(vec![
+                ("type".into(), Json::str("closed")),
+                ("session".into(), Json::Num(*session as f64)),
+            ]),
+            Response::Loaded(summary) => Json::Obj(vec![
+                ("type".into(), Json::str("loaded")),
+                ("index".into(), summary_to_json(summary)),
+            ]),
+            Response::Unloaded { name } => Json::Obj(vec![
+                ("type".into(), Json::str("unloaded")),
+                ("name".into(), Json::str(name.clone())),
             ]),
         };
         v.encode()
@@ -410,15 +587,7 @@ impl Response {
                     .as_arr()
                     .ok_or("indexes must be an array")?
                     .iter()
-                    .map(|s| {
-                        Ok(IndexSummary {
-                            name: string(s, "name")?,
-                            backend: string(s, "backend")?,
-                            dim: uint(req_field(s, "dim")?, "dim")? as usize,
-                            entries: uint(req_field(s, "entries")?, "entries")? as usize,
-                            shards: uint(req_field(s, "shards")?, "shards")? as usize,
-                        })
-                    })
+                    .map(summary_from_json)
                     .collect::<Result<Vec<_>, String>>()?;
                 Ok(Response::Indexes(indexes))
             }
@@ -435,10 +604,56 @@ impl Response {
                     stats: stats_from_json(req_field(&v, "stats")?)?,
                 }))
             }
+            Some("session") => Ok(Response::SessionOpened {
+                session: uint(req_field(&v, "session")?, "session")?,
+                index: string(&v, "index")?,
+            }),
+            Some("receipt") => Ok(Response::Receipt(SubmitReceipt {
+                session: uint(req_field(&v, "session")?, "session")?,
+                batch: uint(req_field(&v, "batch")?, "batch")? as usize,
+                queries: uint(req_field(&v, "queries")?, "queries")? as usize,
+                rejected_queries: uint(req_field(&v, "rejected_queries")?, "rejected_queries")?
+                    as usize,
+                psms: uint(req_field(&v, "psms")?, "psms")? as usize,
+                total_psms: uint(req_field(&v, "total_psms")?, "total_psms")? as usize,
+                candidates_scored: uint(req_field(&v, "candidates_scored")?, "candidates_scored")?
+                    as usize,
+                shards_touched: uint(req_field(&v, "shards_touched")?, "shards_touched")? as usize,
+                latency_ms: num(req_field(&v, "latency_ms")?, "latency_ms")?,
+            })),
+            Some("closed") => Ok(Response::SessionClosed {
+                session: uint(req_field(&v, "session")?, "session")?,
+            }),
+            Some("loaded") => Ok(Response::Loaded(summary_from_json(req_field(
+                &v, "index",
+            )?)?)),
+            Some("unloaded") => Ok(Response::Unloaded {
+                name: string(&v, "name")?,
+            }),
             Some(other) => Err(format!("unknown response type {other:?}")),
             None => Err("response type must be a string".to_owned()),
         }
     }
+}
+
+fn summary_to_json(s: &IndexSummary) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::str(s.name.clone())),
+        ("backend".into(), Json::str(s.backend.clone())),
+        ("dim".into(), Json::Num(s.dim as f64)),
+        ("entries".into(), Json::Num(s.entries as f64)),
+        ("shards".into(), Json::Num(s.shards as f64)),
+    ])
+}
+
+fn summary_from_json(v: &Json) -> Result<IndexSummary, String> {
+    Ok(IndexSummary {
+        name: string(v, "name")?,
+        backend: string(v, "backend")?,
+        dim: uint(req_field(v, "dim")?, "dim")? as usize,
+        entries: uint(req_field(v, "entries")?, "entries")? as usize,
+        shards: uint(req_field(v, "shards")?, "shards")? as usize,
+    })
 }
 
 fn row_to_json(row: &PsmTableRow) -> Json {
@@ -577,6 +792,38 @@ mod tests {
 
     #[test]
     fn requests_roundtrip() {
+        let session_requests = [
+            Request::SessionOpen {
+                index: "iprg".to_owned(),
+                window: WindowKind::Open,
+            },
+            Request::SessionSubmit {
+                session: 7,
+                spectra: vec![QuerySpectrum {
+                    id: 3,
+                    precursor_mz: 500.5,
+                    precursor_charge: 2,
+                    peaks: vec![(100.1, 0.25)],
+                }],
+            },
+            Request::SessionFinalize {
+                session: 7,
+                fdr: 0.05,
+            },
+            Request::SessionClose { session: 7 },
+            Request::IndexLoad {
+                name: "hek".to_owned(),
+                path: "/data/hek.hdx".to_owned(),
+            },
+            Request::IndexUnload {
+                name: "hek".to_owned(),
+            },
+        ];
+        for req in session_requests {
+            let line = req.encode();
+            assert_eq!(Request::decode(&line).unwrap(), req, "line {line}");
+            assert_eq!(Request::decode(&line).unwrap().encode(), line);
+        }
         for req in [Request::Ping, Request::ListIndexes, sample_query()] {
             let line = req.encode();
             assert!(!line.contains('\n'), "one line per message");
@@ -632,6 +879,60 @@ mod tests {
             assert_eq!(Response::decode(&line).unwrap(), resp, "line {line}");
             assert_eq!(Response::decode(&line).unwrap().encode(), line);
         }
+    }
+
+    #[test]
+    fn session_responses_roundtrip() {
+        let responses = [
+            Response::SessionOpened {
+                session: 1,
+                index: "iprg".to_owned(),
+            },
+            Response::Receipt(SubmitReceipt {
+                session: 1,
+                batch: 2,
+                queries: 64,
+                rejected_queries: 1,
+                psms: 60,
+                total_psms: 121,
+                candidates_scored: 9000,
+                shards_touched: 180,
+                latency_ms: 4.25,
+            }),
+            Response::SessionClosed { session: 1 },
+            Response::Loaded(IndexSummary {
+                name: "hek".to_owned(),
+                backend: "exact".to_owned(),
+                dim: 8192,
+                entries: 5000,
+                shards: 5,
+            }),
+            Response::Unloaded {
+                name: "hek".to_owned(),
+            },
+        ];
+        for resp in responses {
+            let line = resp.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::decode(&line).unwrap(), resp, "line {line}");
+            assert_eq!(Response::decode(&line).unwrap().encode(), line);
+        }
+    }
+
+    #[test]
+    fn session_defaults_apply() {
+        let Request::SessionOpen { window, .. } =
+            Request::decode(r#"{"type":"session.open","index":"a"}"#).unwrap()
+        else {
+            panic!("expected session.open");
+        };
+        assert_eq!(window, WindowKind::Open);
+        let Request::SessionFinalize { fdr, .. } =
+            Request::decode(r#"{"type":"session.finalize","session":3}"#).unwrap()
+        else {
+            panic!("expected session.finalize");
+        };
+        assert_eq!(fdr, DEFAULT_FDR);
     }
 
     #[test]

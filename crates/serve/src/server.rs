@@ -1,70 +1,56 @@
-//! The in-process batch query server: resident indexes, warm backends,
-//! per-batch statistics.
+//! The in-process batch query server: resident engines, streaming
+//! sessions with cross-batch FDR, and runtime index lifecycle.
 
 use crate::protocol::{
-    BatchStats, IndexSummary, QueryRequest, QueryResult, Request, Response, PROTOCOL_VERSION,
+    BatchStats, IndexSummary, QueryRequest, QueryResult, Request, Response, SubmitReceipt,
+    PROTOCOL_VERSION,
 };
-use hdoms_index::{IndexError, LibraryIndex, ShardedBackend};
-use hdoms_ms::preprocess::Preprocessor;
+use hdoms_engine::{Engine, Session};
+use hdoms_index::{IndexError, LibraryIndex};
 use hdoms_ms::spectrum::Spectrum;
-use hdoms_oms::candidates::CandidateIndex;
-use hdoms_oms::pipeline::{OmsPipeline, PipelineConfig, ReferenceCatalog};
 use hdoms_oms::psm::table_rows;
-use hdoms_oms::search::candidate_lists;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-/// One index held resident in a [`Server`]: the loaded [`LibraryIndex`]
-/// (the reference catalog) plus the shard-parallel backend reconstructed
-/// from it.
-///
-/// Backend and index **share** one reference-hypervector table (see
-/// [`LibraryIndex::shared_references`]), so residency costs one copy of
-/// the encoded library, not two.
-pub struct ResidentIndex {
+/// Maximum concurrently open sessions; `session.open` beyond this is
+/// refused (a client that never finalizes would otherwise accumulate
+/// PSMs on the server without bound).
+pub const MAX_SESSIONS: usize = 256;
+
+/// One resident index: the name it answers to plus the wired
+/// [`Engine`] (backend + candidate index + metadata, all sharing one
+/// copy of the encoded library with the loaded index).
+struct ResidentIndex {
     name: String,
-    index: LibraryIndex,
-    backend: ShardedBackend,
-    peptides: Vec<String>,
-    /// Mass-sorted candidate index, built once at registration so each
-    /// batch pays candidate *lookup*, not candidate-index construction.
-    candidates: CandidateIndex,
+    engine: Arc<Engine>,
 }
 
-impl ResidentIndex {
-    /// The name the index was registered under.
-    pub fn name(&self) -> &str {
-        &self.name
-    }
+/// An open streaming session. The slot is taken (`Busy`) while a batch
+/// is searching so one slow submit never blocks the whole server — a
+/// concurrent request against the same session errors instead of
+/// queueing.
+enum SessionSlot {
+    Ready(OpenSession),
+    Busy,
+}
 
-    /// The loaded index.
-    pub fn index(&self) -> &LibraryIndex {
-        &self.index
-    }
-
-    /// The resident shard-parallel backend.
-    pub fn backend(&self) -> &ShardedBackend {
-        &self.backend
-    }
-
-    /// The one-line summary reported by `list_indexes`.
-    pub fn summary(&self) -> IndexSummary {
-        IndexSummary {
-            name: self.name.clone(),
-            backend: self.index.kind().name().to_owned(),
-            dim: self.index.dim(),
-            entries: self.index.entry_count(),
-            shards: self.index.shards().len(),
-        }
-    }
+struct OpenSession {
+    index: String,
+    session: Session,
 }
 
 /// A long-lived batch query server over one or more warm `.hdx` indexes.
 ///
-/// Load indexes once at startup ([`Server::add_index`]), then answer any
-/// number of query batches ([`Server::handle`] /
-/// [`Server::query_batch`]) without re-encoding, re-loading, or
-/// duplicating the encoded library. The server is `Sync`: wrap it in an
-/// [`std::sync::Arc`] and every connection thread can serve batches
+/// Indexes become resident through [`Server::add_index`] (startup) or the
+/// `index.load` protocol verb (runtime), and can be dropped again with
+/// `index.unload`. Query batches run either one-shot (`query`, FDR per
+/// batch) or through a streaming session (`session.open` /
+/// `session.submit` / `session.finalize`, FDR filtered **once** across
+/// every submitted batch). The server is `Sync`: wrap it in an
+/// [`std::sync::Arc`] and every connection thread can serve requests
 /// concurrently (see [`crate::net`]).
 ///
 /// ```
@@ -81,7 +67,7 @@ impl ResidentIndex {
 /// }
 /// let index = IndexBuilder::new(config).from_library(&workload.library);
 ///
-/// let mut server = Server::new(2);
+/// let server = Server::new(2);
 /// server.add_index("tiny", index).unwrap();
 ///
 /// let result = server
@@ -96,52 +82,115 @@ impl ResidentIndex {
 /// assert!(result.stats.identifications > 0);
 /// ```
 pub struct Server {
-    indexes: Vec<ResidentIndex>,
     threads: usize,
+    indexes: RwLock<Vec<ResidentIndex>>,
+    sessions: Mutex<HashMap<u64, SessionSlot>>,
+    next_session: AtomicU64,
 }
 
 impl Server {
     /// A server whose backends search over `threads` worker threads.
     pub fn new(threads: usize) -> Server {
         Server {
-            indexes: Vec::new(),
             threads: threads.max(1),
+            indexes: RwLock::new(Vec::new()),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
         }
     }
 
-    /// Register `index` under `name` and make it resident: the
-    /// shard-parallel backend is reconstructed once, sharing the index's
-    /// reference table.
+    /// Register `index` under `name` and make it resident: the engine —
+    /// shard-parallel backend, candidate index, reference metadata — is
+    /// wired once, sharing the index's reference table.
     ///
     /// # Errors
     ///
     /// Fails on a duplicate name or an index whose backend cannot be
-    /// reconstructed (see [`LibraryIndex::sharded_backend`]).
-    pub fn add_index(&mut self, name: &str, index: LibraryIndex) -> Result<(), IndexError> {
+    /// reconstructed (see [`Engine::from_index`]).
+    pub fn add_index(&self, name: &str, index: LibraryIndex) -> Result<(), IndexError> {
         if name.is_empty() {
             return Err(IndexError::Invalid("index name must be non-empty".into()));
         }
-        if self.indexes.iter().any(|r| r.name == name) {
+        // Wire the engine before taking the write lock: reconstruction
+        // is the expensive part and must not stall concurrent queries.
+        let engine = Arc::new(Engine::from_index(index, self.threads)?);
+        self.register_engine(name, engine)
+    }
+
+    fn register_engine(&self, name: &str, engine: Arc<Engine>) -> Result<(), IndexError> {
+        let mut indexes = self.indexes.write().expect("index set lock");
+        if indexes.iter().any(|r| r.name == name) {
             return Err(IndexError::Invalid(format!(
                 "an index named {name:?} is already resident"
             )));
         }
-        let backend = index.sharded_backend(self.threads)?;
-        let peptides = index.peptides_by_id();
-        let candidates = index.candidate_index();
-        self.indexes.push(ResidentIndex {
+        indexes.push(ResidentIndex {
             name: name.to_owned(),
-            index,
-            backend,
-            peptides,
-            candidates,
+            engine,
         });
         Ok(())
     }
 
-    /// The resident indexes, in registration order.
-    pub fn indexes(&self) -> &[ResidentIndex] {
-        &self.indexes
+    /// Load a `.hdx` file from the server's filesystem and make it
+    /// resident under `name` (the `index.load` verb).
+    ///
+    /// # Errors
+    ///
+    /// Load failures and duplicate names, as strings (the protocol's
+    /// error channel).
+    pub fn load_index(&self, name: &str, path: &str) -> Result<IndexSummary, String> {
+        let index = hdoms_index::IndexReader::with_threads(self.threads)
+            .open_with(Path::new(path))
+            .map_err(|e| format!("loading {path}: {e}"))?;
+        let engine = Arc::new(Engine::from_index(index, self.threads).map_err(|e| e.to_string())?);
+        // Summarize from our own handle, not a re-lookup: a concurrent
+        // `index.unload` racing this load must not turn into a panic.
+        let summary = summarize(name, &engine);
+        self.register_engine(name, engine)
+            .map_err(|e| e.to_string())?;
+        Ok(summary)
+    }
+
+    /// Drop the resident index `name` (the `index.unload` verb). Open
+    /// sessions against it keep their engine handle and finalize
+    /// normally; new requests against the name fail.
+    ///
+    /// # Errors
+    ///
+    /// Unknown name.
+    pub fn unload_index(&self, name: &str) -> Result<(), String> {
+        let mut indexes = self.indexes.write().expect("index set lock");
+        let position = indexes
+            .iter()
+            .position(|r| r.name == name)
+            .ok_or_else(|| format!("unknown index {name:?}"))?;
+        indexes.remove(position);
+        Ok(())
+    }
+
+    /// The engine behind resident index `name`, if any.
+    pub fn engine(&self, name: &str) -> Option<Arc<Engine>> {
+        self.indexes
+            .read()
+            .expect("index set lock")
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| Arc::clone(&r.engine))
+    }
+
+    /// One-line summaries of the resident indexes, in registration order.
+    pub fn summaries(&self) -> Vec<IndexSummary> {
+        self.indexes
+            .read()
+            .expect("index set lock")
+            .iter()
+            .map(|r| summarize(&r.name, &r.engine))
+            .collect()
+    }
+
+    /// Open sessions (for monitoring and tests).
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.lock().expect("session map lock").len()
     }
 
     /// Answer one protocol request. Failures become
@@ -151,74 +200,167 @@ impl Server {
             Request::Ping => Response::Pong {
                 protocol: PROTOCOL_VERSION,
             },
-            Request::ListIndexes => {
-                Response::Indexes(self.indexes.iter().map(ResidentIndex::summary).collect())
-            }
+            Request::ListIndexes => Response::Indexes(self.summaries()),
             Request::Query(q) => match self.query_batch(q) {
                 Ok(result) => Response::Result(result),
+                Err(message) => Response::Error { message },
+            },
+            Request::SessionOpen { index, window } => {
+                match self.open_session(index, window.window()) {
+                    Ok(session) => Response::SessionOpened {
+                        session,
+                        index: index.clone(),
+                    },
+                    Err(message) => Response::Error { message },
+                }
+            }
+            Request::SessionSubmit { session, spectra } => {
+                match self.submit_session(*session, spectra) {
+                    Ok(receipt) => Response::Receipt(receipt),
+                    Err(message) => Response::Error { message },
+                }
+            }
+            Request::SessionFinalize { session, fdr } => {
+                match self.finalize_session(*session, *fdr) {
+                    Ok(result) => Response::Result(result),
+                    Err(message) => Response::Error { message },
+                }
+            }
+            Request::SessionClose { session } => match self.close_session(*session) {
+                Ok(()) => Response::SessionClosed { session: *session },
+                Err(message) => Response::Error { message },
+            },
+            Request::IndexLoad { name, path } => match self.load_index(name, path) {
+                Ok(summary) => Response::Loaded(summary),
+                Err(message) => Response::Error { message },
+            },
+            Request::IndexUnload { name } => match self.unload_index(name) {
+                Ok(()) => Response::Unloaded { name: name.clone() },
                 Err(message) => Response::Error { message },
             },
         }
     }
 
     /// Run one query batch against a resident index and report the PSM
-    /// rows plus batch statistics.
-    ///
-    /// The search path is exactly the `search --index --sharded` path of
-    /// the CLI (same pipeline, same backend), so the returned rows render
-    /// to a byte-identical PSM table.
+    /// rows plus batch statistics. FDR is filtered **per batch** — this
+    /// is the path that keeps a one-batch `query` byte-identical to a
+    /// local `search --index` run.
     ///
     /// # Errors
     ///
     /// Unknown index name, invalid FDR level, or malformed spectra.
     pub fn query_batch(&self, request: &QueryRequest) -> Result<QueryResult, String> {
-        let resident = self
-            .indexes
-            .iter()
-            .find(|r| r.name == request.index)
+        let engine = self
+            .engine(&request.index)
             .ok_or_else(|| format!("unknown index {:?}", request.index))?;
-        if !(request.fdr > 0.0 && request.fdr < 1.0) {
-            return Err(format!("fdr {} outside (0, 1)", request.fdr));
-        }
-        let spectra: Vec<Spectrum> = request
-            .spectra
-            .iter()
-            .map(|s| s.to_spectrum())
-            .collect::<Result<_, String>>()?;
+        check_fdr(request.fdr)?;
+        let spectra = decode_spectra(&request.spectra)?;
 
         let start = Instant::now();
-        let window = request.window.window();
-        let mut config = PipelineConfig {
-            window,
-            fdr_level: request.fdr,
-            threads: self.threads,
-            ..PipelineConfig::default()
-        };
-        // Queries must be preprocessed exactly like the indexed library.
-        config.preprocess = resident.index.kind().preprocess();
-        let pipeline = OmsPipeline::new(config);
-        // Prepare once — preprocessing and candidate lookup against the
-        // resident candidate index — then both the search and the batch
-        // stats consume the same intermediates (no duplicated work, and
-        // per-batch cost scales with the batch, not the library).
-        let pre = Preprocessor::new(config.preprocess);
-        let (binned, rejected) = pre.run_batch(&spectra);
-        let cands = candidate_lists(&resident.candidates, &window, &binned);
-        let outcome = pipeline.run_prepared(
-            spectra.len(),
-            &binned,
-            rejected,
-            &cands,
-            &resident.index,
-            &resident.backend,
-        );
-        let candidates_scored = cands.iter().map(Vec::len).sum();
-        let shards_touched = resident.backend.shards_touched(&cands);
+        let (outcome, receipt) = engine.search(&spectra, request.window.window(), request.fdr);
         let latency_ms = start.elapsed().as_secs_f64() * 1e3;
 
-        let rows = table_rows(&resident.peptides, &outcome);
+        let rows = table_rows(engine.peptides(), &outcome);
         Ok(QueryResult {
-            index: resident.name.clone(),
+            index: request.index.clone(),
+            stats: BatchStats {
+                latency_ms,
+                queries: outcome.total_queries,
+                rejected_queries: outcome.rejected_queries,
+                psms: outcome.psms.len(),
+                identifications: outcome.identifications(),
+                threshold_score: outcome.threshold_score,
+                shards_touched: receipt.shards_touched,
+                candidates_scored: receipt.candidates_scored,
+                backend: outcome.backend_name.clone(),
+            },
+            rows,
+        })
+    }
+
+    /// Open a streaming session against resident index `index`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown index, or the server is at [`MAX_SESSIONS`].
+    pub fn open_session(
+        &self,
+        index: &str,
+        window: hdoms_oms::window::PrecursorWindow,
+    ) -> Result<u64, String> {
+        let engine = self
+            .engine(index)
+            .ok_or_else(|| format!("unknown index {index:?}"))?;
+        let mut sessions = self.sessions.lock().expect("session map lock");
+        if sessions.len() >= MAX_SESSIONS {
+            return Err(format!(
+                "server at capacity ({MAX_SESSIONS} open sessions); finalize one first"
+            ));
+        }
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        sessions.insert(
+            id,
+            SessionSlot::Ready(OpenSession {
+                index: index.to_owned(),
+                session: Session::new(engine, window),
+            }),
+        );
+        Ok(id)
+    }
+
+    /// Submit one batch to an open session: encode, search, accumulate
+    /// raw PSMs. No FDR filtering happens until finalize.
+    ///
+    /// # Errors
+    ///
+    /// Unknown or busy session, or malformed spectra.
+    pub fn submit_session(
+        &self,
+        id: u64,
+        spectra: &[crate::protocol::QuerySpectrum],
+    ) -> Result<SubmitReceipt, String> {
+        let spectra = decode_spectra(spectra)?;
+        let mut lease = self.take_session(id)?;
+        // The slot is marked busy while this thread searches, so the
+        // session map lock is never held across the batch; the lease
+        // restores the slot on drop — even if the search panics.
+        let receipt = lease.session().submit(&spectra);
+        Ok(SubmitReceipt {
+            session: id,
+            batch: receipt.batch,
+            queries: receipt.queries,
+            rejected_queries: receipt.rejected_queries,
+            psms: receipt.psms,
+            total_psms: receipt.total_psms,
+            candidates_scored: receipt.candidates_scored,
+            shards_touched: receipt.shards_touched,
+            latency_ms: receipt.latency_ms,
+        })
+    }
+
+    /// Filter FDR once over everything the session accumulated, return
+    /// the full PSM table, and close the session.
+    ///
+    /// # Errors
+    ///
+    /// Unknown or busy session, or an FDR level outside (0, 1).
+    pub fn finalize_session(&self, id: u64, fdr: f64) -> Result<QueryResult, String> {
+        check_fdr(fdr)?;
+        // Consuming the lease removes the slot immediately: the session
+        // is spent whatever happens next.
+        let open = self.take_session(id)?.consume();
+        let start = Instant::now();
+        let engine = Arc::clone(open.session.engine());
+        let index = open.index;
+        let submitted_ms = open.session.latency_ms();
+        let candidates_scored = open.session.candidates_scored();
+        let shards_touched = open.session.shards_touched();
+        let outcome = open.session.finalize(fdr);
+        let latency_ms = submitted_ms + start.elapsed().as_secs_f64() * 1e3;
+
+        let rows = table_rows(engine.peptides(), &outcome);
+        Ok(QueryResult {
+            index,
             stats: BatchStats {
                 latency_ms,
                 queries: outcome.total_queries,
@@ -233,6 +375,110 @@ impl Server {
             rows,
         })
     }
+
+    /// Discard an open session without producing a result (the
+    /// `session.close` verb — the abort path for clients that fail
+    /// mid-stream, so their slots are not leaked against
+    /// [`MAX_SESSIONS`]).
+    ///
+    /// # Errors
+    ///
+    /// Unknown or busy session.
+    pub fn close_session(&self, id: u64) -> Result<(), String> {
+        let _ = self.take_session(id)?.consume();
+        Ok(())
+    }
+
+    /// Take session `id` out of the map, leaving a `Busy` marker owned
+    /// by the returned lease.
+    fn take_session(&self, id: u64) -> Result<SessionLease<'_>, String> {
+        let mut sessions = self.sessions.lock().expect("session map lock");
+        match sessions.remove(&id) {
+            None => Err(format!("unknown session {id}")),
+            Some(SessionSlot::Busy) => {
+                sessions.insert(id, SessionSlot::Busy);
+                Err(format!(
+                    "session {id} is busy (one request at a time per session)"
+                ))
+            }
+            Some(SessionSlot::Ready(open)) => {
+                sessions.insert(id, SessionSlot::Busy);
+                Ok(SessionLease {
+                    server: self,
+                    id,
+                    open: Some(open),
+                })
+            }
+        }
+    }
+}
+
+/// A session taken out of the map for exclusive use. While the lease
+/// lives, the map holds a `Busy` marker for its id; dropping the lease
+/// puts the session back (or clears the marker entirely if the session
+/// was consumed). Because the restore runs in `Drop`, a panic while
+/// searching unwinds into cleanup instead of leaving the id
+/// permanently "busy".
+struct SessionLease<'a> {
+    server: &'a Server,
+    id: u64,
+    open: Option<OpenSession>,
+}
+
+impl SessionLease<'_> {
+    /// The leased session.
+    fn session(&mut self) -> &mut Session {
+        &mut self.open.as_mut().expect("lease not consumed").session
+    }
+
+    /// Take the session out for good; the drop then removes the slot
+    /// instead of restoring it.
+    fn consume(mut self) -> OpenSession {
+        self.open.take().expect("lease not consumed")
+    }
+}
+
+impl Drop for SessionLease<'_> {
+    fn drop(&mut self) {
+        // This runs during unwinding too: tolerate a poisoned lock
+        // rather than double-panicking the process.
+        let Ok(mut sessions) = self.server.sessions.lock() else {
+            return;
+        };
+        match self.open.take() {
+            Some(open) => {
+                sessions.insert(self.id, SessionSlot::Ready(open));
+            }
+            None => {
+                sessions.remove(&self.id);
+            }
+        }
+    }
+}
+
+fn summarize(name: &str, engine: &Engine) -> IndexSummary {
+    let index = engine
+        .index()
+        .expect("server engines are always index-backed");
+    IndexSummary {
+        name: name.to_owned(),
+        backend: index.kind().name().to_owned(),
+        dim: index.dim(),
+        entries: index.entry_count(),
+        shards: index.shards().len(),
+    }
+}
+
+fn check_fdr(fdr: f64) -> Result<(), String> {
+    if fdr > 0.0 && fdr < 1.0 {
+        Ok(())
+    } else {
+        Err(format!("fdr {fdr} outside (0, 1)"))
+    }
+}
+
+fn decode_spectra(spectra: &[crate::protocol::QuerySpectrum]) -> Result<Vec<Spectrum>, String> {
+    spectra.iter().map(|s| s.to_spectrum()).collect()
 }
 
 #[cfg(test)]
@@ -242,8 +488,7 @@ mod tests {
     use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind};
     use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
 
-    fn tiny_server() -> (SyntheticWorkload, Server) {
-        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 77);
+    fn tiny_index(workload: &SyntheticWorkload) -> hdoms_index::LibraryIndex {
         let mut config = IndexConfig {
             entries_per_shard: 64,
             threads: 4,
@@ -252,8 +497,13 @@ mod tests {
         if let IndexedBackendKind::Exact(exact) = &mut config.kind {
             exact.encoder.dim = 2048;
         }
-        let index = IndexBuilder::new(config).from_library(&workload.library);
-        let mut server = Server::new(4);
+        IndexBuilder::new(config).from_library(&workload.library)
+    }
+
+    fn tiny_server() -> (SyntheticWorkload, Server) {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 77);
+        let index = tiny_index(&workload);
+        let server = Server::new(4);
         server.add_index("tiny", index).unwrap();
         (workload, server)
     }
@@ -328,6 +578,126 @@ mod tests {
     }
 
     #[test]
+    fn session_pools_fdr_across_batches() {
+        let (workload, server) = tiny_server();
+        let spectra = batch_of(&workload);
+
+        // One-shot run over everything.
+        let single = server
+            .query_batch(&QueryRequest {
+                index: "tiny".to_owned(),
+                window: WindowKind::Open,
+                fdr: 0.01,
+                spectra: spectra.clone(),
+            })
+            .unwrap();
+
+        // Three session batches, finalized once.
+        let id = server
+            .open_session("tiny", WindowKind::Open.window())
+            .unwrap();
+        assert_eq!(server.open_sessions(), 1);
+        let chunk = spectra.len().div_ceil(3);
+        let mut last_total = 0;
+        for (i, batch) in spectra.chunks(chunk).enumerate() {
+            let receipt = server.submit_session(id, batch).unwrap();
+            assert_eq!(receipt.session, id);
+            assert_eq!(receipt.batch, i + 1);
+            assert!(receipt.total_psms >= last_total);
+            last_total = receipt.total_psms;
+        }
+        let pooled = server.finalize_session(id, 0.01).unwrap();
+        assert_eq!(server.open_sessions(), 0, "finalize closes the session");
+
+        // Cross-batch FDR: the pooled rows equal the single-run rows.
+        assert_eq!(pooled.rows, single.rows);
+        assert_eq!(pooled.stats.queries, single.stats.queries);
+        assert_eq!(pooled.stats.identifications, single.stats.identifications);
+        assert_eq!(
+            pooled.stats.candidates_scored,
+            single.stats.candidates_scored
+        );
+
+        // The session is gone: further requests error.
+        assert!(server.submit_session(id, &spectra[..1]).is_err());
+        assert!(server.finalize_session(id, 0.01).is_err());
+    }
+
+    #[test]
+    fn runtime_load_and_unload() {
+        let (workload, server) = tiny_server();
+        let other = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 78);
+        let path =
+            std::env::temp_dir().join(format!("hdoms-serve-load-{}.hdx", std::process::id()));
+        tiny_index(&other).write(&path).unwrap();
+
+        let summary = server.load_index("second", path.to_str().unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(summary.name, "second");
+        assert_eq!(server.summaries().len(), 2);
+
+        // The loaded index answers queries.
+        let result = server
+            .query_batch(&QueryRequest {
+                index: "second".to_owned(),
+                window: WindowKind::Open,
+                fdr: 0.01,
+                spectra: batch_of(&other),
+            })
+            .unwrap();
+        assert!(result.stats.identifications > 0);
+
+        // Unload: the name stops resolving, cleanly.
+        server.unload_index("second").unwrap();
+        assert_eq!(server.summaries().len(), 1);
+        let err = server
+            .query_batch(&QueryRequest {
+                index: "second".to_owned(),
+                window: WindowKind::Open,
+                fdr: 0.01,
+                spectra: batch_of(&other),
+            })
+            .unwrap_err();
+        assert!(err.contains("unknown index"));
+        assert!(server.unload_index("second").is_err());
+        let _ = workload;
+    }
+
+    #[test]
+    fn close_discards_a_session_and_frees_its_slot() {
+        let (workload, server) = tiny_server();
+        let spectra = batch_of(&workload);
+        let id = server
+            .open_session("tiny", WindowKind::Open.window())
+            .unwrap();
+        server.submit_session(id, &spectra).unwrap();
+        assert_eq!(server.open_sessions(), 1);
+        server.close_session(id).unwrap();
+        assert_eq!(server.open_sessions(), 0);
+        // The id is gone: no finalize, no re-close.
+        assert!(server.finalize_session(id, 0.01).is_err());
+        assert!(server.close_session(id).is_err());
+    }
+
+    #[test]
+    fn sessions_survive_unload_of_their_index() {
+        let (workload, server) = tiny_server();
+        let spectra = batch_of(&workload);
+        let id = server
+            .open_session("tiny", WindowKind::Open.window())
+            .unwrap();
+        server.submit_session(id, &spectra).unwrap();
+        server.unload_index("tiny").unwrap();
+        // The open session keeps its engine alive and finalizes fine.
+        let result = server.finalize_session(id, 0.01).unwrap();
+        assert!(result.stats.identifications > 0);
+        // But no new session can target the unloaded name.
+        assert!(server
+            .open_session("tiny", WindowKind::Open.window())
+            .is_err());
+    }
+
+    #[test]
     fn unknown_index_and_bad_fdr_are_errors_not_panics() {
         let (workload, server) = tiny_server();
         let mut request = QueryRequest {
@@ -343,31 +713,35 @@ mod tests {
         request.index = "tiny".to_owned();
         request.fdr = 0.0;
         assert!(server.query_batch(&request).is_err());
+        // Session verbs fail the same way.
+        assert!(server
+            .open_session("nope", WindowKind::Open.window())
+            .is_err());
+        assert!(server.submit_session(999, &[]).is_err());
+        let id = server
+            .open_session("tiny", WindowKind::Open.window())
+            .unwrap();
+        assert!(server.finalize_session(id, 0.0).is_err());
+        // A bad FDR level does not consume the session.
+        assert!(server.finalize_session(id, 0.01).is_ok());
     }
 
     #[test]
     fn duplicate_names_rejected() {
-        let (workload, mut server) = tiny_server();
-        let mut config = IndexConfig {
-            threads: 2,
-            ..IndexConfig::default()
-        };
-        if let IndexedBackendKind::Exact(exact) = &mut config.kind {
-            exact.encoder.dim = 2048;
-        }
-        let index = IndexBuilder::new(config).from_library(&workload.library);
+        let (workload, server) = tiny_server();
+        let index = tiny_index(&workload);
         assert!(server.add_index("tiny", index).is_err());
     }
 
     #[test]
     fn resident_backend_shares_index_storage() {
         let (_, server) = tiny_server();
-        let resident = &server.indexes()[0];
+        let engine = server.engine("tiny").expect("resident");
         // The resident pair holds ONE copy of the encoded library: the
-        // index's shared table has exactly two handles (index + backend's
-        // scorer), and no hypervector words were cloned.
+        // index's shared table has exactly two handles (index + the
+        // engine backend's scorer), and no hypervector words were cloned.
         assert_eq!(
-            std::sync::Arc::strong_count(resident.index().shared_references()),
+            std::sync::Arc::strong_count(engine.index().expect("index-backed").shared_references()),
             2
         );
     }

@@ -27,8 +27,8 @@ fn json_lines(doc: &str) -> Vec<String> {
 fn every_documented_payload_roundtrips_verbatim() {
     let lines = json_lines(DOC);
     assert!(
-        lines.len() >= 7,
-        "expected the spec to document at least 7 payloads, found {}",
+        lines.len() >= 15,
+        "expected the spec to document at least 15 payloads, found {}",
         lines.len()
     );
     for line in &lines {
@@ -61,10 +61,21 @@ fn doc_covers_every_message_type() {
         "\"type\":\"ping\"",
         "\"type\":\"list_indexes\"",
         "\"type\":\"query\"",
+        "\"type\":\"session.open\"",
+        "\"type\":\"session.submit\"",
+        "\"type\":\"session.finalize\"",
+        "\"type\":\"session.close\"",
+        "\"type\":\"index.load\"",
+        "\"type\":\"index.unload\"",
         "\"type\":\"pong\"",
         "\"type\":\"indexes\"",
         "\"type\":\"result\"",
         "\"type\":\"error\"",
+        "\"type\":\"session\"",
+        "\"type\":\"receipt\"",
+        "\"type\":\"closed\"",
+        "\"type\":\"loaded\"",
+        "\"type\":\"unloaded\"",
     ] {
         assert!(lines.contains(needle), "spec lost its {needle} example");
     }

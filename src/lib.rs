@@ -24,6 +24,9 @@
 //!   once, persist it (hypervectors, shard boundaries, MLC programming
 //!   state, checksums), and reload search backends warm — with
 //!   shard-parallel open search.
+//! * [`engine`] — the unified query execution layer: one `Engine`
+//!   builder over every cold/warm construction path, and stateful
+//!   `Session`s with streaming cross-batch FDR.
 //! * [`serve`] — the long-lived batch query server: resident `.hdx`
 //!   indexes, a line-framed JSON wire protocol, and per-batch serving
 //!   statistics.
@@ -48,6 +51,7 @@
 
 pub use hdoms_baselines as baselines;
 pub use hdoms_core as core;
+pub use hdoms_engine as engine;
 pub use hdoms_hdc as hdc;
 pub use hdoms_index as index;
 pub use hdoms_ms as ms;

@@ -2,11 +2,14 @@
 //! synthetic spectra to FDR-filtered identifications, on software and on
 //! the simulated RRAM accelerator.
 
-use hdoms::core::accelerator::{AcceleratorConfig, OmsAccelerator};
+use hdoms::core::accelerator::AcceleratorConfig;
+use hdoms::engine::Engine;
 use hdoms::hdc::item_memory::LevelStyle;
+use hdoms::index::{IndexConfig, IndexedBackendKind};
 use hdoms::ms::dataset::{SyntheticWorkload, WorkloadSpec};
 use hdoms::oms::pipeline::{OmsPipeline, PipelineConfig};
 use hdoms::oms::window::PrecursorWindow;
+use std::sync::Arc;
 
 fn small_accelerator_config() -> AcceleratorConfig {
     let mut config = AcceleratorConfig::default();
@@ -43,8 +46,17 @@ fn accelerator_matches_software_quality() {
     let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 1002);
     let pipeline = OmsPipeline::new(PipelineConfig::fast_test());
     let software = pipeline.run_exact(&workload);
-    let accel = OmsAccelerator::build(&workload.library, small_accelerator_config());
-    let hardware = pipeline.run(&workload, &accel);
+    // The unified construction path: the accelerator rides inside an
+    // Engine (cold build → sharded search), as every caller now does.
+    let accel = Arc::new(Engine::from_library(
+        &workload.library,
+        IndexConfig {
+            kind: IndexedBackendKind::Rram(small_accelerator_config()),
+            threads: 4,
+            ..IndexConfig::default()
+        },
+    ));
+    let (hardware, _) = accel.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
     let sw = software.evaluate(&workload).correct as f64;
     let hw = hardware.evaluate(&workload).correct as f64;
     assert!(
