@@ -197,8 +197,10 @@ pub fn search(args: &[String]) -> Result<(), String> {
             )
         }
         (Some(index_path), _) => {
+            // Mapped by default: the index file is searched in place
+            // from one backing buffer (v1 files fall back to copying).
             let loaded_index = IndexReader::with_threads(threads)
-                .open_with(Path::new(index_path))
+                .open_mapped_with(Path::new(index_path))
                 .map_err(|e| e.to_string())?;
             SearchTarget::Warm(loaded_index)
         }
@@ -387,7 +389,7 @@ pub fn compare(args: &[String]) -> Result<(), String> {
         .get("index")
         .map(|p| {
             IndexReader::with_threads(threads)
-                .open_with(Path::new(p))
+                .open_mapped_with(Path::new(p))
                 .map_err(|e| e.to_string())
         })
         .transpose()?;
@@ -508,8 +510,10 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         let Some((name, path)) = spec.split_once('=') else {
             return Err(format!("--index takes <name>=<path.hdx>, got {spec:?}"));
         };
+        // Resident indexes are mapped: one backing buffer per file,
+        // searched in place for the lifetime of the server.
         let index = IndexReader::with_threads(threads)
-            .open_with(Path::new(path))
+            .open_mapped_with(Path::new(path))
             .map_err(|e| format!("loading {path}: {e}"))?;
         server.add_index(name, index).map_err(|e| e.to_string())?;
         let resident = server.summaries().pop().expect("just added");

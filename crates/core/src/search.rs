@@ -22,7 +22,7 @@
 //! [`hdoms_rram::array`].
 
 use hdoms_hdc::parallel::par_map;
-use hdoms_hdc::BinaryHypervector;
+use hdoms_hdc::{BinaryHypervector, HvView};
 use hdoms_oms::search::SharedReferences;
 use hdoms_rram::array::CrossbarConfig;
 use hdoms_rram::device::DeviceModel;
@@ -76,16 +76,8 @@ impl InMemorySearch {
     ) -> InMemorySearch {
         let references = references.into();
         crossbar.validate();
-        let dim = references
-            .iter()
-            .flatten()
-            .map(BinaryHypervector::dim)
-            .next()
-            .expect("at least one stored reference");
-        assert!(
-            references.iter().flatten().all(|hv| hv.dim() == dim),
-            "all references must share a dimension"
-        );
+        // `dim()` asserts all present references agree.
+        let dim = references.dim().expect("at least one stored reference");
         // σ of one Laplace(λ) is λ√2; the differential pair subtracts two
         // independent extreme-level cells.
         let device = DeviceModel::new(crossbar.mlc);
@@ -100,11 +92,6 @@ impl InMemorySearch {
             seed,
             threads,
         }
-    }
-
-    /// The stored references.
-    pub fn references(&self) -> &[Option<BinaryHypervector>] {
-        &self.references
     }
 
     /// The shared handle to the stored reference table.
@@ -137,7 +124,11 @@ impl InMemorySearch {
         query_id: u32,
         reference_id: u32,
     ) -> Option<SearchStats> {
-        let reference = self.references[reference_id as usize].as_ref()?;
+        assert!(
+            (reference_id as usize) < self.references.len(),
+            "reference id {reference_id} out of range"
+        );
+        let reference = self.references.hv(reference_id as usize)?;
         assert_eq!(query.dim(), self.dim, "query dimension mismatch");
         let mut rng = StdRng::seed_from_u64(
             self.seed
@@ -155,7 +146,7 @@ impl InMemorySearch {
             let n = (end - start) as f64;
             cycles += 1;
             // Exact partial MAC over this group via masked XOR popcount.
-            let same = matching_bits(query, reference, start, end);
+            let same = matching_bits(query, &reference, start, end);
             let mac = 2.0 * same as f64 - n; // matches − mismatches
             exact += mac as i64;
             // Analog path: normalised voltage + weight deviation (CLT over
@@ -232,8 +223,14 @@ impl InMemorySearch {
 }
 
 /// Number of equal bits between `a` and `b` within dimensions
-/// `[start, end)`, computed with masked XOR popcounts.
-fn matching_bits(a: &BinaryHypervector, b: &BinaryHypervector, start: usize, end: usize) -> u32 {
+/// `[start, end)`, computed with masked XOR popcounts. Generic over
+/// [`HvView`] so owned query hypervectors scan mapped reference words
+/// in place.
+fn matching_bits<A, B>(a: &A, b: &B, start: usize, end: usize) -> u32
+where
+    A: HvView + ?Sized,
+    B: HvView + ?Sized,
+{
     debug_assert!(start < end && end <= a.dim());
     let mut mismatches = 0u32;
     let first_word = start / 64;

@@ -7,8 +7,10 @@
 //!
 //! * [`Engine`] — **one builder for every construction path**. Cold
 //!   ([`Engine::from_library`]), warm ([`Engine::open`] /
-//!   [`Engine::from_index`] / [`Engine::from_index_flat`]),
-//!   shared-table ([`Engine::from_shared`]), or bring-your-own backend
+//!   [`Engine::from_index`] / [`Engine::from_index_flat`]), mapped
+//!   ([`Engine::open_mapped`] — the zero-copy default for serving:
+//!   the `.hdx` file's bytes are searched in place), shared-table
+//!   ([`Engine::from_shared`]), or bring-your-own backend
 //!   ([`Engine::from_backend`]). An engine owns everything a search
 //!   needs — the scoring backend, the mass-sorted candidate index, and
 //!   the per-reference metadata (mass, decoy flag, peptide) — so callers
@@ -81,37 +83,43 @@ use std::time::Instant;
 /// The per-reference metadata an engine needs to turn backend hits into
 /// PSMs and table rows: neutral mass (precursor delta), decoy flag
 /// (FDR), and peptide sequence (reports). Dense by reference id.
+///
+/// The peptide table is reference-counted: an engine built over a
+/// [`LibraryIndex`] shares the index's cached table instead of cloning
+/// every sequence.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ReferenceMeta {
     masses: Vec<f64>,
     decoys: Vec<bool>,
-    peptides: Vec<String>,
+    peptides: Arc<[String]>,
 }
 
 impl ReferenceMeta {
     /// Capture the metadata of a raw spectral library.
     pub fn from_library(library: &SpectralLibrary) -> ReferenceMeta {
         let mut meta = ReferenceMeta::default();
+        let mut peptides = Vec::with_capacity(library.len());
         for entry in library.iter() {
             meta.masses.push(entry.spectrum.neutral_mass());
             meta.decoys.push(entry.is_decoy);
-            meta.peptides.push(entry.peptide.to_string());
+            peptides.push(entry.peptide.to_string());
         }
+        meta.peptides = peptides.into();
         meta
     }
 
-    /// Capture the metadata of a loaded persistent index.
+    /// Capture the metadata of a loaded persistent index. The peptide
+    /// table is shared with the index (one `Arc` bump), not copied.
     pub fn from_index(index: &LibraryIndex) -> ReferenceMeta {
         let n = index.entry_count();
         let mut meta = ReferenceMeta {
             masses: vec![f64::NAN; n],
             decoys: vec![false; n],
-            peptides: vec![String::new(); n],
+            peptides: index.peptides_by_id(),
         };
         for e in index.entries() {
             meta.masses[e.id as usize] = e.neutral_mass;
             meta.decoys[e.id as usize] = e.is_decoy;
-            meta.peptides[e.id as usize] = e.peptide.clone();
         }
         meta
     }
@@ -203,6 +211,7 @@ impl EngineBackend {
 /// |---|---|
 /// | [`Engine::from_library`] | cold `ExactBackend::build` / `OmsAccelerator::build` / `HyperOmsBackend::build` + manual candidate index |
 /// | [`Engine::open`] / [`Engine::from_index`] | `IndexReader::open` + `LibraryIndex::sharded_backend` + `peptides_by_id` + `candidate_index` |
+/// | [`Engine::open_mapped`] | the zero-copy load: `LibraryIndex::open_mapped` + the same wiring, searching the file buffer in place |
 /// | [`Engine::from_index_flat`] | `LibraryIndex::to_exact_backend` / `to_hyperoms_backend` / `to_accelerator` |
 /// | [`Engine::from_shared`] | `ExactBackend::from_shared` over an existing reference table |
 /// | [`Engine::from_backend`] | any custom [`SimilarityBackend`] (e.g. the baselines crate) |
@@ -238,13 +247,35 @@ impl Engine {
     }
 
     /// **Warm** construction from a `.hdx` file: load, validate, and wire
-    /// the shard-parallel engine.
+    /// the shard-parallel engine. Hypervectors are materialised (the
+    /// copying path); prefer [`Engine::open_mapped`] for serving.
     ///
     /// # Errors
     ///
     /// Propagates load failures ([`IndexError`]).
     pub fn open(path: &Path, threads: usize) -> Result<Engine, IndexError> {
         let index = IndexReader::with_threads(threads).open_with(path)?;
+        Engine::from_index(index, threads)
+    }
+
+    /// **Mapped** construction from a `.hdx` file: the file is read (or
+    /// `mmap`ed, with the index crate's `mmap` feature) into one backing
+    /// buffer and searched **in place** — no per-reference hypervector
+    /// is materialised, so open time and resident memory stop scaling
+    /// with the encoded-library payload. Searches produce PSM tables
+    /// byte-identical to [`Engine::open`] and [`Engine::from_library`]
+    /// over the same references (asserted in
+    /// `crates/engine/tests/equivalence.rs`).
+    ///
+    /// This is the default path for `hdoms serve` and
+    /// `hdoms search --index`. A v1-format file loads through the
+    /// copying fallback automatically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load failures ([`IndexError`]).
+    pub fn open_mapped(path: &Path, threads: usize) -> Result<Engine, IndexError> {
+        let index = IndexReader::with_threads(threads).open_mapped_with(path)?;
         Engine::from_index(index, threads)
     }
 
@@ -674,7 +705,7 @@ mod tests {
         };
         let shared = Engine::from_shared(
             *config,
-            Arc::clone(index.shared_references()),
+            index.shared_references().clone(),
             ReferenceMeta::from_index(index),
             2,
         );

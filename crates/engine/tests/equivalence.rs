@@ -146,6 +146,58 @@ fn custom_backend_engines_match_the_pipeline() {
 }
 
 #[test]
+fn mapped_engine_matches_open_and_cold_byte_for_byte() {
+    // The zero-copy acceptance contract: `Engine::open_mapped` (searching
+    // the `.hdx` bytes in place) renders PSM tables byte-identical to
+    // `Engine::open` (materialised hypervectors) and to the cold
+    // `Engine::from_library` build that produced the index.
+    let (workload, cold) = tiny_engine(9006);
+    let path = std::env::temp_dir().join(format!(
+        "hdoms-engine-mapped-equiv-{}.hdx",
+        std::process::id()
+    ));
+    cold.index()
+        .expect("cold keeps index")
+        .write(&path)
+        .unwrap();
+    let warm = Arc::new(Engine::open(&path, THREADS).expect("copying load"));
+    let mapped = Arc::new(Engine::open_mapped(&path, THREADS).expect("mapped load"));
+    std::fs::remove_file(&path).ok();
+
+    assert!(
+        mapped
+            .index()
+            .expect("mapped keeps index")
+            .shared_references()
+            .is_mapped(),
+        "open_mapped must search the file buffer in place"
+    );
+    assert!(!warm
+        .index()
+        .expect("warm keeps index")
+        .shared_references()
+        .is_mapped());
+
+    let window = PrecursorWindow::open_default();
+    let (cold_outcome, _) = cold.search(&workload.queries, window, 0.01);
+    let (warm_outcome, _) = warm.search(&workload.queries, window, 0.01);
+    let (mapped_outcome, _) = mapped.search(&workload.queries, window, 0.01);
+    assert_eq!(mapped_outcome, warm_outcome);
+    assert_eq!(mapped_outcome, cold_outcome);
+    let cold_table = render_table(cold.peptides(), &cold_outcome);
+    assert_eq!(render_table(warm.peptides(), &warm_outcome), cold_table);
+    assert_eq!(render_table(mapped.peptides(), &mapped_outcome), cold_table);
+
+    // Streaming sessions behave identically over the mapped engine too.
+    let mut session = Session::new(Arc::clone(&mapped), window);
+    let chunk = workload.queries.len().div_ceil(3);
+    for batch in workload.queries.chunks(chunk) {
+        session.submit(batch);
+    }
+    assert_eq!(session.finalize(0.01), cold_outcome);
+}
+
+#[test]
 fn warm_engine_over_persisted_index_matches_cold() {
     let (workload, cold) = tiny_engine(9005);
     let path = std::env::temp_dir().join(format!("hdoms-engine-equiv-{}.hdx", std::process::id()));

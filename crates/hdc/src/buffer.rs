@@ -1,0 +1,313 @@
+//! An 8-byte-aligned, reference-counted, read-only byte buffer.
+//!
+//! [`WordBuffer`] backs the zero-copy index load path: a whole `.hdx`
+//! file is read (or mapped) into **one** allocation whose base address is
+//! `u64`-aligned, so any 8-aligned byte range inside it can be handed out
+//! directly as a `&[u64]` hypervector word slice — the packed words the
+//! distance kernels scan *are* the file bytes, with no per-reference
+//! materialisation.
+//!
+//! Alignment is guaranteed by construction: the owned storage is a
+//! `Vec<u64>` viewed as bytes (never the other way round), and the
+//! optional `mmap` storage (feature `mmap`, 64-bit Unix only — the
+//! hand-declared FFI signature assumes 64-bit `off_t`/`size_t`) is
+//! page-aligned by the kernel.
+
+use std::fmt;
+use std::io::Read;
+use std::sync::Arc;
+
+/// The storage behind a [`WordBuffer`].
+enum Storage {
+    /// Heap storage: a `u64` vector viewed as bytes (base is 8-aligned
+    /// because the allocation was made *as* `u64`s).
+    Owned(Vec<u64>),
+    /// A read-only file mapping (page-aligned, unmapped on drop).
+    #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+    Mapped(mmap::Mapping),
+}
+
+/// A shared, immutable, 8-byte-aligned byte buffer that hands out `u64`
+/// word slices at aligned offsets.
+///
+/// Cloning is cheap (one `Arc` bump) and every clone views the same
+/// bytes — compare handles with [`WordBuffer::ptr_eq`].
+#[derive(Clone)]
+pub struct WordBuffer {
+    storage: Arc<Storage>,
+    /// Logical length in bytes (the storage may be padded to a whole
+    /// number of words).
+    len: usize,
+}
+
+impl WordBuffer {
+    /// Read exactly `len` bytes from `reader` into one aligned buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures (including a short stream).
+    pub fn from_reader<R: Read>(mut reader: R, len: usize) -> std::io::Result<WordBuffer> {
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // Viewing zero-initialised u64 storage as bytes is sound: u8 has
+        // no validity requirements and the region is fully initialised.
+        let bytes = unsafe {
+            std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), words.len() * 8)
+        };
+        reader.read_exact(&mut bytes[..len])?;
+        Ok(WordBuffer {
+            storage: Arc::new(Storage::Owned(words)),
+            len,
+        })
+    }
+
+    /// Copy `bytes` into an aligned buffer (tests and in-memory loads;
+    /// the zero-copy path uses [`WordBuffer::from_reader`] so the file is
+    /// read straight into place).
+    pub fn from_bytes(bytes: &[u8]) -> WordBuffer {
+        WordBuffer::from_reader(bytes, bytes.len()).expect("reading from a slice cannot fail")
+    }
+
+    /// Map the file at `path` read-only into memory (no copy at all; the
+    /// kernel pages bytes in on demand).
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/stat/map failures.
+    #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+    pub fn map_file(path: &std::path::Path) -> std::io::Result<WordBuffer> {
+        let mapping = mmap::Mapping::open(path)?;
+        let len = mapping.len();
+        Ok(WordBuffer {
+            storage: Arc::new(Storage::Mapped(mapping)),
+            len,
+        })
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer contents as bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        match &*self.storage {
+            Storage::Owned(words) => {
+                // Safe by construction: the u64 storage is initialised
+                // and outlives the borrow.
+                let all = unsafe {
+                    std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), words.len() * 8)
+                };
+                &all[..self.len]
+            }
+            #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+            Storage::Mapped(mapping) => mapping.as_bytes(),
+        }
+    }
+
+    /// The `count` words starting at `byte_offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `byte_offset` is 8-aligned and the range lies inside
+    /// the buffer.
+    pub fn words(&self, byte_offset: usize, count: usize) -> &[u64] {
+        assert_eq!(byte_offset % 8, 0, "word slices need an 8-aligned offset");
+        // Checked arithmetic: a huge offset must fail here, not wrap
+        // past the bound and reach the unsafe pointer math below.
+        let end = count
+            .checked_mul(8)
+            .and_then(|len| byte_offset.checked_add(len));
+        assert!(
+            end.is_some_and(|end| end <= self.len),
+            "word slice {byte_offset}+{count}w out of bounds for {} bytes",
+            self.len
+        );
+        match &*self.storage {
+            Storage::Owned(words) => &words[byte_offset / 8..byte_offset / 8 + count],
+            #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+            Storage::Mapped(mapping) => mapping.words(byte_offset, count),
+        }
+    }
+
+    /// Whether two handles view the same storage.
+    pub fn ptr_eq(a: &WordBuffer, b: &WordBuffer) -> bool {
+        Arc::ptr_eq(&a.storage, &b.storage)
+    }
+
+    /// Number of live handles on this buffer's storage.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.storage)
+    }
+}
+
+impl fmt::Debug for WordBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &*self.storage {
+            Storage::Owned(_) => "owned",
+            #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+            Storage::Mapped(_) => "mmap",
+        };
+        write!(f, "WordBuffer({kind}, {} bytes)", self.len)
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+mod mmap {
+    //! A minimal read-only `mmap` wrapper declared straight against the
+    //! C library (the workspace builds offline, so the `libc` crate is
+    //! not available — the two syscalls it would wrap are declared here
+    //! instead).
+
+    use std::os::fd::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    /// A read-only private file mapping, unmapped on drop.
+    pub(super) struct Mapping {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    // The mapping is immutable after construction and the pages are
+    // process-shared, so handing references across threads is safe.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        pub(super) fn open(path: &std::path::Path) -> std::io::Result<Mapping> {
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len() as usize;
+            if len == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "cannot map an empty file",
+                ));
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Mapping { ptr, len })
+        }
+
+        pub(super) fn len(&self) -> usize {
+            self.len
+        }
+
+        pub(super) fn as_bytes(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+        }
+
+        pub(super) fn words(&self, byte_offset: usize, count: usize) -> &[u64] {
+            // The page-aligned base plus an 8-aligned offset (checked by
+            // the caller) keeps the u64 reads aligned.
+            unsafe {
+                std::slice::from_raw_parts(self.ptr.cast::<u8>().add(byte_offset).cast(), count)
+            }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_bytes_and_words() {
+        let mut bytes = Vec::new();
+        for w in [1u64, u64::MAX, 0x0123_4567_89ab_cdef] {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        bytes.push(7); // a trailing partial word
+        let buffer = WordBuffer::from_bytes(&bytes);
+        assert_eq!(buffer.len(), 25);
+        assert_eq!(buffer.as_bytes(), &bytes[..]);
+        assert_eq!(buffer.words(0, 2), &[1, u64::MAX]);
+        assert_eq!(buffer.words(8, 2), &[u64::MAX, 0x0123_4567_89ab_cdef]);
+    }
+
+    #[test]
+    fn base_is_word_aligned() {
+        let buffer = WordBuffer::from_bytes(&[0u8; 17]);
+        assert_eq!(buffer.as_bytes().as_ptr() as usize % 8, 0);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let buffer = WordBuffer::from_bytes(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let other = buffer.clone();
+        assert!(WordBuffer::ptr_eq(&buffer, &other));
+        assert_eq!(buffer.handle_count(), 2);
+        assert_eq!(other.as_bytes(), buffer.as_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "8-aligned")]
+    fn misaligned_word_slice_rejected() {
+        let buffer = WordBuffer::from_bytes(&[0u8; 32]);
+        let _ = buffer.words(4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_word_slice_rejected() {
+        let buffer = WordBuffer::from_bytes(&[0u8; 15]);
+        let _ = buffer.words(8, 1);
+    }
+
+    #[test]
+    fn short_reader_is_an_error() {
+        let bytes = [0u8; 4];
+        assert!(WordBuffer::from_reader(&bytes[..], 8).is_err());
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+    #[test]
+    fn mapped_file_reads_like_owned() {
+        let path = std::env::temp_dir().join(format!("hdoms-mmap-{}.bin", std::process::id()));
+        let bytes: Vec<u8> = (0..100u8).collect();
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = WordBuffer::map_file(&path).unwrap();
+        assert_eq!(mapped.as_bytes(), &bytes[..]);
+        assert_eq!(
+            mapped.words(8, 1),
+            WordBuffer::from_bytes(&bytes).words(8, 1)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -154,6 +154,160 @@ impl BinaryHypervector {
     pub fn count_ones(&self) -> u32 {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
+
+    /// Reassemble a hypervector from packed words (the inverse of
+    /// [`BinaryHypervector::words`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero, the word count is not `ceil(dim / 64)`,
+    /// or unused tail bits of the last word are set.
+    pub fn from_words(dim: usize, words: Vec<u64>) -> BinaryHypervector {
+        assert!(dim > 0, "hypervector dimension must be positive");
+        assert_eq!(
+            words.len(),
+            Self::word_count(dim),
+            "word count must match the dimension"
+        );
+        let hv = BinaryHypervector { dim, words };
+        assert!(hv.tail_is_masked(), "unused tail bits must be zero");
+        hv
+    }
+
+    /// Whether every bit beyond `dim` in the last word is zero.
+    pub fn tail_is_masked(&self) -> bool {
+        let rem = self.dim % 64;
+        rem == 0 || self.words[self.words.len() - 1] & !((1u64 << rem) - 1) == 0
+    }
+
+    /// A borrowed view of this hypervector (dimension + packed words).
+    #[inline]
+    pub fn as_view(&self) -> HvRef<'_> {
+        HvRef {
+            dim: self.dim,
+            words: &self.words,
+        }
+    }
+}
+
+/// A borrowed, bit-packed hypervector view: a dimension plus a `&[u64]`
+/// word slice that lives somewhere else — inside an owned
+/// [`BinaryHypervector`], or directly inside a loaded index file's
+/// backing buffer (the zero-copy search path).
+///
+/// Every read-only operation the distance kernels need is available
+/// through [`HvView`], which both this type and [`BinaryHypervector`]
+/// implement, so kernels are written once and scan either representation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct HvRef<'a> {
+    dim: usize,
+    words: &'a [u64],
+}
+
+impl<'a> HvRef<'a> {
+    /// A view over `words` interpreted as a `dim`-bit hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero, the word count is not `ceil(dim / 64)`,
+    /// or unused tail bits of the last word are set (the tail invariant
+    /// every [`BinaryHypervector`] maintains — distance kernels rely on
+    /// it, so views must too).
+    pub fn new(dim: usize, words: &'a [u64]) -> HvRef<'a> {
+        assert!(dim > 0, "hypervector dimension must be positive");
+        assert_eq!(
+            words.len(),
+            BinaryHypervector::word_count(dim),
+            "word count must match the dimension"
+        );
+        let rem = dim % 64;
+        assert!(
+            rem == 0 || words[words.len() - 1] & !((1u64 << rem) - 1) == 0,
+            "unused tail bits must be zero"
+        );
+        HvRef { dim, words }
+    }
+
+    /// Like [`HvRef::new`] without the validation — for hot paths whose
+    /// caller already validated the slice once (e.g. a mapped reference
+    /// table checks every offset at load time). Violating the
+    /// invariants gives wrong distances, never memory unsafety; debug
+    /// builds still assert them.
+    #[inline]
+    pub fn new_unchecked(dim: usize, words: &'a [u64]) -> HvRef<'a> {
+        debug_assert_eq!(words.len(), BinaryHypervector::word_count(dim));
+        debug_assert!({
+            let rem = dim % 64;
+            rem == 0 || words[words.len() - 1] & !((1u64 << rem) - 1) == 0
+        });
+        HvRef { dim, words }
+    }
+
+    /// Dimension of the viewed hypervector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The packed words.
+    #[inline]
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Copy the view into an owned [`BinaryHypervector`].
+    pub fn to_hypervector(&self) -> BinaryHypervector {
+        BinaryHypervector {
+            dim: self.dim,
+            words: self.words.to_vec(),
+        }
+    }
+}
+
+impl fmt::Debug for HvRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HvRef(dim={}, ones={})",
+            self.dim,
+            self.words.iter().map(|w| w.count_ones()).sum::<u32>()
+        )
+    }
+}
+
+/// Read-only access to a bit-packed hypervector — implemented by the
+/// owned [`BinaryHypervector`] and the borrowed [`HvRef`], so similarity
+/// kernels accept either without copying.
+pub trait HvView {
+    /// Dimension in bits.
+    fn dim(&self) -> usize;
+
+    /// The packed words; unused tail bits of the last word are zero.
+    fn words(&self) -> &[u64];
+}
+
+impl HvView for BinaryHypervector {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl HvView for HvRef<'_> {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        self.words
+    }
 }
 
 impl fmt::Debug for BinaryHypervector {
@@ -257,5 +411,31 @@ mod tests {
         let s = format!("{hv:?}");
         assert!(s.len() < 100);
         assert!(s.contains("dim=8192"));
+    }
+
+    #[test]
+    fn view_roundtrips_through_words() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let hv = BinaryHypervector::random(&mut rng, 130);
+        let view = hv.as_view();
+        assert_eq!(view.dim(), 130);
+        assert_eq!(view.words(), hv.words());
+        assert_eq!(view.to_hypervector(), hv);
+        let rebuilt = BinaryHypervector::from_words(130, hv.words().to_vec());
+        assert_eq!(rebuilt, hv);
+        let external = HvRef::new(130, hv.words());
+        assert_eq!(external, view);
+    }
+
+    #[test]
+    #[should_panic(expected = "tail bits")]
+    fn view_rejects_dirty_tail() {
+        let _ = HvRef::new(65, &[0, 0b100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count")]
+    fn from_words_rejects_wrong_count() {
+        let _ = BinaryHypervector::from_words(130, vec![0; 2]);
     }
 }

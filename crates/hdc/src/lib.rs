@@ -42,6 +42,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod buffer;
 pub mod corrupt;
 pub mod encoder;
 pub mod hv;
@@ -52,8 +53,9 @@ pub mod parallel;
 pub mod search;
 pub mod similarity;
 
+pub use buffer::WordBuffer;
 pub use encoder::{EncoderConfig, IdLevelEncoder};
-pub use hv::BinaryHypervector;
+pub use hv::{BinaryHypervector, HvRef, HvView};
 pub use item_memory::LevelStyle;
 pub use multibit::{IdPrecision, MultiBitHypervector};
 pub use similarity::{hamming_distance, normalized_similarity};

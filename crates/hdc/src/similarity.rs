@@ -5,9 +5,14 @@
 //! the dot product is `D - 2·hamming(a, b)`, computable with XOR +
 //! popcount over the packed words.
 
-use crate::hv::BinaryHypervector;
+use crate::hv::HvView;
 
 /// Hamming distance: the number of dimensions where `a` and `b` differ.
+///
+/// Generic over [`HvView`], so it scans owned
+/// [`BinaryHypervector`](crate::hv::BinaryHypervector)s and borrowed
+/// [`HvRef`](crate::hv::HvRef) views (e.g. words living inside a mapped
+/// index buffer) with the same code.
 ///
 /// # Panics
 ///
@@ -21,9 +26,14 @@ use crate::hv::BinaryHypervector;
 /// a.flip(3);
 /// a.flip(90);
 /// assert_eq!(hamming_distance(&a, &b), 2);
+/// assert_eq!(hamming_distance(&a.as_view(), &b), 2);
 /// ```
 #[inline]
-pub fn hamming_distance(a: &BinaryHypervector, b: &BinaryHypervector) -> u32 {
+pub fn hamming_distance<A, B>(a: &A, b: &B) -> u32
+where
+    A: HvView + ?Sized,
+    B: HvView + ?Sized,
+{
     assert_eq!(a.dim(), b.dim(), "dimension mismatch");
     a.words()
         .iter()
@@ -41,7 +51,11 @@ pub fn hamming_distance(a: &BinaryHypervector, b: &BinaryHypervector) -> u32 {
 ///
 /// Panics on dimension mismatch.
 #[inline]
-pub fn dot(a: &BinaryHypervector, b: &BinaryHypervector) -> i64 {
+pub fn dot<A, B>(a: &A, b: &B) -> i64
+where
+    A: HvView + ?Sized,
+    B: HvView + ?Sized,
+{
     let d = a.dim() as i64;
     d - 2 * i64::from(hamming_distance(a, b))
 }
@@ -54,13 +68,18 @@ pub fn dot(a: &BinaryHypervector, b: &BinaryHypervector) -> i64 {
 ///
 /// Panics on dimension mismatch.
 #[inline]
-pub fn normalized_similarity(a: &BinaryHypervector, b: &BinaryHypervector) -> f64 {
+pub fn normalized_similarity<A, B>(a: &A, b: &B) -> f64
+where
+    A: HvView + ?Sized,
+    B: HvView + ?Sized,
+{
     dot(a, b) as f64 / a.dim() as f64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hv::BinaryHypervector;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

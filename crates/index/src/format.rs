@@ -1,6 +1,6 @@
 //! The versioned `HDX` on-disk format: section layout and config codecs.
 //!
-//! ## Layout (format version 1)
+//! ## Layout (format versions 1 and 2)
 //!
 //! ```text
 //! preamble   magic "HDOMSIDX" (8) · format version u32 · header length u64
@@ -17,6 +17,17 @@
 //! corruption is pinned to a section, and shard payloads can be decoded
 //! independently — which is what lets [`IndexReader`](crate::IndexReader)
 //! validate and decode shards in parallel.
+//!
+//! **Version 2** changes only the shard sections, for the zero-copy load
+//! path: every section payload is preceded by zero padding bringing its
+//! absolute file offset to a multiple of 8, and a shard's hypervector
+//! words move out of the entry records into one contiguous,
+//! internally-8-aligned word block at the end of the payload. A v2 file
+//! loaded through [`LibraryIndex::open_mapped`](crate::LibraryIndex::open_mapped)
+//! is therefore searchable **in place**: the word block offsets become a
+//! mapped reference table over the single file buffer, and no
+//! per-reference hypervector is ever materialised. Version 1 files stay
+//! readable through the original copying decoder.
 
 use crate::wire::{Reader, WireError, Writer};
 use hdoms_baselines::hyperoms::HyperOmsConfig;
@@ -26,7 +37,7 @@ use hdoms_hdc::item_memory::LevelStyle;
 use hdoms_hdc::multibit::IdPrecision;
 use hdoms_hdc::BinaryHypervector;
 use hdoms_ms::preprocess::{IntensityScaling, PreprocessConfig};
-use hdoms_oms::search::ExactBackendConfig;
+use hdoms_oms::search::{ExactBackendConfig, SharedReferences};
 use hdoms_rram::array::CrossbarConfig;
 use hdoms_rram::config::MlcConfig;
 use std::fmt;
@@ -34,8 +45,18 @@ use std::fmt;
 /// Magic bytes opening every index file.
 pub const MAGIC: [u8; 8] = *b"HDOMSIDX";
 
-/// Current format version. Readers reject anything newer.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version (written by default). Readers reject anything
+/// newer.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version readers still decode (v1 loads through the
+/// copying path; only v2 supports mapped loads).
+pub const MIN_FORMAT_VERSION: u32 = 1;
+
+/// Zero bytes needed after `pos` to reach an 8-byte boundary.
+pub fn pad_to_8(pos: usize) -> usize {
+    pos.wrapping_neg() % 8
+}
 
 /// Seed mixed into every section checksum (diversifies from other XXH64
 /// users of the same bytes).
@@ -72,7 +93,8 @@ impl fmt::Display for IndexError {
             IndexError::BadMagic => write!(f, "not an hdoms index (bad magic)"),
             IndexError::UnsupportedVersion { found } => write!(
                 f,
-                "index format version {found} is newer than supported version {FORMAT_VERSION}"
+                "index format version {found} is outside the supported range \
+                 {MIN_FORMAT_VERSION}..={FORMAT_VERSION}"
             ),
             IndexError::ChecksumMismatch { section } => {
                 write!(f, "checksum mismatch in index section {section:?}")
@@ -454,24 +476,20 @@ pub fn get_build_stats(r: &mut Reader<'_>) -> Result<BuildStats, IndexError> {
     })
 }
 
-/// Encode one shard's entries into a standalone section payload, pulling
-/// each entry's hypervector from the flat `references` table by id.
+/// Encode one shard's entries into a standalone **v1** section payload,
+/// pulling each entry's hypervector from the flat `references` table by
+/// id (words are serialised inline with their entry).
 ///
 /// # Panics
 ///
 /// Panics if an entry id falls outside `references` or a stored
 /// hypervector's dimension disagrees with `dim`.
-pub fn put_shard(shard: &Shard, dim: usize, references: &[Option<BinaryHypervector>]) -> Vec<u8> {
+pub fn put_shard(shard: &Shard, dim: usize, references: &SharedReferences) -> Vec<u8> {
     let mut w = Writer::new();
     w.usize(shard.entries.len());
     for e in &shard.entries {
-        w.u32(e.id);
-        w.f64(e.neutral_mass);
-        w.f64(e.precursor_mz);
-        w.u8(e.precursor_charge);
-        w.u8(u8::from(e.is_decoy));
-        w.str(&e.peptide);
-        match &references[e.id as usize] {
+        put_entry_meta(&mut w, e);
+        match references.hv(e.id as usize) {
             None => w.u8(0),
             Some(hv) => {
                 assert_eq!(hv.dim(), dim, "stored hypervector dimension mismatch");
@@ -483,8 +501,51 @@ pub fn put_shard(shard: &Shard, dim: usize, references: &[Option<BinaryHypervect
     w.into_bytes()
 }
 
-/// Decode one shard section payload into its metadata entries plus the
-/// present `(id, hypervector)` pairs (destined for the flat table).
+/// Encode one shard's entries into a standalone **v2** section payload:
+/// the entry metadata records first (with a presence flag instead of
+/// inline words), zero padding to an 8-byte boundary, then every present
+/// hypervector's `ceil(dim / 64)` packed words concatenated in entry
+/// order. Provided the payload itself starts at an 8-aligned file
+/// offset (the v2 container guarantees it), every word block is
+/// 8-aligned in the file and can be searched in place.
+///
+/// # Panics
+///
+/// Panics if an entry id falls outside `references` or a stored
+/// hypervector's dimension disagrees with `dim`.
+pub fn put_shard_v2(shard: &Shard, dim: usize, references: &SharedReferences) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize(shard.entries.len());
+    for e in &shard.entries {
+        put_entry_meta(&mut w, e);
+        w.u8(u8::from(references.hv(e.id as usize).is_some()));
+    }
+    for _ in 0..pad_to_8(w.len()) {
+        w.u8(0);
+    }
+    for e in &shard.entries {
+        if let Some(hv) = references.hv(e.id as usize) {
+            assert_eq!(hv.dim(), dim, "stored hypervector dimension mismatch");
+            for &word in hv.words() {
+                w.u64(word);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn put_entry_meta(w: &mut Writer, e: &IndexEntry) {
+    w.u32(e.id);
+    w.f64(e.neutral_mass);
+    w.f64(e.precursor_mz);
+    w.u8(e.precursor_charge);
+    w.u8(u8::from(e.is_decoy));
+    w.str(&e.peptide);
+}
+
+/// Decode one **v1** shard section payload into its metadata entries
+/// plus the present `(id, hypervector)` pairs (destined for the flat
+/// table).
 pub fn get_shard(
     bytes: &[u8],
     dim: usize,
@@ -544,9 +605,102 @@ pub fn get_shard(
     Ok((Shard { entries }, hvs))
 }
 
+/// Decode one **v2** shard section payload into its metadata entries
+/// plus, for every present hypervector, `(id, byte offset of its word
+/// block *within this payload*)`. The caller adds the payload's
+/// absolute file offset to turn these into mapped-table offsets — or
+/// materialises owned hypervectors from the same ranges (the copying
+/// v2 path).
+///
+/// Validates everything the mapped search path relies on: the padding
+/// bytes are zero, every word block's unused tail bits are zero, and
+/// the payload is consumed exactly.
+pub fn get_shard_v2(bytes: &[u8], dim: usize) -> Result<(Shard, Vec<(u32, usize)>), IndexError> {
+    let mut r = Reader::new(bytes);
+    let count = r.checked_len("shard.entry_count", 1)?;
+    let mut entries = Vec::with_capacity(count);
+    let mut present: Vec<u32> = Vec::new();
+    for _ in 0..count {
+        let (entry, hv_present) = get_entry_meta(&mut r)?;
+        if hv_present {
+            present.push(entry.id);
+        }
+        entries.push(entry);
+    }
+    let meta_len = bytes.len() - r.remaining();
+    let pad = r.raw(pad_to_8(meta_len), "shard.padding")?;
+    if pad.iter().any(|&b| b != 0) {
+        return Err(IndexError::Invalid(
+            "nonzero alignment padding in shard section".to_owned(),
+        ));
+    }
+    let word_count = dim.div_ceil(64);
+    let block_len = word_count * 8;
+    let mut offsets = Vec::with_capacity(present.len());
+    let mut offset = meta_len + pad.len();
+    for id in present {
+        let block = r.raw(block_len, "shard.hv_words")?;
+        let tail_bits = dim % 64;
+        if tail_bits != 0 {
+            let last =
+                u64::from_le_bytes(block[block_len - 8..].try_into().expect("8-byte tail word"));
+            if last & !((1u64 << tail_bits) - 1) != 0 {
+                return Err(IndexError::Invalid(format!(
+                    "entry {id}: hypervector tail bits beyond dimension {dim} are set"
+                )));
+            }
+        }
+        offsets.push((id, offset));
+        offset += block_len;
+    }
+    r.expect_end("shard")?;
+    Ok((Shard { entries }, offsets))
+}
+
+fn get_entry_meta(r: &mut Reader<'_>) -> Result<(IndexEntry, bool), IndexError> {
+    let id = r.u32("entry.id")?;
+    let neutral_mass = r.f64("entry.neutral_mass")?;
+    let precursor_mz = r.f64("entry.precursor_mz")?;
+    let precursor_charge = r.u8("entry.precursor_charge")?;
+    let is_decoy = match r.u8("entry.is_decoy")? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(WireError::InvalidValue {
+                what: "entry.is_decoy",
+                value: u64::from(other),
+            }
+            .into())
+        }
+    };
+    let peptide = r.str("entry.peptide")?;
+    let hv_present = match r.u8("entry.hv_present")? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(WireError::InvalidValue {
+                what: "entry.hv_present",
+                value: u64::from(other),
+            }
+            .into())
+        }
+    };
+    Ok((
+        IndexEntry {
+            id,
+            neutral_mass,
+            precursor_mz,
+            precursor_charge,
+            is_decoy,
+            peptide,
+        },
+        hv_present,
+    ))
+}
+
 /// Rebuild a bit-packed hypervector by filling its words straight from
 /// the file buffer (no intermediate per-entry allocation).
-fn hypervector_from_bytes(dim: usize, bytes: &[u8]) -> BinaryHypervector {
+pub(crate) fn hypervector_from_bytes(dim: usize, bytes: &[u8]) -> BinaryHypervector {
     let mut hv = BinaryHypervector::zeros(dim);
     for (word, chunk) in hv.words_mut().iter_mut().zip(bytes.chunks_exact(8)) {
         *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));

@@ -24,8 +24,15 @@
 //! ([`LibraryIndex::shared_references`]); every warm backend constructor
 //! **shares** that table instead of cloning it, so a resident index plus
 //! its backends hold a single copy of the encoded library — which is
-//! what makes the long-lived `hdoms-serve` layer affordable. The full
-//! byte-level format is specified in `docs/FORMAT.md`.
+//! what makes the long-lived `hdoms-serve` layer affordable.
+//!
+//! Format **v2** goes one step further: shard hypervector words are laid
+//! out 8-aligned, so [`LibraryIndex::open_mapped`] searches the file's
+//! bytes **in place** from one backing buffer (`mmap`ed under the
+//! default `mmap` feature on Unix, one streamed read otherwise) — no
+//! per-reference hypervector is ever materialised, opens stop scaling
+//! with the encoded payload, and resident heap drops to the metadata.
+//! The full byte-level format is specified in `docs/FORMAT.md`.
 //!
 //! ## Workflow
 //!

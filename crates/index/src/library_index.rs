@@ -2,7 +2,7 @@
 
 use crate::format::{
     self, IndexEntry, IndexError, IndexedBackendKind, MlcState, Shard, CHECKSUM_SEED,
-    FORMAT_VERSION, MAGIC,
+    FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION,
 };
 use crate::sharded::ShardedBackend;
 use crate::wire::{Reader, Writer};
@@ -14,16 +14,16 @@ use hdoms_hdc::encoder::{EncoderConfig, IdLevelEncoder};
 use hdoms_hdc::item_memory::LevelStyle;
 use hdoms_hdc::multibit::IdPrecision;
 use hdoms_hdc::parallel::par_map;
-use hdoms_hdc::BinaryHypervector;
+use hdoms_hdc::{BinaryHypervector, WordBuffer};
 use hdoms_ms::library::{LibraryEntry, SpectralLibrary};
 use hdoms_ms::preprocess::Preprocessor;
 use hdoms_oms::candidates::CandidateIndex;
 use hdoms_oms::pipeline::ReferenceCatalog;
-use hdoms_oms::search::{ExactBackend, ExactBackendConfig, SharedReferences};
+use hdoms_oms::search::{ExactBackend, ExactBackendConfig, MappedReferences, SharedReferences};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// How an index is built.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,15 +105,15 @@ impl IndexBuilder {
                 let mut config = *config;
                 config.threads = threads;
                 let backend = ExactBackend::build(library, config);
-                let stats = stats_from_refs(backend.reference_hvs());
-                (Arc::clone(backend.shared_references()), stats, None)
+                let stats = stats_from_shared(backend.shared_references());
+                (backend.shared_references().clone(), stats, None)
             }
             IndexedBackendKind::HyperOms(config) => {
                 let mut config = *config;
                 config.threads = threads;
                 let backend = HyperOmsBackend::build(library, config);
-                let stats = stats_from_refs(backend.inner().reference_hvs());
-                (Arc::clone(backend.inner().shared_references()), stats, None)
+                let stats = stats_from_shared(backend.inner().shared_references());
+                (backend.inner().shared_references().clone(), stats, None)
             }
             IndexedBackendKind::Rram(config) => {
                 let mut config = *config;
@@ -125,7 +125,7 @@ impl IndexBuilder {
                     sigma_delta: accel.encoder().sigma_delta(),
                 };
                 (
-                    Arc::clone(accel.search_engine().shared_references()),
+                    accel.search_engine().shared_references().clone(),
                     stats,
                     Some(mlc),
                 )
@@ -166,14 +166,15 @@ impl IndexBuilder {
             shards,
             references,
             by_id: Vec::new(),
+            peptides: OnceLock::new(),
         };
         index.rebuild_by_id();
         index
     }
 }
 
-fn stats_from_refs(refs: &[Option<BinaryHypervector>]) -> BuildStats {
-    let stored = refs.iter().flatten().count();
+fn stats_from_shared(refs: &SharedReferences) -> BuildStats {
+    let stored = refs.present_count();
     BuildStats {
         references_stored: stored,
         references_rejected: refs.len() - stored,
@@ -195,7 +196,17 @@ fn stats_from_refs(refs: &[Option<BinaryHypervector>]) -> BuildStats {
 /// instead of cloning it, so a resident index plus any number of
 /// backends reconstructed from it hold exactly **one** copy of the
 /// encoded library. Cloning a `LibraryIndex` likewise shares the table.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares logical content: the peptide cache is derived
+/// state and ignored, and owned vs mapped reference tables with the
+/// same bits compare equal.
+///
+/// The table comes in two representations (see [`SharedReferences`]):
+/// owned hypervectors (cold builds, v1 loads, appends) or word slices
+/// inside the single file buffer a v2 index was loaded from
+/// ([`LibraryIndex::open_mapped`]) — searches go through the same
+/// lookup either way, so every backend above is representation-blind.
+#[derive(Debug, Clone)]
 pub struct LibraryIndex {
     kind: IndexedBackendKind,
     entries_per_shard: usize,
@@ -209,6 +220,24 @@ pub struct LibraryIndex {
     /// shards, so per-PSM catalog lookups are O(1) instead of scanning
     /// every shard (rebuilt on construction and append).
     by_id: Vec<(f64, bool)>,
+    /// Dense `id → peptide` table, built lazily on the first
+    /// [`LibraryIndex::peptides_by_id`] call and then shared with every
+    /// caller (cleared on mutation) — loads stay free of per-peptide
+    /// clones, and per-session serve calls cost one `Arc` bump.
+    peptides: OnceLock<Arc<[String]>>,
+}
+
+impl PartialEq for LibraryIndex {
+    fn eq(&self, other: &LibraryIndex) -> bool {
+        self.kind == other.kind
+            && self.entries_per_shard == other.entries_per_shard
+            && self.entry_count == other.entry_count
+            && self.build_stats == other.build_stats
+            && self.mlc == other.mlc
+            && self.shards == other.shards
+            && self.references == other.references
+        // `by_id` and `peptides` are derived from the shards.
+    }
 }
 
 impl LibraryIndex {
@@ -247,25 +276,24 @@ impl LibraryIndex {
         self.shards.iter().flat_map(|s| s.entries.iter())
     }
 
-    /// Peptide sequence of reference `id` (for PSM tables without the
-    /// library file).
-    pub fn peptides_by_id(&self) -> Vec<String> {
-        let mut peptides = vec![String::new(); self.entry_count];
-        for e in self.entries() {
-            peptides[e.id as usize] = e.peptide.clone();
-        }
-        peptides
-    }
-
-    /// The encoded reference hypervectors laid out flat by dense id
-    /// (`None` where preprocessing rejected the entry).
-    pub fn references(&self) -> &[Option<BinaryHypervector>] {
-        &self.references
+    /// Peptide sequences by dense reference id (for PSM tables without
+    /// the library file). The table is built once per index mutation and
+    /// shared — calling this per session (as the serve layer does) costs
+    /// one `Arc` bump, not an allocation per peptide.
+    pub fn peptides_by_id(&self) -> Arc<[String]> {
+        Arc::clone(self.peptides.get_or_init(|| {
+            let mut peptides = vec![String::new(); self.entry_count];
+            for e in self.entries() {
+                peptides[e.id as usize] = e.peptide.clone();
+            }
+            peptides.into()
+        }))
     }
 
     /// The shared handle to the flat reference table. Warm backends built
-    /// from this index hold clones of this `Arc` — compare with
-    /// [`Arc::ptr_eq`] to verify storage is shared rather than copied.
+    /// from this index hold clones of this handle — compare with
+    /// [`SharedReferences::ptr_eq`] to verify storage is shared rather
+    /// than copied.
     pub fn shared_references(&self) -> &SharedReferences {
         &self.references
     }
@@ -302,10 +330,7 @@ impl LibraryIndex {
         };
         let mut config = *config;
         config.threads = threads;
-        Ok(ExactBackend::from_shared(
-            config,
-            Arc::clone(&self.references),
-        ))
+        Ok(ExactBackend::from_shared(config, self.references.clone()))
     }
 
     /// Reconstruct the HyperOMS-style backend without re-encoding (the
@@ -324,7 +349,7 @@ impl LibraryIndex {
         };
         let inner = ExactBackend::from_shared(
             hyperoms_exact_config(config, threads),
-            Arc::clone(&self.references),
+            self.references.clone(),
         );
         Ok(HyperOmsBackend::from_exact(inner))
     }
@@ -363,7 +388,7 @@ impl LibraryIndex {
         Ok(OmsAccelerator::from_parts(
             config,
             encoder,
-            Arc::clone(&self.references),
+            self.references.clone(),
             self.build_stats,
         ))
     }
@@ -491,10 +516,12 @@ impl LibraryIndex {
         self.build_stats.references_rejected += new_entries.len() - new_stored;
 
         // New ids are `entry_count..`, so the flat table simply extends.
-        // `Arc::make_mut` is copy-on-write: appending while warm backends
-        // still share the table pays a one-time copy; the common case
-        // (append offline, then serve) stays zero-copy.
-        Arc::make_mut(&mut self.references).extend(encoded.into_iter().map(|(hv, _)| hv));
+        // Appending is copy-on-write: an owned table shared with warm
+        // backends (or a mapped table pinned to its file buffer) pays a
+        // one-time materialisation; the common case (append offline,
+        // then serve) stays zero-copy.
+        self.references
+            .append(encoded.into_iter().map(|(hv, _)| hv));
         for (offset, entry) in new_entries.iter().enumerate() {
             let id = first_id + offset as u32;
             let indexed = IndexEntry {
@@ -512,7 +539,7 @@ impl LibraryIndex {
     }
 
     /// Recompute the dense `id → (mass, decoy)` side table from the
-    /// shards.
+    /// shards and invalidate the lazy peptide cache.
     fn rebuild_by_id(&mut self) {
         let mut by_id = vec![(f64::NAN, false); self.entry_count];
         for shard in &self.shards {
@@ -521,6 +548,7 @@ impl LibraryIndex {
             }
         }
         self.by_id = by_id;
+        self.peptides = OnceLock::new();
     }
 
     /// Place one entry into the shard covering its mass, splitting the
@@ -545,14 +573,36 @@ impl LibraryIndex {
 
     // -- persistence -----------------------------------------------------
 
-    /// Serialise to the `HDX` byte format (see [`crate::format`]).
+    /// Serialise to the current `HDX` byte format (see [`crate::format`]).
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_version(FORMAT_VERSION)
+    }
+
+    /// Serialise with an explicit format version: `2` (the default) lays
+    /// shard hypervector words out 8-aligned for in-place mapped loads;
+    /// `1` reproduces the original inline-words layout for older
+    /// readers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a version outside the supported range.
+    pub fn to_bytes_version(&self, version: u32) -> Vec<u8> {
+        assert!(
+            (MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version),
+            "unsupported format version {version}"
+        );
         let dim = self.dim();
         let mlc_bytes = self.mlc.as_ref().map(format::put_mlc_state);
         let shard_bytes: Vec<Vec<u8>> = self
             .shards
             .iter()
-            .map(|s| format::put_shard(s, dim, &self.references))
+            .map(|s| {
+                if version >= 2 {
+                    format::put_shard_v2(s, dim, &self.references)
+                } else {
+                    format::put_shard(s, dim, &self.references)
+                }
+            })
             .collect();
 
         let mut header = Writer::new();
@@ -569,15 +619,27 @@ impl LibraryIndex {
 
         let mut out = Writer::new();
         out.raw(&MAGIC);
-        out.u32(FORMAT_VERSION);
+        out.u32(version);
         out.usize(header.len());
         out.raw(&header);
         out.u64(xxh64(&header, CHECKSUM_SEED));
+        // In v2, zero padding brings every section payload to an
+        // 8-aligned absolute offset, so the word blocks inside v2 shard
+        // payloads land 8-aligned in the file.
+        let pad_if_v2 = |out: &mut Writer| {
+            if version >= 2 {
+                for _ in 0..format::pad_to_8(out.len()) {
+                    out.u8(0);
+                }
+            }
+        };
         if let Some(bytes) = &mlc_bytes {
+            pad_if_v2(&mut out);
             out.raw(bytes);
             out.u64(xxh64(bytes, CHECKSUM_SEED));
         }
         for bytes in &shard_bytes {
+            pad_if_v2(&mut out);
             out.raw(bytes);
             out.u64(xxh64(bytes, CHECKSUM_SEED));
         }
@@ -599,114 +661,129 @@ impl LibraryIndex {
     }
 
     /// Decode from bytes, verifying magic, version and every section
-    /// checksum; shards decode in parallel over `threads`.
+    /// checksum; shards are checksum-verified and decoded in parallel
+    /// over `threads`. Hypervectors are **materialised** regardless of
+    /// format version (the copying path; see
+    /// [`LibraryIndex::from_buffer`] for the zero-copy one).
     ///
     /// # Errors
     ///
     /// Any structural, checksum or semantic problem aborts the load with
     /// a descriptive [`IndexError`] — a corrupted index never half-loads.
     pub fn from_bytes(bytes: &[u8], threads: usize) -> Result<LibraryIndex, IndexError> {
-        let mut r = Reader::new(bytes);
-        let magic = r.raw(8, "magic")?;
-        if magic != MAGIC {
-            return Err(IndexError::BadMagic);
-        }
-        let version = r.u32("format_version")?;
-        if version != FORMAT_VERSION {
-            return Err(IndexError::UnsupportedVersion { found: version });
-        }
-        let header_len = r.checked_len("header_len", 1)?;
-        let header_bytes = r.raw(header_len, "header")?;
-        let header_hash = r.u64("header_checksum")?;
-        if xxh64(header_bytes, CHECKSUM_SEED) != header_hash {
-            return Err(IndexError::ChecksumMismatch {
-                section: "header".to_owned(),
-            });
-        }
-
-        let mut h = Reader::new(header_bytes);
-        let kind = format::get_kind(&mut h)?;
-        let build_stats = format::get_build_stats(&mut h)?;
-        let entries_per_shard = h.u64("header.entries_per_shard")? as usize;
-        let entry_count = h.u64("header.entry_count")? as usize;
-        // Every entry costs well over one byte on disk, so a declared
-        // count beyond the file size is corruption — reject it before any
-        // count-sized allocation (validate/rebuild_by_id) can run.
-        if entry_count > bytes.len() {
-            return Err(IndexError::Invalid(format!(
-                "declared entry count {entry_count} exceeds the file size ({} bytes)",
-                bytes.len()
-            )));
-        }
-        let mlc_len = h.u64("header.mlc_len")? as usize;
-        let shard_count = h.checked_len("header.shard_count", 8)?;
-        let mut shard_lens = Vec::with_capacity(shard_count);
-        for _ in 0..shard_count {
-            shard_lens.push(h.u64("header.shard_len")? as usize);
-        }
-        h.expect_end("header")?;
-        if entries_per_shard == 0 {
-            return Err(IndexError::Invalid("entries_per_shard is zero".to_owned()));
-        }
-
-        let mlc = if mlc_len == 0 {
-            None
-        } else {
-            let payload = r.raw(mlc_len, "mlc_section")?;
-            let hash = r.u64("mlc_checksum")?;
-            if xxh64(payload, CHECKSUM_SEED) != hash {
-                return Err(IndexError::ChecksumMismatch {
-                    section: "mlc".to_owned(),
-                });
+        let sections = parse_sections(bytes)?;
+        let dim = sections.kind.dim();
+        let version = sections.version;
+        let jobs: Vec<(usize, SectionRange)> =
+            sections.shards.iter().copied().enumerate().collect();
+        let decoded = par_map(&jobs, threads, |&(i, section)| {
+            let payload = section.verify(bytes, &format!("shard {i}"))?;
+            if version >= 2 {
+                let (shard, offsets) = format::get_shard_v2(payload, dim)?;
+                let words = dim.div_ceil(64);
+                let hvs = offsets
+                    .into_iter()
+                    .map(|(id, at)| {
+                        (
+                            id,
+                            format::hypervector_from_bytes(dim, &payload[at..at + words * 8]),
+                        )
+                    })
+                    .collect();
+                Ok((shard, hvs))
+            } else {
+                format::get_shard(payload, dim)
             }
-            Some(format::get_mlc_state(payload)?)
-        };
-
-        let mut shard_slices = Vec::with_capacity(shard_count);
-        for (i, &len) in shard_lens.iter().enumerate() {
-            let payload = r.raw(len, "shard_section")?;
-            let hash = r.u64("shard_checksum")?;
-            if xxh64(payload, CHECKSUM_SEED) != hash {
-                return Err(IndexError::ChecksumMismatch {
-                    section: format!("shard {i}"),
-                });
-            }
-            shard_slices.push(payload);
-        }
-        r.expect_end("index file")?;
-
-        let dim = kind.dim();
-        let decoded = par_map(&shard_slices, threads, |payload| {
-            format::get_shard(payload, dim)
         });
         let mut shards = Vec::with_capacity(decoded.len());
-        let mut references = vec![None; entry_count];
+        let mut references = vec![None; sections.entry_count];
         for shard in decoded {
             let (shard, hvs) = shard?;
             for (id, hv) in hvs {
                 let slot = references.get_mut(id as usize).ok_or_else(|| {
                     IndexError::Invalid(format!(
-                        "entry id {id} outside the declared count {entry_count}"
+                        "entry id {id} outside the declared count {}",
+                        sections.entry_count
                     ))
                 })?;
                 *slot = Some(hv);
             }
             shards.push(shard);
         }
+        sections.into_index(shards, SharedReferences::from(references))
+    }
 
-        let mut index = LibraryIndex {
-            kind,
-            entries_per_shard,
-            entry_count,
-            build_stats,
-            mlc,
-            shards,
-            references: Arc::new(references),
-            by_id: Vec::new(),
+    /// **Zero-copy** load: search the index straight out of `buffer`
+    /// (typically a whole `.hdx` file read or mapped into one
+    /// allocation). For a v2 file the reference table becomes offsets
+    /// into `buffer` — no per-reference hypervector is materialised, so
+    /// load time and resident memory stop scaling with the hypervector
+    /// payload. A v1 file falls back to the copying decoder.
+    ///
+    /// Searches score identically to [`LibraryIndex::from_bytes`]
+    /// loads: both representations expose the same words.
+    ///
+    /// # Errors
+    ///
+    /// Same failure surface as [`LibraryIndex::from_bytes`].
+    pub fn from_buffer(buffer: WordBuffer, threads: usize) -> Result<LibraryIndex, IndexError> {
+        let bytes = buffer.as_bytes();
+        let sections = parse_sections(bytes)?;
+        if sections.version < 2 {
+            return LibraryIndex::from_bytes(bytes, threads);
+        }
+        let dim = sections.kind.dim();
+        let entry_count = sections.entry_count;
+        let jobs: Vec<(usize, SectionRange)> =
+            sections.shards.iter().copied().enumerate().collect();
+        let decoded = par_map(&jobs, threads, |&(i, section)| {
+            let payload = section.verify(bytes, &format!("shard {i}"))?;
+            let (shard, offsets) = format::get_shard_v2(payload, dim)?;
+            // Lift payload-relative word offsets to absolute buffer
+            // offsets (the payload itself starts 8-aligned, so absolute
+            // offsets stay 8-aligned).
+            let absolute: Vec<(u32, u64)> = offsets
+                .into_iter()
+                .map(|(id, at)| (id, (section.start + at) as u64))
+                .collect();
+            Ok::<_, IndexError>((shard, absolute))
+        });
+        let mut shards = Vec::with_capacity(decoded.len());
+        let mut offsets = vec![u64::MAX; entry_count];
+        for shard in decoded {
+            let (shard, absolute) = shard?;
+            for (id, at) in absolute {
+                let slot = offsets.get_mut(id as usize).ok_or_else(|| {
+                    IndexError::Invalid(format!(
+                        "entry id {id} outside the declared count {entry_count}"
+                    ))
+                })?;
+                *slot = at;
+            }
+            shards.push(shard);
+        }
+        let references = MappedReferences::new(buffer.clone(), dim, offsets);
+        sections.into_index(shards, SharedReferences::Mapped(references))
+    }
+
+    /// Open `path` for **in-place search**: the file is read once into a
+    /// single aligned buffer (or `mmap`ed with the `mmap` feature) and
+    /// handed to [`LibraryIndex::from_buffer`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem, format, checksum and semantic failures all surface as
+    /// [`IndexError`].
+    pub fn open_mapped(path: &Path, threads: usize) -> Result<LibraryIndex, IndexError> {
+        #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+        let buffer = WordBuffer::map_file(path)?;
+        #[cfg(not(all(unix, target_pointer_width = "64", feature = "mmap")))]
+        let buffer = {
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len() as usize;
+            WordBuffer::from_reader(file, len)?
         };
-        index.validate()?;
-        index.rebuild_by_id();
-        Ok(index)
+        LibraryIndex::from_buffer(buffer, threads)
     }
 
     /// Structural sanity: dense unique ids, mass-sorted shards, monotone
@@ -773,6 +850,168 @@ impl LibraryIndex {
     }
 }
 
+/// One checksummed section's location inside an index file (the payload
+/// is *not* yet verified — verification happens in parallel per shard).
+#[derive(Debug, Clone, Copy)]
+struct SectionRange {
+    /// Absolute byte offset of the payload (8-aligned in v2 files).
+    start: usize,
+    /// Payload length in bytes.
+    len: usize,
+    /// The stored XXH64 trailer.
+    hash: u64,
+}
+
+impl SectionRange {
+    /// The payload slice, after verifying its checksum.
+    fn verify<'a>(&self, bytes: &'a [u8], section: &str) -> Result<&'a [u8], IndexError> {
+        let payload = &bytes[self.start..self.start + self.len];
+        if xxh64(payload, CHECKSUM_SEED) != self.hash {
+            return Err(IndexError::ChecksumMismatch {
+                section: section.to_owned(),
+            });
+        }
+        Ok(payload)
+    }
+}
+
+/// Everything the container walk establishes before shard payloads are
+/// touched: the verified header fields plus where each shard section
+/// lives. Shared by the copying ([`LibraryIndex::from_bytes`]) and
+/// mapped ([`LibraryIndex::from_buffer`]) loaders, so the two paths
+/// cannot drift.
+struct ParsedSections {
+    version: u32,
+    kind: IndexedBackendKind,
+    build_stats: BuildStats,
+    entries_per_shard: usize,
+    entry_count: usize,
+    mlc: Option<MlcState>,
+    shards: Vec<SectionRange>,
+}
+
+impl ParsedSections {
+    /// Assemble, validate, and finish a [`LibraryIndex`] once a loader
+    /// has produced the shards and a reference table.
+    fn into_index(
+        self,
+        shards: Vec<Shard>,
+        references: SharedReferences,
+    ) -> Result<LibraryIndex, IndexError> {
+        let mut index = LibraryIndex {
+            kind: self.kind,
+            entries_per_shard: self.entries_per_shard,
+            entry_count: self.entry_count,
+            build_stats: self.build_stats,
+            mlc: self.mlc,
+            shards,
+            references,
+            by_id: Vec::new(),
+            peptides: OnceLock::new(),
+        };
+        index.validate()?;
+        index.rebuild_by_id();
+        Ok(index)
+    }
+}
+
+/// Walk the container: magic, version, header (checksum-verified), MLC
+/// section (checksum-verified), and the location of every shard section.
+/// In v2 files the zero padding preceding each section payload is
+/// consumed and must actually be zero — pad bytes sit outside the
+/// checksummed payloads, so this is what keeps "any flipped bit fails
+/// the load" true.
+fn parse_sections(bytes: &[u8]) -> Result<ParsedSections, IndexError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.raw(8, "magic")?;
+    if magic != MAGIC {
+        return Err(IndexError::BadMagic);
+    }
+    let version = r.u32("format_version")?;
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(IndexError::UnsupportedVersion { found: version });
+    }
+    let header_len = r.checked_len("header_len", 1)?;
+    let header_bytes = r.raw(header_len, "header")?;
+    let header_hash = r.u64("header_checksum")?;
+    if xxh64(header_bytes, CHECKSUM_SEED) != header_hash {
+        return Err(IndexError::ChecksumMismatch {
+            section: "header".to_owned(),
+        });
+    }
+
+    let mut h = Reader::new(header_bytes);
+    let kind = format::get_kind(&mut h)?;
+    let build_stats = format::get_build_stats(&mut h)?;
+    let entries_per_shard = h.u64("header.entries_per_shard")? as usize;
+    let entry_count = h.u64("header.entry_count")? as usize;
+    // Every entry costs well over one byte on disk, so a declared
+    // count beyond the file size is corruption — reject it before any
+    // count-sized allocation (validate/rebuild_by_id) can run.
+    if entry_count > bytes.len() {
+        return Err(IndexError::Invalid(format!(
+            "declared entry count {entry_count} exceeds the file size ({} bytes)",
+            bytes.len()
+        )));
+    }
+    let mlc_len = h.u64("header.mlc_len")? as usize;
+    let shard_count = h.checked_len("header.shard_count", 8)?;
+    let mut shard_lens = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        shard_lens.push(h.u64("header.shard_len")? as usize);
+    }
+    h.expect_end("header")?;
+    if entries_per_shard == 0 {
+        return Err(IndexError::Invalid("entries_per_shard is zero".to_owned()));
+    }
+
+    let skip_pad = |r: &mut Reader<'_>| -> Result<(), IndexError> {
+        if version >= 2 {
+            let pad = r.raw(format::pad_to_8(bytes.len() - r.remaining()), "section_pad")?;
+            if pad.iter().any(|&b| b != 0) {
+                return Err(IndexError::Invalid(
+                    "nonzero alignment padding between sections".to_owned(),
+                ));
+            }
+        }
+        Ok(())
+    };
+
+    let mlc = if mlc_len == 0 {
+        None
+    } else {
+        skip_pad(&mut r)?;
+        let payload = r.raw(mlc_len, "mlc_section")?;
+        let hash = r.u64("mlc_checksum")?;
+        if xxh64(payload, CHECKSUM_SEED) != hash {
+            return Err(IndexError::ChecksumMismatch {
+                section: "mlc".to_owned(),
+            });
+        }
+        Some(format::get_mlc_state(payload)?)
+    };
+
+    let mut shards = Vec::with_capacity(shard_count);
+    for &len in &shard_lens {
+        skip_pad(&mut r)?;
+        let start = bytes.len() - r.remaining();
+        let _payload = r.raw(len, "shard_section")?;
+        let hash = r.u64("shard_checksum")?;
+        shards.push(SectionRange { start, len, hash });
+    }
+    r.expect_end("index file")?;
+
+    Ok(ParsedSections {
+        version,
+        kind,
+        build_stats,
+        entries_per_shard,
+        entry_count,
+        mlc,
+        shards,
+    })
+}
+
 /// Reads `HDX` index files.
 ///
 /// ```
@@ -836,6 +1075,28 @@ impl IndexReader {
     pub fn open_with(&self, path: &Path) -> Result<LibraryIndex, IndexError> {
         let bytes = std::fs::read(path)?;
         LibraryIndex::from_bytes(&bytes, self.threads)
+    }
+
+    /// Load an index for **in-place search** (see
+    /// [`LibraryIndex::open_mapped`]): a v2 file is searched straight
+    /// out of its single backing buffer with no per-reference
+    /// materialisation; a v1 file falls back to the copying path.
+    ///
+    /// # Errors
+    ///
+    /// See [`IndexReader::open`].
+    pub fn open_mapped(path: &Path) -> Result<LibraryIndex, IndexError> {
+        IndexReader::default().open_mapped_with(path)
+    }
+
+    /// Like [`IndexReader::open_mapped`] with this reader's thread
+    /// setting.
+    ///
+    /// # Errors
+    ///
+    /// See [`IndexReader::open`].
+    pub fn open_mapped_with(&self, path: &Path) -> Result<LibraryIndex, IndexError> {
+        LibraryIndex::open_mapped(path, self.threads)
     }
 }
 

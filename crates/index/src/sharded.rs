@@ -81,10 +81,10 @@ fn exact_best(
     let dim = backend.encoder().config().dim as f64;
     let mut best: Option<SearchHit> = None;
     for &cand in candidates {
-        let Some(ref_hv) = &backend.reference_hvs()[cand as usize] else {
+        let Some(ref_hv) = backend.shared_references().hv(cand as usize) else {
             continue;
         };
-        let score = dot(query_hv, ref_hv) as f64 / dim;
+        let score = dot(query_hv, &ref_hv) as f64 / dim;
         let better = match &best {
             None => true,
             Some(b) => score > b.score || (score == b.score && cand < b.reference),

@@ -241,8 +241,8 @@ fn append_then_search_equals_cold_rebuild() {
 
     assert_eq!(appended.entry_count(), rebuilt.entry_count());
     assert_eq!(
-        appended.references().to_vec(),
-        rebuilt.references().to_vec(),
+        appended.shared_references(),
+        rebuilt.shared_references(),
         "appended encodings must match a cold rebuild"
     );
 
@@ -274,10 +274,7 @@ fn append_is_incremental_for_rram_too() {
         .collect();
     let rebuilt = build_index(rram_kind(), &combined, 64);
 
-    assert_eq!(
-        appended.references().to_vec(),
-        rebuilt.references().to_vec()
-    );
+    assert_eq!(appended.shared_references(), rebuilt.shared_references());
     let stats_a = appended.build_stats();
     let stats_b = rebuilt.build_stats();
     assert_eq!(stats_a.references_stored, stats_b.references_stored);

@@ -1,26 +1,29 @@
-//! Memory regression test for the ROADMAP "share reference hypervectors
-//! between index and warm backends" item: reconstructing a warm backend
-//! from a loaded index must **share** the encoded library, not clone it.
+//! Memory regression tests for reference-hypervector storage:
 //!
-//! Two independent checks:
-//!
-//! 1. identity — the backend's reference table is the *same allocation*
-//!    as the index's (`Arc::ptr_eq`), for every backend kind;
+//! 1. identity — a warm backend's reference table is the *same storage*
+//!    as the index's (`SharedReferences::ptr_eq`), for every backend
+//!    kind;
 //! 2. accounting — a counting global allocator bounds the bytes
 //!    allocated during warm construction to a small fraction of the
 //!    hypervector payload (the old cloning path allocated at least one
-//!    full payload).
+//!    full payload);
+//! 3. zero-copy — the mapped load path (`LibraryIndex::from_buffer`
+//!    over a v2 file image) performs **zero** per-reference hypervector
+//!    allocations: its allocation traffic is bounded by the metadata,
+//!    and the copying path exceeds it by at least the full payload;
+//! 4. versioning — a v1 file image round-trips through the v2 writer
+//!    and back with identical search storage.
 //!
-//! The allocator counter is process-global, so everything that measures
-//! it runs inside a single `#[test]` (sibling tests in this binary would
-//! otherwise race the counter).
+//! The allocator counter is process-global, so every test that measures
+//! it (or allocates heavily while another measures) serialises on one
+//! mutex.
 
 use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind, LibraryIndex};
 use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
-use hdoms_oms::search::ExactBackendConfig;
+use hdoms_oms::search::{ExactBackendConfig, SharedReferences};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Counts every byte ever requested from the allocator (frees are not
 /// subtracted — the measurement below wants gross allocation traffic,
@@ -48,19 +51,28 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static COUNTER: CountingAllocator = CountingAllocator;
 
+/// Serialises the tests in this binary: the counter above is global, so
+/// a test allocating concurrently would inflate another's windows.
+static ALLOCATOR_WINDOWS: Mutex<()> = Mutex::new(());
+
 /// Bytes of hypervector words an index stores (the payload a clone would
 /// duplicate).
 fn payload_bytes(index: &LibraryIndex) -> usize {
     index
-        .references()
+        .shared_references()
         .iter()
         .flatten()
         .map(|hv| hv.words().len() * 8)
         .sum()
 }
 
+fn ptr_eq(a: &SharedReferences, b: &SharedReferences) -> bool {
+    SharedReferences::ptr_eq(a, b)
+}
+
 #[test]
 fn warm_backends_share_not_clone_the_reference_table() {
+    let _serial = ALLOCATOR_WINDOWS.lock().unwrap();
     // Large enough that the hypervector payload (~2.5 MB at dim 2048 ×
     // 10k entries) dwarfs every fixed cost of backend construction (the
     // encoder item memories are ~0.4 MB).
@@ -99,12 +111,12 @@ fn warm_backends_share_not_clone_the_reference_table() {
          cloned again"
     );
 
-    // -- identity: same allocation, and the handle count adds up.
+    // -- identity: same storage, and the handle count adds up.
     assert!(
-        Arc::ptr_eq(index.shared_references(), backend.shared_references()),
+        ptr_eq(index.shared_references(), backend.shared_references()),
         "backend holds a different reference table than the index"
     );
-    assert_eq!(Arc::strong_count(index.shared_references()), 2);
+    assert_eq!(index.shared_references().handle_count(), 2);
 
     // The sharded serving backend shares the same single copy (its extra
     // state is the id→shard assignment, 4 bytes per entry).
@@ -116,22 +128,21 @@ fn warm_backends_share_not_clone_the_reference_table() {
         "sharded_backend allocated {allocated} bytes beyond its encoder \
          against a {payload}-byte payload"
     );
-    assert_eq!(Arc::strong_count(index.shared_references()), 3);
+    assert_eq!(index.shared_references().handle_count(), 3);
     drop(sharded);
     drop(backend);
-    assert_eq!(Arc::strong_count(index.shared_references()), 1);
+    assert_eq!(index.shared_references().handle_count(), 1);
 
     // A serialise→load round-trip still shares with its own backends.
     let restored = LibraryIndex::from_bytes(&index.to_bytes(), 4).expect("roundtrip");
     let warm = restored.to_exact_backend(1).expect("exact kind");
-    assert!(Arc::ptr_eq(
+    assert!(ptr_eq(
         restored.shared_references(),
         warm.shared_references()
     ));
 
     // The RRAM accelerator path shares too (identity check on a small
-    // workload; this lives in the same #[test] so nothing races the
-    // allocator windows above).
+    // workload).
     let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 100);
     let mut config = hdoms_core::accelerator::AcceleratorConfig::default();
     config.encoder.dim = 2048;
@@ -144,8 +155,117 @@ fn warm_backends_share_not_clone_the_reference_table() {
     })
     .from_library(&workload.library);
     let accel = index.to_accelerator(2).expect("rram kind");
-    assert!(Arc::ptr_eq(
+    assert!(ptr_eq(
         index.shared_references(),
         accel.search_engine().shared_references()
     ));
+}
+
+#[test]
+fn mapped_load_performs_zero_per_reference_hypervector_allocations() {
+    let _serial = ALLOCATOR_WINDOWS.lock().unwrap();
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::iprg2012(0.01), 101);
+    let mut exact = ExactBackendConfig::default();
+    // A dimension high enough that the hypervector payload dwarfs the
+    // per-entry metadata (peptides, shard vectors, the offset table) —
+    // what separates "allocates the payload" from "allocates only
+    // metadata" unambiguously.
+    exact.encoder.dim = 4096;
+    let index = IndexBuilder::new(IndexConfig {
+        kind: IndexedBackendKind::Exact(exact),
+        entries_per_shard: 512,
+        threads: 8,
+    })
+    .from_library(&workload.library);
+    let payload = payload_bytes(&index);
+    assert!(payload > 4_000_000, "workload too small to be meaningful");
+    let bytes = index.to_bytes();
+
+    // Build the backing buffer *outside* the measurement window: the one
+    // whole-file allocation is the load's input, exactly as the bytes
+    // slice is the copying path's input.
+    let buffer = hdoms_hdc::WordBuffer::from_bytes(&bytes);
+
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    let mapped = LibraryIndex::from_buffer(buffer, 4).expect("mapped load");
+    let mapped_alloc = ALLOCATED.load(Ordering::Relaxed) - before;
+
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    let copied = LibraryIndex::from_bytes(&bytes, 4).expect("copying load");
+    let copied_alloc = ALLOCATED.load(Ordering::Relaxed) - before;
+
+    assert!(mapped.shared_references().is_mapped());
+    assert!(!copied.shared_references().is_mapped());
+    // Zero per-reference hypervector allocations: the mapped load's
+    // traffic stays far below the payload it would have materialised…
+    assert!(
+        mapped_alloc < payload / 2,
+        "mapped load allocated {mapped_alloc} bytes against a \
+         {payload}-byte hypervector payload — it is materialising \
+         references"
+    );
+    // …and the copying load pays at least the full payload on top of
+    // the identical metadata work.
+    assert!(
+        copied_alloc >= mapped_alloc + payload,
+        "copying load ({copied_alloc} B) should exceed the mapped load \
+         ({mapped_alloc} B) by the payload ({payload} B)"
+    );
+
+    // Both representations expose identical search storage and
+    // metadata.
+    assert_eq!(mapped, copied);
+    assert_eq!(mapped.shared_references(), index.shared_references());
+
+    // Warm backends over the mapped index share the buffer, not copies.
+    let backend = mapped.to_exact_backend(1).expect("exact kind");
+    assert!(ptr_eq(
+        mapped.shared_references(),
+        backend.shared_references()
+    ));
+    assert_eq!(mapped.shared_references().handle_count(), 2);
+}
+
+#[test]
+fn v1_and_v2_images_cross_roundtrip() {
+    let _serial = ALLOCATOR_WINDOWS.lock().unwrap();
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 102);
+    let mut exact = ExactBackendConfig::default();
+    exact.encoder.dim = 512;
+    let index = IndexBuilder::new(IndexConfig {
+        kind: IndexedBackendKind::Exact(exact),
+        entries_per_shard: 64,
+        threads: 4,
+    })
+    .from_library(&workload.library);
+
+    // v1 image → copying load → identical index.
+    let v1 = index.to_bytes_version(1);
+    let from_v1 = LibraryIndex::from_bytes(&v1, 4).expect("v1 loads");
+    assert_eq!(from_v1, index);
+
+    // The mapped loader accepts a v1 image too, via the documented
+    // copying fallback.
+    let from_v1_mapped =
+        LibraryIndex::from_buffer(hdoms_hdc::WordBuffer::from_bytes(&v1), 4).expect("v1 fallback");
+    assert!(!from_v1_mapped.shared_references().is_mapped());
+    assert_eq!(from_v1_mapped, index);
+
+    // v1 → load → re-serialise as v2 → mapped load: same index, now
+    // searchable in place.
+    let v2 = from_v1.to_bytes_version(2);
+    assert_eq!(v2, index.to_bytes(), "v2 is the default encoding");
+    let from_v2 =
+        LibraryIndex::from_buffer(hdoms_hdc::WordBuffer::from_bytes(&v2), 4).expect("v2 loads");
+    assert!(from_v2.shared_references().is_mapped());
+    assert_eq!(from_v2, index);
+
+    // …and back down: a mapped index re-serialises to the identical v1
+    // image it came from.
+    assert_eq!(from_v2.to_bytes_version(1), v1);
+
+    // The two images really differ on disk (v2 is the aligned layout),
+    // but agree byte-for-byte about every hypervector.
+    assert_ne!(v1, v2);
+    assert_eq!(from_v1.shared_references(), from_v2.shared_references());
 }

@@ -291,61 +291,6 @@ impl OmsPipeline {
         self.prepare_and_run(queries, catalog, backend, &catalog.candidate_index())
     }
 
-    /// Like [`OmsPipeline::run_catalog`] with a **prebuilt** candidate
-    /// index. `index` must cover the same references as `catalog`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the hdoms-engine Engine/Session API, which owns a \
-                prebuilt candidate index and adds cross-batch FDR"
-    )]
-    pub fn run_catalog_with<B, C>(
-        &self,
-        queries: &[Spectrum],
-        catalog: &C,
-        backend: &B,
-        index: &CandidateIndex,
-    ) -> PipelineOutcome
-    where
-        B: SimilarityBackend + ?Sized,
-        C: ReferenceCatalog + ?Sized,
-    {
-        self.prepare_and_run(queries, catalog, backend, index)
-    }
-
-    /// The scoring and FDR stages over **already prepared** inputs:
-    /// preprocessed queries plus their candidate lists.
-    ///
-    /// `total_queries` is the pre-preprocessing batch size and
-    /// `rejected_queries` how many of those preprocessing dropped;
-    /// `binned_queries[i]` must pair with `candidates[i]`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the hdoms-engine Engine/Session API (Session::submit \
-                tracks the per-batch intermediates this exposed)"
-    )]
-    pub fn run_prepared<B, C>(
-        &self,
-        total_queries: usize,
-        binned_queries: &[BinnedSpectrum],
-        rejected_queries: usize,
-        candidates: &[Vec<u32>],
-        catalog: &C,
-        backend: &B,
-    ) -> PipelineOutcome
-    where
-        B: SimilarityBackend + ?Sized,
-        C: ReferenceCatalog + ?Sized,
-    {
-        self.run_prepared_inner(
-            total_queries,
-            binned_queries,
-            rejected_queries,
-            candidates,
-            catalog,
-            backend,
-        )
-    }
-
     /// Preprocess, look up candidates, then score and filter (the body
     /// every public `run_*` entry point funnels through).
     fn prepare_and_run<B, C>(

@@ -11,7 +11,7 @@ use hdoms_hdc::corrupt::{flip_bits, flip_bits_in_place};
 use hdoms_hdc::encoder::{EncoderConfig, IdLevelEncoder};
 use hdoms_hdc::parallel::par_map;
 use hdoms_hdc::similarity::dot;
-use hdoms_hdc::BinaryHypervector;
+use hdoms_hdc::{BinaryHypervector, HvRef, WordBuffer};
 use hdoms_ms::library::SpectralLibrary;
 use hdoms_ms::preprocess::{BinnedSpectrum, PreprocessConfig, Preprocessor};
 use rand::rngs::StdRng;
@@ -19,14 +19,253 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// A dense reference-hypervector table, indexed by library id (`None`
-/// marks entries preprocessing rejected).
+/// Sentinel marking an absent hypervector in a mapped offset table.
+const NO_HV: u64 = u64::MAX;
+
+/// A dense reference-hypervector table, indexed by library id (absent
+/// slots mark entries preprocessing rejected).
 ///
 /// The table is reference-counted so one encoded library can back many
 /// consumers at once — a loaded `hdoms-index`, a flat [`ExactBackend`],
 /// and a sharded backend all share the same words instead of each holding
-/// a private copy.
-pub type SharedReferences = Arc<Vec<Option<BinaryHypervector>>>;
+/// a private copy. Two representations exist behind one lookup API
+/// ([`SharedReferences::hv`] hands out borrowed [`HvRef`] views either
+/// way):
+///
+/// * [`SharedReferences::Owned`] — materialised
+///   [`BinaryHypervector`]s (cold builds, v1 index loads, appends);
+/// * [`SharedReferences::Mapped`] — word slices living directly inside a
+///   single index-file backing buffer (the zero-copy `.hdx` v2 load
+///   path: no per-reference allocation, the file bytes *are* the search
+///   bits).
+#[derive(Debug, Clone)]
+pub enum SharedReferences {
+    /// Materialised hypervectors behind one shared allocation.
+    Owned(Arc<Vec<Option<BinaryHypervector>>>),
+    /// Borrowed word slices inside one shared backing buffer.
+    Mapped(MappedReferences),
+}
+
+/// The mapped representation: one backing buffer (typically a whole
+/// `.hdx` file) plus a dense `id → byte offset` table locating each
+/// stored hypervector's packed words inside it.
+#[derive(Debug, Clone)]
+pub struct MappedReferences {
+    buffer: WordBuffer,
+    dim: usize,
+    /// Byte offset of each reference's word block ([`NO_HV`] = absent).
+    offsets: Arc<Vec<u64>>,
+}
+
+impl MappedReferences {
+    /// Wrap `buffer` as a reference table: `offsets[id]` is the byte
+    /// offset of reference `id`'s `ceil(dim / 64)` packed words, or
+    /// `u64::MAX` for an entry preprocessing rejected.
+    ///
+    /// Every offset is validated once here (8-aligned, in bounds, zero
+    /// tail bits) so the per-candidate lookup on the search hot path is
+    /// a plain slice index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or any offset is misaligned, out of
+    /// bounds, or points at words with dirty tail bits.
+    pub fn new(buffer: WordBuffer, dim: usize, offsets: Vec<u64>) -> MappedReferences {
+        assert!(dim > 0, "hypervector dimension must be positive");
+        let words = dim.div_ceil(64);
+        for &offset in offsets.iter().filter(|&&offset| offset != NO_HV) {
+            let offset = usize::try_from(offset).expect("offset fits in usize");
+            // `words()` checks alignment and bounds; `HvRef::new` checks
+            // the tail invariant.
+            let _ = HvRef::new(dim, buffer.words(offset, words));
+        }
+        MappedReferences {
+            buffer,
+            dim,
+            offsets: Arc::new(offsets),
+        }
+    }
+
+    /// The shared backing buffer.
+    pub fn buffer(&self) -> &WordBuffer {
+        &self.buffer
+    }
+
+    /// Hypervector dimension of every stored reference.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The view for reference `id`, or `None` for an absent slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is beyond the table (a candidate list disagreeing
+    /// with the reference table is a wiring bug, not an absent entry).
+    #[inline]
+    pub fn hv(&self, id: usize) -> Option<HvRef<'_>> {
+        let offset = self.offsets[id];
+        if offset == NO_HV {
+            return None;
+        }
+        let words = self.buffer.words(offset as usize, self.dim.div_ceil(64));
+        // Validated in `new`, so skip the re-checks on the hot path.
+        Some(HvRef::new_unchecked(self.dim, words))
+    }
+
+    /// Number of slots (present or absent).
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the table has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+}
+
+impl SharedReferences {
+    /// Number of slots (present or absent).
+    pub fn len(&self) -> usize {
+        match self {
+            SharedReferences::Owned(table) => table.len(),
+            SharedReferences::Mapped(mapped) => mapped.len(),
+        }
+    }
+
+    /// Whether the table has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The view for reference `id` (`None` for an absent slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is beyond the table — a backend handed a
+    /// candidate id its reference table does not cover is mis-wired,
+    /// and silently skipping it would drop matches instead of failing
+    /// loudly.
+    #[inline]
+    pub fn hv(&self, id: usize) -> Option<HvRef<'_>> {
+        match self {
+            SharedReferences::Owned(table) => table[id].as_ref().map(|hv| hv.as_view()),
+            SharedReferences::Mapped(mapped) => mapped.hv(id),
+        }
+    }
+
+    /// Iterate every slot in id order.
+    pub fn iter(&self) -> impl Iterator<Item = Option<HvRef<'_>>> + '_ {
+        (0..self.len()).map(|id| self.hv(id))
+    }
+
+    /// Number of present (non-rejected) references.
+    pub fn present_count(&self) -> usize {
+        self.iter().flatten().count()
+    }
+
+    /// The common dimension of the stored references, or `None` when no
+    /// reference is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if present references disagree in dimension (only
+    /// possible for the `Owned` variant — a mapped table fixes one
+    /// dimension at construction).
+    pub fn dim(&self) -> Option<usize> {
+        match self {
+            SharedReferences::Owned(table) => {
+                let mut views = table.iter().flatten();
+                let dim = views.next()?.dim();
+                assert!(
+                    views.all(|hv| hv.dim() == dim),
+                    "all references must share a dimension"
+                );
+                Some(dim)
+            }
+            SharedReferences::Mapped(mapped) => mapped
+                .offsets
+                .iter()
+                .any(|&offset| offset != NO_HV)
+                .then_some(mapped.dim),
+        }
+    }
+
+    /// Whether two handles share the same underlying storage (the
+    /// zero-copy guarantee warm backends rely on).
+    pub fn ptr_eq(a: &SharedReferences, b: &SharedReferences) -> bool {
+        match (a, b) {
+            (SharedReferences::Owned(x), SharedReferences::Owned(y)) => Arc::ptr_eq(x, y),
+            (SharedReferences::Mapped(x), SharedReferences::Mapped(y)) => {
+                WordBuffer::ptr_eq(&x.buffer, &y.buffer) && Arc::ptr_eq(&x.offsets, &y.offsets)
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of live handles on the underlying storage (owned table or
+    /// mapped backing buffer).
+    pub fn handle_count(&self) -> usize {
+        match self {
+            SharedReferences::Owned(table) => Arc::strong_count(table),
+            SharedReferences::Mapped(mapped) => mapped.buffer.handle_count(),
+        }
+    }
+
+    /// Whether this table is the mapped (zero-copy) representation.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, SharedReferences::Mapped(_))
+    }
+
+    /// Materialise an owned copy of every stored hypervector (the one
+    /// deliberate copy in the system — used by mutation paths like
+    /// append, which cannot grow a file-backed table in place).
+    pub fn to_owned_table(&self) -> Vec<Option<BinaryHypervector>> {
+        self.iter()
+            .map(|slot| slot.map(|hv| hv.to_hypervector()))
+            .collect()
+    }
+
+    /// Append new slots. An `Owned` table extends in place
+    /// (copy-on-write if other handles share it); a `Mapped` table is
+    /// first materialised, since the backing file buffer cannot grow.
+    pub fn append(&mut self, new_slots: impl IntoIterator<Item = Option<BinaryHypervector>>) {
+        if let SharedReferences::Mapped(_) = self {
+            *self = SharedReferences::Owned(Arc::new(self.to_owned_table()));
+        }
+        let SharedReferences::Owned(table) = self else {
+            unreachable!("mapped tables were just materialised");
+        };
+        Arc::make_mut(table).extend(new_slots);
+    }
+}
+
+impl PartialEq for SharedReferences {
+    /// Logical equality: same slots with the same bits, regardless of
+    /// representation — a mapped table equals the owned table it was
+    /// loaded from.
+    fn eq(&self, other: &SharedReferences) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl From<Vec<Option<BinaryHypervector>>> for SharedReferences {
+    fn from(table: Vec<Option<BinaryHypervector>>) -> SharedReferences {
+        SharedReferences::Owned(Arc::new(table))
+    }
+}
+
+impl From<Arc<Vec<Option<BinaryHypervector>>>> for SharedReferences {
+    fn from(table: Arc<Vec<Option<BinaryHypervector>>>) -> SharedReferences {
+        SharedReferences::Owned(table)
+    }
+}
+
+impl From<MappedReferences> for SharedReferences {
+    fn from(mapped: MappedReferences) -> SharedReferences {
+        SharedReferences::Mapped(mapped)
+    }
+}
 
 /// One best-match result from a backend.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -128,21 +367,21 @@ impl ExactBackend {
         ExactBackend {
             config,
             encoder,
-            reference_hvs: Arc::new(reference_hvs),
+            reference_hvs: reference_hvs.into(),
         }
     }
 
     /// Reassemble a backend from already-encoded reference hypervectors
     /// without touching the library — the warm-load path used by
-    /// `hdoms-index`. `reference_hvs[id]` must be exactly what a cold
+    /// `hdoms-index`. Slot `id` must hold exactly what a cold
     /// [`ExactBackend::build`] with `config` would have produced (encoding
     /// is deterministic in the config, so persisted hypervectors qualify).
     ///
-    /// The backend holds another `Arc` handle to the caller's
-    /// hypervectors instead of a private copy, so a resident index and
+    /// The backend holds another handle to the caller's table instead of
+    /// a private copy — whether that table is owned hypervectors or word
+    /// slices inside a mapped index buffer — so a resident index and
     /// every backend reconstructed from it keep exactly one copy of the
-    /// encoded library in memory (an owned `Vec` converts with
-    /// `Arc::new`).
+    /// encoded library in memory.
     ///
     /// # Panics
     ///
@@ -153,13 +392,12 @@ impl ExactBackend {
         reference_hvs: SharedReferences,
     ) -> ExactBackend {
         let encoder = IdLevelEncoder::new(config.encoder);
-        assert!(
-            reference_hvs
-                .iter()
-                .flatten()
-                .all(|hv| hv.dim() == config.encoder.dim),
-            "reference hypervector dimensions must match the encoder"
-        );
+        if let Some(dim) = reference_hvs.dim() {
+            assert_eq!(
+                dim, config.encoder.dim,
+                "reference hypervector dimensions must match the encoder"
+            );
+        }
         ExactBackend {
             config,
             encoder,
@@ -173,14 +411,9 @@ impl ExactBackend {
         &self.encoder
     }
 
-    /// The encoded reference hypervectors (by library id; `None` when the
-    /// entry failed preprocessing).
-    pub fn reference_hvs(&self) -> &[Option<BinaryHypervector>] {
-        &self.reference_hvs
-    }
-
-    /// The shared handle to the reference table (use [`Arc::ptr_eq`] on
-    /// two handles to verify that storage really is shared, not cloned).
+    /// The shared handle to the reference table (use
+    /// [`SharedReferences::ptr_eq`] on two handles to verify that
+    /// storage really is shared, not cloned).
     pub fn shared_references(&self) -> &SharedReferences {
         &self.reference_hvs
     }
@@ -211,25 +444,27 @@ impl ExactBackend {
             ..self.config
         };
         let reference_hvs = if storage_ber > 0.0 {
-            Arc::new(
+            SharedReferences::from(
                 self.reference_hvs
                     .iter()
                     .enumerate()
                     .map(|(id, slot)| {
-                        slot.as_ref().map(|hv| {
+                        slot.map(|hv| {
                             let mut rng = StdRng::seed_from_u64(
                                 noise_seed
                                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                                     .wrapping_add(id as u64),
                             );
-                            flip_bits(&mut rng, hv, storage_ber)
+                            let mut owned = hv.to_hypervector();
+                            flip_bits_in_place(&mut rng, &mut owned, storage_ber);
+                            owned
                         })
                     })
-                    .collect(),
+                    .collect::<Vec<_>>(),
             )
         } else {
             // Clean references stay clean: share instead of cloning.
-            Arc::clone(&self.reference_hvs)
+            self.reference_hvs.clone()
         };
         ExactBackend {
             config,
@@ -283,10 +518,10 @@ impl SimilarityBackend for ExactBackend {
             let query_hv = self.encode_query(binned);
             let mut best: Option<SearchHit> = None;
             for &cand in &candidates[i] {
-                let Some(ref_hv) = &self.reference_hvs[cand as usize] else {
+                let Some(ref_hv) = self.reference_hvs.hv(cand as usize) else {
                     continue;
                 };
-                let score = dot(&query_hv, ref_hv) as f64 / dim;
+                let score = dot(&query_hv, &ref_hv) as f64 / dim;
                 let better = match &best {
                     None => true,
                     Some(b) => score > b.score || (score == b.score && cand < b.reference),

@@ -139,8 +139,11 @@ impl Server {
     /// Load failures and duplicate names, as strings (the protocol's
     /// error channel).
     pub fn load_index(&self, name: &str, path: &str) -> Result<IndexSummary, String> {
+        // Mapped load: the file is searched in place from one backing
+        // buffer, so `index.load` cost stops scaling with the encoded
+        // library payload.
         let index = hdoms_index::IndexReader::with_threads(self.threads)
-            .open_with(Path::new(path))
+            .open_mapped_with(Path::new(path))
             .map_err(|e| format!("loading {path}: {e}"))?;
         let engine = Arc::new(Engine::from_index(index, self.threads).map_err(|e| e.to_string())?);
         // Summarize from our own handle, not a re-lookup: a concurrent
@@ -741,7 +744,11 @@ mod tests {
         // index's shared table has exactly two handles (index + the
         // engine backend's scorer), and no hypervector words were cloned.
         assert_eq!(
-            std::sync::Arc::strong_count(engine.index().expect("index-backed").shared_references()),
+            engine
+                .index()
+                .expect("index-backed")
+                .shared_references()
+                .handle_count(),
             2
         );
     }
