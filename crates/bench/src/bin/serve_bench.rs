@@ -15,6 +15,14 @@
 //! * `qps_session_16` — streaming-session throughput: 16-query batches
 //!   submitted through one session and FDR-finalized once at the end
 //!   (the cross-batch FDR mode),
+//! * `qps_clients_{1,4,16}` / `wait_p50_ms_clients_{1,4,16}` /
+//!   `wait_p99_ms_clients_{1,4,16}` / `shed_rate_clients_{1,4,16}` —
+//!   contention scenarios: N concurrent clients hammer 16-query batches
+//!   through the shared scheduler (bounded queue, fair round-robin,
+//!   admission control); reported per scenario are aggregate served
+//!   queries per second, the p50/p99 scheduler queue wait, and the
+//!   fraction of batches shed with the structured `busy`/`deadline`
+//!   errors,
 //! * `shards_touched` / `candidates_scored` — the per-batch stats the
 //!   server reports, summed over the full-batch run,
 //! * `psms_identical` — whether the served full-batch rows render to the
@@ -35,10 +43,93 @@ use hdoms_oms::psm::{render_table, render_table_rows};
 use hdoms_oms::search::ExactBackendConfig;
 use hdoms_oms::window::PrecursorWindow;
 use hdoms_serve::protocol::{QueryRequest, QuerySpectrum, WindowKind};
+use hdoms_serve::scheduler::SchedulerConfig;
 use hdoms_serve::server::Server;
 use std::time::Instant;
 
 const THREADS: usize = 8;
+
+/// Queue bound for the contention scenarios: small enough that a
+/// 16-client storm actually exercises admission control.
+const CONTENTION_QUEUE_DEPTH: usize = 8;
+
+/// One contention scenario's outcome.
+struct Contention {
+    qps: f64,
+    wait_p50_ms: f64,
+    wait_p99_ms: f64,
+    shed_rate: f64,
+}
+
+/// `clients` concurrent connections each stream their share of the
+/// query set as 16-query batches through `server`'s scheduler; batches
+/// rejected with `busy`/`deadline` count as shed.
+fn run_contention(server: &Server, spectra: &[QuerySpectrum], clients: usize) -> Contention {
+    let per_client: Vec<Vec<&[QuerySpectrum]>> = (0..clients)
+        .map(|c| {
+            spectra
+                .chunks(16)
+                .enumerate()
+                .filter(|(i, _)| i % clients == c)
+                .map(|(_, chunk)| chunk)
+                .collect()
+        })
+        .collect();
+    let start = Instant::now();
+    let outcomes: Vec<(Vec<f64>, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_client
+            .iter()
+            .map(|batches| {
+                scope.spawn(move || {
+                    let client = server.next_client_id();
+                    let mut waits = Vec::new();
+                    let mut served = 0usize;
+                    let mut shed = 0usize;
+                    for batch in batches {
+                        let request = QueryRequest {
+                            index: "bench".to_owned(),
+                            window: WindowKind::Open,
+                            fdr: 0.01,
+                            spectra: batch.to_vec(),
+                        };
+                        match server.query_batch_as(client, &request) {
+                            Ok(result) => {
+                                waits.push(result.stats.wait_ms);
+                                served += result.stats.queries;
+                            }
+                            Err(_) => shed += 1,
+                        }
+                    }
+                    (waits, served, shed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let mut waits: Vec<f64> = outcomes.iter().flat_map(|(w, _, _)| w.clone()).collect();
+    waits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let served: usize = outcomes.iter().map(|(_, s, _)| s).sum();
+    let shed: usize = outcomes.iter().map(|(_, _, s)| s).sum();
+    let batches = waits.len() + shed;
+    let percentile = |p: f64| -> f64 {
+        if waits.is_empty() {
+            return 0.0;
+        }
+        let idx = ((waits.len() as f64 - 1.0) * p).round() as usize;
+        waits[idx]
+    };
+    Contention {
+        qps: served as f64 / wall_s.max(1e-9),
+        wait_p50_ms: percentile(0.50),
+        wait_p99_ms: percentile(0.99),
+        shed_rate: if batches == 0 {
+            0.0
+        } else {
+            shed as f64 / batches as f64
+        },
+    }
+}
 
 fn main() {
     let options = FigureOptions::parse(0.01, 2048);
@@ -122,6 +213,34 @@ fn main() {
         .expect("session finalize");
     let qps_session_16 = spectra.len() as f64 / session_start.elapsed().as_secs_f64().max(1e-9);
 
+    // Contention: N concurrent clients against a scheduler with a
+    // deliberately small queue, so 16 clients exercise admission
+    // control. A separate resident server keeps the counters clean.
+    let contention_server = Server::with_scheduler(
+        THREADS,
+        SchedulerConfig {
+            workers: THREADS,
+            queue_depth: CONTENTION_QUEUE_DEPTH,
+            deadline_ms: 0,
+        },
+    );
+    contention_server
+        .add_index(
+            "bench",
+            LibraryIndex::from_bytes(&bytes, THREADS).expect("index bytes are valid"),
+        )
+        .expect("servable index");
+    let contention_1 = run_contention(&contention_server, &spectra, 1);
+    let contention_4 = run_contention(&contention_server, &spectra, 4);
+    let contention_16 = run_contention(&contention_server, &spectra, 16);
+    let sched = contention_server.stats();
+    // Sanity on the reported accounting (the real in-flight bound is
+    // asserted by the scheduler's own tests with external measurement).
+    assert!(
+        sched.peak_workers_busy <= THREADS,
+        "scheduler accounting exceeded its worker budget"
+    );
+
     // Fidelity: the served full batch and the streamed session must
     // both render the local engine's table.
     let engine = server.engine("bench").expect("resident engine");
@@ -143,6 +262,21 @@ fn main() {
     println!("served, batch=16    {qps_16:>10.1} queries/s");
     println!("served, batch=1     {qps_1:>10.1} queries/s   ({latency_1:.2} ms/request)");
     println!("session, batch=16   {qps_session_16:>10.1} queries/s (cross-batch FDR)");
+    for (clients, c) in [(1, &contention_1), (4, &contention_4), (16, &contention_16)] {
+        println!(
+            "contended, {clients:>2} client{} {:>8.1} queries/s   (wait p50 {:.2} / p99 {:.2} ms, \
+             shed {:.1}%)",
+            if clients == 1 { " " } else { "s" },
+            c.qps,
+            c.wait_p50_ms,
+            c.wait_p99_ms,
+            c.shed_rate * 100.0,
+        );
+    }
+    println!(
+        "scheduler           {:>10} peak busy of {} workers, {} busy-rejected, {} shed",
+        sched.peak_workers_busy, sched.workers, sched.rejected_busy, sched.shed_deadline
+    );
     println!("shards touched      {shards_touched:>10}");
     println!("candidates scored   {candidates_scored:>10}");
     println!("identical PSMs      {psms_identical:>10}");
@@ -154,7 +288,16 @@ fn main() {
         "{{\"bench\":\"serve\",\"workload\":\"{}\",\"dim\":{},\"scale\":{},\"seed\":{},\
          \"references\":{},\"shards\":{},\"queries\":{},\"residency_s\":{:.6},\
          \"qps_batch_full\":{:.3},\"qps_batch_16\":{:.3},\"qps_batch_1\":{:.3},\
-         \"mean_latency_ms_batch_1\":{:.4},\"qps_session_16\":{:.3},\"shards_touched\":{},\
+         \"mean_latency_ms_batch_1\":{:.4},\"qps_session_16\":{:.3},\
+         \"qps_clients_1\":{:.3},\"wait_p50_ms_clients_1\":{:.4},\
+         \"wait_p99_ms_clients_1\":{:.4},\"shed_rate_clients_1\":{:.4},\
+         \"qps_clients_4\":{:.3},\"wait_p50_ms_clients_4\":{:.4},\
+         \"wait_p99_ms_clients_4\":{:.4},\"shed_rate_clients_4\":{:.4},\
+         \"qps_clients_16\":{:.3},\"wait_p50_ms_clients_16\":{:.4},\
+         \"wait_p99_ms_clients_16\":{:.4},\"shed_rate_clients_16\":{:.4},\
+         \"sched_workers\":{},\"sched_queue_depth\":{},\"sched_peak_workers_busy\":{},\
+         \"sched_rejected_busy\":{},\"sched_shed_deadline\":{},\
+         \"shards_touched\":{},\
          \"candidates_scored\":{},\"psms_identical\":{},\"session_identical\":{}}}",
         workload.spec.name,
         options.dim,
@@ -169,6 +312,23 @@ fn main() {
         qps_1,
         latency_1,
         qps_session_16,
+        contention_1.qps,
+        contention_1.wait_p50_ms,
+        contention_1.wait_p99_ms,
+        contention_1.shed_rate,
+        contention_4.qps,
+        contention_4.wait_p50_ms,
+        contention_4.wait_p99_ms,
+        contention_4.shed_rate,
+        contention_16.qps,
+        contention_16.wait_p50_ms,
+        contention_16.wait_p99_ms,
+        contention_16.shed_rate,
+        sched.workers,
+        sched.queue_depth,
+        sched.peak_workers_busy,
+        sched.rejected_busy,
+        sched.shed_deadline,
         shards_touched,
         candidates_scored,
         psms_identical,

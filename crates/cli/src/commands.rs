@@ -489,10 +489,29 @@ pub fn profile(args: &[String]) -> Result<(), String> {
 
 /// `hdoms serve`: load `.hdx` indexes once, keep their backends resident,
 /// and answer query batches over TCP or stdio until killed.
+///
+/// Concurrent batches queue through the shared scheduler:
+/// `--workers` bounds total in-flight search parallelism (default: the
+/// machine), `--queue-depth` bounds waiting batches before submissions
+/// are rejected with the structured `busy` error, and `--deadline-ms`
+/// sheds batches that wait longer than the soft deadline (0 = never).
+/// See `docs/SCHEDULER.md` for tuning.
 pub fn serve(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
-    flags.check_known(&["index", "listen", "stdio", "threads"])?;
+    flags.check_known(&[
+        "index",
+        "listen",
+        "stdio",
+        "threads",
+        "workers",
+        "queue-depth",
+        "deadline-ms",
+    ])?;
     let threads: usize = flags.get_or("threads", hdoms_hdc::parallel::default_threads())?;
+    let workers: usize = flags.get_or("workers", threads)?;
+    let queue_depth: usize =
+        flags.get_or("queue-depth", hdoms_serve::scheduler::DEFAULT_QUEUE_DEPTH)?;
+    let deadline_ms: u64 = flags.get_or("deadline-ms", 0)?;
     let stdio: bool = flags.get_or("stdio", false)?;
     let listen = flags.get("listen");
     let specs = flags.get_all("index");
@@ -505,7 +524,22 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         _ => {}
     }
 
-    let server = Server::new(threads);
+    let server = Server::with_scheduler(
+        threads,
+        hdoms_serve::scheduler::SchedulerConfig {
+            workers,
+            queue_depth,
+            deadline_ms,
+        },
+    );
+    eprintln!(
+        "scheduler: {workers} workers, queue depth {queue_depth}, deadline {}",
+        if deadline_ms == 0 {
+            "none".to_owned()
+        } else {
+            format!("{deadline_ms} ms")
+        }
+    );
     for spec in specs {
         let Some((name, path)) = spec.split_once('=') else {
             return Err(format!("--index takes <name>=<path.hdx>, got {spec:?}"));
@@ -576,7 +610,10 @@ pub fn query(args: &[String]) -> Result<(), String> {
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let fail = |response: Response| -> String {
         match response {
-            Response::Error { message } => format!("server: {message}"),
+            Response::Error { code, message } => match code.name() {
+                Some(code) => format!("server [{code}]: {message}"),
+                None => format!("server: {message}"),
+            },
             other => format!("unexpected response {other:?}"),
         }
     };

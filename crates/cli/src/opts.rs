@@ -24,6 +24,12 @@ USAGE:
                  (spec: exact|annsolo|hyperoms|rram|index|index-sharded)
   hdoms serve    --index <name>=<lib.hdx> [--index <name2>=<more.hdx> ...]
                  (--listen <host:port> | --stdio true) [--threads <usize>]
+                 [--workers <usize>] [--queue-depth <usize>]
+                 [--deadline-ms <u64>]
+                 (--workers bounds total in-flight search parallelism,
+                  --queue-depth bounds waiting batches before `busy`
+                  rejections, --deadline-ms sheds batches that queue
+                  too long; see docs/SCHEDULER.md)
   hdoms query    --addr <host:port> --queries <q.mgf> --index <name>
                  --out <psms.tsv> [--window open|standard] [--fdr <f64>]
                  [--batch-size <usize>] [--session true]

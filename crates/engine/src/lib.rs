@@ -179,13 +179,23 @@ impl EngineBackend {
         }
     }
 
+    /// Score a batch under a worker budget. `None` means "the backend's
+    /// own configured parallelism" (the unscheduled paths); `Some(n)`
+    /// caps the batch at `n` workers (the serve scheduler's grants).
+    /// Flat backends drive their own internal parallelism and ignore
+    /// the cap — the serve layer always runs sharded engines, which
+    /// honour it exactly.
     fn search_batch(
         &self,
         queries: &[BinnedSpectrum],
         candidates: &[Vec<u32>],
+        workers: Option<usize>,
     ) -> Vec<Option<SearchHit>> {
         match self {
-            EngineBackend::Sharded(b) => b.search_batch(queries, candidates),
+            EngineBackend::Sharded(b) => match workers {
+                Some(workers) => b.search_batch_with(queries, candidates, workers),
+                None => b.search_batch(queries, candidates),
+            },
             EngineBackend::Flat(b) => b.search_batch(queries, candidates),
         }
     }
@@ -450,6 +460,29 @@ impl Engine {
         let receipt = session.submit(spectra);
         (session.finalize(alpha), receipt)
     }
+
+    /// [`Engine::search`] under an explicit worker budget: the batch
+    /// uses at most `workers` threads instead of the engine's configured
+    /// parallelism. This is the entry point the serve layer's scheduler
+    /// drives — each admitted batch runs with exactly the budget it was
+    /// granted, so concurrent batches never oversubscribe the machine.
+    /// PSM tables are byte-identical across budgets (scoring is
+    /// deterministic and order-preserving).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid window or FDR level.
+    pub fn search_with_workers(
+        self: &Arc<Self>,
+        spectra: &[Spectrum],
+        window: PrecursorWindow,
+        alpha: f64,
+        workers: usize,
+    ) -> (PipelineOutcome, BatchReceipt) {
+        let mut session = self.session(window);
+        let receipt = session.submit_with_workers(spectra, workers);
+        (session.finalize(alpha), receipt)
+    }
 }
 
 /// What one [`Session::submit`] did: per-batch counts plus the session's
@@ -562,12 +595,26 @@ impl Session {
     /// filtering happens here — raw PSMs collect until
     /// [`Session::finalize`].
     pub fn submit(&mut self, spectra: &[Spectrum]) -> BatchReceipt {
+        self.submit_inner(spectra, None)
+    }
+
+    /// [`Session::submit`] under an explicit worker budget: this batch
+    /// uses at most `workers` threads (`1` runs it entirely on the
+    /// calling thread), whatever parallelism the engine was constructed
+    /// with. The serve layer's scheduler calls this with each admitted
+    /// batch's granted budget; accumulated PSMs — and therefore the
+    /// finalized table — are byte-identical across budgets.
+    pub fn submit_with_workers(&mut self, spectra: &[Spectrum], workers: usize) -> BatchReceipt {
+        self.submit_inner(spectra, Some(workers.max(1)))
+    }
+
+    fn submit_inner(&mut self, spectra: &[Spectrum], workers: Option<usize>) -> BatchReceipt {
         let start = Instant::now();
         let pre = Preprocessor::new(self.engine.preprocess);
         let (binned, rejected) = pre.run_batch(spectra);
         let cands =
             hdoms_oms::search::candidate_lists(&self.engine.candidates, &self.window, &binned);
-        let hits = self.engine.backend.search_batch(&binned, &cands);
+        let hits = self.engine.backend.search_batch(&binned, &cands, workers);
         let psms = assemble_psms(&binned, &hits, &self.engine.meta);
         let candidates_scored: usize = cands.iter().map(Vec::len).sum();
         let shards_touched = self.engine.backend.shards_touched(&cands);
@@ -694,6 +741,26 @@ mod tests {
         let (_, engine) = tiny_engine(24);
         let session = engine.session(PrecursorWindow::open_default());
         let _ = session.finalize(1.0);
+    }
+
+    #[test]
+    fn budgeted_search_is_byte_identical_across_worker_counts() {
+        let (workload, engine) = tiny_engine(26);
+        let (full, _) = engine.search(&workload.queries, PrecursorWindow::open_default(), 0.01);
+        for workers in [1, 2, 3, 7] {
+            let (budgeted, receipt) = engine.search_with_workers(
+                &workload.queries,
+                PrecursorWindow::open_default(),
+                0.01,
+                workers,
+            );
+            assert_eq!(
+                budgeted.psms, full.psms,
+                "worker budget {workers} changed the PSMs"
+            );
+            assert_eq!(budgeted.threshold_score, full.threshold_score);
+            assert_eq!(receipt.queries, workload.queries.len());
+        }
     }
 
     #[test]

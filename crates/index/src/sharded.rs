@@ -234,22 +234,22 @@ impl ShardedBackend {
 
     /// Evaluate one query: encode once, score each shard run, merge.
     ///
-    /// `parallel_shards` switches the per-shard scoring onto worker
-    /// threads (used when the batch itself is too small to parallelise
-    /// over queries).
+    /// `parallel_shards` (> 1) switches the per-shard scoring onto that
+    /// many worker threads (used when the batch itself is too small to
+    /// parallelise over queries).
     fn search_one(
         &self,
         binned: &BinnedSpectrum,
         candidates: &[u32],
-        parallel_shards: bool,
+        parallel_shards: usize,
     ) -> Option<SearchHit> {
         if candidates.is_empty() {
             return None;
         }
         let query_hv = self.scorer.prepare(binned);
         let runs = self.shard_runs(candidates);
-        if parallel_shards && runs.len() > 1 {
-            let hits = par_map(&runs, self.threads, |run| {
+        if parallel_shards > 1 && runs.len() > 1 {
+            let hits = par_map(&runs, parallel_shards, |run| {
                 self.scorer.best(&query_hv, binned.id, run)
             });
             merge_hits(hits)
@@ -258,6 +258,51 @@ impl ShardedBackend {
                 runs.into_iter()
                     .map(|run| self.scorer.best(&query_hv, binned.id, run)),
             )
+        }
+    }
+
+    /// [`SimilarityBackend::search_batch`] with an explicit worker
+    /// budget: the batch uses at most `workers` threads, whatever the
+    /// backend was constructed with. This is the entry point the serve
+    /// layer's scheduler drives — a granted batch must not oversubscribe
+    /// the machine beyond its share — and `workers == 1` runs entirely
+    /// inline on the calling thread.
+    ///
+    /// Scores are bit-identical across worker budgets (every evaluation
+    /// is deterministic and order-preserving), so a budgeted search
+    /// renders the same PSM table a full-parallelism search renders.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queries` and `candidates` do not pair up.
+    pub fn search_batch_with(
+        &self,
+        queries: &[BinnedSpectrum],
+        candidates: &[Vec<u32>],
+        workers: usize,
+    ) -> Vec<Option<SearchHit>> {
+        let workers = workers.max(1);
+        assert_eq!(
+            queries.len(),
+            candidates.len(),
+            "queries and candidate lists must pair up"
+        );
+        if queries.len() >= workers {
+            // Enough queries to keep every worker busy: parallelise over
+            // queries, keep each query's shard walk sequential (better
+            // locality, no nested parallelism).
+            let jobs: Vec<usize> = (0..queries.len()).collect();
+            par_map(&jobs, workers, |&i| {
+                self.search_one(&queries[i], &candidates[i], 1)
+            })
+        } else {
+            // Few queries (interactive / tail of a batch): go wide over
+            // each query's shards instead.
+            queries
+                .iter()
+                .zip(candidates)
+                .map(|(q, c)| self.search_one(q, c, workers))
+                .collect()
         }
     }
 }
@@ -276,27 +321,6 @@ impl SimilarityBackend for ShardedBackend {
         queries: &[BinnedSpectrum],
         candidates: &[Vec<u32>],
     ) -> Vec<Option<SearchHit>> {
-        assert_eq!(
-            queries.len(),
-            candidates.len(),
-            "queries and candidate lists must pair up"
-        );
-        if queries.len() >= self.threads {
-            // Enough queries to keep every worker busy: parallelise over
-            // queries, keep each query's shard walk sequential (better
-            // locality, no nested parallelism).
-            let jobs: Vec<usize> = (0..queries.len()).collect();
-            par_map(&jobs, self.threads, |&i| {
-                self.search_one(&queries[i], &candidates[i], false)
-            })
-        } else {
-            // Few queries (interactive / tail of a batch): go wide over
-            // each query's shards instead.
-            queries
-                .iter()
-                .zip(candidates)
-                .map(|(q, c)| self.search_one(q, c, true))
-                .collect()
-        }
+        self.search_batch_with(queries, candidates, self.threads)
     }
 }

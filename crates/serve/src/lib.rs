@@ -26,6 +26,15 @@
 //! * [`net`] — transports: [`net::serve_listener`] (TCP, one thread per
 //!   connection), [`net::serve_stdio`], and a blocking [`net::Client`].
 //!
+//! Underneath the verbs sits the [`scheduler`]: every `query`,
+//! `session.submit`, and `index.load` queues through a shared
+//! [`scheduler::Scheduler`] that bounds total in-flight search
+//! parallelism to a fixed worker budget, grants batches round-robin
+//! across clients, sheds batches that wait past a soft deadline, and
+//! rejects new work with a structured `busy` error when the queue is
+//! full — so N concurrent connections degrade fairly instead of
+//! oversubscribing the CPU N-fold (see `docs/SCHEDULER.md`).
+//!
 //! [`json`] is the hand-rolled canonical JSON underneath (the workspace's
 //! `serde` is a no-op offline shim).
 //!
@@ -62,8 +71,10 @@
 pub mod json;
 pub mod net;
 pub mod protocol;
+pub mod scheduler;
 pub mod server;
 
 pub use net::Client;
 pub use protocol::{Request, Response};
+pub use scheduler::{Scheduler, SchedulerConfig};
 pub use server::Server;

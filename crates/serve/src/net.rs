@@ -25,7 +25,9 @@ pub const MAX_CONNECTIONS: usize = 256;
 
 /// Serve requests from `reader`, writing one response line per request
 /// line to `writer`, until end-of-stream. This is the transport-agnostic
-/// core used by both the TCP and stdio front ends.
+/// core used by both the TCP and stdio front ends. The connection is
+/// registered as one scheduler client ([`Server::next_client_id`]), so
+/// its batches share a single round-robin slot in the batch queue.
 ///
 /// # Errors
 ///
@@ -42,6 +44,18 @@ pub fn serve_connection(
 /// so tests can exercise the bound without 64 MiB inputs).
 fn serve_connection_bounded(
     server: &Server,
+    reader: impl BufRead,
+    writer: impl Write,
+    max_line: usize,
+) -> io::Result<()> {
+    let client = server.next_client_id();
+    serve_connection_as(server, client, reader, writer, max_line)
+}
+
+/// The connection loop itself, under an explicit scheduler client id.
+fn serve_connection_as(
+    server: &Server,
+    client: u64,
     mut reader: impl BufRead,
     mut writer: impl Write,
     max_line: usize,
@@ -72,21 +86,17 @@ fn serve_connection_bounded(
         }
         if buf.len() > max_line {
             answer(
-                Response::Error {
-                    message: format!("request line exceeds {max_line} bytes"),
-                },
+                Response::error(format!("request line exceeds {max_line} bytes")),
                 &mut writer,
             )?;
             return Ok(());
         }
         let response = match std::str::from_utf8(&buf) {
-            Err(_) => Response::Error {
-                message: "request line is not UTF-8".to_owned(),
-            },
+            Err(_) => Response::error("request line is not UTF-8"),
             Ok(line) if line.trim().is_empty() => continue,
             Ok(line) => match Request::decode(line.trim_end()) {
-                Ok(request) => server.handle(&request),
-                Err(message) => Response::Error { message },
+                Ok(request) => server.handle_as(client, &request),
+                Err(message) => Response::error(message),
             },
         };
         answer(response, &mut writer)?;
@@ -107,9 +117,9 @@ pub fn serve_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<
         let (mut stream, _peer) = listener.accept()?;
         if active.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
             active.fetch_sub(1, Ordering::SeqCst);
-            let refusal = Response::Error {
-                message: format!("server at capacity ({MAX_CONNECTIONS} connections)"),
-            };
+            let refusal = Response::error(format!(
+                "server at capacity ({MAX_CONNECTIONS} connections)"
+            ));
             let _ = stream.write_all(refusal.encode().as_bytes());
             let _ = stream.write_all(b"\n");
             continue; // stream drops, connection closes
@@ -216,7 +226,7 @@ mod tests {
         let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
         assert_eq!(lines.len(), 1, "connection closes after the refusal");
         match Response::decode(lines[0]).unwrap() {
-            Response::Error { message } => assert!(message.contains("exceeds 64 bytes")),
+            Response::Error { message, .. } => assert!(message.contains("exceeds 64 bytes")),
             other => panic!("expected an error, got {other:?}"),
         }
     }

@@ -21,11 +21,54 @@ use hdoms_oms::psm::{Psm, PsmTableRow};
 use hdoms_oms::window::PrecursorWindow;
 
 /// Wire protocol version, reported by `pong`. Bumped on any incompatible
-/// message change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// message change (v2: scheduler — structured `busy`/`deadline` error
+/// codes, queue-wait/budget fields in `stats` and `receipt`, and the
+/// `server.stats` verb).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Default FDR level applied when a query request omits `"fdr"`.
 pub const DEFAULT_FDR: f64 = 0.01;
+
+/// Machine-readable classification of an `error` response, so clients
+/// can react without parsing prose. `General` (the catch-all for
+/// request-level failures) is omitted on the wire; the scheduler's two
+/// structured rejections carry `"code":"busy"` / `"code":"deadline"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorCode {
+    /// Any request-level failure without a more specific code.
+    #[default]
+    General,
+    /// Admission control: the batch queue is full; retry later (the
+    /// request was rejected before any work happened).
+    Busy,
+    /// The batch waited in the queue past the server's soft deadline
+    /// and was shed before execution.
+    Deadline,
+}
+
+impl ErrorCode {
+    /// The wire name, or `None` for the omitted `General` default.
+    pub fn name(self) -> Option<&'static str> {
+        match self {
+            ErrorCode::General => None,
+            ErrorCode::Busy => Some("busy"),
+            ErrorCode::Deadline => Some("deadline"),
+        }
+    }
+
+    /// Parse a wire name back into a code.
+    ///
+    /// # Errors
+    ///
+    /// Describes the unknown name.
+    pub fn parse(name: &str) -> Result<ErrorCode, String> {
+        match name {
+            "busy" => Ok(ErrorCode::Busy),
+            "deadline" => Ok(ErrorCode::Deadline),
+            other => Err(format!("unknown error code {other:?} (busy|deadline)")),
+        }
+    }
+}
 
 /// Which precursor window a query batch searches under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -249,6 +292,9 @@ pub enum Request {
         /// Name the index was registered under.
         name: String,
     },
+    /// Report the scheduler's queue/worker counters and the server's
+    /// resident-set size (for monitoring and load shedding decisions).
+    ServerStats,
 }
 
 impl Request {
@@ -298,6 +344,7 @@ impl Request {
                 ("type".into(), Json::str("index.unload")),
                 ("name".into(), Json::str(name.clone())),
             ]),
+            Request::ServerStats => Json::Obj(vec![("type".into(), Json::str("server.stats"))]),
         };
         v.encode()
     }
@@ -371,6 +418,7 @@ impl Request {
             Some("index.unload") => Ok(Request::IndexUnload {
                 name: string(&v, "name")?,
             }),
+            Some("server.stats") => Ok(Request::ServerStats),
             Some(other) => Err(format!("unknown request type {other:?}")),
             None => Err("request type must be a string".to_owned()),
         }
@@ -397,6 +445,16 @@ pub struct IndexSummary {
 pub struct BatchStats {
     /// Wall-clock time spent answering the batch, milliseconds.
     pub latency_ms: f64,
+    /// Time the batch waited in the scheduler queue before its worker
+    /// budget was granted, milliseconds (for a session finalize: the
+    /// accumulated wait of every submitted batch).
+    pub wait_ms: f64,
+    /// Batches already waiting in the queue when this one was
+    /// submitted (0 for a finalize, which does not queue).
+    pub queued: usize,
+    /// Worker budget the scheduler granted the batch (0 for a finalize,
+    /// which runs unscheduled).
+    pub workers: usize,
     /// Queries in the batch.
     pub queries: usize,
     /// Queries dropped by preprocessing (too few peaks).
@@ -451,8 +509,49 @@ pub struct SubmitReceipt {
     pub candidates_scored: usize,
     /// Shard visits the batch cost.
     pub shards_touched: usize,
+    /// Worker budget the scheduler granted the batch.
+    pub workers: usize,
     /// Wall-clock time spent searching the batch, milliseconds.
     pub latency_ms: f64,
+    /// Time the batch waited in the scheduler queue, milliseconds.
+    pub wait_ms: f64,
+}
+
+/// The scheduler and resident-set counters reported by the
+/// `server.stats` verb: configuration, the queue right now, and
+/// lifetime totals since the server started.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Configured worker-token budget (`hdoms serve --workers`).
+    pub workers: usize,
+    /// Configured queue bound (`--queue-depth`).
+    pub queue_depth: usize,
+    /// Configured soft queue deadline in milliseconds (`--deadline-ms`,
+    /// 0 = none).
+    pub deadline_ms: u64,
+    /// Batches waiting in the queue right now.
+    pub queued: usize,
+    /// Batches executing right now.
+    pub in_flight: usize,
+    /// Worker tokens granted right now (≤ `workers`).
+    pub workers_busy: usize,
+    /// Most tokens ever granted at once (≤ `workers` always — the
+    /// bounded-in-flight invariant).
+    pub peak_workers_busy: usize,
+    /// Batches granted a budget so far.
+    pub admitted: u64,
+    /// Admitted batches that finished and returned their budget.
+    pub completed: u64,
+    /// Submissions rejected with the `busy` error.
+    pub rejected_busy: u64,
+    /// Batches shed with the `deadline` error.
+    pub shed_deadline: u64,
+    /// Total queue wait across admitted batches, milliseconds.
+    pub total_wait_ms: f64,
+    /// Open streaming sessions.
+    pub open_sessions: usize,
+    /// Resident indexes.
+    pub resident_indexes: usize,
 }
 
 /// A server response.
@@ -465,6 +564,9 @@ pub enum Response {
     },
     /// Any request-level failure (the connection stays open).
     Error {
+        /// Machine-readable classification ([`ErrorCode::General`] is
+        /// omitted on the wire).
+        code: ErrorCode,
         /// What went wrong.
         message: String,
     },
@@ -494,9 +596,19 @@ pub enum Response {
         /// Name the dropped index was registered under.
         name: String,
     },
+    /// Answer to `server.stats`.
+    Stats(ServerStats),
 }
 
 impl Response {
+    /// A [`Response::Error`] with the default [`ErrorCode::General`]
+    /// classification (the pre-scheduler error shape).
+    pub fn error(message: impl Into<String>) -> Response {
+        Response::Error {
+            code: ErrorCode::General,
+            message: message.into(),
+        }
+    }
     /// Encode as one canonical JSON line (no trailing newline).
     pub fn encode(&self) -> String {
         let v = match self {
@@ -504,10 +616,14 @@ impl Response {
                 ("type".into(), Json::str("pong")),
                 ("protocol".into(), Json::Num(f64::from(*protocol))),
             ]),
-            Response::Error { message } => Json::Obj(vec![
-                ("type".into(), Json::str("error")),
-                ("message".into(), Json::str(message.clone())),
-            ]),
+            Response::Error { code, message } => {
+                let mut fields = vec![("type".into(), Json::str("error"))];
+                if let Some(name) = code.name() {
+                    fields.push(("code".into(), Json::str(name)));
+                }
+                fields.push(("message".into(), Json::str(message.clone())));
+                Json::Obj(fields)
+            }
             Response::Indexes(indexes) => Json::Obj(vec![
                 ("type".into(), Json::str("indexes")),
                 (
@@ -545,7 +661,9 @@ impl Response {
                     Json::Num(r.candidates_scored as f64),
                 ),
                 ("shards_touched".into(), Json::Num(r.shards_touched as f64)),
+                ("workers".into(), Json::Num(r.workers as f64)),
                 ("latency_ms".into(), Json::Num(r.latency_ms)),
+                ("wait_ms".into(), Json::Num(r.wait_ms)),
             ]),
             Response::SessionClosed { session } => Json::Obj(vec![
                 ("type".into(), Json::str("closed")),
@@ -558,6 +676,29 @@ impl Response {
             Response::Unloaded { name } => Json::Obj(vec![
                 ("type".into(), Json::str("unloaded")),
                 ("name".into(), Json::str(name.clone())),
+            ]),
+            Response::Stats(s) => Json::Obj(vec![
+                ("type".into(), Json::str("stats")),
+                ("workers".into(), Json::Num(s.workers as f64)),
+                ("queue_depth".into(), Json::Num(s.queue_depth as f64)),
+                ("deadline_ms".into(), Json::Num(s.deadline_ms as f64)),
+                ("queued".into(), Json::Num(s.queued as f64)),
+                ("in_flight".into(), Json::Num(s.in_flight as f64)),
+                ("workers_busy".into(), Json::Num(s.workers_busy as f64)),
+                (
+                    "peak_workers_busy".into(),
+                    Json::Num(s.peak_workers_busy as f64),
+                ),
+                ("admitted".into(), Json::Num(s.admitted as f64)),
+                ("completed".into(), Json::Num(s.completed as f64)),
+                ("rejected_busy".into(), Json::Num(s.rejected_busy as f64)),
+                ("shed_deadline".into(), Json::Num(s.shed_deadline as f64)),
+                ("total_wait_ms".into(), Json::Num(s.total_wait_ms)),
+                ("open_sessions".into(), Json::Num(s.open_sessions as f64)),
+                (
+                    "resident_indexes".into(),
+                    Json::Num(s.resident_indexes as f64),
+                ),
             ]),
         };
         v.encode()
@@ -577,6 +718,10 @@ impl Response {
                     as u32,
             }),
             Some("error") => Ok(Response::Error {
+                code: match v.get("code") {
+                    None => ErrorCode::General,
+                    Some(c) => ErrorCode::parse(c.as_str().ok_or("code must be a string")?)?,
+                },
                 message: req_field(&v, "message")?
                     .as_str()
                     .ok_or("message must be a string")?
@@ -619,7 +764,9 @@ impl Response {
                 candidates_scored: uint(req_field(&v, "candidates_scored")?, "candidates_scored")?
                     as usize,
                 shards_touched: uint(req_field(&v, "shards_touched")?, "shards_touched")? as usize,
+                workers: uint(req_field(&v, "workers")?, "workers")? as usize,
                 latency_ms: num(req_field(&v, "latency_ms")?, "latency_ms")?,
+                wait_ms: num(req_field(&v, "wait_ms")?, "wait_ms")?,
             })),
             Some("closed") => Ok(Response::SessionClosed {
                 session: uint(req_field(&v, "session")?, "session")?,
@@ -630,6 +777,24 @@ impl Response {
             Some("unloaded") => Ok(Response::Unloaded {
                 name: string(&v, "name")?,
             }),
+            Some("stats") => Ok(Response::Stats(ServerStats {
+                workers: uint(req_field(&v, "workers")?, "workers")? as usize,
+                queue_depth: uint(req_field(&v, "queue_depth")?, "queue_depth")? as usize,
+                deadline_ms: uint(req_field(&v, "deadline_ms")?, "deadline_ms")?,
+                queued: uint(req_field(&v, "queued")?, "queued")? as usize,
+                in_flight: uint(req_field(&v, "in_flight")?, "in_flight")? as usize,
+                workers_busy: uint(req_field(&v, "workers_busy")?, "workers_busy")? as usize,
+                peak_workers_busy: uint(req_field(&v, "peak_workers_busy")?, "peak_workers_busy")?
+                    as usize,
+                admitted: uint(req_field(&v, "admitted")?, "admitted")?,
+                completed: uint(req_field(&v, "completed")?, "completed")?,
+                rejected_busy: uint(req_field(&v, "rejected_busy")?, "rejected_busy")?,
+                shed_deadline: uint(req_field(&v, "shed_deadline")?, "shed_deadline")?,
+                total_wait_ms: num(req_field(&v, "total_wait_ms")?, "total_wait_ms")?,
+                open_sessions: uint(req_field(&v, "open_sessions")?, "open_sessions")? as usize,
+                resident_indexes: uint(req_field(&v, "resident_indexes")?, "resident_indexes")?
+                    as usize,
+            })),
             Some(other) => Err(format!("unknown response type {other:?}")),
             None => Err("response type must be a string".to_owned()),
         }
@@ -692,6 +857,9 @@ fn row_from_json(v: &Json) -> Result<PsmTableRow, String> {
 fn stats_to_json(s: &BatchStats) -> Json {
     Json::Obj(vec![
         ("latency_ms".into(), Json::Num(s.latency_ms)),
+        ("wait_ms".into(), Json::Num(s.wait_ms)),
+        ("queued".into(), Json::Num(s.queued as f64)),
+        ("workers".into(), Json::Num(s.workers as f64)),
         ("queries".into(), Json::Num(s.queries as f64)),
         (
             "rejected_queries".into(),
@@ -715,6 +883,9 @@ fn stats_to_json(s: &BatchStats) -> Json {
 fn stats_from_json(v: &Json) -> Result<BatchStats, String> {
     Ok(BatchStats {
         latency_ms: num(req_field(v, "latency_ms")?, "latency_ms")?,
+        wait_ms: num(req_field(v, "wait_ms")?, "wait_ms")?,
+        queued: uint(req_field(v, "queued")?, "queued")? as usize,
+        workers: uint(req_field(v, "workers")?, "workers")? as usize,
         queries: uint(req_field(v, "queries")?, "queries")? as usize,
         rejected_queries: uint(req_field(v, "rejected_queries")?, "rejected_queries")? as usize,
         psms: uint(req_field(v, "psms")?, "psms")? as usize,
@@ -818,6 +989,7 @@ mod tests {
             Request::IndexUnload {
                 name: "hek".to_owned(),
             },
+            Request::ServerStats,
         ];
         for req in session_requests {
             let line = req.encode();
@@ -836,10 +1008,32 @@ mod tests {
     #[test]
     fn responses_roundtrip() {
         let responses = [
-            Response::Pong { protocol: 1 },
+            Response::Pong { protocol: 2 },
+            Response::error("unknown index \"x\""),
             Response::Error {
-                message: "unknown index \"x\"".to_owned(),
+                code: ErrorCode::Busy,
+                message: "server busy: 256 batches queued".to_owned(),
             },
+            Response::Error {
+                code: ErrorCode::Deadline,
+                message: "queue deadline exceeded".to_owned(),
+            },
+            Response::Stats(ServerStats {
+                workers: 8,
+                queue_depth: 256,
+                deadline_ms: 250,
+                queued: 3,
+                in_flight: 8,
+                workers_busy: 8,
+                peak_workers_busy: 8,
+                admitted: 1200,
+                completed: 1192,
+                rejected_busy: 17,
+                shed_deadline: 4,
+                total_wait_ms: 5321.25,
+                open_sessions: 2,
+                resident_indexes: 1,
+            }),
             Response::Indexes(vec![IndexSummary {
                 name: "iprg".to_owned(),
                 backend: "exact".to_owned(),
@@ -862,6 +1056,9 @@ mod tests {
                 }],
                 stats: BatchStats {
                     latency_ms: 12.5,
+                    wait_ms: 0.25,
+                    queued: 2,
+                    workers: 4,
                     queries: 1,
                     rejected_queries: 0,
                     psms: 1,
@@ -897,7 +1094,9 @@ mod tests {
                 total_psms: 121,
                 candidates_scored: 9000,
                 shards_touched: 180,
+                workers: 2,
                 latency_ms: 4.25,
+                wait_ms: 1.5,
             }),
             Response::SessionClosed { session: 1 },
             Response::Loaded(IndexSummary {
@@ -952,6 +1151,9 @@ mod tests {
             rows: Vec::new(),
             stats: BatchStats {
                 latency_ms: 0.5,
+                wait_ms: 0.0,
+                queued: 0,
+                workers: 1,
                 queries: 0,
                 rejected_queries: 0,
                 psms: 0,
@@ -998,6 +1200,20 @@ mod tests {
             let err = Request::decode(line).unwrap_err();
             assert!(err.contains(needle), "line {line}: error {err:?}");
         }
+    }
+
+    #[test]
+    fn error_codes_default_and_reject_unknowns() {
+        // A code-less error (the v1 shape) decodes as General and
+        // re-encodes without a code field.
+        let line = r#"{"type":"error","message":"boom"}"#;
+        let Response::Error { code, .. } = Response::decode(line).unwrap() else {
+            panic!("expected an error");
+        };
+        assert_eq!(code, ErrorCode::General);
+        assert_eq!(Response::decode(line).unwrap().encode(), line);
+        // Unknown codes are rejected, not silently coerced.
+        assert!(Response::decode(r#"{"type":"error","code":"teapot","message":"x"}"#).is_err());
     }
 
     #[test]

@@ -1,0 +1,639 @@
+//! Server-side batch scheduling and admission control.
+//!
+//! The paper's accelerator sustains throughput by keeping its search
+//! arrays *saturated but never oversubscribed*: queries are batched onto
+//! a fixed amount of device parallelism. The host-side serving layer
+//! needs the same discipline — `hdoms serve` answers each connection on
+//! its own thread, and without a shared scheduler N concurrent clients
+//! would each run their batch with full worker parallelism,
+//! oversubscribing the CPU N-fold exactly where a production system
+//! needs predictable latency most.
+//!
+//! [`Scheduler`] is that discipline. It owns a fixed budget of
+//! **worker tokens** (sized to the machine) and a bounded queue of
+//! waiting batches, and it hands out [`WorkPermit`]s that grant a batch
+//! an explicit worker budget:
+//!
+//! * **bounded in-flight work** — the sum of granted budgets never
+//!   exceeds `workers`; a batch that cannot be granted at least one
+//!   token waits in the queue;
+//! * **fair dequeue** — waiting batches are queued *per client* and
+//!   granted round-robin across clients, so one greedy connection
+//!   streaming batches back-to-back cannot starve an interactive one;
+//! * **adaptive budgets** — a lone batch is granted every free token
+//!   (full parallelism, the pre-scheduler behaviour); under contention
+//!   the free tokens are split evenly across waiting batches, down to
+//!   one each;
+//! * **admission control** — when `queue_depth` batches are already
+//!   waiting, further submissions are rejected immediately with
+//!   [`ScheduleError::Busy`] (the wire's structured `busy` error)
+//!   instead of queueing without bound;
+//! * **soft deadlines** — a batch still queued `deadline_ms` after
+//!   submission gives up and reports [`ScheduleError::Deadline`]; work
+//!   the client has stopped waiting for is shed instead of executed.
+//!
+//! The scheduler is *passive*: it spawns no threads. The submitting
+//! (connection) thread blocks in [`Scheduler::admit`] until granted,
+//! then executes its own batch with the granted budget (the engine's
+//! budgeted entry points — `Session::submit_with_workers` — spread the
+//! batch over exactly that many workers). Dropping the permit returns
+//! the tokens and wakes the queue. This keeps batch execution on the
+//! thread that owns the connection state (sessions, leases) while still
+//! bounding total parallelism; see `docs/SCHEDULER.md` for the
+//! queueing model and tuning guide.
+//!
+//! ```
+//! use hdoms_serve::scheduler::{Scheduler, SchedulerConfig};
+//!
+//! let scheduler = Scheduler::new(SchedulerConfig {
+//!     workers: 4,
+//!     queue_depth: 16,
+//!     deadline_ms: 0, // no deadline
+//! });
+//! let permit = scheduler.admit(1).unwrap(); // client 1, nothing queued
+//! assert_eq!(permit.workers(), 4);          // lone batch: full budget
+//! drop(permit);                             // tokens return to the pool
+//! assert_eq!(scheduler.stats().completed, 1);
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default bound on waiting batches (matches the TCP front end's
+/// connection cap: every connection can have at most one batch waiting).
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+/// Scheduler sizing knobs (the `hdoms serve --workers / --queue-depth /
+/// --deadline-ms` flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Total worker tokens — the most search parallelism in flight at
+    /// once, across every concurrent batch. Size it to the machine.
+    pub workers: usize,
+    /// Most batches allowed to wait in the queue; submissions beyond it
+    /// are rejected with the structured `busy` error. `0` disables
+    /// queueing entirely (a batch is admitted immediately or rejected).
+    pub queue_depth: usize,
+    /// Soft per-batch queue deadline in milliseconds; a batch still
+    /// waiting after this long is shed with the structured `deadline`
+    /// error. `0` disables deadlines (wait indefinitely).
+    pub deadline_ms: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            workers: hdoms_hdc::parallel::default_threads(),
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            deadline_ms: 0,
+        }
+    }
+}
+
+/// Why a batch was not admitted. Both cases map onto structured wire
+/// errors (`{"type":"error","code":"busy"|"deadline",...}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The queue already holds `queue_depth` waiting batches; the
+    /// submission was rejected without queueing.
+    Busy {
+        /// Batches waiting when the submission was rejected.
+        queued: usize,
+        /// The configured queue bound.
+        queue_depth: usize,
+    },
+    /// The batch waited past the configured soft deadline and was shed
+    /// before execution.
+    Deadline {
+        /// How long the batch waited before giving up, milliseconds.
+        waited_ms: u64,
+        /// The configured deadline.
+        deadline_ms: u64,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Busy {
+                queued,
+                queue_depth,
+            } => write!(
+                f,
+                "server busy: {queued} batches queued (queue depth {queue_depth}); retry later"
+            ),
+            ScheduleError::Deadline {
+                waited_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "queue deadline exceeded: waited {waited_ms} ms (deadline {deadline_ms} ms)"
+            ),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the scheduler, plus its lifetime
+/// counters (the `server.stats` verb reports these).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerStats {
+    /// Configured worker-token budget.
+    pub workers: usize,
+    /// Configured queue bound.
+    pub queue_depth: usize,
+    /// Configured soft deadline (0 = none).
+    pub deadline_ms: u64,
+    /// Batches waiting in the queue right now.
+    pub queued: usize,
+    /// Batches executing right now (each holds ≥ 1 token).
+    pub in_flight: usize,
+    /// Worker tokens granted right now (always ≤ `workers`).
+    pub workers_busy: usize,
+    /// Most tokens ever granted at once (always ≤ `workers` — the
+    /// bounded-in-flight invariant, asserted by tests).
+    pub peak_workers_busy: usize,
+    /// Batches admitted (granted a budget) so far.
+    pub admitted: u64,
+    /// Admitted batches whose permit has been returned.
+    pub completed: u64,
+    /// Submissions rejected at admission (`busy`).
+    pub rejected_busy: u64,
+    /// Batches shed after waiting past their deadline.
+    pub shed_deadline: u64,
+    /// Total queue wait across admitted batches, milliseconds.
+    pub total_wait_ms: f64,
+}
+
+struct State {
+    /// Total worker tokens (the configured budget).
+    workers: usize,
+    /// Free worker tokens.
+    available: usize,
+    /// Ticket id → granted budget (`None` while waiting; granted
+    /// tickets stay here until picked up by their submitter).
+    tickets: HashMap<u64, Option<usize>>,
+    /// Per-client FIFO of waiting ticket ids.
+    pending: HashMap<u64, VecDeque<u64>>,
+    /// Round-robin order over clients with waiting tickets.
+    clients: VecDeque<u64>,
+    /// Waiting (ungranted) tickets — the queue depth.
+    queued: usize,
+    in_flight: usize,
+    peak_busy: usize,
+    next_ticket: u64,
+    admitted: u64,
+    completed: u64,
+    rejected_busy: u64,
+    shed_deadline: u64,
+    total_wait_ms: f64,
+}
+
+/// The shared batch scheduler: a fixed worker-token budget, a bounded
+/// per-client-fair queue, soft deadlines, and admission control. See the
+/// [module docs](self) for the model.
+pub struct Scheduler {
+    config: SchedulerConfig,
+    state: Mutex<State>,
+    granted: Condvar,
+}
+
+impl Scheduler {
+    /// A scheduler over `config.workers` worker tokens (at least one).
+    pub fn new(config: SchedulerConfig) -> Scheduler {
+        let workers = config.workers.max(1);
+        Scheduler {
+            config: SchedulerConfig { workers, ..config },
+            state: Mutex::new(State {
+                workers,
+                available: workers,
+                tickets: HashMap::new(),
+                pending: HashMap::new(),
+                clients: VecDeque::new(),
+                queued: 0,
+                in_flight: 0,
+                peak_busy: 0,
+                next_ticket: 1,
+                admitted: 0,
+                completed: 0,
+                rejected_busy: 0,
+                shed_deadline: 0,
+                total_wait_ms: 0.0,
+            }),
+            granted: Condvar::new(),
+        }
+    }
+
+    /// The configuration the scheduler runs with.
+    pub fn config(&self) -> SchedulerConfig {
+        self.config
+    }
+
+    /// Ask for a worker budget on behalf of `client`, blocking until the
+    /// queue grants one. Returns a [`WorkPermit`] whose
+    /// [`workers()`](WorkPermit::workers) budget the caller must respect
+    /// while executing its batch; dropping the permit returns the
+    /// tokens.
+    ///
+    /// Batches from the same client are granted in submission order;
+    /// across clients, grants rotate round-robin.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Busy`] when `queue_depth` batches are already
+    /// waiting (immediate, without queueing);
+    /// [`ScheduleError::Deadline`] when the batch waited past the
+    /// configured soft deadline.
+    pub fn admit(&self, client: u64) -> Result<WorkPermit<'_>, ScheduleError> {
+        let enqueued = Instant::now();
+        let deadline = (self.config.deadline_ms > 0)
+            .then(|| enqueued + Duration::from_millis(self.config.deadline_ms));
+
+        let mut state = self.state.lock().expect("scheduler state lock");
+        // Admission control: when the queue is full, reject instead of
+        // queueing — unless the batch would not queue at all (tokens
+        // free and nobody ahead of it).
+        let immediate = state.queued == 0 && state.available > 0;
+        if state.queued >= self.config.queue_depth && !immediate {
+            state.rejected_busy += 1;
+            return Err(ScheduleError::Busy {
+                queued: state.queued,
+                queue_depth: self.config.queue_depth,
+            });
+        }
+        let queued_behind = state.queued;
+
+        // Enqueue a ticket under this client and let the grant loop run
+        // (it may grant this very ticket synchronously).
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.tickets.insert(ticket, None);
+        let fifo = state.pending.entry(client).or_default();
+        fifo.push_back(ticket);
+        if fifo.len() == 1 {
+            state.clients.push_back(client);
+        }
+        state.queued += 1;
+        if Self::grant_ready(&mut state) {
+            // Another waiter may have been granted alongside us.
+            self.granted.notify_all();
+        }
+
+        loop {
+            if let Some(budget) = *state
+                .tickets
+                .get(&ticket)
+                .expect("own ticket stays registered")
+            {
+                state.tickets.remove(&ticket);
+                let wait_ms = enqueued.elapsed().as_secs_f64() * 1e3;
+                state.admitted += 1;
+                state.total_wait_ms += wait_ms;
+                return Ok(WorkPermit {
+                    scheduler: self,
+                    budget,
+                    wait_ms,
+                    queued_behind,
+                });
+            }
+            match deadline {
+                None => {
+                    state = self.granted.wait(state).expect("scheduler state lock");
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        // Shed: still waiting past the soft deadline.
+                        Self::abandon(&mut state, ticket, client);
+                        state.shed_deadline += 1;
+                        return Err(ScheduleError::Deadline {
+                            waited_ms: enqueued.elapsed().as_millis() as u64,
+                            deadline_ms: self.config.deadline_ms,
+                        });
+                    }
+                    let (next, _) = self
+                        .granted
+                        .wait_timeout(state, deadline - now)
+                        .expect("scheduler state lock");
+                    state = next;
+                }
+            }
+        }
+    }
+
+    /// Grant free tokens to waiting tickets, round-robin across clients.
+    /// Each grant takes an even share of what is free (at least one
+    /// token, everything when the queue is about to drain). Returns
+    /// whether anything was granted (callers then wake the waiters).
+    fn grant_ready(state: &mut State) -> bool {
+        let mut granted_any = false;
+        while state.available > 0 && state.queued > 0 {
+            let client = state
+                .clients
+                .pop_front()
+                .expect("queued > 0 implies a client in rotation");
+            let fifo = state
+                .pending
+                .get_mut(&client)
+                .expect("rotating client has a fifo");
+            let ticket = fifo.pop_front().expect("rotating client has a ticket");
+            if fifo.is_empty() {
+                state.pending.remove(&client);
+            } else {
+                state.clients.push_back(client);
+            }
+            state.queued -= 1;
+            // Even share over everyone still waiting (plus this batch),
+            // clamped to [1, available]: a lone batch takes everything,
+            // a storm degrades to one token each.
+            let share = state.available / (state.queued + 1);
+            let budget = share.clamp(1, state.available);
+            state.available -= budget;
+            state.in_flight += 1;
+            state.peak_busy = state.peak_busy.max(state.workers - state.available);
+            granted_any = true;
+            *state
+                .tickets
+                .get_mut(&ticket)
+                .expect("waiting ticket is registered") = Some(budget);
+        }
+        granted_any
+    }
+
+    /// Remove a still-waiting ticket (deadline shed).
+    fn abandon(state: &mut State, ticket: u64, client: u64) {
+        state.tickets.remove(&ticket);
+        if let Some(fifo) = state.pending.get_mut(&client) {
+            fifo.retain(|&t| t != ticket);
+            if fifo.is_empty() {
+                state.pending.remove(&client);
+                state.clients.retain(|&c| c != client);
+            }
+        }
+        state.queued -= 1;
+    }
+
+    fn release(&self, budget: usize) {
+        let mut state = self.state.lock().expect("scheduler state lock");
+        state.available += budget;
+        state.in_flight -= 1;
+        state.completed += 1;
+        let _ = Self::grant_ready(&mut state);
+        drop(state);
+        self.granted.notify_all();
+    }
+
+    /// Snapshot the queue and the lifetime counters.
+    pub fn stats(&self) -> SchedulerStats {
+        let state = self.state.lock().expect("scheduler state lock");
+        SchedulerStats {
+            workers: self.config.workers,
+            queue_depth: self.config.queue_depth,
+            deadline_ms: self.config.deadline_ms,
+            queued: state.queued,
+            in_flight: state.in_flight,
+            workers_busy: self.config.workers - state.available,
+            peak_workers_busy: state.peak_busy,
+            admitted: state.admitted,
+            completed: state.completed,
+            rejected_busy: state.rejected_busy,
+            shed_deadline: state.shed_deadline,
+            total_wait_ms: state.total_wait_ms,
+        }
+    }
+}
+
+/// Permission to execute one batch with an explicit worker budget.
+/// Returned by [`Scheduler::admit`]; dropping it returns the tokens and
+/// wakes the queue (this runs in `Drop`, so a panicking batch still
+/// frees its workers).
+pub struct WorkPermit<'a> {
+    scheduler: &'a Scheduler,
+    budget: usize,
+    wait_ms: f64,
+    queued_behind: usize,
+}
+
+impl WorkPermit<'_> {
+    /// The granted worker budget — the batch must not use more
+    /// parallelism than this.
+    pub fn workers(&self) -> usize {
+        self.budget
+    }
+
+    /// How long the batch waited in the queue, milliseconds.
+    pub fn wait_ms(&self) -> f64 {
+        self.wait_ms
+    }
+
+    /// Batches that were already waiting when this one was submitted
+    /// (the queue depth ahead of it at submission time).
+    pub fn queued_behind(&self) -> usize {
+        self.queued_behind
+    }
+}
+
+impl Drop for WorkPermit<'_> {
+    fn drop(&mut self) {
+        self.scheduler.release(self.budget);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    fn config(workers: usize, queue_depth: usize, deadline_ms: u64) -> SchedulerConfig {
+        SchedulerConfig {
+            workers,
+            queue_depth,
+            deadline_ms,
+        }
+    }
+
+    /// Block until the scheduler reports `n` queued batches.
+    fn wait_for_queued(scheduler: &Scheduler, n: usize) {
+        for _ in 0..2000 {
+            if scheduler.stats().queued == n {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("queue never reached {n} (at {})", scheduler.stats().queued);
+    }
+
+    #[test]
+    fn lone_batch_gets_the_full_budget() {
+        let scheduler = Scheduler::new(config(8, 4, 0));
+        let permit = scheduler.admit(1).unwrap();
+        assert_eq!(permit.workers(), 8);
+        assert_eq!(permit.queued_behind(), 0);
+        let stats = scheduler.stats();
+        assert_eq!(stats.workers_busy, 8);
+        assert_eq!(stats.in_flight, 1);
+        drop(permit);
+        let stats = scheduler.stats();
+        assert_eq!(stats.workers_busy, 0);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn contended_budgets_split_down_to_one_token() {
+        let scheduler = Arc::new(Scheduler::new(config(4, 64, 0)));
+        // Occupy everything, then storm it: every follower should run
+        // with budget 1 once the queue is longer than the free tokens.
+        let blocker = scheduler.admit(0).unwrap();
+        let busy = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for client in 1..=16u64 {
+                let scheduler = Arc::clone(&scheduler);
+                let busy = Arc::clone(&busy);
+                let peak = Arc::clone(&peak);
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        let permit = scheduler.admit(client).unwrap();
+                        let now =
+                            busy.fetch_add(permit.workers(), Ordering::SeqCst) + permit.workers();
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(1));
+                        busy.fetch_sub(permit.workers(), Ordering::SeqCst);
+                    }
+                });
+            }
+            wait_for_queued(&scheduler, 16);
+            drop(blocker);
+        });
+        // The bounded-in-flight invariant, measured *inside* the jobs:
+        // the sum of granted budgets never exceeded the 4 workers.
+        assert!(
+            peak.load(Ordering::SeqCst) <= 4,
+            "in-flight exceeded budget"
+        );
+        let stats = scheduler.stats();
+        assert!(stats.peak_workers_busy <= 4);
+        assert_eq!(stats.completed, 16 * 4 + 1);
+        assert_eq!(stats.workers_busy, 0);
+    }
+
+    #[test]
+    fn round_robin_alternates_between_greedy_clients() {
+        let scheduler = Arc::new(Scheduler::new(config(1, 64, 0)));
+        // Hold the only token so both clients queue up fully, then
+        // release and watch the grant order.
+        let blocker = scheduler.admit(99).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(8));
+        std::thread::scope(|scope| {
+            for i in 0..8u64 {
+                let client = i % 2; // 4 tickets each for clients 0 and 1
+                let scheduler = Arc::clone(&scheduler);
+                let order = Arc::clone(&order);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let permit = scheduler.admit(client).unwrap();
+                    order.lock().unwrap().push(client);
+                    drop(permit);
+                });
+            }
+            wait_for_queued(&scheduler, 8);
+            drop(blocker);
+        });
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 8);
+        // Strict alternation: with one token, grants are serialized, and
+        // round-robin never serves the same client twice in a row while
+        // the other still waits.
+        for pair in order.windows(2) {
+            assert_ne!(pair[0], pair[1], "grant order {order:?} starves a client");
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        let scheduler = Scheduler::new(config(1, 2, 0));
+        let _running = scheduler.admit(0).unwrap();
+        let scheduler = &scheduler;
+        std::thread::scope(|scope| {
+            // Two waiters fill the queue...
+            for client in [1u64, 2] {
+                scope.spawn(move || {
+                    let _ = scheduler.admit(client).unwrap();
+                });
+            }
+            wait_for_queued(scheduler, 2);
+            // ...the third submission is rejected immediately.
+            match scheduler.admit(3) {
+                Err(ScheduleError::Busy {
+                    queued,
+                    queue_depth,
+                }) => {
+                    assert_eq!(queued, 2);
+                    assert_eq!(queue_depth, 2);
+                }
+                Err(other) => panic!("expected busy, got {other:?}"),
+                Ok(_) => panic!("expected busy, got a permit"),
+            }
+            assert_eq!(scheduler.stats().rejected_busy, 1);
+            drop(_running);
+        });
+    }
+
+    #[test]
+    fn zero_queue_depth_admits_or_rejects_immediately() {
+        let scheduler = Scheduler::new(config(2, 0, 0));
+        let permit = scheduler.admit(1).unwrap(); // free tokens: admitted
+        match scheduler.admit(2) {
+            Err(ScheduleError::Busy { queue_depth: 0, .. }) => {}
+            Err(other) => panic!("expected busy, got {other:?}"),
+            Ok(_) => panic!("expected busy, got a permit"),
+        }
+        drop(permit);
+        assert!(scheduler.admit(2).is_ok());
+    }
+
+    #[test]
+    fn deadline_sheds_a_stuck_batch() {
+        let scheduler = Scheduler::new(config(1, 8, 25));
+        let running = scheduler.admit(0).unwrap();
+        let start = Instant::now();
+        match scheduler.admit(1) {
+            Err(ScheduleError::Deadline {
+                waited_ms,
+                deadline_ms,
+            }) => {
+                assert_eq!(deadline_ms, 25);
+                assert!(waited_ms >= 25);
+            }
+            Err(other) => panic!("expected deadline, got {other:?}"),
+            Ok(_) => panic!("expected deadline, got a permit"),
+        }
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        let stats = scheduler.stats();
+        assert_eq!(stats.shed_deadline, 1);
+        assert_eq!(stats.queued, 0, "shed ticket left the queue");
+        drop(running);
+        // The pool is intact: the next batch is granted normally.
+        assert_eq!(scheduler.admit(1).unwrap().workers(), 1);
+    }
+
+    #[test]
+    fn wait_time_is_accounted() {
+        let scheduler = Scheduler::new(config(1, 8, 0));
+        let running = scheduler.admit(0).unwrap();
+        let scheduler = &scheduler;
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || scheduler.admit(1).map(|p| p.wait_ms()).unwrap());
+            wait_for_queued(scheduler, 1);
+            std::thread::sleep(Duration::from_millis(10));
+            drop(running);
+            let waited = handle.join().unwrap();
+            assert!(waited >= 5.0, "waited only {waited} ms");
+        });
+        assert!(scheduler.stats().total_wait_ms >= 5.0);
+    }
+}

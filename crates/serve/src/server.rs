@@ -2,9 +2,10 @@
 //! sessions with cross-batch FDR, and runtime index lifecycle.
 
 use crate::protocol::{
-    BatchStats, IndexSummary, QueryRequest, QueryResult, Request, Response, SubmitReceipt,
-    PROTOCOL_VERSION,
+    BatchStats, ErrorCode, IndexSummary, QueryRequest, QueryResult, Request, Response, ServerStats,
+    SubmitReceipt, PROTOCOL_VERSION,
 };
+use crate::scheduler::{ScheduleError, Scheduler, SchedulerConfig};
 use hdoms_engine::{Engine, Session};
 use hdoms_index::{IndexError, LibraryIndex};
 use hdoms_ms::spectrum::Spectrum;
@@ -19,6 +20,59 @@ use std::time::Instant;
 /// refused (a client that never finalizes would otherwise accumulate
 /// PSMs on the server without bound).
 pub const MAX_SESSIONS: usize = 256;
+
+/// The client id [`Server::handle`] attributes requests to when the
+/// caller does not name one (in-process use, tests). Transports assign
+/// every connection its own id via [`Server::next_client_id`] so the
+/// scheduler's fairness has real connections to rotate over.
+pub const LOCAL_CLIENT: u64 = 0;
+
+/// A request-level failure: what went wrong plus the machine-readable
+/// [`ErrorCode`] the wire reports (`busy` / `deadline` for the
+/// scheduler's structured rejections, `General` otherwise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// Wire classification.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ServeError {
+    fn into_response(self) -> Response {
+        Response::Error {
+            code: self.code,
+            message: self.message,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for ServeError {
+    fn from(message: String) -> ServeError {
+        ServeError {
+            code: ErrorCode::General,
+            message,
+        }
+    }
+}
+
+impl From<ScheduleError> for ServeError {
+    fn from(error: ScheduleError) -> ServeError {
+        ServeError {
+            code: match error {
+                ScheduleError::Busy { .. } => ErrorCode::Busy,
+                ScheduleError::Deadline { .. } => ErrorCode::Deadline,
+            },
+            message: error.to_string(),
+        }
+    }
+}
 
 /// One resident index: the name it answers to plus the wired
 /// [`Engine`] (backend + candidate index + metadata, all sharing one
@@ -40,6 +94,9 @@ enum SessionSlot {
 struct OpenSession {
     index: String,
     session: Session,
+    /// Accumulated scheduler queue wait across the session's submits,
+    /// reported with the finalize result.
+    wait_ms: f64,
 }
 
 /// A long-lived batch query server over one or more warm `.hdx` indexes.
@@ -83,19 +140,79 @@ struct OpenSession {
 /// ```
 pub struct Server {
     threads: usize,
+    scheduler: Scheduler,
     indexes: RwLock<Vec<ResidentIndex>>,
     sessions: Mutex<HashMap<u64, SessionSlot>>,
     next_session: AtomicU64,
+    next_client: AtomicU64,
 }
 
 impl Server {
-    /// A server whose backends search over `threads` worker threads.
+    /// A server whose worker budget is `threads`: a lone batch searches
+    /// over that many workers, and the scheduler never grants more than
+    /// that much parallelism across all concurrent batches. Uses the
+    /// default queue depth and no deadline — see
+    /// [`Server::with_scheduler`] for the full knobs.
     pub fn new(threads: usize) -> Server {
+        Server::with_scheduler(
+            threads,
+            SchedulerConfig {
+                workers: threads.max(1),
+                ..SchedulerConfig::default()
+            },
+        )
+    }
+
+    /// A server with an explicit [`SchedulerConfig`] (the
+    /// `hdoms serve --workers / --queue-depth / --deadline-ms` flags).
+    /// `threads` bounds construction-time parallelism (index decode,
+    /// backend wiring); `config.workers` bounds search parallelism.
+    pub fn with_scheduler(threads: usize, config: SchedulerConfig) -> Server {
         Server {
             threads: threads.max(1),
+            scheduler: Scheduler::new(config),
             indexes: RwLock::new(Vec::new()),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
+            next_client: AtomicU64::new(LOCAL_CLIENT + 1),
+        }
+    }
+
+    /// The batch scheduler (admission control, fair queue, worker
+    /// budget). Exposed so transports and tests can inspect it; batch
+    /// execution goes through [`Server::handle`] and friends, which
+    /// admit every scheduled verb themselves.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// A fresh client identity for the scheduler's fair queue. Every
+    /// transport connection draws one and passes it to
+    /// [`Server::handle_as`]; two requests under the same id share one
+    /// round-robin slot.
+    pub fn next_client_id(&self) -> u64 {
+        self.next_client.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The `server.stats` report: scheduler counters plus the size of
+    /// the resident set and the open-session count.
+    pub fn stats(&self) -> ServerStats {
+        let s = self.scheduler.stats();
+        ServerStats {
+            workers: s.workers,
+            queue_depth: s.queue_depth,
+            deadline_ms: s.deadline_ms,
+            queued: s.queued,
+            in_flight: s.in_flight,
+            workers_busy: s.workers_busy,
+            peak_workers_busy: s.peak_workers_busy,
+            admitted: s.admitted,
+            completed: s.completed,
+            rejected_busy: s.rejected_busy,
+            shed_deadline: s.shed_deadline,
+            total_wait_ms: s.total_wait_ms,
+            open_sessions: self.open_sessions(),
+            resident_indexes: self.indexes.read().expect("index set lock").len(),
         }
     }
 
@@ -132,20 +249,41 @@ impl Server {
     }
 
     /// Load a `.hdx` file from the server's filesystem and make it
-    /// resident under `name` (the `index.load` verb).
+    /// resident under `name` (the `index.load` verb), on behalf of
+    /// [`LOCAL_CLIENT`]. Scheduled: the load queues like any batch and
+    /// decodes with the worker budget it is granted.
     ///
     /// # Errors
     ///
-    /// Load failures and duplicate names, as strings (the protocol's
-    /// error channel).
-    pub fn load_index(&self, name: &str, path: &str) -> Result<IndexSummary, String> {
+    /// Load failures and duplicate names, plus the scheduler's
+    /// `busy`/`deadline` rejections.
+    pub fn load_index(&self, name: &str, path: &str) -> Result<IndexSummary, ServeError> {
+        self.load_index_as(LOCAL_CLIENT, name, path)
+    }
+
+    /// [`Server::load_index`] attributed to a transport client.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::load_index`].
+    pub fn load_index_as(
+        &self,
+        client: u64,
+        name: &str,
+        path: &str,
+    ) -> Result<IndexSummary, ServeError> {
+        // A runtime load is CPU work like any batch (shard checksums
+        // verify inside the parallel decode): admit it through the
+        // scheduler so a storm of loads cannot oversubscribe searches.
+        let permit = self.scheduler.admit(client)?;
         // Mapped load: the file is searched in place from one backing
         // buffer, so `index.load` cost stops scaling with the encoded
         // library payload.
-        let index = hdoms_index::IndexReader::with_threads(self.threads)
+        let index = hdoms_index::IndexReader::with_threads(permit.workers().min(self.threads))
             .open_mapped_with(Path::new(path))
             .map_err(|e| format!("loading {path}: {e}"))?;
         let engine = Arc::new(Engine::from_index(index, self.threads).map_err(|e| e.to_string())?);
+        drop(permit);
         // Summarize from our own handle, not a re-lookup: a concurrent
         // `index.unload` racing this load must not turn into a panic.
         let summary = summarize(name, &engine);
@@ -196,17 +334,27 @@ impl Server {
         self.sessions.lock().expect("session map lock").len()
     }
 
-    /// Answer one protocol request. Failures become
-    /// [`Response::Error`] — this never panics on wire input.
+    /// Answer one protocol request on behalf of [`LOCAL_CLIENT`].
+    /// Failures become [`Response::Error`] — this never panics on wire
+    /// input.
     pub fn handle(&self, request: &Request) -> Response {
+        self.handle_as(LOCAL_CLIENT, request)
+    }
+
+    /// Answer one protocol request attributed to `client` — the id the
+    /// scheduler queues the scheduled verbs (`query`, `session.submit`,
+    /// `index.load`) under, so concurrent connections are served fairly.
+    /// Transports draw ids from [`Server::next_client_id`].
+    pub fn handle_as(&self, client: u64, request: &Request) -> Response {
         match request {
             Request::Ping => Response::Pong {
                 protocol: PROTOCOL_VERSION,
             },
             Request::ListIndexes => Response::Indexes(self.summaries()),
-            Request::Query(q) => match self.query_batch(q) {
+            Request::ServerStats => Response::Stats(self.stats()),
+            Request::Query(q) => match self.query_batch_as(client, q) {
                 Ok(result) => Response::Result(result),
-                Err(message) => Response::Error { message },
+                Err(error) => error.into_response(),
             },
             Request::SessionOpen { index, window } => {
                 match self.open_session(index, window.window()) {
@@ -214,60 +362,90 @@ impl Server {
                         session,
                         index: index.clone(),
                     },
-                    Err(message) => Response::Error { message },
+                    Err(message) => Response::error(message),
                 }
             }
             Request::SessionSubmit { session, spectra } => {
-                match self.submit_session(*session, spectra) {
+                match self.submit_session_as(client, *session, spectra) {
                     Ok(receipt) => Response::Receipt(receipt),
-                    Err(message) => Response::Error { message },
+                    Err(error) => error.into_response(),
                 }
             }
             Request::SessionFinalize { session, fdr } => {
                 match self.finalize_session(*session, *fdr) {
                     Ok(result) => Response::Result(result),
-                    Err(message) => Response::Error { message },
+                    Err(message) => Response::error(message),
                 }
             }
             Request::SessionClose { session } => match self.close_session(*session) {
                 Ok(()) => Response::SessionClosed { session: *session },
-                Err(message) => Response::Error { message },
+                Err(message) => Response::error(message),
             },
-            Request::IndexLoad { name, path } => match self.load_index(name, path) {
+            Request::IndexLoad { name, path } => match self.load_index_as(client, name, path) {
                 Ok(summary) => Response::Loaded(summary),
-                Err(message) => Response::Error { message },
+                Err(error) => error.into_response(),
             },
             Request::IndexUnload { name } => match self.unload_index(name) {
                 Ok(()) => Response::Unloaded { name: name.clone() },
-                Err(message) => Response::Error { message },
+                Err(message) => Response::error(message),
             },
         }
     }
 
     /// Run one query batch against a resident index and report the PSM
-    /// rows plus batch statistics. FDR is filtered **per batch** — this
-    /// is the path that keeps a one-batch `query` byte-identical to a
-    /// local `search --index` run.
+    /// rows plus batch statistics, on behalf of [`LOCAL_CLIENT`]. FDR is
+    /// filtered **per batch** — this is the path that keeps a one-batch
+    /// `query` byte-identical to a local `search --index` run.
     ///
     /// # Errors
     ///
-    /// Unknown index name, invalid FDR level, or malformed spectra.
-    pub fn query_batch(&self, request: &QueryRequest) -> Result<QueryResult, String> {
+    /// Unknown index name, invalid FDR level, malformed spectra, or the
+    /// scheduler's `busy`/`deadline` rejections.
+    pub fn query_batch(&self, request: &QueryRequest) -> Result<QueryResult, ServeError> {
+        self.query_batch_as(LOCAL_CLIENT, request)
+    }
+
+    /// [`Server::query_batch`] attributed to a transport client. The
+    /// batch is validated first (free), then queued through the
+    /// scheduler and executed with exactly the worker budget it is
+    /// granted; queue wait, the queue depth seen at submission, and the
+    /// granted budget are reported in the result's stats.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::query_batch`].
+    pub fn query_batch_as(
+        &self,
+        client: u64,
+        request: &QueryRequest,
+    ) -> Result<QueryResult, ServeError> {
         let engine = self
             .engine(&request.index)
             .ok_or_else(|| format!("unknown index {:?}", request.index))?;
         check_fdr(request.fdr)?;
         let spectra = decode_spectra(&request.spectra)?;
 
+        let permit = self.scheduler.admit(client)?;
         let start = Instant::now();
-        let (outcome, receipt) = engine.search(&spectra, request.window.window(), request.fdr);
+        let (outcome, receipt) = engine.search_with_workers(
+            &spectra,
+            request.window.window(),
+            request.fdr,
+            permit.workers(),
+        );
         let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+        let (wait_ms, queued, workers) =
+            (permit.wait_ms(), permit.queued_behind(), permit.workers());
+        drop(permit);
 
         let rows = table_rows(engine.peptides(), &outcome);
         Ok(QueryResult {
             index: request.index.clone(),
             stats: BatchStats {
                 latency_ms,
+                wait_ms,
+                queued,
+                workers,
                 queries: outcome.total_queries,
                 rejected_queries: outcome.rejected_queries,
                 psms: outcome.psms.len(),
@@ -306,28 +484,56 @@ impl Server {
             SessionSlot::Ready(OpenSession {
                 index: index.to_owned(),
                 session: Session::new(engine, window),
+                wait_ms: 0.0,
             }),
         );
         Ok(id)
     }
 
-    /// Submit one batch to an open session: encode, search, accumulate
-    /// raw PSMs. No FDR filtering happens until finalize.
+    /// Submit one batch to an open session on behalf of
+    /// [`LOCAL_CLIENT`]: encode, search, accumulate raw PSMs. No FDR
+    /// filtering happens until finalize.
     ///
     /// # Errors
     ///
-    /// Unknown or busy session, or malformed spectra.
+    /// Unknown or busy session, malformed spectra, or the scheduler's
+    /// `busy`/`deadline` rejections.
     pub fn submit_session(
         &self,
         id: u64,
         spectra: &[crate::protocol::QuerySpectrum],
-    ) -> Result<SubmitReceipt, String> {
+    ) -> Result<SubmitReceipt, ServeError> {
+        self.submit_session_as(LOCAL_CLIENT, id, spectra)
+    }
+
+    /// [`Server::submit_session`] attributed to a transport client. The
+    /// batch queues through the scheduler while its session slot is held
+    /// busy, then searches with exactly the granted worker budget —
+    /// accumulated PSMs are byte-identical whatever the budget, so
+    /// scheduling never changes the finalized table.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::submit_session`].
+    pub fn submit_session_as(
+        &self,
+        client: u64,
+        id: u64,
+        spectra: &[crate::protocol::QuerySpectrum],
+    ) -> Result<SubmitReceipt, ServeError> {
         let spectra = decode_spectra(spectra)?;
         let mut lease = self.take_session(id)?;
-        // The slot is marked busy while this thread searches, so the
-        // session map lock is never held across the batch; the lease
-        // restores the slot on drop — even if the search panics.
-        let receipt = lease.session().submit(&spectra);
+        // The slot stays busy from here through the search, so the
+        // session map lock is never held across the batch (or the queue
+        // wait); the lease restores the slot on drop — even if the
+        // search panics or the scheduler sheds the batch.
+        let permit = self.scheduler.admit(client)?;
+        let receipt = lease
+            .session()
+            .submit_with_workers(&spectra, permit.workers());
+        let (wait_ms, workers) = (permit.wait_ms(), permit.workers());
+        drop(permit);
+        lease.add_wait(wait_ms);
         Ok(SubmitReceipt {
             session: id,
             batch: receipt.batch,
@@ -337,7 +543,9 @@ impl Server {
             total_psms: receipt.total_psms,
             candidates_scored: receipt.candidates_scored,
             shards_touched: receipt.shards_touched,
+            workers,
             latency_ms: receipt.latency_ms,
+            wait_ms,
         })
     }
 
@@ -356,6 +564,7 @@ impl Server {
         let engine = Arc::clone(open.session.engine());
         let index = open.index;
         let submitted_ms = open.session.latency_ms();
+        let wait_ms = open.wait_ms;
         let candidates_scored = open.session.candidates_scored();
         let shards_touched = open.session.shards_touched();
         let outcome = open.session.finalize(fdr);
@@ -366,6 +575,12 @@ impl Server {
             index,
             stats: BatchStats {
                 latency_ms,
+                // The finalize itself runs unscheduled (the FDR filter
+                // is cheap); wait_ms reports what the session's submits
+                // spent queued, workers 0 marks the unscheduled batch.
+                wait_ms,
+                queued: 0,
+                workers: 0,
                 queries: outcome.total_queries,
                 rejected_queries: outcome.rejected_queries,
                 psms: outcome.psms.len(),
@@ -432,6 +647,12 @@ impl SessionLease<'_> {
     /// The leased session.
     fn session(&mut self) -> &mut Session {
         &mut self.open.as_mut().expect("lease not consumed").session
+    }
+
+    /// Accumulate scheduler queue wait onto the session (reported with
+    /// its finalize result).
+    fn add_wait(&mut self, wait_ms: f64) {
+        self.open.as_mut().expect("lease not consumed").wait_ms += wait_ms;
     }
 
     /// Take the session out for good; the drop then removes the slot
@@ -661,7 +882,7 @@ mod tests {
                 spectra: batch_of(&other),
             })
             .unwrap_err();
-        assert!(err.contains("unknown index"));
+        assert!(err.message.contains("unknown index"));
         assert!(server.unload_index("second").is_err());
         let _ = workload;
     }

@@ -67,6 +67,10 @@ fn doc_covers_every_message_type() {
         "\"type\":\"session.close\"",
         "\"type\":\"index.load\"",
         "\"type\":\"index.unload\"",
+        "\"type\":\"server.stats\"",
+        "\"type\":\"stats\"",
+        "\"code\":\"busy\"",
+        "\"code\":\"deadline\"",
         "\"type\":\"pong\"",
         "\"type\":\"indexes\"",
         "\"type\":\"result\"",

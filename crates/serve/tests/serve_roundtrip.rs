@@ -224,7 +224,7 @@ fn streamed_session_over_tcp_matches_local_single_run() {
 
     // The session is closed: submitting again errors, the connection
     // stays open.
-    let Response::Error { message } = client
+    let Response::Error { message, .. } = client
         .request(&Request::SessionSubmit {
             session,
             spectra: Vec::new(),
@@ -306,7 +306,7 @@ fn index_load_and_unload_round_trip_on_a_live_server() {
         panic!("expected unloaded");
     };
     assert_eq!(name, "second");
-    let Response::Error { message } = client.request(&query(spectra)).expect("answered") else {
+    let Response::Error { message, .. } = client.request(&query(spectra)).expect("answered") else {
         panic!("expected an error after unload");
     };
     assert!(message.contains("unknown index"));
