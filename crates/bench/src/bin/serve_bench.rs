@@ -23,6 +23,13 @@
 //!   queries per second, the p50/p99 scheduler queue wait, and the
 //!   fraction of batches shed with the structured `busy`/`deadline`
 //!   errors,
+//! * `hist_wait_p50_ms_clients_{1,4,16}` /
+//!   `hist_wait_p99_ms_clients_{1,4,16}` — the same wait percentiles
+//!   read back from the server registry's `hdoms_queue_wait_ms`
+//!   log₂-bucket histogram (reported as bucket upper bounds); the
+//!   bench asserts these land within one bucket of the exact
+//!   Vec-of-samples percentiles, so the cheap always-on readout is
+//!   continuously validated against ground truth,
 //! * `shards_touched` / `candidates_scored` — the per-batch stats the
 //!   server reports, summed over the full-batch run,
 //! * `psms_identical` — whether the served full-batch rows render to the
@@ -39,6 +46,7 @@
 use hdoms_bench::FigureOptions;
 use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind, LibraryIndex};
 use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_obs::metrics::bucket_of;
 use hdoms_oms::psm::{render_table, render_table_rows};
 use hdoms_oms::search::ExactBackendConfig;
 use hdoms_oms::window::PrecursorWindow;
@@ -58,6 +66,12 @@ struct Contention {
     qps: f64,
     wait_p50_ms: f64,
     wait_p99_ms: f64,
+    /// The same percentiles as read from the registry's
+    /// `hdoms_queue_wait_ms` histogram (bucket upper bounds), delta'd
+    /// to this scenario — cross-checked below against the exact
+    /// Vec-of-samples percentiles.
+    hist_wait_p50_ms: f64,
+    hist_wait_p99_ms: f64,
     shed_rate: f64,
 }
 
@@ -65,6 +79,11 @@ struct Contention {
 /// query set as 16-query batches through `server`'s scheduler; batches
 /// rejected with `busy`/`deadline` count as shed.
 fn run_contention(server: &Server, spectra: &[QuerySpectrum], clients: usize) -> Contention {
+    let wait_hist = server.registry().histogram(
+        "hdoms_queue_wait_ms",
+        "Scheduler queue wait per batch, admitted and deadline-shed alike",
+    );
+    let hist_baseline = wait_hist.snapshot();
     let per_client: Vec<Vec<&[QuerySpectrum]>> = (0..clients)
         .map(|c| {
             spectra
@@ -119,10 +138,42 @@ fn run_contention(server: &Server, spectra: &[QuerySpectrum], clients: usize) ->
         let idx = ((waits.len() as f64 - 1.0) * p).round() as usize;
         waits[idx]
     };
+    let wait_p50_ms = percentile(0.50);
+    let wait_p99_ms = percentile(0.99);
+
+    // Read the same percentiles back from the registry histogram and
+    // cross-check: the log₂-bucket readout must land within one bucket
+    // of the exact sample percentiles (the two use slightly different
+    // rank conventions, so adjacency — not equality — is the contract).
+    let delta = wait_hist.snapshot().since(&hist_baseline);
+    assert_eq!(
+        delta.count(),
+        waits.len() as u64,
+        "registry histogram saw every admitted batch of this scenario"
+    );
+    let hist_wait_p50_ms = delta.p50_ms();
+    let hist_wait_p99_ms = delta.p99_ms();
+    if !waits.is_empty() {
+        for (p, exact, hist) in [
+            (50, wait_p50_ms, hist_wait_p50_ms),
+            (99, wait_p99_ms, hist_wait_p99_ms),
+        ] {
+            let exact_bucket = bucket_of(exact) as i64;
+            let hist_bucket = bucket_of(hist) as i64;
+            assert!(
+                (exact_bucket - hist_bucket).abs() <= 1,
+                "p{p} disagrees beyond one bucket: exact {exact:.4} ms \
+                 (bucket {exact_bucket}) vs histogram {hist:.4} ms \
+                 (bucket {hist_bucket})"
+            );
+        }
+    }
     Contention {
         qps: served as f64 / wall_s.max(1e-9),
-        wait_p50_ms: percentile(0.50),
-        wait_p99_ms: percentile(0.99),
+        wait_p50_ms,
+        wait_p99_ms,
+        hist_wait_p50_ms,
+        hist_wait_p99_ms,
         shed_rate: if batches == 0 {
             0.0
         } else {
@@ -265,11 +316,13 @@ fn main() {
     for (clients, c) in [(1, &contention_1), (4, &contention_4), (16, &contention_16)] {
         println!(
             "contended, {clients:>2} client{} {:>8.1} queries/s   (wait p50 {:.2} / p99 {:.2} ms, \
-             shed {:.1}%)",
+             histogram {:.2} / {:.2} ms, shed {:.1}%)",
             if clients == 1 { " " } else { "s" },
             c.qps,
             c.wait_p50_ms,
             c.wait_p99_ms,
+            c.hist_wait_p50_ms,
+            c.hist_wait_p99_ms,
             c.shed_rate * 100.0,
         );
     }
@@ -290,11 +343,14 @@ fn main() {
          \"qps_batch_full\":{:.3},\"qps_batch_16\":{:.3},\"qps_batch_1\":{:.3},\
          \"mean_latency_ms_batch_1\":{:.4},\"qps_session_16\":{:.3},\
          \"qps_clients_1\":{:.3},\"wait_p50_ms_clients_1\":{:.4},\
-         \"wait_p99_ms_clients_1\":{:.4},\"shed_rate_clients_1\":{:.4},\
+         \"wait_p99_ms_clients_1\":{:.4},\"hist_wait_p50_ms_clients_1\":{:.4},\
+         \"hist_wait_p99_ms_clients_1\":{:.4},\"shed_rate_clients_1\":{:.4},\
          \"qps_clients_4\":{:.3},\"wait_p50_ms_clients_4\":{:.4},\
-         \"wait_p99_ms_clients_4\":{:.4},\"shed_rate_clients_4\":{:.4},\
+         \"wait_p99_ms_clients_4\":{:.4},\"hist_wait_p50_ms_clients_4\":{:.4},\
+         \"hist_wait_p99_ms_clients_4\":{:.4},\"shed_rate_clients_4\":{:.4},\
          \"qps_clients_16\":{:.3},\"wait_p50_ms_clients_16\":{:.4},\
-         \"wait_p99_ms_clients_16\":{:.4},\"shed_rate_clients_16\":{:.4},\
+         \"wait_p99_ms_clients_16\":{:.4},\"hist_wait_p50_ms_clients_16\":{:.4},\
+         \"hist_wait_p99_ms_clients_16\":{:.4},\"shed_rate_clients_16\":{:.4},\
          \"sched_workers\":{},\"sched_queue_depth\":{},\"sched_peak_workers_busy\":{},\
          \"sched_rejected_busy\":{},\"sched_shed_deadline\":{},\
          \"shards_touched\":{},\
@@ -315,14 +371,20 @@ fn main() {
         contention_1.qps,
         contention_1.wait_p50_ms,
         contention_1.wait_p99_ms,
+        contention_1.hist_wait_p50_ms,
+        contention_1.hist_wait_p99_ms,
         contention_1.shed_rate,
         contention_4.qps,
         contention_4.wait_p50_ms,
         contention_4.wait_p99_ms,
+        contention_4.hist_wait_p50_ms,
+        contention_4.hist_wait_p99_ms,
         contention_4.shed_rate,
         contention_16.qps,
         contention_16.wait_p50_ms,
         contention_16.wait_p99_ms,
+        contention_16.hist_wait_p50_ms,
+        contention_16.hist_wait_p99_ms,
         contention_16.shed_rate,
         sched.workers,
         sched.queue_depth,

@@ -11,6 +11,7 @@ use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
 use hdoms_ms::library::SpectralLibrary;
 use hdoms_ms::mgf::{read_mgf, write_mgf};
 use hdoms_ms::spectrum::Spectrum;
+use hdoms_obs::log::{Level, Logger};
 use hdoms_oms::pipeline::PipelineOutcome;
 use hdoms_oms::profile::{common_catalogue, DeltaMassProfile};
 use hdoms_oms::psm::{parse_table, render_table, Psm};
@@ -496,6 +497,12 @@ pub fn profile(args: &[String]) -> Result<(), String> {
 /// are rejected with the structured `busy` error, and `--deadline-ms`
 /// sheds batches that wait longer than the soft deadline (0 = never).
 /// See `docs/SCHEDULER.md` for tuning.
+///
+/// Observability: `--metrics <host:port>` binds a Prometheus-style text
+/// exposition endpoint over the server's metrics registry;
+/// `--log-level off|error|warn|info|debug` filters the structured log
+/// on stderr (default `info`), and `--log-json true` switches it from
+/// text lines to JSON lines. See `docs/OBSERVABILITY.md`.
 pub fn serve(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.check_known(&[
@@ -506,6 +513,9 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         "workers",
         "queue-depth",
         "deadline-ms",
+        "metrics",
+        "log-level",
+        "log-json",
     ])?;
     let threads: usize = flags.get_or("threads", hdoms_hdc::parallel::default_threads())?;
     let workers: usize = flags.get_or("workers", threads)?;
@@ -514,6 +524,13 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let deadline_ms: u64 = flags.get_or("deadline-ms", 0)?;
     let stdio: bool = flags.get_or("stdio", false)?;
     let listen = flags.get("listen");
+    let metrics_addr = flags.get("metrics");
+    let log_json: bool = flags.get_or("log-json", false)?;
+    let log_level = {
+        let spelling = flags.get("log-level").unwrap_or("info");
+        Level::parse(spelling)
+            .ok_or_else(|| format!("unknown log level {spelling:?} (off|error|warn|info|debug)"))?
+    };
     let specs = flags.get_all("index");
     if specs.is_empty() {
         return Err("serve needs at least one --index <name>=<path.hdx>".to_owned());
@@ -524,7 +541,8 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         _ => {}
     }
 
-    let server = Server::with_scheduler(
+    let logger = Logger::stderr(log_level, log_json);
+    let mut server = Server::with_scheduler(
         threads,
         hdoms_serve::scheduler::SchedulerConfig {
             workers,
@@ -532,14 +550,13 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             deadline_ms,
         },
     );
-    eprintln!(
-        "scheduler: {workers} workers, queue depth {queue_depth}, deadline {}",
-        if deadline_ms == 0 {
-            "none".to_owned()
-        } else {
-            format!("{deadline_ms} ms")
-        }
-    );
+    server.set_logger(logger.clone());
+    logger
+        .info("serve.scheduler")
+        .u64("workers", workers as u64)
+        .u64("queue_depth", queue_depth as u64)
+        .u64("deadline_ms", deadline_ms)
+        .emit();
     for spec in specs {
         let Some((name, path)) = spec.split_once('=') else {
             return Err(format!("--index takes <name>=<path.hdx>, got {spec:?}"));
@@ -551,23 +568,47 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("loading {path}: {e}"))?;
         server.add_index(name, index).map_err(|e| e.to_string())?;
         let resident = server.summaries().pop().expect("just added");
-        eprintln!(
-            "resident: {name} ({} backend, {} entries, {} shards, dim {})",
-            resident.backend, resident.entries, resident.shards, resident.dim,
-        );
+        logger
+            .info("serve.resident")
+            .str("name", name)
+            .str("backend", resident.backend)
+            .u64("entries", resident.entries as u64)
+            .u64("shards", resident.shards as u64)
+            .u64("dim", resident.dim as u64)
+            .emit();
+    }
+
+    if let Some(addr) = metrics_addr {
+        let bound = hdoms_obs::export::spawn_exposition(addr, Arc::clone(server.registry()))
+            .map_err(|e| format!("bind metrics {addr}: {e}"))?;
+        logger
+            .info("serve.metrics")
+            .str("addr", bound.to_string())
+            .emit();
     }
 
     if stdio {
-        eprintln!("serving on stdio ({} indexes)", server.summaries().len());
+        logger
+            .info("serve.start")
+            .str("transport", "stdio")
+            .u64("indexes", server.summaries().len() as u64)
+            .emit();
         return serve_stdio(&server).map_err(|e| e.to_string());
     }
     let addr = listen.expect("checked above");
     let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
-    eprintln!(
-        "serving on {} ({} indexes)",
-        listener.local_addr().map_err(|e| e.to_string())?,
-        server.summaries().len()
-    );
+    logger
+        .info("serve.start")
+        .str("transport", "tcp")
+        .str(
+            "addr",
+            listener
+                .local_addr()
+                .map_err(|e| e.to_string())?
+                .to_string(),
+        )
+        .u64("indexes", server.summaries().len() as u64)
+        .emit();
     serve_listener(Arc::new(server), listener).map_err(|e| e.to_string())
 }
 

@@ -25,11 +25,14 @@ USAGE:
   hdoms serve    --index <name>=<lib.hdx> [--index <name2>=<more.hdx> ...]
                  (--listen <host:port> | --stdio true) [--threads <usize>]
                  [--workers <usize>] [--queue-depth <usize>]
-                 [--deadline-ms <u64>]
+                 [--deadline-ms <u64>] [--metrics <host:port>]
+                 [--log-level off|error|warn|info|debug] [--log-json true]
                  (--workers bounds total in-flight search parallelism,
                   --queue-depth bounds waiting batches before `busy`
                   rejections, --deadline-ms sheds batches that queue
-                  too long; see docs/SCHEDULER.md)
+                  too long; see docs/SCHEDULER.md. --metrics exposes the
+                  registry Prometheus-style; --log-level/--log-json tune
+                  the structured stderr log; see docs/OBSERVABILITY.md)
   hdoms query    --addr <host:port> --queries <q.mgf> --index <name>
                  --out <psms.tsv> [--window open|standard] [--fdr <f64>]
                  [--batch-size <usize>] [--session true]

@@ -68,6 +68,8 @@ use hdoms_index::{
 use hdoms_ms::library::SpectralLibrary;
 use hdoms_ms::preprocess::{BinnedSpectrum, PreprocessConfig, Preprocessor};
 use hdoms_ms::spectrum::Spectrum;
+use hdoms_obs::metrics::{Counter, Histogram, Registry};
+use hdoms_obs::trace::StageTimings;
 use hdoms_oms::candidates::CandidateIndex;
 use hdoms_oms::fdr::{filter_fdr, FdrOutcome};
 use hdoms_oms::pipeline::{assemble_psms, PipelineOutcome, ReferenceCatalog};
@@ -79,6 +81,8 @@ use hdoms_oms::window::PrecursorWindow;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
+
+pub use hdoms_index::ShardTiming;
 
 /// The per-reference metadata an engine needs to turn backend hits into
 /// PSMs and table rows: neutral mass (precursor delta), decoy flag
@@ -179,24 +183,26 @@ impl EngineBackend {
         }
     }
 
-    /// Score a batch under a worker budget. `None` means "the backend's
-    /// own configured parallelism" (the unscheduled paths); `Some(n)`
-    /// caps the batch at `n` workers (the serve scheduler's grants).
-    /// Flat backends drive their own internal parallelism and ignore
-    /// the cap — the serve layer always runs sharded engines, which
-    /// honour it exactly.
+    /// Score a batch under a worker budget, returning the hits plus
+    /// per-shard timings (empty for flat backends, which have no shards
+    /// to time). `workers` of `None` means "the backend's own
+    /// configured parallelism" (the unscheduled paths); `Some(n)` caps
+    /// the batch at `n` workers (the serve scheduler's grants). Flat
+    /// backends drive their own internal parallelism and ignore the cap
+    /// — the serve layer always runs sharded engines, which honour it
+    /// exactly. Every path is traced: per-shard accounting is a few
+    /// atomic adds per shard run, and keeping one code path is what
+    /// guarantees instrumented and uninstrumented output are the same
+    /// bytes.
     fn search_batch(
         &self,
         queries: &[BinnedSpectrum],
         candidates: &[Vec<u32>],
         workers: Option<usize>,
-    ) -> Vec<Option<SearchHit>> {
+    ) -> (Vec<Option<SearchHit>>, Vec<ShardTiming>) {
         match self {
-            EngineBackend::Sharded(b) => match workers {
-                Some(workers) => b.search_batch_with(queries, candidates, workers),
-                None => b.search_batch(queries, candidates),
-            },
-            EngineBackend::Flat(b) => b.search_batch(queries, candidates),
+            EngineBackend::Sharded(b) => b.search_batch_traced(queries, candidates, workers),
+            EngineBackend::Flat(b) => (b.search_batch(queries, candidates), Vec::new()),
         }
     }
 
@@ -206,6 +212,55 @@ impl EngineBackend {
         match self {
             EngineBackend::Sharded(b) => b.shards_touched(candidates),
             EngineBackend::Flat(_) => 0,
+        }
+    }
+}
+
+/// Registry handles an instrumented engine records into (see
+/// [`Engine::attach_metrics`]). All series are shared by name across
+/// engines registered with the same registry, so a server hosting many
+/// indexes reports one set of pipeline series.
+struct EngineMetrics {
+    batches: Arc<Counter>,
+    queries: Arc<Counter>,
+    psms: Arc<Counter>,
+    stage_encode_ms: Arc<Histogram>,
+    stage_candidates_ms: Arc<Histogram>,
+    stage_score_ms: Arc<Histogram>,
+    stage_finalize_ms: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn register(registry: &Registry) -> EngineMetrics {
+        EngineMetrics {
+            batches: registry.counter(
+                "hdoms_engine_batches_total",
+                "Query batches executed by instrumented engines",
+            ),
+            queries: registry.counter(
+                "hdoms_engine_queries_total",
+                "Query spectra submitted to instrumented engines",
+            ),
+            psms: registry.counter(
+                "hdoms_engine_psms_total",
+                "Best-hit PSMs produced by instrumented engines",
+            ),
+            stage_encode_ms: registry.histogram(
+                "hdoms_stage_encode_ms",
+                "Per-batch wall-clock of the encode stage (preprocess + hypervector encoding)",
+            ),
+            stage_candidates_ms: registry.histogram(
+                "hdoms_stage_candidates_ms",
+                "Per-batch wall-clock of the precursor-window candidate-generation stage",
+            ),
+            stage_score_ms: registry.histogram(
+                "hdoms_stage_score_ms",
+                "Per-batch wall-clock of the shard-scoring stage (associative search)",
+            ),
+            stage_finalize_ms: registry.histogram(
+                "hdoms_stage_finalize_ms",
+                "Per-finalize wall-clock of the target-decoy FDR stage",
+            ),
         }
     }
 }
@@ -236,6 +291,7 @@ pub struct Engine {
     preprocess: PreprocessConfig,
     index: Option<LibraryIndex>,
     threads: usize,
+    metrics: Option<EngineMetrics>,
 }
 
 impl Engine {
@@ -307,6 +363,7 @@ impl Engine {
             preprocess: index.kind().preprocess(),
             index: Some(index),
             threads: threads.max(1),
+            metrics: None,
         })
     }
 
@@ -332,6 +389,7 @@ impl Engine {
             preprocess: index.kind().preprocess(),
             index: Some(index),
             threads: threads.max(1),
+            metrics: None,
         })
     }
 
@@ -365,6 +423,7 @@ impl Engine {
             preprocess,
             index: None,
             threads: threads.max(1),
+            metrics: None,
         }
     }
 
@@ -391,6 +450,7 @@ impl Engine {
             preprocess,
             index: None,
             threads: threads.max(1),
+            metrics: None,
         }
     }
 
@@ -432,6 +492,24 @@ impl Engine {
         self.threads
     }
 
+    /// Register this engine's observability series with `registry` and
+    /// start recording into them: batch/query/PSM counters, the four
+    /// per-stage latency histograms (`hdoms_stage_{encode,candidates,
+    /// score,finalize}_ms`), and — on sharded engines — the backend's
+    /// per-shard-visit series. Call before wrapping the engine in an
+    /// `Arc` (the server does this for every resident engine).
+    ///
+    /// Instrumentation is observational only: an engine with metrics
+    /// attached produces byte-identical PSM tables to one without
+    /// (asserted in `crates/engine/tests/equivalence.rs`). Series are
+    /// shared by name, so many engines on one registry report together.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        if let EngineBackend::Sharded(backend) = &mut self.backend {
+            backend.attach_metrics(registry);
+        }
+        self.metrics = Some(EngineMetrics::register(registry));
+    }
+
     /// Open a query session (shorthand for [`Session::new`]).
     ///
     /// # Panics
@@ -457,8 +535,10 @@ impl Engine {
         alpha: f64,
     ) -> (PipelineOutcome, BatchReceipt) {
         let mut session = self.session(window);
-        let receipt = session.submit(spectra);
-        (session.finalize(alpha), receipt)
+        let mut receipt = session.submit(spectra);
+        let (outcome, finalize_ms) = session.finalize_traced(alpha);
+        receipt.stages.finalize_ms = finalize_ms;
+        (outcome, receipt)
     }
 
     /// [`Engine::search`] under an explicit worker budget: the batch
@@ -480,14 +560,16 @@ impl Engine {
         workers: usize,
     ) -> (PipelineOutcome, BatchReceipt) {
         let mut session = self.session(window);
-        let receipt = session.submit_with_workers(spectra, workers);
-        (session.finalize(alpha), receipt)
+        let mut receipt = session.submit_with_workers(spectra, workers);
+        let (outcome, finalize_ms) = session.finalize_traced(alpha);
+        receipt.stages.finalize_ms = finalize_ms;
+        (outcome, receipt)
     }
 }
 
 /// What one [`Session::submit`] did: per-batch counts plus the session's
-/// running totals.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// running totals, with the batch's span decomposition.
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchReceipt {
     /// 1-based ordinal of this batch within the session.
     pub batch: usize,
@@ -505,6 +587,13 @@ pub struct BatchReceipt {
     pub shards_touched: usize,
     /// Wall-clock time spent on this batch, milliseconds.
     pub latency_ms: f64,
+    /// The batch's wall-clock decomposed into pipeline stages
+    /// (`finalize_ms` is 0 on a submit receipt; the one-shot
+    /// [`Engine::search`] paths fill it in after finalizing).
+    pub stages: StageTimings,
+    /// Wall-clock per shard this batch's scoring visited (empty on
+    /// unsharded engines), sorted by shard position.
+    pub shard_timings: Vec<ShardTiming>,
 }
 
 /// A stateful query stream over an [`Engine`]: submit any number of
@@ -527,6 +616,7 @@ pub struct Session {
     candidates_scored: usize,
     shards_touched: usize,
     latency_ms: f64,
+    stages: StageTimings,
 }
 
 impl Session {
@@ -548,6 +638,7 @@ impl Session {
             candidates_scored: 0,
             shards_touched: 0,
             latency_ms: 0.0,
+            stages: StageTimings::default(),
         }
     }
 
@@ -591,6 +682,14 @@ impl Session {
         self.latency_ms
     }
 
+    /// Per-stage wall-clock accumulated across every submitted batch
+    /// (`finalize_ms` stays 0 until [`Session::finalize_traced`] runs —
+    /// which consumes the session, so this accessor reports the submit
+    /// stages only).
+    pub fn stage_timings(&self) -> StageTimings {
+        self.stages
+    }
+
     /// Encode, search, and accumulate one batch of query spectra. No FDR
     /// filtering happens here — raw PSMs collect until
     /// [`Session::finalize`].
@@ -610,15 +709,26 @@ impl Session {
 
     fn submit_inner(&mut self, spectra: &[Spectrum], workers: Option<usize>) -> BatchReceipt {
         let start = Instant::now();
+        // The span decomposition: each stage is timed where it runs, so
+        // the per-stage figures in receipts, `BatchStats`, and the
+        // `hdoms_stage_*_ms` histograms all come from one measurement.
         let pre = Preprocessor::new(self.engine.preprocess);
-        let (binned, rejected) = pre.run_batch(spectra);
-        let cands =
-            hdoms_oms::search::candidate_lists(&self.engine.candidates, &self.window, &binned);
-        let hits = self.engine.backend.search_batch(&binned, &cands, workers);
+        let ((binned, rejected), encode_ms) = hdoms_obs::trace::timed(|| pre.run_batch(spectra));
+        let (cands, candidates_ms) = hdoms_obs::trace::timed(|| {
+            hdoms_oms::search::candidate_lists(&self.engine.candidates, &self.window, &binned)
+        });
+        let ((hits, shard_timings), score_ms) =
+            hdoms_obs::trace::timed(|| self.engine.backend.search_batch(&binned, &cands, workers));
         let psms = assemble_psms(&binned, &hits, &self.engine.meta);
         let candidates_scored: usize = cands.iter().map(Vec::len).sum();
         let shards_touched = self.engine.backend.shards_touched(&cands);
         let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+        let stages = StageTimings {
+            encode_ms,
+            candidates_ms,
+            score_ms,
+            finalize_ms: 0.0,
+        };
 
         self.batches += 1;
         self.total_queries += spectra.len();
@@ -627,8 +737,18 @@ impl Session {
         self.candidates_scored += candidates_scored;
         self.shards_touched += shards_touched;
         self.latency_ms += latency_ms;
+        self.stages.accumulate(&stages);
         let batch_psms = psms.len();
         self.psms.extend(psms);
+
+        if let Some(metrics) = &self.engine.metrics {
+            metrics.batches.inc();
+            metrics.queries.add(spectra.len() as u64);
+            metrics.psms.add(batch_psms as u64);
+            metrics.stage_encode_ms.record_ms(encode_ms);
+            metrics.stage_candidates_ms.record_ms(candidates_ms);
+            metrics.stage_score_ms.record_ms(score_ms);
+        }
 
         BatchReceipt {
             batch: self.batches,
@@ -639,6 +759,8 @@ impl Session {
             candidates_scored,
             shards_touched,
             latency_ms,
+            stages,
+            shard_timings,
         }
     }
 
@@ -652,28 +774,49 @@ impl Session {
     ///
     /// Panics unless `0 < alpha < 1`.
     pub fn finalize(self, alpha: f64) -> PipelineOutcome {
+        self.finalize_traced(alpha).0
+    }
+
+    /// [`Session::finalize`], additionally reporting the wall-clock the
+    /// FDR stage took (milliseconds) — the `finalize` span the serve
+    /// layer surfaces in its stats and the `hdoms_stage_finalize_ms`
+    /// histogram records.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    pub fn finalize_traced(self, alpha: f64) -> (PipelineOutcome, f64) {
         assert!(alpha > 0.0 && alpha < 1.0, "FDR level must be in (0, 1)");
-        let FdrOutcome {
-            accepted,
-            threshold_score,
-            decoys_above,
-            ..
-        } = filter_fdr(&self.psms, alpha);
+        let (
+            FdrOutcome {
+                accepted,
+                threshold_score,
+                decoys_above,
+                ..
+            },
+            finalize_ms,
+        ) = hdoms_obs::trace::timed(|| filter_fdr(&self.psms, alpha));
+        if let Some(metrics) = &self.engine.metrics {
+            metrics.stage_finalize_ms.record_ms(finalize_ms);
+        }
         let mean_candidates = if self.binned_queries == 0 {
             0.0
         } else {
             self.candidates_scored as f64 / self.binned_queries as f64
         };
-        PipelineOutcome {
-            backend_name: self.engine.backend.name(),
-            psms: self.psms,
-            accepted,
-            threshold_score,
-            decoys_above,
-            rejected_queries: self.rejected_queries,
-            total_queries: self.total_queries,
-            mean_candidates,
-        }
+        (
+            PipelineOutcome {
+                backend_name: self.engine.backend.name(),
+                psms: self.psms,
+                accepted,
+                threshold_score,
+                decoys_above,
+                rejected_queries: self.rejected_queries,
+                total_queries: self.total_queries,
+                mean_candidates,
+            },
+            finalize_ms,
+        )
     }
 }
 

@@ -198,6 +198,81 @@ fn mapped_engine_matches_open_and_cold_byte_for_byte() {
 }
 
 #[test]
+fn instrumented_engine_is_byte_identical_and_stage_sums_reconcile() {
+    // The observability contract: attaching a metrics registry changes
+    // *nothing* about what the engine produces — the rendered PSM table
+    // is byte-identical to an uninstrumented run — and the per-stage
+    // histograms account for exactly the wall-clock the receipts
+    // reported, batch for batch.
+    let (workload, plain) = tiny_engine(9007);
+    let mut config = IndexConfig {
+        entries_per_shard: 64,
+        threads: THREADS,
+        ..IndexConfig::default()
+    };
+    if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+        exact.encoder.dim = DIM;
+    }
+    let registry = hdoms_obs::metrics::Registry::new();
+    let mut instrumented = Engine::from_library(&workload.library, config);
+    instrumented.attach_metrics(&registry);
+    let instrumented = Arc::new(instrumented);
+
+    let window = PrecursorWindow::open_default();
+    let (plain_outcome, _) = plain.search(&workload.queries, window, 0.01);
+    let plain_table = render_table(plain.peptides(), &plain_outcome);
+
+    // Several one-shot batches, summing the stage timings out of each
+    // receipt as ground truth for the histogram reconciliation.
+    let chunk = workload.queries.len().div_ceil(3);
+    let mut receipt_sums = hdoms_obs::trace::StageTimings::default();
+    let mut batches = 0u64;
+    for batch in workload.queries.chunks(chunk) {
+        let (_, receipt) = instrumented.search(batch, window, 0.01);
+        receipt_sums.accumulate(&receipt.stages);
+        batches += 1;
+    }
+
+    // Byte-identity: the full-workload instrumented run renders the
+    // exact table the uninstrumented engine rendered.
+    let (outcome, receipt) = instrumented.search(&workload.queries, window, 0.01);
+    assert_eq!(outcome, plain_outcome, "instrumentation changed the PSMs");
+    assert_eq!(
+        render_table(instrumented.peptides(), &outcome),
+        plain_table,
+        "instrumentation changed the rendered table"
+    );
+    receipt_sums.accumulate(&receipt.stages);
+    batches += 1;
+
+    // Reconciliation: each stage histogram saw one observation per
+    // batch, and its recorded total matches the receipt sums within
+    // 1 ms (both sides come from the same measurement; the slack covers
+    // the histogram's integer-nanosecond accumulation).
+    let snapshot = registry.snapshot();
+    for (stage, receipt_ms) in [
+        ("encode", receipt_sums.encode_ms),
+        ("candidates", receipt_sums.candidates_ms),
+        ("score", receipt_sums.score_ms),
+        ("finalize", receipt_sums.finalize_ms),
+    ] {
+        let name = format!("hdoms_stage_{stage}_ms");
+        let (_, hist) = snapshot
+            .histograms
+            .iter()
+            .find(|(n, _)| n == &name)
+            .unwrap_or_else(|| panic!("{name} registered"));
+        assert_eq!(hist.count(), batches, "{name} missed a batch");
+        assert!(
+            (hist.sum_ms() - receipt_ms).abs() < 1.0,
+            "{name} sum {} ms disagrees with receipt sum {} ms",
+            hist.sum_ms(),
+            receipt_ms
+        );
+    }
+}
+
+#[test]
 fn warm_engine_over_persisted_index_matches_cold() {
     let (workload, cold) = tiny_engine(9005);
     let path = std::env::temp_dir().join(format!("hdoms-engine-equiv-{}.hdx", std::process::id()));

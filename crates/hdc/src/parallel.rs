@@ -5,6 +5,12 @@
 //! slice on several threads, preserving order. Built on
 //! [`std::thread::scope`], so borrowed inputs work without `'static`
 //! bounds.
+//!
+//! The `threads` argument is the seam the serving stack's admission
+//! control plugs into: a scheduled batch runs its shard scoring with
+//! the worker budget the scheduler granted (what the
+//! `hdoms_workers_busy` gauge and per-batch `workers` stats report —
+//! see `docs/SCHEDULER.md` and `docs/OBSERVABILITY.md`).
 
 /// Map `f` over `items` using up to `threads` OS threads, preserving input
 /// order in the output.

@@ -80,4 +80,4 @@ pub mod xxhash;
 
 pub use format::{IndexEntry, IndexError, IndexedBackendKind, MlcState, Shard};
 pub use library_index::{IndexBuilder, IndexConfig, IndexReader, LibraryIndex};
-pub use sharded::ShardedBackend;
+pub use sharded::{ShardTiming, ShardedBackend};

@@ -23,7 +23,11 @@ use hdoms_hdc::parallel::par_map;
 use hdoms_hdc::similarity::dot;
 use hdoms_hdc::BinaryHypervector;
 use hdoms_ms::preprocess::BinnedSpectrum;
+use hdoms_obs::metrics::{Counter, Histogram, Registry};
 use hdoms_oms::search::{ExactBackend, SearchHit, SimilarityBackend};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A backend whose per-query evaluation splits into "encode once" and
 /// "score a candidate subset", which is what shard fan-out needs (the flat
@@ -99,6 +103,63 @@ fn exact_best(
     best
 }
 
+/// Wall-clock spent scoring one shard during a traced batch search.
+///
+/// Produced by [`ShardedBackend::search_batch_traced`], sorted by shard
+/// position, covering only shards the batch actually visited. `ms` sums
+/// every scoring visit the batch paid the shard (across queries and
+/// worker threads — on a parallel batch the per-shard figures can sum
+/// to more than the batch's wall-clock).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardTiming {
+    /// Shard position (as in [`crate::LibraryIndex::shards`]).
+    pub shard: u32,
+    /// Scoring visits the batch paid this shard.
+    pub visits: u64,
+    /// Wall-clock summed over those visits, in milliseconds.
+    pub ms: f64,
+}
+
+/// Per-shard accumulators for one traced batch: plain atomics so the
+/// scoring closures can record from any worker thread without locks.
+struct ShardClock {
+    ns: Vec<AtomicU64>,
+    visits: Vec<AtomicU64>,
+}
+
+impl ShardClock {
+    fn new(shard_count: usize) -> ShardClock {
+        ShardClock {
+            ns: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+            visits: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, shard: usize, ns: u64) {
+        self.ns[shard].fetch_add(ns, Ordering::Relaxed);
+        self.visits[shard].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn timings(&self) -> Vec<ShardTiming> {
+        (0..self.ns.len())
+            .filter_map(|shard| {
+                let visits = self.visits[shard].load(Ordering::Relaxed);
+                (visits > 0).then(|| ShardTiming {
+                    shard: shard as u32,
+                    visits,
+                    ms: self.ns[shard].load(Ordering::Relaxed) as f64 / 1e6,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Registry handles the backend records into during traced searches.
+struct BackendMetrics {
+    score_ms: Arc<Histogram>,
+    visits: Arc<Counter>,
+}
+
 /// Merge per-shard best hits with the flat scan's tie-break.
 fn merge_hits(hits: impl IntoIterator<Item = Option<SearchHit>>) -> Option<SearchHit> {
     let mut best: Option<SearchHit> = None;
@@ -153,6 +214,7 @@ pub struct ShardedBackend {
     shard_of: Vec<u32>,
     shard_count: usize,
     threads: usize,
+    metrics: Option<BackendMetrics>,
 }
 
 impl ShardedBackend {
@@ -167,6 +229,7 @@ impl ShardedBackend {
             shard_of,
             shard_count,
             threads: threads.max(1),
+            metrics: None,
         }
     }
 
@@ -181,6 +244,7 @@ impl ShardedBackend {
             shard_of,
             shard_count,
             threads: threads.max(1),
+            metrics: None,
         }
     }
 
@@ -195,12 +259,31 @@ impl ShardedBackend {
             shard_of,
             shard_count,
             threads: threads.max(1),
+            metrics: None,
         }
     }
 
     /// Number of shards the library is split into.
     pub fn shard_count(&self) -> usize {
         self.shard_count
+    }
+
+    /// Register this backend's series with a metrics [`Registry`]:
+    /// `hdoms_shard_score_ms` (a histogram of per-shard-visit scoring
+    /// wall-clock) and `hdoms_shard_visits_total`. Both are recorded
+    /// only on the traced path ([`ShardedBackend::search_batch_traced`])
+    /// — the untraced entry points stay timer-free.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.metrics = Some(BackendMetrics {
+            score_ms: registry.histogram(
+                "hdoms_shard_score_ms",
+                "Wall-clock of one shard-scoring visit (one query x one shard run)",
+            ),
+            visits: registry.counter(
+                "hdoms_shard_visits_total",
+                "Shard-scoring visits performed by traced batch searches",
+            ),
+        });
     }
 
     /// How many shard visits a batch of candidate lists costs: the sum
@@ -243,21 +326,44 @@ impl ShardedBackend {
         candidates: &[u32],
         parallel_shards: usize,
     ) -> Option<SearchHit> {
+        self.search_one_clocked(binned, candidates, parallel_shards, None)
+    }
+
+    /// [`ShardedBackend::search_one`], optionally timing each shard
+    /// run into `clock` (and the attached registry series). The
+    /// untimed call compiles down to the pre-tracing code path: no
+    /// clock reads happen unless a clock is passed.
+    fn search_one_clocked(
+        &self,
+        binned: &BinnedSpectrum,
+        candidates: &[u32],
+        parallel_shards: usize,
+        clock: Option<&ShardClock>,
+    ) -> Option<SearchHit> {
         if candidates.is_empty() {
             return None;
         }
         let query_hv = self.scorer.prepare(binned);
         let runs = self.shard_runs(candidates);
+        let score = |run: &[u32]| -> Option<SearchHit> {
+            let Some(clock) = clock else {
+                return self.scorer.best(&query_hv, binned.id, run);
+            };
+            let start = Instant::now();
+            let hit = self.scorer.best(&query_hv, binned.id, run);
+            let ns = start.elapsed().as_nanos() as u64;
+            clock.record(self.shard_of[run[0] as usize] as usize, ns);
+            if let Some(metrics) = &self.metrics {
+                metrics.score_ms.record_ms(ns as f64 / 1e6);
+                metrics.visits.inc();
+            }
+            hit
+        };
         if parallel_shards > 1 && runs.len() > 1 {
-            let hits = par_map(&runs, parallel_shards, |run| {
-                self.scorer.best(&query_hv, binned.id, run)
-            });
+            let hits = par_map(&runs, parallel_shards, |run| score(run));
             merge_hits(hits)
         } else {
-            merge_hits(
-                runs.into_iter()
-                    .map(|run| self.scorer.best(&query_hv, binned.id, run)),
-            )
+            merge_hits(runs.into_iter().map(score))
         }
     }
 
@@ -304,6 +410,50 @@ impl ShardedBackend {
                 .map(|(q, c)| self.search_one(q, c, workers))
                 .collect()
         }
+    }
+
+    /// [`ShardedBackend::search_batch_with`], additionally timing every
+    /// shard-scoring visit: returns the identical hits **plus** one
+    /// [`ShardTiming`] per visited shard (sorted by shard position).
+    /// This is the entry point the engine's span tracing drives; the
+    /// timing accumulators are atomics, so the figures are exact
+    /// whichever way the batch was parallelised, and the hits are
+    /// byte-identical to the untraced path (timing wraps the scoring
+    /// calls, it never reorders or alters them).
+    ///
+    /// `workers` of `None` uses the backend's configured parallelism
+    /// (the unscheduled paths); `Some(n)` caps the batch at `n` worker
+    /// threads (the serve scheduler's grants).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queries` and `candidates` do not pair up.
+    pub fn search_batch_traced(
+        &self,
+        queries: &[BinnedSpectrum],
+        candidates: &[Vec<u32>],
+        workers: Option<usize>,
+    ) -> (Vec<Option<SearchHit>>, Vec<ShardTiming>) {
+        let workers = workers.unwrap_or(self.threads).max(1);
+        assert_eq!(
+            queries.len(),
+            candidates.len(),
+            "queries and candidate lists must pair up"
+        );
+        let clock = ShardClock::new(self.shard_count);
+        let hits = if queries.len() >= workers {
+            let jobs: Vec<usize> = (0..queries.len()).collect();
+            par_map(&jobs, workers, |&i| {
+                self.search_one_clocked(&queries[i], &candidates[i], 1, Some(&clock))
+            })
+        } else {
+            queries
+                .iter()
+                .zip(candidates)
+                .map(|(q, c)| self.search_one_clocked(q, c, workers, Some(&clock)))
+                .collect()
+        };
+        (hits, clock.timings())
     }
 }
 

@@ -1,0 +1,57 @@
+//! # hdoms-obs — zero-dependency observability for the hdoms stack
+//!
+//! The serving stack (engine → sharded backend → scheduler → server)
+//! needs a window into a running process: per-stage latency breakdowns
+//! for the paper's encode → associative-search → FDR pipeline, queue
+//! behaviour under admission pressure, and structured logs an operator
+//! can grep or ship. This crate is that window, built on `std` alone
+//! (the workspace's `serde` is a no-op offline shim, so everything —
+//! including the Prometheus text exposition and the JSON log lines —
+//! is hand-rolled).
+//!
+//! Three pieces, usable independently:
+//!
+//! * [`metrics`] — a lock-cheap registry of named [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s, and fixed-bucket log₂ latency
+//!   [`metrics::Histogram`]s (p50/p90/p99 readout, Prometheus-style
+//!   text rendering). Handles are `Arc`s over atomics: recording never
+//!   takes a lock, registration (startup-time) takes one `Mutex`.
+//! * [`trace`] — the span vocabulary of the query pipeline: the four
+//!   [`trace::Stage`]s every batch decomposes into (encode,
+//!   candidate-window, shard-scoring, FDR-finalize) and the
+//!   [`trace::StageTimings`] record the engine reports per batch.
+//! * [`log`] — a level-filtered structured logger emitting JSON-lines
+//!   or plain text, one event per line, replacing ad-hoc `eprintln!`.
+//!
+//! [`export`] serves a registry's Prometheus rendering over a tiny
+//! HTTP/1.0 responder (`hdoms serve --metrics host:port`).
+//!
+//! Instrumentation is observational only: recording a sample or
+//! emitting a log line never changes what the instrumented code
+//! computes — served PSM tables are byte-identical with observability
+//! on or off (asserted by the engine equivalence suite).
+//!
+//! ```
+//! use hdoms_obs::metrics::Registry;
+//!
+//! let registry = Registry::new();
+//! let batches = registry.counter("hdoms_query_batches_total", "Batches served");
+//! let latency = registry.histogram("hdoms_batch_latency_ms", "Batch wall-clock");
+//! batches.inc();
+//! latency.record_ms(12.5);
+//! let snap = latency.snapshot();
+//! assert_eq!(snap.count(), 1);
+//! assert!(registry.render_prometheus().contains("hdoms_query_batches_total 1"));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod export;
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use log::{Level, Logger};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use trace::{Stage, StageTimings};

@@ -1,4 +1,11 @@
 //! End-to-end OMS orchestration: preprocess → candidates → search → FDR.
+//!
+//! These four stages are also the observability spans of the served
+//! stack: `hdoms-engine` times each one where it runs and surfaces the
+//! figures as the `encode` / `candidates` / `score` / `finalize`
+//! fields in receipts, `BatchStats`, and the `hdoms_stage_*_ms`
+//! histograms (see `docs/OBSERVABILITY.md`). This crate itself stays
+//! timer-free — instrumentation lives in the callers.
 
 use crate::candidates::CandidateIndex;
 use crate::fdr::{filter_fdr, FdrOutcome};

@@ -35,6 +35,17 @@
 //! full — so N concurrent connections degrade fairly instead of
 //! oversubscribing the CPU N-fold (see `docs/SCHEDULER.md`).
 //!
+//! The whole stack is observable: the server owns an `hdoms-obs`
+//! metrics registry (recorded by the engine pipeline, the sharded
+//! backend, the [`scheduler`], and the serve layer itself), decomposes
+//! every batch into traced pipeline stages surfaced in
+//! [`protocol::BatchStats`] and session receipts, and logs structured
+//! events through an `hdoms_obs::log::Logger`
+//! ([`server::Server::set_logger`]). The registry is queryable over the
+//! wire (`server.metrics`) and scrapeable in Prometheus text format
+//! (`hdoms serve --metrics`); instrumentation never changes output
+//! bytes (see `docs/OBSERVABILITY.md`).
+//!
 //! [`json`] is the hand-rolled canonical JSON underneath (the workspace's
 //! `serde` is a no-op offline shim).
 //!

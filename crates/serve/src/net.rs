@@ -49,7 +49,19 @@ fn serve_connection_bounded(
     max_line: usize,
 ) -> io::Result<()> {
     let client = server.next_client_id();
-    serve_connection_as(server, client, reader, writer, max_line)
+    server
+        .logger()
+        .debug("conn.open")
+        .u64("client", client)
+        .emit();
+    let result = serve_connection_as(server, client, reader, writer, max_line);
+    server
+        .logger()
+        .debug("conn.close")
+        .u64("client", client)
+        .bool("clean", result.is_ok())
+        .emit();
+    result
 }
 
 /// The connection loop itself, under an explicit scheduler client id.
@@ -117,6 +129,11 @@ pub fn serve_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<
         let (mut stream, _peer) = listener.accept()?;
         if active.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
             active.fetch_sub(1, Ordering::SeqCst);
+            server
+                .logger()
+                .warn("conn.refused")
+                .u64("max_connections", MAX_CONNECTIONS as u64)
+                .emit();
             let refusal = Response::error(format!(
                 "server at capacity ({MAX_CONNECTIONS} connections)"
             ));

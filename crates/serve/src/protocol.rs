@@ -11,20 +11,23 @@
 //!
 //! let req = Request::decode(r#"{"type":"ping"}"#).unwrap();
 //! assert_eq!(req.encode(), r#"{"type":"ping"}"#);
-//! let resp = Response::Pong { protocol: 1 };
-//! assert_eq!(resp.encode(), r#"{"type":"pong","protocol":1}"#);
+//! let resp = Response::Pong { protocol: 3 };
+//! assert_eq!(resp.encode(), r#"{"type":"pong","protocol":3}"#);
 //! ```
 
 use crate::json::Json;
+use hdoms_engine::ShardTiming;
 use hdoms_ms::spectrum::{Peak, Spectrum, SpectrumOrigin};
 use hdoms_oms::psm::{Psm, PsmTableRow};
 use hdoms_oms::window::PrecursorWindow;
 
 /// Wire protocol version, reported by `pong`. Bumped on any incompatible
-/// message change (v2: scheduler — structured `busy`/`deadline` error
-/// codes, queue-wait/budget fields in `stats` and `receipt`, and the
-/// `server.stats` verb).
-pub const PROTOCOL_VERSION: u32 = 2;
+/// message change (v3: observability — per-stage pipeline timings in
+/// `stats`, stage and per-shard timings in `receipt`, and the
+/// `server.metrics` verb; v2: scheduler — structured `busy`/`deadline`
+/// error codes, queue-wait/budget fields in `stats` and `receipt`, and
+/// the `server.stats` verb).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Default FDR level applied when a query request omits `"fdr"`.
 pub const DEFAULT_FDR: f64 = 0.01;
@@ -295,6 +298,10 @@ pub enum Request {
     /// Report the scheduler's queue/worker counters and the server's
     /// resident-set size (for monitoring and load shedding decisions).
     ServerStats,
+    /// Report the server's metrics registry: every counter, gauge, and
+    /// latency-histogram summary (the same registry `hdoms serve
+    /// --metrics` exposes in Prometheus text form).
+    ServerMetrics,
 }
 
 impl Request {
@@ -345,6 +352,7 @@ impl Request {
                 ("name".into(), Json::str(name.clone())),
             ]),
             Request::ServerStats => Json::Obj(vec![("type".into(), Json::str("server.stats"))]),
+            Request::ServerMetrics => Json::Obj(vec![("type".into(), Json::str("server.metrics"))]),
         };
         v.encode()
     }
@@ -419,6 +427,7 @@ impl Request {
                 name: string(&v, "name")?,
             }),
             Some("server.stats") => Ok(Request::ServerStats),
+            Some("server.metrics") => Ok(Request::ServerMetrics),
             Some(other) => Err(format!("unknown request type {other:?}")),
             None => Err("request type must be a string".to_owned()),
         }
@@ -471,6 +480,18 @@ pub struct BatchStats {
     pub shards_touched: usize,
     /// Total candidate references scored across the batch.
     pub candidates_scored: usize,
+    /// Time spent encoding query spectra into hypervectors,
+    /// milliseconds (for a session finalize: accumulated across every
+    /// submitted batch; likewise for the other stage timings).
+    pub encode_ms: f64,
+    /// Time spent building precursor-window candidate lists,
+    /// milliseconds.
+    pub candidates_ms: f64,
+    /// Time spent scoring candidates against the index shards,
+    /// milliseconds.
+    pub score_ms: f64,
+    /// Time spent in FDR finalization, milliseconds.
+    pub finalize_ms: f64,
     /// Name of the backend that served the batch.
     pub backend: String,
 }
@@ -490,7 +511,7 @@ pub struct QueryResult {
 
 /// Per-submit accounting, reported by the `receipt` response: what the
 /// batch itself cost plus the session's running PSM total.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SubmitReceipt {
     /// Session the batch was submitted to.
     pub session: u64,
@@ -515,6 +536,19 @@ pub struct SubmitReceipt {
     pub latency_ms: f64,
     /// Time the batch waited in the scheduler queue, milliseconds.
     pub wait_ms: f64,
+    /// Time spent encoding query spectra into hypervectors,
+    /// milliseconds.
+    pub encode_ms: f64,
+    /// Time spent building precursor-window candidate lists,
+    /// milliseconds.
+    pub candidates_ms: f64,
+    /// Time spent scoring candidates against the index shards,
+    /// milliseconds (there is no finalize stage at submit time — FDR
+    /// runs once, at `session.finalize`).
+    pub score_ms: f64,
+    /// Per-shard scoring cost of the batch: which shards were visited,
+    /// how often, and the wall-clock scoring time each absorbed.
+    pub shard_timings: Vec<ShardTiming>,
 }
 
 /// The scheduler and resident-set counters reported by the
@@ -546,12 +580,45 @@ pub struct ServerStats {
     pub rejected_busy: u64,
     /// Batches shed with the `deadline` error.
     pub shed_deadline: u64,
-    /// Total queue wait across admitted batches, milliseconds.
+    /// Total queue wait across admitted **and** deadline-shed batches,
+    /// milliseconds (shed batches waited too; excluding them would
+    /// understate tail wait exactly when admission pressure builds).
     pub total_wait_ms: f64,
     /// Open streaming sessions.
     pub open_sessions: usize,
     /// Resident indexes.
     pub resident_indexes: usize,
+}
+
+/// A five-number summary of one latency histogram, reported by the
+/// `server.metrics` verb. Quantiles are bucket upper bounds from the
+/// registry's log₂ histogram — conservative (never understated), with
+/// resolution of one bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded samples, milliseconds.
+    pub sum_ms: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// A point-in-time dump of the server's metrics registry (the
+/// `server.metrics` verb). Series are sorted by name; the same names
+/// appear in the Prometheus text exposition (`hdoms serve --metrics`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsReport {
+    /// Monotone counters, by name.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges, by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Latency histograms, by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
 }
 
 /// A server response.
@@ -598,6 +665,8 @@ pub enum Response {
     },
     /// Answer to `server.stats`.
     Stats(ServerStats),
+    /// Answer to `server.metrics`.
+    Metrics(MetricsReport),
 }
 
 impl Response {
@@ -664,6 +733,13 @@ impl Response {
                 ("workers".into(), Json::Num(r.workers as f64)),
                 ("latency_ms".into(), Json::Num(r.latency_ms)),
                 ("wait_ms".into(), Json::Num(r.wait_ms)),
+                ("encode_ms".into(), Json::Num(r.encode_ms)),
+                ("candidates_ms".into(), Json::Num(r.candidates_ms)),
+                ("score_ms".into(), Json::Num(r.score_ms)),
+                (
+                    "shard_timings".into(),
+                    Json::Arr(r.shard_timings.iter().map(shard_timing_to_json).collect()),
+                ),
             ]),
             Response::SessionClosed { session } => Json::Obj(vec![
                 ("type".into(), Json::str("closed")),
@@ -698,6 +774,36 @@ impl Response {
                 (
                     "resident_indexes".into(),
                     Json::Num(s.resident_indexes as f64),
+                ),
+            ]),
+            Response::Metrics(m) => Json::Obj(vec![
+                ("type".into(), Json::str("metrics")),
+                (
+                    "counters".into(),
+                    Json::Obj(
+                        m.counters
+                            .iter()
+                            .map(|(name, value)| (name.clone(), Json::Num(*value as f64)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "gauges".into(),
+                    Json::Obj(
+                        m.gauges
+                            .iter()
+                            .map(|(name, value)| (name.clone(), Json::Num(*value as f64)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "histograms".into(),
+                    Json::Obj(
+                        m.histograms
+                            .iter()
+                            .map(|(name, h)| (name.clone(), histogram_to_json(h)))
+                            .collect(),
+                    ),
                 ),
             ]),
         };
@@ -767,6 +873,15 @@ impl Response {
                 workers: uint(req_field(&v, "workers")?, "workers")? as usize,
                 latency_ms: num(req_field(&v, "latency_ms")?, "latency_ms")?,
                 wait_ms: num(req_field(&v, "wait_ms")?, "wait_ms")?,
+                encode_ms: num(req_field(&v, "encode_ms")?, "encode_ms")?,
+                candidates_ms: num(req_field(&v, "candidates_ms")?, "candidates_ms")?,
+                score_ms: num(req_field(&v, "score_ms")?, "score_ms")?,
+                shard_timings: req_field(&v, "shard_timings")?
+                    .as_arr()
+                    .ok_or("shard_timings must be an array")?
+                    .iter()
+                    .map(shard_timing_from_json)
+                    .collect::<Result<Vec<_>, String>>()?,
             })),
             Some("closed") => Ok(Response::SessionClosed {
                 session: uint(req_field(&v, "session")?, "session")?,
@@ -794,6 +909,20 @@ impl Response {
                 open_sessions: uint(req_field(&v, "open_sessions")?, "open_sessions")? as usize,
                 resident_indexes: uint(req_field(&v, "resident_indexes")?, "resident_indexes")?
                     as usize,
+            })),
+            Some("metrics") => Ok(Response::Metrics(MetricsReport {
+                counters: obj_entries(req_field(&v, "counters")?, "counters")?
+                    .iter()
+                    .map(|(name, value)| Ok((name.clone(), uint(value, "counter value")?)))
+                    .collect::<Result<Vec<_>, String>>()?,
+                gauges: obj_entries(req_field(&v, "gauges")?, "gauges")?
+                    .iter()
+                    .map(|(name, value)| Ok((name.clone(), int(value, "gauge value")?)))
+                    .collect::<Result<Vec<_>, String>>()?,
+                histograms: obj_entries(req_field(&v, "histograms")?, "histograms")?
+                    .iter()
+                    .map(|(name, value)| Ok((name.clone(), histogram_from_json(value)?)))
+                    .collect::<Result<Vec<_>, String>>()?,
             })),
             Some(other) => Err(format!("unknown response type {other:?}")),
             None => Err("response type must be a string".to_owned()),
@@ -876,6 +1005,10 @@ fn stats_to_json(s: &BatchStats) -> Json {
             "candidates_scored".into(),
             Json::Num(s.candidates_scored as f64),
         ),
+        ("encode_ms".into(), Json::Num(s.encode_ms)),
+        ("candidates_ms".into(), Json::Num(s.candidates_ms)),
+        ("score_ms".into(), Json::Num(s.score_ms)),
+        ("finalize_ms".into(), Json::Num(s.finalize_ms)),
         ("backend".into(), Json::str(s.backend.clone())),
     ])
 }
@@ -893,8 +1026,67 @@ fn stats_from_json(v: &Json) -> Result<BatchStats, String> {
         threshold_score: threshold_from_json(req_field(v, "threshold_score")?)?,
         shards_touched: uint(req_field(v, "shards_touched")?, "shards_touched")? as usize,
         candidates_scored: uint(req_field(v, "candidates_scored")?, "candidates_scored")? as usize,
+        encode_ms: num(req_field(v, "encode_ms")?, "encode_ms")?,
+        candidates_ms: num(req_field(v, "candidates_ms")?, "candidates_ms")?,
+        score_ms: num(req_field(v, "score_ms")?, "score_ms")?,
+        finalize_ms: num(req_field(v, "finalize_ms")?, "finalize_ms")?,
         backend: string(v, "backend")?,
     })
+}
+
+fn shard_timing_to_json(t: &ShardTiming) -> Json {
+    Json::Obj(vec![
+        ("shard".into(), Json::Num(f64::from(t.shard))),
+        ("visits".into(), Json::Num(t.visits as f64)),
+        ("ms".into(), Json::Num(t.ms)),
+    ])
+}
+
+fn shard_timing_from_json(v: &Json) -> Result<ShardTiming, String> {
+    Ok(ShardTiming {
+        shard: u32_field(v, "shard")?,
+        visits: uint(req_field(v, "visits")?, "visits")?,
+        ms: num(req_field(v, "ms")?, "ms")?,
+    })
+}
+
+fn histogram_to_json(h: &HistogramSummary) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::Num(h.count as f64)),
+        ("sum_ms".into(), Json::Num(h.sum_ms)),
+        ("p50_ms".into(), Json::Num(h.p50_ms)),
+        ("p90_ms".into(), Json::Num(h.p90_ms)),
+        ("p99_ms".into(), Json::Num(h.p99_ms)),
+    ])
+}
+
+fn histogram_from_json(v: &Json) -> Result<HistogramSummary, String> {
+    Ok(HistogramSummary {
+        count: uint(req_field(v, "count")?, "count")?,
+        sum_ms: num(req_field(v, "sum_ms")?, "sum_ms")?,
+        p50_ms: num(req_field(v, "p50_ms")?, "p50_ms")?,
+        p90_ms: num(req_field(v, "p90_ms")?, "p90_ms")?,
+        p99_ms: num(req_field(v, "p99_ms")?, "p99_ms")?,
+    })
+}
+
+/// The entries of a JSON object in wire order (metrics maps round-trip
+/// verbatim because [`Json::Obj`] preserves insertion order).
+fn obj_entries<'a>(v: &'a Json, what: &str) -> Result<&'a [(String, Json)], String> {
+    match v {
+        Json::Obj(pairs) => Ok(pairs),
+        _ => Err(format!("{what} must be an object")),
+    }
+}
+
+/// A signed integer (gauges may go negative); non-integral numbers are
+/// rejected.
+fn int(v: &Json, what: &str) -> Result<i64, String> {
+    let x = num(v, what)?;
+    if x.fract() != 0.0 || x < i64::MIN as f64 || x > i64::MAX as f64 {
+        return Err(format!("{what} must be an integer"));
+    }
+    Ok(x as i64)
 }
 
 fn req_field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
@@ -990,6 +1182,7 @@ mod tests {
                 name: "hek".to_owned(),
             },
             Request::ServerStats,
+            Request::ServerMetrics,
         ];
         for req in session_requests {
             let line = req.encode();
@@ -1066,8 +1259,29 @@ mod tests {
                     threshold_score: 0.75,
                     shards_touched: 3,
                     candidates_scored: 154,
+                    encode_ms: 1.5,
+                    candidates_ms: 0.25,
+                    score_ms: 9.75,
+                    finalize_ms: 0.5,
                     backend: "sharded(exact-hd, 10 shards)".to_owned(),
                 },
+            }),
+            Response::Metrics(MetricsReport {
+                counters: vec![
+                    ("hdoms_queries_total".to_owned(), 512),
+                    ("hdoms_query_batches_total".to_owned(), 8),
+                ],
+                gauges: vec![("hdoms_open_sessions".to_owned(), 2)],
+                histograms: vec![(
+                    "hdoms_batch_latency_ms".to_owned(),
+                    HistogramSummary {
+                        count: 8,
+                        sum_ms: 96.5,
+                        p50_ms: 8.0,
+                        p90_ms: 16.0,
+                        p99_ms: 32.0,
+                    },
+                )],
             }),
         ];
         for resp in responses {
@@ -1097,6 +1311,21 @@ mod tests {
                 workers: 2,
                 latency_ms: 4.25,
                 wait_ms: 1.5,
+                encode_ms: 0.75,
+                candidates_ms: 0.125,
+                score_ms: 3.25,
+                shard_timings: vec![
+                    ShardTiming {
+                        shard: 4,
+                        visits: 120,
+                        ms: 2.5,
+                    },
+                    ShardTiming {
+                        shard: 5,
+                        visits: 60,
+                        ms: 0.75,
+                    },
+                ],
             }),
             Response::SessionClosed { session: 1 },
             Response::Loaded(IndexSummary {
@@ -1161,6 +1390,10 @@ mod tests {
                 threshold_score: f64::INFINITY,
                 shards_touched: 0,
                 candidates_scored: 0,
+                encode_ms: 0.25,
+                candidates_ms: 0.0,
+                score_ms: 0.0,
+                finalize_ms: 0.0,
                 backend: "b".to_owned(),
             },
         });

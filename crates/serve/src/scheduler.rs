@@ -56,9 +56,10 @@
 //! assert_eq!(scheduler.stats().completed, 1);
 //! ```
 
+use hdoms_obs::metrics::{Counter, Gauge, Histogram, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Default bound on waiting batches (matches the TCP front end's
@@ -162,8 +163,50 @@ pub struct SchedulerStats {
     pub rejected_busy: u64,
     /// Batches shed after waiting past their deadline.
     pub shed_deadline: u64,
-    /// Total queue wait across admitted batches, milliseconds.
+    /// Total queue wait across admitted **and shed** batches,
+    /// milliseconds. Shed batches waited too — dropping their queue
+    /// time would understate tail wait exactly when admission pressure
+    /// makes it interesting.
     pub total_wait_ms: f64,
+}
+
+/// Registry handles an instrumented scheduler records into (see
+/// [`Scheduler::with_metrics`]).
+struct SchedMetrics {
+    queue_wait_ms: Arc<Histogram>,
+    admitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    rejected_busy: Arc<Counter>,
+    shed_deadline: Arc<Counter>,
+    workers_busy: Arc<Gauge>,
+}
+
+impl SchedMetrics {
+    fn register(registry: &Registry) -> SchedMetrics {
+        SchedMetrics {
+            queue_wait_ms: registry.histogram(
+                "hdoms_queue_wait_ms",
+                "Scheduler queue wait per batch, admitted and deadline-shed alike",
+            ),
+            admitted: registry.counter(
+                "hdoms_sched_admitted_total",
+                "Batches granted a worker budget",
+            ),
+            completed: registry.counter(
+                "hdoms_sched_completed_total",
+                "Admitted batches whose permit was returned",
+            ),
+            rejected_busy: registry.counter(
+                "hdoms_sched_rejected_busy_total",
+                "Submissions rejected at admission with the busy error",
+            ),
+            shed_deadline: registry.counter(
+                "hdoms_sched_shed_deadline_total",
+                "Batches shed after waiting past the soft deadline",
+            ),
+            workers_busy: registry.gauge("hdoms_workers_busy", "Worker tokens granted right now"),
+        }
+    }
 }
 
 struct State {
@@ -197,6 +240,7 @@ pub struct Scheduler {
     config: SchedulerConfig,
     state: Mutex<State>,
     granted: Condvar,
+    metrics: Option<SchedMetrics>,
 }
 
 impl Scheduler {
@@ -205,6 +249,7 @@ impl Scheduler {
         let workers = config.workers.max(1);
         Scheduler {
             config: SchedulerConfig { workers, ..config },
+            metrics: None,
             state: Mutex::new(State {
                 workers,
                 available: workers,
@@ -223,6 +268,17 @@ impl Scheduler {
             }),
             granted: Condvar::new(),
         }
+    }
+
+    /// A scheduler that additionally records every admission decision
+    /// into `registry`: the `hdoms_queue_wait_ms` histogram (admitted
+    /// and shed batches alike), the `hdoms_sched_*_total` counters, and
+    /// the `hdoms_workers_busy` gauge. The internal [`SchedulerStats`]
+    /// counters are kept regardless; the registry is the export path.
+    pub fn with_metrics(config: SchedulerConfig, registry: &Registry) -> Scheduler {
+        let mut scheduler = Scheduler::new(config);
+        scheduler.metrics = Some(SchedMetrics::register(registry));
+        scheduler
     }
 
     /// The configuration the scheduler runs with.
@@ -257,6 +313,9 @@ impl Scheduler {
         let immediate = state.queued == 0 && state.available > 0;
         if state.queued >= self.config.queue_depth && !immediate {
             state.rejected_busy += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.rejected_busy.inc();
+            }
             return Err(ScheduleError::Busy {
                 queued: state.queued,
                 queue_depth: self.config.queue_depth,
@@ -290,6 +349,13 @@ impl Scheduler {
                 let wait_ms = enqueued.elapsed().as_secs_f64() * 1e3;
                 state.admitted += 1;
                 state.total_wait_ms += wait_ms;
+                if let Some(metrics) = &self.metrics {
+                    metrics.admitted.inc();
+                    metrics.queue_wait_ms.record_ms(wait_ms);
+                    metrics
+                        .workers_busy
+                        .set((state.workers - state.available) as i64);
+                }
                 return Ok(WorkPermit {
                     scheduler: self,
                     budget,
@@ -305,10 +371,19 @@ impl Scheduler {
                     let now = Instant::now();
                     if now >= deadline {
                         // Shed: still waiting past the soft deadline.
+                        // The shed batch waited too — count its queue
+                        // time, or tail wait under admission pressure
+                        // would be understated exactly when it matters.
+                        let waited_ms = enqueued.elapsed().as_secs_f64() * 1e3;
                         Self::abandon(&mut state, ticket, client);
                         state.shed_deadline += 1;
+                        state.total_wait_ms += waited_ms;
+                        if let Some(metrics) = &self.metrics {
+                            metrics.shed_deadline.inc();
+                            metrics.queue_wait_ms.record_ms(waited_ms);
+                        }
                         return Err(ScheduleError::Deadline {
-                            waited_ms: enqueued.elapsed().as_millis() as u64,
+                            waited_ms: waited_ms as u64,
                             deadline_ms: self.config.deadline_ms,
                         });
                     }
@@ -380,6 +455,12 @@ impl Scheduler {
         state.in_flight -= 1;
         state.completed += 1;
         let _ = Self::grant_ready(&mut state);
+        if let Some(metrics) = &self.metrics {
+            metrics.completed.inc();
+            metrics
+                .workers_busy
+                .set((state.workers - state.available) as i64);
+        }
         drop(state);
         self.granted.notify_all();
     }
@@ -616,6 +697,13 @@ mod tests {
         let stats = scheduler.stats();
         assert_eq!(stats.shed_deadline, 1);
         assert_eq!(stats.queued, 0, "shed ticket left the queue");
+        // Satellite fix: the shed batch's queue time lands in the wait
+        // total — without it, tail wait under shedding looks rosy.
+        assert!(
+            stats.total_wait_ms >= 25.0,
+            "shed wait missing from total_wait_ms ({})",
+            stats.total_wait_ms
+        );
         drop(running);
         // The pool is intact: the next batch is granted normally.
         assert_eq!(scheduler.admit(1).unwrap().workers(), 1);
@@ -635,5 +723,68 @@ mod tests {
             assert!(waited >= 5.0, "waited only {waited} ms");
         });
         assert!(scheduler.stats().total_wait_ms >= 5.0);
+    }
+
+    #[test]
+    fn instrumented_scheduler_mirrors_its_counters_into_the_registry() {
+        let registry = Registry::new();
+        let scheduler = Scheduler::new(config(1, 8, 25));
+        let instrumented = Scheduler::with_metrics(config(1, 0, 25), &registry);
+        drop(scheduler); // plain scheduler registers nothing
+        let permit = instrumented.admit(1).unwrap();
+        match instrumented.admit(2) {
+            Err(ScheduleError::Busy { .. }) => {}
+            Err(other) => panic!("expected busy, got {other:?}"),
+            Ok(_) => panic!("expected busy, got a permit"),
+        }
+        drop(permit);
+        let snapshot = registry.snapshot();
+        let counter = |name: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("counter {name} not registered"))
+        };
+        assert_eq!(counter("hdoms_sched_admitted_total"), 1);
+        assert_eq!(counter("hdoms_sched_completed_total"), 1);
+        assert_eq!(counter("hdoms_sched_rejected_busy_total"), 1);
+        assert_eq!(counter("hdoms_sched_shed_deadline_total"), 0);
+        let (_, wait) = snapshot
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "hdoms_queue_wait_ms")
+            .expect("wait histogram registered");
+        assert_eq!(wait.count(), 1, "one admitted batch recorded");
+        let (_, busy_now) = snapshot
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "hdoms_workers_busy")
+            .expect("busy gauge registered");
+        assert_eq!(*busy_now, 0, "permit returned its token");
+    }
+
+    #[test]
+    fn shed_waits_reach_the_registry_histogram() {
+        let registry = Registry::new();
+        let scheduler = Scheduler::with_metrics(config(1, 8, 25), &registry);
+        let running = scheduler.admit(0).unwrap();
+        match scheduler.admit(1) {
+            Err(ScheduleError::Deadline { .. }) => {}
+            Err(other) => panic!("expected deadline, got {other:?}"),
+            Ok(_) => panic!("expected deadline, got a permit"),
+        }
+        drop(running);
+        let snapshot = registry.snapshot();
+        let (_, wait) = snapshot
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "hdoms_queue_wait_ms")
+            .expect("wait histogram registered");
+        // Two samples: the instantly-admitted blocker and the shed
+        // batch; the shed one waited ≥ the 25 ms deadline.
+        assert_eq!(wait.count(), 2);
+        assert!(wait.sum_ms() >= 25.0, "sum {}", wait.sum_ms());
     }
 }

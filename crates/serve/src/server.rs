@@ -2,13 +2,15 @@
 //! sessions with cross-batch FDR, and runtime index lifecycle.
 
 use crate::protocol::{
-    BatchStats, ErrorCode, IndexSummary, QueryRequest, QueryResult, Request, Response, ServerStats,
-    SubmitReceipt, PROTOCOL_VERSION,
+    BatchStats, ErrorCode, HistogramSummary, IndexSummary, MetricsReport, QueryRequest,
+    QueryResult, Request, Response, ServerStats, SubmitReceipt, PROTOCOL_VERSION,
 };
 use crate::scheduler::{ScheduleError, Scheduler, SchedulerConfig};
 use hdoms_engine::{Engine, Session};
 use hdoms_index::{IndexError, LibraryIndex};
 use hdoms_ms::spectrum::Spectrum;
+use hdoms_obs::log::Logger;
+use hdoms_obs::metrics::{Counter, Gauge, Histogram, Registry};
 use hdoms_oms::psm::table_rows;
 use std::collections::HashMap;
 use std::path::Path;
@@ -141,10 +143,48 @@ struct OpenSession {
 pub struct Server {
     threads: usize,
     scheduler: Scheduler,
+    registry: Arc<Registry>,
+    metrics: ServerMetricsSet,
+    logger: Logger,
     indexes: RwLock<Vec<ResidentIndex>>,
     sessions: Mutex<HashMap<u64, SessionSlot>>,
     next_session: AtomicU64,
     next_client: AtomicU64,
+}
+
+/// The server-level series in the registry (engine, backend, and
+/// scheduler register their own alongside these).
+struct ServerMetricsSet {
+    batches: Arc<Counter>,
+    queries: Arc<Counter>,
+    psms: Arc<Counter>,
+    identifications: Arc<Counter>,
+    batch_latency_ms: Arc<Histogram>,
+    open_sessions: Arc<Gauge>,
+    resident_indexes: Arc<Gauge>,
+}
+
+impl ServerMetricsSet {
+    fn register(registry: &Registry) -> ServerMetricsSet {
+        ServerMetricsSet {
+            batches: registry.counter(
+                "hdoms_query_batches_total",
+                "Query batches served (one-shot queries and session submits)",
+            ),
+            queries: registry.counter("hdoms_queries_total", "Query spectra received"),
+            psms: registry.counter("hdoms_psms_total", "Best-hit PSMs produced"),
+            identifications: registry.counter(
+                "hdoms_identifications_total",
+                "PSMs accepted at the requested FDR",
+            ),
+            batch_latency_ms: registry.histogram(
+                "hdoms_batch_latency_ms",
+                "Wall-clock batch latency as served, excluding queue wait",
+            ),
+            open_sessions: registry.gauge("hdoms_open_sessions", "Open streaming sessions"),
+            resident_indexes: registry.gauge("hdoms_resident_indexes", "Resident indexes"),
+        }
+    }
 }
 
 impl Server {
@@ -168,14 +208,42 @@ impl Server {
     /// `threads` bounds construction-time parallelism (index decode,
     /// backend wiring); `config.workers` bounds search parallelism.
     pub fn with_scheduler(threads: usize, config: SchedulerConfig) -> Server {
+        let registry = Arc::new(Registry::new());
+        let scheduler = Scheduler::with_metrics(config, &registry);
+        let metrics = ServerMetricsSet::register(&registry);
         Server {
             threads: threads.max(1),
-            scheduler: Scheduler::new(config),
+            scheduler,
+            registry,
+            metrics,
+            logger: Logger::disabled(),
             indexes: RwLock::new(Vec::new()),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             next_client: AtomicU64::new(LOCAL_CLIENT + 1),
         }
+    }
+
+    /// The server's metrics registry: server counters, engine stage
+    /// histograms, backend shard timings, and scheduler queue series all
+    /// register here. Share it with
+    /// [`hdoms_obs::export::spawn_exposition`] for Prometheus-style
+    /// scraping, or read it through the `server.metrics` verb.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Replace the structured logger (call before sharing the server
+    /// across connection threads). The default logger is disabled, so
+    /// embedders and tests stay silent unless they opt in.
+    pub fn set_logger(&mut self, logger: Logger) {
+        self.logger = logger;
+    }
+
+    /// The structured logger transports log connection lifecycle
+    /// through.
+    pub fn logger(&self) -> &Logger {
+        &self.logger
     }
 
     /// The batch scheduler (admission control, fair queue, worker
@@ -216,6 +284,33 @@ impl Server {
         }
     }
 
+    /// The `server.metrics` report: every registered counter, gauge, and
+    /// latency-histogram summary, sorted by name (the JSON twin of the
+    /// Prometheus text exposition).
+    pub fn metrics_report(&self) -> MetricsReport {
+        let snapshot = self.registry.snapshot();
+        MetricsReport {
+            counters: snapshot.counters,
+            gauges: snapshot.gauges,
+            histograms: snapshot
+                .histograms
+                .into_iter()
+                .map(|(name, h)| {
+                    (
+                        name,
+                        HistogramSummary {
+                            count: h.count(),
+                            sum_ms: h.sum_ms(),
+                            p50_ms: h.p50_ms(),
+                            p90_ms: h.p90_ms(),
+                            p99_ms: h.p99_ms(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
     /// Register `index` under `name` and make it resident: the engine —
     /// shard-parallel backend, candidate index, reference metadata — is
     /// wired once, sharing the index's reference table.
@@ -230,8 +325,9 @@ impl Server {
         }
         // Wire the engine before taking the write lock: reconstruction
         // is the expensive part and must not stall concurrent queries.
-        let engine = Arc::new(Engine::from_index(index, self.threads)?);
-        self.register_engine(name, engine)
+        let mut engine = Engine::from_index(index, self.threads)?;
+        engine.attach_metrics(&self.registry);
+        self.register_engine(name, Arc::new(engine))
     }
 
     fn register_engine(&self, name: &str, engine: Arc<Engine>) -> Result<(), IndexError> {
@@ -245,6 +341,7 @@ impl Server {
             name: name.to_owned(),
             engine,
         });
+        self.metrics.resident_indexes.set(indexes.len() as i64);
         Ok(())
     }
 
@@ -282,13 +379,21 @@ impl Server {
         let index = hdoms_index::IndexReader::with_threads(permit.workers().min(self.threads))
             .open_mapped_with(Path::new(path))
             .map_err(|e| format!("loading {path}: {e}"))?;
-        let engine = Arc::new(Engine::from_index(index, self.threads).map_err(|e| e.to_string())?);
+        let mut engine = Engine::from_index(index, self.threads).map_err(|e| e.to_string())?;
+        engine.attach_metrics(&self.registry);
+        let engine = Arc::new(engine);
         drop(permit);
         // Summarize from our own handle, not a re-lookup: a concurrent
         // `index.unload` racing this load must not turn into a panic.
         let summary = summarize(name, &engine);
         self.register_engine(name, engine)
             .map_err(|e| e.to_string())?;
+        self.logger
+            .info("index.load")
+            .str("name", name)
+            .str("path", path)
+            .u64("entries", summary.entries as u64)
+            .emit();
         Ok(summary)
     }
 
@@ -306,6 +411,8 @@ impl Server {
             .position(|r| r.name == name)
             .ok_or_else(|| format!("unknown index {name:?}"))?;
         indexes.remove(position);
+        self.metrics.resident_indexes.set(indexes.len() as i64);
+        self.logger.info("index.unload").str("name", name).emit();
         Ok(())
     }
 
@@ -352,6 +459,7 @@ impl Server {
             },
             Request::ListIndexes => Response::Indexes(self.summaries()),
             Request::ServerStats => Response::Stats(self.stats()),
+            Request::ServerMetrics => Response::Metrics(self.metrics_report()),
             Request::Query(q) => match self.query_batch_as(client, q) {
                 Ok(result) => Response::Result(result),
                 Err(error) => error.into_response(),
@@ -438,6 +546,23 @@ impl Server {
             (permit.wait_ms(), permit.queued_behind(), permit.workers());
         drop(permit);
 
+        self.metrics.batches.inc();
+        self.metrics.queries.add(outcome.total_queries as u64);
+        self.metrics.psms.add(outcome.psms.len() as u64);
+        self.metrics
+            .identifications
+            .add(outcome.identifications() as u64);
+        self.metrics.batch_latency_ms.record_ms(latency_ms);
+        self.logger
+            .debug("query.batch")
+            .str("index", &request.index)
+            .u64("client", client)
+            .u64("queries", outcome.total_queries as u64)
+            .u64("identifications", outcome.identifications() as u64)
+            .f64("latency_ms", latency_ms)
+            .f64("wait_ms", wait_ms)
+            .emit();
+
         let rows = table_rows(engine.peptides(), &outcome);
         Ok(QueryResult {
             index: request.index.clone(),
@@ -453,6 +578,10 @@ impl Server {
                 threshold_score: outcome.threshold_score,
                 shards_touched: receipt.shards_touched,
                 candidates_scored: receipt.candidates_scored,
+                encode_ms: receipt.stages.encode_ms,
+                candidates_ms: receipt.stages.candidates_ms,
+                score_ms: receipt.stages.score_ms,
+                finalize_ms: receipt.stages.finalize_ms,
                 backend: outcome.backend_name.clone(),
             },
             rows,
@@ -487,6 +616,12 @@ impl Server {
                 wait_ms: 0.0,
             }),
         );
+        self.metrics.open_sessions.set(sessions.len() as i64);
+        self.logger
+            .debug("session.open")
+            .u64("session", id)
+            .str("index", index)
+            .emit();
         Ok(id)
     }
 
@@ -534,6 +669,19 @@ impl Server {
         let (wait_ms, workers) = (permit.wait_ms(), permit.workers());
         drop(permit);
         lease.add_wait(wait_ms);
+        self.metrics.batches.inc();
+        self.metrics.queries.add(receipt.queries as u64);
+        self.metrics.psms.add(receipt.psms as u64);
+        self.metrics.batch_latency_ms.record_ms(receipt.latency_ms);
+        self.logger
+            .debug("session.submit")
+            .u64("session", id)
+            .u64("client", client)
+            .u64("batch", receipt.batch as u64)
+            .u64("queries", receipt.queries as u64)
+            .f64("latency_ms", receipt.latency_ms)
+            .f64("wait_ms", wait_ms)
+            .emit();
         Ok(SubmitReceipt {
             session: id,
             batch: receipt.batch,
@@ -546,6 +694,10 @@ impl Server {
             workers,
             latency_ms: receipt.latency_ms,
             wait_ms,
+            encode_ms: receipt.stages.encode_ms,
+            candidates_ms: receipt.stages.candidates_ms,
+            score_ms: receipt.stages.score_ms,
+            shard_timings: receipt.shard_timings,
         })
     }
 
@@ -567,8 +719,20 @@ impl Server {
         let wait_ms = open.wait_ms;
         let candidates_scored = open.session.candidates_scored();
         let shards_touched = open.session.shards_touched();
-        let outcome = open.session.finalize(fdr);
+        let stages = open.session.stage_timings();
+        let (outcome, finalize_ms) = open.session.finalize_traced(fdr);
         let latency_ms = submitted_ms + start.elapsed().as_secs_f64() * 1e3;
+
+        self.metrics
+            .identifications
+            .add(outcome.identifications() as u64);
+        self.logger
+            .debug("session.finalize")
+            .u64("session", id)
+            .u64("queries", outcome.total_queries as u64)
+            .u64("identifications", outcome.identifications() as u64)
+            .f64("latency_ms", latency_ms)
+            .emit();
 
         let rows = table_rows(engine.peptides(), &outcome);
         Ok(QueryResult {
@@ -588,6 +752,10 @@ impl Server {
                 threshold_score: outcome.threshold_score,
                 shards_touched,
                 candidates_scored,
+                encode_ms: stages.encode_ms,
+                candidates_ms: stages.candidates_ms,
+                score_ms: stages.score_ms,
+                finalize_ms,
                 backend: outcome.backend_name.clone(),
             },
             rows,
@@ -675,6 +843,7 @@ impl Drop for SessionLease<'_> {
             }
             None => {
                 sessions.remove(&self.id);
+                self.server.metrics.open_sessions.set(sessions.len() as i64);
             }
         }
     }

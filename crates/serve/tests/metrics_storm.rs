@@ -1,0 +1,215 @@
+//! Metrics acceptance under contention: a 16-client scheduler storm
+//! against an instrumented server, with three invariants —
+//!
+//! 1. **Exact reconciliation**: after the storm, every registry counter
+//!    equals the sum of the per-client receipts. No batch, query, or
+//!    PSM is double-counted or dropped.
+//! 2. **Histogram completeness**: the latency and queue-wait histograms
+//!    saw exactly one observation per served batch, and the per-stage
+//!    pipeline histograms saw one per engine batch.
+//! 3. **Torn-read freedom**: a reader thread snapshots the registry
+//!    continuously *during* the storm; counters are monotonic across
+//!    snapshots, derived values are internally consistent, and gauges
+//!    stay within their physical bounds.
+
+use hdoms_index::{IndexBuilder, IndexConfig, IndexedBackendKind, LibraryIndex};
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_obs::metrics::{HistogramSnapshot, Snapshot};
+use hdoms_serve::protocol::{QueryRequest, QuerySpectrum, WindowKind};
+use hdoms_serve::scheduler::SchedulerConfig;
+use hdoms_serve::server::Server;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const DIM: usize = 2048;
+const CLIENTS: usize = 16;
+const ROUNDS: usize = 2;
+
+fn build_index(library: &hdoms_ms::library::SpectralLibrary) -> LibraryIndex {
+    let mut config = IndexConfig {
+        entries_per_shard: 256,
+        threads: 4,
+        ..IndexConfig::default()
+    };
+    if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+        exact.encoder.dim = DIM;
+    }
+    IndexBuilder::new(config).from_library(library)
+}
+
+fn batch_of(workload: &SyntheticWorkload) -> Vec<QuerySpectrum> {
+    workload
+        .queries
+        .iter()
+        .map(QuerySpectrum::from_spectrum)
+        .collect()
+}
+
+fn request_for(spectra: Vec<QuerySpectrum>) -> QueryRequest {
+    QueryRequest {
+        index: "w".to_owned(),
+        window: WindowKind::Open,
+        fdr: 0.01,
+        spectra,
+    }
+}
+
+fn counter(snapshot: &Snapshot, name: &str) -> u64 {
+    snapshot
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("counter {name} registered"))
+        .1
+}
+
+fn gauge(snapshot: &Snapshot, name: &str) -> i64 {
+    snapshot
+        .gauges
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("gauge {name} registered"))
+        .1
+}
+
+fn histogram<'a>(snapshot: &'a Snapshot, name: &str) -> &'a HistogramSnapshot {
+    &snapshot
+        .histograms
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("histogram {name} registered"))
+        .1
+}
+
+#[test]
+fn sixteen_client_storm_reconciles_exactly_with_receipts() {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 9006);
+    let server = Server::with_scheduler(
+        4,
+        SchedulerConfig {
+            workers: 3,
+            queue_depth: 64,
+            deadline_ms: 0,
+        },
+    );
+    server
+        .add_index("w", build_index(&workload.library))
+        .expect("servable index");
+    let spectra = batch_of(&workload);
+    let per_batch_queries = spectra.len() as u64;
+
+    let storming = AtomicBool::new(true);
+    let (outcomes, snapshots_checked) = std::thread::scope(|scope| {
+        // The torn-read probe: hammer `snapshot()` while the storm runs
+        // and assert every observable invariant on every sample.
+        let reader = {
+            let server = &server;
+            let storming = &storming;
+            scope.spawn(move || {
+                let mut checked = 0usize;
+                let mut last_batches = 0u64;
+                let mut last_queries = 0u64;
+                while storming.load(Ordering::SeqCst) {
+                    let snap = server.registry().snapshot();
+                    let batches = counter(&snap, "hdoms_query_batches_total");
+                    let queries = counter(&snap, "hdoms_queries_total");
+                    // Counters only move forward.
+                    assert!(batches >= last_batches, "batch counter went backwards");
+                    assert!(queries >= last_queries, "query counter went backwards");
+                    // Queries are added one whole batch at a time, so a
+                    // torn or partial observation would break divisibility.
+                    assert_eq!(
+                        queries % per_batch_queries,
+                        0,
+                        "query counter caught mid-update"
+                    );
+                    // Histogram counts are derived from bucket sums, so
+                    // sum and count can never disagree in sign.
+                    let latency = histogram(&snap, "hdoms_batch_latency_ms");
+                    assert!(latency.sum_ms() >= 0.0);
+                    assert!(
+                        latency.count() == 0 || latency.sum_ms() > 0.0,
+                        "observations without recorded time"
+                    );
+                    // Physical bounds hold mid-flight.
+                    let busy = gauge(&snap, "hdoms_workers_busy");
+                    assert!((0..=3).contains(&busy), "workers_busy {busy} out of bounds");
+                    let sessions = gauge(&snap, "hdoms_open_sessions");
+                    assert_eq!(sessions, 0, "no sessions opened by this test");
+                    last_batches = batches;
+                    last_queries = queries;
+                    checked += 1;
+                }
+                checked
+            })
+        };
+
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let server = &server;
+                let spectra = &spectra;
+                scope.spawn(move || {
+                    let client = server.next_client_id();
+                    let mut batches = 0u64;
+                    let mut queries = 0u64;
+                    let mut psms = 0u64;
+                    let mut identifications = 0u64;
+                    for _ in 0..ROUNDS {
+                        let result = server
+                            .query_batch_as(client, &request_for(spectra.clone()))
+                            .expect("deep queue, no deadline: nothing sheds");
+                        batches += 1;
+                        queries += result.stats.queries as u64;
+                        psms += result.stats.psms as u64;
+                        identifications += result.stats.identifications as u64;
+                    }
+                    (batches, queries, psms, identifications)
+                })
+            })
+            .collect();
+        let outcomes: Vec<(u64, u64, u64, u64)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        storming.store(false, Ordering::SeqCst);
+        (outcomes, reader.join().unwrap())
+    });
+    assert!(snapshots_checked > 0, "the reader thread sampled the storm");
+
+    // Sum the ground truth out of the receipts each client held.
+    let batches: u64 = outcomes.iter().map(|o| o.0).sum();
+    let queries: u64 = outcomes.iter().map(|o| o.1).sum();
+    let psms: u64 = outcomes.iter().map(|o| o.2).sum();
+    let identifications: u64 = outcomes.iter().map(|o| o.3).sum();
+    assert_eq!(batches, (CLIENTS * ROUNDS) as u64);
+    assert_eq!(queries, batches * per_batch_queries);
+
+    // 1. Exact reconciliation: registry totals == receipt sums.
+    let snap = server.registry().snapshot();
+    assert_eq!(counter(&snap, "hdoms_query_batches_total"), batches);
+    assert_eq!(counter(&snap, "hdoms_queries_total"), queries);
+    assert_eq!(counter(&snap, "hdoms_psms_total"), psms);
+    assert_eq!(
+        counter(&snap, "hdoms_identifications_total"),
+        identifications
+    );
+    // The one resident engine saw exactly the served batches.
+    assert_eq!(counter(&snap, "hdoms_engine_batches_total"), batches);
+    assert_eq!(counter(&snap, "hdoms_engine_queries_total"), queries);
+    assert_eq!(counter(&snap, "hdoms_engine_psms_total"), psms);
+    // So did the scheduler: every admission completed, none shed.
+    assert_eq!(counter(&snap, "hdoms_sched_admitted_total"), batches);
+    assert_eq!(counter(&snap, "hdoms_sched_completed_total"), batches);
+    assert_eq!(counter(&snap, "hdoms_sched_rejected_busy_total"), 0);
+    assert_eq!(counter(&snap, "hdoms_sched_shed_deadline_total"), 0);
+
+    // 2. Histogram completeness: one observation per batch, everywhere.
+    assert_eq!(histogram(&snap, "hdoms_batch_latency_ms").count(), batches);
+    assert_eq!(histogram(&snap, "hdoms_queue_wait_ms").count(), batches);
+    for stage in ["encode", "candidates", "score", "finalize"] {
+        let h = histogram(&snap, &format!("hdoms_stage_{stage}_ms"));
+        assert_eq!(h.count(), batches, "stage {stage} missed a batch");
+    }
+
+    // Quiescent gauges.
+    assert_eq!(gauge(&snap, "hdoms_workers_busy"), 0);
+    assert_eq!(gauge(&snap, "hdoms_open_sessions"), 0);
+    assert_eq!(gauge(&snap, "hdoms_resident_indexes"), 1);
+}

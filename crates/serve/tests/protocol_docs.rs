@@ -69,6 +69,8 @@ fn doc_covers_every_message_type() {
         "\"type\":\"index.unload\"",
         "\"type\":\"server.stats\"",
         "\"type\":\"stats\"",
+        "\"type\":\"server.metrics\"",
+        "\"type\":\"metrics\"",
         "\"code\":\"busy\"",
         "\"code\":\"deadline\"",
         "\"type\":\"pong\"",
