@@ -1,0 +1,147 @@
+//! Distance-kernel benchmark with a machine-readable JSON summary.
+//!
+//! Scores a Q-query × R-reference block of packed hypervectors through
+//! every kernel shape the dispatch layer offers and reports, per
+//! variant, how many pair-scores per second and how many GB of packed
+//! words per second the inner loop sweeps:
+//!
+//! * `kernel_auto` — what `HDOMS_KERNEL=auto` resolves to on this box
+//!   (`scalar`, `avx2`, or `avx512-vpopcntdq`),
+//! * `dim` / `queries` / `references` — the scored block's shape,
+//! * `pair_scores_per_s_scalar` / `pair_scores_per_s_simd` — the
+//!   single-pair (1 × R tiled `dot_many`) scan throughput per variant,
+//! * `pair_scores_per_s_blocked_scalar` /
+//!   `pair_scores_per_s_blocked_simd` — the query-blocked
+//!   (`score_block`) throughput per variant,
+//! * `gb_per_s_scalar` / `gb_per_s_simd` / `gb_per_s_blocked_scalar` /
+//!   `gb_per_s_blocked_simd` — the same four measurements as swept
+//!   bandwidth (each pair-score reads both vectors' words once:
+//!   `2 × ceil(dim/64) × 8` bytes),
+//! * `speedup_simd` — SIMD single-pair vs scalar single-pair,
+//! * `speedup_blocked` — the headline figure: blocked SIMD vs scalar
+//!   single-pair (the acceptance bar is ≥ 2×, or a documented
+//!   bandwidth-bound ceiling — see docs/BENCHMARKS.md),
+//! * `results_identical` — whether every variant × shape produced the
+//!   exact same Q × R score matrix (the correctness gate riding along
+//!   with the measurement).
+//!
+//! The JSON object is printed as the **last line** of stdout so future
+//! PRs can track the perf trajectory with `... | tail -1 | <tool>`.
+//!
+//! Usage: `kernel_bench [--scale <f64>] [--seed <u64>] [--dim <usize>]`
+
+use hdoms_bench::FigureOptions;
+use hdoms_hdc::kernels::KernelDispatch;
+use hdoms_hdc::BinaryHypervector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Measurement repeats; the minimum is the figure (the work is
+/// deterministic, so spread is scheduler noise).
+const REPEATS: usize = 5;
+
+/// One timed sweep of the full Q × R block. Returns seconds.
+fn time_sweep(sweep: &mut dyn FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        sweep();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let options = FigureOptions::parse(1.0, 2048);
+    let dim = options.dim;
+    let q_count = ((128.0 * options.scale) as usize).max(8);
+    let r_count = ((2048.0 * options.scale) as usize).max(64);
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let queries: Vec<BinaryHypervector> = (0..q_count)
+        .map(|_| BinaryHypervector::random(&mut rng, dim))
+        .collect();
+    let references: Vec<BinaryHypervector> = (0..r_count)
+        .map(|_| BinaryHypervector::random(&mut rng, dim))
+        .collect();
+    let query_words: Vec<&[u64]> = queries.iter().map(|q| q.words()).collect();
+    let reference_words: Vec<&[u64]> = references.iter().map(|r| r.words()).collect();
+
+    let scalar = KernelDispatch::scalar();
+    let simd = KernelDispatch::simd();
+    let pair_count = (q_count * r_count) as f64;
+    // Each pair-score reads both vectors' packed words once.
+    let bytes_per_pair = (2 * dim.div_ceil(64) * 8) as f64;
+
+    let mut out = vec![0i64; q_count * r_count];
+    let mut matrices: Vec<Vec<i64>> = Vec::new();
+    let measure = |kernel: KernelDispatch, blocked: bool, out: &mut Vec<i64>| -> f64 {
+        let secs = time_sweep(&mut || {
+            if blocked {
+                kernel.score_block(dim, &query_words, &reference_words, out);
+            } else {
+                // The single-pair shape every flat scan had before the
+                // blocked kernel: one dot_many row per query.
+                for (qi, query) in query_words.iter().enumerate() {
+                    kernel.dot_many(
+                        dim,
+                        query,
+                        &reference_words,
+                        &mut out[qi * r_count..(qi + 1) * r_count],
+                    );
+                }
+            }
+            black_box(&*out);
+        });
+        secs
+    };
+
+    let mut rates = Vec::new();
+    for (kernel, blocked) in [(scalar, false), (simd, false), (scalar, true), (simd, true)] {
+        let secs = measure(kernel, blocked, &mut out);
+        matrices.push(out.clone());
+        rates.push(pair_count / secs);
+        eprintln!(
+            "{}{}: {:.0} pair-scores/s ({:.2} GB/s)",
+            kernel.name(),
+            if blocked { " blocked" } else { "" },
+            pair_count / secs,
+            pair_count * bytes_per_pair / secs / 1e9,
+        );
+    }
+    let results_identical = matrices.windows(2).all(|w| w[0] == w[1]);
+
+    let (scalar_rate, simd_rate, blocked_scalar_rate, blocked_simd_rate) =
+        (rates[0], rates[1], rates[2], rates[3]);
+    let gb = |rate: f64| rate * bytes_per_pair / 1e9;
+    println!(
+        concat!(
+            "{{\"bench\":\"kernel\",\"kernel_auto\":\"{}\",",
+            "\"dim\":{},\"queries\":{},\"references\":{},",
+            "\"pair_scores_per_s_scalar\":{:.0},",
+            "\"pair_scores_per_s_simd\":{:.0},",
+            "\"pair_scores_per_s_blocked_scalar\":{:.0},",
+            "\"pair_scores_per_s_blocked_simd\":{:.0},",
+            "\"gb_per_s_scalar\":{:.3},\"gb_per_s_simd\":{:.3},",
+            "\"gb_per_s_blocked_scalar\":{:.3},\"gb_per_s_blocked_simd\":{:.3},",
+            "\"speedup_simd\":{:.3},\"speedup_blocked\":{:.3},",
+            "\"results_identical\":{}}}"
+        ),
+        simd.name(),
+        dim,
+        q_count,
+        r_count,
+        scalar_rate,
+        simd_rate,
+        blocked_scalar_rate,
+        blocked_simd_rate,
+        gb(scalar_rate),
+        gb(simd_rate),
+        gb(blocked_scalar_rate),
+        gb(blocked_simd_rate),
+        simd_rate / scalar_rate,
+        blocked_simd_rate / scalar_rate,
+        results_identical,
+    );
+}

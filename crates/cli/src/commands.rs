@@ -591,6 +591,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         logger
             .info("serve.start")
             .str("transport", "stdio")
+            .str("kernel", hdoms_hdc::kernels::active().name())
             .u64("indexes", server.summaries().len() as u64)
             .emit();
         return serve_stdio(&server).map_err(|e| e.to_string());
@@ -607,6 +608,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
                 .map_err(|e| e.to_string())?
                 .to_string(),
         )
+        .str("kernel", hdoms_hdc::kernels::active().name())
         .u64("indexes", server.summaries().len() as u64)
         .emit();
     serve_listener(Arc::new(server), listener).map_err(|e| e.to_string())

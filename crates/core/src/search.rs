@@ -223,32 +223,17 @@ impl InMemorySearch {
 }
 
 /// Number of equal bits between `a` and `b` within dimensions
-/// `[start, end)`, computed with masked XOR popcounts. Generic over
-/// [`HvView`] so owned query hypervectors scan mapped reference words
-/// in place.
+/// `[start, end)`, computed with masked XOR popcounts on the
+/// process-wide active kernel ([`hdoms_hdc::kernels::active`]). Generic
+/// over [`HvView`] so owned query hypervectors scan mapped reference
+/// words in place.
 fn matching_bits<A, B>(a: &A, b: &B, start: usize, end: usize) -> u32
 where
     A: HvView + ?Sized,
     B: HvView + ?Sized,
 {
     debug_assert!(start < end && end <= a.dim());
-    let mut mismatches = 0u32;
-    let first_word = start / 64;
-    let last_word = (end - 1) / 64;
-    for w in first_word..=last_word {
-        let mut mask = u64::MAX;
-        if w == first_word {
-            mask &= u64::MAX << (start % 64);
-        }
-        if w == last_word {
-            let top = end - w * 64;
-            if top < 64 {
-                mask &= (1u64 << top) - 1;
-            }
-        }
-        mismatches += ((a.words()[w] ^ b.words()[w]) & mask).count_ones();
-    }
-    (end - start) as u32 - mismatches
+    hdoms_hdc::kernels::active().matching_bits_words(a.words(), b.words(), start, end)
 }
 
 fn sample_normal<R: Rng>(rng: &mut R, sigma: f64) -> f64 {

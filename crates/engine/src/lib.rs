@@ -461,6 +461,16 @@ impl Engine {
         self.index.as_ref()
     }
 
+    /// The name of the distance kernel this process scores with
+    /// (`"scalar"`, `"avx2"`, or `"avx512-vpopcntdq"` — resolved from
+    /// the CPU and the `HDOMS_KERNEL` override). Kernel choice never
+    /// changes output bytes, so this is a performance fact, not a
+    /// correctness one; it is surfaced in the serve `serve.start` log
+    /// event so operators can see which inner loop a box runs.
+    pub fn kernel_name(&self) -> &'static str {
+        hdoms_hdc::kernels::active().name()
+    }
+
     /// The scoring backend's report name.
     pub fn backend_name(&self) -> String {
         self.backend.name()

@@ -273,6 +273,87 @@ fn instrumented_engine_is_byte_identical_and_stage_sums_reconcile() {
 }
 
 #[test]
+fn kernel_variants_render_byte_identical_psm_tables() {
+    // The kernel-dispatch acceptance contract: whichever distance kernel
+    // the process runs — the scalar fallback or the best SIMD path the
+    // CPU offers (`HDOMS_KERNEL=scalar|auto`; `set_active` is the same
+    // knob in API form) — cold, warm, and mapped engines render
+    // byte-identical PSM tables, over a mapped iprg2012(0.01) index and
+    // across the engine's internal block shapes (sharded scans, session
+    // batching).
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::iprg2012(0.01), 9010);
+    let mut config = IndexConfig {
+        entries_per_shard: 256,
+        threads: THREADS,
+        ..IndexConfig::default()
+    };
+    if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+        exact.encoder.dim = DIM;
+    }
+    let cold = Arc::new(Engine::from_library(&workload.library, config));
+    let path = std::env::temp_dir().join(format!(
+        "hdoms-engine-kernel-equiv-{}.hdx",
+        std::process::id()
+    ));
+    cold.index()
+        .expect("cold keeps index")
+        .write(&path)
+        .unwrap();
+    let warm = Arc::new(Engine::open(&path, THREADS).expect("copying load"));
+    let mapped = Arc::new(Engine::open_mapped(&path, THREADS).expect("mapped load"));
+    std::fs::remove_file(&path).ok();
+    assert!(mapped
+        .index()
+        .expect("mapped keeps index")
+        .shared_references()
+        .is_mapped());
+
+    let window = PrecursorWindow::open_default();
+    let run_all = |kind: hdoms_hdc::KernelKind| -> Vec<String> {
+        let dispatch = hdoms_hdc::kernels::set_active(kind);
+        let mut tables = Vec::new();
+        for engine in [&cold, &warm, &mapped] {
+            assert_eq!(engine.kernel_name(), dispatch.name());
+            let (outcome, _) = engine.search(&workload.queries, window, 0.01);
+            tables.push(render_table(engine.peptides(), &outcome));
+        }
+        // A streamed session over the mapped engine exercises a second
+        // batch shape under the same kernel.
+        let mut session = Session::new(Arc::clone(&mapped), window);
+        let chunk = workload.queries.len().div_ceil(4);
+        for batch in workload.queries.chunks(chunk) {
+            session.submit(batch);
+        }
+        tables.push(render_table(mapped.peptides(), &session.finalize(0.01)));
+        tables
+    };
+
+    let scalar_tables = run_all(hdoms_hdc::KernelKind::Scalar);
+    let auto_tables = run_all(hdoms_hdc::KernelKind::Auto);
+    // Restore the default selection for the rest of the test process.
+    hdoms_hdc::kernels::set_active(hdoms_hdc::KernelKind::Auto);
+
+    // Within one kernel: cold ≡ warm ≡ mapped ≡ streamed (the one-shot
+    // tables include per-batch receipts of a single batch, so compare
+    // the three engine-construction tables to each other and the
+    // streamed table to the mapped one-shot).
+    for tables in [&scalar_tables, &auto_tables] {
+        assert_eq!(tables[0], tables[1], "cold vs warm diverged");
+        assert_eq!(tables[0], tables[2], "cold vs mapped diverged");
+        assert_eq!(tables[2], tables[3], "one-shot vs streamed diverged");
+    }
+    // Across kernels: byte-identical tables, whatever the variant.
+    assert_eq!(
+        scalar_tables, auto_tables,
+        "kernel selection changed output bytes"
+    );
+    assert!(
+        scalar_tables[0].lines().count() > 1,
+        "equivalence must be asserted over a non-trivial PSM table"
+    );
+}
+
+#[test]
 fn warm_engine_over_persisted_index_matches_cold() {
     let (workload, cold) = tiny_engine(9005);
     let path = std::env::temp_dir().join(format!("hdoms-engine-equiv-{}.hdx", std::process::id()));

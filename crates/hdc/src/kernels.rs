@@ -1,0 +1,647 @@
+//! Runtime-dispatched SIMD distance kernels.
+//!
+//! Every similarity the system computes — Hamming distance, bipolar dot
+//! product, the masked `matching_bits` partial MACs of the RRAM model —
+//! reduces to XOR + popcount over packed `u64` words. This module owns
+//! that inner loop and provides three interchangeable implementations
+//! behind one [`KernelDispatch`] handle:
+//!
+//! * **scalar** — portable `u64::count_ones` (compiles to `POPCNT` on
+//!   x86), the safe fallback every box runs;
+//! * **avx2** — 256-bit XOR + the Mula nibble-LUT popcount
+//!   (`_mm256_shuffle_epi8` + `_mm256_sad_epu8`), 4 words per vector;
+//! * **avx512-vpopcntdq** — 512-bit XOR + the hardware
+//!   `_mm512_popcnt_epi64`, 8 words per vector, where the CPU has it.
+//!
+//! Above the single-pair calls sits the **query-blocked batch kernel**
+//! [`KernelDispatch::score_block`]: it tiles Q queries × R references so
+//! each reference's cache lines are scored against a whole query block
+//! before being evicted — the CPU analogue of HyperOMS's massively
+//! parallel GPU formulation, and what the flat scan cannot do one pair
+//! at a time.
+//!
+//! # Selection
+//!
+//! The process-wide active kernel ([`active`]) resolves once from the
+//! `HDOMS_KERNEL` environment variable (`scalar` | `simd` | `auto`,
+//! default `auto` = best SIMD the CPU reports, scalar otherwise) and can
+//! be swapped at runtime with [`set_active`] — which is how the
+//! equivalence suites and `kernel_bench` run every variant inside one
+//! process. Explicit [`KernelDispatch`] values ([`KernelDispatch::scalar`],
+//! [`KernelDispatch::resolve`]) bypass the global entirely.
+//!
+//! # The output contract
+//!
+//! Kernel selection must never change output bytes. All variants
+//! compute the same integers over the same words, and every
+//! tail-carrying entry point masks the final word's padding bits itself
+//! (`hamming` of a 100-bit vector ignores bits 100..128 even if they
+//! are dirty), so a view that slipped past the
+//! [`HvRef::new_unchecked`](crate::hv::HvRef::new_unchecked) debug-only
+//! validation still scores correctly. The property suite
+//! (`crates/hdc/tests/kernel_equivalence.rs`) asserts scalar ≡ SIMD ≡
+//! blocked over arbitrary dims, patterns, and ragged block shapes, and
+//! that poisoned padding bits never reach a distance.
+
+use crate::hv::{BinaryHypervector, HvView};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How many references a [`KernelDispatch::score_block`] reference tile
+/// holds; callers feeding the blocked kernel incrementally (tiled scans
+/// over candidate lists) use the same width so reference tiles fit L1.
+pub const REFERENCE_TILE: usize = 32;
+
+/// Queries per tile in the blocked kernels: each reference is scored
+/// against this many queries while its cache lines are hot. Callers
+/// grouping queries for [`KernelDispatch::score_block`] use this as the
+/// natural block size.
+pub const QUERY_TILE: usize = 8;
+
+/// A kernel *request*: what the caller asked for, before resolving
+/// against what the CPU supports (parsed from `HDOMS_KERNEL` or passed
+/// to [`set_active`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// The portable `u64::count_ones` path.
+    Scalar,
+    /// The best SIMD path the CPU supports (resolves to scalar on a
+    /// machine with none — the request never fails).
+    Simd,
+    /// Alias for [`KernelKind::Simd`]: pick the best available path.
+    Auto,
+}
+
+impl KernelKind {
+    /// Parse an override spelling (`scalar` | `simd` | `auto`,
+    /// case-insensitive). Returns `None` for anything else.
+    pub fn parse(spelling: &str) -> Option<KernelKind> {
+        match spelling.to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelKind::Scalar),
+            "simd" => Some(KernelKind::Simd),
+            "auto" => Some(KernelKind::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// A resolved implementation (what will actually run, as opposed to the
+/// [`KernelKind`] request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Impl {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+/// The word-pair primitive every distance reduces to: XOR + popcount
+/// over two equal-length word slices. Selected once per dispatch so the
+/// blocked kernels pay no per-pair branch.
+type PairFn = fn(&[u64], &[u64]) -> u64;
+
+/// A resolved distance-kernel implementation. `Copy` and stateless —
+/// methods take `&self` only for call-site ergonomics.
+///
+/// Obtain one from [`active`] (the process-wide selection),
+/// [`KernelDispatch::resolve`] (explicit request), or the
+/// [`KernelDispatch::scalar`] / [`KernelDispatch::simd`] shorthands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelDispatch {
+    imp: Impl,
+}
+
+impl KernelDispatch {
+    /// The portable scalar kernel (always available).
+    pub fn scalar() -> KernelDispatch {
+        KernelDispatch { imp: Impl::Scalar }
+    }
+
+    /// The best SIMD kernel this CPU supports, or the scalar kernel on a
+    /// machine with none (check [`KernelDispatch::is_simd`]).
+    pub fn simd() -> KernelDispatch {
+        KernelDispatch { imp: best_simd() }
+    }
+
+    /// Resolve a request against the running CPU.
+    pub fn resolve(kind: KernelKind) -> KernelDispatch {
+        match kind {
+            KernelKind::Scalar => KernelDispatch::scalar(),
+            KernelKind::Simd | KernelKind::Auto => KernelDispatch::simd(),
+        }
+    }
+
+    /// The implementation's report name: `"scalar"`, `"avx2"`, or
+    /// `"avx512-vpopcntdq"`.
+    pub fn name(&self) -> &'static str {
+        match self.imp {
+            Impl::Scalar => "scalar",
+            #[cfg(target_arch = "x86_64")]
+            Impl::Avx2 => "avx2",
+            #[cfg(target_arch = "x86_64")]
+            Impl::Avx512 => "avx512-vpopcntdq",
+        }
+    }
+
+    /// Whether this dispatch runs a vectorised path.
+    pub fn is_simd(&self) -> bool {
+        self.imp != Impl::Scalar
+    }
+
+    /// The resolved word-pair primitive.
+    #[inline]
+    fn pair_fn(&self) -> PairFn {
+        match self.imp {
+            Impl::Scalar => scalar_xor_popcount,
+            #[cfg(target_arch = "x86_64")]
+            Impl::Avx2 => x86::xor_popcount_avx2_shim,
+            #[cfg(target_arch = "x86_64")]
+            Impl::Avx512 => x86::xor_popcount_avx512_shim,
+        }
+    }
+
+    /// XOR + popcount over two equal-length word slices — the raw
+    /// primitive, no dimension semantics and **no tail masking** (every
+    /// bit of every word counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[inline]
+    pub fn xor_popcount(&self, a: &[u64], b: &[u64]) -> u64 {
+        assert_eq!(a.len(), b.len(), "word slices must pair up");
+        (self.pair_fn())(a, b)
+    }
+
+    /// Hamming distance between two `dim`-bit vectors stored in packed
+    /// words. Padding bits beyond `dim` in the final word are masked off
+    /// here, so dirty tails can never change a distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length is not `ceil(dim / 64)`.
+    #[inline]
+    pub fn hamming_words(&self, dim: usize, a: &[u64], b: &[u64]) -> u32 {
+        hamming_with(self.pair_fn(), dim, a, b)
+    }
+
+    /// [`KernelDispatch::hamming_words`] over [`HvView`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[inline]
+    pub fn hamming<A, B>(&self, a: &A, b: &B) -> u32
+    where
+        A: HvView + ?Sized,
+        B: HvView + ?Sized,
+    {
+        assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        self.hamming_words(a.dim(), a.words(), b.words())
+    }
+
+    /// Bipolar dot product `D − 2·hamming` over packed words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length is not `ceil(dim / 64)`.
+    #[inline]
+    pub fn dot_words(&self, dim: usize, a: &[u64], b: &[u64]) -> i64 {
+        dim as i64 - 2 * i64::from(self.hamming_words(dim, a, b))
+    }
+
+    /// Number of equal bits between `a` and `b` within dimensions
+    /// `[start, end)`: masked XOR popcounts on the partial edge words,
+    /// the dispatched primitive on the full words between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start < end` and `end` fits in both slices.
+    pub fn matching_bits_words(&self, a: &[u64], b: &[u64], start: usize, end: usize) -> u32 {
+        assert!(start < end, "empty bit range");
+        assert!(
+            end <= a.len() * 64 && end <= b.len() * 64,
+            "bit range {start}..{end} out of bounds"
+        );
+        let first_word = start / 64;
+        let last_word = (end - 1) / 64;
+        let low_mask = u64::MAX << (start % 64);
+        let top = end - last_word * 64;
+        let high_mask = if top < 64 {
+            (1u64 << top) - 1
+        } else {
+            u64::MAX
+        };
+        let mismatches = if first_word == last_word {
+            ((a[first_word] ^ b[first_word]) & low_mask & high_mask).count_ones() as u64
+        } else {
+            ((a[first_word] ^ b[first_word]) & low_mask).count_ones() as u64
+                + (self.pair_fn())(&a[first_word + 1..last_word], &b[first_word + 1..last_word])
+                + ((a[last_word] ^ b[last_word]) & high_mask).count_ones() as u64
+        };
+        (end - start) as u32 - mismatches as u32
+    }
+
+    /// Score one query against many references: `out[i]` becomes the
+    /// bipolar dot of `query` and `references[i]`. This is the 1 × R
+    /// slice of the blocked kernel — flat candidate scans feed it a
+    /// [`REFERENCE_TILE`]-sized tile at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` and `references` differ in length, or any slice's
+    /// length is not `ceil(dim / 64)`.
+    pub fn dot_many(&self, dim: usize, query: &[u64], references: &[&[u64]], out: &mut [i64]) {
+        assert_eq!(
+            references.len(),
+            out.len(),
+            "references and out must pair up"
+        );
+        let f = self.pair_fn();
+        for (slot, reference) in out.iter_mut().zip(references) {
+            *slot = dim as i64 - 2 * i64::from(hamming_with(f, dim, query, reference));
+        }
+    }
+
+    /// The query-blocked batch kernel: Hamming distances of Q queries ×
+    /// R references, `out[q * R + r] = hamming(queries[q],
+    /// references[r])`. Queries are tiled so each reference's words are
+    /// scored against a whole query block while they are cache-hot;
+    /// ragged tails (Q or R not a multiple of the tile) are handled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != queries.len() * references.len()` or any
+    /// slice's length is not `ceil(dim / 64)`.
+    pub fn hamming_block(
+        &self,
+        dim: usize,
+        queries: &[&[u64]],
+        references: &[&[u64]],
+        out: &mut [u32],
+    ) {
+        assert_eq!(
+            out.len(),
+            queries.len() * references.len(),
+            "out must hold one distance per (query, reference) pair"
+        );
+        let f = self.pair_fn();
+        let r_count = references.len();
+        for (tile_idx, q_tile) in queries.chunks(QUERY_TILE).enumerate() {
+            let q_base = tile_idx * QUERY_TILE;
+            for (ri, reference) in references.iter().enumerate() {
+                for (qi, query) in q_tile.iter().enumerate() {
+                    out[(q_base + qi) * r_count + ri] = hamming_with(f, dim, query, reference);
+                }
+            }
+        }
+    }
+
+    /// [`KernelDispatch::hamming_block`] emitting bipolar dot products:
+    /// `out[q * R + r] = dim − 2·hamming(queries[q], references[r])` —
+    /// the score every backend ranks by, one query block per reference
+    /// sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != queries.len() * references.len()` or any
+    /// slice's length is not `ceil(dim / 64)`.
+    pub fn score_block(
+        &self,
+        dim: usize,
+        queries: &[&[u64]],
+        references: &[&[u64]],
+        out: &mut [i64],
+    ) {
+        assert_eq!(
+            out.len(),
+            queries.len() * references.len(),
+            "out must hold one score per (query, reference) pair"
+        );
+        let f = self.pair_fn();
+        let d = dim as i64;
+        let r_count = references.len();
+        for (tile_idx, q_tile) in queries.chunks(QUERY_TILE).enumerate() {
+            let q_base = tile_idx * QUERY_TILE;
+            for (ri, reference) in references.iter().enumerate() {
+                for (qi, query) in q_tile.iter().enumerate() {
+                    out[(q_base + qi) * r_count + ri] =
+                        d - 2 * i64::from(hamming_with(f, dim, query, reference));
+                }
+            }
+        }
+    }
+}
+
+/// Tail-masked Hamming distance over a resolved pair primitive: full
+/// words go through `f`, the final word is masked to `dim % 64` bits so
+/// padding can never leak into a distance.
+#[inline]
+fn hamming_with(f: PairFn, dim: usize, a: &[u64], b: &[u64]) -> u32 {
+    let n = BinaryHypervector::word_count(dim);
+    assert_eq!(a.len(), n, "word count must match the dimension");
+    assert_eq!(b.len(), n, "word count must match the dimension");
+    let rem = dim % 64;
+    if rem == 0 {
+        f(a, b) as u32
+    } else {
+        let tail = ((a[n - 1] ^ b[n - 1]) & ((1u64 << rem) - 1)).count_ones();
+        f(&a[..n - 1], &b[..n - 1]) as u32 + tail
+    }
+}
+
+/// The portable primitive: one `POPCNT` per word on x86, plain bit
+/// tricks elsewhere.
+fn scalar_xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+/// The best SIMD implementation this CPU reports, or scalar.
+fn best_simd() -> Impl {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+        {
+            return Impl::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Impl::Avx2;
+        }
+    }
+    Impl::Scalar
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The vectorised primitives. Each `#[target_feature]` function is
+    //! only reachable through its safe shim, and the shims are only
+    //! selected by [`super::best_simd`] after `is_x86_feature_detected!`
+    //! confirmed the ISA — the sole safety precondition of the calls.
+    //! The functions take plain `&[u64]` slices, perform unaligned
+    //! loads, and hand the (word count % vector width) remainder to the
+    //! scalar path, so any slice the safe API accepts is sound here.
+
+    use std::arch::x86_64::*;
+
+    /// Safe entry to the AVX2 primitive (caller: dispatch resolved
+    /// after feature detection).
+    pub(super) fn xor_popcount_avx2_shim(a: &[u64], b: &[u64]) -> u64 {
+        // SAFETY: only installed as a pair fn when `avx2` was detected.
+        unsafe { xor_popcount_avx2(a, b) }
+    }
+
+    /// Safe entry to the AVX-512 primitive (caller: dispatch resolved
+    /// after feature detection).
+    pub(super) fn xor_popcount_avx512_shim(a: &[u64], b: &[u64]) -> u64 {
+        // SAFETY: only installed as a pair fn when `avx512f` +
+        // `avx512vpopcntdq` were detected.
+        unsafe { xor_popcount_avx512(a, b) }
+    }
+
+    /// XOR + popcount via the Mula nibble-LUT algorithm: per 256-bit
+    /// vector, split bytes into nibbles, look each nibble's popcount up
+    /// with `_mm256_shuffle_epi8`, and horizontally sum the byte counts
+    /// into four u64 lanes with `_mm256_sad_epu8`. Processes 8 words
+    /// (two vectors) per iteration.
+    #[target_feature(enable = "avx2")]
+    unsafe fn xor_popcount_avx2(a: &[u64], b: &[u64]) -> u64 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        #[rustfmt::skip]
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let zero = _mm256_setzero_si256();
+        let mut acc = zero;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let x0 = _mm256_xor_si256(
+                _mm256_loadu_si256(ap.add(i).cast()),
+                _mm256_loadu_si256(bp.add(i).cast()),
+            );
+            let x1 = _mm256_xor_si256(
+                _mm256_loadu_si256(ap.add(i + 4).cast()),
+                _mm256_loadu_si256(bp.add(i + 4).cast()),
+            );
+            let c0 = _mm256_add_epi8(
+                _mm256_shuffle_epi8(lut, _mm256_and_si256(x0, low_mask)),
+                _mm256_shuffle_epi8(lut, _mm256_and_si256(_mm256_srli_epi32(x0, 4), low_mask)),
+            );
+            let c1 = _mm256_add_epi8(
+                _mm256_shuffle_epi8(lut, _mm256_and_si256(x1, low_mask)),
+                _mm256_shuffle_epi8(lut, _mm256_and_si256(_mm256_srli_epi32(x1, 4), low_mask)),
+            );
+            // Byte counts top out at 8 per byte and 16 after the add,
+            // far below overflow; SAD widens them to u64 lanes.
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(_mm256_add_epi8(c0, c1), zero));
+            i += 8;
+        }
+        if i + 4 <= n {
+            let x = _mm256_xor_si256(
+                _mm256_loadu_si256(ap.add(i).cast()),
+                _mm256_loadu_si256(bp.add(i).cast()),
+            );
+            let c = _mm256_add_epi8(
+                _mm256_shuffle_epi8(lut, _mm256_and_si256(x, low_mask)),
+                _mm256_shuffle_epi8(lut, _mm256_and_si256(_mm256_srli_epi32(x, 4), low_mask)),
+            );
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(c, zero));
+            i += 4;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        let mut total: u64 = lanes.iter().sum();
+        for (x, y) in a[i..].iter().zip(&b[i..]) {
+            total += u64::from((x ^ y).count_ones());
+        }
+        total
+    }
+
+    /// XOR + the hardware 64-bit popcount (`vpopcntdq`), 8 words per
+    /// vector.
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    unsafe fn xor_popcount_avx512(a: &[u64], b: &[u64]) -> u64 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc = _mm512_setzero_si512();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let x = _mm512_xor_si512(
+                _mm512_loadu_si512(ap.add(i).cast()),
+                _mm512_loadu_si512(bp.add(i).cast()),
+            );
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+            i += 8;
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as u64;
+        for (x, y) in a[i..].iter().zip(&b[i..]) {
+            total += u64::from((x ^ y).count_ones());
+        }
+        total
+    }
+}
+
+/// Codes for the process-wide selection (0 = not yet resolved).
+const ACTIVE_UNSET: u8 = 0;
+const ACTIVE_SCALAR: u8 = 1;
+const ACTIVE_AVX2: u8 = 2;
+const ACTIVE_AVX512: u8 = 3;
+
+static ACTIVE: AtomicU8 = AtomicU8::new(ACTIVE_UNSET);
+
+fn code_of(dispatch: KernelDispatch) -> u8 {
+    match dispatch.imp {
+        Impl::Scalar => ACTIVE_SCALAR,
+        #[cfg(target_arch = "x86_64")]
+        Impl::Avx2 => ACTIVE_AVX2,
+        #[cfg(target_arch = "x86_64")]
+        Impl::Avx512 => ACTIVE_AVX512,
+    }
+}
+
+fn dispatch_of(code: u8) -> Option<KernelDispatch> {
+    let imp = match code {
+        ACTIVE_SCALAR => Impl::Scalar,
+        #[cfg(target_arch = "x86_64")]
+        ACTIVE_AVX2 => Impl::Avx2,
+        #[cfg(target_arch = "x86_64")]
+        ACTIVE_AVX512 => Impl::Avx512,
+        _ => return None,
+    };
+    Some(KernelDispatch { imp })
+}
+
+/// The kernel requested by the `HDOMS_KERNEL` environment variable
+/// (default [`KernelKind::Auto`]).
+///
+/// # Panics
+///
+/// Panics on an unrecognised spelling — a mistyped override silently
+/// running the wrong kernel would defeat the point of setting it.
+pub fn env_kind() -> KernelKind {
+    match std::env::var("HDOMS_KERNEL") {
+        Ok(value) => KernelKind::parse(&value)
+            .unwrap_or_else(|| panic!("HDOMS_KERNEL={value:?} is not one of scalar|simd|auto")),
+        Err(_) => KernelKind::Auto,
+    }
+}
+
+/// The process-wide active kernel: resolved from `HDOMS_KERNEL` on
+/// first use, swappable with [`set_active`]. Every similarity in the
+/// workspace ([`crate::similarity`], the search backends, the RRAM
+/// model's partial MACs) routes through this selection.
+pub fn active() -> KernelDispatch {
+    if let Some(dispatch) = dispatch_of(ACTIVE.load(Ordering::Relaxed)) {
+        return dispatch;
+    }
+    let resolved = KernelDispatch::resolve(env_kind());
+    ACTIVE.store(code_of(resolved), Ordering::Relaxed);
+    resolved
+}
+
+/// Override the process-wide kernel, returning what the request
+/// resolved to. Output bytes are identical across kernels (the
+/// equivalence suites' contract), so swapping mid-run only changes
+/// speed — the equivalence tests and `kernel_bench` use exactly that to
+/// compare variants inside one process.
+pub fn set_active(kind: KernelKind) -> KernelDispatch {
+    let resolved = KernelDispatch::resolve(kind);
+    ACTIVE.store(code_of(resolved), Ordering::Relaxed);
+    resolved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_kinds() {
+        assert_eq!(KernelKind::parse("scalar"), Some(KernelKind::Scalar));
+        assert_eq!(KernelKind::parse("SIMD"), Some(KernelKind::Simd));
+        assert_eq!(KernelKind::parse("Auto"), Some(KernelKind::Auto));
+        assert_eq!(KernelKind::parse("gpu"), None);
+    }
+
+    #[test]
+    fn scalar_never_reports_simd() {
+        let scalar = KernelDispatch::scalar();
+        assert_eq!(scalar.name(), "scalar");
+        assert!(!scalar.is_simd());
+    }
+
+    #[test]
+    fn resolve_simd_is_available_or_scalar() {
+        let simd = KernelDispatch::resolve(KernelKind::Simd);
+        // Whatever the box, the request resolves to something runnable.
+        let a = [0xdead_beef_0123_4567u64; 9];
+        let b = [0x0fed_cba9_8765_4321u64; 9];
+        assert_eq!(
+            simd.xor_popcount(&a, &b),
+            KernelDispatch::scalar().xor_popcount(&a, &b)
+        );
+    }
+
+    #[test]
+    fn variants_agree_on_random_words() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let scalar = KernelDispatch::scalar();
+        let simd = KernelDispatch::simd();
+        for len in [0usize, 1, 3, 4, 7, 8, 9, 16, 33, 128, 129] {
+            let a: Vec<u64> = (0..len).map(|_| rand::Rng::gen(&mut rng)).collect();
+            let b: Vec<u64> = (0..len).map(|_| rand::Rng::gen(&mut rng)).collect();
+            let expected: u64 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| u64::from((x ^ y).count_ones()))
+                .sum();
+            assert_eq!(scalar.xor_popcount(&a, &b), expected, "scalar len {len}");
+            assert_eq!(simd.xor_popcount(&a, &b), expected, "simd len {len}");
+        }
+    }
+
+    #[test]
+    fn tail_bits_are_masked() {
+        // 100-bit vectors whose second word carries garbage above bit 36:
+        // every variant must ignore it.
+        let clean_a = [u64::MAX, (1u64 << 36) - 1];
+        let clean_b = [0u64, 0u64];
+        let dirty_b = [0u64, u64::MAX << 36];
+        for k in [KernelDispatch::scalar(), KernelDispatch::simd()] {
+            assert_eq!(k.hamming_words(100, &clean_a, &clean_b), 100);
+            assert_eq!(
+                k.hamming_words(100, &clean_a, &dirty_b),
+                100,
+                "{} let padding bits into a distance",
+                k.name()
+            );
+            assert_eq!(k.dot_words(100, &clean_a, &dirty_b), -100);
+        }
+    }
+
+    #[test]
+    fn set_active_swaps_and_sticks() {
+        let scalar = set_active(KernelKind::Scalar);
+        assert_eq!(scalar, KernelDispatch::scalar());
+        assert_eq!(active(), scalar);
+        let auto = set_active(KernelKind::Auto);
+        assert_eq!(active(), auto);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn xor_popcount_rejects_mismatched_lengths() {
+        let _ = KernelDispatch::scalar().xor_popcount(&[0], &[0, 0]);
+    }
+}

@@ -14,6 +14,9 @@
 //! * the ID and level item memories of ID-Level encoding, including the
 //!   *chunked* level hypervectors of §4.2.1 ([`item_memory`]),
 //! * the ID-Level encoder itself, Eq. (1) of the paper ([`encoder`]),
+//! * runtime-dispatched SIMD distance kernels (AVX2 / AVX-512
+//!   `vpopcntdq` with a portable fallback) plus the query-blocked batch
+//!   kernel every scan tiles through ([`kernels`]),
 //! * exact top-k Hamming search with thread-parallel batching ([`search`]),
 //! * bit-error injection for robustness studies ([`corrupt`]), and
 //! * a tiny scoped-thread parallel-map helper shared by the search stacks
@@ -47,6 +50,7 @@ pub mod corrupt;
 pub mod encoder;
 pub mod hv;
 pub mod item_memory;
+pub mod kernels;
 pub mod multibit;
 pub mod ops;
 pub mod parallel;
@@ -57,5 +61,6 @@ pub use buffer::WordBuffer;
 pub use encoder::{EncoderConfig, IdLevelEncoder};
 pub use hv::{BinaryHypervector, HvRef, HvView};
 pub use item_memory::LevelStyle;
+pub use kernels::{KernelDispatch, KernelKind};
 pub use multibit::{IdPrecision, MultiBitHypervector};
 pub use similarity::{hamming_distance, normalized_similarity};

@@ -4,10 +4,18 @@
 //! approximates: given a query hypervector and a candidate subset of
 //! reference hypervectors, return the best (or top-k) matches by bipolar
 //! dot product.
+//!
+//! Scans run on the process-wide active kernel
+//! ([`crate::kernels::active`]) in [`REFERENCE_TILE`]-sized reference
+//! tiles — the 1 × R slice of the query-blocked batch kernel — so the
+//! dispatched XOR+popcount primitive is resolved once per scan, not once
+//! per pair. Results are identical to the pairwise formulation: the
+//! best-hit tie-break (highest score, then lowest reference id) is
+//! independent of scan order.
 
 use crate::hv::BinaryHypervector;
+use crate::kernels::{self, KernelDispatch, REFERENCE_TILE};
 use crate::parallel::par_map;
-use crate::similarity::dot;
 use serde::{Deserialize, Serialize};
 
 /// One search hit: a reference index and its bipolar dot-product score.
@@ -17,6 +25,56 @@ pub struct Hit {
     pub reference: u32,
     /// Bipolar dot product `D - 2·hamming` (higher is more similar).
     pub score: i64,
+}
+
+/// Tiled best-of-scan over resolved word slices: score `ids` against
+/// `query` one [`REFERENCE_TILE`] at a time on `kernel`, keeping the
+/// (max score, min id) winner. Shared by every flat scan in the
+/// workspace via the public wrappers.
+fn scan_best<'a>(
+    kernel: KernelDispatch,
+    dim: usize,
+    query: &[u64],
+    ids: &[u32],
+    words_of: impl Fn(u32) -> &'a [u64],
+) -> Option<Hit> {
+    let mut best: Option<Hit> = None;
+    let mut scores = [0i64; REFERENCE_TILE];
+    let mut tile: Vec<&[u64]> = Vec::with_capacity(REFERENCE_TILE.min(ids.len()));
+    for chunk in ids.chunks(REFERENCE_TILE) {
+        tile.clear();
+        tile.extend(chunk.iter().map(|&id| words_of(id)));
+        let out = &mut scores[..chunk.len()];
+        kernel.dot_many(dim, query, &tile, out);
+        for (&reference, &score) in chunk.iter().zip(out.iter()) {
+            let better = match best {
+                None => true,
+                Some(b) => score > b.score || (score == b.score && reference < b.reference),
+            };
+            if better {
+                best = Some(Hit { reference, score });
+            }
+        }
+    }
+    best
+}
+
+/// The tiled best-of-scan for callers that already hold word slices —
+/// the seam the mapped (zero-copy) backends use to feed `.hdx` buffer
+/// words straight into the tiled kernel.
+///
+/// # Panics
+///
+/// Panics if a candidate id is out of range for `words_of`, or a slice's
+/// length is not `ceil(dim / 64)`.
+pub fn best_hit_words<'a>(
+    kernel: KernelDispatch,
+    dim: usize,
+    query: &[u64],
+    candidates: &[u32],
+    words_of: impl Fn(u32) -> &'a [u64],
+) -> Option<Hit> {
+    scan_best(kernel, dim, query, candidates, words_of)
 }
 
 /// Find the best-scoring reference among `candidates`.
@@ -32,18 +90,14 @@ pub fn search_best(
     references: &[BinaryHypervector],
     candidates: impl IntoIterator<Item = u32>,
 ) -> Option<Hit> {
-    let mut best: Option<Hit> = None;
-    for reference in candidates {
-        let score = dot(query, &references[reference as usize]);
-        let better = match best {
-            None => true,
-            Some(b) => score > b.score || (score == b.score && reference < b.reference),
-        };
-        if better {
-            best = Some(Hit { reference, score });
-        }
-    }
-    best
+    let ids: Vec<u32> = candidates.into_iter().collect();
+    scan_best(
+        kernels::active(),
+        query.dim(),
+        query.words(),
+        &ids,
+        |reference| references[reference as usize].words(),
+    )
 }
 
 /// Find the `k` best-scoring references among `candidates`, sorted by
@@ -61,13 +115,24 @@ pub fn search_top_k(
     if k == 0 {
         return Vec::new();
     }
-    let mut hits: Vec<Hit> = candidates
-        .into_iter()
-        .map(|reference| Hit {
-            reference,
-            score: dot(query, &references[reference as usize]),
-        })
-        .collect();
+    let kernel = kernels::active();
+    let dim = query.dim();
+    let ids: Vec<u32> = candidates.into_iter().collect();
+    let mut hits: Vec<Hit> = Vec::with_capacity(ids.len());
+    let mut scores = [0i64; REFERENCE_TILE];
+    let mut tile: Vec<&[u64]> = Vec::with_capacity(REFERENCE_TILE.min(ids.len()));
+    for chunk in ids.chunks(REFERENCE_TILE) {
+        tile.clear();
+        tile.extend(chunk.iter().map(|&id| references[id as usize].words()));
+        let out = &mut scores[..chunk.len()];
+        kernel.dot_many(dim, query.words(), &tile, out);
+        hits.extend(
+            chunk
+                .iter()
+                .zip(out.iter())
+                .map(|(&reference, &score)| Hit { reference, score }),
+        );
+    }
     hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.reference.cmp(&b.reference)));
     hits.truncate(k);
     hits
@@ -172,5 +237,24 @@ mod tests {
             .map(|(q, c)| search_best(q, &references, c.iter().copied()))
             .collect();
         assert_eq!(search_batch(&queries, &references, 4), seq);
+    }
+
+    #[test]
+    fn tiled_scan_matches_pairwise_on_more_than_one_tile() {
+        // 100 candidates = 3 full tiles + a ragged remainder; the tiled
+        // scan must agree with a naive pairwise max on every query.
+        let references = refs(100, 300, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..5 {
+            let q = BinaryHypervector::random(&mut rng, 300);
+            let naive = (0..100u32)
+                .map(|r| Hit {
+                    reference: r,
+                    score: crate::similarity::dot(&q, &references[r as usize]),
+                })
+                .max_by(|a, b| a.score.cmp(&b.score).then(b.reference.cmp(&a.reference)))
+                .unwrap();
+            assert_eq!(search_best(&q, &references, 0..100), Some(naive));
+        }
     }
 }

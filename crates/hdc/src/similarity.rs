@@ -4,8 +4,14 @@
 //! bipolar vectors reduces to a Hamming computation: for `a, b ∈ {-1,+1}^D`
 //! the dot product is `D - 2·hamming(a, b)`, computable with XOR +
 //! popcount over the packed words.
+//!
+//! The XOR + popcount itself runs on the process-wide active kernel
+//! ([`crate::kernels::active`]) — scalar, AVX2, or AVX-512 depending on
+//! the CPU and the `HDOMS_KERNEL` override. Kernel choice never changes
+//! a result, only how fast it arrives.
 
 use crate::hv::HvView;
+use crate::kernels;
 
 /// Hamming distance: the number of dimensions where `a` and `b` differ.
 ///
@@ -35,11 +41,7 @@ where
     B: HvView + ?Sized,
 {
     assert_eq!(a.dim(), b.dim(), "dimension mismatch");
-    a.words()
-        .iter()
-        .zip(b.words())
-        .map(|(x, y)| (x ^ y).count_ones())
-        .sum()
+    kernels::active().hamming_words(a.dim(), a.words(), b.words())
 }
 
 /// Bipolar dot product `⟨a, b⟩ = D - 2·hamming(a, b)`.

@@ -1,0 +1,282 @@
+//! The kernel-equivalence contract: every distance the dispatch layer
+//! can compute — scalar, AVX2, AVX-512, single-pair or blocked — is the
+//! same integer, for any dimension (tail words included), any word
+//! pattern (all-zeros and all-ones edges included), and any block shape
+//! (ragged Q/R remainders included). Output bytes never depend on which
+//! kernel ran; only wall-clock does.
+//!
+//! A separate regression section poisons the padding bits beyond `dim`
+//! in the final word — bits the [`hdoms_hdc::hv::HvRef::new_unchecked`]
+//! release path never validates — and asserts no kernel lets them reach
+//! a distance.
+
+use hdoms_hdc::hv::BinaryHypervector;
+use hdoms_hdc::kernels::{set_active, KernelDispatch, KernelKind, QUERY_TILE, REFERENCE_TILE};
+use hdoms_hdc::similarity::{dot, hamming_distance};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The reference implementation everything is checked against: plain
+/// per-word XOR + `count_ones`, tail masked by construction.
+fn naive_hamming(dim: usize, a: &[u64], b: &[u64]) -> u32 {
+    let mut total = 0u32;
+    for i in 0..dim {
+        let bit_a = (a[i / 64] >> (i % 64)) & 1;
+        let bit_b = (b[i / 64] >> (i % 64)) & 1;
+        total += u32::from(bit_a != bit_b);
+    }
+    total
+}
+
+fn naive_matching_bits(a: &[u64], b: &[u64], start: usize, end: usize) -> u32 {
+    (start..end)
+        .filter(|&i| (a[i / 64] >> (i % 64)) & 1 == (b[i / 64] >> (i % 64)) & 1)
+        .count() as u32
+}
+
+/// `count` packed `dim`-bit word blocks from a seeded generator:
+/// random patterns plus the all-zeros / all-ones edges, tails kept
+/// clean (the invariant the owned types maintain).
+fn words_from_seed(seed: u64, dim: usize, count: usize) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = dim.div_ceil(64);
+    let rem = dim % 64;
+    let tail_mask = if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    };
+    (0..count)
+        .map(|i| {
+            let mut words: Vec<u64> = match i % 4 {
+                0 => vec![0u64; n],
+                1 => vec![u64::MAX; n],
+                _ => (0..n).map(|_| rng.gen()).collect(),
+            };
+            if let Some(last) = words.last_mut() {
+                *last &= tail_mask;
+            }
+            words
+        })
+        .collect()
+}
+
+/// Both kernel variants a box can run (on a no-SIMD machine the second
+/// entry resolves to scalar, and the suite degenerates to scalar ≡
+/// scalar — still a valid run, just a vacuous one).
+fn variants() -> [KernelDispatch; 2] {
+    [KernelDispatch::scalar(), KernelDispatch::simd()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Pairwise: hamming/dot agree with the naive reference for every
+    /// variant, across dims with and without tail words, including dims
+    /// smaller than one 256/512-bit vector.
+    #[test]
+    fn pairwise_kernels_match_naive(
+        dim in 1usize..700,
+        seed in any::<u64>(),
+    ) {
+        let blocks = words_from_seed(seed, dim, 8);
+        for pair in blocks.chunks(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let expected = naive_hamming(dim, a, b);
+            for kernel in variants() {
+                prop_assert_eq!(
+                    kernel.hamming_words(dim, a, b),
+                    expected,
+                    "{} hamming at dim {}", kernel.name(), dim
+                );
+                prop_assert_eq!(
+                    kernel.dot_words(dim, a, b),
+                    dim as i64 - 2 * i64::from(expected),
+                    "{} dot at dim {}", kernel.name(), dim
+                );
+            }
+        }
+    }
+
+    /// matching_bits: every variant agrees with the naive bit loop on
+    /// arbitrary sub-ranges (partial edge words, single-word ranges,
+    /// ranges spanning many full words).
+    #[test]
+    fn matching_bits_kernels_match_naive(
+        dim in 2usize..700,
+        seed in any::<u64>(),
+        range_seed in any::<u64>(),
+    ) {
+        let blocks = words_from_seed(seed, dim, 2);
+        let (a, b) = (&blocks[0], &blocks[1]);
+        let mut rng = StdRng::seed_from_u64(range_seed);
+        for _ in 0..4 {
+            let start = rng.gen_range(0..dim - 1);
+            let end = rng.gen_range(start + 1..=dim);
+            let expected = naive_matching_bits(a, b, start, end);
+            for kernel in variants() {
+                prop_assert_eq!(
+                    kernel.matching_bits_words(a, b, start, end),
+                    expected,
+                    "{} matching_bits {}..{} at dim {}", kernel.name(), start, end, dim
+                );
+            }
+        }
+    }
+
+    /// Blocked ≡ pairwise: score_block and hamming_block produce, for
+    /// every (q, r) cell, exactly the single-pair result — over ragged
+    /// Q (not a multiple of the query tile) and ragged R (not a
+    /// multiple of the reference tile), with Q and R both above and
+    /// below one tile.
+    #[test]
+    fn blocked_kernels_match_pairwise(
+        dim in 1usize..400,
+        q_count in 1usize..(2 * QUERY_TILE + 3),
+        r_count in 1usize..(REFERENCE_TILE + 5),
+        seed in any::<u64>(),
+    ) {
+        let q_blocks = words_from_seed(seed, dim, q_count);
+        let r_blocks = words_from_seed(seed ^ 0xabcd_ef01, dim, r_count);
+        let queries: Vec<&[u64]> = q_blocks.iter().map(Vec::as_slice).collect();
+        let references: Vec<&[u64]> = r_blocks.iter().map(Vec::as_slice).collect();
+        for kernel in variants() {
+            let mut dots = vec![0i64; q_count * r_count];
+            let mut hams = vec![0u32; q_count * r_count];
+            kernel.score_block(dim, &queries, &references, &mut dots);
+            kernel.hamming_block(dim, &queries, &references, &mut hams);
+            for (qi, query) in queries.iter().enumerate() {
+                for (ri, reference) in references.iter().enumerate() {
+                    let expected = kernel.hamming_words(dim, query, reference);
+                    prop_assert_eq!(
+                        hams[qi * r_count + ri],
+                        expected,
+                        "{} hamming_block cell ({}, {})", kernel.name(), qi, ri
+                    );
+                    prop_assert_eq!(
+                        dots[qi * r_count + ri],
+                        dim as i64 - 2 * i64::from(expected),
+                        "{} score_block cell ({}, {})", kernel.name(), qi, ri
+                    );
+                }
+            }
+        }
+    }
+
+    /// dot_many (the 1 × R slice the flat scans use) equals the
+    /// pairwise dot for every slot.
+    #[test]
+    fn dot_many_matches_pairwise(
+        dim in 1usize..400,
+        r_count in 1usize..(REFERENCE_TILE + 5),
+        seed in any::<u64>(),
+    ) {
+        let q_block = words_from_seed(seed, dim, 3);
+        let r_blocks = words_from_seed(seed ^ 0x1357_9bdf, dim, r_count);
+        let query = q_block[2].as_slice();
+        let references: Vec<&[u64]> = r_blocks.iter().map(Vec::as_slice).collect();
+        for kernel in variants() {
+            let mut out = vec![0i64; r_count];
+            kernel.dot_many(dim, query, &references, &mut out);
+            for (ri, reference) in references.iter().enumerate() {
+                prop_assert_eq!(out[ri], kernel.dot_words(dim, query, reference));
+            }
+        }
+    }
+
+    /// The public similarity API gives the same integers whichever
+    /// kernel the process-wide selection points at — the contract that
+    /// makes `HDOMS_KERNEL` purely a performance knob.
+    #[test]
+    fn global_swap_is_invisible(dim in 1usize..500, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = BinaryHypervector::random(&mut rng, dim);
+        let b = BinaryHypervector::random(&mut rng, dim);
+        set_active(KernelKind::Scalar);
+        let scalar_hamming = hamming_distance(&a, &b);
+        let scalar_dot = dot(&a, &b);
+        set_active(KernelKind::Auto);
+        prop_assert_eq!(hamming_distance(&a, &b), scalar_hamming);
+        prop_assert_eq!(dot(&a, &b), scalar_dot);
+    }
+}
+
+/// The tail-word hazard regression: views built through the release
+/// (`new_unchecked`) path can carry garbage in the padding bits of the
+/// final word. The kernels take raw word slices here — the owned types
+/// would rightly reject these — and must mask the padding themselves in
+/// every entry point, single-pair and blocked.
+#[test]
+fn poisoned_padding_bits_never_reach_a_distance() {
+    let mut rng = StdRng::seed_from_u64(0xbad_7a11);
+    for dim in [1usize, 63, 65, 100, 127, 129, 300, 511, 700] {
+        let rem = dim % 64;
+        if rem == 0 {
+            continue; // no padding to poison
+        }
+        let clean = words_from_seed(rng.gen(), dim, 4);
+        let poison = |words: &[u64]| {
+            let mut dirty = words.to_vec();
+            *dirty.last_mut().unwrap() |= u64::MAX << rem;
+            dirty
+        };
+        let (a, b) = (&clean[2], &clean[3]);
+        let dirty_a = poison(a);
+        let dirty_b = poison(b);
+        for kernel in [KernelDispatch::scalar(), KernelDispatch::simd()] {
+            let expected = kernel.hamming_words(dim, a, b);
+            for (x, y) in [
+                (a.as_slice(), dirty_b.as_slice()),
+                (dirty_a.as_slice(), b.as_slice()),
+                (dirty_a.as_slice(), dirty_b.as_slice()),
+            ] {
+                assert_eq!(
+                    kernel.hamming_words(dim, x, y),
+                    expected,
+                    "{} hamming read padding bits at dim {dim}",
+                    kernel.name()
+                );
+                assert_eq!(
+                    kernel.dot_words(dim, x, y),
+                    dim as i64 - 2 * i64::from(expected),
+                    "{} dot read padding bits at dim {dim}",
+                    kernel.name()
+                );
+            }
+            // The blocked kernels mask the same way.
+            let queries = [dirty_a.as_slice(), a.as_slice()];
+            let references = [dirty_b.as_slice(), b.as_slice()];
+            let mut out = [0u32; 4];
+            kernel.hamming_block(dim, &queries, &references, &mut out);
+            assert_eq!(
+                out,
+                [expected; 4],
+                "{} hamming_block read padding bits at dim {dim}",
+                kernel.name()
+            );
+        }
+    }
+}
+
+/// matching_bits over a range that ends inside the final word must also
+/// ignore poisoned padding (the range mask and the tail mask coincide
+/// there).
+#[test]
+fn poisoned_padding_bits_never_reach_matching_bits() {
+    let dim = 200usize; // 3 words + 8-bit tail
+    let rem = dim % 64;
+    let clean = words_from_seed(42, dim, 2);
+    let mut dirty = clean[1].clone();
+    *dirty.last_mut().unwrap() |= u64::MAX << rem;
+    for kernel in [KernelDispatch::scalar(), KernelDispatch::simd()] {
+        for (start, end) in [(0usize, dim), (150, dim), (dim - 1, dim)] {
+            assert_eq!(
+                kernel.matching_bits_words(&clean[0], &dirty, start, end),
+                kernel.matching_bits_words(&clean[0], &clean[1], start, end),
+                "{} matching_bits {start}..{end} read padding bits",
+                kernel.name()
+            );
+        }
+    }
+}

@@ -20,7 +20,6 @@
 use hdoms_baselines::hyperoms::HyperOmsBackend;
 use hdoms_core::accelerator::OmsAccelerator;
 use hdoms_hdc::parallel::par_map;
-use hdoms_hdc::similarity::dot;
 use hdoms_hdc::BinaryHypervector;
 use hdoms_ms::preprocess::BinnedSpectrum;
 use hdoms_obs::metrics::{Counter, Histogram, Registry};
@@ -75,32 +74,19 @@ impl Scorer {
     }
 }
 
-/// The flat exact scan over a candidate subset (same scoring and
-/// tie-break as `ExactBackend::search_batch`).
+/// The flat exact scan over a candidate subset: the shared kernel-tiled
+/// scan (same scoring and tie-break as `ExactBackend::search_batch`).
 fn exact_best(
     backend: &ExactBackend,
     query_hv: &BinaryHypervector,
     candidates: &[u32],
 ) -> Option<SearchHit> {
-    let dim = backend.encoder().config().dim as f64;
-    let mut best: Option<SearchHit> = None;
-    for &cand in candidates {
-        let Some(ref_hv) = backend.shared_references().hv(cand as usize) else {
-            continue;
-        };
-        let score = dot(query_hv, &ref_hv) as f64 / dim;
-        let better = match &best {
-            None => true,
-            Some(b) => score > b.score || (score == b.score && cand < b.reference),
-        };
-        if better {
-            best = Some(SearchHit {
-                reference: cand,
-                score,
-            });
-        }
-    }
-    best
+    hdoms_oms::search::best_hit(
+        backend.shared_references(),
+        backend.encoder().config().dim,
+        query_hv,
+        candidates,
+    )
 }
 
 /// Wall-clock spent scoring one shard during a traced batch search.

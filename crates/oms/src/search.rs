@@ -9,8 +9,8 @@
 use crate::window::PrecursorWindow;
 use hdoms_hdc::corrupt::{flip_bits, flip_bits_in_place};
 use hdoms_hdc::encoder::{EncoderConfig, IdLevelEncoder};
+use hdoms_hdc::kernels::{self, QUERY_TILE, REFERENCE_TILE};
 use hdoms_hdc::parallel::par_map;
-use hdoms_hdc::similarity::dot;
 use hdoms_hdc::{BinaryHypervector, HvRef, WordBuffer};
 use hdoms_ms::library::SpectralLibrary;
 use hdoms_ms::preprocess::{BinnedSpectrum, PreprocessConfig, Preprocessor};
@@ -276,6 +276,107 @@ pub struct SearchHit {
     pub score: f64,
 }
 
+/// Fold one scored reference tile into the running best hit with the
+/// canonical `(score desc, id asc)` tie-break.
+fn fold_tile(dim: usize, ids: &[u32], scores: &[i64], best: &mut Option<SearchHit>) {
+    for (&cand, &raw) in ids.iter().zip(scores) {
+        let score = raw as f64 / dim as f64;
+        let better = match best {
+            None => true,
+            Some(b) => score > b.score || (score == b.score && cand < b.reference),
+        };
+        if better {
+            *best = Some(SearchHit {
+                reference: cand,
+                score,
+            });
+        }
+    }
+}
+
+/// The flat exact scan every exact backend shares: score `query_hv`
+/// against the present entries of `candidates` in
+/// [`REFERENCE_TILE`]-sized tiles on the process-wide active kernel
+/// ([`hdoms_hdc::kernels::active`]) and return the best hit under the
+/// `(score desc, id asc)` tie-break — identical results to the pairwise
+/// formulation, whatever the kernel or tile shape.
+///
+/// Returns `None` when no candidate has a stored hypervector.
+///
+/// # Panics
+///
+/// Panics if a candidate id is beyond the reference table or `dim`
+/// disagrees with the stored hypervectors.
+pub fn best_hit(
+    references: &SharedReferences,
+    dim: usize,
+    query_hv: &BinaryHypervector,
+    candidates: &[u32],
+) -> Option<SearchHit> {
+    let kernel = kernels::active();
+    let query = query_hv.words();
+    let mut best: Option<SearchHit> = None;
+    let cap = REFERENCE_TILE.min(candidates.len());
+    let mut ids: Vec<u32> = Vec::with_capacity(cap);
+    let mut tile: Vec<&[u64]> = Vec::with_capacity(cap);
+    let mut scores = [0i64; REFERENCE_TILE];
+    for &cand in candidates {
+        let Some(ref_hv) = references.hv(cand as usize) else {
+            continue;
+        };
+        ids.push(cand);
+        tile.push(ref_hv.words());
+        if ids.len() == REFERENCE_TILE {
+            kernel.dot_many(dim, query, &tile, &mut scores);
+            fold_tile(dim, &ids, &scores, &mut best);
+            ids.clear();
+            tile.clear();
+        }
+    }
+    if !ids.is_empty() {
+        let out = &mut scores[..ids.len()];
+        kernel.dot_many(dim, query, &tile, out);
+        fold_tile(dim, &ids, out, &mut best);
+    }
+    best
+}
+
+/// The query-blocked scan: score a whole block of queries sharing one
+/// candidate list through
+/// [`score_block`](hdoms_hdc::kernels::KernelDispatch::score_block), so each
+/// reference tile is swept once per block instead of once per query.
+/// Hit `i` pairs with `query_hvs[i]`; results are identical to running
+/// [`best_hit`] per query.
+fn best_hits_block(
+    references: &SharedReferences,
+    dim: usize,
+    query_hvs: &[BinaryHypervector],
+    candidates: &[u32],
+) -> Vec<Option<SearchHit>> {
+    let kernel = kernels::active();
+    let queries: Vec<&[u64]> = query_hvs.iter().map(|q| q.words()).collect();
+    let q_count = queries.len();
+    let mut best: Vec<Option<SearchHit>> = vec![None; q_count];
+    let mut ids: Vec<u32> = Vec::with_capacity(candidates.len());
+    let mut refs: Vec<&[u64]> = Vec::with_capacity(candidates.len());
+    for &cand in candidates {
+        if let Some(ref_hv) = references.hv(cand as usize) {
+            ids.push(cand);
+            refs.push(ref_hv.words());
+        }
+    }
+    let mut scores = vec![0i64; q_count * REFERENCE_TILE];
+    for (tile_ids, tile_refs) in ids.chunks(REFERENCE_TILE).zip(refs.chunks(REFERENCE_TILE)) {
+        let r = tile_ids.len();
+        let out = &mut scores[..q_count * r];
+        kernel.score_block(dim, &queries, tile_refs, out);
+        for (qi, slot) in best.iter_mut().enumerate() {
+            fold_tile(dim, tile_ids, &out[qi * r..(qi + 1) * r], slot);
+        }
+    }
+    best
+}
+
 /// A pluggable scoring backend for the OMS pipeline.
 pub trait SimilarityBackend {
     /// A short human-readable name ("exact-hd", "ann-solo", …) used in
@@ -512,29 +613,35 @@ impl SimilarityBackend for ExactBackend {
             candidates.len(),
             "queries and candidate lists must pair up"
         );
-        let dim = self.encoder.config().dim as f64;
-        let jobs: Vec<(usize, &BinnedSpectrum)> = queries.iter().enumerate().collect();
-        par_map(&jobs, self.config.threads, |&(i, binned)| {
-            let query_hv = self.encode_query(binned);
-            let mut best: Option<SearchHit> = None;
-            for &cand in &candidates[i] {
-                let Some(ref_hv) = self.reference_hvs.hv(cand as usize) else {
-                    continue;
-                };
-                let score = dot(&query_hv, &ref_hv) as f64 / dim;
-                let better = match &best {
-                    None => true,
-                    Some(b) => score > b.score || (score == b.score && cand < b.reference),
-                };
-                if better {
-                    best = Some(SearchHit {
-                        reference: cand,
-                        score,
-                    });
-                }
+        let dim = self.encoder.config().dim;
+        // Consecutive queries sharing one candidate list form a query
+        // block for the blocked kernel (one reference sweep per block);
+        // everything else takes the 1 × R tiled scan. Either way the
+        // hits are identical to the pairwise formulation.
+        let mut groups: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=queries.len() {
+            if i == queries.len() || i - start == QUERY_TILE || candidates[i] != candidates[start] {
+                groups.push((start, i));
+                start = i;
             }
-            best
-        })
+        }
+        let per_group = par_map(&groups, self.config.threads, |&(s, e)| {
+            if e - s == 1 {
+                let query_hv = self.encode_query(&queries[s]);
+                vec![best_hit(
+                    &self.reference_hvs,
+                    dim,
+                    &query_hv,
+                    &candidates[s],
+                )]
+            } else {
+                let query_hvs: Vec<BinaryHypervector> =
+                    queries[s..e].iter().map(|b| self.encode_query(b)).collect();
+                best_hits_block(&self.reference_hvs, dim, &query_hvs, &candidates[s])
+            }
+        });
+        per_group.into_iter().flatten().collect()
     }
 }
 
@@ -686,6 +793,27 @@ mod tests {
             },
         );
         assert!(noisy.name().contains("ber"));
+    }
+
+    #[test]
+    fn blocked_groups_match_per_query_scans() {
+        // Hand every query the same candidate list so search_batch
+        // groups them into query blocks for the blocked kernel, then
+        // check each hit against the singleton tiled scan.
+        let (_, backend, queries, _) = setup();
+        let all: Vec<u32> = (0..backend.shared_references().len() as u32).collect();
+        let shared: Vec<Vec<u32>> = queries.iter().map(|_| all.clone()).collect();
+        let blocked = backend.search_batch(&queries, &shared);
+        let dim = backend.encoder().config().dim;
+        let singles: Vec<Option<SearchHit>> = queries
+            .iter()
+            .map(|q| {
+                let hv = backend.encode_query(q);
+                best_hit(backend.shared_references(), dim, &hv, &all)
+            })
+            .collect();
+        assert_eq!(blocked, singles);
+        assert!(blocked.iter().any(Option::is_some));
     }
 
     #[test]
