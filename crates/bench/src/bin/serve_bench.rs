@@ -109,6 +109,7 @@ fn run_contention(server: &Server, spectra: &[QuerySpectrum], clients: usize) ->
                             index: "bench".to_owned(),
                             window: WindowKind::Open,
                             fdr: 0.01,
+                            prefilter: None,
                             spectra: batch.to_vec(),
                         };
                         match server.query_batch_as(client, &request) {
@@ -212,6 +213,7 @@ fn main() {
         index: "bench".to_owned(),
         window: WindowKind::Open,
         fdr: 0.01,
+        prefilter: None,
         spectra: batch.to_vec(),
     };
 

@@ -17,6 +17,7 @@ use hdoms_oms::profile::{common_catalogue, DeltaMassProfile};
 use hdoms_oms::psm::{parse_table, render_table, Psm};
 use hdoms_oms::search::ExactBackendConfig;
 use hdoms_oms::window::PrecursorWindow;
+use hdoms_prefilter::PrefilterConfig;
 use hdoms_rram::chip::ChipSpec;
 use hdoms_rram::config::MlcConfig;
 use hdoms_serve::net::{serve_listener, serve_stdio, Client};
@@ -104,7 +105,7 @@ fn engine_for(
     dim: usize,
     sharded: bool,
     threads: usize,
-) -> Result<Arc<Engine>, String> {
+) -> Result<Engine, String> {
     let engine = match target {
         SearchTarget::Cold(library) => {
             let kind = match spec {
@@ -128,12 +129,12 @@ fn engine_for(
                         ..AnnSoloConfig::default()
                     };
                     let backend = AnnSoloBackend::build(library, config);
-                    return Ok(Arc::new(Engine::from_backend(
+                    return Ok(Engine::from_backend(
                         Box::new(backend),
                         config.preprocess,
                         ReferenceMeta::from_library(library),
                         threads,
-                    )));
+                    ));
                 }
                 other => {
                     return Err(format!(
@@ -159,7 +160,7 @@ fn engine_for(
             }
         }
     };
-    Ok(Arc::new(engine))
+    Ok(engine)
 }
 
 fn parse_window(flags: &Flags) -> Result<PrecursorWindow, String> {
@@ -175,8 +176,18 @@ fn parse_window(flags: &Flags) -> Result<PrecursorWindow, String> {
 pub fn search(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.check_known(&[
-        "queries", "library", "index", "out", "backend", "window", "fdr", "dim", "seed", "sharded",
+        "queries",
+        "library",
+        "index",
+        "out",
+        "backend",
+        "window",
+        "fdr",
+        "dim",
+        "seed",
+        "sharded",
         "threads",
+        "prefilter",
     ])?;
     let queries_path = flags.require("queries")?;
     let out_path = flags.require("out")?;
@@ -186,6 +197,7 @@ pub fn search(args: &[String]) -> Result<(), String> {
     let threads: usize = flags.get_or("threads", hdoms_hdc::parallel::default_threads())?;
     let window = parse_window(&flags)?;
     let backend_name = flags.get("backend").unwrap_or("exact").to_owned();
+    let prefilter = PrefilterConfig::parse(flags.get("prefilter").unwrap_or("off"))?;
 
     let queries = read_queries(queries_path)?;
     let loaded_library;
@@ -212,7 +224,11 @@ pub fn search(args: &[String]) -> Result<(), String> {
         (None, None) => return Err("search needs --library or --index".to_owned()),
     };
 
-    let engine = engine_for(&backend_name, target, dim, sharded, threads)?;
+    let mut engine = engine_for(&backend_name, target, dim, sharded, threads)?;
+    engine
+        .set_prefilter(prefilter)
+        .map_err(|e| format!("--prefilter {}: {e}", prefilter.render()))?;
+    let engine = Arc::new(engine);
     let (outcome, _) = engine.search(&queries, window, fdr);
 
     fs::write(out_path, render_table(engine.peptides(), &outcome)).map_err(|e| e.to_string())?;
@@ -416,7 +432,7 @@ pub fn compare(args: &[String]) -> Result<(), String> {
                 (SearchTarget::Cold(library), cold.to_owned(), false)
             }
         };
-        let engine = engine_for(&backend_name, target, dim, sharded, threads)?;
+        let engine = Arc::new(engine_for(&backend_name, target, dim, sharded, threads)?);
         let (outcome, _) = engine.search(&queries, window, fdr);
         Ok(outcome)
     };
@@ -516,6 +532,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         "metrics",
         "log-level",
         "log-json",
+        "prefilter",
     ])?;
     let threads: usize = flags.get_or("threads", hdoms_hdc::parallel::default_threads())?;
     let workers: usize = flags.get_or("workers", threads)?;
@@ -526,6 +543,7 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let listen = flags.get("listen");
     let metrics_addr = flags.get("metrics");
     let log_json: bool = flags.get_or("log-json", false)?;
+    let prefilter = PrefilterConfig::parse(flags.get("prefilter").unwrap_or("off"))?;
     let log_level = {
         let spelling = flags.get("log-level").unwrap_or("info");
         Level::parse(spelling)
@@ -551,12 +569,19 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         },
     );
     server.set_logger(logger.clone());
+    server.set_prefilter(prefilter);
     logger
         .info("serve.scheduler")
         .u64("workers", workers as u64)
         .u64("queue_depth", queue_depth as u64)
         .u64("deadline_ms", deadline_ms)
         .emit();
+    if !prefilter.is_off() {
+        logger
+            .info("serve.prefilter")
+            .str("config", prefilter.render())
+            .emit();
+    }
     for spec in specs {
         let Some((name, path)) = spec.split_once('=') else {
             return Err(format!("--index takes <name>=<path.hdx>, got {spec:?}"));
@@ -632,6 +657,7 @@ pub fn query(args: &[String]) -> Result<(), String> {
         "fdr",
         "batch-size",
         "session",
+        "prefilter",
     ])?;
     let addr = flags.require("addr")?;
     let queries_path = flags.require("queries")?;
@@ -640,6 +666,17 @@ pub fn query(args: &[String]) -> Result<(), String> {
     let fdr: f64 = flags.get_or("fdr", 0.01)?;
     let batch_size: usize = flags.get_or("batch-size", 0)?;
     let use_session: bool = flags.get_or("session", false)?;
+    let prefilter = flags
+        .get("prefilter")
+        .map(PrefilterConfig::parse)
+        .transpose()?;
+    if use_session && prefilter.is_some() {
+        return Err(
+            "--prefilter applies to per-batch queries; sessions run under the \
+             server's default prefilter (drop --session or --prefilter)"
+                .to_owned(),
+        );
+    }
     let window = WindowKind::parse(flags.get("window").unwrap_or("open"))?;
 
     let queries = read_queries(queries_path)?;
@@ -707,6 +744,7 @@ pub fn query(args: &[String]) -> Result<(), String> {
                 index: index_name.to_owned(),
                 window,
                 fdr,
+                prefilter,
                 spectra: batch.to_vec(),
             }))? {
                 Response::Result(result) => result,

@@ -18,6 +18,10 @@ USAGE:
                  [--backend exact|annsolo|hyperoms|rram] [--window open|standard]
                  [--fdr <f64>] [--dim <usize>] [--seed <u64>]
                  [--sharded true|false] [--threads <usize>]
+                 [--prefilter off|k=<usize>]
+                 (--prefilter k=N narrows each precursor window to the
+                  top-N sketch-scored candidates before the exact scan;
+                  needs a sharded index. See docs/PREFILTER.md)
   hdoms compare  --queries <q.mgf> --backend-a <spec> --backend-b <spec>
                  [--library <lib.mgf>] [--index <lib.hdx>]
                  [--window open|standard] [--fdr <f64>] [--dim <usize>]
@@ -27,17 +31,23 @@ USAGE:
                  [--workers <usize>] [--queue-depth <usize>]
                  [--deadline-ms <u64>] [--metrics <host:port>]
                  [--log-level off|error|warn|info|debug] [--log-json true]
+                 [--prefilter off|k=<usize>]
                  (--workers bounds total in-flight search parallelism,
                   --queue-depth bounds waiting batches before `busy`
                   rejections, --deadline-ms sheds batches that queue
                   too long; see docs/SCHEDULER.md. --metrics exposes the
                   registry Prometheus-style; --log-level/--log-json tune
-                  the structured stderr log; see docs/OBSERVABILITY.md)
+                  the structured stderr log; see docs/OBSERVABILITY.md.
+                  --prefilter sets the default sketch cascade for every
+                  resident index; see docs/PREFILTER.md)
   hdoms query    --addr <host:port> --queries <q.mgf> --index <name>
                  --out <psms.tsv> [--window open|standard] [--fdr <f64>]
                  [--batch-size <usize>] [--session true]
+                 [--prefilter off|k=<usize>]
                  (--session streams batches through one server-side
-                  session: FDR is filtered once across all of them)
+                  session: FDR is filtered once across all of them;
+                  --prefilter overrides the server default per batch
+                  and is exclusive with --session)
   hdoms profile  --psms <psms.tsv> [--bin-width <f64>] [--min-count <usize>]
   hdoms chip     [--bits 1|2|3] [--dim <usize>] [--refs <u64>]
                  [--activated-rows <usize>]

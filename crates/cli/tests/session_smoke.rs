@@ -145,6 +145,7 @@ fn served_stdio_session_matches_local_run() {
             index: "smoke".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            prefilter: None,
             spectra,
         }))
     else {

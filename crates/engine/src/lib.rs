@@ -78,6 +78,7 @@ use hdoms_oms::search::{
     ExactBackend, ExactBackendConfig, SearchHit, SharedReferences, SimilarityBackend,
 };
 use hdoms_oms::window::PrecursorWindow;
+use hdoms_prefilter::{PrefilterConfig, PrefilterStats, SketchIndex};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
@@ -185,24 +186,32 @@ impl EngineBackend {
 
     /// Score a batch under a worker budget, returning the hits plus
     /// per-shard timings (empty for flat backends, which have no shards
-    /// to time). `workers` of `None` means "the backend's own
-    /// configured parallelism" (the unscheduled paths); `Some(n)` caps
-    /// the batch at `n` workers (the serve scheduler's grants). Flat
-    /// backends drive their own internal parallelism and ignore the cap
-    /// — the serve layer always runs sharded engines, which honour it
-    /// exactly. Every path is traced: per-shard accounting is a few
-    /// atomic adds per shard run, and keeping one code path is what
-    /// guarantees instrumented and uninstrumented output are the same
-    /// bytes.
+    /// to time) and the prefilter stage's per-batch accounting (zeroed
+    /// when `prefilter` is `None`). `workers` of `None` means "the
+    /// backend's own configured parallelism" (the unscheduled paths);
+    /// `Some(n)` caps the batch at `n` workers (the serve scheduler's
+    /// grants). Flat backends drive their own internal parallelism and
+    /// ignore the cap — the serve layer always runs sharded engines,
+    /// which honour it exactly. Every path is traced: per-shard
+    /// accounting is a few atomic adds per shard run, and keeping one
+    /// code path is what guarantees instrumented and uninstrumented
+    /// output are the same bytes.
     fn search_batch(
         &self,
         queries: &[BinnedSpectrum],
         candidates: &[Vec<u32>],
         workers: Option<usize>,
-    ) -> (Vec<Option<SearchHit>>, Vec<ShardTiming>) {
+        prefilter: Option<(&SketchIndex, usize)>,
+    ) -> (Vec<Option<SearchHit>>, Vec<ShardTiming>, PrefilterStats) {
         match self {
-            EngineBackend::Sharded(b) => b.search_batch_traced(queries, candidates, workers),
-            EngineBackend::Flat(b) => (b.search_batch(queries, candidates), Vec::new()),
+            EngineBackend::Sharded(b) => {
+                b.search_batch_prefiltered(queries, candidates, workers, prefilter)
+            }
+            EngineBackend::Flat(b) => (
+                b.search_batch(queries, candidates),
+                Vec::new(),
+                PrefilterStats::default(),
+            ),
         }
     }
 
@@ -228,6 +237,9 @@ struct EngineMetrics {
     stage_candidates_ms: Arc<Histogram>,
     stage_score_ms: Arc<Histogram>,
     stage_finalize_ms: Arc<Histogram>,
+    prefilter_candidates_pre: Arc<Counter>,
+    prefilter_candidates_post: Arc<Counter>,
+    prefilter_sketch_ms: Arc<Histogram>,
 }
 
 impl EngineMetrics {
@@ -261,6 +273,18 @@ impl EngineMetrics {
                 "hdoms_stage_finalize_ms",
                 "Per-finalize wall-clock of the target-decoy FDR stage",
             ),
+            prefilter_candidates_pre: registry.counter(
+                "hdoms_prefilter_candidates_pre_total",
+                "Precursor-window candidates entering the sketch prefilter",
+            ),
+            prefilter_candidates_post: registry.counter(
+                "hdoms_prefilter_candidates_post_total",
+                "Candidates surviving the sketch prefilter into the exact scan",
+            ),
+            prefilter_sketch_ms: registry.histogram(
+                "hdoms_prefilter_sketch_ms",
+                "Per-batch wall-clock of the sketch scoring + narrowing stage",
+            ),
         }
     }
 }
@@ -292,6 +316,7 @@ pub struct Engine {
     index: Option<LibraryIndex>,
     threads: usize,
     metrics: Option<EngineMetrics>,
+    prefilter: PrefilterConfig,
 }
 
 impl Engine {
@@ -364,6 +389,7 @@ impl Engine {
             index: Some(index),
             threads: threads.max(1),
             metrics: None,
+            prefilter: PrefilterConfig::Off,
         })
     }
 
@@ -390,6 +416,7 @@ impl Engine {
             index: Some(index),
             threads: threads.max(1),
             metrics: None,
+            prefilter: PrefilterConfig::Off,
         })
     }
 
@@ -424,6 +451,7 @@ impl Engine {
             index: None,
             threads: threads.max(1),
             metrics: None,
+            prefilter: PrefilterConfig::Off,
         }
     }
 
@@ -451,6 +479,7 @@ impl Engine {
             index: None,
             threads: threads.max(1),
             metrics: None,
+            prefilter: PrefilterConfig::Off,
         }
     }
 
@@ -459,6 +488,68 @@ impl Engine {
     /// and [`Engine::from_backend`]).
     pub fn index(&self) -> Option<&LibraryIndex> {
         self.index.as_ref()
+    }
+
+    /// The engine's default candidate-prefilter configuration (see
+    /// [`Engine::set_prefilter`]). New [`Session`]s start from this;
+    /// per-batch overrides go through
+    /// [`Engine::search_with_workers_opts`] or [`Session::set_prefilter`].
+    pub fn prefilter(&self) -> PrefilterConfig {
+        self.prefilter
+    }
+
+    /// Set the engine's default candidate-prefilter: `Off` scans every
+    /// precursor-window candidate exactly (today's behaviour, the
+    /// byte-identity contract), `TopK(k)` scores folded-hypervector
+    /// sketches first and forwards only the best `k` candidates per
+    /// query to the exact scan. Enabling the prefilter eagerly builds
+    /// (or, on a v3 `.hdx` load, reuses) the index's sketch table so the
+    /// first query pays no derivation cost.
+    ///
+    /// # Errors
+    ///
+    /// `TopK` requires an index-backed engine on the sharded backend
+    /// (flat backends exist for apples-to-apples scans of the full
+    /// candidate list); `Off` always succeeds.
+    pub fn set_prefilter(&mut self, config: PrefilterConfig) -> Result<(), String> {
+        if !config.is_off() {
+            self.validate_prefilter()?;
+            // Force the sketch build now (a no-op when the `.hdx` v3
+            // section was loaded) so queries never pay it.
+            self.index
+                .as_ref()
+                .expect("validated index-backed")
+                .sketch_index();
+        }
+        self.prefilter = config;
+        Ok(())
+    }
+
+    /// Check that this engine can run a `TopK` prefilter.
+    fn validate_prefilter(&self) -> Result<(), String> {
+        if !matches!(self.backend, EngineBackend::Sharded(_)) {
+            return Err(
+                "the prefilter requires the sharded backend (flat backends exist to scan the full candidate list)"
+                    .to_owned(),
+            );
+        }
+        if self.index.is_none() {
+            return Err("the prefilter requires an index-backed engine".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Resolve a prefilter configuration into the sketch handle the
+    /// backend scores with. `Off` resolves to `None`; `TopK` fetches the
+    /// index's cached sketch (built at [`Engine::set_prefilter`] /
+    /// [`Session::set_prefilter`] time).
+    fn resolve_prefilter(&self, config: PrefilterConfig) -> Option<(Arc<SketchIndex>, usize)> {
+        let k = config.top_k()?;
+        let index = self
+            .index
+            .as_ref()
+            .expect("TopK prefilter is validated at set time");
+        Some((index.sketch_index(), k))
     }
 
     /// The name of the distance kernel this process scores with
@@ -569,11 +660,39 @@ impl Engine {
         alpha: f64,
         workers: usize,
     ) -> (PipelineOutcome, BatchReceipt) {
+        self.search_with_workers_opts(spectra, window, alpha, workers, None)
+            .expect("no per-batch prefilter override to validate")
+    }
+
+    /// [`Engine::search_with_workers`] with a per-batch prefilter
+    /// override: `Some(config)` runs this batch under `config` instead
+    /// of the engine's default (the serve protocol's per-request
+    /// `prefilter` option routes here), `None` uses the default.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the override is `TopK` on an engine that cannot
+    /// prefilter (see [`Engine::set_prefilter`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid window or FDR level.
+    pub fn search_with_workers_opts(
+        self: &Arc<Self>,
+        spectra: &[Spectrum],
+        window: PrecursorWindow,
+        alpha: f64,
+        workers: usize,
+        prefilter: Option<PrefilterConfig>,
+    ) -> Result<(PipelineOutcome, BatchReceipt), String> {
         let mut session = self.session(window);
+        if let Some(config) = prefilter {
+            session.set_prefilter(config)?;
+        }
         let mut receipt = session.submit_with_workers(spectra, workers);
         let (outcome, finalize_ms) = session.finalize_traced(alpha);
         receipt.stages.finalize_ms = finalize_ms;
-        (outcome, receipt)
+        Ok((outcome, receipt))
     }
 }
 
@@ -593,6 +712,16 @@ pub struct BatchReceipt {
     pub total_psms: usize,
     /// Candidate references scored in this batch.
     pub candidates_scored: usize,
+    /// Precursor-window candidates this batch generated, before any
+    /// prefilter narrowing. Equals `candidates_scored` when the
+    /// prefilter is off.
+    pub candidates_pre: usize,
+    /// Candidates forwarded to the exact scan after prefilter narrowing
+    /// (always equals `candidates_scored`).
+    pub candidates_post: usize,
+    /// Wall-clock spent scoring sketches and narrowing, milliseconds
+    /// (0 when the prefilter is off).
+    pub sketch_ms: f64,
     /// Shard visits this batch cost (0 on unsharded engines).
     pub shards_touched: usize,
     /// Wall-clock time spent on this batch, milliseconds.
@@ -618,12 +747,16 @@ pub struct BatchReceipt {
 pub struct Session {
     engine: Arc<Engine>,
     window: PrecursorWindow,
+    prefilter: PrefilterConfig,
     psms: Vec<Psm>,
     batches: usize,
     total_queries: usize,
     rejected_queries: usize,
     binned_queries: usize,
     candidates_scored: usize,
+    candidates_pre: usize,
+    candidates_post: usize,
+    sketch_ms: f64,
     shards_touched: usize,
     latency_ms: f64,
     stages: StageTimings,
@@ -637,19 +770,51 @@ impl Session {
     /// Panics on an invalid window.
     pub fn new(engine: Arc<Engine>, window: PrecursorWindow) -> Session {
         window.validate();
+        let prefilter = engine.prefilter();
         Session {
             engine,
             window,
+            prefilter,
             psms: Vec::new(),
             batches: 0,
             total_queries: 0,
             rejected_queries: 0,
             binned_queries: 0,
             candidates_scored: 0,
+            candidates_pre: 0,
+            candidates_post: 0,
+            sketch_ms: 0.0,
             shards_touched: 0,
             latency_ms: 0.0,
             stages: StageTimings::default(),
         }
+    }
+
+    /// The prefilter configuration this session's submits run under
+    /// (starts as the engine's default).
+    pub fn prefilter(&self) -> PrefilterConfig {
+        self.prefilter
+    }
+
+    /// Override the prefilter for this session's *subsequent* submits
+    /// (already-submitted batches keep their accounting). The serve
+    /// layer routes the protocol's per-batch `prefilter` option here.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `config` is `TopK` on an engine that cannot prefilter
+    /// (see [`Engine::set_prefilter`]).
+    pub fn set_prefilter(&mut self, config: PrefilterConfig) -> Result<(), String> {
+        if !config.is_off() {
+            self.engine.validate_prefilter()?;
+            self.engine
+                .index
+                .as_ref()
+                .expect("validated index-backed")
+                .sketch_index();
+        }
+        self.prefilter = config;
+        Ok(())
     }
 
     /// The engine this session queries.
@@ -680,6 +845,24 @@ impl Session {
     /// Candidate references scored so far.
     pub fn candidates_scored(&self) -> usize {
         self.candidates_scored
+    }
+
+    /// Precursor-window candidates generated so far, before prefilter
+    /// narrowing (equals [`Session::candidates_scored`] when the
+    /// prefilter is off).
+    pub fn candidates_pre(&self) -> usize {
+        self.candidates_pre
+    }
+
+    /// Candidates forwarded to the exact scan so far (always equals
+    /// [`Session::candidates_scored`]).
+    pub fn candidates_post(&self) -> usize {
+        self.candidates_post
+    }
+
+    /// Wall-clock milliseconds spent in the sketch prefilter so far.
+    pub fn sketch_ms(&self) -> f64 {
+        self.sketch_ms
     }
 
     /// Shard visits so far (0 on unsharded engines).
@@ -727,11 +910,35 @@ impl Session {
         let (cands, candidates_ms) = hdoms_obs::trace::timed(|| {
             hdoms_oms::search::candidate_lists(&self.engine.candidates, &self.window, &binned)
         });
-        let ((hits, shard_timings), score_ms) =
-            hdoms_obs::trace::timed(|| self.engine.backend.search_batch(&binned, &cands, workers));
+        let narrowing = self.engine.resolve_prefilter(self.prefilter);
+        let ((hits, shard_timings, prefilter_stats), score_ms) = hdoms_obs::trace::timed(|| {
+            self.engine.backend.search_batch(
+                &binned,
+                &cands,
+                workers,
+                narrowing.as_ref().map(|(sketch, k)| (sketch.as_ref(), *k)),
+            )
+        });
         let psms = assemble_psms(&binned, &hits, &self.engine.meta);
-        let candidates_scored: usize = cands.iter().map(Vec::len).sum();
-        let shards_touched = self.engine.backend.shards_touched(&cands);
+        // With the prefilter off, accounting is computed exactly as it
+        // always was (the byte-identity contract covers receipts too).
+        // With it on, the exact scan saw only the narrowed lists, so
+        // `candidates_scored` comes from the prefilter clock and shard
+        // visits from the traced per-shard timings.
+        let window_candidates: usize = cands.iter().map(Vec::len).sum();
+        let (candidates_scored, candidates_pre, shards_touched, sketch_ms) = if narrowing.is_none()
+        {
+            let shards = self.engine.backend.shards_touched(&cands);
+            (window_candidates, window_candidates, shards, 0.0)
+        } else {
+            let shards: u64 = shard_timings.iter().map(|t| t.visits).sum();
+            (
+                prefilter_stats.candidates_post as usize,
+                prefilter_stats.candidates_pre as usize,
+                shards as usize,
+                prefilter_stats.sketch_ms,
+            )
+        };
         let latency_ms = start.elapsed().as_secs_f64() * 1e3;
         let stages = StageTimings {
             encode_ms,
@@ -745,6 +952,9 @@ impl Session {
         self.rejected_queries += rejected;
         self.binned_queries += binned.len();
         self.candidates_scored += candidates_scored;
+        self.candidates_pre += candidates_pre;
+        self.candidates_post += candidates_scored;
+        self.sketch_ms += sketch_ms;
         self.shards_touched += shards_touched;
         self.latency_ms += latency_ms;
         self.stages.accumulate(&stages);
@@ -758,6 +968,13 @@ impl Session {
             metrics.stage_encode_ms.record_ms(encode_ms);
             metrics.stage_candidates_ms.record_ms(candidates_ms);
             metrics.stage_score_ms.record_ms(score_ms);
+            if narrowing.is_some() {
+                metrics.prefilter_candidates_pre.add(candidates_pre as u64);
+                metrics
+                    .prefilter_candidates_post
+                    .add(candidates_scored as u64);
+                metrics.prefilter_sketch_ms.record_ms(sketch_ms);
+            }
         }
 
         BatchReceipt {
@@ -767,6 +984,9 @@ impl Session {
             psms: batch_psms,
             total_psms: self.psms.len(),
             candidates_scored,
+            candidates_pre,
+            candidates_post: candidates_scored,
+            sketch_ms,
             shards_touched,
             latency_ms,
             stages,

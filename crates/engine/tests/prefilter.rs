@@ -1,0 +1,252 @@
+//! Acceptance contract of the two-stage candidate cascade: `Off` is
+//! byte-identical to the pre-cascade engine, `TopK(K ≥ window)` is
+//! exactly equivalent to `Off` (PSMs **and** receipts), a lossy K
+//! preserves the 1% FDR identification count on the evaluation
+//! workload, and the knob is rejected on engines that cannot run it.
+
+use hdoms_engine::{BatchReceipt, Engine, ReferenceMeta};
+use hdoms_index::{IndexConfig, IndexedBackendKind};
+use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_oms::psm::render_table;
+use hdoms_oms::window::PrecursorWindow;
+use hdoms_prefilter::{PrefilterConfig, DEFAULT_TOP_K};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const THREADS: usize = 4;
+const DIM: usize = 2048;
+
+fn engine_for(workload: &SyntheticWorkload, dim: usize, entries_per_shard: usize) -> Engine {
+    let mut config = IndexConfig {
+        entries_per_shard,
+        threads: THREADS,
+        ..IndexConfig::default()
+    };
+    if let IndexedBackendKind::Exact(exact) = &mut config.kind {
+        exact.encoder.dim = dim;
+    }
+    Engine::from_library(&workload.library, config)
+}
+
+/// The receipt fields the cascade contract covers: everything the
+/// engine *counts* (timings legitimately differ run to run).
+fn counted(receipt: &BatchReceipt) -> (usize, usize, usize, usize, usize, usize) {
+    (
+        receipt.queries,
+        receipt.psms,
+        receipt.candidates_scored,
+        receipt.candidates_pre,
+        receipt.candidates_post,
+        receipt.shards_touched,
+    )
+}
+
+#[test]
+fn topk_at_window_size_is_byte_identical_to_off() {
+    // K at the library size bounds every precursor window, so the
+    // narrowing stage must pass every candidate list through untouched:
+    // identical PSM bytes, identical accounting.
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 7001);
+    let window = PrecursorWindow::open_default();
+
+    let off = Arc::new(engine_for(&workload, DIM, 64));
+    let mut topk = engine_for(&workload, DIM, 64);
+    topk.set_prefilter(PrefilterConfig::TopK(workload.library.len()))
+        .expect("sharded index-backed engine accepts TopK");
+    let topk = Arc::new(topk);
+
+    let (off_outcome, off_receipt) = off.search(&workload.queries, window, 0.01);
+    let (topk_outcome, topk_receipt) = topk.search(&workload.queries, window, 0.01);
+
+    assert_eq!(topk_outcome, off_outcome);
+    assert_eq!(
+        render_table(topk.peptides(), &topk_outcome),
+        render_table(off.peptides(), &off_outcome),
+    );
+    assert_eq!(counted(&topk_receipt), counted(&off_receipt));
+    assert_eq!(
+        topk_receipt.candidates_pre, topk_receipt.candidates_post,
+        "a window-covering K must not drop a candidate"
+    );
+    assert_eq!(off_receipt.sketch_ms, 0.0, "off pays no sketch cost");
+}
+
+#[test]
+fn off_engine_is_byte_identical_whether_set_explicitly_or_not() {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 7002);
+    let window = PrecursorWindow::open_default();
+
+    let baseline = Arc::new(engine_for(&workload, DIM, 64));
+    let mut explicit = engine_for(&workload, DIM, 64);
+    explicit
+        .set_prefilter(PrefilterConfig::Off)
+        .expect("Off is always accepted");
+    let explicit = Arc::new(explicit);
+
+    let (base_outcome, base_receipt) = baseline.search(&workload.queries, window, 0.01);
+    let (expl_outcome, expl_receipt) = explicit.search(&workload.queries, window, 0.01);
+    assert_eq!(expl_outcome, base_outcome);
+    assert_eq!(
+        render_table(explicit.peptides(), &expl_outcome),
+        render_table(baseline.peptides(), &base_outcome),
+    );
+    assert_eq!(counted(&expl_receipt), counted(&base_receipt));
+    assert_eq!(expl_receipt.sketch_ms, 0.0);
+}
+
+#[test]
+fn lossy_k_preserves_fdr_identifications_on_iprg() {
+    // The recall contract at the default K on the evaluation workload:
+    // precursor windows (~650 candidates at this scale) are narrowed
+    // ~2.5x, yet the 1% FDR identification count moves by at most 2%.
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::iprg2012(0.01), 7003);
+    let window = PrecursorWindow::open_default();
+
+    let off = Arc::new(engine_for(&workload, DIM, 256));
+    let mut topk = engine_for(&workload, DIM, 256);
+    topk.set_prefilter(PrefilterConfig::TopK(DEFAULT_TOP_K))
+        .expect("sharded index-backed engine accepts TopK");
+    let topk = Arc::new(topk);
+
+    let (off_outcome, _) = off.search(&workload.queries, window, 0.01);
+    let (topk_outcome, topk_receipt) = topk.search(&workload.queries, window, 0.01);
+
+    assert!(
+        topk_receipt.candidates_post < topk_receipt.candidates_pre,
+        "the evaluation windows must actually be narrowed \
+         ({} -> {})",
+        topk_receipt.candidates_pre,
+        topk_receipt.candidates_post,
+    );
+    let ids_off = off_outcome.identifications();
+    let ids_k = topk_outcome.identifications();
+    let tolerance = ((ids_off as f64) * 0.02).ceil().max(1.0) as usize;
+    assert!(
+        ids_k.abs_diff(ids_off) <= tolerance,
+        "1% FDR ids moved {ids_off} -> {ids_k} (tolerance {tolerance})"
+    );
+}
+
+#[test]
+fn per_batch_override_matches_the_engine_default() {
+    // `search_with_workers_opts(.., Some(config))` must behave exactly
+    // like an engine whose default is `config` — in both directions.
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 7004);
+    let window = PrecursorWindow::open_default();
+    let k = 8; // deliberately lossy so Off and TopK are distinguishable
+
+    let off_default = Arc::new(engine_for(&workload, DIM, 64));
+    let mut topk_default = engine_for(&workload, DIM, 64);
+    topk_default
+        .set_prefilter(PrefilterConfig::TopK(k))
+        .expect("accepted");
+    let topk_default = Arc::new(topk_default);
+
+    let (off_outcome, _) = off_default.search(&workload.queries, window, 0.01);
+    let (topk_outcome, _) = topk_default.search(&workload.queries, window, 0.01);
+
+    // Override an Off engine up to TopK and a TopK engine down to Off.
+    let (up, up_receipt) = off_default
+        .search_with_workers_opts(
+            &workload.queries,
+            window,
+            0.01,
+            THREADS,
+            Some(PrefilterConfig::TopK(k)),
+        )
+        .expect("override accepted");
+    let (down, down_receipt) = topk_default
+        .search_with_workers_opts(
+            &workload.queries,
+            window,
+            0.01,
+            THREADS,
+            Some(PrefilterConfig::Off),
+        )
+        .expect("override accepted");
+    assert_eq!(up, topk_outcome, "Off engine overridden to TopK diverged");
+    assert_eq!(down, off_outcome, "TopK engine overridden to Off diverged");
+    assert!(up_receipt.candidates_post <= up_receipt.candidates_pre);
+    assert_eq!(down_receipt.sketch_ms, 0.0);
+    assert_eq!(down_receipt.candidates_pre, down_receipt.candidates_post);
+}
+
+#[test]
+fn topk_is_rejected_off_the_sharded_index_path() {
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 7005);
+
+    // Flat (unsharded) warm engine: no shard walk to narrow.
+    let index = engine_for(&workload, DIM, 64)
+        .index()
+        .expect("cold keeps index")
+        .clone();
+    let mut flat = Engine::from_index_flat(index, THREADS).expect("same kind");
+    assert!(flat.set_prefilter(PrefilterConfig::TopK(16)).is_err());
+    assert!(flat.set_prefilter(PrefilterConfig::Off).is_ok());
+
+    // Custom-backend engine: no index to sketch.
+    let config = hdoms_baselines::annsolo::AnnSoloConfig {
+        threads: THREADS,
+        ..hdoms_baselines::annsolo::AnnSoloConfig::default()
+    };
+    let backend = hdoms_baselines::annsolo::AnnSoloBackend::build(&workload.library, config);
+    let mut custom = Engine::from_backend(
+        Box::new(backend),
+        config.preprocess,
+        ReferenceMeta::from_library(&workload.library),
+        THREADS,
+    );
+    assert!(custom.set_prefilter(PrefilterConfig::TopK(16)).is_err());
+    assert!(custom.set_prefilter(PrefilterConfig::Off).is_ok());
+
+    // The per-batch override path enforces the same contract.
+    let flat = Arc::new(flat);
+    assert!(flat
+        .search_with_workers_opts(
+            &workload.queries,
+            PrecursorWindow::open_default(),
+            0.01,
+            THREADS,
+            Some(PrefilterConfig::TopK(16)),
+        )
+        .is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Satellite 3: for arbitrary dimensions, shard sizes, and window
+    /// shapes, `TopK(K ≥ every window)` renders byte-identical PSM
+    /// tables to `Off` — K at the library size bounds any window.
+    #[test]
+    fn covering_k_equals_off_for_arbitrary_shapes(
+        seed in 0u64..1000,
+        dim_pow in 8u32..12,          // dim 256..2048
+        shard_pow in 4u32..8,         // 16..128 entries/shard
+        standard_window in any::<bool>(),
+    ) {
+        let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), seed);
+        let dim = 1usize << dim_pow;
+        let shard = 1usize << shard_pow;
+        let window = if standard_window {
+            PrecursorWindow::standard_default()
+        } else {
+            PrecursorWindow::open_default()
+        };
+
+        let off = Arc::new(engine_for(&workload, dim, shard));
+        let mut topk = engine_for(&workload, dim, shard);
+        topk.set_prefilter(PrefilterConfig::TopK(workload.library.len()))
+            .expect("sharded index-backed engine accepts TopK");
+        let topk = Arc::new(topk);
+
+        let (off_outcome, off_receipt) = off.search(&workload.queries, window, 0.01);
+        let (topk_outcome, topk_receipt) = topk.search(&workload.queries, window, 0.01);
+        prop_assert_eq!(&topk_outcome, &off_outcome);
+        prop_assert_eq!(
+            render_table(topk.peptides(), &topk_outcome),
+            render_table(off.peptides(), &off_outcome)
+        );
+        prop_assert_eq!(counted(&topk_receipt), counted(&off_receipt));
+    }
+}

@@ -1,14 +1,17 @@
 //! The versioned `HDX` on-disk format: section layout and config codecs.
 //!
-//! ## Layout (format versions 1 and 2)
+//! ## Layout (format versions 1–3)
 //!
 //! ```text
 //! preamble   magic "HDOMSIDX" (8) · format version u32 · header length u64
 //! header     backend kind + configs · build stats · dim · entry count ·
 //!            shard boundaries · shard table (byte length per shard) ·
-//!            MLC section length                          + XXH64 trailer
+//!            MLC section length · sketch section length (v3)
+//!                                                       + XXH64 trailer
 //! mlc        differential ID-memory weight pairs (f32) · σ_δ
 //!            (present only for the RRAM accelerator kind) + XXH64 trailer
+//! sketch     folded-hypervector prefilter signatures (v3 only; see
+//!            [`put_sketches`])                           + XXH64 trailer
 //! shard[i]   entry records (id, masses, charge, decoy flag, peptide,
 //!            optional encoded hypervector)               + XXH64 trailer
 //! ```
@@ -28,6 +31,16 @@
 //! mapped reference table over the single file buffer, and no
 //! per-reference hypervector is ever materialised. Version 1 files stay
 //! readable through the original copying decoder.
+//!
+//! **Version 3** adds one optional section — the prefilter's
+//! folded-hypervector sketch signatures
+//! ([`hdoms_prefilter::SketchIndex`]) — between the MLC and shard
+//! sections, plus its length field at the end of the header. Nothing
+//! about the v2 sections changes: a v3 file with the sketch section
+//! stripped (and the header field dropped) is byte-identical to the v2
+//! encoding, v1/v2 files stay readable, and loading a v1/v2 file simply
+//! derives the sketches on the fly when a search wants them
+//! ([`crate::LibraryIndex::sketch_index`]).
 
 use crate::wire::{Reader, WireError, Writer};
 use hdoms_baselines::hyperoms::HyperOmsConfig;
@@ -38,6 +51,7 @@ use hdoms_hdc::multibit::IdPrecision;
 use hdoms_hdc::BinaryHypervector;
 use hdoms_ms::preprocess::{IntensityScaling, PreprocessConfig};
 use hdoms_oms::search::{ExactBackendConfig, SharedReferences};
+use hdoms_prefilter::SketchIndex;
 use hdoms_rram::array::CrossbarConfig;
 use hdoms_rram::config::MlcConfig;
 use std::fmt;
@@ -47,10 +61,11 @@ pub const MAGIC: [u8; 8] = *b"HDOMSIDX";
 
 /// Current format version (written by default). Readers reject anything
 /// newer.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Oldest format version readers still decode (v1 loads through the
-/// copying path; only v2 supports mapped loads).
+/// copying path; v2 and v3 support mapped loads; only v3 carries the
+/// persisted prefilter sketch section).
 pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Zero bytes needed after `pos` to reach an 8-byte boundary.
@@ -724,4 +739,38 @@ pub fn get_mlc_state(bytes: &[u8]) -> Result<MlcState, IndexError> {
     let sigma_delta = r.f64("mlc_state.sigma_delta")?;
     r.expect_end("mlc_state")?;
     Ok(MlcState { w_eff, sigma_delta })
+}
+
+/// Encode the **v3** prefilter sketch section payload: the full
+/// hypervector word count, the sampled word indices, the slot count, the
+/// presence bitset, and the dense `slots × words` signature table.
+pub fn put_sketches(sketch: &SketchIndex) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize(sketch.full_words());
+    w.usize(sketch.selected().len());
+    for &word in sketch.selected() {
+        w.u32(word);
+    }
+    w.usize(sketch.len());
+    w.u64_slice(sketch.present_bits());
+    w.u64_slice(sketch.table());
+    w.into_bytes()
+}
+
+/// Decode the **v3** prefilter sketch section payload, validating the
+/// structural invariants [`SketchIndex::from_parts`] enforces.
+pub fn get_sketches(bytes: &[u8]) -> Result<SketchIndex, IndexError> {
+    let mut r = Reader::new(bytes);
+    let full_words = r.u64("sketch.full_words")? as usize;
+    let count = r.checked_len("sketch.selected_count", 4)?;
+    let mut selected = Vec::with_capacity(count);
+    for _ in 0..count {
+        selected.push(r.u32("sketch.selected")?);
+    }
+    let slots = r.u64("sketch.slots")? as usize;
+    let present = r.u64_slice("sketch.present")?;
+    let table = r.u64_slice("sketch.table")?;
+    r.expect_end("sketch")?;
+    SketchIndex::from_parts(full_words, selected, table, present, slots)
+        .map_err(IndexError::Invalid)
 }

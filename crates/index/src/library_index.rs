@@ -20,6 +20,7 @@ use hdoms_ms::preprocess::Preprocessor;
 use hdoms_oms::candidates::CandidateIndex;
 use hdoms_oms::pipeline::ReferenceCatalog;
 use hdoms_oms::search::{ExactBackend, ExactBackendConfig, MappedReferences, SharedReferences};
+use hdoms_prefilter::{SketchIndex, SKETCH_WORDS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
@@ -167,6 +168,7 @@ impl IndexBuilder {
             references,
             by_id: Vec::new(),
             peptides: OnceLock::new(),
+            sketches: OnceLock::new(),
         };
         index.rebuild_by_id();
         index
@@ -225,6 +227,10 @@ pub struct LibraryIndex {
     /// caller (cleared on mutation) — loads stay free of per-peptide
     /// clones, and per-session serve calls cost one `Arc` bump.
     peptides: OnceLock<Arc<[String]>>,
+    /// The prefilter's folded-hypervector sketch table, pre-populated on
+    /// a v3 load and derived lazily otherwise (see
+    /// [`LibraryIndex::sketch_index`]); cleared on mutation.
+    sketches: OnceLock<Arc<SketchIndex>>,
 }
 
 impl PartialEq for LibraryIndex {
@@ -236,7 +242,7 @@ impl PartialEq for LibraryIndex {
             && self.mlc == other.mlc
             && self.shards == other.shards
             && self.references == other.references
-        // `by_id` and `peptides` are derived from the shards.
+        // `by_id`, `peptides` and `sketches` are derived state.
     }
 }
 
@@ -296,6 +302,22 @@ impl LibraryIndex {
     /// than copied.
     pub fn shared_references(&self) -> &SharedReferences {
         &self.references
+    }
+
+    /// The prefilter's folded-hypervector sketch table over this index's
+    /// references (see [`hdoms_prefilter::SketchIndex`]). Pre-populated
+    /// when a v3 file carried the persisted sketch section; derived on
+    /// the fly (once, then shared) for cold builds and v1/v2 loads — the
+    /// derivation samples the same words [`IndexBuilder`] persists, so
+    /// the two paths produce identical sketches.
+    pub fn sketch_index(&self) -> Arc<SketchIndex> {
+        Arc::clone(self.sketches.get_or_init(|| {
+            Arc::new(SketchIndex::build(
+                self.dim(),
+                SKETCH_WORDS,
+                self.references.iter().map(|hv| hv.map(|h| h.words())),
+            ))
+        }))
     }
 
     /// Shard assignment by dense id (`shard_of[id]` = shard position).
@@ -536,6 +558,9 @@ impl LibraryIndex {
         }
         self.entry_count += new_entries.len();
         self.rebuild_by_id();
+        // The sketch table covers the old slots only — rebuild on the
+        // next prefiltered search (or persist).
+        self.sketches = OnceLock::new();
     }
 
     /// Recompute the dense `id → (mass, decoy)` side table from the
@@ -578,10 +603,11 @@ impl LibraryIndex {
         self.to_bytes_version(FORMAT_VERSION)
     }
 
-    /// Serialise with an explicit format version: `2` (the default) lays
-    /// shard hypervector words out 8-aligned for in-place mapped loads;
-    /// `1` reproduces the original inline-words layout for older
-    /// readers.
+    /// Serialise with an explicit format version: `3` (the default) adds
+    /// the persisted prefilter sketch section; `2` lays shard
+    /// hypervector words out 8-aligned for in-place mapped loads without
+    /// the sketch section; `1` reproduces the original inline-words
+    /// layout for older readers.
     ///
     /// # Panics
     ///
@@ -593,6 +619,7 @@ impl LibraryIndex {
         );
         let dim = self.dim();
         let mlc_bytes = self.mlc.as_ref().map(format::put_mlc_state);
+        let sketch_bytes = (version >= 3).then(|| format::put_sketches(&self.sketch_index()));
         let shard_bytes: Vec<Vec<u8>> = self
             .shards
             .iter()
@@ -611,6 +638,9 @@ impl LibraryIndex {
         header.usize(self.entries_per_shard);
         header.usize(self.entry_count);
         header.usize(mlc_bytes.as_ref().map_or(0, Vec::len));
+        if version >= 3 {
+            header.usize(sketch_bytes.as_ref().map_or(0, Vec::len));
+        }
         header.usize(shard_bytes.len());
         for bytes in &shard_bytes {
             header.usize(bytes.len());
@@ -623,7 +653,7 @@ impl LibraryIndex {
         out.usize(header.len());
         out.raw(&header);
         out.u64(xxh64(&header, CHECKSUM_SEED));
-        // In v2, zero padding brings every section payload to an
+        // In v2+, zero padding brings every section payload to an
         // 8-aligned absolute offset, so the word blocks inside v2 shard
         // payloads land 8-aligned in the file.
         let pad_if_v2 = |out: &mut Writer| {
@@ -634,6 +664,11 @@ impl LibraryIndex {
             }
         };
         if let Some(bytes) = &mlc_bytes {
+            pad_if_v2(&mut out);
+            out.raw(bytes);
+            out.u64(xxh64(bytes, CHECKSUM_SEED));
+        }
+        if let Some(bytes) = &sketch_bytes {
             pad_if_v2(&mut out);
             out.raw(bytes);
             out.u64(xxh64(bytes, CHECKSUM_SEED));
@@ -887,6 +922,7 @@ struct ParsedSections {
     entries_per_shard: usize,
     entry_count: usize,
     mlc: Option<MlcState>,
+    sketches: Option<SketchIndex>,
     shards: Vec<SectionRange>,
 }
 
@@ -908,7 +944,29 @@ impl ParsedSections {
             references,
             by_id: Vec::new(),
             peptides: OnceLock::new(),
+            sketches: OnceLock::new(),
         };
+        if let Some(sketches) = self.sketches {
+            if sketches.len() != index.entry_count {
+                return Err(IndexError::Invalid(format!(
+                    "sketch section covers {} slots for {} declared entries",
+                    sketches.len(),
+                    index.entry_count
+                )));
+            }
+            if sketches.full_words() != index.dim().div_ceil(64) {
+                return Err(IndexError::Invalid(format!(
+                    "sketch section samples a {}-word hypervector, dimension {} has {}",
+                    sketches.full_words(),
+                    index.dim(),
+                    index.dim().div_ceil(64)
+                )));
+            }
+            index
+                .sketches
+                .set(Arc::new(sketches))
+                .expect("freshly constructed cache is empty");
+        }
         index.validate()?;
         index.rebuild_by_id();
         Ok(index)
@@ -955,6 +1013,11 @@ fn parse_sections(bytes: &[u8]) -> Result<ParsedSections, IndexError> {
         )));
     }
     let mlc_len = h.u64("header.mlc_len")? as usize;
+    let sketch_len = if version >= 3 {
+        h.u64("header.sketch_len")? as usize
+    } else {
+        0
+    };
     let shard_count = h.checked_len("header.shard_count", 8)?;
     let mut shard_lens = Vec::with_capacity(shard_count);
     for _ in 0..shard_count {
@@ -991,6 +1054,20 @@ fn parse_sections(bytes: &[u8]) -> Result<ParsedSections, IndexError> {
         Some(format::get_mlc_state(payload)?)
     };
 
+    let sketches = if sketch_len == 0 {
+        None
+    } else {
+        skip_pad(&mut r)?;
+        let payload = r.raw(sketch_len, "sketch_section")?;
+        let hash = r.u64("sketch_checksum")?;
+        if xxh64(payload, CHECKSUM_SEED) != hash {
+            return Err(IndexError::ChecksumMismatch {
+                section: "sketch".to_owned(),
+            });
+        }
+        Some(format::get_sketches(payload)?)
+    };
+
     let mut shards = Vec::with_capacity(shard_count);
     for &len in &shard_lens {
         skip_pad(&mut r)?;
@@ -1008,6 +1085,7 @@ fn parse_sections(bytes: &[u8]) -> Result<ParsedSections, IndexError> {
         entries_per_shard,
         entry_count,
         mlc,
+        sketches,
         shards,
     })
 }

@@ -24,6 +24,7 @@ use hdoms_hdc::BinaryHypervector;
 use hdoms_ms::preprocess::BinnedSpectrum;
 use hdoms_obs::metrics::{Counter, Histogram, Registry};
 use hdoms_oms::search::{ExactBackend, SearchHit, SimilarityBackend};
+use hdoms_prefilter::{PrefilterStats, SketchIndex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -144,6 +145,40 @@ impl ShardClock {
 struct BackendMetrics {
     score_ms: Arc<Histogram>,
     visits: Arc<Counter>,
+}
+
+/// Batch-wide cascade accumulators: plain atomics so the per-query
+/// narrowing closures can record from any worker thread without locks
+/// (sketch wall-clock is summed in integer nanoseconds and converted
+/// once).
+struct PrefilterClock {
+    pre: AtomicU64,
+    post: AtomicU64,
+    ns: AtomicU64,
+}
+
+impl PrefilterClock {
+    fn new() -> PrefilterClock {
+        PrefilterClock {
+            pre: AtomicU64::new(0),
+            post: AtomicU64::new(0),
+            ns: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, pre: u64, post: u64, ns: u64) {
+        self.pre.fetch_add(pre, Ordering::Relaxed);
+        self.post.fetch_add(post, Ordering::Relaxed);
+        self.ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> PrefilterStats {
+        PrefilterStats {
+            candidates_pre: self.pre.load(Ordering::Relaxed),
+            candidates_post: self.post.load(Ordering::Relaxed),
+            sketch_ms: self.ns.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
 }
 
 /// Merge per-shard best hits with the flat scan's tie-break.
@@ -312,24 +347,45 @@ impl ShardedBackend {
         candidates: &[u32],
         parallel_shards: usize,
     ) -> Option<SearchHit> {
-        self.search_one_clocked(binned, candidates, parallel_shards, None)
+        self.search_one_clocked(binned, candidates, parallel_shards, None, None)
     }
 
     /// [`ShardedBackend::search_one`], optionally timing each shard
-    /// run into `clock` (and the attached registry series). The
-    /// untimed call compiles down to the pre-tracing code path: no
-    /// clock reads happen unless a clock is passed.
+    /// run into `clock` (and the attached registry series), and
+    /// optionally narrowing the candidate list through the prefilter's
+    /// sketch stage first. The untimed, unfiltered call compiles down
+    /// to the pre-tracing code path: no clock reads or sketch work
+    /// happen unless the respective option is passed.
     fn search_one_clocked(
         &self,
         binned: &BinnedSpectrum,
         candidates: &[u32],
         parallel_shards: usize,
         clock: Option<&ShardClock>,
+        prefilter: Option<(&SketchIndex, usize, &PrefilterClock)>,
     ) -> Option<SearchHit> {
         if candidates.is_empty() {
             return None;
         }
         let query_hv = self.scorer.prepare(binned);
+        // The sketch stage sits between encode and the shard walk: the
+        // narrowed list keeps the original (ascending-mass) candidate
+        // order, so the run partition below stays valid.
+        let narrowed: Vec<u32>;
+        let candidates = match prefilter {
+            None => candidates,
+            Some((sketch, k, pclock)) => {
+                let start = Instant::now();
+                let signature = sketch.sketch_query(query_hv.words());
+                narrowed = sketch.narrow(&signature, candidates, k);
+                pclock.record(
+                    candidates.len() as u64,
+                    narrowed.len() as u64,
+                    start.elapsed().as_nanos() as u64,
+                );
+                &narrowed
+            }
+        };
         let runs = self.shard_runs(candidates);
         let score = |run: &[u32]| -> Option<SearchHit> {
             let Some(clock) = clock else {
@@ -420,6 +476,37 @@ impl ShardedBackend {
         candidates: &[Vec<u32>],
         workers: Option<usize>,
     ) -> (Vec<Option<SearchHit>>, Vec<ShardTiming>) {
+        let (hits, timings, _) = self.search_batch_prefiltered(queries, candidates, workers, None);
+        (hits, timings)
+    }
+
+    /// [`ShardedBackend::search_batch_traced`] with the two-stage
+    /// cascade: when `prefilter` is `Some((sketch, k))`, every query's
+    /// candidate list is narrowed to its top-`k` sketch scorers
+    /// ([`SketchIndex::narrow`]) between the one-time query encode and
+    /// the shard walk, and the returned [`PrefilterStats`] account the
+    /// pre/post candidate counts plus the sketch stage's summed
+    /// wall-clock.
+    ///
+    /// With `prefilter` of `None` the scan, hits and timings are
+    /// byte-identical to [`ShardedBackend::search_batch_traced`] and the
+    /// stats come back zeroed (the caller reports the unfiltered
+    /// candidate total for both stage counts). With `k` at or above
+    /// every window size the narrowed lists equal the input lists, so
+    /// hits, timings *and* per-stage counts match the unfiltered scan
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queries` and `candidates` do not pair up, or the
+    /// sketch does not cover the backend's reference ids.
+    pub fn search_batch_prefiltered(
+        &self,
+        queries: &[BinnedSpectrum],
+        candidates: &[Vec<u32>],
+        workers: Option<usize>,
+        prefilter: Option<(&SketchIndex, usize)>,
+    ) -> (Vec<Option<SearchHit>>, Vec<ShardTiming>, PrefilterStats) {
         let workers = workers.unwrap_or(self.threads).max(1);
         assert_eq!(
             queries.len(),
@@ -427,19 +514,21 @@ impl ShardedBackend {
             "queries and candidate lists must pair up"
         );
         let clock = ShardClock::new(self.shard_count);
+        let pclock = PrefilterClock::new();
+        let narrowing = prefilter.map(|(sketch, k)| (sketch, k, &pclock));
         let hits = if queries.len() >= workers {
             let jobs: Vec<usize> = (0..queries.len()).collect();
             par_map(&jobs, workers, |&i| {
-                self.search_one_clocked(&queries[i], &candidates[i], 1, Some(&clock))
+                self.search_one_clocked(&queries[i], &candidates[i], 1, Some(&clock), narrowing)
             })
         } else {
             queries
                 .iter()
                 .zip(candidates)
-                .map(|(q, c)| self.search_one_clocked(q, c, workers, Some(&clock)))
+                .map(|(q, c)| self.search_one_clocked(q, c, workers, Some(&clock), narrowing))
                 .collect()
         };
-        (hits, clock.timings())
+        (hits, clock.timings(), pclock.stats())
     }
 }
 

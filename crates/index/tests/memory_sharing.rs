@@ -11,8 +11,9 @@
 //!    over a v2 file image) performs **zero** per-reference hypervector
 //!    allocations: its allocation traffic is bounded by the metadata,
 //!    and the copying path exceeds it by at least the full payload;
-//! 4. versioning — a v1 file image round-trips through the v2 writer
-//!    and back with identical search storage.
+//! 4. versioning — v1, v2 and v3 file images cross round-trip with
+//!    identical search storage, and the v3 sketch section matches the
+//!    on-the-fly derivation older images fall back to.
 //!
 //! The allocator counter is process-global, so every test that measures
 //! it (or allocates heavily while another measures) serialises on one
@@ -227,7 +228,7 @@ fn mapped_load_performs_zero_per_reference_hypervector_allocations() {
 }
 
 #[test]
-fn v1_and_v2_images_cross_roundtrip() {
+fn v1_v2_and_v3_images_cross_roundtrip() {
     let _serial = ALLOCATOR_WINDOWS.lock().unwrap();
     let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 102);
     let mut exact = ExactBackendConfig::default();
@@ -254,18 +255,35 @@ fn v1_and_v2_images_cross_roundtrip() {
     // v1 → load → re-serialise as v2 → mapped load: same index, now
     // searchable in place.
     let v2 = from_v1.to_bytes_version(2);
-    assert_eq!(v2, index.to_bytes(), "v2 is the default encoding");
     let from_v2 =
         LibraryIndex::from_buffer(hdoms_hdc::WordBuffer::from_bytes(&v2), 4).expect("v2 loads");
     assert!(from_v2.shared_references().is_mapped());
     assert_eq!(from_v2, index);
 
-    // …and back down: a mapped index re-serialises to the identical v1
-    // image it came from.
-    assert_eq!(from_v2.to_bytes_version(1), v1);
+    // v3 (the default) adds the persisted prefilter sketch section and
+    // still mapped-loads in place.
+    let v3 = index.to_bytes_version(3);
+    assert_eq!(v3, index.to_bytes(), "v3 is the default encoding");
+    let from_v3 =
+        LibraryIndex::from_buffer(hdoms_hdc::WordBuffer::from_bytes(&v3), 4).expect("v3 loads");
+    assert!(from_v3.shared_references().is_mapped());
+    assert_eq!(from_v3, index);
 
-    // The two images really differ on disk (v2 is the aligned layout),
-    // but agree byte-for-byte about every hypervector.
+    // …and back down: every loaded image re-serialises byte-identically
+    // at every older version, so v1/v2 readers keep working against
+    // down-converted files.
+    assert_eq!(from_v2.to_bytes_version(1), v1);
+    assert_eq!(from_v3.to_bytes_version(1), v1);
+    assert_eq!(from_v3.to_bytes_version(2), v2);
+
+    // A v2 image carries no sketch section; deriving it on the fly must
+    // produce exactly the table the v3 image persisted.
+    assert_eq!(from_v2.sketch_index(), from_v3.sketch_index());
+
+    // The three images really differ on disk (alignment, sketch
+    // section), but agree byte-for-byte about every hypervector.
     assert_ne!(v1, v2);
+    assert_ne!(v2, v3);
     assert_eq!(from_v1.shared_references(), from_v2.shared_references());
+    assert_eq!(from_v2.shared_references(), from_v3.shared_references());
 }

@@ -14,6 +14,7 @@ use hdoms_hdc::parallel::par_map;
 use hdoms_hdc::{BinaryHypervector, HvRef, WordBuffer};
 use hdoms_ms::library::SpectralLibrary;
 use hdoms_ms::preprocess::{BinnedSpectrum, PreprocessConfig, Preprocessor};
+use hdoms_prefilter::SketchIndex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -441,6 +442,10 @@ pub struct ExactBackend {
     /// the reference failed preprocessing (too few peaks). Shared, so a
     /// warm load from a persistent index does not duplicate the words.
     reference_hvs: SharedReferences,
+    /// The two-stage cascade's sketch stage, when enabled: each query's
+    /// candidate list is narrowed to the top-K sketch scorers before the
+    /// exact scan ([`ExactBackend::set_prefilter`]).
+    prefilter: Option<(Arc<SketchIndex>, usize)>,
 }
 
 impl ExactBackend {
@@ -469,6 +474,7 @@ impl ExactBackend {
             config,
             encoder,
             reference_hvs: reference_hvs.into(),
+            prefilter: None,
         }
     }
 
@@ -503,6 +509,7 @@ impl ExactBackend {
             config,
             encoder,
             reference_hvs,
+            prefilter: None,
         }
     }
 
@@ -571,7 +578,44 @@ impl ExactBackend {
             config,
             encoder: self.encoder.clone(),
             reference_hvs,
+            // A sketch built over the clean references no longer matches
+            // corrupted storage — derived variants start unfiltered.
+            prefilter: None,
         }
+    }
+
+    /// Enable the two-stage cascade: narrow every candidate list to the
+    /// `k` best scorers under `sketch` before the exact scan. `sketch`
+    /// must cover this backend's reference table (same slots, same
+    /// hypervector width).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero or the sketch shape disagrees with the
+    /// reference table.
+    pub fn set_prefilter(&mut self, sketch: Arc<SketchIndex>, k: usize) {
+        assert!(k > 0, "prefilter K must be >= 1 (clear it to disable)");
+        assert_eq!(
+            sketch.len(),
+            self.reference_hvs.len(),
+            "sketch slots must cover the reference table"
+        );
+        assert_eq!(
+            sketch.full_words(),
+            self.config.encoder.dim.div_ceil(64),
+            "sketch samples a different hypervector width than the encoder"
+        );
+        self.prefilter = Some((sketch, k));
+    }
+
+    /// Disable the cascade (return to scanning every candidate).
+    pub fn clear_prefilter(&mut self) {
+        self.prefilter = None;
+    }
+
+    /// The active sketch index and K, when the cascade is enabled.
+    pub fn prefilter(&self) -> Option<(&Arc<SketchIndex>, usize)> {
+        self.prefilter.as_ref().map(|(sketch, k)| (sketch, *k))
     }
 
     /// Encode one query, applying the configured encode-path bit errors.
@@ -614,6 +658,18 @@ impl SimilarityBackend for ExactBackend {
             "queries and candidate lists must pair up"
         );
         let dim = self.encoder.config().dim;
+        if let Some((sketch, k)) = &self.prefilter {
+            // The cascade narrows each query's list individually, so the
+            // narrowed lists of consecutive queries rarely coincide —
+            // take the per-query scan (encode → sketch → narrow → exact).
+            let jobs: Vec<usize> = (0..queries.len()).collect();
+            return par_map(&jobs, self.config.threads, |&i| {
+                let query_hv = self.encode_query(&queries[i]);
+                let signature = sketch.sketch_query(query_hv.words());
+                let narrowed = sketch.narrow(&signature, &candidates[i], *k);
+                best_hit(&self.reference_hvs, dim, &query_hv, &narrowed)
+            });
+        }
         // Consecutive queries sharing one candidate list form a query
         // block for the blocked kernel (one reference sweep per block);
         // everything else takes the 1 × R tiled scan. Either way the
@@ -814,6 +870,50 @@ mod tests {
             .collect();
         assert_eq!(blocked, singles);
         assert!(blocked.iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn mixed_grouping_boundaries_match_per_query_scans() {
+        // Regression for the candidate-block grouping: a batch where
+        // *some* consecutive queries share a candidate list and others
+        // differ exercises every group boundary — shared runs longer
+        // than QUERY_TILE (forced splits), singleton runs, empty lists,
+        // and back-to-back distinct lists. Each hit must equal the
+        // per-query tiled scan regardless of how the batch was cut.
+        let (_, backend, queries, cands) = setup();
+        let n = backend.shared_references().len() as u32;
+        let all: Vec<u32> = (0..n).collect();
+        let evens: Vec<u32> = (0..n).step_by(2).collect();
+        let mixed: Vec<Vec<u32>> = (0..queries.len())
+            .map(|i| match i % 7 {
+                // A long shared run (wraps past QUERY_TILE across the
+                // batch), a second shared run, per-query windows, an
+                // empty list, and a singleton distinct list.
+                0..=2 => all.clone(),
+                3 | 4 => evens.clone(),
+                5 => Vec::new(),
+                _ => cands[i].clone(),
+            })
+            .collect();
+        let grouped = backend.search_batch(&queries, &mixed);
+        let dim = backend.encoder().config().dim;
+        let singles: Vec<Option<SearchHit>> = queries
+            .iter()
+            .zip(&mixed)
+            .map(|(q, c)| {
+                let hv = backend.encode_query(q);
+                best_hit(backend.shared_references(), dim, &hv, c)
+            })
+            .collect();
+        assert_eq!(grouped, singles);
+        assert!(grouped.iter().any(Option::is_some));
+        assert!(
+            grouped
+                .iter()
+                .zip(&mixed)
+                .any(|(h, c)| c.is_empty() && h.is_none()),
+            "the empty-list lane must survive grouping as None"
+        );
     }
 
     #[test]

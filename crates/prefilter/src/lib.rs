@@ -1,0 +1,549 @@
+//! Two-stage ANN candidate cascade: a folded-hypervector **sketch
+//! index** plus the top-K prefilter that narrows precursor-window
+//! candidate lists before the exact scan.
+//!
+//! Every query used to exact-scan its entire precursor window, so
+//! per-query cost grew linearly with library size. The cascade splits
+//! the scan in two:
+//!
+//! 1. **Sketch stage** — every reference hypervector is *folded* down
+//!    to a fixed-width signature (a strided sample of its packed
+//!    words, [`SketchIndex::word_selection`]). Query signatures are
+//!    scored against every candidate signature through the same
+//!    dispatched distance kernels the exact scan uses
+//!    ([`hdoms_hdc::kernels`]) — a few words per pair instead of the
+//!    full dimension.
+//! 2. **Exact stage** — only the top-K sketch scorers survive
+//!    ([`SketchIndex::narrow`]) and are re-scored at full dimension by
+//!    the existing backends.
+//!
+//! Because a bit sampled from a binary hypervector preserves the
+//! Hamming geometry in expectation (each word is an unbiased 64-bit
+//! sample of the full distance), sketch ranking tracks exact ranking
+//! closely; the knob trading recall for speed is K
+//! ([`PrefilterConfig::TopK`]). `PrefilterConfig::Off` bypasses the
+//! cascade entirely and is byte-identical to the pre-cascade pipeline.
+//!
+//! Survivors are always emitted in **original candidate-list order**
+//! (ascending precursor mass): the sharded backend depends on
+//! mass-contiguity to walk shard runs, and a stable order keeps the
+//! exact stage's tie-breaking identical to an unfiltered scan over the
+//! same set.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use hdoms_hdc::kernels::{self, REFERENCE_TILE};
+
+/// Default signature width in 64-bit words (1024 bits). Wide enough
+/// that sketch ranking keeps recall@K ≥ 0.99 at the default K on the
+/// evaluation workloads (see `docs/PREFILTER.md`), narrow enough that
+/// the sketch stage reads 8× less than a dim-8192 exact scan.
+pub const SKETCH_WORDS: usize = 16;
+
+/// Default number of candidates forwarded to the exact stage per
+/// query ([`PrefilterConfig::TopK`]).
+pub const DEFAULT_TOP_K: usize = 256;
+
+/// The prefilter knob: how many candidates the sketch stage forwards
+/// to the exact scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefilterConfig {
+    /// No prefilter: the exact scan sees every precursor-window
+    /// candidate, byte-identical to the pre-cascade pipeline.
+    #[default]
+    Off,
+    /// Keep only the K best sketch scorers per query (candidate lists
+    /// already at or below K pass through untouched).
+    TopK(usize),
+}
+
+impl PrefilterConfig {
+    /// Parse the CLI / wire spelling: `"off"`, or `"k=N"` with `N ≥ 1`
+    /// (`"k=default"` selects [`DEFAULT_TOP_K`]).
+    ///
+    /// # Errors
+    ///
+    /// Describes the unknown spelling or a zero K.
+    pub fn parse(text: &str) -> Result<PrefilterConfig, String> {
+        if text.eq_ignore_ascii_case("off") {
+            return Ok(PrefilterConfig::Off);
+        }
+        if let Some(k) = text.strip_prefix("k=") {
+            if k.eq_ignore_ascii_case("default") {
+                return Ok(PrefilterConfig::TopK(DEFAULT_TOP_K));
+            }
+            let k: usize = k
+                .parse()
+                .map_err(|_| format!("invalid prefilter K {k:?} (a positive integer)"))?;
+            if k == 0 {
+                return Err("prefilter K must be ≥ 1 (use \"off\" to disable)".to_owned());
+            }
+            return Ok(PrefilterConfig::TopK(k));
+        }
+        Err(format!(
+            "unknown prefilter {text:?} (expected \"off\" or \"k=N\")"
+        ))
+    }
+
+    /// The canonical spelling [`PrefilterConfig::parse`] accepts back:
+    /// `"off"` or `"k=N"`.
+    pub fn render(self) -> String {
+        match self {
+            PrefilterConfig::Off => "off".to_owned(),
+            PrefilterConfig::TopK(k) => format!("k={k}"),
+        }
+    }
+
+    /// Whether the cascade is disabled.
+    pub fn is_off(self) -> bool {
+        self == PrefilterConfig::Off
+    }
+
+    /// The configured K, if the cascade is on.
+    pub fn top_k(self) -> Option<usize> {
+        match self {
+            PrefilterConfig::Off => None,
+            PrefilterConfig::TopK(k) => Some(k),
+        }
+    }
+}
+
+/// Per-batch cascade accounting: how many candidates the precursor
+/// window produced, how many survived to the exact scan, and the
+/// wall-clock the sketch stage cost. With the prefilter off the two
+/// counts are equal and `sketch_ms` is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PrefilterStats {
+    /// Candidates entering the sketch stage (the precursor-window
+    /// total).
+    pub candidates_pre: u64,
+    /// Candidates forwarded to the exact scan.
+    pub candidates_post: u64,
+    /// Wall-clock spent scoring sketches, milliseconds.
+    pub sketch_ms: f64,
+}
+
+/// A folded-hypervector sketch index: one fixed-width signature per
+/// reference slot, stored as a dense row-major table so candidate
+/// signatures stream through the blocked kernels cache-line by
+/// cache-line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchIndex {
+    /// Words per full reference hypervector (`ceil(dim / 64)`), kept
+    /// for validation of query word slices.
+    full_words: usize,
+    /// Strictly increasing word indices sampled from each full
+    /// hypervector; `selected.len()` is the signature width.
+    selected: Vec<u32>,
+    /// `slots × selected.len()` signature words, row-major by slot.
+    /// Absent slots hold zero rows.
+    table: Vec<u64>,
+    /// Presence bitset over slots (bit `id % 64` of word `id / 64`):
+    /// references preprocessing rejected carry no hypervector and must
+    /// never be forwarded by the sketch stage.
+    present: Vec<u64>,
+    /// Number of reference slots.
+    slots: usize,
+}
+
+impl SketchIndex {
+    /// The evenly strided word sample: `min(target, full_words)`
+    /// strictly increasing indices into a `full_words`-word
+    /// hypervector, spread across its whole span so the signature
+    /// samples every region of the dimension.
+    pub fn word_selection(full_words: usize, target: usize) -> Vec<u32> {
+        let take = target.clamp(1, full_words.max(1));
+        (0..take)
+            .map(|i| ((i * full_words) / take) as u32)
+            .collect()
+    }
+
+    /// Build signatures for every slot of a reference table. `refs`
+    /// yields one `Option<&[u64]>` per dense reference id, in id
+    /// order — `None` marks a slot preprocessing rejected. `dim` is
+    /// the full hypervector dimension; `target_words` the requested
+    /// signature width (clamped to the full width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a present slot's word count differs from
+    /// `ceil(dim / 64)`.
+    pub fn build<'a>(
+        dim: usize,
+        target_words: usize,
+        refs: impl Iterator<Item = Option<&'a [u64]>>,
+    ) -> SketchIndex {
+        let full_words = dim.div_ceil(64).max(1);
+        let selected = SketchIndex::word_selection(full_words, target_words);
+        let width = selected.len();
+        let mut table = Vec::new();
+        let mut present = Vec::new();
+        let mut slots = 0usize;
+        for (id, hv) in refs.enumerate() {
+            if present.len() * 64 <= id {
+                present.push(0u64);
+            }
+            match hv {
+                Some(words) => {
+                    assert_eq!(
+                        words.len(),
+                        full_words,
+                        "reference {id}: word count does not match dim {dim}"
+                    );
+                    table.extend(selected.iter().map(|&w| words[w as usize]));
+                    present[id / 64] |= 1u64 << (id % 64);
+                }
+                None => table.extend(std::iter::repeat_n(0u64, width)),
+            }
+            slots += 1;
+        }
+        SketchIndex {
+            full_words,
+            selected,
+            table,
+            present,
+            slots,
+        }
+    }
+
+    /// Reassemble a sketch index from its serialized parts (the `.hdx`
+    /// v3 sketch section).
+    ///
+    /// # Errors
+    ///
+    /// Rejects structurally inconsistent parts: an empty or
+    /// non-increasing word selection, indices beyond `full_words`, a
+    /// table size that is not `slots × selection width`, or a presence
+    /// bitset of the wrong length (including set bits beyond `slots`).
+    pub fn from_parts(
+        full_words: usize,
+        selected: Vec<u32>,
+        table: Vec<u64>,
+        present: Vec<u64>,
+        slots: usize,
+    ) -> Result<SketchIndex, String> {
+        if selected.is_empty() {
+            return Err("sketch word selection is empty".to_owned());
+        }
+        if !selected.windows(2).all(|w| w[0] < w[1]) {
+            return Err("sketch word selection is not strictly increasing".to_owned());
+        }
+        if selected.last().copied().unwrap_or(0) as usize >= full_words {
+            return Err(format!(
+                "sketch word selection exceeds the hypervector width ({full_words} words)"
+            ));
+        }
+        if table.len() != slots * selected.len() {
+            return Err(format!(
+                "sketch table holds {} words for {slots} slots × {} selected",
+                table.len(),
+                selected.len()
+            ));
+        }
+        if present.len() != slots.div_ceil(64) {
+            return Err(format!(
+                "sketch presence bitset holds {} words for {slots} slots",
+                present.len()
+            ));
+        }
+        if let Some(last) = present.last() {
+            let tail_bits = slots % 64;
+            if tail_bits != 0 && *last >> tail_bits != 0 {
+                return Err("sketch presence bitset has bits beyond the slot count".to_owned());
+            }
+        }
+        Ok(SketchIndex {
+            full_words,
+            selected,
+            table,
+            present,
+            slots,
+        })
+    }
+
+    /// Number of reference slots covered.
+    pub fn len(&self) -> usize {
+        self.slots
+    }
+
+    /// Whether the index covers no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots == 0
+    }
+
+    /// Signature width in 64-bit words.
+    pub fn words(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Words per full reference hypervector (`ceil(dim / 64)`).
+    pub fn full_words(&self) -> usize {
+        self.full_words
+    }
+
+    /// The sampled word indices, strictly increasing.
+    pub fn selected(&self) -> &[u32] {
+        &self.selected
+    }
+
+    /// The dense `slots × words` signature table, row-major by slot.
+    pub fn table(&self) -> &[u64] {
+        &self.table
+    }
+
+    /// The presence bitset over slots.
+    pub fn present_bits(&self) -> &[u64] {
+        &self.present
+    }
+
+    /// Whether slot `id` carries a signature (its reference has a
+    /// hypervector).
+    pub fn is_present(&self, id: u32) -> bool {
+        let id = id as usize;
+        id < self.slots && self.present[id / 64] >> (id % 64) & 1 == 1
+    }
+
+    /// Fold a full query hypervector's packed words down to this
+    /// index's signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv_words` is not `full_words` long.
+    pub fn sketch_query(&self, hv_words: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            hv_words.len(),
+            self.full_words,
+            "query word count does not match the sketched dimension"
+        );
+        self.selected
+            .iter()
+            .map(|&w| hv_words[w as usize])
+            .collect()
+    }
+
+    /// One slot's signature row.
+    fn signature(&self, id: u32) -> &[u64] {
+        let width = self.selected.len();
+        &self.table[id as usize * width..(id as usize + 1) * width]
+    }
+
+    /// The sketch stage: score `query_sketch` against every candidate
+    /// signature and keep the `k` best, ranked by `(dot desc, id
+    /// asc)` — the same tie-break the exact scan applies. Survivors
+    /// are returned in **original candidate-list order** (ascending
+    /// precursor mass), which the sharded backend's run walk depends
+    /// on.
+    ///
+    /// Lists already at or below `k` pass through untouched (absent
+    /// slots included), so `TopK(K ≥ window)` is *exactly* the
+    /// unfiltered scan. Longer lists drop absent slots (the exact
+    /// stage would skip them anyway) and then keep the top `k`
+    /// present scorers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query_sketch` is not [`SketchIndex::words`] long, or
+    /// a candidate id is out of range.
+    pub fn narrow(&self, query_sketch: &[u64], candidates: &[u32], k: usize) -> Vec<u32> {
+        assert_eq!(query_sketch.len(), self.words(), "query sketch width");
+        if candidates.len() <= k {
+            return candidates.to_vec();
+        }
+        // Positions (into `candidates`) of the present slots; scoring
+        // and selection work on positions so survivors can be emitted
+        // back in list order with one sort.
+        let kept: Vec<u32> = (0..candidates.len() as u32)
+            .filter(|&p| self.is_present(candidates[p as usize]))
+            .collect();
+        if kept.len() <= k {
+            return kept.iter().map(|&p| candidates[p as usize]).collect();
+        }
+        let kernel = kernels::active();
+        let sketch_dim = self.words() * 64;
+        let mut scores = vec![0i64; kept.len()];
+        let mut tile: Vec<&[u64]> = Vec::with_capacity(REFERENCE_TILE);
+        for (chunk, out) in kept
+            .chunks(REFERENCE_TILE)
+            .zip(scores.chunks_mut(REFERENCE_TILE))
+        {
+            tile.clear();
+            tile.extend(
+                chunk
+                    .iter()
+                    .map(|&p| self.signature(candidates[p as usize])),
+            );
+            kernel.dot_many(sketch_dim, query_sketch, &tile, out);
+        }
+        // Select the K best by (score desc, id asc) — a total order, so
+        // the surviving *set* is deterministic regardless of the
+        // unstable partition's internal ordering.
+        let mut order: Vec<u32> = (0..kept.len() as u32).collect();
+        order.select_nth_unstable_by(k - 1, |&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            scores[b]
+                .cmp(&scores[a])
+                .then_with(|| candidates[kept[a] as usize].cmp(&candidates[kept[b] as usize]))
+        });
+        let mut survivors: Vec<u32> = order[..k].iter().map(|&i| kept[i as usize]).collect();
+        survivors.sort_unstable();
+        survivors
+            .into_iter()
+            .map(|p| candidates[p as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdoms_hdc::BinaryHypervector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_refs(n: usize, dim: usize, seed: u64) -> Vec<BinaryHypervector> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| BinaryHypervector::random(&mut rng, dim))
+            .collect()
+    }
+
+    fn sketch_of(refs: &[BinaryHypervector], dim: usize) -> SketchIndex {
+        SketchIndex::build(dim, SKETCH_WORDS, refs.iter().map(|r| Some(r.words())))
+    }
+
+    #[test]
+    fn config_parses_and_renders() {
+        assert_eq!(PrefilterConfig::parse("off").unwrap(), PrefilterConfig::Off);
+        assert_eq!(PrefilterConfig::parse("OFF").unwrap(), PrefilterConfig::Off);
+        assert_eq!(
+            PrefilterConfig::parse("k=64").unwrap(),
+            PrefilterConfig::TopK(64)
+        );
+        assert_eq!(
+            PrefilterConfig::parse("k=default").unwrap(),
+            PrefilterConfig::TopK(DEFAULT_TOP_K)
+        );
+        assert!(PrefilterConfig::parse("k=0").is_err());
+        assert!(PrefilterConfig::parse("on").is_err());
+        assert!(PrefilterConfig::parse("k=ten").is_err());
+        for config in [PrefilterConfig::Off, PrefilterConfig::TopK(17)] {
+            assert_eq!(PrefilterConfig::parse(&config.render()).unwrap(), config);
+        }
+    }
+
+    #[test]
+    fn selection_is_strided_and_increasing() {
+        assert_eq!(SketchIndex::word_selection(32, 4), vec![0, 8, 16, 24]);
+        assert_eq!(SketchIndex::word_selection(4, 8), vec![0, 1, 2, 3]);
+        assert_eq!(SketchIndex::word_selection(1, 4), vec![0]);
+        for (full, target) in [(5, 4), (7, 3), (128, 4), (9, 9)] {
+            let sel = SketchIndex::word_selection(full, target);
+            assert_eq!(sel.len(), target.min(full));
+            assert!(sel.windows(2).all(|w| w[0] < w[1]), "{full}/{target}");
+            assert!((*sel.last().unwrap() as usize) < full);
+        }
+    }
+
+    #[test]
+    fn short_lists_pass_through_untouched() {
+        let dim = 512;
+        let refs = random_refs(8, dim, 1);
+        let sketch = sketch_of(&refs, dim);
+        let query = sketch.sketch_query(refs[0].words());
+        let list: Vec<u32> = (0..8).collect();
+        assert_eq!(sketch.narrow(&query, &list, 8), list);
+        assert_eq!(sketch.narrow(&query, &list, 100), list);
+    }
+
+    #[test]
+    fn absent_slots_never_survive() {
+        let dim = 512;
+        let refs = random_refs(16, dim, 2);
+        let sketch = SketchIndex::build(
+            dim,
+            SKETCH_WORDS,
+            refs.iter()
+                .enumerate()
+                .map(|(i, r)| (i % 2 == 0).then(|| r.words())),
+        );
+        let list: Vec<u32> = (0..16).collect();
+        let query = sketch.sketch_query(refs[0].words());
+        let survivors = sketch.narrow(&query, &list, 4);
+        assert_eq!(survivors.len(), 4);
+        assert!(survivors.iter().all(|&id| id % 2 == 0), "{survivors:?}");
+    }
+
+    #[test]
+    fn survivors_keep_candidate_list_order_and_contain_the_self_match() {
+        let dim = 2048;
+        let refs = random_refs(200, dim, 3);
+        let sketch = sketch_of(&refs, dim);
+        for probe in [0usize, 57, 199] {
+            let query = sketch.sketch_query(refs[probe].words());
+            let list: Vec<u32> = (0..200).collect();
+            let survivors = sketch.narrow(&query, &list, 16);
+            assert_eq!(survivors.len(), 16);
+            assert!(survivors.windows(2).all(|w| w[0] < w[1]), "list order");
+            // The query *is* reference `probe`: its sketch distance is
+            // zero, the best possible, so it must survive.
+            assert!(survivors.contains(&(probe as u32)), "{survivors:?}");
+        }
+    }
+
+    #[test]
+    fn narrowing_matches_a_scalar_reference_ranking() {
+        let dim = 1024;
+        let refs = random_refs(96, dim, 4);
+        let sketch = sketch_of(&refs, dim);
+        let query_hv = random_refs(1, dim, 5).remove(0);
+        let query = sketch.sketch_query(query_hv.words());
+        let list: Vec<u32> = (0..96).collect();
+        let k = 10;
+        let survivors = sketch.narrow(&query, &list, k);
+
+        // Reference ranking: full-precision dot over the signature,
+        // computed without the kernels.
+        let sketch_dim = sketch.words() * 64;
+        let mut ranked: Vec<(i64, u32)> = list
+            .iter()
+            .map(|&id| {
+                let sig = sketch.signature(id);
+                let hamming: u32 = sig
+                    .iter()
+                    .zip(&query)
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                (sketch_dim as i64 - 2 * i64::from(hamming), id)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut expected: Vec<u32> = ranked[..k].iter().map(|&(_, id)| id).collect();
+        expected.sort_unstable();
+        assert_eq!(survivors, expected);
+    }
+
+    #[test]
+    fn parts_roundtrip_and_validate() {
+        let dim = 512;
+        let refs = random_refs(10, dim, 6);
+        let sketch = sketch_of(&refs, dim);
+        let rebuilt = SketchIndex::from_parts(
+            sketch.full_words(),
+            sketch.selected().to_vec(),
+            sketch.table().to_vec(),
+            sketch.present_bits().to_vec(),
+            sketch.len(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, sketch);
+
+        // Structural garbage is rejected.
+        assert!(SketchIndex::from_parts(8, vec![], vec![], vec![], 0).is_err());
+        assert!(SketchIndex::from_parts(8, vec![3, 3], vec![0; 2], vec![0], 1).is_err());
+        assert!(SketchIndex::from_parts(8, vec![3, 9], vec![0; 2], vec![0], 1).is_err());
+        assert!(SketchIndex::from_parts(8, vec![0, 4], vec![0; 3], vec![0], 1).is_err());
+        assert!(SketchIndex::from_parts(8, vec![0, 4], vec![0; 2], vec![], 1).is_err());
+        assert!(SketchIndex::from_parts(8, vec![0, 4], vec![0; 2], vec![1 << 1], 1).is_err());
+    }
+}

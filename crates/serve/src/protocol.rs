@@ -11,8 +11,8 @@
 //!
 //! let req = Request::decode(r#"{"type":"ping"}"#).unwrap();
 //! assert_eq!(req.encode(), r#"{"type":"ping"}"#);
-//! let resp = Response::Pong { protocol: 3 };
-//! assert_eq!(resp.encode(), r#"{"type":"pong","protocol":3}"#);
+//! let resp = Response::Pong { protocol: 4 };
+//! assert_eq!(resp.encode(), r#"{"type":"pong","protocol":4}"#);
 //! ```
 
 use crate::json::Json;
@@ -20,14 +20,18 @@ use hdoms_engine::ShardTiming;
 use hdoms_ms::spectrum::{Peak, Spectrum, SpectrumOrigin};
 use hdoms_oms::psm::{Psm, PsmTableRow};
 use hdoms_oms::window::PrecursorWindow;
+use hdoms_prefilter::PrefilterConfig;
 
 /// Wire protocol version, reported by `pong`. Bumped on any incompatible
-/// message change (v3: observability — per-stage pipeline timings in
-/// `stats`, stage and per-shard timings in `receipt`, and the
+/// message change (v4: prefilter — the per-request `prefilter` option on
+/// `query`, and sketch-cascade accounting
+/// (`candidates_pre`/`candidates_post`/`sketch_ms`) in `stats`,
+/// `receipt`, and `server.stats`; v3: observability — per-stage pipeline
+/// timings in `stats`, stage and per-shard timings in `receipt`, and the
 /// `server.metrics` verb; v2: scheduler — structured `busy`/`deadline`
 /// error codes, queue-wait/budget fields in `stats` and `receipt`, and
 /// the `server.stats` verb).
-pub const PROTOCOL_VERSION: u32 = 3;
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Default FDR level applied when a query request omits `"fdr"`.
 pub const DEFAULT_FDR: f64 = 0.01;
@@ -237,6 +241,10 @@ pub struct QueryRequest {
     pub window: WindowKind,
     /// FDR acceptance level in (0, 1) (defaults to [`DEFAULT_FDR`]).
     pub fdr: f64,
+    /// Per-request prefilter override (`"off"` / `"k=N"`). `None` (the
+    /// field omitted on the wire) uses the server's configured default
+    /// (`hdoms serve --prefilter`).
+    pub prefilter: Option<PrefilterConfig>,
     /// The query batch. FDR filtering is per batch: splitting a query set
     /// across batches changes the acceptance threshold.
     pub spectra: Vec<QuerySpectrum>,
@@ -310,16 +318,22 @@ impl Request {
         let v = match self {
             Request::Ping => Json::Obj(vec![("type".into(), Json::str("ping"))]),
             Request::ListIndexes => Json::Obj(vec![("type".into(), Json::str("list_indexes"))]),
-            Request::Query(q) => Json::Obj(vec![
-                ("type".into(), Json::str("query")),
-                ("index".into(), Json::str(q.index.clone())),
-                ("window".into(), Json::str(q.window.name())),
-                ("fdr".into(), Json::Num(q.fdr)),
-                (
+            Request::Query(q) => {
+                let mut fields = vec![
+                    ("type".into(), Json::str("query")),
+                    ("index".into(), Json::str(q.index.clone())),
+                    ("window".into(), Json::str(q.window.name())),
+                    ("fdr".into(), Json::Num(q.fdr)),
+                ];
+                if let Some(prefilter) = q.prefilter {
+                    fields.push(("prefilter".into(), Json::str(prefilter.render())));
+                }
+                fields.push((
                     "spectra".into(),
                     Json::Arr(q.spectra.iter().map(QuerySpectrum::to_json).collect()),
-                ),
-            ]),
+                ));
+                Json::Obj(fields)
+            }
             Request::SessionOpen { index, window } => Json::Obj(vec![
                 ("type".into(), Json::str("session.open")),
                 ("index".into(), Json::str(index.clone())),
@@ -383,6 +397,12 @@ impl Request {
                     None => DEFAULT_FDR,
                     Some(f) => num(f, "fdr")?,
                 };
+                let prefilter = match v.get("prefilter") {
+                    None => None,
+                    Some(p) => Some(PrefilterConfig::parse(
+                        p.as_str().ok_or("prefilter must be a string")?,
+                    )?),
+                };
                 Ok(Request::Query(QueryRequest {
                     index: req_field(&v, "index")?
                         .as_str()
@@ -390,6 +410,7 @@ impl Request {
                         .to_owned(),
                     window,
                     fdr,
+                    prefilter,
                     spectra,
                 }))
             }
@@ -480,6 +501,16 @@ pub struct BatchStats {
     pub shards_touched: usize,
     /// Total candidate references scored across the batch.
     pub candidates_scored: usize,
+    /// Precursor-window candidates generated across the batch, before
+    /// any prefilter narrowing (equals `candidates_scored` when the
+    /// prefilter is off).
+    pub candidates_pre: usize,
+    /// Candidates forwarded to the exact scan after prefilter narrowing
+    /// (always equals `candidates_scored`).
+    pub candidates_post: usize,
+    /// Time spent scoring sketches and narrowing candidate lists,
+    /// milliseconds (0 when the prefilter is off).
+    pub sketch_ms: f64,
     /// Time spent encoding query spectra into hypervectors,
     /// milliseconds (for a session finalize: accumulated across every
     /// submitted batch; likewise for the other stage timings).
@@ -528,6 +559,14 @@ pub struct SubmitReceipt {
     pub total_psms: usize,
     /// Candidate references scored in the batch.
     pub candidates_scored: usize,
+    /// Precursor-window candidates the batch generated, before any
+    /// prefilter narrowing.
+    pub candidates_pre: usize,
+    /// Candidates forwarded to the exact scan after prefilter narrowing
+    /// (always equals `candidates_scored`).
+    pub candidates_post: usize,
+    /// Time the batch spent in the sketch prefilter, milliseconds.
+    pub sketch_ms: f64,
     /// Shard visits the batch cost.
     pub shards_touched: usize,
     /// Worker budget the scheduler granted the batch.
@@ -584,6 +623,16 @@ pub struct ServerStats {
     /// milliseconds (shed batches waited too; excluding them would
     /// understate tail wait exactly when admission pressure builds).
     pub total_wait_ms: f64,
+    /// Lifetime precursor-window candidates that entered the sketch
+    /// prefilter (0 until a prefiltered batch runs — the
+    /// `hdoms_prefilter_candidates_pre_total` counter).
+    pub prefilter_candidates_pre: u64,
+    /// Lifetime candidates the prefilter forwarded to the exact scan
+    /// (the `hdoms_prefilter_candidates_post_total` counter).
+    pub prefilter_candidates_post: u64,
+    /// Lifetime wall-clock spent in the sketch prefilter, milliseconds
+    /// (the `hdoms_prefilter_sketch_ms` histogram's sum).
+    pub prefilter_sketch_ms: f64,
     /// Open streaming sessions.
     pub open_sessions: usize,
     /// Resident indexes.
@@ -729,6 +778,12 @@ impl Response {
                     "candidates_scored".into(),
                     Json::Num(r.candidates_scored as f64),
                 ),
+                ("candidates_pre".into(), Json::Num(r.candidates_pre as f64)),
+                (
+                    "candidates_post".into(),
+                    Json::Num(r.candidates_post as f64),
+                ),
+                ("sketch_ms".into(), Json::Num(r.sketch_ms)),
                 ("shards_touched".into(), Json::Num(r.shards_touched as f64)),
                 ("workers".into(), Json::Num(r.workers as f64)),
                 ("latency_ms".into(), Json::Num(r.latency_ms)),
@@ -770,6 +825,18 @@ impl Response {
                 ("rejected_busy".into(), Json::Num(s.rejected_busy as f64)),
                 ("shed_deadline".into(), Json::Num(s.shed_deadline as f64)),
                 ("total_wait_ms".into(), Json::Num(s.total_wait_ms)),
+                (
+                    "prefilter_candidates_pre".into(),
+                    Json::Num(s.prefilter_candidates_pre as f64),
+                ),
+                (
+                    "prefilter_candidates_post".into(),
+                    Json::Num(s.prefilter_candidates_post as f64),
+                ),
+                (
+                    "prefilter_sketch_ms".into(),
+                    Json::Num(s.prefilter_sketch_ms),
+                ),
                 ("open_sessions".into(), Json::Num(s.open_sessions as f64)),
                 (
                     "resident_indexes".into(),
@@ -869,6 +936,10 @@ impl Response {
                 total_psms: uint(req_field(&v, "total_psms")?, "total_psms")? as usize,
                 candidates_scored: uint(req_field(&v, "candidates_scored")?, "candidates_scored")?
                     as usize,
+                candidates_pre: uint(req_field(&v, "candidates_pre")?, "candidates_pre")? as usize,
+                candidates_post: uint(req_field(&v, "candidates_post")?, "candidates_post")?
+                    as usize,
+                sketch_ms: num(req_field(&v, "sketch_ms")?, "sketch_ms")?,
                 shards_touched: uint(req_field(&v, "shards_touched")?, "shards_touched")? as usize,
                 workers: uint(req_field(&v, "workers")?, "workers")? as usize,
                 latency_ms: num(req_field(&v, "latency_ms")?, "latency_ms")?,
@@ -906,6 +977,18 @@ impl Response {
                 rejected_busy: uint(req_field(&v, "rejected_busy")?, "rejected_busy")?,
                 shed_deadline: uint(req_field(&v, "shed_deadline")?, "shed_deadline")?,
                 total_wait_ms: num(req_field(&v, "total_wait_ms")?, "total_wait_ms")?,
+                prefilter_candidates_pre: uint(
+                    req_field(&v, "prefilter_candidates_pre")?,
+                    "prefilter_candidates_pre",
+                )?,
+                prefilter_candidates_post: uint(
+                    req_field(&v, "prefilter_candidates_post")?,
+                    "prefilter_candidates_post",
+                )?,
+                prefilter_sketch_ms: num(
+                    req_field(&v, "prefilter_sketch_ms")?,
+                    "prefilter_sketch_ms",
+                )?,
                 open_sessions: uint(req_field(&v, "open_sessions")?, "open_sessions")? as usize,
                 resident_indexes: uint(req_field(&v, "resident_indexes")?, "resident_indexes")?
                     as usize,
@@ -1005,6 +1088,12 @@ fn stats_to_json(s: &BatchStats) -> Json {
             "candidates_scored".into(),
             Json::Num(s.candidates_scored as f64),
         ),
+        ("candidates_pre".into(), Json::Num(s.candidates_pre as f64)),
+        (
+            "candidates_post".into(),
+            Json::Num(s.candidates_post as f64),
+        ),
+        ("sketch_ms".into(), Json::Num(s.sketch_ms)),
         ("encode_ms".into(), Json::Num(s.encode_ms)),
         ("candidates_ms".into(), Json::Num(s.candidates_ms)),
         ("score_ms".into(), Json::Num(s.score_ms)),
@@ -1026,6 +1115,9 @@ fn stats_from_json(v: &Json) -> Result<BatchStats, String> {
         threshold_score: threshold_from_json(req_field(v, "threshold_score")?)?,
         shards_touched: uint(req_field(v, "shards_touched")?, "shards_touched")? as usize,
         candidates_scored: uint(req_field(v, "candidates_scored")?, "candidates_scored")? as usize,
+        candidates_pre: uint(req_field(v, "candidates_pre")?, "candidates_pre")? as usize,
+        candidates_post: uint(req_field(v, "candidates_post")?, "candidates_post")? as usize,
+        sketch_ms: num(req_field(v, "sketch_ms")?, "sketch_ms")?,
         encode_ms: num(req_field(v, "encode_ms")?, "encode_ms")?,
         candidates_ms: num(req_field(v, "candidates_ms")?, "candidates_ms")?,
         score_ms: num(req_field(v, "score_ms")?, "score_ms")?,
@@ -1144,6 +1236,7 @@ mod tests {
             index: "iprg".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            prefilter: None,
             spectra: vec![QuerySpectrum {
                 id: 0,
                 precursor_mz: 421.76,
@@ -1224,6 +1317,9 @@ mod tests {
                 rejected_busy: 17,
                 shed_deadline: 4,
                 total_wait_ms: 5321.25,
+                prefilter_candidates_pre: 40000,
+                prefilter_candidates_post: 12000,
+                prefilter_sketch_ms: 18.5,
                 open_sessions: 2,
                 resident_indexes: 1,
             }),
@@ -1259,6 +1355,9 @@ mod tests {
                     threshold_score: 0.75,
                     shards_touched: 3,
                     candidates_scored: 154,
+                    candidates_pre: 154,
+                    candidates_post: 154,
+                    sketch_ms: 0.0,
                     encode_ms: 1.5,
                     candidates_ms: 0.25,
                     score_ms: 9.75,
@@ -1307,6 +1406,9 @@ mod tests {
                 psms: 60,
                 total_psms: 121,
                 candidates_scored: 9000,
+                candidates_pre: 9000,
+                candidates_post: 9000,
+                sketch_ms: 0.0,
                 shards_touched: 180,
                 workers: 2,
                 latency_ms: 4.25,
@@ -1390,6 +1492,9 @@ mod tests {
                 threshold_score: f64::INFINITY,
                 shards_touched: 0,
                 candidates_scored: 0,
+                candidates_pre: 0,
+                candidates_post: 0,
+                sketch_ms: 0.0,
                 encode_ms: 0.25,
                 candidates_ms: 0.0,
                 score_ms: 0.0,

@@ -12,6 +12,7 @@ use hdoms_ms::spectrum::Spectrum;
 use hdoms_obs::log::Logger;
 use hdoms_obs::metrics::{Counter, Gauge, Histogram, Registry};
 use hdoms_oms::psm::table_rows;
+use hdoms_prefilter::PrefilterConfig;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -89,7 +90,7 @@ struct ResidentIndex {
 /// concurrent request against the same session errors instead of
 /// queueing.
 enum SessionSlot {
-    Ready(OpenSession),
+    Ready(Box<OpenSession>),
     Busy,
 }
 
@@ -134,6 +135,7 @@ struct OpenSession {
 ///         index: "tiny".to_owned(),
 ///         window: WindowKind::Open,
 ///         fdr: 0.01,
+///         prefilter: None,
 ///         spectra: workload.queries.iter().map(QuerySpectrum::from_spectrum).collect(),
 ///     })
 ///     .unwrap();
@@ -146,6 +148,7 @@ pub struct Server {
     registry: Arc<Registry>,
     metrics: ServerMetricsSet,
     logger: Logger,
+    prefilter: PrefilterConfig,
     indexes: RwLock<Vec<ResidentIndex>>,
     sessions: Mutex<HashMap<u64, SessionSlot>>,
     next_session: AtomicU64,
@@ -162,6 +165,13 @@ struct ServerMetricsSet {
     batch_latency_ms: Arc<Histogram>,
     open_sessions: Arc<Gauge>,
     resident_indexes: Arc<Gauge>,
+    /// Handles to the engine-recorded `hdoms_prefilter_*` series
+    /// (registration is idempotent by name, so these are the *same*
+    /// counters every resident engine records into — `server.stats`
+    /// reads them without a registry scan).
+    prefilter_candidates_pre: Arc<Counter>,
+    prefilter_candidates_post: Arc<Counter>,
+    prefilter_sketch_ms: Arc<Histogram>,
 }
 
 impl ServerMetricsSet {
@@ -183,6 +193,18 @@ impl ServerMetricsSet {
             ),
             open_sessions: registry.gauge("hdoms_open_sessions", "Open streaming sessions"),
             resident_indexes: registry.gauge("hdoms_resident_indexes", "Resident indexes"),
+            prefilter_candidates_pre: registry.counter(
+                "hdoms_prefilter_candidates_pre_total",
+                "Precursor-window candidates entering the sketch prefilter",
+            ),
+            prefilter_candidates_post: registry.counter(
+                "hdoms_prefilter_candidates_post_total",
+                "Candidates surviving the sketch prefilter into the exact scan",
+            ),
+            prefilter_sketch_ms: registry.histogram(
+                "hdoms_prefilter_sketch_ms",
+                "Per-batch wall-clock of the sketch scoring + narrowing stage",
+            ),
         }
     }
 }
@@ -217,6 +239,7 @@ impl Server {
             registry,
             metrics,
             logger: Logger::disabled(),
+            prefilter: PrefilterConfig::Off,
             indexes: RwLock::new(Vec::new()),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
@@ -244,6 +267,19 @@ impl Server {
     /// through.
     pub fn logger(&self) -> &Logger {
         &self.logger
+    }
+
+    /// Set the default prefilter applied to every index made resident
+    /// *after* this call (the `hdoms serve --prefilter` flag; call
+    /// before [`Server::add_index`]). Per-request `prefilter` options
+    /// override it batch by batch.
+    pub fn set_prefilter(&mut self, config: PrefilterConfig) {
+        self.prefilter = config;
+    }
+
+    /// The server's default prefilter configuration.
+    pub fn prefilter(&self) -> PrefilterConfig {
+        self.prefilter
     }
 
     /// The batch scheduler (admission control, fair queue, worker
@@ -279,6 +315,9 @@ impl Server {
             rejected_busy: s.rejected_busy,
             shed_deadline: s.shed_deadline,
             total_wait_ms: s.total_wait_ms,
+            prefilter_candidates_pre: self.metrics.prefilter_candidates_pre.get(),
+            prefilter_candidates_post: self.metrics.prefilter_candidates_post.get(),
+            prefilter_sketch_ms: self.metrics.prefilter_sketch_ms.snapshot().sum_ms(),
             open_sessions: self.open_sessions(),
             resident_indexes: self.indexes.read().expect("index set lock").len(),
         }
@@ -327,6 +366,9 @@ impl Server {
         // is the expensive part and must not stall concurrent queries.
         let mut engine = Engine::from_index(index, self.threads)?;
         engine.attach_metrics(&self.registry);
+        engine
+            .set_prefilter(self.prefilter)
+            .map_err(IndexError::Invalid)?;
         self.register_engine(name, Arc::new(engine))
     }
 
@@ -381,6 +423,7 @@ impl Server {
             .map_err(|e| format!("loading {path}: {e}"))?;
         let mut engine = Engine::from_index(index, self.threads).map_err(|e| e.to_string())?;
         engine.attach_metrics(&self.registry);
+        engine.set_prefilter(self.prefilter)?;
         let engine = Arc::new(engine);
         drop(permit);
         // Summarize from our own handle, not a re-lookup: a concurrent
@@ -535,12 +578,13 @@ impl Server {
 
         let permit = self.scheduler.admit(client)?;
         let start = Instant::now();
-        let (outcome, receipt) = engine.search_with_workers(
+        let (outcome, receipt) = engine.search_with_workers_opts(
             &spectra,
             request.window.window(),
             request.fdr,
             permit.workers(),
-        );
+            request.prefilter,
+        )?;
         let latency_ms = start.elapsed().as_secs_f64() * 1e3;
         let (wait_ms, queued, workers) =
             (permit.wait_ms(), permit.queued_behind(), permit.workers());
@@ -578,6 +622,9 @@ impl Server {
                 threshold_score: outcome.threshold_score,
                 shards_touched: receipt.shards_touched,
                 candidates_scored: receipt.candidates_scored,
+                candidates_pre: receipt.candidates_pre,
+                candidates_post: receipt.candidates_post,
+                sketch_ms: receipt.sketch_ms,
                 encode_ms: receipt.stages.encode_ms,
                 candidates_ms: receipt.stages.candidates_ms,
                 score_ms: receipt.stages.score_ms,
@@ -610,11 +657,11 @@ impl Server {
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         sessions.insert(
             id,
-            SessionSlot::Ready(OpenSession {
+            SessionSlot::Ready(Box::new(OpenSession {
                 index: index.to_owned(),
                 session: Session::new(engine, window),
                 wait_ms: 0.0,
-            }),
+            })),
         );
         self.metrics.open_sessions.set(sessions.len() as i64);
         self.logger
@@ -690,6 +737,9 @@ impl Server {
             psms: receipt.psms,
             total_psms: receipt.total_psms,
             candidates_scored: receipt.candidates_scored,
+            candidates_pre: receipt.candidates_pre,
+            candidates_post: receipt.candidates_post,
+            sketch_ms: receipt.sketch_ms,
             shards_touched: receipt.shards_touched,
             workers,
             latency_ms: receipt.latency_ms,
@@ -718,6 +768,9 @@ impl Server {
         let submitted_ms = open.session.latency_ms();
         let wait_ms = open.wait_ms;
         let candidates_scored = open.session.candidates_scored();
+        let candidates_pre = open.session.candidates_pre();
+        let candidates_post = open.session.candidates_post();
+        let sketch_ms = open.session.sketch_ms();
         let shards_touched = open.session.shards_touched();
         let stages = open.session.stage_timings();
         let (outcome, finalize_ms) = open.session.finalize_traced(fdr);
@@ -752,6 +805,9 @@ impl Server {
                 threshold_score: outcome.threshold_score,
                 shards_touched,
                 candidates_scored,
+                candidates_pre,
+                candidates_post,
+                sketch_ms,
                 encode_ms: stages.encode_ms,
                 candidates_ms: stages.candidates_ms,
                 score_ms: stages.score_ms,
@@ -808,7 +864,7 @@ impl Server {
 struct SessionLease<'a> {
     server: &'a Server,
     id: u64,
-    open: Option<OpenSession>,
+    open: Option<Box<OpenSession>>,
 }
 
 impl SessionLease<'_> {
@@ -826,7 +882,7 @@ impl SessionLease<'_> {
     /// Take the session out for good; the drop then removes the slot
     /// instead of restoring it.
     fn consume(mut self) -> OpenSession {
-        self.open.take().expect("lease not consumed")
+        *self.open.take().expect("lease not consumed")
     }
 }
 
@@ -936,6 +992,7 @@ mod tests {
                 index: "tiny".to_owned(),
                 window: WindowKind::Open,
                 fdr: 0.01,
+                prefilter: None,
                 spectra: batch_of(&workload),
             })
             .unwrap();
@@ -963,6 +1020,7 @@ mod tests {
             index: "tiny".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            prefilter: None,
             spectra: batch_of(&workload),
         };
         let a = server.query_batch(&request).unwrap();
@@ -981,6 +1039,7 @@ mod tests {
                 index: "tiny".to_owned(),
                 window: WindowKind::Open,
                 fdr: 0.01,
+                prefilter: None,
                 spectra: spectra.clone(),
             })
             .unwrap();
@@ -1035,6 +1094,7 @@ mod tests {
                 index: "second".to_owned(),
                 window: WindowKind::Open,
                 fdr: 0.01,
+                prefilter: None,
                 spectra: batch_of(&other),
             })
             .unwrap();
@@ -1048,6 +1108,7 @@ mod tests {
                 index: "second".to_owned(),
                 window: WindowKind::Open,
                 fdr: 0.01,
+                prefilter: None,
                 spectra: batch_of(&other),
             })
             .unwrap_err();
@@ -1097,6 +1158,7 @@ mod tests {
             index: "nope".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            prefilter: None,
             spectra: batch_of(&workload),
         };
         assert!(matches!(

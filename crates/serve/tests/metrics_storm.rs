@@ -49,6 +49,7 @@ fn request_for(spectra: Vec<QuerySpectrum>) -> QueryRequest {
         index: "w".to_owned(),
         window: WindowKind::Open,
         fdr: 0.01,
+        prefilter: None,
         spectra,
     }
 }
@@ -212,4 +213,81 @@ fn sixteen_client_storm_reconciles_exactly_with_receipts() {
     assert_eq!(gauge(&snap, "hdoms_workers_busy"), 0);
     assert_eq!(gauge(&snap, "hdoms_open_sessions"), 0);
     assert_eq!(gauge(&snap, "hdoms_resident_indexes"), 1);
+
+    // The storm ran with the cascade off (no per-request `prefilter`,
+    // server default `off`): the prefilter series must not have moved,
+    // and `server.stats` must agree with the registry about that.
+    assert_eq!(counter(&snap, "hdoms_prefilter_candidates_pre_total"), 0);
+    assert_eq!(counter(&snap, "hdoms_prefilter_candidates_post_total"), 0);
+    assert_eq!(histogram(&snap, "hdoms_prefilter_sketch_ms").count(), 0);
+    let stats = server.stats();
+    assert_eq!(stats.prefilter_candidates_pre, 0);
+    assert_eq!(stats.prefilter_candidates_post, 0);
+    assert_eq!(stats.prefilter_sketch_ms, 0.0);
+}
+
+#[test]
+fn prefiltered_batches_reconcile_registry_receipts_and_server_stats() {
+    // The cascade's observability contract: the `hdoms_prefilter_*`
+    // series move only for prefiltered batches, their totals equal the
+    // sums of the per-batch receipt stats, and the `server.stats`
+    // surface reads the same registry handles the engines record into.
+    let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 9008);
+    let server = Server::new(4);
+    server
+        .add_index("w", build_index(&workload.library))
+        .expect("servable index");
+    let spectra = batch_of(&workload);
+    let client = server.next_client_id();
+
+    // Two off batches (explicit and defaulted), three prefiltered ones.
+    let mut request = request_for(spectra.clone());
+    let off_result = server.query_batch_as(client, &request).expect("served");
+    request.prefilter = Some(hdoms_prefilter::PrefilterConfig::Off);
+    server.query_batch_as(client, &request).expect("served");
+    assert_eq!(off_result.stats.sketch_ms, 0.0);
+    assert_eq!(
+        off_result.stats.candidates_pre,
+        off_result.stats.candidates_scored
+    );
+
+    request.prefilter = Some(hdoms_prefilter::PrefilterConfig::TopK(16));
+    let (mut pre_sum, mut post_sum, mut sketch_sum, mut prefiltered) = (0u64, 0u64, 0.0f64, 0u64);
+    for _ in 0..3 {
+        let result = server.query_batch_as(client, &request).expect("served");
+        assert!(result.stats.candidates_post <= result.stats.candidates_pre);
+        assert_eq!(result.stats.candidates_post, result.stats.candidates_scored);
+        pre_sum += result.stats.candidates_pre as u64;
+        post_sum += result.stats.candidates_post as u64;
+        sketch_sum += result.stats.sketch_ms;
+        prefiltered += 1;
+    }
+    assert!(pre_sum > 0, "tiny windows still generate candidates");
+
+    // Registry ↔ receipt reconciliation: only the prefiltered batches
+    // recorded, and they recorded exactly what their stats reported.
+    let snap = server.registry().snapshot();
+    assert_eq!(
+        counter(&snap, "hdoms_prefilter_candidates_pre_total"),
+        pre_sum
+    );
+    assert_eq!(
+        counter(&snap, "hdoms_prefilter_candidates_post_total"),
+        post_sum
+    );
+    let sketch = histogram(&snap, "hdoms_prefilter_sketch_ms");
+    assert_eq!(sketch.count(), prefiltered);
+    assert!(
+        (sketch.sum_ms() - sketch_sum).abs() < 1.0,
+        "sketch histogram sum {} ms disagrees with receipt sum {} ms",
+        sketch.sum_ms(),
+        sketch_sum
+    );
+
+    // `server.stats` ↔ registry: the same numbers through the wire
+    // surface (the server reads the identical metric handles).
+    let stats = server.stats();
+    assert_eq!(stats.prefilter_candidates_pre, pre_sum);
+    assert_eq!(stats.prefilter_candidates_post, post_sum);
+    assert!((stats.prefilter_sketch_ms - sketch.sum_ms()).abs() < 1e-9);
 }

@@ -73,6 +73,13 @@ fn doc_covers_every_message_type() {
         "\"type\":\"metrics\"",
         "\"code\":\"busy\"",
         "\"code\":\"deadline\"",
+        "\"prefilter\":\"k=",
+        "\"candidates_pre\":",
+        "\"candidates_post\":",
+        "\"sketch_ms\":",
+        "\"prefilter_candidates_pre\":",
+        "\"prefilter_candidates_post\":",
+        "\"prefilter_sketch_ms\":",
         "\"type\":\"pong\"",
         "\"type\":\"indexes\"",
         "\"type\":\"result\"",

@@ -52,6 +52,7 @@ fn request_for(spectra: Vec<QuerySpectrum>) -> QueryRequest {
         index: "w".to_owned(),
         window: WindowKind::Open,
         fdr: 0.01,
+        prefilter: None,
         spectra,
     }
 }

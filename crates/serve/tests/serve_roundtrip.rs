@@ -78,6 +78,7 @@ fn served_table(
             index: "w".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            prefilter: None,
             spectra: workload
                 .queries
                 .iter()
@@ -140,6 +141,7 @@ fn one_connection_serves_many_batches() {
         index: "w".to_owned(),
         window: WindowKind::Open,
         fdr: 0.01,
+        prefilter: None,
         spectra: workload
             .queries
             .iter()
@@ -283,6 +285,7 @@ fn index_load_and_unload_round_trip_on_a_live_server() {
             index: "second".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            prefilter: None,
             spectra,
         })
     };

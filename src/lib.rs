@@ -56,5 +56,6 @@ pub use hdoms_hdc as hdc;
 pub use hdoms_index as index;
 pub use hdoms_ms as ms;
 pub use hdoms_oms as oms;
+pub use hdoms_prefilter as prefilter;
 pub use hdoms_rram as rram;
 pub use hdoms_serve as serve;
