@@ -30,6 +30,21 @@
 //!   bench asserts these land within one bucket of the exact
 //!   Vec-of-samples percentiles, so the cheap always-on readout is
 //!   continuously validated against ground truth,
+//! * `p99_interactive_under_batch_ms` / `p99_interactive_flat_ms` —
+//!   the mixed-tier storm: batch clients saturate a deliberately small
+//!   worker pool while an interactive probe fires single-spectrum
+//!   queries; p99 probe latency is measured once with the probe on the
+//!   `interactive` tier (weighted priority) and once on the `batch`
+//!   tier (flat fairness). The bench asserts the tiered p99 is
+//!   strictly lower while the batch side keeps every worker busy,
+//! * `coalesce_ratio` — interactive requests per engine batch when
+//!   four clients fire inside a `--coalesce-window-ms` window
+//!   (requests ÷ batches; > 1 means cross-request coalescing merged
+//!   work),
+//! * `evictions_total` / `reloads_total` — shard-LRU eviction against
+//!   a mapped index squeezed to half its resident footprint; the bench
+//!   asserts the budget holds and the post-eviction rows are
+//!   byte-identical to the pre-eviction rows,
 //! * `shards_touched` / `candidates_scored` — the per-batch stats the
 //!   server reports, summed over the full-batch run,
 //! * `psms_identical` — whether the served full-batch rows render to the
@@ -51,8 +66,10 @@ use hdoms_oms::psm::{render_table, render_table_rows};
 use hdoms_oms::search::ExactBackendConfig;
 use hdoms_oms::window::PrecursorWindow;
 use hdoms_serve::protocol::{QueryRequest, QuerySpectrum, WindowKind};
-use hdoms_serve::scheduler::SchedulerConfig;
+use hdoms_serve::scheduler::{SchedulerConfig, Tier};
 use hdoms_serve::server::Server;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
 use std::time::Instant;
 
 const THREADS: usize = 8;
@@ -109,6 +126,7 @@ fn run_contention(server: &Server, spectra: &[QuerySpectrum], clients: usize) ->
                             index: "bench".to_owned(),
                             window: WindowKind::Open,
                             fdr: 0.01,
+                            tier: Tier::Batch,
                             prefilter: None,
                             spectra: batch.to_vec(),
                         };
@@ -183,6 +201,96 @@ fn run_contention(server: &Server, spectra: &[QuerySpectrum], clients: usize) ->
     }
 }
 
+/// Exact percentile over a sorted sample vector (nearest-rank).
+fn percentile_of(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// The mixed-tier storm's outcome for one probe tier.
+struct Storm {
+    p99_probe_ms: f64,
+    probes: usize,
+    batch_qps: f64,
+}
+
+/// Worker pool for the mixed-tier storm: small enough that the batch
+/// clients keep every worker busy for the whole run.
+const STORM_WORKERS: usize = 2;
+const STORM_BATCH_CLIENTS: usize = 8;
+const STORM_ROUNDS: usize = 6;
+const STORM_BATCH_SIZE: usize = 64;
+
+/// `STORM_BATCH_CLIENTS` batch-tier clients hammer `server` with
+/// `STORM_BATCH_SIZE`-query batches while one probe client fires
+/// single-spectrum queries on `probe_tier`, measuring the wall latency
+/// each probe experiences under saturation.
+fn run_tiered_storm(server: &Server, spectra: &[QuerySpectrum], probe_tier: Tier) -> Storm {
+    let storm_batch: Vec<QuerySpectrum> = spectra
+        .iter()
+        .cycle()
+        .take(STORM_BATCH_SIZE)
+        .cloned()
+        .collect();
+    let request_as = |tier: Tier, spectra: Vec<QuerySpectrum>| QueryRequest {
+        index: "bench".to_owned(),
+        window: WindowKind::Open,
+        fdr: 0.01,
+        tier,
+        prefilter: None,
+        spectra,
+    };
+    let done = AtomicBool::new(false);
+    let start = Instant::now();
+    let (batch_served, probe_latencies) = std::thread::scope(|scope| {
+        let batch_handles: Vec<_> = (0..STORM_BATCH_CLIENTS)
+            .map(|_| {
+                let (done, storm_batch) = (&done, &storm_batch);
+                scope.spawn(move || {
+                    let client = server.next_client_id();
+                    let mut served = 0usize;
+                    for _ in 0..STORM_ROUNDS {
+                        let request = request_as(Tier::Batch, storm_batch.clone());
+                        served += server
+                            .query_batch_as(client, &request)
+                            .expect("storm batch")
+                            .stats
+                            .queries;
+                    }
+                    done.store(true, Ordering::Release);
+                    served
+                })
+            })
+            .collect();
+        let probe = scope.spawn(|| {
+            let client = server.next_client_id();
+            let mut latencies = Vec::new();
+            while !done.load(Ordering::Acquire) {
+                let request = request_as(probe_tier, spectra[..1].to_vec());
+                let sent = Instant::now();
+                server
+                    .query_batch_as(client, &request)
+                    .expect("storm probe");
+                latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+            }
+            latencies
+        });
+        let served: usize = batch_handles.into_iter().map(|h| h.join().unwrap()).sum();
+        (served, probe.join().unwrap())
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let mut latencies = probe_latencies;
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Storm {
+        p99_probe_ms: percentile_of(&latencies, 0.99),
+        probes: latencies.len(),
+        batch_qps: batch_served as f64 / wall_s.max(1e-9),
+    }
+}
+
 fn main() {
     let options = FigureOptions::parse(0.01, 2048);
     let workload =
@@ -213,6 +321,7 @@ fn main() {
         index: "bench".to_owned(),
         window: WindowKind::Open,
         fdr: 0.01,
+        tier: Tier::Batch,
         prefilter: None,
         spectra: batch.to_vec(),
     };
@@ -275,6 +384,7 @@ fn main() {
             workers: THREADS,
             queue_depth: CONTENTION_QUEUE_DEPTH,
             deadline_ms: 0,
+            ..SchedulerConfig::default()
         },
     );
     contention_server
@@ -292,6 +402,118 @@ fn main() {
     assert!(
         sched.peak_workers_busy <= THREADS,
         "scheduler accounting exceeded its worker budget"
+    );
+
+    // Mixed-tier storm: the same saturating batch load, probed once
+    // with flat fairness (probe on the batch tier) and once with the
+    // interactive tier's weighted priority. The priority probe must see
+    // a strictly lower p99 while the batch side keeps the (small)
+    // worker pool fully busy.
+    let storm_server = Server::with_scheduler(
+        THREADS,
+        SchedulerConfig {
+            workers: STORM_WORKERS,
+            queue_depth: 64,
+            deadline_ms: 0,
+            ..SchedulerConfig::default()
+        },
+    );
+    storm_server
+        .add_index(
+            "bench",
+            LibraryIndex::from_bytes(&bytes, THREADS).expect("index bytes are valid"),
+        )
+        .expect("servable index");
+    let storm_flat = run_tiered_storm(&storm_server, &spectra, Tier::Batch);
+    let storm_tiered = run_tiered_storm(&storm_server, &spectra, Tier::Interactive);
+    let storm_stats = storm_server.stats();
+    assert_eq!(
+        storm_stats.peak_workers_busy, STORM_WORKERS,
+        "the batch storm must saturate the worker pool"
+    );
+    assert!(
+        storm_tiered.p99_probe_ms < storm_flat.p99_probe_ms,
+        "tiering must cut interactive p99 under batch load: \
+         tiered {:.2} ms vs flat {:.2} ms",
+        storm_tiered.p99_probe_ms,
+        storm_flat.p99_probe_ms
+    );
+
+    // Coalescing: four interactive clients fire 4-spectrum queries in
+    // lockstep inside a small window; the server merges each volley
+    // into fewer engine batches.
+    let mut coalesce_server = Server::with_scheduler(THREADS, SchedulerConfig::default());
+    coalesce_server.set_coalesce_window_ms(2);
+    coalesce_server
+        .add_index(
+            "bench",
+            LibraryIndex::from_bytes(&bytes, THREADS).expect("index bytes are valid"),
+        )
+        .expect("servable index");
+    const COALESCE_CLIENTS: usize = 4;
+    const COALESCE_ROUNDS: usize = 25;
+    let volley = Barrier::new(COALESCE_CLIENTS);
+    std::thread::scope(|scope| {
+        for _ in 0..COALESCE_CLIENTS {
+            let (coalesce_server, volley, spectra) = (&coalesce_server, &volley, &spectra);
+            scope.spawn(move || {
+                let client = coalesce_server.next_client_id();
+                for _ in 0..COALESCE_ROUNDS {
+                    volley.wait();
+                    let request = QueryRequest {
+                        index: "bench".to_owned(),
+                        window: WindowKind::Open,
+                        fdr: 0.01,
+                        tier: Tier::Interactive,
+                        prefilter: None,
+                        spectra: spectra[..4.min(spectra.len())].to_vec(),
+                    };
+                    coalesce_server
+                        .query_batch_as(client, &request)
+                        .expect("coalesced volley");
+                }
+            });
+        }
+    });
+    let coalesce_stats = coalesce_server.stats();
+    let coalesce_ratio =
+        coalesce_stats.coalesced_requests as f64 / coalesce_stats.coalesced_batches.max(1) as f64;
+    assert!(
+        coalesce_ratio > 1.0,
+        "lockstep volleys must coalesce: {} requests in {} batches",
+        coalesce_stats.coalesced_requests,
+        coalesce_stats.coalesced_batches
+    );
+
+    // Eviction: a mapped copy of the same index squeezed to half its
+    // resident footprint. Cold shards leave, searches fault them back
+    // in, and the rows never change.
+    let evict_path =
+        std::env::temp_dir().join(format!("hdoms-serve-bench-{}.hdx", std::process::id()));
+    index.write(&evict_path).expect("index file");
+    let mut evict_server = Server::new(THREADS);
+    evict_server
+        .load_index("bench", evict_path.to_str().expect("utf-8 temp path"))
+        .expect("mapped index");
+    std::fs::remove_file(&evict_path).ok();
+    let evict_baseline = evict_server
+        .query_batch(&request_for(&spectra))
+        .expect("pre-eviction batch");
+    let resident_full = evict_server.stats().resident_bytes;
+    evict_server.set_memory_budget(resident_full / 2);
+    let evict_after = evict_server
+        .query_batch(&request_for(&spectra))
+        .expect("post-eviction batch");
+    assert_eq!(
+        evict_baseline.rows, evict_after.rows,
+        "eviction must never change served rows"
+    );
+    let evict_stats = evict_server.stats();
+    assert!(evict_stats.evictions > 0, "the squeeze evicted shards");
+    assert!(evict_stats.reloads > 0, "the re-query faulted shards back");
+    assert!(
+        evict_stats.resident_bytes <= resident_full / 2,
+        "the memory budget holds after the batch"
     );
 
     // Fidelity: the served full batch and the streamed session must
@@ -332,6 +554,24 @@ fn main() {
         "scheduler           {:>10} peak busy of {} workers, {} busy-rejected, {} shed",
         sched.peak_workers_busy, sched.workers, sched.rejected_busy, sched.shed_deadline
     );
+    println!(
+        "tiered storm        p99 {:>7.2} ms interactive vs {:.2} ms flat \
+         ({} / {} probes, batch {:.1} queries/s, {} workers saturated)",
+        storm_tiered.p99_probe_ms,
+        storm_flat.p99_probe_ms,
+        storm_tiered.probes,
+        storm_flat.probes,
+        storm_tiered.batch_qps,
+        STORM_WORKERS,
+    );
+    println!(
+        "coalescing          {:>10.2} requests/batch ({} requests in {} engine batches)",
+        coalesce_ratio, coalesce_stats.coalesced_requests, coalesce_stats.coalesced_batches,
+    );
+    println!(
+        "eviction            {:>10} evictions, {} reloads, resident {} of {} bytes",
+        evict_stats.evictions, evict_stats.reloads, evict_stats.resident_bytes, resident_full,
+    );
     println!("shards touched      {shards_touched:>10}");
     println!("candidates scored   {candidates_scored:>10}");
     println!("identical PSMs      {psms_identical:>10}");
@@ -355,6 +595,10 @@ fn main() {
          \"hist_wait_p99_ms_clients_16\":{:.4},\"shed_rate_clients_16\":{:.4},\
          \"sched_workers\":{},\"sched_queue_depth\":{},\"sched_peak_workers_busy\":{},\
          \"sched_rejected_busy\":{},\"sched_shed_deadline\":{},\
+         \"p99_interactive_under_batch_ms\":{:.4},\"p99_interactive_flat_ms\":{:.4},\
+         \"storm_batch_qps\":{:.3},\"coalesce_ratio\":{:.4},\
+         \"coalesced_requests\":{},\"coalesced_batches\":{},\
+         \"evictions_total\":{},\"reloads_total\":{},\
          \"shards_touched\":{},\
          \"candidates_scored\":{},\"psms_identical\":{},\"session_identical\":{}}}",
         workload.spec.name,
@@ -393,6 +637,14 @@ fn main() {
         sched.peak_workers_busy,
         sched.rejected_busy,
         sched.shed_deadline,
+        storm_tiered.p99_probe_ms,
+        storm_flat.p99_probe_ms,
+        storm_tiered.batch_qps,
+        coalesce_ratio,
+        coalesce_stats.coalesced_requests,
+        coalesce_stats.coalesced_batches,
+        evict_stats.evictions,
+        evict_stats.reloads,
         shards_touched,
         candidates_scored,
         psms_identical,

@@ -22,6 +22,7 @@ use hdoms_rram::chip::ChipSpec;
 use hdoms_rram::config::MlcConfig;
 use hdoms_serve::net::{serve_listener, serve_stdio, Client};
 use hdoms_serve::protocol::{QueryRequest, QuerySpectrum, Request, Response, WindowKind};
+use hdoms_serve::scheduler::Tier;
 use hdoms_serve::server::Server;
 use std::fs;
 use std::path::Path;
@@ -512,7 +513,13 @@ pub fn profile(args: &[String]) -> Result<(), String> {
 /// machine), `--queue-depth` bounds waiting batches before submissions
 /// are rejected with the structured `busy` error, and `--deadline-ms`
 /// sheds batches that wait longer than the soft deadline (0 = never).
-/// See `docs/SCHEDULER.md` for tuning.
+/// Tiered serving: `--interactive-weight` sets how many interactive
+/// admissions each batch admission is worth under contention,
+/// `--interactive-queue-depth` bounds the interactive queue separately,
+/// `--coalesce-window-ms` merges interactive queries with identical
+/// parameters into one engine batch, and `--memory-budget` bounds the
+/// bytes of mapped shard hypervectors kept resident (cold shards are
+/// evicted and refault on demand). See `docs/SCHEDULER.md` for tuning.
 ///
 /// Observability: `--metrics <host:port>` binds a Prometheus-style text
 /// exposition endpoint over the server's metrics registry;
@@ -529,6 +536,10 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         "workers",
         "queue-depth",
         "deadline-ms",
+        "interactive-weight",
+        "interactive-queue-depth",
+        "coalesce-window-ms",
+        "memory-budget",
         "metrics",
         "log-level",
         "log-json",
@@ -539,6 +550,15 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let queue_depth: usize =
         flags.get_or("queue-depth", hdoms_serve::scheduler::DEFAULT_QUEUE_DEPTH)?;
     let deadline_ms: u64 = flags.get_or("deadline-ms", 0)?;
+    let interactive_weight: usize = flags.get_or(
+        "interactive-weight",
+        hdoms_serve::scheduler::DEFAULT_INTERACTIVE_WEIGHT,
+    )?;
+    // The interactive queue matches the batch queue bound unless bounded
+    // separately.
+    let interactive_queue_depth: usize = flags.get_or("interactive-queue-depth", queue_depth)?;
+    let coalesce_window_ms: u64 = flags.get_or("coalesce-window-ms", 0)?;
+    let memory_budget: u64 = flags.get_or("memory-budget", 0)?;
     let stdio: bool = flags.get_or("stdio", false)?;
     let listen = flags.get("listen");
     let metrics_addr = flags.get("metrics");
@@ -566,15 +586,23 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             workers,
             queue_depth,
             deadline_ms,
+            interactive_weight,
+            interactive_queue_depth,
         },
     );
     server.set_logger(logger.clone());
     server.set_prefilter(prefilter);
+    server.set_coalesce_window_ms(coalesce_window_ms);
+    server.set_memory_budget(memory_budget);
     logger
         .info("serve.scheduler")
         .u64("workers", workers as u64)
         .u64("queue_depth", queue_depth as u64)
         .u64("deadline_ms", deadline_ms)
+        .u64("interactive_weight", interactive_weight as u64)
+        .u64("interactive_queue_depth", interactive_queue_depth as u64)
+        .u64("coalesce_window_ms", coalesce_window_ms)
+        .u64("memory_budget", memory_budget)
         .emit();
     if !prefilter.is_off() {
         logger
@@ -646,6 +674,10 @@ pub fn serve(args: &[String]) -> Result<(), String> {
 /// session and FDR is filtered **once over all of them** at finalize —
 /// so any `--batch-size` reproduces the local single-run table. Without
 /// it each batch is filtered alone (the per-batch compatibility mode).
+/// `--tier interactive` requests the priority class (and, per batch,
+/// eligibility for server-side coalescing); `--prefilter` overrides the
+/// server's default cascade per batch, or for the whole session when
+/// combined with `--session true`.
 pub fn query(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.check_known(&[
@@ -655,6 +687,7 @@ pub fn query(args: &[String]) -> Result<(), String> {
         "out",
         "window",
         "fdr",
+        "tier",
         "batch-size",
         "session",
         "prefilter",
@@ -666,17 +699,11 @@ pub fn query(args: &[String]) -> Result<(), String> {
     let fdr: f64 = flags.get_or("fdr", 0.01)?;
     let batch_size: usize = flags.get_or("batch-size", 0)?;
     let use_session: bool = flags.get_or("session", false)?;
+    let tier = Tier::parse(flags.get("tier").unwrap_or("batch"))?;
     let prefilter = flags
         .get("prefilter")
         .map(PrefilterConfig::parse)
         .transpose()?;
-    if use_session && prefilter.is_some() {
-        return Err(
-            "--prefilter applies to per-batch queries; sessions run under the \
-             server's default prefilter (drop --session or --prefilter)"
-                .to_owned(),
-        );
-    }
     let window = WindowKind::parse(flags.get("window").unwrap_or("open"))?;
 
     let queries = read_queries(queries_path)?;
@@ -704,6 +731,8 @@ pub fn query(args: &[String]) -> Result<(), String> {
         let session = match client.request(&Request::SessionOpen {
             index: index_name.to_owned(),
             window,
+            tier,
+            prefilter,
         })? {
             Response::SessionOpened { session, .. } => session,
             other => return Err(fail(other)),
@@ -744,6 +773,7 @@ pub fn query(args: &[String]) -> Result<(), String> {
                 index: index_name.to_owned(),
                 window,
                 fdr,
+                tier,
                 prefilter,
                 spectra: batch.to_vec(),
             }))? {

@@ -29,25 +29,36 @@ USAGE:
   hdoms serve    --index <name>=<lib.hdx> [--index <name2>=<more.hdx> ...]
                  (--listen <host:port> | --stdio true) [--threads <usize>]
                  [--workers <usize>] [--queue-depth <usize>]
-                 [--deadline-ms <u64>] [--metrics <host:port>]
+                 [--deadline-ms <u64>] [--interactive-weight <usize>]
+                 [--interactive-queue-depth <usize>]
+                 [--coalesce-window-ms <u64>] [--memory-budget <bytes>]
+                 [--metrics <host:port>]
                  [--log-level off|error|warn|info|debug] [--log-json true]
                  [--prefilter off|k=<usize>]
                  (--workers bounds total in-flight search parallelism,
                   --queue-depth bounds waiting batches before `busy`
                   rejections, --deadline-ms sheds batches that queue
-                  too long; see docs/SCHEDULER.md. --metrics exposes the
-                  registry Prometheus-style; --log-level/--log-json tune
-                  the structured stderr log; see docs/OBSERVABILITY.md.
-                  --prefilter sets the default sketch cascade for every
-                  resident index; see docs/PREFILTER.md)
+                  too long. Tiered serving: --interactive-weight grants
+                  that many interactive admissions per batch admission,
+                  --interactive-queue-depth bounds the interactive queue
+                  separately, --coalesce-window-ms merges interactive
+                  queries with identical parameters into one engine
+                  batch, --memory-budget caps resident mapped-shard
+                  bytes with shard-LRU eviction; see docs/SCHEDULER.md.
+                  --metrics exposes the registry Prometheus-style;
+                  --log-level/--log-json tune the structured stderr log;
+                  see docs/OBSERVABILITY.md. --prefilter sets the
+                  default sketch cascade for every resident index; see
+                  docs/PREFILTER.md)
   hdoms query    --addr <host:port> --queries <q.mgf> --index <name>
                  --out <psms.tsv> [--window open|standard] [--fdr <f64>]
-                 [--batch-size <usize>] [--session true]
-                 [--prefilter off|k=<usize>]
+                 [--tier interactive|batch] [--batch-size <usize>]
+                 [--session true] [--prefilter off|k=<usize>]
                  (--session streams batches through one server-side
                   session: FDR is filtered once across all of them;
-                  --prefilter overrides the server default per batch
-                  and is exclusive with --session)
+                  --tier picks the priority class batches are admitted
+                  under; --prefilter overrides the server default per
+                  batch, or for the whole session with --session true)
   hdoms profile  --psms <psms.tsv> [--bin-width <f64>] [--min-count <usize>]
   hdoms chip     [--bits 1|2|3] [--dim <usize>] [--refs <u64>]
                  [--activated-rows <usize>]

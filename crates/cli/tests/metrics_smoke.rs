@@ -165,6 +165,7 @@ fn scraped_exposition_reports_the_served_batch() {
             index: "smoke".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            tier: Default::default(),
             prefilter: None,
             spectra,
         }))

@@ -109,6 +109,8 @@ fn served_stdio_session_matches_local_run() {
     let Response::SessionOpened { session, .. } = server.request(&Request::SessionOpen {
         index: "smoke".to_owned(),
         window: WindowKind::Open,
+        tier: Default::default(),
+        prefilter: None,
     }) else {
         panic!("expected a session id");
     };
@@ -145,6 +147,7 @@ fn served_stdio_session_matches_local_run() {
             index: "smoke".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            tier: Default::default(),
             prefilter: None,
             spectra,
         }))

@@ -223,6 +223,54 @@ impl EngineBackend {
             EngineBackend::Flat(_) => 0,
         }
     }
+
+    /// [`EngineBackend::search_batch`] over a merged multi-request
+    /// batch: query `i` belongs to group `group_of[i]`, and shard
+    /// timings / prefilter stats come back per group. Queries of a
+    /// group must be contiguous (the coalescing caller concatenates
+    /// group by group). Sharded backends score the merged batch in one
+    /// pass with per-group clocks; flat backends fall back to one call
+    /// per group (they keep no per-shard or prefilter accounting
+    /// either way).
+    fn search_batch_grouped(
+        &self,
+        queries: &[BinnedSpectrum],
+        candidates: &[Vec<u32>],
+        workers: Option<usize>,
+        prefilter: Option<(&SketchIndex, usize)>,
+        group_of: &[u32],
+        group_count: usize,
+    ) -> (
+        Vec<Option<SearchHit>>,
+        Vec<Vec<ShardTiming>>,
+        Vec<PrefilterStats>,
+    ) {
+        match self {
+            EngineBackend::Sharded(b) => b.search_batch_grouped(
+                queries,
+                candidates,
+                workers,
+                prefilter,
+                group_of,
+                group_count,
+            ),
+            EngineBackend::Flat(b) => {
+                let mut hits = Vec::with_capacity(queries.len());
+                let mut at = 0usize;
+                for group in 0..group_count as u32 {
+                    let len = group_of[at..].iter().take_while(|&&g| g == group).count();
+                    hits.extend(b.search_batch(&queries[at..at + len], &candidates[at..at + len]));
+                    at += len;
+                }
+                debug_assert_eq!(at, queries.len(), "group ids must be contiguous");
+                (
+                    hits,
+                    vec![Vec::new(); group_count],
+                    vec![PrefilterStats::default(); group_count],
+                )
+            }
+        }
+    }
 }
 
 /// Registry handles an instrumented engine records into (see
@@ -694,6 +742,204 @@ impl Engine {
         receipt.stages.finalize_ms = finalize_ms;
         Ok((outcome, receipt))
     }
+
+    /// Execute several independent requests as **one merged scoring
+    /// batch** and split the results back out per request — the
+    /// cross-request coalescing seam the serve layer drives.
+    ///
+    /// Group `g` of the result is byte-identical (PSMs, threshold,
+    /// identifications, candidate counts) to
+    /// [`Engine::search_with_workers_opts`] over `groups[g]` alone:
+    /// preprocessing and candidate generation run per group on the
+    /// group's own spectra, per-query scoring is independent of batch
+    /// composition, the backend's per-group clocks keep shard and
+    /// prefilter accounting exact, and FDR is filtered per group over
+    /// that group's own PSMs. Only wall-clock figures differ from an
+    /// uncoalesced run: the merged scoring stage's time is apportioned
+    /// across groups by binned-query count, and each receipt's
+    /// `latency_ms` is its stage sum.
+    ///
+    /// Each group counts as one engine batch in the attached metrics
+    /// (one observation per group in every stage histogram), so
+    /// registry reconciliation against per-request receipts holds
+    /// whether or not requests were coalesced.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the prefilter override is `TopK` on an engine that
+    /// cannot prefilter (see [`Engine::set_prefilter`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid window or FDR level.
+    pub fn search_groups(
+        self: &Arc<Self>,
+        groups: &[&[Spectrum]],
+        window: PrecursorWindow,
+        alpha: f64,
+        workers: usize,
+        prefilter: Option<PrefilterConfig>,
+    ) -> Result<Vec<(PipelineOutcome, BatchReceipt)>, String> {
+        window.validate();
+        assert!(alpha > 0.0 && alpha < 1.0, "FDR level must be in (0, 1)");
+        let config = prefilter.unwrap_or(self.prefilter);
+        if !config.is_off() {
+            self.validate_prefilter()?;
+            self.index
+                .as_ref()
+                .expect("validated index-backed")
+                .sketch_index();
+        }
+        let narrowing = self.resolve_prefilter(config);
+
+        // Per-group preprocess + candidate generation: identical inputs
+        // to what each request would produce alone, concatenated group
+        // by group so the merged batch stays group-contiguous.
+        struct GroupPrep {
+            start: usize,
+            len: usize,
+            rejected: usize,
+            encode_ms: f64,
+            candidates_ms: f64,
+        }
+        let pre = Preprocessor::new(self.preprocess);
+        let mut merged_binned: Vec<BinnedSpectrum> = Vec::new();
+        let mut merged_cands: Vec<Vec<u32>> = Vec::new();
+        let mut preps: Vec<GroupPrep> = Vec::with_capacity(groups.len());
+        for spectra in groups {
+            let ((mut binned, rejected), encode_ms) =
+                hdoms_obs::trace::timed(|| pre.run_batch(spectra));
+            let (mut cands, candidates_ms) = hdoms_obs::trace::timed(|| {
+                hdoms_oms::search::candidate_lists(&self.candidates, &window, &binned)
+            });
+            let start = merged_binned.len();
+            let len = binned.len();
+            merged_binned.append(&mut binned);
+            merged_cands.append(&mut cands);
+            preps.push(GroupPrep {
+                start,
+                len,
+                rejected,
+                encode_ms,
+                candidates_ms,
+            });
+        }
+        let group_of: Vec<u32> = preps
+            .iter()
+            .enumerate()
+            .flat_map(|(g, p)| std::iter::repeat_n(g as u32, p.len))
+            .collect();
+        let total_binned = merged_binned.len();
+
+        // One scoring pass over the merged batch; accounting splits by
+        // group inside the backend.
+        let ((hits, mut group_timings, group_stats), score_ms) = hdoms_obs::trace::timed(|| {
+            self.backend.search_batch_grouped(
+                &merged_binned,
+                &merged_cands,
+                Some(workers.max(1)),
+                narrowing.as_ref().map(|(sketch, k)| (sketch.as_ref(), *k)),
+                &group_of,
+                groups.len().max(1),
+            )
+        });
+
+        let mut results = Vec::with_capacity(groups.len());
+        for (g, prep) in preps.iter().enumerate() {
+            let range = prep.start..prep.start + prep.len;
+            let binned_g = &merged_binned[range.clone()];
+            let hits_g = &hits[range.clone()];
+            let cands_g = &merged_cands[range];
+            let psms = assemble_psms(binned_g, hits_g, &self.meta);
+            let batch_psms = psms.len();
+            let window_candidates: usize = cands_g.iter().map(Vec::len).sum();
+            let (candidates_scored, candidates_pre, shards_touched, sketch_ms) =
+                if narrowing.is_none() {
+                    let shards = self.backend.shards_touched(cands_g);
+                    (window_candidates, window_candidates, shards, 0.0)
+                } else {
+                    let stats = &group_stats[g];
+                    let shards: u64 = group_timings[g].iter().map(|t| t.visits).sum();
+                    (
+                        stats.candidates_post as usize,
+                        stats.candidates_pre as usize,
+                        shards as usize,
+                        stats.sketch_ms,
+                    )
+                };
+            // The merged scoring pass's wall-clock, apportioned by how
+            // much of the batch each group contributed (time is not
+            // part of the identity contract; counts above are exact).
+            let score_share = if total_binned == 0 {
+                score_ms / groups.len().max(1) as f64
+            } else {
+                score_ms * prep.len as f64 / total_binned as f64
+            };
+            let (
+                FdrOutcome {
+                    accepted,
+                    threshold_score,
+                    decoys_above,
+                    ..
+                },
+                finalize_ms,
+            ) = hdoms_obs::trace::timed(|| filter_fdr(&psms, alpha));
+            if let Some(metrics) = &self.metrics {
+                metrics.batches.inc();
+                metrics.queries.add(groups[g].len() as u64);
+                metrics.psms.add(batch_psms as u64);
+                metrics.stage_encode_ms.record_ms(prep.encode_ms);
+                metrics.stage_candidates_ms.record_ms(prep.candidates_ms);
+                metrics.stage_score_ms.record_ms(score_share);
+                metrics.stage_finalize_ms.record_ms(finalize_ms);
+                if narrowing.is_some() {
+                    metrics.prefilter_candidates_pre.add(candidates_pre as u64);
+                    metrics
+                        .prefilter_candidates_post
+                        .add(candidates_scored as u64);
+                    metrics.prefilter_sketch_ms.record_ms(sketch_ms);
+                }
+            }
+            let stages = StageTimings {
+                encode_ms: prep.encode_ms,
+                candidates_ms: prep.candidates_ms,
+                score_ms: score_share,
+                finalize_ms,
+            };
+            let mean_candidates = if prep.len == 0 {
+                0.0
+            } else {
+                candidates_scored as f64 / prep.len as f64
+            };
+            let receipt = BatchReceipt {
+                batch: 1,
+                queries: groups[g].len(),
+                rejected_queries: prep.rejected,
+                psms: batch_psms,
+                total_psms: batch_psms,
+                candidates_scored,
+                candidates_pre,
+                candidates_post: candidates_scored,
+                sketch_ms,
+                shards_touched,
+                latency_ms: stages.encode_ms + stages.candidates_ms + score_share + finalize_ms,
+                stages,
+                shard_timings: std::mem::take(&mut group_timings[g]),
+            };
+            let outcome = PipelineOutcome {
+                backend_name: self.backend.name(),
+                psms,
+                accepted,
+                threshold_score,
+                decoys_above,
+                rejected_queries: prep.rejected,
+                total_queries: groups[g].len(),
+                mean_candidates,
+            };
+            results.push((outcome, receipt));
+        }
+        Ok(results)
+    }
 }
 
 /// What one [`Session::submit`] did: per-batch counts plus the session's
@@ -1133,6 +1379,54 @@ mod tests {
             );
             assert_eq!(budgeted.threshold_score, full.threshold_score);
             assert_eq!(receipt.queries, workload.queries.len());
+        }
+    }
+
+    #[test]
+    fn grouped_search_matches_individual_searches_exactly() {
+        // The coalescing contract: merging requests into one scoring
+        // batch must not change any request's output or deterministic
+        // accounting — with the prefilter off and on.
+        let (workload, mut engine) = {
+            let (w, e) = tiny_engine(27);
+            (w, Arc::try_unwrap(e).ok().expect("sole handle"))
+        };
+        engine.set_prefilter(PrefilterConfig::Off).unwrap();
+        let engine = Arc::new(engine);
+        let n = workload.queries.len();
+        let groups: Vec<&[Spectrum]> = vec![
+            &workload.queries[..n / 3],
+            &workload.queries[n / 3..2 * n / 3],
+            &workload.queries[2 * n / 3..],
+        ];
+        for prefilter in [None, Some(PrefilterConfig::TopK(16))] {
+            let merged = engine
+                .search_groups(&groups, PrecursorWindow::open_default(), 0.01, 2, prefilter)
+                .expect("groups searched");
+            assert_eq!(merged.len(), groups.len());
+            for (g, (outcome, receipt)) in merged.iter().enumerate() {
+                let (solo, solo_receipt) = engine
+                    .search_with_workers_opts(
+                        groups[g],
+                        PrecursorWindow::open_default(),
+                        0.01,
+                        2,
+                        prefilter,
+                    )
+                    .expect("solo search");
+                assert_eq!(outcome.psms, solo.psms, "group {g} PSMs diverged");
+                assert_eq!(outcome.accepted, solo.accepted);
+                assert_eq!(outcome.threshold_score, solo.threshold_score);
+                assert_eq!(outcome.decoys_above, solo.decoys_above);
+                assert_eq!(outcome.total_queries, solo.total_queries);
+                assert_eq!(outcome.mean_candidates, solo.mean_candidates);
+                assert_eq!(receipt.queries, solo_receipt.queries);
+                assert_eq!(receipt.psms, solo_receipt.psms);
+                assert_eq!(receipt.candidates_pre, solo_receipt.candidates_pre);
+                assert_eq!(receipt.candidates_post, solo_receipt.candidates_post);
+                assert_eq!(receipt.candidates_scored, solo_receipt.candidates_scored);
+                assert_eq!(receipt.shards_touched, solo_receipt.shards_touched);
+            }
         }
     }
 

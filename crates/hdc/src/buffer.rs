@@ -134,6 +134,49 @@ impl WordBuffer {
         }
     }
 
+    /// Whether the buffer is a file mapping (whose resident pages can be
+    /// released with [`WordBuffer::release_range`]).
+    pub fn is_mapped(&self) -> bool {
+        match &*self.storage {
+            Storage::Owned(_) => false,
+            #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+            Storage::Mapped(_) => true,
+        }
+    }
+
+    /// Release the resident pages backing `len` bytes at `byte_offset`
+    /// back to the kernel (`madvise(MADV_DONTNEED)`), returning how many
+    /// bytes of whole pages were dropped. The bytes stay addressable —
+    /// the mapping is read-only and private, so the next access simply
+    /// faults the page back in from the file. This is the shard-eviction
+    /// primitive: cold shards give their memory back, and "reload" is a
+    /// free page fault.
+    ///
+    /// Only whole pages inside the range are dropped (the range is
+    /// shrunk to page boundaries; partial edge pages stay resident
+    /// because neighbouring data shares them). Returns 0 — releasing
+    /// nothing — on owned storage, on a sub-page range, or if the
+    /// kernel refuses the advice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range lies outside the buffer.
+    pub fn release_range(&self, byte_offset: usize, len: usize) -> usize {
+        let end = byte_offset
+            .checked_add(len)
+            .expect("release range must not overflow");
+        assert!(
+            end <= self.len,
+            "release range {byte_offset}+{len} out of bounds for {} bytes",
+            self.len
+        );
+        match &*self.storage {
+            Storage::Owned(_) => 0,
+            #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+            Storage::Mapped(mapping) => mapping.release_range(byte_offset, len),
+        }
+    }
+
     /// Whether two handles view the same storage.
     pub fn ptr_eq(a: &WordBuffer, b: &WordBuffer) -> bool {
         Arc::ptr_eq(&a.storage, &b.storage)
@@ -167,6 +210,7 @@ mod mmap {
 
     const PROT_READ: i32 = 1;
     const MAP_PRIVATE: i32 = 2;
+    const MADV_DONTNEED: i32 = 4;
 
     extern "C" {
         fn mmap(
@@ -178,6 +222,8 @@ mod mmap {
             offset: i64,
         ) -> *mut core::ffi::c_void;
         fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+        fn madvise(addr: *mut core::ffi::c_void, len: usize, advice: i32) -> i32;
+        fn getpagesize() -> i32;
     }
 
     /// A read-only private file mapping, unmapped on drop.
@@ -230,6 +276,36 @@ mod mmap {
             // the caller) keeps the u64 reads aligned.
             unsafe {
                 std::slice::from_raw_parts(self.ptr.cast::<u8>().add(byte_offset).cast(), count)
+            }
+        }
+
+        /// Drop the whole pages inside `[byte_offset, byte_offset+len)`
+        /// from residency; returns the bytes released. See
+        /// [`super::WordBuffer::release_range`] for the contract.
+        pub(super) fn release_range(&self, byte_offset: usize, len: usize) -> usize {
+            let page = unsafe { getpagesize() }.max(1) as usize;
+            // Shrink to whole pages: the first page boundary at or after
+            // the start, the last at or before the end. Edge pages are
+            // shared with neighbouring data and must stay resident.
+            let start = byte_offset.div_ceil(page) * page;
+            let end = (byte_offset + len) / page * page;
+            if start >= end {
+                return 0;
+            }
+            // MADV_DONTNEED on a read-only private file mapping cannot
+            // lose data: there are no dirty pages, so the next access
+            // refaults the bytes straight from the file.
+            let rc = unsafe {
+                madvise(
+                    self.ptr.cast::<u8>().add(start).cast(),
+                    end - start,
+                    MADV_DONTNEED,
+                )
+            };
+            if rc == 0 {
+                end - start
+            } else {
+                0
             }
         }
     }
@@ -294,6 +370,41 @@ mod tests {
     fn short_reader_is_an_error() {
         let bytes = [0u8; 4];
         assert!(WordBuffer::from_reader(&bytes[..], 8).is_err());
+    }
+
+    #[test]
+    fn owned_storage_releases_nothing() {
+        let buffer = WordBuffer::from_bytes(&[7u8; 64]);
+        assert!(!buffer.is_mapped());
+        assert_eq!(buffer.release_range(0, 64), 0);
+        assert_eq!(buffer.as_bytes(), &[7u8; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn release_range_checks_bounds() {
+        let buffer = WordBuffer::from_bytes(&[0u8; 16]);
+        let _ = buffer.release_range(8, 16);
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]
+    #[test]
+    fn released_mapped_pages_refault_from_the_file() {
+        // Map a multi-page file, drop the middle pages, and read the
+        // whole buffer back: the kernel must refault the released pages
+        // from the file with the original bytes intact.
+        let path = std::env::temp_dir().join(format!("hdoms-madv-{}.bin", std::process::id()));
+        let bytes: Vec<u8> = (0..64 * 1024usize).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = WordBuffer::map_file(&path).unwrap();
+        assert!(mapped.is_mapped());
+        let released = mapped.release_range(4096, 3 * 4096);
+        assert!(released > 0, "whole pages inside the range were dropped");
+        assert!(released <= 3 * 4096);
+        assert_eq!(mapped.as_bytes(), &bytes[..], "refaulted bytes differ");
+        // A sub-page range has no whole page to drop.
+        assert_eq!(mapped.release_range(1, 16), 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[cfg(all(unix, target_pointer_width = "64", feature = "mmap"))]

@@ -331,6 +331,62 @@ impl LibraryIndex {
         assignment
     }
 
+    // -- residency --------------------------------------------------------
+
+    /// Byte footprint of each shard's stored hypervector words
+    /// (`present entries × ceil(dim / 64) × 8`), indexed by shard
+    /// position. This is the unit the serve layer budgets residency in:
+    /// it is what [`LibraryIndex::release_shard_words`] can hand back to
+    /// the OS for a cold shard, and what a touched shard re-occupies.
+    pub fn shard_word_bytes(&self) -> Vec<u64> {
+        let hv_bytes = (self.dim().div_ceil(64) * 8) as u64;
+        self.shards
+            .iter()
+            .map(|s| {
+                let present = s
+                    .entries
+                    .iter()
+                    .filter(|e| self.references.hv(e.id as usize).is_some())
+                    .count();
+                present as u64 * hv_bytes
+            })
+            .collect()
+    }
+
+    /// Release the resident pages holding `shard`'s hypervector words
+    /// back to the OS (mapped indexes only — owned tables cannot drop
+    /// pages piecemeal). Returns the bytes actually released: 0 for
+    /// owned tables, unknown shard positions, or word spans too small to
+    /// cover one whole page. Released words refault from the backing
+    /// file on the next touch, so a later search over the shard scores
+    /// identically — it just pays the page faults to reload.
+    pub fn release_shard_words(&self, shard: usize) -> usize {
+        let Some(mapped) = self.references.as_mapped() else {
+            return 0;
+        };
+        let Some(entries) = self.shards.get(shard).map(|s| &s.entries) else {
+            return 0;
+        };
+        // A v2+ shard section lays its word blocks out contiguously, so
+        // the shard's words occupy exactly [min offset, max offset +
+        // hv_bytes) of the backing buffer.
+        let hv_bytes = mapped.hv_bytes() as u64;
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for e in entries {
+            if let Some(at) = mapped.offset_of(e.id as usize) {
+                lo = lo.min(at);
+                hi = hi.max(at + hv_bytes);
+            }
+        }
+        if lo >= hi {
+            return 0;
+        }
+        mapped
+            .buffer()
+            .release_range(lo as usize, (hi - lo) as usize)
+    }
+
     // -- backend reconstruction ------------------------------------------
 
     /// Reconstruct the software-exact backend without re-encoding.

@@ -507,28 +507,91 @@ impl ShardedBackend {
         workers: Option<usize>,
         prefilter: Option<(&SketchIndex, usize)>,
     ) -> (Vec<Option<SearchHit>>, Vec<ShardTiming>, PrefilterStats) {
+        let group_of = vec![0u32; queries.len()];
+        let (hits, mut timings, mut stats) =
+            self.search_batch_grouped(queries, candidates, workers, prefilter, &group_of, 1);
+        (
+            hits,
+            timings.pop().expect("one group was requested"),
+            stats.pop().expect("one group was requested"),
+        )
+    }
+
+    /// [`ShardedBackend::search_batch_prefiltered`] over a **merged**
+    /// batch of several request groups: query `i` belongs to group
+    /// `group_of[i]` (`0..group_count`), and the per-shard timings and
+    /// prefilter stats come back **per group**, exactly as if each
+    /// group had been searched alone — the clocks are indexed by group,
+    /// so the accounting is precise even when the prefilter narrows
+    /// different groups by different amounts.
+    ///
+    /// The hits come back in input order. Scoring is per-query and
+    /// independent of batch composition, so they are bit-identical to
+    /// searching each group separately; only the accounting needs the
+    /// group map. This is the cross-request coalescing seam: the serve
+    /// layer merges concurrent interactive requests into one batch here
+    /// and splits receipts back out per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queries`, `candidates` and `group_of` do not pair
+    /// up, a group id is at or beyond `group_count`, or the sketch does
+    /// not cover the backend's reference ids.
+    pub fn search_batch_grouped(
+        &self,
+        queries: &[BinnedSpectrum],
+        candidates: &[Vec<u32>],
+        workers: Option<usize>,
+        prefilter: Option<(&SketchIndex, usize)>,
+        group_of: &[u32],
+        group_count: usize,
+    ) -> (
+        Vec<Option<SearchHit>>,
+        Vec<Vec<ShardTiming>>,
+        Vec<PrefilterStats>,
+    ) {
         let workers = workers.unwrap_or(self.threads).max(1);
         assert_eq!(
             queries.len(),
             candidates.len(),
             "queries and candidate lists must pair up"
         );
-        let clock = ShardClock::new(self.shard_count);
-        let pclock = PrefilterClock::new();
-        let narrowing = prefilter.map(|(sketch, k)| (sketch, k, &pclock));
+        assert_eq!(
+            queries.len(),
+            group_of.len(),
+            "queries and group ids must pair up"
+        );
+        assert!(
+            group_of.iter().all(|&g| (g as usize) < group_count),
+            "group id out of range"
+        );
+        let clocks: Vec<ShardClock> = (0..group_count)
+            .map(|_| ShardClock::new(self.shard_count))
+            .collect();
+        let pclocks: Vec<PrefilterClock> =
+            (0..group_count).map(|_| PrefilterClock::new()).collect();
+        let search = |i: usize, parallel_shards: usize| {
+            let group = group_of[i] as usize;
+            let narrowing = prefilter.map(|(sketch, k)| (sketch, k, &pclocks[group]));
+            self.search_one_clocked(
+                &queries[i],
+                &candidates[i],
+                parallel_shards,
+                Some(&clocks[group]),
+                narrowing,
+            )
+        };
         let hits = if queries.len() >= workers {
             let jobs: Vec<usize> = (0..queries.len()).collect();
-            par_map(&jobs, workers, |&i| {
-                self.search_one_clocked(&queries[i], &candidates[i], 1, Some(&clock), narrowing)
-            })
+            par_map(&jobs, workers, |&i| search(i, 1))
         } else {
-            queries
-                .iter()
-                .zip(candidates)
-                .map(|(q, c)| self.search_one_clocked(q, c, workers, Some(&clock), narrowing))
-                .collect()
+            (0..queries.len()).map(|i| search(i, workers)).collect()
         };
-        (hits, clock.timings(), pclock.stats())
+        (
+            hits,
+            clocks.iter().map(ShardClock::timings).collect(),
+            pclocks.iter().map(PrefilterClock::stats).collect(),
+        )
     }
 }
 

@@ -123,6 +123,26 @@ impl MappedReferences {
     pub fn is_empty(&self) -> bool {
         self.offsets.is_empty()
     }
+
+    /// Byte offset of reference `id`'s packed words inside the backing
+    /// buffer, or `None` for an absent slot. This is the residency
+    /// seam: knowing where each reference's words live lets a caller
+    /// compute per-shard byte ranges and release cold shards' pages
+    /// ([`WordBuffer::release_range`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is beyond the table.
+    pub fn offset_of(&self, id: usize) -> Option<u64> {
+        let offset = self.offsets[id];
+        (offset != NO_HV).then_some(offset)
+    }
+
+    /// Bytes one stored hypervector's packed words occupy
+    /// (`ceil(dim / 64)` words of 8 bytes).
+    pub fn hv_bytes(&self) -> usize {
+        self.dim.div_ceil(64) * 8
+    }
 }
 
 impl SharedReferences {
@@ -216,6 +236,15 @@ impl SharedReferences {
     /// Whether this table is the mapped (zero-copy) representation.
     pub fn is_mapped(&self) -> bool {
         matches!(self, SharedReferences::Mapped(_))
+    }
+
+    /// The mapped representation, when this table is mapped (`None` for
+    /// owned tables, whose heap pages cannot be released piecemeal).
+    pub fn as_mapped(&self) -> Option<&MappedReferences> {
+        match self {
+            SharedReferences::Mapped(mapped) => Some(mapped),
+            SharedReferences::Owned(_) => None,
+        }
     }
 
     /// Materialise an owned copy of every stored hypervector (the one

@@ -11,11 +11,12 @@
 //!
 //! let req = Request::decode(r#"{"type":"ping"}"#).unwrap();
 //! assert_eq!(req.encode(), r#"{"type":"ping"}"#);
-//! let resp = Response::Pong { protocol: 4 };
-//! assert_eq!(resp.encode(), r#"{"type":"pong","protocol":4}"#);
+//! let resp = Response::Pong { protocol: 5 };
+//! assert_eq!(resp.encode(), r#"{"type":"pong","protocol":5}"#);
 //! ```
 
 use crate::json::Json;
+use crate::scheduler::{Tier, TierStats};
 use hdoms_engine::ShardTiming;
 use hdoms_ms::spectrum::{Peak, Spectrum, SpectrumOrigin};
 use hdoms_oms::psm::{Psm, PsmTableRow};
@@ -23,15 +24,18 @@ use hdoms_oms::window::PrecursorWindow;
 use hdoms_prefilter::PrefilterConfig;
 
 /// Wire protocol version, reported by `pong`. Bumped on any incompatible
-/// message change (v4: prefilter — the per-request `prefilter` option on
-/// `query`, and sketch-cascade accounting
+/// message change (v5: tiered serving — the `tier` option on `query` and
+/// `session.open`, the `prefilter` option on `session.open`, and per-tier
+/// scheduler slices, coalescing counters, and shard-residency accounting
+/// in `server.stats`; v4: prefilter — the per-request `prefilter` option
+/// on `query`, and sketch-cascade accounting
 /// (`candidates_pre`/`candidates_post`/`sketch_ms`) in `stats`,
 /// `receipt`, and `server.stats`; v3: observability — per-stage pipeline
 /// timings in `stats`, stage and per-shard timings in `receipt`, and the
 /// `server.metrics` verb; v2: scheduler — structured `busy`/`deadline`
 /// error codes, queue-wait/budget fields in `stats` and `receipt`, and
 /// the `server.stats` verb).
-pub const PROTOCOL_VERSION: u32 = 4;
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Default FDR level applied when a query request omits `"fdr"`.
 pub const DEFAULT_FDR: f64 = 0.01;
@@ -241,6 +245,11 @@ pub struct QueryRequest {
     pub window: WindowKind,
     /// FDR acceptance level in (0, 1) (defaults to [`DEFAULT_FDR`]).
     pub fdr: f64,
+    /// Priority class. [`Tier::Batch`] (the default — omitted on the
+    /// wire) queues behind the batch bound; [`Tier::Interactive`] uses
+    /// the separately bounded interactive queue, is dequeued
+    /// preferentially, and is eligible for cross-request coalescing.
+    pub tier: Tier,
     /// Per-request prefilter override (`"off"` / `"k=N"`). `None` (the
     /// field omitted on the wire) uses the server's configured default
     /// (`hdoms serve --prefilter`).
@@ -265,6 +274,13 @@ pub enum Request {
         index: String,
         /// Precursor window for the whole session (defaults to open).
         window: WindowKind,
+        /// Priority class every `session.submit` of this session is
+        /// admitted under (defaults to [`Tier::Batch`], omitted on the
+        /// wire at the default).
+        tier: Tier,
+        /// Prefilter override for the whole session (`"off"` / `"k=N"`);
+        /// `None` uses the server's configured default.
+        prefilter: Option<PrefilterConfig>,
     },
     /// Submit one batch to an open session (accumulates raw PSMs; no
     /// FDR filtering until `session.finalize`).
@@ -325,6 +341,9 @@ impl Request {
                     ("window".into(), Json::str(q.window.name())),
                     ("fdr".into(), Json::Num(q.fdr)),
                 ];
+                if q.tier != Tier::default() {
+                    fields.push(("tier".into(), Json::str(q.tier.name())));
+                }
                 if let Some(prefilter) = q.prefilter {
                     fields.push(("prefilter".into(), Json::str(prefilter.render())));
                 }
@@ -334,11 +353,25 @@ impl Request {
                 ));
                 Json::Obj(fields)
             }
-            Request::SessionOpen { index, window } => Json::Obj(vec![
-                ("type".into(), Json::str("session.open")),
-                ("index".into(), Json::str(index.clone())),
-                ("window".into(), Json::str(window.name())),
-            ]),
+            Request::SessionOpen {
+                index,
+                window,
+                tier,
+                prefilter,
+            } => {
+                let mut fields = vec![
+                    ("type".into(), Json::str("session.open")),
+                    ("index".into(), Json::str(index.clone())),
+                    ("window".into(), Json::str(window.name())),
+                ];
+                if *tier != Tier::default() {
+                    fields.push(("tier".into(), Json::str(tier.name())));
+                }
+                if let Some(prefilter) = prefilter {
+                    fields.push(("prefilter".into(), Json::str(prefilter.render())));
+                }
+                Json::Obj(fields)
+            }
             Request::SessionSubmit { session, spectra } => Json::Obj(vec![
                 ("type".into(), Json::str("session.submit")),
                 ("session".into(), Json::Num(*session as f64)),
@@ -410,6 +443,7 @@ impl Request {
                         .to_owned(),
                     window,
                     fdr,
+                    tier: tier_field(&v)?,
                     prefilter,
                     spectra,
                 }))
@@ -419,6 +453,13 @@ impl Request {
                 window: match v.get("window") {
                     None => WindowKind::Open,
                     Some(w) => WindowKind::parse(w.as_str().ok_or("window must be a string")?)?,
+                },
+                tier: tier_field(&v)?,
+                prefilter: match v.get("prefilter") {
+                    None => None,
+                    Some(p) => Some(PrefilterConfig::parse(
+                        p.as_str().ok_or("prefilter must be a string")?,
+                    )?),
                 },
             }),
             Some("session.submit") => Ok(Request::SessionSubmit {
@@ -602,6 +643,17 @@ pub struct ServerStats {
     /// Configured soft queue deadline in milliseconds (`--deadline-ms`,
     /// 0 = none).
     pub deadline_ms: u64,
+    /// Configured interactive grants per batch grant under contention
+    /// (`--interactive-weight`).
+    pub interactive_weight: usize,
+    /// Configured interactive queue bound (`--interactive-queue-depth`).
+    pub interactive_queue_depth: usize,
+    /// Configured interactive coalescing window in milliseconds
+    /// (`--coalesce-window-ms`, 0 = coalescing off).
+    pub coalesce_window_ms: u64,
+    /// Configured resident-shard memory budget in bytes
+    /// (`--memory-budget`, 0 = unlimited).
+    pub memory_budget: u64,
     /// Batches waiting in the queue right now.
     pub queued: usize,
     /// Batches executing right now.
@@ -623,6 +675,18 @@ pub struct ServerStats {
     /// milliseconds (shed batches waited too; excluding them would
     /// understate tail wait exactly when admission pressure builds).
     pub total_wait_ms: f64,
+    /// The interactive tier's slice of the scheduler counters (same
+    /// lock acquisition as the aggregates, so sums are never torn).
+    pub interactive: TierStats,
+    /// The batch tier's slice of the scheduler counters.
+    pub batch: TierStats,
+    /// Engine batches executed by the coalescer so far (one per merged
+    /// admission; a lone request inside the window still counts as a
+    /// single-member batch, so shed work never inflates the ratio).
+    pub coalesced_batches: u64,
+    /// Interactive requests answered out of coalesced batches so far
+    /// (`coalesced_requests / coalesced_batches` is the merge ratio).
+    pub coalesced_requests: u64,
     /// Lifetime precursor-window candidates that entered the sketch
     /// prefilter (0 until a prefiltered batch runs — the
     /// `hdoms_prefilter_candidates_pre_total` counter).
@@ -633,6 +697,15 @@ pub struct ServerStats {
     /// Lifetime wall-clock spent in the sketch prefilter, milliseconds
     /// (the `hdoms_prefilter_sketch_ms` histogram's sum).
     pub prefilter_sketch_ms: f64,
+    /// Bytes of shard hypervector words resident right now, across
+    /// every mapped index (what `--memory-budget` bounds).
+    pub resident_bytes: u64,
+    /// Mapped shards resident right now.
+    pub resident_shards: usize,
+    /// Cold shards evicted (pages released to the OS) so far.
+    pub evictions: u64,
+    /// Evicted shards reloaded on demand by a later search so far.
+    pub reloads: u64,
     /// Open streaming sessions.
     pub open_sessions: usize,
     /// Resident indexes.
@@ -813,6 +886,19 @@ impl Response {
                 ("workers".into(), Json::Num(s.workers as f64)),
                 ("queue_depth".into(), Json::Num(s.queue_depth as f64)),
                 ("deadline_ms".into(), Json::Num(s.deadline_ms as f64)),
+                (
+                    "interactive_weight".into(),
+                    Json::Num(s.interactive_weight as f64),
+                ),
+                (
+                    "interactive_queue_depth".into(),
+                    Json::Num(s.interactive_queue_depth as f64),
+                ),
+                (
+                    "coalesce_window_ms".into(),
+                    Json::Num(s.coalesce_window_ms as f64),
+                ),
+                ("memory_budget".into(), Json::Num(s.memory_budget as f64)),
                 ("queued".into(), Json::Num(s.queued as f64)),
                 ("in_flight".into(), Json::Num(s.in_flight as f64)),
                 ("workers_busy".into(), Json::Num(s.workers_busy as f64)),
@@ -825,6 +911,16 @@ impl Response {
                 ("rejected_busy".into(), Json::Num(s.rejected_busy as f64)),
                 ("shed_deadline".into(), Json::Num(s.shed_deadline as f64)),
                 ("total_wait_ms".into(), Json::Num(s.total_wait_ms)),
+                ("interactive".into(), tier_stats_to_json(&s.interactive)),
+                ("batch".into(), tier_stats_to_json(&s.batch)),
+                (
+                    "coalesced_batches".into(),
+                    Json::Num(s.coalesced_batches as f64),
+                ),
+                (
+                    "coalesced_requests".into(),
+                    Json::Num(s.coalesced_requests as f64),
+                ),
                 (
                     "prefilter_candidates_pre".into(),
                     Json::Num(s.prefilter_candidates_pre as f64),
@@ -837,6 +933,13 @@ impl Response {
                     "prefilter_sketch_ms".into(),
                     Json::Num(s.prefilter_sketch_ms),
                 ),
+                ("resident_bytes".into(), Json::Num(s.resident_bytes as f64)),
+                (
+                    "resident_shards".into(),
+                    Json::Num(s.resident_shards as f64),
+                ),
+                ("evictions".into(), Json::Num(s.evictions as f64)),
+                ("reloads".into(), Json::Num(s.reloads as f64)),
                 ("open_sessions".into(), Json::Num(s.open_sessions as f64)),
                 (
                     "resident_indexes".into(),
@@ -967,6 +1070,19 @@ impl Response {
                 workers: uint(req_field(&v, "workers")?, "workers")? as usize,
                 queue_depth: uint(req_field(&v, "queue_depth")?, "queue_depth")? as usize,
                 deadline_ms: uint(req_field(&v, "deadline_ms")?, "deadline_ms")?,
+                interactive_weight: uint(
+                    req_field(&v, "interactive_weight")?,
+                    "interactive_weight",
+                )? as usize,
+                interactive_queue_depth: uint(
+                    req_field(&v, "interactive_queue_depth")?,
+                    "interactive_queue_depth",
+                )? as usize,
+                coalesce_window_ms: uint(
+                    req_field(&v, "coalesce_window_ms")?,
+                    "coalesce_window_ms",
+                )?,
+                memory_budget: uint(req_field(&v, "memory_budget")?, "memory_budget")?,
                 queued: uint(req_field(&v, "queued")?, "queued")? as usize,
                 in_flight: uint(req_field(&v, "in_flight")?, "in_flight")? as usize,
                 workers_busy: uint(req_field(&v, "workers_busy")?, "workers_busy")? as usize,
@@ -977,6 +1093,13 @@ impl Response {
                 rejected_busy: uint(req_field(&v, "rejected_busy")?, "rejected_busy")?,
                 shed_deadline: uint(req_field(&v, "shed_deadline")?, "shed_deadline")?,
                 total_wait_ms: num(req_field(&v, "total_wait_ms")?, "total_wait_ms")?,
+                interactive: tier_stats_from_json(req_field(&v, "interactive")?)?,
+                batch: tier_stats_from_json(req_field(&v, "batch")?)?,
+                coalesced_batches: uint(req_field(&v, "coalesced_batches")?, "coalesced_batches")?,
+                coalesced_requests: uint(
+                    req_field(&v, "coalesced_requests")?,
+                    "coalesced_requests",
+                )?,
                 prefilter_candidates_pre: uint(
                     req_field(&v, "prefilter_candidates_pre")?,
                     "prefilter_candidates_pre",
@@ -989,6 +1112,11 @@ impl Response {
                     req_field(&v, "prefilter_sketch_ms")?,
                     "prefilter_sketch_ms",
                 )?,
+                resident_bytes: uint(req_field(&v, "resident_bytes")?, "resident_bytes")?,
+                resident_shards: uint(req_field(&v, "resident_shards")?, "resident_shards")?
+                    as usize,
+                evictions: uint(req_field(&v, "evictions")?, "evictions")?,
+                reloads: uint(req_field(&v, "reloads")?, "reloads")?,
                 open_sessions: uint(req_field(&v, "open_sessions")?, "open_sessions")? as usize,
                 resident_indexes: uint(req_field(&v, "resident_indexes")?, "resident_indexes")?
                     as usize,
@@ -1142,6 +1270,39 @@ fn shard_timing_from_json(v: &Json) -> Result<ShardTiming, String> {
     })
 }
 
+/// The optional `tier` field of a request (defaults to [`Tier::Batch`]
+/// when omitted — pre-v5 clients never send it).
+fn tier_field(v: &Json) -> Result<Tier, String> {
+    match v.get("tier") {
+        None => Ok(Tier::default()),
+        Some(t) => Tier::parse(t.as_str().ok_or("tier must be a string")?),
+    }
+}
+
+fn tier_stats_to_json(t: &TierStats) -> Json {
+    Json::Obj(vec![
+        ("queued".into(), Json::Num(t.queued as f64)),
+        ("in_flight".into(), Json::Num(t.in_flight as f64)),
+        ("admitted".into(), Json::Num(t.admitted as f64)),
+        ("completed".into(), Json::Num(t.completed as f64)),
+        ("rejected_busy".into(), Json::Num(t.rejected_busy as f64)),
+        ("shed_deadline".into(), Json::Num(t.shed_deadline as f64)),
+        ("total_wait_ms".into(), Json::Num(t.total_wait_ms)),
+    ])
+}
+
+fn tier_stats_from_json(v: &Json) -> Result<TierStats, String> {
+    Ok(TierStats {
+        queued: uint(req_field(v, "queued")?, "queued")? as usize,
+        in_flight: uint(req_field(v, "in_flight")?, "in_flight")? as usize,
+        admitted: uint(req_field(v, "admitted")?, "admitted")?,
+        completed: uint(req_field(v, "completed")?, "completed")?,
+        rejected_busy: uint(req_field(v, "rejected_busy")?, "rejected_busy")?,
+        shed_deadline: uint(req_field(v, "shed_deadline")?, "shed_deadline")?,
+        total_wait_ms: num(req_field(v, "total_wait_ms")?, "total_wait_ms")?,
+    })
+}
+
 fn histogram_to_json(h: &HistogramSummary) -> Json {
     Json::Obj(vec![
         ("count".into(), Json::Num(h.count as f64)),
@@ -1236,6 +1397,7 @@ mod tests {
             index: "iprg".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            tier: Tier::Batch,
             prefilter: None,
             spectra: vec![QuerySpectrum {
                 id: 0,
@@ -1252,6 +1414,14 @@ mod tests {
             Request::SessionOpen {
                 index: "iprg".to_owned(),
                 window: WindowKind::Open,
+                tier: Tier::Batch,
+                prefilter: None,
+            },
+            Request::SessionOpen {
+                index: "iprg".to_owned(),
+                window: WindowKind::Standard,
+                tier: Tier::Interactive,
+                prefilter: Some(PrefilterConfig::TopK(64)),
             },
             Request::SessionSubmit {
                 session: 7,
@@ -1308,6 +1478,10 @@ mod tests {
                 workers: 8,
                 queue_depth: 256,
                 deadline_ms: 250,
+                interactive_weight: 4,
+                interactive_queue_depth: 256,
+                coalesce_window_ms: 2,
+                memory_budget: 1073741824,
                 queued: 3,
                 in_flight: 8,
                 workers_busy: 8,
@@ -1317,9 +1491,33 @@ mod tests {
                 rejected_busy: 17,
                 shed_deadline: 4,
                 total_wait_ms: 5321.25,
+                interactive: TierStats {
+                    queued: 1,
+                    in_flight: 3,
+                    admitted: 400,
+                    completed: 397,
+                    rejected_busy: 2,
+                    shed_deadline: 1,
+                    total_wait_ms: 321.25,
+                },
+                batch: TierStats {
+                    queued: 2,
+                    in_flight: 5,
+                    admitted: 800,
+                    completed: 795,
+                    rejected_busy: 15,
+                    shed_deadline: 3,
+                    total_wait_ms: 5000.0,
+                },
+                coalesced_batches: 120,
+                coalesced_requests: 311,
                 prefilter_candidates_pre: 40000,
                 prefilter_candidates_post: 12000,
                 prefilter_sketch_ms: 18.5,
+                resident_bytes: 805306368,
+                resident_shards: 96,
+                evictions: 14,
+                reloads: 9,
                 open_sessions: 2,
                 resident_indexes: 1,
             }),
@@ -1451,12 +1649,18 @@ mod tests {
 
     #[test]
     fn session_defaults_apply() {
-        let Request::SessionOpen { window, .. } =
-            Request::decode(r#"{"type":"session.open","index":"a"}"#).unwrap()
+        let Request::SessionOpen {
+            window,
+            tier,
+            prefilter,
+            ..
+        } = Request::decode(r#"{"type":"session.open","index":"a"}"#).unwrap()
         else {
             panic!("expected session.open");
         };
         assert_eq!(window, WindowKind::Open);
+        assert_eq!(tier, Tier::Batch);
+        assert_eq!(prefilter, None);
         let Request::SessionFinalize { fdr, .. } =
             Request::decode(r#"{"type":"session.finalize","session":3}"#).unwrap()
         else {
@@ -1473,6 +1677,29 @@ mod tests {
         };
         assert_eq!(q.window, WindowKind::Open);
         assert_eq!(q.fdr, DEFAULT_FDR);
+        assert_eq!(q.tier, Tier::Batch);
+    }
+
+    #[test]
+    fn tiers_ride_the_wire_and_default_tier_is_omitted() {
+        // Batch (the default) never appears on the wire, so pre-v5
+        // clients and servers agree on every batch-tier line.
+        let Request::Query(batch) = sample_query() else {
+            panic!("expected query");
+        };
+        assert!(!Request::Query(batch.clone()).encode().contains("tier"));
+        let interactive = Request::Query(QueryRequest {
+            tier: Tier::Interactive,
+            ..batch
+        });
+        let line = interactive.encode();
+        assert!(line.contains(r#""tier":"interactive""#), "line {line}");
+        assert_eq!(Request::decode(&line).unwrap(), interactive);
+        assert_eq!(Request::decode(&line).unwrap().encode(), line);
+        // Unknown tiers are rejected, not coerced.
+        let err = Request::decode(r#"{"type":"query","index":"a","tier":"bulk","spectra":[]}"#)
+            .unwrap_err();
+        assert!(err.contains("unknown tier"), "error {err:?}");
     }
 
     #[test]

@@ -20,14 +20,20 @@
 //! * **fair dequeue** — waiting batches are queued *per client* and
 //!   granted round-robin across clients, so one greedy connection
 //!   streaming batches back-to-back cannot starve an interactive one;
+//! * **priority tiers** — every batch carries a [`Tier`]: `interactive`
+//!   traffic is queued separately from `batch` traffic and granted with
+//!   a weighted round-robin (`interactive_weight` interactive grants
+//!   per batch grant while both tiers wait), so interactive p99 stays
+//!   low while bulk traffic still saturates the worker budget;
 //! * **adaptive budgets** — a lone batch is granted every free token
 //!   (full parallelism, the pre-scheduler behaviour); under contention
 //!   the free tokens are split evenly across waiting batches, down to
 //!   one each;
-//! * **admission control** — when `queue_depth` batches are already
-//!   waiting, further submissions are rejected immediately with
-//!   [`ScheduleError::Busy`] (the wire's structured `busy` error)
-//!   instead of queueing without bound;
+//! * **admission control** — each tier bounds its own queue
+//!   (`queue_depth` for batch, `interactive_queue_depth` for
+//!   interactive); submissions beyond the bound are rejected
+//!   immediately with [`ScheduleError::Busy`] (the wire's structured
+//!   `busy` error) instead of queueing without bound;
 //! * **soft deadlines** — a batch still queued `deadline_ms` after
 //!   submission gives up and reports [`ScheduleError::Deadline`]; work
 //!   the client has stopped waiting for is shed instead of executed.
@@ -49,6 +55,7 @@
 //!     workers: 4,
 //!     queue_depth: 16,
 //!     deadline_ms: 0, // no deadline
+//!     ..SchedulerConfig::default()
 //! });
 //! let permit = scheduler.admit(1).unwrap(); // client 1, nothing queued
 //! assert_eq!(permit.workers(), 4);          // lone batch: full budget
@@ -66,21 +73,86 @@ use std::time::{Duration, Instant};
 /// connection cap: every connection can have at most one batch waiting).
 pub const DEFAULT_QUEUE_DEPTH: usize = 256;
 
+/// Default interactive-to-batch grant ratio while both tiers wait.
+pub const DEFAULT_INTERACTIVE_WEIGHT: usize = 4;
+
+/// A request priority class. Interactive traffic (a person waiting on a
+/// search box) is queued separately from bulk batch traffic (a reprocess
+/// job streaming thousands of spectra) and granted workers with a
+/// weighted round-robin, so a batch backlog cannot sit in front of an
+/// interactive query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tier {
+    /// Latency-sensitive traffic; dequeued preferentially
+    /// (`interactive_weight` grants per batch grant under contention).
+    Interactive = 0,
+    /// Throughput traffic — the default for requests that do not say.
+    #[default]
+    Batch = 1,
+}
+
+/// How many tiers exist (sizes the per-tier state arrays).
+pub const TIER_COUNT: usize = 2;
+
+impl Tier {
+    /// The wire name (`"interactive"` / `"batch"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Interactive => "interactive",
+            Tier::Batch => "batch",
+        }
+    }
+
+    /// Parse a wire/CLI tier name.
+    ///
+    /// # Errors
+    ///
+    /// Describes the unknown name and lists the accepted ones.
+    pub fn parse(raw: &str) -> Result<Tier, String> {
+        match raw {
+            "interactive" => Ok(Tier::Interactive),
+            "batch" => Ok(Tier::Batch),
+            other => Err(format!(
+                "unknown tier {other:?} (expected \"interactive\" or \"batch\")"
+            )),
+        }
+    }
+
+    /// Both tiers, in state-array order.
+    pub const ALL: [Tier; TIER_COUNT] = [Tier::Interactive, Tier::Batch];
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Scheduler sizing knobs (the `hdoms serve --workers / --queue-depth /
-/// --deadline-ms` flags).
+/// --deadline-ms / --interactive-weight / --interactive-queue-depth`
+/// flags).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedulerConfig {
     /// Total worker tokens — the most search parallelism in flight at
     /// once, across every concurrent batch. Size it to the machine.
     pub workers: usize,
-    /// Most batches allowed to wait in the queue; submissions beyond it
-    /// are rejected with the structured `busy` error. `0` disables
-    /// queueing entirely (a batch is admitted immediately or rejected).
+    /// Most **batch-tier** submissions allowed to wait in the queue;
+    /// submissions beyond it are rejected with the structured `busy`
+    /// error. `0` disables queueing entirely (a batch is admitted
+    /// immediately or rejected).
     pub queue_depth: usize,
     /// Soft per-batch queue deadline in milliseconds; a batch still
     /// waiting after this long is shed with the structured `deadline`
     /// error. `0` disables deadlines (wait indefinitely).
     pub deadline_ms: u64,
+    /// Interactive grants per batch grant while both tiers have
+    /// waiters (clamped to at least 1). Higher values protect
+    /// interactive latency harder under a batch backlog.
+    pub interactive_weight: usize,
+    /// Most **interactive-tier** submissions allowed to wait; the
+    /// interactive queue is bounded separately so a batch backlog
+    /// cannot consume the interactive admission budget.
+    pub interactive_queue_depth: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -89,6 +161,18 @@ impl Default for SchedulerConfig {
             workers: hdoms_hdc::parallel::default_threads(),
             queue_depth: DEFAULT_QUEUE_DEPTH,
             deadline_ms: 0,
+            interactive_weight: DEFAULT_INTERACTIVE_WEIGHT,
+            interactive_queue_depth: DEFAULT_QUEUE_DEPTH,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// The queue bound for `tier`.
+    pub fn depth_for(&self, tier: Tier) -> usize {
+        match tier {
+            Tier::Interactive => self.interactive_queue_depth,
+            Tier::Batch => self.queue_depth,
         }
     }
 }
@@ -97,12 +181,12 @@ impl Default for SchedulerConfig {
 /// errors (`{"type":"error","code":"busy"|"deadline",...}`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
-    /// The queue already holds `queue_depth` waiting batches; the
-    /// submission was rejected without queueing.
+    /// The submitting tier's queue already holds its bound of waiting
+    /// batches; the submission was rejected without queueing.
     Busy {
-        /// Batches waiting when the submission was rejected.
+        /// Batches of the submitting tier waiting at rejection time.
         queued: usize,
-        /// The configured queue bound.
+        /// The submitting tier's configured queue bound.
         queue_depth: usize,
     },
     /// The batch waited past the configured soft deadline and was shed
@@ -136,17 +220,46 @@ impl fmt::Display for ScheduleError {
     }
 }
 
+/// One tier's slice of a [`SchedulerStats`] snapshot. Taken under the
+/// same lock acquisition as every other field, so cross-tier sums are
+/// never torn (a reader can never see tier A's `completed` from before
+/// a grant and tier B's `queued` from after it).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TierStats {
+    /// Batches of this tier waiting in the queue right now.
+    pub queued: usize,
+    /// Batches of this tier executing right now.
+    pub in_flight: usize,
+    /// Batches of this tier admitted (granted a budget) so far.
+    pub admitted: u64,
+    /// Admitted batches of this tier whose permit has been returned.
+    pub completed: u64,
+    /// Submissions of this tier rejected at admission (`busy`).
+    pub rejected_busy: u64,
+    /// Batches of this tier shed after waiting past their deadline.
+    pub shed_deadline: u64,
+    /// Total queue wait across this tier's admitted and shed batches,
+    /// milliseconds.
+    pub total_wait_ms: f64,
+}
+
 /// A point-in-time snapshot of the scheduler, plus its lifetime
-/// counters (the `server.stats` verb reports these).
+/// counters (the `server.stats` verb reports these). The aggregate
+/// fields equal the sum of the per-tier slices in [`tiers`](Self::tiers)
+/// — both are filled from one lock acquisition.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerStats {
     /// Configured worker-token budget.
     pub workers: usize,
-    /// Configured queue bound.
+    /// Configured batch-tier queue bound.
     pub queue_depth: usize,
     /// Configured soft deadline (0 = none).
     pub deadline_ms: u64,
-    /// Batches waiting in the queue right now.
+    /// Configured interactive-to-batch grant ratio.
+    pub interactive_weight: usize,
+    /// Configured interactive-tier queue bound.
+    pub interactive_queue_depth: usize,
+    /// Batches waiting in the queue right now (all tiers).
     pub queued: usize,
     /// Batches executing right now (each holds ≥ 1 token).
     pub in_flight: usize,
@@ -155,19 +268,29 @@ pub struct SchedulerStats {
     /// Most tokens ever granted at once (always ≤ `workers` — the
     /// bounded-in-flight invariant, asserted by tests).
     pub peak_workers_busy: usize,
-    /// Batches admitted (granted a budget) so far.
+    /// Batches admitted (granted a budget) so far, all tiers.
     pub admitted: u64,
-    /// Admitted batches whose permit has been returned.
+    /// Admitted batches whose permit has been returned, all tiers.
     pub completed: u64,
-    /// Submissions rejected at admission (`busy`).
+    /// Submissions rejected at admission (`busy`), all tiers.
     pub rejected_busy: u64,
-    /// Batches shed after waiting past their deadline.
+    /// Batches shed after waiting past their deadline, all tiers.
     pub shed_deadline: u64,
     /// Total queue wait across admitted **and shed** batches,
     /// milliseconds. Shed batches waited too — dropping their queue
     /// time would understate tail wait exactly when admission pressure
     /// makes it interesting.
     pub total_wait_ms: f64,
+    /// The per-tier slices (indexed by `Tier as usize`), from the same
+    /// lock acquisition as the aggregates above.
+    pub tiers: [TierStats; TIER_COUNT],
+}
+
+impl SchedulerStats {
+    /// The slice for `tier`.
+    pub fn tier(&self, tier: Tier) -> &TierStats {
+        &self.tiers[tier as usize]
+    }
 }
 
 /// Registry handles an instrumented scheduler records into (see
@@ -209,6 +332,28 @@ impl SchedMetrics {
     }
 }
 
+/// One tier's waiting queue: per-client FIFOs granted round-robin.
+#[derive(Default)]
+struct TierQueue {
+    /// Per-client FIFO of waiting ticket ids.
+    pending: HashMap<u64, VecDeque<u64>>,
+    /// Round-robin order over clients with waiting tickets.
+    clients: VecDeque<u64>,
+    /// Waiting (ungranted) tickets in this tier.
+    queued: usize,
+}
+
+/// One tier's lifetime counters.
+#[derive(Default, Clone, Copy)]
+struct TierCounters {
+    in_flight: usize,
+    admitted: u64,
+    completed: u64,
+    rejected_busy: u64,
+    shed_deadline: u64,
+    total_wait_ms: f64,
+}
+
 struct State {
     /// Total worker tokens (the configured budget).
     workers: usize,
@@ -217,25 +362,29 @@ struct State {
     /// Ticket id → granted budget (`None` while waiting; granted
     /// tickets stay here until picked up by their submitter).
     tickets: HashMap<u64, Option<usize>>,
-    /// Per-client FIFO of waiting ticket ids.
-    pending: HashMap<u64, VecDeque<u64>>,
-    /// Round-robin order over clients with waiting tickets.
-    clients: VecDeque<u64>,
-    /// Waiting (ungranted) tickets — the queue depth.
-    queued: usize,
-    in_flight: usize,
+    /// Per-tier waiting queues (indexed by `Tier as usize`).
+    queues: [TierQueue; TIER_COUNT],
+    /// Configured interactive grants per batch grant.
+    interactive_weight: usize,
+    /// Interactive grants remaining before a batch grant is owed
+    /// (consumed only while both tiers have waiters).
+    interactive_credit: usize,
     peak_busy: usize,
     next_ticket: u64,
-    admitted: u64,
-    completed: u64,
-    rejected_busy: u64,
-    shed_deadline: u64,
-    total_wait_ms: f64,
+    /// Per-tier lifetime counters (indexed by `Tier as usize`).
+    counters: [TierCounters; TIER_COUNT],
+}
+
+impl State {
+    fn total_queued(&self) -> usize {
+        self.queues.iter().map(|q| q.queued).sum()
+    }
 }
 
 /// The shared batch scheduler: a fixed worker-token budget, a bounded
-/// per-client-fair queue, soft deadlines, and admission control. See the
-/// [module docs](self) for the model.
+/// per-client-fair queue per tier, weighted tier round-robin, soft
+/// deadlines, and admission control. See the [module docs](self) for
+/// the model.
 pub struct Scheduler {
     config: SchedulerConfig,
     state: Mutex<State>,
@@ -247,24 +396,24 @@ impl Scheduler {
     /// A scheduler over `config.workers` worker tokens (at least one).
     pub fn new(config: SchedulerConfig) -> Scheduler {
         let workers = config.workers.max(1);
+        let interactive_weight = config.interactive_weight.max(1);
         Scheduler {
-            config: SchedulerConfig { workers, ..config },
+            config: SchedulerConfig {
+                workers,
+                interactive_weight,
+                ..config
+            },
             metrics: None,
             state: Mutex::new(State {
                 workers,
                 available: workers,
                 tickets: HashMap::new(),
-                pending: HashMap::new(),
-                clients: VecDeque::new(),
-                queued: 0,
-                in_flight: 0,
+                queues: Default::default(),
+                interactive_weight,
+                interactive_credit: interactive_weight,
                 peak_busy: 0,
                 next_ticket: 1,
-                admitted: 0,
-                completed: 0,
-                rejected_busy: 0,
-                shed_deadline: 0,
-                total_wait_ms: 0.0,
+                counters: Default::default(),
             }),
             granted: Condvar::new(),
         }
@@ -286,54 +435,68 @@ impl Scheduler {
         self.config
     }
 
-    /// Ask for a worker budget on behalf of `client`, blocking until the
-    /// queue grants one. Returns a [`WorkPermit`] whose
-    /// [`workers()`](WorkPermit::workers) budget the caller must respect
-    /// while executing its batch; dropping the permit returns the
-    /// tokens.
-    ///
-    /// Batches from the same client are granted in submission order;
-    /// across clients, grants rotate round-robin.
+    /// Ask for a worker budget on behalf of `client` at the default
+    /// [`Tier::Batch`]; see [`Scheduler::admit_as`].
     ///
     /// # Errors
     ///
-    /// [`ScheduleError::Busy`] when `queue_depth` batches are already
-    /// waiting (immediate, without queueing);
-    /// [`ScheduleError::Deadline`] when the batch waited past the
-    /// configured soft deadline.
+    /// As for [`Scheduler::admit_as`].
     pub fn admit(&self, client: u64) -> Result<WorkPermit<'_>, ScheduleError> {
+        self.admit_as(client, Tier::Batch)
+    }
+
+    /// Ask for a worker budget on behalf of `client` at `tier`,
+    /// blocking until the queue grants one. Returns a [`WorkPermit`]
+    /// whose [`workers()`](WorkPermit::workers) budget the caller must
+    /// respect while executing its batch; dropping the permit returns
+    /// the tokens.
+    ///
+    /// Batches from the same client are granted in submission order;
+    /// across clients within a tier, grants rotate round-robin; across
+    /// tiers, interactive is granted `interactive_weight` times per
+    /// batch grant while both tiers wait.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Busy`] when the tier's queue bound is already
+    /// full (immediate, without queueing); [`ScheduleError::Deadline`]
+    /// when the batch waited past the configured soft deadline.
+    pub fn admit_as(&self, client: u64, tier: Tier) -> Result<WorkPermit<'_>, ScheduleError> {
         let enqueued = Instant::now();
         let deadline = (self.config.deadline_ms > 0)
             .then(|| enqueued + Duration::from_millis(self.config.deadline_ms));
 
         let mut state = self.state.lock().expect("scheduler state lock");
-        // Admission control: when the queue is full, reject instead of
-        // queueing — unless the batch would not queue at all (tokens
-        // free and nobody ahead of it).
-        let immediate = state.queued == 0 && state.available > 0;
-        if state.queued >= self.config.queue_depth && !immediate {
-            state.rejected_busy += 1;
+        // Admission control: when the tier's queue is full, reject
+        // instead of queueing — unless the batch would not queue at all
+        // (tokens free and nobody ahead of it anywhere).
+        let immediate = state.total_queued() == 0 && state.available > 0;
+        let depth = self.config.depth_for(tier);
+        if state.queues[tier as usize].queued >= depth && !immediate {
+            let queued = state.queues[tier as usize].queued;
+            state.counters[tier as usize].rejected_busy += 1;
             if let Some(metrics) = &self.metrics {
                 metrics.rejected_busy.inc();
             }
             return Err(ScheduleError::Busy {
-                queued: state.queued,
-                queue_depth: self.config.queue_depth,
+                queued,
+                queue_depth: depth,
             });
         }
-        let queued_behind = state.queued;
+        let queued_behind = state.total_queued();
 
         // Enqueue a ticket under this client and let the grant loop run
         // (it may grant this very ticket synchronously).
         let ticket = state.next_ticket;
         state.next_ticket += 1;
         state.tickets.insert(ticket, None);
-        let fifo = state.pending.entry(client).or_default();
+        let queue = &mut state.queues[tier as usize];
+        let fifo = queue.pending.entry(client).or_default();
         fifo.push_back(ticket);
         if fifo.len() == 1 {
-            state.clients.push_back(client);
+            queue.clients.push_back(client);
         }
-        state.queued += 1;
+        queue.queued += 1;
         if Self::grant_ready(&mut state) {
             // Another waiter may have been granted alongside us.
             self.granted.notify_all();
@@ -347,8 +510,8 @@ impl Scheduler {
             {
                 state.tickets.remove(&ticket);
                 let wait_ms = enqueued.elapsed().as_secs_f64() * 1e3;
-                state.admitted += 1;
-                state.total_wait_ms += wait_ms;
+                state.counters[tier as usize].admitted += 1;
+                state.counters[tier as usize].total_wait_ms += wait_ms;
                 if let Some(metrics) = &self.metrics {
                     metrics.admitted.inc();
                     metrics.queue_wait_ms.record_ms(wait_ms);
@@ -359,6 +522,7 @@ impl Scheduler {
                 return Ok(WorkPermit {
                     scheduler: self,
                     budget,
+                    tier,
                     wait_ms,
                     queued_behind,
                 });
@@ -375,9 +539,9 @@ impl Scheduler {
                         // time, or tail wait under admission pressure
                         // would be understated exactly when it matters.
                         let waited_ms = enqueued.elapsed().as_secs_f64() * 1e3;
-                        Self::abandon(&mut state, ticket, client);
-                        state.shed_deadline += 1;
-                        state.total_wait_ms += waited_ms;
+                        Self::abandon(&mut state, ticket, client, tier);
+                        state.counters[tier as usize].shed_deadline += 1;
+                        state.counters[tier as usize].total_wait_ms += waited_ms;
                         if let Some(metrics) = &self.metrics {
                             metrics.shed_deadline.inc();
                             metrics.queue_wait_ms.record_ms(waited_ms);
@@ -397,35 +561,63 @@ impl Scheduler {
         }
     }
 
-    /// Grant free tokens to waiting tickets, round-robin across clients.
-    /// Each grant takes an even share of what is free (at least one
-    /// token, everything when the queue is about to drain). Returns
-    /// whether anything was granted (callers then wake the waiters).
+    /// Pick the tier to grant from next. Only one tier waiting: that
+    /// one (no credit is consumed — there is no contention to
+    /// arbitrate). Both waiting: interactive while credit remains, then
+    /// one batch grant and the credit refills.
+    fn pick_tier(state: &mut State) -> Option<Tier> {
+        let interactive = state.queues[Tier::Interactive as usize].queued > 0;
+        let batch = state.queues[Tier::Batch as usize].queued > 0;
+        match (interactive, batch) {
+            (false, false) => None,
+            (true, false) => Some(Tier::Interactive),
+            (false, true) => Some(Tier::Batch),
+            (true, true) => {
+                if state.interactive_credit > 0 {
+                    state.interactive_credit -= 1;
+                    Some(Tier::Interactive)
+                } else {
+                    state.interactive_credit = state.interactive_weight;
+                    Some(Tier::Batch)
+                }
+            }
+        }
+    }
+
+    /// Grant free tokens to waiting tickets: weighted round-robin
+    /// across tiers, round-robin across clients within a tier. Each
+    /// grant takes an even share of what is free (at least one token,
+    /// everything when the queues are about to drain). Returns whether
+    /// anything was granted (callers then wake the waiters).
     fn grant_ready(state: &mut State) -> bool {
         let mut granted_any = false;
-        while state.available > 0 && state.queued > 0 {
-            let client = state
+        while state.available > 0 {
+            let Some(tier) = Self::pick_tier(state) else {
+                break;
+            };
+            let queue = &mut state.queues[tier as usize];
+            let client = queue
                 .clients
                 .pop_front()
                 .expect("queued > 0 implies a client in rotation");
-            let fifo = state
+            let fifo = queue
                 .pending
                 .get_mut(&client)
                 .expect("rotating client has a fifo");
             let ticket = fifo.pop_front().expect("rotating client has a ticket");
             if fifo.is_empty() {
-                state.pending.remove(&client);
+                queue.pending.remove(&client);
             } else {
-                state.clients.push_back(client);
+                queue.clients.push_back(client);
             }
-            state.queued -= 1;
+            queue.queued -= 1;
             // Even share over everyone still waiting (plus this batch),
             // clamped to [1, available]: a lone batch takes everything,
             // a storm degrades to one token each.
-            let share = state.available / (state.queued + 1);
+            let share = state.available / (state.total_queued() + 1);
             let budget = share.clamp(1, state.available);
             state.available -= budget;
-            state.in_flight += 1;
+            state.counters[tier as usize].in_flight += 1;
             state.peak_busy = state.peak_busy.max(state.workers - state.available);
             granted_any = true;
             *state
@@ -437,23 +629,24 @@ impl Scheduler {
     }
 
     /// Remove a still-waiting ticket (deadline shed).
-    fn abandon(state: &mut State, ticket: u64, client: u64) {
+    fn abandon(state: &mut State, ticket: u64, client: u64, tier: Tier) {
         state.tickets.remove(&ticket);
-        if let Some(fifo) = state.pending.get_mut(&client) {
+        let queue = &mut state.queues[tier as usize];
+        if let Some(fifo) = queue.pending.get_mut(&client) {
             fifo.retain(|&t| t != ticket);
             if fifo.is_empty() {
-                state.pending.remove(&client);
-                state.clients.retain(|&c| c != client);
+                queue.pending.remove(&client);
+                queue.clients.retain(|&c| c != client);
             }
         }
-        state.queued -= 1;
+        queue.queued -= 1;
     }
 
-    fn release(&self, budget: usize) {
+    fn release(&self, budget: usize, tier: Tier) {
         let mut state = self.state.lock().expect("scheduler state lock");
         state.available += budget;
-        state.in_flight -= 1;
-        state.completed += 1;
+        state.counters[tier as usize].in_flight -= 1;
+        state.counters[tier as usize].completed += 1;
         let _ = Self::grant_ready(&mut state);
         if let Some(metrics) = &self.metrics {
             metrics.completed.inc();
@@ -465,22 +658,41 @@ impl Scheduler {
         self.granted.notify_all();
     }
 
-    /// Snapshot the queue and the lifetime counters.
+    /// Snapshot the queues and the lifetime counters — per-tier and
+    /// aggregate alike, all from **one** lock acquisition, so a reader
+    /// can never observe tier counters torn against each other.
     pub fn stats(&self) -> SchedulerStats {
         let state = self.state.lock().expect("scheduler state lock");
+        let mut tiers = [TierStats::default(); TIER_COUNT];
+        for tier in Tier::ALL {
+            let i = tier as usize;
+            let c = &state.counters[i];
+            tiers[i] = TierStats {
+                queued: state.queues[i].queued,
+                in_flight: c.in_flight,
+                admitted: c.admitted,
+                completed: c.completed,
+                rejected_busy: c.rejected_busy,
+                shed_deadline: c.shed_deadline,
+                total_wait_ms: c.total_wait_ms,
+            };
+        }
         SchedulerStats {
             workers: self.config.workers,
             queue_depth: self.config.queue_depth,
             deadline_ms: self.config.deadline_ms,
-            queued: state.queued,
-            in_flight: state.in_flight,
+            interactive_weight: self.config.interactive_weight,
+            interactive_queue_depth: self.config.interactive_queue_depth,
+            queued: tiers.iter().map(|t| t.queued).sum(),
+            in_flight: tiers.iter().map(|t| t.in_flight).sum(),
             workers_busy: self.config.workers - state.available,
             peak_workers_busy: state.peak_busy,
-            admitted: state.admitted,
-            completed: state.completed,
-            rejected_busy: state.rejected_busy,
-            shed_deadline: state.shed_deadline,
-            total_wait_ms: state.total_wait_ms,
+            admitted: tiers.iter().map(|t| t.admitted).sum(),
+            completed: tiers.iter().map(|t| t.completed).sum(),
+            rejected_busy: tiers.iter().map(|t| t.rejected_busy).sum(),
+            shed_deadline: tiers.iter().map(|t| t.shed_deadline).sum(),
+            total_wait_ms: tiers.iter().map(|t| t.total_wait_ms).sum(),
+            tiers,
         }
     }
 }
@@ -492,6 +704,7 @@ impl Scheduler {
 pub struct WorkPermit<'a> {
     scheduler: &'a Scheduler,
     budget: usize,
+    tier: Tier,
     wait_ms: f64,
     queued_behind: usize,
 }
@@ -503,13 +716,18 @@ impl WorkPermit<'_> {
         self.budget
     }
 
+    /// The tier this batch was admitted under.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
     /// How long the batch waited in the queue, milliseconds.
     pub fn wait_ms(&self) -> f64 {
         self.wait_ms
     }
 
     /// Batches that were already waiting when this one was submitted
-    /// (the queue depth ahead of it at submission time).
+    /// (the queue depth ahead of it at submission time, all tiers).
     pub fn queued_behind(&self) -> usize {
         self.queued_behind
     }
@@ -517,7 +735,7 @@ impl WorkPermit<'_> {
 
 impl Drop for WorkPermit<'_> {
     fn drop(&mut self) {
-        self.scheduler.release(self.budget);
+        self.scheduler.release(self.budget, self.tier);
     }
 }
 
@@ -532,6 +750,9 @@ mod tests {
             workers,
             queue_depth,
             deadline_ms,
+            // Tests that exercise tiering set these explicitly.
+            interactive_queue_depth: queue_depth,
+            ..SchedulerConfig::default()
         }
     }
 
@@ -552,6 +773,7 @@ mod tests {
         let permit = scheduler.admit(1).unwrap();
         assert_eq!(permit.workers(), 8);
         assert_eq!(permit.queued_behind(), 0);
+        assert_eq!(permit.tier(), Tier::Batch);
         let stats = scheduler.stats();
         assert_eq!(stats.workers_busy, 8);
         assert_eq!(stats.in_flight, 1);
@@ -786,5 +1008,187 @@ mod tests {
         // batch; the shed one waited ≥ the 25 ms deadline.
         assert_eq!(wait.count(), 2);
         assert!(wait.sum_ms() >= 25.0, "sum {}", wait.sum_ms());
+    }
+
+    #[test]
+    fn interactive_jumps_a_batch_backlog() {
+        // One token, held. Four batch waiters pile up, then one
+        // interactive waiter arrives last. With the interactive credit
+        // fresh, the first grant after release must go to the
+        // interactive ticket despite four batch tickets ahead of it in
+        // arrival order.
+        let scheduler = Arc::new(Scheduler::new(config(1, 64, 0)));
+        let blocker = scheduler.admit(0).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for client in 1..=4u64 {
+                let scheduler = Arc::clone(&scheduler);
+                let order = Arc::clone(&order);
+                scope.spawn(move || {
+                    let permit = scheduler.admit_as(client, Tier::Batch).unwrap();
+                    order.lock().unwrap().push(Tier::Batch);
+                    drop(permit);
+                });
+            }
+            wait_for_queued(&scheduler, 4);
+            let late = {
+                let scheduler = Arc::clone(&scheduler);
+                let order = Arc::clone(&order);
+                scope.spawn(move || {
+                    let permit = scheduler.admit_as(9, Tier::Interactive).unwrap();
+                    order.lock().unwrap().push(Tier::Interactive);
+                    drop(permit);
+                })
+            };
+            wait_for_queued(&scheduler, 5);
+            drop(blocker);
+            late.join().unwrap();
+        });
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 5);
+        assert_eq!(
+            order[0],
+            Tier::Interactive,
+            "interactive ticket did not jump the batch backlog: {order:?}"
+        );
+    }
+
+    #[test]
+    fn tier_queue_depths_bound_independently() {
+        // Batch queue holds 2; interactive queue holds 1. Filling the
+        // batch queue must not consume interactive admission, and vice
+        // versa — each tier rejects against its own bound.
+        let scheduler = Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_depth: 2,
+            deadline_ms: 0,
+            interactive_weight: 4,
+            interactive_queue_depth: 1,
+        });
+        let _running = scheduler.admit(0).unwrap();
+        let scheduler = &scheduler;
+        std::thread::scope(|scope| {
+            for client in [1u64, 2] {
+                scope.spawn(move || {
+                    let _ = scheduler.admit_as(client, Tier::Batch).unwrap();
+                });
+            }
+            wait_for_queued(scheduler, 2);
+            // Batch bound reached; batch rejects against depth 2...
+            match scheduler.admit_as(3, Tier::Batch) {
+                Err(ScheduleError::Busy {
+                    queued: 2,
+                    queue_depth: 2,
+                }) => {}
+                Err(other) => panic!("expected batch-busy, got {other:?}"),
+                Ok(_) => panic!("expected batch-busy, got a permit"),
+            }
+            // ...while interactive still admits into its own queue.
+            scope.spawn(move || {
+                let _ = scheduler.admit_as(4, Tier::Interactive).unwrap();
+            });
+            wait_for_queued(scheduler, 3);
+            // Interactive bound (1) now reached too.
+            match scheduler.admit_as(5, Tier::Interactive) {
+                Err(ScheduleError::Busy {
+                    queued: 1,
+                    queue_depth: 1,
+                }) => {}
+                Err(other) => panic!("expected interactive-busy, got {other:?}"),
+                Ok(_) => panic!("expected interactive-busy, got a permit"),
+            }
+            let stats = scheduler.stats();
+            assert_eq!(stats.tier(Tier::Batch).rejected_busy, 1);
+            assert_eq!(stats.tier(Tier::Interactive).rejected_busy, 1);
+            drop(_running);
+        });
+    }
+
+    #[test]
+    fn tier_stats_sum_to_the_aggregates() {
+        let scheduler = Scheduler::new(config(2, 8, 0));
+        drop(scheduler.admit_as(1, Tier::Interactive).unwrap());
+        drop(scheduler.admit_as(1, Tier::Batch).unwrap());
+        drop(scheduler.admit_as(2, Tier::Interactive).unwrap());
+        let stats = scheduler.stats();
+        assert_eq!(stats.tier(Tier::Interactive).admitted, 2);
+        assert_eq!(stats.tier(Tier::Batch).admitted, 1);
+        assert_eq!(stats.tier(Tier::Interactive).completed, 2);
+        assert_eq!(stats.tier(Tier::Batch).completed, 1);
+        // The aggregates are derived from the same snapshot.
+        assert_eq!(
+            stats.admitted,
+            stats.tiers.iter().map(|t| t.admitted).sum::<u64>()
+        );
+        assert_eq!(
+            stats.completed,
+            stats.tiers.iter().map(|t| t.completed).sum::<u64>()
+        );
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn weighted_round_robin_lets_batch_through() {
+        // Weight 2: under sustained two-tier contention the grant
+        // pattern must cede every third token to batch — interactive
+        // preference must not become batch starvation.
+        let scheduler = Arc::new(Scheduler::new(SchedulerConfig {
+            workers: 1,
+            queue_depth: 64,
+            deadline_ms: 0,
+            interactive_weight: 2,
+            interactive_queue_depth: 64,
+        }));
+        let blocker = scheduler.admit(0).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for i in 0..6u64 {
+                let scheduler = Arc::clone(&scheduler);
+                let order = Arc::clone(&order);
+                scope.spawn(move || {
+                    let permit = scheduler.admit_as(10 + i, Tier::Interactive).unwrap();
+                    order.lock().unwrap().push(Tier::Interactive);
+                    // Hold briefly so the release-time grant sees both
+                    // tiers still queued.
+                    std::thread::sleep(Duration::from_millis(2));
+                    drop(permit);
+                });
+            }
+            for i in 0..3u64 {
+                let scheduler = Arc::clone(&scheduler);
+                let order = Arc::clone(&order);
+                scope.spawn(move || {
+                    let permit = scheduler.admit_as(20 + i, Tier::Batch).unwrap();
+                    order.lock().unwrap().push(Tier::Batch);
+                    std::thread::sleep(Duration::from_millis(2));
+                    drop(permit);
+                });
+            }
+            wait_for_queued(&scheduler, 9);
+            drop(blocker);
+        });
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 9);
+        // Batch grants are interleaved, not banished to the tail: the
+        // first batch grant appears within the first weight+1 grants.
+        let first_batch = order
+            .iter()
+            .position(|&t| t == Tier::Batch)
+            .expect("batch tickets were granted");
+        assert!(
+            first_batch <= 2,
+            "batch starved until position {first_batch}: {order:?}"
+        );
+    }
+
+    #[test]
+    fn tier_names_roundtrip() {
+        for tier in Tier::ALL {
+            assert_eq!(Tier::parse(tier.name()), Ok(tier));
+        }
+        assert!(Tier::parse("gold").is_err());
+        assert_eq!(Tier::default(), Tier::Batch);
+        assert_eq!(Tier::Interactive.to_string(), "interactive");
     }
 }

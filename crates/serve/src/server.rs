@@ -5,8 +5,8 @@ use crate::protocol::{
     BatchStats, ErrorCode, HistogramSummary, IndexSummary, MetricsReport, QueryRequest,
     QueryResult, Request, Response, ServerStats, SubmitReceipt, PROTOCOL_VERSION,
 };
-use crate::scheduler::{ScheduleError, Scheduler, SchedulerConfig};
-use hdoms_engine::{Engine, Session};
+use crate::scheduler::{ScheduleError, Scheduler, SchedulerConfig, Tier};
+use hdoms_engine::{Engine, Session, ShardTiming};
 use hdoms_index::{IndexError, LibraryIndex};
 use hdoms_ms::spectrum::Spectrum;
 use hdoms_obs::log::Logger;
@@ -16,8 +16,8 @@ use hdoms_prefilter::PrefilterConfig;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Maximum concurrently open sessions; `session.open` beyond this is
 /// refused (a client that never finalizes would otherwise accumulate
@@ -97,9 +97,109 @@ enum SessionSlot {
 struct OpenSession {
     index: String,
     session: Session,
+    /// Priority class every submit to this session is admitted under.
+    tier: Tier,
     /// Accumulated scheduler queue wait across the session's submits,
     /// reported with the finalize result.
     wait_ms: f64,
+}
+
+/// Cross-request coalescing state: interactive queries with identical
+/// search parameters that arrive within the coalescing window merge
+/// into one scheduler admission and one grouped engine call, then each
+/// request gets its own receipt back.
+#[derive(Default)]
+struct Coalescer {
+    groups: Mutex<HashMap<CoalesceKey, Arc<CoalesceGroup>>>,
+}
+
+/// Everything that must match for two requests to share an engine
+/// batch — anything that changes scoring or filtering keeps them
+/// apart: index name, window kind, FDR bits, and the effective
+/// prefilter choice.
+type CoalesceKey = (String, &'static str, u64, String);
+
+/// One in-flight merge. The first member (the leader) holds the window
+/// open, executes the merged batch, and distributes per-member results;
+/// followers block on `done` until their slot fills.
+struct CoalesceGroup {
+    state: Mutex<GroupState>,
+    done: Condvar,
+}
+
+struct GroupState {
+    /// Decoded spectra per member, in join order. Drained by the leader
+    /// when the window closes.
+    members: Vec<Vec<Spectrum>>,
+    /// Per-member results, all filled in one critical section by the
+    /// leader — a shed merged batch fails *every* member with the same
+    /// structured error, never silently drops one.
+    results: Vec<Option<Result<QueryResult, ServeError>>>,
+}
+
+/// Fills any still-empty member slots with an error and wakes all
+/// waiters when dropped — so a leader that panics mid-execution (or
+/// returns early) can never strand followers on the condvar.
+struct GroupCompletion<'a> {
+    group: &'a CoalesceGroup,
+}
+
+impl Drop for GroupCompletion<'_> {
+    fn drop(&mut self) {
+        let Ok(mut state) = self.group.state.lock() else {
+            return;
+        };
+        for slot in state.results.iter_mut() {
+            if slot.is_none() {
+                *slot = Some(Err(ServeError::from(
+                    "coalesced batch aborted before producing a result".to_owned(),
+                )));
+            }
+        }
+        drop(state);
+        self.group.done.notify_all();
+    }
+}
+
+/// Shard-residency accounting for mapped indexes: which shards'
+/// hypervector pages are resident, their LRU order, and the lifetime
+/// eviction/reload counters — all under one lock so `server.stats`
+/// reads a consistent snapshot. Owned indexes (no backing file to
+/// refault from) are never tracked.
+#[derive(Default)]
+struct Residency {
+    state: Mutex<ResidencyState>,
+}
+
+#[derive(Default)]
+struct ResidencyState {
+    /// Resident-byte ceiling; 0 means unlimited (no eviction).
+    budget: u64,
+    /// Logical LRU clock, bumped per shard touch.
+    clock: u64,
+    /// Bytes of shard hypervector words resident across every tracked
+    /// index.
+    resident_bytes: u64,
+    evictions: u64,
+    reloads: u64,
+    indexes: HashMap<String, IndexResidency>,
+}
+
+/// Per-index residency entry. Holds its own engine handle so eviction
+/// under the residency lock reaches the index directly, without ever
+/// taking the resident-set lock (the lock order is always resident set
+/// → residency, never the reverse).
+struct IndexResidency {
+    engine: Arc<Engine>,
+    shards: Vec<ShardResidence>,
+}
+
+struct ShardResidence {
+    /// Bytes of stored hypervector words this shard accounts for.
+    bytes: u64,
+    /// Residency-clock value of the most recent search that read it.
+    last_touch: u64,
+    resident: bool,
 }
 
 /// A long-lived batch query server over one or more warm `.hdx` indexes.
@@ -135,6 +235,7 @@ struct OpenSession {
 ///         index: "tiny".to_owned(),
 ///         window: WindowKind::Open,
 ///         fdr: 0.01,
+///         tier: Default::default(),
 ///         prefilter: None,
 ///         spectra: workload.queries.iter().map(QuerySpectrum::from_spectrum).collect(),
 ///     })
@@ -149,6 +250,11 @@ pub struct Server {
     metrics: ServerMetricsSet,
     logger: Logger,
     prefilter: PrefilterConfig,
+    /// Interactive queries arriving within this many milliseconds of
+    /// each other merge into one engine batch; 0 disables coalescing.
+    coalesce_window_ms: u64,
+    coalescer: Coalescer,
+    residency: Residency,
     indexes: RwLock<Vec<ResidentIndex>>,
     sessions: Mutex<HashMap<u64, SessionSlot>>,
     next_session: AtomicU64,
@@ -172,6 +278,12 @@ struct ServerMetricsSet {
     prefilter_candidates_pre: Arc<Counter>,
     prefilter_candidates_post: Arc<Counter>,
     prefilter_sketch_ms: Arc<Histogram>,
+    coalesced_batches: Arc<Counter>,
+    coalesced_requests: Arc<Counter>,
+    resident_bytes: Arc<Gauge>,
+    resident_shards: Arc<Gauge>,
+    shard_evictions: Arc<Counter>,
+    shard_reloads: Arc<Counter>,
 }
 
 impl ServerMetricsSet {
@@ -204,6 +316,28 @@ impl ServerMetricsSet {
             prefilter_sketch_ms: registry.histogram(
                 "hdoms_prefilter_sketch_ms",
                 "Per-batch wall-clock of the sketch scoring + narrowing stage",
+            ),
+            coalesced_batches: registry.counter(
+                "hdoms_coalesced_batches_total",
+                "Merged engine batches executed by the interactive coalescer",
+            ),
+            coalesced_requests: registry.counter(
+                "hdoms_coalesced_requests_total",
+                "Interactive requests answered through coalesced batches",
+            ),
+            resident_bytes: registry.gauge(
+                "hdoms_resident_bytes",
+                "Mapped shard hypervector bytes currently resident",
+            ),
+            resident_shards: registry
+                .gauge("hdoms_resident_shards", "Mapped shards currently resident"),
+            shard_evictions: registry.counter(
+                "hdoms_shard_evictions_total",
+                "Cold shards whose pages were released under the memory budget",
+            ),
+            shard_reloads: registry.counter(
+                "hdoms_shard_reloads_total",
+                "Evicted shards faulted back in by a later search",
             ),
         }
     }
@@ -240,6 +374,9 @@ impl Server {
             metrics,
             logger: Logger::disabled(),
             prefilter: PrefilterConfig::Off,
+            coalesce_window_ms: 0,
+            coalescer: Coalescer::default(),
+            residency: Residency::default(),
             indexes: RwLock::new(Vec::new()),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
@@ -282,6 +419,39 @@ impl Server {
         self.prefilter
     }
 
+    /// Set the interactive coalescing window (the `hdoms serve
+    /// --coalesce-window-ms` flag). Interactive queries with identical
+    /// search parameters arriving within this window merge into one
+    /// scheduler admission and one engine batch; results are split back
+    /// per request and stay byte-identical to uncoalesced execution.
+    /// `0` (the default) disables coalescing.
+    pub fn set_coalesce_window_ms(&mut self, window_ms: u64) {
+        self.coalesce_window_ms = window_ms;
+    }
+
+    /// The configured interactive coalescing window (0 = off).
+    pub fn coalesce_window_ms(&self) -> u64 {
+        self.coalesce_window_ms
+    }
+
+    /// Bound the bytes of mapped shard hypervectors kept resident (the
+    /// `hdoms serve --memory-budget` flag; 0 = unlimited). While over
+    /// budget the least-recently-searched shard's pages are released
+    /// back to the OS — enforced immediately and after every batch.
+    /// Evicted shards refault from the backing file on their next
+    /// search, so eviction never changes results, only latency.
+    pub fn set_memory_budget(&mut self, bytes: u64) {
+        let mut state = self.residency.state.lock().expect("residency lock");
+        state.budget = bytes;
+        self.enforce_budget(&mut state);
+        self.publish_residency(&state);
+    }
+
+    /// The configured resident-memory budget in bytes (0 = unlimited).
+    pub fn memory_budget(&self) -> u64 {
+        self.residency.state.lock().expect("residency lock").budget
+    }
+
     /// The batch scheduler (admission control, fair queue, worker
     /// budget). Exposed so transports and tests can inspect it; batch
     /// execution goes through [`Server::handle`] and friends, which
@@ -298,14 +468,30 @@ impl Server {
         self.next_client.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// The `server.stats` report: scheduler counters plus the size of
-    /// the resident set and the open-session count.
+    /// The `server.stats` report: scheduler counters (aggregate and
+    /// per-tier, from one atomic snapshot), coalescing counters, shard
+    /// residency, plus the size of the resident set and the
+    /// open-session count.
     pub fn stats(&self) -> ServerStats {
         let s = self.scheduler.stats();
+        let (resident_bytes, resident_shards, evictions, reloads, memory_budget) = {
+            let state = self.residency.state.lock().expect("residency lock");
+            (
+                state.resident_bytes,
+                resident_shard_count(&state),
+                state.evictions,
+                state.reloads,
+                state.budget,
+            )
+        };
         ServerStats {
             workers: s.workers,
             queue_depth: s.queue_depth,
             deadline_ms: s.deadline_ms,
+            interactive_weight: s.interactive_weight,
+            interactive_queue_depth: s.interactive_queue_depth,
+            coalesce_window_ms: self.coalesce_window_ms,
+            memory_budget,
             queued: s.queued,
             in_flight: s.in_flight,
             workers_busy: s.workers_busy,
@@ -315,9 +501,17 @@ impl Server {
             rejected_busy: s.rejected_busy,
             shed_deadline: s.shed_deadline,
             total_wait_ms: s.total_wait_ms,
+            interactive: *s.tier(Tier::Interactive),
+            batch: *s.tier(Tier::Batch),
+            coalesced_batches: self.metrics.coalesced_batches.get(),
+            coalesced_requests: self.metrics.coalesced_requests.get(),
             prefilter_candidates_pre: self.metrics.prefilter_candidates_pre.get(),
             prefilter_candidates_post: self.metrics.prefilter_candidates_post.get(),
             prefilter_sketch_ms: self.metrics.prefilter_sketch_ms.snapshot().sum_ms(),
+            resident_bytes,
+            resident_shards,
+            evictions,
+            reloads,
             open_sessions: self.open_sessions(),
             resident_indexes: self.indexes.read().expect("index set lock").len(),
         }
@@ -369,7 +563,10 @@ impl Server {
         engine
             .set_prefilter(self.prefilter)
             .map_err(IndexError::Invalid)?;
-        self.register_engine(name, Arc::new(engine))
+        let engine = Arc::new(engine);
+        self.register_engine(name, Arc::clone(&engine))?;
+        self.residency_register(name, &engine);
+        Ok(())
     }
 
     fn register_engine(&self, name: &str, engine: Arc<Engine>) -> Result<(), IndexError> {
@@ -429,8 +626,9 @@ impl Server {
         // Summarize from our own handle, not a re-lookup: a concurrent
         // `index.unload` racing this load must not turn into a panic.
         let summary = summarize(name, &engine);
-        self.register_engine(name, engine)
+        self.register_engine(name, Arc::clone(&engine))
             .map_err(|e| e.to_string())?;
+        self.residency_register(name, &engine);
         self.logger
             .info("index.load")
             .str("name", name)
@@ -455,6 +653,8 @@ impl Server {
             .ok_or_else(|| format!("unknown index {name:?}"))?;
         indexes.remove(position);
         self.metrics.resident_indexes.set(indexes.len() as i64);
+        drop(indexes);
+        self.residency_unregister(name);
         self.logger.info("index.unload").str("name", name).emit();
         Ok(())
     }
@@ -507,15 +707,18 @@ impl Server {
                 Ok(result) => Response::Result(result),
                 Err(error) => error.into_response(),
             },
-            Request::SessionOpen { index, window } => {
-                match self.open_session(index, window.window()) {
-                    Ok(session) => Response::SessionOpened {
-                        session,
-                        index: index.clone(),
-                    },
-                    Err(message) => Response::error(message),
-                }
-            }
+            Request::SessionOpen {
+                index,
+                window,
+                tier,
+                prefilter,
+            } => match self.open_session_opts(index, window.window(), *tier, *prefilter) {
+                Ok(session) => Response::SessionOpened {
+                    session,
+                    index: index.clone(),
+                },
+                Err(message) => Response::error(message),
+            },
             Request::SessionSubmit { session, spectra } => {
                 match self.submit_session_as(client, *session, spectra) {
                     Ok(receipt) => Response::Receipt(receipt),
@@ -558,9 +761,11 @@ impl Server {
 
     /// [`Server::query_batch`] attributed to a transport client. The
     /// batch is validated first (free), then queued through the
-    /// scheduler and executed with exactly the worker budget it is
-    /// granted; queue wait, the queue depth seen at submission, and the
-    /// granted budget are reported in the result's stats.
+    /// scheduler under the request's [`Tier`] and executed with exactly
+    /// the worker budget it is granted; queue wait, the queue depth
+    /// seen at submission, and the granted budget are reported in the
+    /// result's stats. Interactive requests divert through the
+    /// coalescer when a coalescing window is configured.
     ///
     /// # Errors
     ///
@@ -575,8 +780,11 @@ impl Server {
             .ok_or_else(|| format!("unknown index {:?}", request.index))?;
         check_fdr(request.fdr)?;
         let spectra = decode_spectra(&request.spectra)?;
+        if request.tier == Tier::Interactive && self.coalesce_window_ms > 0 {
+            return self.query_coalesced(client, request, &engine, spectra);
+        }
 
-        let permit = self.scheduler.admit(client)?;
+        let permit = self.scheduler.admit_as(client, request.tier)?;
         let start = Instant::now();
         let (outcome, receipt) = engine.search_with_workers_opts(
             &spectra,
@@ -589,6 +797,7 @@ impl Server {
         let (wait_ms, queued, workers) =
             (permit.wait_ms(), permit.queued_behind(), permit.workers());
         drop(permit);
+        self.residency_touch(&request.index, &receipt.shard_timings);
 
         self.metrics.batches.inc();
         self.metrics.queries.add(outcome.total_queries as u64);
@@ -635,7 +844,187 @@ impl Server {
         })
     }
 
-    /// Open a streaming session against resident index `index`.
+    /// Divert an interactive query through the coalescer: join (or
+    /// found) the group for this request's search parameters, and if
+    /// leading, hold the window open, execute the merged batch, and
+    /// hand every member its own result.
+    fn query_coalesced(
+        &self,
+        client: u64,
+        request: &QueryRequest,
+        engine: &Arc<Engine>,
+        spectra: Vec<Spectrum>,
+    ) -> Result<QueryResult, ServeError> {
+        let key: CoalesceKey = (
+            request.index.clone(),
+            request.window.name(),
+            request.fdr.to_bits(),
+            request
+                .prefilter
+                .map_or_else(|| "default".to_owned(), PrefilterConfig::render),
+        );
+        // Members only ever join while the group sits in the map, and
+        // the leader removes it from the map before draining members —
+        // both under the map lock — so a join can never be lost and a
+        // late arrival simply founds the next group.
+        let (group, member) = {
+            let mut groups = self.coalescer.groups.lock().expect("coalescer map lock");
+            match groups.get(&key) {
+                Some(group) => {
+                    let group = Arc::clone(group);
+                    let mut state = group.state.lock().expect("coalesce group lock");
+                    state.members.push(spectra);
+                    state.results.push(None);
+                    let member = state.members.len() - 1;
+                    drop(state);
+                    (group, member)
+                }
+                None => {
+                    let group = Arc::new(CoalesceGroup {
+                        state: Mutex::new(GroupState {
+                            members: vec![spectra],
+                            results: vec![None],
+                        }),
+                        done: Condvar::new(),
+                    });
+                    groups.insert(key.clone(), Arc::clone(&group));
+                    (group, 0)
+                }
+            }
+        };
+
+        if member > 0 {
+            // Follower: the leader fills our slot and wakes us.
+            let mut state = group.state.lock().expect("coalesce group lock");
+            loop {
+                if let Some(result) = state.results[member].take() {
+                    return result;
+                }
+                state = group.done.wait(state).expect("coalesce group lock");
+            }
+        }
+
+        // Leader: hold the window open for others to join, then close
+        // the group and run the merged batch.
+        std::thread::sleep(Duration::from_millis(self.coalesce_window_ms));
+        let members = {
+            let mut groups = self.coalescer.groups.lock().expect("coalescer map lock");
+            groups.remove(&key);
+            let mut state = group.state.lock().expect("coalesce group lock");
+            std::mem::take(&mut state.members)
+        };
+        // From here on, every member gets an answer: the completion
+        // guard backfills error results and notifies on any exit.
+        let completion = GroupCompletion { group: &group };
+        let outcome = self.execute_coalesced(client, request, engine, &members);
+        let mine = {
+            let mut state = group.state.lock().expect("coalesce group lock");
+            match outcome {
+                Ok(results) => {
+                    for (slot, result) in state.results.iter_mut().zip(results) {
+                        *slot = Some(Ok(result));
+                    }
+                }
+                Err(error) => {
+                    // A shed merged batch fails ALL members with the
+                    // same structured error — none silently dropped.
+                    for slot in state.results.iter_mut() {
+                        *slot = Some(Err(error.clone()));
+                    }
+                }
+            }
+            state.results[0].take().expect("leader result filled")
+        };
+        drop(completion);
+        mine
+    }
+
+    /// Admit once, run the merged groups through one engine call, and
+    /// build each member's [`QueryResult`] from its own per-group
+    /// outcome and receipt.
+    fn execute_coalesced(
+        &self,
+        client: u64,
+        request: &QueryRequest,
+        engine: &Arc<Engine>,
+        members: &[Vec<Spectrum>],
+    ) -> Result<Vec<QueryResult>, ServeError> {
+        let permit = self.scheduler.admit_as(client, Tier::Interactive)?;
+        let groups: Vec<&[Spectrum]> = members.iter().map(Vec::as_slice).collect();
+        let start = Instant::now();
+        let outcomes = engine.search_groups(
+            &groups,
+            request.window.window(),
+            request.fdr,
+            permit.workers(),
+            request.prefilter,
+        )?;
+        let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+        let (wait_ms, queued, workers) =
+            (permit.wait_ms(), permit.queued_behind(), permit.workers());
+        drop(permit);
+
+        self.metrics.coalesced_batches.inc();
+        self.metrics.coalesced_requests.add(members.len() as u64);
+        let mut results = Vec::with_capacity(outcomes.len());
+        for (outcome, receipt) in outcomes {
+            self.residency_touch(&request.index, &receipt.shard_timings);
+            // Per-member server metrics: each member is one logical
+            // batch, keeping counters comparable with and without
+            // coalescing. The histogram records each member's
+            // attributed (per-group) execution cost.
+            self.metrics.batches.inc();
+            self.metrics.queries.add(outcome.total_queries as u64);
+            self.metrics.psms.add(outcome.psms.len() as u64);
+            self.metrics
+                .identifications
+                .add(outcome.identifications() as u64);
+            self.metrics.batch_latency_ms.record_ms(receipt.latency_ms);
+            let rows = table_rows(engine.peptides(), &outcome);
+            results.push(QueryResult {
+                index: request.index.clone(),
+                stats: BatchStats {
+                    // Every member waited for the whole merged batch:
+                    // its experienced latency is the merged wall-clock,
+                    // and the one admission's wait/queue/workers apply
+                    // to all members alike.
+                    latency_ms,
+                    wait_ms,
+                    queued,
+                    workers,
+                    queries: outcome.total_queries,
+                    rejected_queries: outcome.rejected_queries,
+                    psms: outcome.psms.len(),
+                    identifications: outcome.identifications(),
+                    threshold_score: outcome.threshold_score,
+                    shards_touched: receipt.shards_touched,
+                    candidates_scored: receipt.candidates_scored,
+                    candidates_pre: receipt.candidates_pre,
+                    candidates_post: receipt.candidates_post,
+                    sketch_ms: receipt.sketch_ms,
+                    encode_ms: receipt.stages.encode_ms,
+                    candidates_ms: receipt.stages.candidates_ms,
+                    score_ms: receipt.stages.score_ms,
+                    finalize_ms: receipt.stages.finalize_ms,
+                    backend: outcome.backend_name.clone(),
+                },
+                rows,
+            });
+        }
+        self.logger
+            .debug("query.coalesced")
+            .str("index", &request.index)
+            .u64("client", client)
+            .u64("members", members.len() as u64)
+            .f64("latency_ms", latency_ms)
+            .f64("wait_ms", wait_ms)
+            .emit();
+        Ok(results)
+    }
+
+    /// Open a streaming session against resident index `index`, in the
+    /// [`Tier::Batch`] priority class with the server's default
+    /// prefilter. See [`Server::open_session_opts`] for the knobs.
     ///
     /// # Errors
     ///
@@ -645,9 +1034,32 @@ impl Server {
         index: &str,
         window: hdoms_oms::window::PrecursorWindow,
     ) -> Result<u64, String> {
+        self.open_session_opts(index, window, Tier::default(), None)
+    }
+
+    /// Open a streaming session with explicit options (the
+    /// `session.open` verb): every submit to the session is admitted
+    /// under `tier`, and a `prefilter` override replaces the server's
+    /// default for this session's batches.
+    ///
+    /// # Errors
+    ///
+    /// Unknown index, an invalid prefilter override, or the server is
+    /// at [`MAX_SESSIONS`].
+    pub fn open_session_opts(
+        &self,
+        index: &str,
+        window: hdoms_oms::window::PrecursorWindow,
+        tier: Tier,
+        prefilter: Option<PrefilterConfig>,
+    ) -> Result<u64, String> {
         let engine = self
             .engine(index)
             .ok_or_else(|| format!("unknown index {index:?}"))?;
+        let mut session = Session::new(engine, window);
+        if let Some(config) = prefilter {
+            session.set_prefilter(config)?;
+        }
         let mut sessions = self.sessions.lock().expect("session map lock");
         if sessions.len() >= MAX_SESSIONS {
             return Err(format!(
@@ -659,7 +1071,8 @@ impl Server {
             id,
             SessionSlot::Ready(Box::new(OpenSession {
                 index: index.to_owned(),
-                session: Session::new(engine, window),
+                session,
+                tier,
                 wait_ms: 0.0,
             })),
         );
@@ -668,6 +1081,7 @@ impl Server {
             .debug("session.open")
             .u64("session", id)
             .str("index", index)
+            .str("tier", tier.name())
             .emit();
         Ok(id)
     }
@@ -709,13 +1123,14 @@ impl Server {
         // session map lock is never held across the batch (or the queue
         // wait); the lease restores the slot on drop — even if the
         // search panics or the scheduler sheds the batch.
-        let permit = self.scheduler.admit(client)?;
+        let permit = self.scheduler.admit_as(client, lease.tier())?;
         let receipt = lease
             .session()
             .submit_with_workers(&spectra, permit.workers());
         let (wait_ms, workers) = (permit.wait_ms(), permit.workers());
         drop(permit);
         lease.add_wait(wait_ms);
+        self.residency_touch(&lease.index_name(), &receipt.shard_timings);
         self.metrics.batches.inc();
         self.metrics.queries.add(receipt.queries as u64);
         self.metrics.psms.add(receipt.psms as u64);
@@ -853,6 +1268,148 @@ impl Server {
             }
         }
     }
+
+    /// Start residency tracking for a newly resident index. Only mapped
+    /// indexes are tracked — owned tables have no backing file to
+    /// refault from, so there is nothing safe to evict.
+    fn residency_register(&self, name: &str, engine: &Arc<Engine>) {
+        let Some(index) = engine.index() else {
+            return;
+        };
+        if !index.shared_references().is_mapped() {
+            return;
+        }
+        let bytes = index.shard_word_bytes();
+        let total: u64 = bytes.iter().sum();
+        let mut state = self.residency.state.lock().expect("residency lock");
+        let clock = state.clock;
+        state.clock += bytes.len() as u64;
+        let shards = bytes
+            .iter()
+            .enumerate()
+            .map(|(at, &bytes)| ShardResidence {
+                bytes,
+                // Freshly mapped shards start resident and coldest in
+                // registration order: under pressure they evict first,
+                // before anything a search has actually touched.
+                last_touch: clock + at as u64,
+                resident: true,
+            })
+            .collect();
+        state.resident_bytes += total;
+        state.indexes.insert(
+            name.to_owned(),
+            IndexResidency {
+                engine: Arc::clone(engine),
+                shards,
+            },
+        );
+        self.enforce_budget(&mut state);
+        self.publish_residency(&state);
+    }
+
+    /// Stop tracking an unloaded index (its resident bytes leave the
+    /// budget; open sessions keep the engine alive but untracked).
+    fn residency_unregister(&self, name: &str) {
+        let mut state = self.residency.state.lock().expect("residency lock");
+        if let Some(entry) = state.indexes.remove(name) {
+            let freed: u64 = entry
+                .shards
+                .iter()
+                .filter(|s| s.resident)
+                .map(|s| s.bytes)
+                .sum();
+            state.resident_bytes = state.resident_bytes.saturating_sub(freed);
+            self.publish_residency(&state);
+        }
+    }
+
+    /// Mark the shards a batch visited as most-recently-used, count any
+    /// that a search just faulted back in, then evict cold shards while
+    /// over budget.
+    fn residency_touch(&self, name: &str, timings: &[ShardTiming]) {
+        if timings.is_empty() {
+            return;
+        }
+        let mut state = self.residency.state.lock().expect("residency lock");
+        let mut clock = state.clock;
+        let mut reloads = 0u64;
+        let mut reloaded_bytes = 0u64;
+        let Some(entry) = state.indexes.get_mut(name) else {
+            return; // owned index, or unloaded while the batch ran
+        };
+        for timing in timings {
+            let Some(shard) = entry.shards.get_mut(timing.shard as usize) else {
+                continue;
+            };
+            clock += 1;
+            shard.last_touch = clock;
+            if !shard.resident {
+                // The search refaulted the shard's pages from the
+                // backing file: it is resident again.
+                shard.resident = true;
+                reloads += 1;
+                reloaded_bytes += shard.bytes;
+            }
+        }
+        state.clock = clock;
+        state.reloads += reloads;
+        state.resident_bytes += reloaded_bytes;
+        self.metrics.shard_reloads.add(reloads);
+        self.enforce_budget(&mut state);
+        self.publish_residency(&state);
+    }
+
+    /// While over budget, release the least-recently-searched resident
+    /// shard's pages back to the OS. A shard too small to cover a whole
+    /// page still leaves the resident set (the accounting must
+    /// converge); its sub-page words stay cached until normal reclaim.
+    fn enforce_budget(&self, state: &mut ResidencyState) {
+        while state.budget > 0 && state.resident_bytes > state.budget {
+            let mut victim: Option<(String, usize, u64)> = None;
+            for (name, entry) in &state.indexes {
+                for (at, shard) in entry.shards.iter().enumerate() {
+                    let colder = victim
+                        .as_ref()
+                        .is_none_or(|(_, _, touch)| shard.last_touch < *touch);
+                    if shard.resident && colder {
+                        victim = Some((name.clone(), at, shard.last_touch));
+                    }
+                }
+            }
+            let Some((name, at, _)) = victim else {
+                break; // nothing left to evict; the floor is the floor
+            };
+            let entry = state.indexes.get_mut(&name).expect("victim exists");
+            entry
+                .engine
+                .index()
+                .expect("tracked engines are index-backed")
+                .release_shard_words(at);
+            let shard = &mut entry.shards[at];
+            shard.resident = false;
+            state.resident_bytes = state.resident_bytes.saturating_sub(shard.bytes);
+            state.evictions += 1;
+            self.metrics.shard_evictions.inc();
+        }
+    }
+
+    /// Mirror the residency snapshot into the metrics gauges.
+    fn publish_residency(&self, state: &ResidencyState) {
+        self.metrics.resident_bytes.set(state.resident_bytes as i64);
+        self.metrics
+            .resident_shards
+            .set(resident_shard_count(state) as i64);
+    }
+}
+
+/// Resident shards across every tracked index.
+fn resident_shard_count(state: &ResidencyState) -> usize {
+    state
+        .indexes
+        .values()
+        .map(|entry| entry.shards.iter().filter(|s| s.resident).count())
+        .sum()
 }
 
 /// A session taken out of the map for exclusive use. While the lease
@@ -871,6 +1428,20 @@ impl SessionLease<'_> {
     /// The leased session.
     fn session(&mut self) -> &mut Session {
         &mut self.open.as_mut().expect("lease not consumed").session
+    }
+
+    /// The priority class the session was opened under.
+    fn tier(&self) -> Tier {
+        self.open.as_ref().expect("lease not consumed").tier
+    }
+
+    /// The resident-index name the session searches.
+    fn index_name(&self) -> String {
+        self.open
+            .as_ref()
+            .expect("lease not consumed")
+            .index
+            .clone()
     }
 
     /// Accumulate scheduler queue wait onto the session (reported with
@@ -992,6 +1563,7 @@ mod tests {
                 index: "tiny".to_owned(),
                 window: WindowKind::Open,
                 fdr: 0.01,
+                tier: Tier::Batch,
                 prefilter: None,
                 spectra: batch_of(&workload),
             })
@@ -1020,6 +1592,7 @@ mod tests {
             index: "tiny".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            tier: Tier::Batch,
             prefilter: None,
             spectra: batch_of(&workload),
         };
@@ -1039,6 +1612,7 @@ mod tests {
                 index: "tiny".to_owned(),
                 window: WindowKind::Open,
                 fdr: 0.01,
+                tier: Tier::Batch,
                 prefilter: None,
                 spectra: spectra.clone(),
             })
@@ -1094,6 +1668,7 @@ mod tests {
                 index: "second".to_owned(),
                 window: WindowKind::Open,
                 fdr: 0.01,
+                tier: Tier::Batch,
                 prefilter: None,
                 spectra: batch_of(&other),
             })
@@ -1108,6 +1683,7 @@ mod tests {
                 index: "second".to_owned(),
                 window: WindowKind::Open,
                 fdr: 0.01,
+                tier: Tier::Batch,
                 prefilter: None,
                 spectra: batch_of(&other),
             })
@@ -1158,6 +1734,7 @@ mod tests {
             index: "nope".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            tier: Tier::Batch,
             prefilter: None,
             spectra: batch_of(&workload),
         };

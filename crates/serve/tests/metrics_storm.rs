@@ -49,6 +49,7 @@ fn request_for(spectra: Vec<QuerySpectrum>) -> QueryRequest {
         index: "w".to_owned(),
         window: WindowKind::Open,
         fdr: 0.01,
+        tier: Default::default(),
         prefilter: None,
         spectra,
     }
@@ -90,6 +91,7 @@ fn sixteen_client_storm_reconciles_exactly_with_receipts() {
             workers: 3,
             queue_depth: 64,
             deadline_ms: 0,
+            ..SchedulerConfig::default()
         },
     );
     server

@@ -52,6 +52,7 @@ fn request_for(spectra: Vec<QuerySpectrum>) -> QueryRequest {
         index: "w".to_owned(),
         window: WindowKind::Open,
         fdr: 0.01,
+        tier: Default::default(),
         prefilter: None,
         spectra,
     }
@@ -68,6 +69,7 @@ fn two_greedy_clients_each_make_progress() {
             workers: 2,
             queue_depth: 64,
             deadline_ms: 0,
+            ..SchedulerConfig::default()
         },
     );
     let spectra = batch_of(&workload);
@@ -127,6 +129,7 @@ fn sixteen_client_storm_stays_within_the_worker_budget() {
             workers: 3,
             queue_depth: 64,
             deadline_ms: 0,
+            ..SchedulerConfig::default()
         },
     );
     let spectra = batch_of(&workload);
@@ -176,6 +179,7 @@ fn busy_and_deadline_are_structured_errors() {
             workers: 1,
             queue_depth: 0,
             deadline_ms: 0,
+            ..SchedulerConfig::default()
         },
     );
     let spectra = batch_of(&workload);
@@ -205,6 +209,7 @@ fn busy_and_deadline_are_structured_errors() {
             workers: 1,
             queue_depth: 8,
             deadline_ms: 20,
+            ..SchedulerConfig::default()
         },
     );
     let permit = server.scheduler().admit(500).expect("token is free");
@@ -261,6 +266,7 @@ fn scheduled_sessions_over_tcp_match_the_unscheduled_run() {
             workers: 2,
             queue_depth: 64,
             deadline_ms: 0,
+            ..SchedulerConfig::default()
         },
     );
 
@@ -287,6 +293,8 @@ fn scheduled_sessions_over_tcp_match_the_unscheduled_run() {
                     .request(&Request::SessionOpen {
                         index: "w".to_owned(),
                         window: WindowKind::Open,
+                        tier: Default::default(),
+                        prefilter: None,
                     })
                     .expect("open")
                 else {

@@ -78,6 +78,7 @@ fn served_table(
             index: "w".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            tier: Default::default(),
             prefilter: None,
             spectra: workload
                 .queries
@@ -141,6 +142,7 @@ fn one_connection_serves_many_batches() {
         index: "w".to_owned(),
         window: WindowKind::Open,
         fdr: 0.01,
+        tier: Default::default(),
         prefilter: None,
         spectra: workload
             .queries
@@ -181,6 +183,8 @@ fn streamed_session_over_tcp_matches_local_single_run() {
         .request(&Request::SessionOpen {
             index: "w".to_owned(),
             window: WindowKind::Open,
+            tier: Default::default(),
+            prefilter: None,
         })
         .expect("open")
     else {
@@ -285,6 +289,7 @@ fn index_load_and_unload_round_trip_on_a_live_server() {
             index: "second".to_owned(),
             window: WindowKind::Open,
             fdr: 0.01,
+            tier: Default::default(),
             prefilter: None,
             spectra,
         })
