@@ -6,8 +6,11 @@ use hdoms_baselines::annsolo::{AnnSoloBackend, AnnSoloConfig};
 use hdoms_baselines::hyperoms::HyperOmsConfig;
 use hdoms_core::accelerator::AcceleratorConfig;
 use hdoms_engine::{Engine, ReferenceMeta};
-use hdoms_index::{IndexBuilder, IndexConfig, IndexReader, IndexedBackendKind, LibraryIndex};
-use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+use hdoms_index::{
+    IndexBuilder, IndexConfig, IndexReader, IndexedBackendKind, LibraryIndex, StreamingConfig,
+    StreamingIndexBuilder,
+};
+use hdoms_ms::dataset::{ScaledLibrary, ScaledLibrarySpec, SyntheticWorkload, WorkloadSpec};
 use hdoms_ms::library::SpectralLibrary;
 use hdoms_ms::mgf::{read_mgf, write_mgf};
 use hdoms_ms::spectrum::Spectrum;
@@ -260,38 +263,105 @@ pub fn index(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// The indexable backend kinds (`annsolo` has no persistent encoding and
+/// stays cold-build only).
+fn backend_kind(spec: &str, dim: usize) -> Result<IndexedBackendKind, String> {
+    match spec {
+        "exact" => {
+            let mut config = ExactBackendConfig::default();
+            config.encoder.dim = dim;
+            Ok(IndexedBackendKind::Exact(config))
+        }
+        "hyperoms" => Ok(IndexedBackendKind::HyperOms(HyperOmsConfig {
+            dim,
+            ..HyperOmsConfig::default()
+        })),
+        "rram" => {
+            let mut config = AcceleratorConfig::default();
+            config.encoder.dim = dim;
+            Ok(IndexedBackendKind::Rram(config))
+        }
+        other => Err(format!("unknown backend {other:?} (exact|hyperoms|rram)")),
+    }
+}
+
+/// Above this estimated hypervector payload, `index build --stream auto`
+/// switches to the spill-based streaming builder: the in-memory path
+/// holds the payload at least twice (reference table + serialised
+/// image), which at a GiB of payload means multiple GiB of peak heap.
+const STREAM_AUTO_PAYLOAD_BYTES: u64 = 1 << 30;
+
 fn index_build(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
-    flags.check_known(&["library", "out", "backend", "dim", "shard-size", "threads"])?;
+    flags.check_known(&[
+        "library",
+        "out",
+        "backend",
+        "dim",
+        "shard-size",
+        "threads",
+        "stream",
+        "spill-threshold",
+    ])?;
     let library_path = flags.require("library")?;
     let out_path = flags.require("out")?;
     let dim: usize = flags.get_or("dim", 8192)?;
     let shard_size: usize = flags.get_or("shard-size", 1024)?;
     let threads: usize = flags.get_or("threads", hdoms_hdc::parallel::default_threads())?;
+    let stream_flag = flags.get("stream").unwrap_or("auto");
+    let spill_threshold: usize = flags.get_or("spill-threshold", 8192)?;
     if shard_size == 0 {
         return Err("--shard-size must be positive".to_owned());
     }
+    if spill_threshold == 0 {
+        return Err("--spill-threshold must be positive".to_owned());
+    }
 
-    let kind = match flags.get("backend").unwrap_or("exact") {
-        "exact" => {
-            let mut config = ExactBackendConfig::default();
-            config.encoder.dim = dim;
-            IndexedBackendKind::Exact(config)
-        }
-        "hyperoms" => IndexedBackendKind::HyperOms(HyperOmsConfig {
-            dim,
-            ..HyperOmsConfig::default()
-        }),
-        "rram" => {
-            let mut config = AcceleratorConfig::default();
-            config.encoder.dim = dim;
-            IndexedBackendKind::Rram(config)
-        }
-        other => return Err(format!("unknown backend {other:?} (exact|hyperoms|rram)")),
-    };
-
+    let kind = backend_kind(flags.get("backend").unwrap_or("exact"), dim)?;
     let library = read_library_file(library_path)?;
+
+    // Guardrail: pick the streaming builder by default once the encoded
+    // payload is large enough that holding it (twice) in memory hurts.
+    let estimated_payload = (library.len() * dim.div_ceil(64) * 8) as u64;
+    let streaming = match stream_flag {
+        "on" => true,
+        "off" => false,
+        "auto" => estimated_payload > STREAM_AUTO_PAYLOAD_BYTES,
+        other => return Err(format!("invalid --stream {other:?} (auto|on|off)")),
+    };
+    Logger::stderr(Level::Info, false)
+        .info("index.build")
+        .str("mode", if streaming { "streaming" } else { "in-memory" })
+        .str("stream", stream_flag)
+        .u64("entries", library.len() as u64)
+        .u64("estimated_payload_bytes", estimated_payload)
+        .u64("spill_threshold", spill_threshold as u64)
+        .emit();
+
     let start = std::time::Instant::now();
+    if streaming {
+        let config = StreamingConfig {
+            index: IndexConfig {
+                kind,
+                entries_per_shard: shard_size,
+                threads,
+            },
+            spill_threshold,
+        };
+        let report =
+            StreamingIndexBuilder::build_from_library(config, Path::new(out_path), &library)
+                .map_err(|e| e.to_string())?;
+        println!(
+            "indexed {} references ({} rejected) into {} shards in {:.2} s \
+             (streaming, {} bytes spilled) → {out_path}",
+            report.build_stats.references_stored,
+            report.build_stats.references_rejected,
+            report.shard_count,
+            start.elapsed().as_secs_f64(),
+            report.spilled_bytes,
+        );
+        return Ok(());
+    }
     let index = IndexBuilder::new(IndexConfig {
         kind,
         entries_per_shard: shard_size,
@@ -308,6 +378,93 @@ fn index_build(args: &[String]) -> Result<(), String> {
         index.build_stats().references_rejected,
         index.shards().len(),
         build_s,
+    );
+    Ok(())
+}
+
+/// `hdoms synth`: scale a synthetic library preset by an augmentation
+/// factor and stream it straight into a `.hdx` index — entries are
+/// generated, encoded, and spilled on the fly, so the library is never
+/// materialised and the scale is bounded by disk, not RAM.
+pub fn synth(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.check_known(&[
+        "out",
+        "preset",
+        "scale",
+        "factor",
+        "seed",
+        "backend",
+        "dim",
+        "shard-size",
+        "threads",
+        "spill-threshold",
+    ])?;
+    let out_path = flags.require("out")?;
+    let scale: f64 = flags.get_or("scale", 0.01)?;
+    let factor: usize = flags.get_or("factor", 1)?;
+    let seed: u64 = flags.get_or("seed", 0xF1605)?;
+    let dim: usize = flags.get_or("dim", 8192)?;
+    let shard_size: usize = flags.get_or("shard-size", 1024)?;
+    let threads: usize = flags.get_or("threads", hdoms_hdc::parallel::default_threads())?;
+    let spill_threshold: usize = flags.get_or("spill-threshold", 8192)?;
+    if factor == 0 {
+        return Err("--factor must be positive".to_owned());
+    }
+    if shard_size == 0 {
+        return Err("--shard-size must be positive".to_owned());
+    }
+    if spill_threshold == 0 {
+        return Err("--spill-threshold must be positive".to_owned());
+    }
+    let base = match flags.get("preset").unwrap_or("tiny") {
+        "iprg2012" => WorkloadSpec::iprg2012(scale),
+        "hek293" => WorkloadSpec::hek293(scale),
+        "tiny" => WorkloadSpec::tiny(),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    let kind = backend_kind(flags.get("backend").unwrap_or("exact"), dim)?;
+    let entries = 2usize
+        .checked_mul(base.reference_peptides)
+        .and_then(|n| n.checked_mul(factor))
+        .filter(|&n| n <= u32::MAX as usize)
+        .ok_or_else(|| {
+            format!(
+                "scaled library exceeds the u32 id space \
+                 (2 × {} peptides × factor {factor})",
+                base.reference_peptides
+            )
+        })?;
+
+    Logger::stderr(Level::Info, false)
+        .info("synth.build")
+        .str("preset", &base.name)
+        .u64("factor", factor as u64)
+        .u64("entries", entries as u64)
+        .u64("dim", dim as u64)
+        .u64("spill_threshold", spill_threshold as u64)
+        .emit();
+
+    let scaled = ScaledLibrary::new(ScaledLibrarySpec { base, factor, seed });
+    let config = StreamingConfig {
+        index: IndexConfig {
+            kind,
+            entries_per_shard: shard_size,
+            threads,
+        },
+        spill_threshold,
+    };
+    let start = std::time::Instant::now();
+    let report = StreamingIndexBuilder::build_from_iter(config, Path::new(out_path), scaled.iter())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "synthesised {} references (factor {factor}, {} stored, {} rejected) \
+         into {} shards in {:.2} s → {out_path}",
+        report.entry_count,
+        report.build_stats.references_stored,
+        report.build_stats.references_rejected,
+        report.shard_count,
+        start.elapsed().as_secs_f64(),
     );
     Ok(())
 }

@@ -4,6 +4,9 @@
 //!
 //! * `generate` — build a synthetic workload and export it as MGF files
 //!   (queries + library with peptide/decoy annotations in the titles).
+//! * `synth` — scale a synthetic library preset by an augmentation
+//!   factor and stream it directly into a `.hdx` index (never
+//!   materialised, so library size is bounded by disk, not RAM).
 //! * `index` — build, inspect or append to a persistent encoded library
 //!   index (`.hdx`), so searches skip the one-time library encoding.
 //! * `search` — run an open (or standard) search of query MGF against a
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "generate" => commands::generate(rest),
+        "synth" => commands::synth(rest),
         "index" => commands::index(rest),
         "search" => commands::search(rest),
         "compare" => commands::compare(rest),

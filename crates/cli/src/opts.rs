@@ -7,9 +7,24 @@ hdoms — open modification spectral library search (DAC 2024 reproduction)
 USAGE:
   hdoms generate --out-queries <q.mgf> --out-library <lib.mgf>
                  [--preset iprg2012|hek293|tiny] [--scale <f64>] [--seed <u64>]
+  hdoms synth    --out <lib.hdx> [--preset tiny|iprg2012|hek293]
+                 [--scale <f64>] [--factor <usize>] [--seed <u64>]
+                 [--backend exact|hyperoms|rram] [--dim <usize>]
+                 [--shard-size <usize>] [--threads <usize>]
+                 [--spill-threshold <usize>]
+                 (scales a synthetic preset by --factor via deterministic
+                  peak permutation + intensity augmentation and streams
+                  it straight into an index — the library is generated,
+                  encoded and spilled on the fly, never held in RAM.
+                  See docs/SCALE.md)
   hdoms index build  --library <lib.mgf> --out <lib.hdx>
                      [--backend exact|hyperoms|rram] [--dim <usize>]
                      [--shard-size <usize>] [--threads <usize>]
+                     [--stream auto|on|off] [--spill-threshold <usize>]
+                     (--stream auto, the default, picks the bounded-memory
+                      streaming builder once the estimated hypervector
+                      payload exceeds 1 GiB; both builders emit the
+                      identical image. See docs/SCALE.md)
   hdoms index info   --index <lib.hdx>
   hdoms index append --index <lib.hdx> --library <more.mgf> [--out <new.hdx>]
                      [--threads <usize>]

@@ -12,7 +12,7 @@ use crate::encode::InMemoryEncoder;
 use crate::search::InMemorySearch;
 use hdoms_hdc::encoder::EncoderConfig;
 use hdoms_hdc::parallel::par_map;
-use hdoms_ms::library::SpectralLibrary;
+use hdoms_ms::library::{LibraryEntry, SpectralLibrary};
 use hdoms_ms::preprocess::{BinnedSpectrum, PreprocessConfig, Preprocessor};
 use hdoms_oms::search::{SearchHit, SharedReferences, SimilarityBackend};
 use hdoms_rram::array::CrossbarConfig;
@@ -84,14 +84,8 @@ impl OmsAccelerator {
         assert!(!library.is_empty(), "cannot build over an empty library");
         let encoder = InMemoryEncoder::new(config.encoder, config.crossbar, config.seed);
         let pre = Preprocessor::new(config.preprocess);
-        let entries: Vec<_> = library.iter().collect();
         let encoded: Vec<Option<(hdoms_hdc::BinaryHypervector, f64)>> =
-            par_map(&entries, config.threads, |entry| {
-                pre.run(&entry.spectrum).ok().map(|binned| {
-                    let (hv, stats) = encoder.encode_with_stats(&binned);
-                    (hv, stats.bit_error_rate())
-                })
-            });
+            OmsAccelerator::encode_chunk(&encoder, &pre, library.entries(), 0, config.threads);
         let references_stored = encoded.iter().flatten().count();
         let references_rejected = encoded.len() - references_stored;
         let mean_encode_ber = if references_stored == 0 {
@@ -119,6 +113,48 @@ impl OmsAccelerator {
                 mean_encode_ber,
             },
         }
+    }
+
+    /// Encode a dense run of library entries exactly as a cold
+    /// [`OmsAccelerator::build`] encodes ids `first_id..first_id + len`:
+    /// each entry's spectrum id is treated as `first_id + offset` (the
+    /// dense id the entry will occupy) before preprocessing and in-memory
+    /// encoding, and each slot carries the per-reference encoding
+    /// bit-error rate alongside the hypervector.
+    ///
+    /// This is the chunked entry point behind streaming index builds and
+    /// index appends: the in-memory encoder is deterministic per
+    /// construction seed, so feeding a library through one bounded chunk
+    /// at a time yields bit-for-bit the hypervectors (and BER stream) a
+    /// whole-library build would produce. `encoder` must be the encoder a
+    /// cold build would use — [`InMemoryEncoder::new`] for fresh builds,
+    /// [`InMemoryEncoder::from_programmed`] when extending an existing
+    /// index against its persisted MLC state.
+    pub fn encode_chunk(
+        encoder: &InMemoryEncoder,
+        pre: &Preprocessor,
+        entries: &[LibraryEntry],
+        first_id: u32,
+        threads: usize,
+    ) -> Vec<Option<(hdoms_hdc::BinaryHypervector, f64)>> {
+        let jobs: Vec<(u32, &LibraryEntry)> = entries
+            .iter()
+            .enumerate()
+            .map(|(offset, entry)| (first_id + offset as u32, entry))
+            .collect();
+        par_map(&jobs, threads, |&(id, entry)| {
+            let binned = if entry.spectrum.id == id {
+                pre.run(&entry.spectrum).ok()
+            } else {
+                let mut spectrum = entry.spectrum.clone();
+                spectrum.id = id;
+                pre.run(&spectrum).ok()
+            };
+            binned.map(|binned| {
+                let (hv, stats) = encoder.encode_with_stats(&binned);
+                (hv, stats.bit_error_rate())
+            })
+        })
     }
 
     /// Reassemble an accelerator from previously-built parts without

@@ -529,24 +529,107 @@ pub fn put_shard(shard: &Shard, dim: usize, references: &SharedReferences) -> Ve
 /// Panics if an entry id falls outside `references` or a stored
 /// hypervector's dimension disagrees with `dim`.
 pub fn put_shard_v2(shard: &Shard, dim: usize, references: &SharedReferences) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.usize(shard.entries.len());
-    for e in &shard.entries {
-        put_entry_meta(&mut w, e);
-        w.u8(u8::from(references.hv(e.id as usize).is_some()));
-    }
-    for _ in 0..pad_to_8(w.len()) {
-        w.u8(0);
-    }
-    for e in &shard.entries {
-        if let Some(hv) = references.hv(e.id as usize) {
+    let result = put_shard_v2_with(
+        &shard.entries,
+        |id| references.hv(id as usize).is_some(),
+        |id, w| {
+            let hv = references.hv(id as usize).expect("flagged present");
             assert_eq!(hv.dim(), dim, "stored hypervector dimension mismatch");
             for &word in hv.words() {
                 w.u64(word);
             }
+            Ok::<(), std::convert::Infallible>(())
+        },
+    );
+    match result {
+        Ok(bytes) => bytes,
+        Err(never) => match never {},
+    }
+}
+
+/// The generalised **v2** shard serialiser behind [`put_shard_v2`]: the
+/// caller supplies the presence predicate and a word-block writer instead
+/// of an in-memory reference table, so the hypervector words can come
+/// from anywhere — including a spill file, which is how the streaming
+/// index builder emits a shard without ever materialising its
+/// hypervectors as [`BinaryHypervector`]s.
+///
+/// `write_words(id, w)` must append exactly `ceil(dim / 64)` packed
+/// little-endian `u64` words for entry `id` (the same bytes
+/// [`put_shard_v2`] would write); it is called once per present entry, in
+/// entry order, and its error aborts serialisation.
+pub fn put_shard_v2_with<E>(
+    entries: &[IndexEntry],
+    present: impl Fn(u32) -> bool,
+    mut write_words: impl FnMut(u32, &mut Writer) -> Result<(), E>,
+) -> Result<Vec<u8>, E> {
+    let mut w = Writer::new();
+    w.usize(entries.len());
+    for e in entries {
+        put_entry_meta(&mut w, e);
+        w.u8(u8::from(present(e.id)));
+    }
+    for _ in 0..pad_to_8(w.len()) {
+        w.u8(0);
+    }
+    for e in entries {
+        if present(e.id) {
+            write_words(e.id, &mut w)?;
         }
     }
-    w.into_bytes()
+    Ok(w.into_bytes())
+}
+
+/// The exact byte length [`put_shard_v2`] / [`put_shard_v2_with`] will
+/// produce for a shard holding `entries`, computed from the metadata
+/// alone: the v2 layout is `count` + per-entry metadata-and-presence
+/// records, zero padding to an 8-byte boundary, then one
+/// `ceil(dim / 64) * 8`-byte word block per present entry. Knowing every
+/// section length before serialising any hypervector words is what lets
+/// the streaming builder write the container header first and then emit
+/// shards one at a time.
+pub fn shard_v2_payload_len(
+    entries: &[IndexEntry],
+    dim: usize,
+    present: impl Fn(u32) -> bool,
+) -> usize {
+    // Per entry: u32 id + f64 mass + f64 m/z + u8 charge + u8 decoy +
+    // (u64 length + bytes) peptide + u8 presence = 31 + peptide bytes.
+    let meta: usize = 8 + entries.iter().map(|e| 31 + e.peptide.len()).sum::<usize>();
+    let stored = entries.iter().filter(|e| present(e.id)).count();
+    meta + pad_to_8(meta) + stored * dim.div_ceil(64) * 8
+}
+
+/// Encode the container header (the per-index metadata block that
+/// precedes every section): backend kind, build statistics, shard
+/// geometry, section lengths. `sketch_len` is `Some` exactly when the
+/// image carries a v3 sketch section (pass `None` when serialising v1/v2
+/// images, which have no such header field). Both the in-memory
+/// serialiser and the streaming builder emit their headers through this
+/// function, so the two paths cannot drift.
+pub fn encode_header(
+    kind: &IndexedBackendKind,
+    stats: &BuildStats,
+    entries_per_shard: usize,
+    entry_count: usize,
+    mlc_len: usize,
+    sketch_len: Option<usize>,
+    shard_lens: &[usize],
+) -> Vec<u8> {
+    let mut header = Writer::new();
+    put_kind(&mut header, kind);
+    put_build_stats(&mut header, stats);
+    header.usize(entries_per_shard);
+    header.usize(entry_count);
+    header.usize(mlc_len);
+    if let Some(len) = sketch_len {
+        header.usize(len);
+    }
+    header.usize(shard_lens.len());
+    for &len in shard_lens {
+        header.usize(len);
+    }
+    header.into_bytes()
 }
 
 fn put_entry_meta(w: &mut Writer, e: &IndexEntry) {

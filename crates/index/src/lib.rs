@@ -75,9 +75,11 @@
 pub mod format;
 mod library_index;
 mod sharded;
+pub mod streaming;
 pub mod wire;
 pub mod xxhash;
 
 pub use format::{IndexEntry, IndexError, IndexedBackendKind, MlcState, Shard};
 pub use library_index::{IndexBuilder, IndexConfig, IndexReader, LibraryIndex};
 pub use sharded::{ShardTiming, ShardedBackend};
+pub use streaming::{StreamingBuildReport, StreamingConfig, StreamingIndexBuilder};

@@ -21,8 +21,6 @@ use hdoms_oms::candidates::CandidateIndex;
 use hdoms_oms::pipeline::ReferenceCatalog;
 use hdoms_oms::search::{ExactBackend, ExactBackendConfig, MappedReferences, SharedReferences};
 use hdoms_prefilter::{SketchIndex, SKETCH_WORDS};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
@@ -528,22 +526,21 @@ impl LibraryIndex {
             IndexedBackendKind::Exact(config) => {
                 let encoder = IdLevelEncoder::new(config.encoder);
                 let pre = Preprocessor::new(config.preprocess);
-                let config = *config;
-                let jobs: Vec<(usize, &LibraryEntry)> = new_entries.iter().enumerate().collect();
-                par_map(&jobs, threads, |&(offset, entry)| {
-                    let id = first_id + offset as u32;
-                    (encode_exact_entry(&encoder, &pre, &config, entry, id), 0.0)
-                })
+                let mut config = *config;
+                config.threads = threads;
+                ExactBackend::encode_chunk(&encoder, &pre, &config, new_entries, first_id)
+                    .into_iter()
+                    .map(|hv| (hv, 0.0))
+                    .collect()
             }
             IndexedBackendKind::HyperOms(config) => {
                 let exact = hyperoms_exact_config(config, threads);
                 let encoder = IdLevelEncoder::new(exact.encoder);
                 let pre = Preprocessor::new(exact.preprocess);
-                let jobs: Vec<(usize, &LibraryEntry)> = new_entries.iter().enumerate().collect();
-                par_map(&jobs, threads, |&(offset, entry)| {
-                    let id = first_id + offset as u32;
-                    (encode_exact_entry(&encoder, &pre, &exact, entry, id), 0.0)
-                })
+                ExactBackend::encode_chunk(&encoder, &pre, &exact, new_entries, first_id)
+                    .into_iter()
+                    .map(|hv| (hv, 0.0))
+                    .collect()
             }
             IndexedBackendKind::Rram(config) => {
                 let mlc = self
@@ -558,19 +555,13 @@ impl LibraryIndex {
                     config.seed,
                 );
                 let pre = Preprocessor::new(config.preprocess);
-                let jobs: Vec<(usize, &LibraryEntry)> = new_entries.iter().enumerate().collect();
-                par_map(&jobs, threads, |&(offset, entry)| {
-                    let id = first_id + offset as u32;
-                    let mut spectrum = entry.spectrum.clone();
-                    spectrum.id = id;
-                    match pre.run(&spectrum) {
-                        Err(_) => (None, 0.0),
-                        Ok(binned) => {
-                            let (hv, stats) = encoder.encode_with_stats(&binned);
-                            (Some(hv), stats.bit_error_rate())
-                        }
-                    }
-                })
+                OmsAccelerator::encode_chunk(&encoder, &pre, new_entries, first_id, threads)
+                    .into_iter()
+                    .map(|slot| match slot {
+                        Some((hv, ber)) => (Some(hv), ber),
+                        None => (None, 0.0),
+                    })
+                    .collect()
             }
         };
 
@@ -688,20 +679,16 @@ impl LibraryIndex {
             })
             .collect();
 
-        let mut header = Writer::new();
-        format::put_kind(&mut header, &self.kind);
-        format::put_build_stats(&mut header, &self.build_stats);
-        header.usize(self.entries_per_shard);
-        header.usize(self.entry_count);
-        header.usize(mlc_bytes.as_ref().map_or(0, Vec::len));
-        if version >= 3 {
-            header.usize(sketch_bytes.as_ref().map_or(0, Vec::len));
-        }
-        header.usize(shard_bytes.len());
-        for bytes in &shard_bytes {
-            header.usize(bytes.len());
-        }
-        let header = header.into_bytes();
+        let shard_lens: Vec<usize> = shard_bytes.iter().map(Vec::len).collect();
+        let header = format::encode_header(
+            &self.kind,
+            &self.build_stats,
+            self.entries_per_shard,
+            self.entry_count,
+            mlc_bytes.as_ref().map_or(0, Vec::len),
+            (version >= 3).then(|| sketch_bytes.as_ref().map_or(0, Vec::len)),
+            &shard_lens,
+        );
 
         let mut out = Writer::new();
         out.raw(&MAGIC);
@@ -1254,7 +1241,7 @@ impl ReferenceCatalog for LibraryIndex {
 
 /// The exact-backend configuration HyperOMS uses (mirrors
 /// `HyperOmsBackend::build`).
-fn hyperoms_exact_config(config: &HyperOmsConfig, threads: usize) -> ExactBackendConfig {
+pub(crate) fn hyperoms_exact_config(config: &HyperOmsConfig, threads: usize) -> ExactBackendConfig {
     ExactBackendConfig {
         preprocess: config.preprocess,
         encoder: EncoderConfig {
@@ -1270,31 +1257,4 @@ fn hyperoms_exact_config(config: &HyperOmsConfig, threads: usize) -> ExactBacken
         storage_ber: 0.0,
         noise_seed: 0,
     }
-}
-
-/// Encode one appended entry exactly as `ExactBackend::build` would have
-/// with the entry at dense id `id` (including the deterministic storage
-/// bit-error injection).
-fn encode_exact_entry(
-    encoder: &IdLevelEncoder,
-    pre: &Preprocessor,
-    config: &ExactBackendConfig,
-    entry: &LibraryEntry,
-    id: u32,
-) -> Option<BinaryHypervector> {
-    let mut spectrum = entry.spectrum.clone();
-    spectrum.id = id;
-    pre.run(&spectrum).ok().map(|binned| {
-        let mut hv = encoder.encode(&binned);
-        if config.storage_ber > 0.0 {
-            let mut rng = StdRng::seed_from_u64(
-                config
-                    .noise_seed
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(u64::from(id)),
-            );
-            hdoms_hdc::corrupt::flip_bits_in_place(&mut rng, &mut hv, config.storage_ber);
-        }
-        hv
-    })
 }

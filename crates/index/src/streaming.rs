@@ -1,0 +1,604 @@
+//! Streaming index construction: encode, spill, and serialise one
+//! bounded chunk at a time.
+//!
+//! [`IndexBuilder`](crate::IndexBuilder) holds the whole encoded library
+//! in memory — every reference hypervector, plus a second copy inside
+//! the serialised image — which caps the library size at available RAM.
+//! [`StreamingIndexBuilder`] removes that cap: entries are encoded in
+//! chunks of at most `spill_threshold`, each chunk's hypervector words
+//! are appended to a temporary **spill file** immediately, and the final
+//! `.hdx` image is assembled shard by shard, reading each shard's word
+//! blocks back from the spill as it is written. Peak heap is bounded by
+//! one encode chunk plus one serialised shard plus the O(entries)
+//! metadata side tables (entry records, sketch signatures, spill
+//! offsets) — never by the encoded payload.
+//!
+//! The output is **byte-for-byte identical** to
+//! `IndexBuilder::from_library(...).to_bytes()` over the same entries in
+//! the same order: encoding is deterministic per (configuration, dense
+//! id), the v2 shard payload length is computable from metadata alone
+//! ([`format::shard_v2_payload_len`]), and header, sketch section, and
+//! shard payloads are emitted through the same codec functions the
+//! in-memory path uses ([`format::encode_header`],
+//! [`format::put_shard_v2_with`]). The differential test suite
+//! (`tests/streaming_equivalence.rs`) pins that guarantee.
+
+use crate::format::{
+    self, IndexEntry, IndexError, IndexedBackendKind, MlcState, CHECKSUM_SEED, FORMAT_VERSION,
+    MAGIC,
+};
+use crate::library_index::{hyperoms_exact_config, IndexConfig};
+use crate::xxhash::xxh64;
+use hdoms_core::accelerator::{BuildStats, OmsAccelerator};
+use hdoms_core::encode::InMemoryEncoder;
+use hdoms_hdc::encoder::IdLevelEncoder;
+use hdoms_hdc::BinaryHypervector;
+use hdoms_ms::library::{LibraryEntry, SpectralLibrary};
+use hdoms_ms::preprocess::Preprocessor;
+use hdoms_oms::search::{ExactBackend, ExactBackendConfig};
+use hdoms_prefilter::{SketchIndex, SKETCH_WORDS};
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Configuration for [`StreamingIndexBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingConfig {
+    /// The index configuration (backend kind, shard size, threads) — the
+    /// same values an in-memory [`IndexBuilder`](crate::IndexBuilder)
+    /// build would use, and the values the finished image records.
+    pub index: IndexConfig,
+    /// Maximum entries encoded and resident per chunk. This is the
+    /// memory knob: peak hypervector residency during the push phase is
+    /// `spill_threshold × ceil(dim / 64) × 8` bytes (plus one shard's
+    /// words during finish). Smaller is tighter but loses encode
+    /// parallelism below the thread count.
+    pub spill_threshold: usize,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> StreamingConfig {
+        StreamingConfig {
+            index: IndexConfig::default(),
+            spill_threshold: 8192,
+        }
+    }
+}
+
+/// What a finished streaming build produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingBuildReport {
+    /// Entries indexed.
+    pub entry_count: usize,
+    /// Precursor-mass shards written.
+    pub shard_count: usize,
+    /// Total bytes of the finished `.hdx` image.
+    pub index_bytes: u64,
+    /// Hypervector word bytes that went through the spill file.
+    pub spilled_bytes: u64,
+    /// Build statistics, exactly as the in-memory path would record them.
+    pub build_stats: BuildStats,
+}
+
+/// The per-chunk encoder behind the streaming build: the same
+/// deterministic per-id encode the backend constructors run, dispatched
+/// by backend kind ([`ExactBackend::encode_chunk`] /
+/// [`OmsAccelerator::encode_chunk`]).
+enum ChunkEncoder {
+    Exact {
+        encoder: IdLevelEncoder,
+        pre: Preprocessor,
+        config: ExactBackendConfig,
+    },
+    Rram {
+        encoder: InMemoryEncoder,
+        pre: Preprocessor,
+    },
+}
+
+impl ChunkEncoder {
+    fn new(kind: &IndexedBackendKind, threads: usize) -> ChunkEncoder {
+        match kind {
+            IndexedBackendKind::Exact(config) => {
+                let mut config = *config;
+                config.threads = threads;
+                ChunkEncoder::Exact {
+                    encoder: IdLevelEncoder::new(config.encoder),
+                    pre: Preprocessor::new(config.preprocess),
+                    config,
+                }
+            }
+            IndexedBackendKind::HyperOms(config) => {
+                let exact = hyperoms_exact_config(config, threads);
+                ChunkEncoder::Exact {
+                    encoder: IdLevelEncoder::new(exact.encoder),
+                    pre: Preprocessor::new(exact.preprocess),
+                    config: exact,
+                }
+            }
+            IndexedBackendKind::Rram(config) => ChunkEncoder::Rram {
+                encoder: InMemoryEncoder::new(config.encoder, config.crossbar, config.seed),
+                pre: Preprocessor::new(config.preprocess),
+            },
+        }
+    }
+
+    /// Encode `entries` as dense ids `first_id..`, returning each slot's
+    /// hypervector plus its encoding bit-error rate (0 for the exact
+    /// software paths).
+    fn encode(
+        &self,
+        entries: &[LibraryEntry],
+        first_id: u32,
+        threads: usize,
+    ) -> Vec<Option<(BinaryHypervector, f64)>> {
+        match self {
+            ChunkEncoder::Exact {
+                encoder,
+                pre,
+                config,
+            } => ExactBackend::encode_chunk(encoder, pre, config, entries, first_id)
+                .into_iter()
+                .map(|slot| slot.map(|hv| (hv, 0.0)))
+                .collect(),
+            ChunkEncoder::Rram { encoder, pre } => {
+                OmsAccelerator::encode_chunk(encoder, pre, entries, first_id, threads)
+            }
+        }
+    }
+
+    fn mlc_state(&self) -> Option<MlcState> {
+        match self {
+            ChunkEncoder::Exact { .. } => None,
+            ChunkEncoder::Rram { encoder, .. } => Some(MlcState {
+                w_eff: encoder.programmed_weights().to_vec(),
+                sigma_delta: encoder.sigma_delta(),
+            }),
+        }
+    }
+}
+
+/// Builds a `.hdx` v3 index without ever holding the encoded library in
+/// memory.
+///
+/// Two-phase use: [`StreamingIndexBuilder::create`] opens the spill
+/// file, [`StreamingIndexBuilder::push_entries`] feeds entries in id
+/// order (any call granularity — chunking past the spill threshold is
+/// internal), and [`StreamingIndexBuilder::finish`] sorts the metadata,
+/// writes the image atomically (temp file + rename, like
+/// [`LibraryIndex::write`](crate::LibraryIndex::write)), and deletes the
+/// spill. The conveniences
+/// [`StreamingIndexBuilder::build_from_library`] and
+/// [`StreamingIndexBuilder::build_from_iter`] wrap the three calls.
+///
+/// Dropping an unfinished builder removes its spill and temp files.
+///
+/// ```
+/// use hdoms_index::streaming::{StreamingConfig, StreamingIndexBuilder};
+/// use hdoms_index::{IndexBuilder, IndexReader, IndexedBackendKind};
+/// use hdoms_ms::dataset::{SyntheticWorkload, WorkloadSpec};
+///
+/// let workload = SyntheticWorkload::generate(&WorkloadSpec::tiny(), 7);
+/// let mut config = StreamingConfig::default();
+/// config.index.entries_per_shard = 64;
+/// config.index.threads = 2;
+/// config.spill_threshold = 50;
+/// if let IndexedBackendKind::Exact(exact) = &mut config.index.kind {
+///     exact.encoder.dim = 512;
+/// }
+/// let path = std::env::temp_dir().join(format!("hdoms-doc-stream-{}.hdx", std::process::id()));
+/// let report =
+///     StreamingIndexBuilder::build_from_library(config.clone(), &path, &workload.library)
+///         .unwrap();
+/// assert_eq!(report.entry_count, workload.library.len());
+///
+/// // Byte-identical to the in-memory build.
+/// let in_memory = IndexBuilder::new(config.index).from_library(&workload.library);
+/// assert_eq!(std::fs::read(&path).unwrap(), in_memory.to_bytes());
+/// # let loaded = IndexReader::open(&path).unwrap();
+/// # assert_eq!(loaded, in_memory);
+/// # std::fs::remove_file(&path).ok();
+/// ```
+pub struct StreamingIndexBuilder {
+    config: IndexConfig,
+    spill_threshold: usize,
+    out_path: PathBuf,
+    tmp_path: PathBuf,
+    spill_path: PathBuf,
+    spill: BufWriter<File>,
+    /// Spill-file byte offset of each entry's word block, by dense id
+    /// (`u64::MAX` marks entries preprocessing rejected).
+    spill_offsets: Vec<u64>,
+    spilled_bytes: u64,
+    /// Per-entry metadata in arrival (id) order; sorted by mass at finish.
+    metas: Vec<IndexEntry>,
+    encoder: ChunkEncoder,
+    // Incrementally replicated sketch-section state (matches
+    // `SketchIndex::build` fed the same slots in id order).
+    sketch_selected: Vec<u32>,
+    sketch_table: Vec<u64>,
+    sketch_present: Vec<u64>,
+    // Running build statistics, accumulated in id order so the
+    // final mean is bit-identical to the in-memory left fold.
+    ber_sum: f64,
+    stored: usize,
+    rejected: usize,
+    finished: bool,
+}
+
+impl std::fmt::Debug for StreamingIndexBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingIndexBuilder")
+            .field("out_path", &self.out_path)
+            .field("entry_count", &self.metas.len())
+            .field("spill_threshold", &self.spill_threshold)
+            .field("spilled_bytes", &self.spilled_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamingIndexBuilder {
+    /// Open a streaming build that will finish into `out`. The spill
+    /// file (`out` with extension `hdx.spill`) and the temporary image
+    /// (`out` with extension `hdx.tmp`) live next to the output so the
+    /// final rename stays on one filesystem.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Invalid`] on a zero `entries_per_shard` or
+    /// `spill_threshold`; [`IndexError::Io`] if the spill file cannot be
+    /// created.
+    pub fn create(
+        config: StreamingConfig,
+        out: &Path,
+    ) -> Result<StreamingIndexBuilder, IndexError> {
+        if config.index.entries_per_shard == 0 {
+            return Err(IndexError::Invalid(
+                "entries_per_shard must be positive".to_owned(),
+            ));
+        }
+        if config.spill_threshold == 0 {
+            return Err(IndexError::Invalid(
+                "spill_threshold must be positive".to_owned(),
+            ));
+        }
+        let spill_path = out.with_extension("hdx.spill");
+        let tmp_path = out.with_extension("hdx.tmp");
+        let spill = BufWriter::new(File::create(&spill_path)?);
+        let encoder = ChunkEncoder::new(&config.index.kind, config.index.threads);
+        let full_words = config.index.kind.dim().div_ceil(64).max(1);
+        Ok(StreamingIndexBuilder {
+            spill_threshold: config.spill_threshold,
+            out_path: out.to_path_buf(),
+            tmp_path,
+            spill_path,
+            spill,
+            spill_offsets: Vec::new(),
+            spilled_bytes: 0,
+            metas: Vec::new(),
+            encoder,
+            sketch_selected: SketchIndex::word_selection(full_words, SKETCH_WORDS),
+            sketch_table: Vec::new(),
+            sketch_present: Vec::new(),
+            ber_sum: 0.0,
+            stored: 0,
+            rejected: 0,
+            finished: false,
+            config: config.index,
+        })
+    }
+
+    /// Entries pushed so far.
+    pub fn entry_count(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// The spill file holding the encoded word blocks (useful for
+    /// instrumentation; removed by [`StreamingIndexBuilder::finish`]).
+    pub fn spill_path(&self) -> &Path {
+        &self.spill_path
+    }
+
+    /// Encode and spill a run of entries. Entries receive the next dense
+    /// ids in arrival order — feed the library in its id order to
+    /// reproduce the in-memory build byte-for-byte. Calls may be any
+    /// size; encoding proceeds in sub-chunks of at most the configured
+    /// spill threshold, so peak hypervector residency never exceeds it.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Io`] if the spill write fails;
+    /// [`IndexError::Invalid`] past `u32::MAX` entries.
+    pub fn push_entries(&mut self, entries: &[LibraryEntry]) -> Result<(), IndexError> {
+        if self.metas.len() + entries.len() > u32::MAX as usize {
+            return Err(IndexError::Invalid(format!(
+                "library exceeds the id space: {} entries",
+                self.metas.len() + entries.len()
+            )));
+        }
+        let block_bytes = (self.config.kind.dim().div_ceil(64) * 8) as u64;
+        let width = self.sketch_selected.len();
+        for chunk in entries.chunks(self.spill_threshold) {
+            let first_id = self.metas.len() as u32;
+            let encoded = self.encoder.encode(chunk, first_id, self.config.threads);
+            for (offset, (entry, slot)) in chunk.iter().zip(encoded).enumerate() {
+                let id = first_id + offset as u32;
+                self.metas.push(IndexEntry {
+                    id,
+                    neutral_mass: entry.spectrum.neutral_mass(),
+                    precursor_mz: entry.spectrum.precursor_mz,
+                    precursor_charge: entry.spectrum.precursor_charge,
+                    is_decoy: entry.is_decoy,
+                    peptide: entry.peptide.to_string(),
+                });
+                if self.sketch_present.len() * 64 <= id as usize {
+                    self.sketch_present.push(0);
+                }
+                match slot {
+                    Some((hv, ber)) => {
+                        let words = hv.words();
+                        self.sketch_table
+                            .extend(self.sketch_selected.iter().map(|&w| words[w as usize]));
+                        self.sketch_present[id as usize / 64] |= 1u64 << (id as usize % 64);
+                        self.ber_sum += ber;
+                        self.stored += 1;
+                        self.spill_offsets.push(self.spilled_bytes);
+                        for &word in words {
+                            self.spill.write_all(&word.to_le_bytes())?;
+                        }
+                        self.spilled_bytes += block_bytes;
+                    }
+                    None => {
+                        self.sketch_table.extend(std::iter::repeat_n(0u64, width));
+                        self.spill_offsets.push(u64::MAX);
+                        self.rejected += 1;
+                    }
+                }
+            }
+        }
+        // Flush at every push boundary so the spill's on-disk size always
+        // matches `spilled_bytes` — external truncation between pushes is
+        // then caught by the size check in `finish`.
+        self.spill.flush()?;
+        Ok(())
+    }
+
+    /// Assemble and atomically write the final `.hdx` v3 image, then
+    /// delete the spill file. Returns what was built.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Invalid`] on an empty build or a spill file whose
+    /// size no longer matches what was written (truncated or tampered
+    /// with between pushes and finish); [`IndexError::Io`] on
+    /// filesystem failures.
+    pub fn finish(mut self) -> Result<StreamingBuildReport, IndexError> {
+        if self.metas.is_empty() {
+            return Err(IndexError::Invalid(
+                "cannot index an empty library".to_owned(),
+            ));
+        }
+        self.spill.flush()?;
+        let spill = File::open(&self.spill_path)?;
+        let spill_len = spill.metadata()?.len();
+        if spill_len != self.spilled_bytes {
+            return Err(IndexError::Invalid(format!(
+                "spill file {} holds {spill_len} bytes but {} were spilled \
+                 (truncated or corrupted between push and finish)",
+                self.spill_path.display(),
+                self.spilled_bytes
+            )));
+        }
+
+        let dim = self.config.kind.dim();
+        let entry_count = self.metas.len();
+        let build_stats = BuildStats {
+            references_stored: self.stored,
+            references_rejected: self.rejected,
+            mean_encode_ber: if self.stored == 0 {
+                0.0
+            } else {
+                self.ber_sum / self.stored as f64
+            },
+        };
+
+        // Shard layout: the same global (mass, id) sort and fixed-size
+        // cut the in-memory builder performs.
+        let mut metas = std::mem::take(&mut self.metas);
+        metas.sort_by(|a, b| {
+            a.neutral_mass
+                .total_cmp(&b.neutral_mass)
+                .then(a.id.cmp(&b.id))
+        });
+        let per_shard = self.config.entries_per_shard;
+        let offsets = std::mem::take(&mut self.spill_offsets);
+        let present = |id: u32| offsets[id as usize] != u64::MAX;
+        let shard_lens: Vec<usize> = metas
+            .chunks(per_shard)
+            .map(|chunk| format::shard_v2_payload_len(chunk, dim, present))
+            .collect();
+
+        // Section payloads that precede the shards. The sketch table is
+        // moved into the section bytes and dropped before any shard is
+        // assembled, so it is not resident twice.
+        let mlc_bytes = self.encoder.mlc_state().as_ref().map(format::put_mlc_state);
+        let sketch = SketchIndex::from_parts(
+            dim.div_ceil(64).max(1),
+            std::mem::take(&mut self.sketch_selected),
+            std::mem::take(&mut self.sketch_table),
+            std::mem::take(&mut self.sketch_present),
+            entry_count,
+        )
+        .map_err(IndexError::Invalid)?;
+        let sketch_bytes = format::put_sketches(&sketch);
+        drop(sketch);
+
+        let header = format::encode_header(
+            &self.config.kind,
+            &build_stats,
+            per_shard,
+            entry_count,
+            mlc_bytes.as_ref().map_or(0, Vec::len),
+            Some(sketch_bytes.len()),
+            &shard_lens,
+        );
+
+        let mut sink = SectionSink {
+            out: BufWriter::new(File::create(&self.tmp_path)?),
+            pos: 0,
+        };
+        sink.raw(&MAGIC)?;
+        sink.raw(&FORMAT_VERSION.to_le_bytes())?;
+        sink.raw(&(header.len() as u64).to_le_bytes())?;
+        sink.raw(&header)?;
+        sink.raw(&xxh64(&header, CHECKSUM_SEED).to_le_bytes())?;
+        if let Some(bytes) = &mlc_bytes {
+            sink.section(bytes)?;
+        }
+        sink.section(&sketch_bytes)?;
+        drop(sketch_bytes);
+
+        // One shard at a time: serialise its payload (word blocks read
+        // back from the spill) and stream it out.
+        let block_bytes = dim.div_ceil(64) * 8;
+        let mut block = vec![0u8; block_bytes];
+        for chunk in metas.chunks(per_shard) {
+            let payload = format::put_shard_v2_with(chunk, present, |id, w| {
+                read_spill_block(&spill, &mut block, offsets[id as usize], &self.spill_path)?;
+                w.raw(&block);
+                Ok::<(), IndexError>(())
+            })?;
+            sink.section(&payload)?;
+        }
+        let index_bytes = sink.pos as u64;
+        sink.out.flush()?;
+        drop(sink);
+        fs::rename(&self.tmp_path, &self.out_path)?;
+        fs::remove_file(&self.spill_path)?;
+        self.finished = true;
+
+        Ok(StreamingBuildReport {
+            entry_count,
+            shard_count: shard_lens.len(),
+            index_bytes,
+            spilled_bytes: self.spilled_bytes,
+            build_stats,
+        })
+    }
+
+    /// One-call streaming build over a materialised library (entries are
+    /// still encoded and spilled chunk-wise).
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamingIndexBuilder::create`] /
+    /// [`StreamingIndexBuilder::push_entries`] /
+    /// [`StreamingIndexBuilder::finish`].
+    pub fn build_from_library(
+        config: StreamingConfig,
+        out: &Path,
+        library: &SpectralLibrary,
+    ) -> Result<StreamingBuildReport, IndexError> {
+        let mut builder = StreamingIndexBuilder::create(config, out)?;
+        builder.push_entries(library.entries())?;
+        builder.finish()
+    }
+
+    /// One-call streaming build over an entry iterator — the fully
+    /// streaming path: at most one spill-threshold's worth of raw
+    /// entries is buffered, so a generator-backed source never
+    /// materialises the library either.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamingIndexBuilder::create`] /
+    /// [`StreamingIndexBuilder::push_entries`] /
+    /// [`StreamingIndexBuilder::finish`].
+    pub fn build_from_iter(
+        config: StreamingConfig,
+        out: &Path,
+        entries: impl IntoIterator<Item = LibraryEntry>,
+    ) -> Result<StreamingBuildReport, IndexError> {
+        let mut builder = StreamingIndexBuilder::create(config, out)?;
+        let mut buffered: Vec<LibraryEntry> = Vec::with_capacity(builder.spill_threshold);
+        for entry in entries {
+            buffered.push(entry);
+            if buffered.len() == builder.spill_threshold {
+                builder.push_entries(&buffered)?;
+                buffered.clear();
+            }
+        }
+        if !buffered.is_empty() {
+            builder.push_entries(&buffered)?;
+        }
+        builder.finish()
+    }
+}
+
+impl Drop for StreamingIndexBuilder {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = fs::remove_file(&self.spill_path);
+            let _ = fs::remove_file(&self.tmp_path);
+        }
+    }
+}
+
+/// Read one word block back from the spill file, mapping a short read to
+/// the structured corruption error.
+fn read_spill_block(
+    spill: &File,
+    block: &mut [u8],
+    offset: u64,
+    spill_path: &Path,
+) -> Result<(), IndexError> {
+    let result = {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            spill.read_exact_at(block, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut spill = spill;
+            spill
+                .seek(SeekFrom::Start(offset))
+                .and_then(|_| spill.read_exact(block))
+        }
+    };
+    result.map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            IndexError::Invalid(format!(
+                "spill file {} truncated at offset {offset}",
+                spill_path.display()
+            ))
+        } else {
+            IndexError::Io(e)
+        }
+    })
+}
+
+/// A positioned writer that reproduces the container's section framing:
+/// zero padding to the next 8-aligned absolute offset, the payload, then
+/// its checksum — exactly what `to_bytes_version` emits for v2+.
+struct SectionSink<W: Write> {
+    out: W,
+    pos: usize,
+}
+
+impl<W: Write> SectionSink<W> {
+    fn raw(&mut self, bytes: &[u8]) -> Result<(), IndexError> {
+        self.out.write_all(bytes)?;
+        self.pos += bytes.len();
+        Ok(())
+    }
+
+    fn section(&mut self, payload: &[u8]) -> Result<(), IndexError> {
+        const ZEROS: [u8; 8] = [0u8; 8];
+        let pad = format::pad_to_8(self.pos);
+        self.raw(&ZEROS[..pad])?;
+        self.raw(payload)?;
+        self.raw(&xxh64(payload, CHECKSUM_SEED).to_le_bytes())
+    }
+}

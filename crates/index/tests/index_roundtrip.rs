@@ -284,6 +284,82 @@ fn append_is_incremental_for_rram_too() {
     );
 }
 
+/// Pins the ordering invariant the streaming build path generalises:
+/// when appended entries straddle shard-bucket boundaries — including
+/// masses exactly equal to an existing shard's upper bound, where only
+/// the `(mass, id)` tie-break decides placement — every shard must stay
+/// sorted, shard ranges must stay monotone (a disk round-trip re-runs
+/// the structural validation), and the result must search identically
+/// to a cold rebuild over the concatenated library.
+#[test]
+fn append_straddling_shard_boundaries_keeps_order() {
+    let first = tiny_workload(35);
+    // Small shards so the appended batch spans many bucket boundaries.
+    let mut appended = build_index(exact_kind(), &first.library, 16);
+    let boundary_count = appended.shards().len();
+    assert!(boundary_count > 10, "need many shards to straddle");
+
+    // The straddling batch: one entry cloned from the edge of every
+    // existing shard (its mass *equals* a shard boundary exactly), plus
+    // a fresh workload whose masses scatter across the whole range.
+    let second = tiny_workload(36);
+    let edges: Vec<u32> = appended
+        .shards()
+        .iter()
+        .flat_map(|s| [s.entries.first(), s.entries.last()])
+        .flatten()
+        .map(|e| e.id)
+        .collect();
+    let straddle: SpectralLibrary = edges
+        .iter()
+        .map(|&id| first.library.get(id).expect("edge id in library").clone())
+        .chain(second.library.iter().cloned())
+        .collect();
+    appended.append_entries(straddle.entries(), THREADS);
+
+    // Global iteration order stays nondecreasing in (mass, id) — the
+    // contract the shard walk, candidate windows, and the streaming
+    // writer's shard layout all assume.
+    let order: Vec<(f64, u32)> = appended.entries().map(|e| (e.neutral_mass, e.id)).collect();
+    for pair in order.windows(2) {
+        assert!(
+            pair[0] <= pair[1],
+            "entries out of (mass, id) order after boundary-straddling append: \
+             {:?} before {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+    // Duplicate masses really exist at shard boundaries (the cloned
+    // edge entries), so the tie-break above was exercised.
+    assert!(
+        order
+            .windows(2)
+            .any(|p| p[0].0 == p[1].0 && p[0].1 < p[1].1),
+        "test lost its equal-mass boundary entries"
+    );
+
+    // The round-trip re-runs structural validation: sorted shards,
+    // monotone shard ranges, dense unique ids.
+    let restored =
+        LibraryIndex::from_bytes(&appended.to_bytes(), THREADS).expect("straddled roundtrip");
+    assert_eq!(appended, restored);
+
+    // And the encodings + search results equal a cold rebuild over the
+    // concatenated library.
+    let combined: SpectralLibrary = first
+        .library
+        .iter()
+        .chain(straddle.iter())
+        .cloned()
+        .collect();
+    let rebuilt = build_index(exact_kind(), &combined, 16);
+    assert_eq!(appended.shared_references(), rebuilt.shared_references());
+    let (_, appended_outcome) = outcomes_for(&appended, &first);
+    let (_, rebuilt_outcome) = outcomes_for(&rebuilt, &first);
+    assert_eq!(appended_outcome.psms, rebuilt_outcome.psms);
+}
+
 #[test]
 fn kind_mismatch_is_an_error() {
     let workload = tiny_workload(41);

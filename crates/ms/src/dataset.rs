@@ -14,7 +14,7 @@
 //! the paper's query:reference ratios at an adjustable scale.
 
 use crate::fragment::{theoretical_spectrum, FragmentConfig};
-use crate::library::SpectralLibrary;
+use crate::library::{LibraryEntry, SpectralLibrary};
 use crate::modification::Modification;
 use crate::noise::NoiseModel;
 use crate::peptide::Peptide;
@@ -173,16 +173,8 @@ impl SyntheticWorkload {
     pub fn generate(spec: &WorkloadSpec, seed: u64) -> SyntheticWorkload {
         let mut rng = StdRng::seed_from_u64(seed);
 
-        // Distinct target peptides. Sequence collisions are rare but real
-        // at small lengths; dedupe so ground truth is unambiguous.
-        let mut seen = HashSet::with_capacity(spec.reference_peptides);
-        let mut peptides = Vec::with_capacity(spec.reference_peptides);
-        while peptides.len() < spec.reference_peptides {
-            let p = Peptide::random_tryptic(&mut rng, spec.peptide_len.0, spec.peptide_len.1);
-            if seen.insert(p.to_string()) {
-                peptides.push(p);
-            }
-        }
+        let peptides = sample_target_peptides(&mut rng, spec);
+        let seen: HashSet<String> = peptides.iter().map(Peptide::to_string).collect();
 
         let library = SpectralLibrary::with_decoys(
             &peptides,
@@ -299,6 +291,198 @@ impl SyntheticWorkload {
     }
 }
 
+/// Sample `spec.reference_peptides` distinct target peptides — exactly
+/// the draws [`SyntheticWorkload::generate`] spends on its target set,
+/// so a caller that only needs the library (e.g. [`ScaledLibrary`])
+/// reproduces the same peptides the full workload generator would.
+///
+/// Sequence collisions are rare but real at small lengths; duplicates
+/// are rejected so ground truth stays unambiguous.
+pub fn sample_target_peptides(rng: &mut StdRng, spec: &WorkloadSpec) -> Vec<Peptide> {
+    let mut seen = HashSet::with_capacity(spec.reference_peptides);
+    let mut peptides = Vec::with_capacity(spec.reference_peptides);
+    while peptides.len() < spec.reference_peptides {
+        let p = Peptide::random_tryptic(rng, spec.peptide_len.0, spec.peptide_len.1);
+        if seen.insert(p.to_string()) {
+            peptides.push(p);
+        }
+    }
+    peptides
+}
+
+/// Specification of a [`ScaledLibrary`]: a base preset multiplied by an
+/// augmentation factor.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScaledLibrarySpec {
+    /// The base workload whose library is scaled (only its library
+    /// fields — peptides, charge, fragmentation — are used).
+    pub base: WorkloadSpec,
+    /// Library entries per base entry: `1` reproduces the base library
+    /// exactly; `N` yields `N × base.library_spectra()` entries.
+    pub factor: usize,
+    /// Master seed: drives the base peptide sample (matching
+    /// [`SyntheticWorkload::generate`] with the same seed) and every
+    /// per-entry augmentation stream.
+    pub seed: u64,
+}
+
+/// A deterministic synthetic library scaled far past its base preset —
+/// the 10⁶–10⁸-reference workloads the streaming index build and the
+/// scale benchmarks run on, generated without new input data.
+///
+/// Each base library entry (targets then decoys, exactly as
+/// [`SpectralLibrary::with_decoys`] lays them out) expands into `factor`
+/// consecutive entries:
+///
+/// * **variant 0** is the base entry verbatim (so `factor = 1`
+///   reproduces [`SyntheticWorkload::generate`]'s library exactly);
+/// * **variants ≥ 1** are augmented re-predictions: a decoy-style
+///   residue permutation of the peptide (mass-preserving, so the
+///   precursor-mass bucket shape of the base library is preserved) with
+///   predicted-spectrum-style intensity rescaling and bounded peak
+///   dropout — same precursor, different fragment pattern.
+///
+/// Every entry is generated by **per-entry random access**
+/// ([`ScaledLibrary::entry`]): the augmentation RNG is seeded from
+/// `(seed, id)` alone, so generation is byte-identical across thread
+/// counts, chunk sizes, and streaming vs materialised consumption.
+///
+/// ```
+/// use hdoms_ms::dataset::{ScaledLibrary, ScaledLibrarySpec, WorkloadSpec};
+///
+/// let scaled = ScaledLibrary::new(ScaledLibrarySpec {
+///     base: WorkloadSpec::tiny(),
+///     factor: 3,
+///     seed: 42,
+/// });
+/// assert_eq!(scaled.len(), 3 * WorkloadSpec::tiny().library_spectra());
+/// let library = scaled.materialize();
+/// assert_eq!(library.len(), scaled.len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaledLibrary {
+    spec: ScaledLibrarySpec,
+    peptides: Vec<Peptide>,
+}
+
+impl ScaledLibrary {
+    /// Intensity rescale half-range: variant intensities are multiplied
+    /// by `exp(u)` with `u` uniform in ±this.
+    const INTENSITY_LOG_RANGE: f64 = 0.35;
+    /// Per-peak dropout probability for augmented variants.
+    const DROPOUT: f64 = 0.1;
+    /// Dropout never shrinks a variant below this many peaks.
+    const KEEP_MIN: usize = 6;
+
+    /// Prepare the generator: samples the base target peptides (the
+    /// expensive part — everything else is per-entry on demand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.factor` is zero or the scaled entry count
+    /// overflows the `u32` id space.
+    pub fn new(spec: ScaledLibrarySpec) -> ScaledLibrary {
+        assert!(spec.factor >= 1, "scale factor must be at least 1");
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let peptides = sample_target_peptides(&mut rng, &spec.base);
+        assert!(
+            2 * peptides.len() * spec.factor <= u32::MAX as usize,
+            "scaled library exceeds the u32 id space"
+        );
+        ScaledLibrary { spec, peptides }
+    }
+
+    /// The specification this library was prepared from.
+    pub fn spec(&self) -> &ScaledLibrarySpec {
+        &self.spec
+    }
+
+    /// Total scaled entries (`factor × base.library_spectra()`).
+    pub fn len(&self) -> usize {
+        2 * self.peptides.len() * self.spec.factor
+    }
+
+    /// Whether the library has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Generate entry `id` from scratch — pure random access,
+    /// deterministic in `(spec.seed, id)` only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= self.len()`.
+    pub fn entry(&self, id: u32) -> LibraryEntry {
+        assert!((id as usize) < self.len(), "entry id out of range");
+        let factor = self.spec.factor as u32;
+        let base_id = id / factor;
+        let variant = id % factor;
+        let base = &self.spec.base;
+        let mut entry = SpectralLibrary::decoys_entry(
+            &self.peptides,
+            base_id,
+            base.library_charge,
+            &base.fragment,
+            self.spec.seed ^ 0x5eed_dec0,
+        );
+        entry.spectrum.id = id;
+        if variant == 0 {
+            return entry;
+        }
+
+        // Augmented variant: keyed on the global id alone so any thread
+        // generating any chunk produces identical bytes.
+        let mut rng = StdRng::seed_from_u64(
+            self.spec
+                .seed
+                .wrapping_add(u64::from(id).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        // Decoy-style residue permutation: same residue multiset, so the
+        // peptide (and precursor) mass is unchanged and the library's
+        // precursor-mass bucket shape survives scaling.
+        let permuted = entry.peptide.decoy(rng.gen());
+        let origin = entry.spectrum.origin;
+        let clean =
+            theoretical_spectrum(id, &permuted, base.library_charge, &base.fragment, origin);
+        // Predicted-spectrum-style augmentation: intensity-only rescale
+        // plus bounded peak dropout; m/z positions and precursor stay.
+        let peaks = clean.peaks();
+        let mut kept = Vec::with_capacity(peaks.len());
+        for (i, peak) in peaks.iter().enumerate() {
+            // Both draws happen for every peak so the stream layout never
+            // depends on earlier outcomes.
+            let drop = rng.gen_bool(Self::DROPOUT);
+            let log_scale = (rng.gen::<f64>() - 0.5) * 2.0 * Self::INTENSITY_LOG_RANGE;
+            let remaining = peaks.len() - i - 1;
+            if drop && kept.len() + remaining >= Self::KEEP_MIN {
+                continue;
+            }
+            kept.push(crate::spectrum::Peak::new(
+                peak.mz,
+                peak.intensity * log_scale.exp(),
+            ));
+        }
+        entry.spectrum =
+            Spectrum::new(id, clean.precursor_mz, clean.precursor_charge, kept, origin);
+        entry.peptide = permuted;
+        entry
+    }
+
+    /// Iterate all entries in id order, generating on demand — the
+    /// streaming consumption path (nothing is retained between entries).
+    pub fn iter(&self) -> impl Iterator<Item = LibraryEntry> + '_ {
+        (0..self.len() as u32).map(|id| self.entry(id))
+    }
+
+    /// Materialise the whole scaled library in memory (small factors /
+    /// tests; the streaming index build consumes [`ScaledLibrary::iter`]
+    /// instead).
+    pub fn materialize(&self) -> SpectralLibrary {
+        self.iter().collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,5 +589,114 @@ mod tests {
         for (i, q) in w.queries.iter().enumerate() {
             assert_eq!(q.id as usize, i);
         }
+    }
+
+    fn small_scaled(factor: usize, seed: u64) -> ScaledLibrary {
+        let mut base = WorkloadSpec::tiny();
+        base.reference_peptides = 40;
+        ScaledLibrary::new(ScaledLibrarySpec { base, factor, seed })
+    }
+
+    #[test]
+    fn scaled_factor_one_reproduces_base_library() {
+        let mut base = WorkloadSpec::tiny();
+        base.reference_peptides = 40;
+        let workload = SyntheticWorkload::generate(&base, 17);
+        let scaled = ScaledLibrary::new(ScaledLibrarySpec {
+            base,
+            factor: 1,
+            seed: 17,
+        });
+        assert_eq!(scaled.materialize(), workload.library);
+    }
+
+    #[test]
+    fn scaled_generation_matches_across_thread_counts() {
+        let scaled = small_scaled(3, 23);
+        let sequential: Vec<LibraryEntry> = scaled.iter().collect();
+
+        // Four threads each generating a quarter by random access must
+        // produce byte-identical entries: nothing about an entry depends
+        // on which thread (or in which order) it was generated.
+        let n = scaled.len() as u32;
+        let chunk = n.div_ceil(4);
+        let threaded: Vec<LibraryEntry> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let scaled = &scaled;
+                    scope.spawn(move || {
+                        (t * chunk..((t + 1) * chunk).min(n))
+                            .map(|id| scaled.entry(id))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("generator thread"))
+                .collect()
+        });
+        assert_eq!(sequential, threaded);
+    }
+
+    #[test]
+    fn scaled_streaming_matches_materialized() {
+        let scaled = small_scaled(2, 31);
+        let streamed: Vec<LibraryEntry> = scaled.iter().collect();
+        let materialized = scaled.materialize();
+        assert_eq!(streamed.as_slice(), materialized.entries());
+        // Same seed twice ⇒ identical library.
+        assert_eq!(small_scaled(2, 31).materialize(), materialized);
+        // Different seed ⇒ different library.
+        assert_ne!(small_scaled(2, 32).materialize(), materialized);
+    }
+
+    #[test]
+    fn scaled_library_preserves_precursor_bucket_shape() {
+        let factor = 4;
+        let scaled = small_scaled(factor, 29);
+        let base = small_scaled(1, 29);
+
+        // 10 Da precursor-mass buckets: augmentation permutes residues
+        // (mass-preserving), so every base bucket count scales by
+        // exactly `factor`.
+        let histogram = |entries: &[LibraryEntry]| {
+            let mut h = std::collections::HashMap::new();
+            for e in entries {
+                *h.entry((e.spectrum.neutral_mass() / 10.0).floor() as i64)
+                    .or_insert(0usize) += 1;
+            }
+            h
+        };
+        let base_h = histogram(base.materialize().entries());
+        let scaled_h = histogram(scaled.materialize().entries());
+        assert_eq!(base_h.len(), scaled_h.len(), "bucket sets must match");
+        for (bucket, count) in &base_h {
+            assert_eq!(
+                scaled_h.get(bucket),
+                Some(&(count * factor)),
+                "bucket {bucket} not scaled by {factor}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_variants_share_precursor_but_differ_in_peaks() {
+        let scaled = small_scaled(3, 41);
+        let base_entry = scaled.entry(0);
+        let variant = scaled.entry(1);
+        assert_eq!(
+            variant.spectrum.precursor_mz, base_entry.spectrum.precursor_mz,
+            "augmentation must not move the precursor"
+        );
+        assert_ne!(
+            variant.spectrum.peaks(),
+            base_entry.spectrum.peaks(),
+            "augmented variant should re-predict the fragment pattern"
+        );
+        assert!(
+            variant.spectrum.peak_count() >= 6,
+            "dropout must keep a searchable peak floor"
+        );
     }
 }

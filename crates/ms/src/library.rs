@@ -45,28 +45,51 @@ impl SpectralLibrary {
         config: &FragmentConfig,
         decoy_seed: u64,
     ) -> SpectralLibrary {
+        let entries = (0..2 * peptides.len() as u32)
+            .map(|id| SpectralLibrary::decoys_entry(peptides, id, charge, config, decoy_seed))
+            .collect();
+        SpectralLibrary { entries }
+    }
+
+    /// The entry [`SpectralLibrary::with_decoys`] places at dense id
+    /// `id` (targets `0..n`, decoys `n..2n`), generated standalone —
+    /// per-entry random access into the deterministic target/decoy
+    /// layout, without materialising the rest of the library. This is
+    /// what lets scaled synthetic libraries
+    /// ([`crate::dataset::ScaledLibrary`]) generate any entry
+    /// independently and identically across thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= 2 * peptides.len()`.
+    pub fn decoys_entry(
+        peptides: &[Peptide],
+        id: u32,
+        charge: u8,
+        config: &FragmentConfig,
+        decoy_seed: u64,
+    ) -> LibraryEntry {
         let n = peptides.len();
-        let mut entries = Vec::with_capacity(2 * n);
-        for (i, p) in peptides.iter().enumerate() {
-            let spectrum =
-                theoretical_spectrum(i as u32, p, charge, config, SpectrumOrigin::Target);
-            entries.push(LibraryEntry {
+        let slot = id as usize;
+        if slot < n {
+            let p = &peptides[slot];
+            let spectrum = theoretical_spectrum(id, p, charge, config, SpectrumOrigin::Target);
+            LibraryEntry {
                 spectrum,
                 peptide: p.clone(),
                 is_decoy: false,
-            });
-        }
-        for (i, p) in peptides.iter().enumerate() {
-            let id = (n + i) as u32;
-            let decoy = p.decoy(decoy_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            }
+        } else {
+            let i = slot - n;
+            let decoy =
+                peptides[i].decoy(decoy_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
             let spectrum = theoretical_spectrum(id, &decoy, charge, config, SpectrumOrigin::Decoy);
-            entries.push(LibraryEntry {
+            LibraryEntry {
                 spectrum,
                 peptide: decoy,
                 is_decoy: true,
-            });
+            }
         }
-        SpectralLibrary { entries }
     }
 
     /// Append an entry, assigning it the next dense id.

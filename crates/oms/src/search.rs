@@ -12,7 +12,7 @@ use hdoms_hdc::encoder::{EncoderConfig, IdLevelEncoder};
 use hdoms_hdc::kernels::{self, QUERY_TILE, REFERENCE_TILE};
 use hdoms_hdc::parallel::par_map;
 use hdoms_hdc::{BinaryHypervector, HvRef, WordBuffer};
-use hdoms_ms::library::SpectralLibrary;
+use hdoms_ms::library::{LibraryEntry, SpectralLibrary};
 use hdoms_ms::preprocess::{BinnedSpectrum, PreprocessConfig, Preprocessor};
 use hdoms_prefilter::SketchIndex;
 use rand::rngs::StdRng;
@@ -483,28 +483,64 @@ impl ExactBackend {
     pub fn build(library: &SpectralLibrary, config: ExactBackendConfig) -> ExactBackend {
         let encoder = IdLevelEncoder::new(config.encoder);
         let pre = Preprocessor::new(config.preprocess);
-        let entries: Vec<_> = library.iter().collect();
-        let reference_hvs = par_map(&entries, config.threads, |entry| {
-            pre.run(&entry.spectrum).ok().map(|binned| {
-                let mut hv = encoder.encode(&binned);
-                if config.storage_ber > 0.0 {
-                    let mut rng = StdRng::seed_from_u64(
-                        config
-                            .noise_seed
-                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                            .wrapping_add(u64::from(entry.spectrum.id)),
-                    );
-                    flip_bits_in_place(&mut rng, &mut hv, config.storage_ber);
-                }
-                hv
-            })
-        });
+        let reference_hvs =
+            ExactBackend::encode_chunk(&encoder, &pre, &config, library.entries(), 0);
         ExactBackend {
             config,
             encoder,
             reference_hvs: reference_hvs.into(),
             prefilter: None,
         }
+    }
+
+    /// Encode a dense run of library entries exactly as a cold
+    /// [`ExactBackend::build`] encodes ids `first_id..first_id + len`:
+    /// each entry's spectrum id is treated as `first_id + offset` (the
+    /// dense id the entry will occupy), so preprocessing, encoding, and
+    /// the per-reference storage-error stream are all keyed on the final
+    /// id rather than whatever id the source spectrum carried.
+    ///
+    /// This is the chunked entry point behind streaming index builds and
+    /// index appends: feeding a library through it one bounded chunk at a
+    /// time yields bit-for-bit the hypervectors a whole-library
+    /// [`ExactBackend::build`] would store, without ever holding more
+    /// than one chunk of encodings in memory. `config` supplies the
+    /// storage-error knobs and the thread count; `encoder` and `pre` must
+    /// have been constructed from that same config.
+    pub fn encode_chunk(
+        encoder: &IdLevelEncoder,
+        pre: &Preprocessor,
+        config: &ExactBackendConfig,
+        entries: &[LibraryEntry],
+        first_id: u32,
+    ) -> Vec<Option<BinaryHypervector>> {
+        let jobs: Vec<(u32, &LibraryEntry)> = entries
+            .iter()
+            .enumerate()
+            .map(|(offset, entry)| (first_id + offset as u32, entry))
+            .collect();
+        par_map(&jobs, config.threads, |&(id, entry)| {
+            let binned = if entry.spectrum.id == id {
+                pre.run(&entry.spectrum).ok()
+            } else {
+                let mut spectrum = entry.spectrum.clone();
+                spectrum.id = id;
+                pre.run(&spectrum).ok()
+            };
+            binned.map(|binned| {
+                let mut hv = encoder.encode(&binned);
+                if config.storage_ber > 0.0 {
+                    let mut rng = StdRng::seed_from_u64(
+                        config
+                            .noise_seed
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            .wrapping_add(u64::from(id)),
+                    );
+                    flip_bits_in_place(&mut rng, &mut hv, config.storage_ber);
+                }
+                hv
+            })
+        })
     }
 
     /// Reassemble a backend from already-encoded reference hypervectors
